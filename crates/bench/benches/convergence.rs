@@ -1,0 +1,56 @@
+//! Emulator convergence throughput: how fast the event loop pushes a whole
+//! fabric from cold sessions to a fully converged default route, and how
+//! fast it re-converges after a device failure. Not a paper artifact, but
+//! the constant every scenario experiment's wall-clock cost rests on.
+
+use centralium_bench::scenarios::converged_fabric;
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_simnet::{SimConfig, SimNet};
+use centralium_topology::{build_fabric, FabricSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_convergence");
+    group.sample_size(10);
+
+    for (label, spec) in [
+        ("tiny_22_devices", FabricSpec::tiny()),
+        ("default_104_devices", FabricSpec::default()),
+    ] {
+        group.bench_function(format!("cold_start_{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let (topo, idx, _) = build_fabric(&spec);
+                    let mut net = SimNet::new(topo, SimConfig::default());
+                    net.establish_all();
+                    for &eb in &idx.backbone {
+                        net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+                    }
+                    net
+                },
+                |mut net| std::hint::black_box(net.run_until_quiescent().events_processed),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+
+    group.bench_function("reconverge_after_fadu_failure", |b| {
+        b.iter_batched(
+            || {
+                let fab = converged_fabric(&FabricSpec::default(), 7);
+                let victim = fab.idx.fadu[0][0];
+                (fab.net, victim)
+            },
+            |(mut net, victim)| {
+                net.device_down(victim);
+                std::hint::black_box(net.run_until_quiescent().events_processed)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

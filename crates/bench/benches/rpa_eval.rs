@@ -1,0 +1,84 @@
+//! Criterion bench behind **Table 2**: per-route RPA evaluation with and
+//! without the signature cache.
+
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::{PathAttributes, PeerId, Prefix, RibPolicy, Route};
+use centralium_rpa::{
+    Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature, RpaDocument,
+    RpaEngine,
+};
+use centralium_topology::Asn;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn engine(cache: bool) -> RpaEngine {
+    let mut e = RpaEngine::new();
+    e.set_cache_enabled(cache);
+    e.install(RpaDocument::PathSelection(PathSelectionRpa::single(
+        "equalize",
+        PathSelectionStatement::select(
+            Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+            vec![PathSet::new("via-backbone", PathSignature::as_path("(^| )6\\d{4}$"))],
+        ),
+    )))
+    .expect("installs");
+    e
+}
+
+fn candidates(i: u32) -> (Prefix, Vec<Route>) {
+    let prefix = Prefix::new(0x0A00_0000 + (i << 8), 24);
+    let routes = (0..4u32)
+        .map(|j| {
+            let mut attrs = PathAttributes::default();
+            attrs.prepend(Asn(60_000 + i % 16), 1);
+            for h in 0..(1 + (i + j) % 4) {
+                attrs.prepend(Asn(30_000 + h * 7 + j), 1);
+            }
+            attrs.add_community(well_known::BACKBONE_DEFAULT_ROUTE);
+            Route::learned(prefix, attrs, PeerId(j as u64))
+        })
+        .collect();
+    (prefix, routes)
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpa_eval_per_route");
+    let workload: Vec<(Prefix, Vec<Route>)> = (0..512).map(candidates).collect();
+
+    group.bench_function("without_cache", |b| {
+        let e = engine(false);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (prefix, routes) = &workload[i % workload.len()];
+            i += 1;
+            std::hint::black_box(e.select_paths(*prefix, routes))
+        });
+    });
+
+    group.bench_function("with_cache_hit", |b| {
+        let e = engine(true);
+        for (prefix, routes) in &workload {
+            e.select_paths(*prefix, routes); // warm the cache
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let (prefix, routes) = &workload[i % workload.len()];
+            i += 1;
+            std::hint::black_box(e.select_paths(*prefix, routes))
+        });
+    });
+
+    group.bench_function("cache_miss_fresh_engine", |b| {
+        b.iter_batched(
+            || engine(true),
+            |e| {
+                let (prefix, routes) = &workload[0];
+                std::hint::black_box(e.select_paths(*prefix, routes))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind the §6.2 claim: "the controller is able to
+//! consistently generate RPAs for a full DC in under 200 milliseconds."
+//!
+//! The workload compiles a fleet-wide equalization intent plus a per-switch
+//! min-next-hop protection intent (fraction resolution touches topology) for
+//! a production-proportioned fabric.
+
+use centralium::compile::compile_intent;
+use centralium::intent::{RoutingIntent, TargetSet};
+use centralium_bgp::attrs::well_known;
+use centralium_rpa::MinNextHop;
+use centralium_topology::{build_fabric, FabricSpec, Layer};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn full_dc_spec() -> FabricSpec {
+    FabricSpec {
+        pods: 48,
+        planes: 8,
+        ssws_per_plane: 16,
+        racks_per_pod: 48,
+        grids: 4,
+        fauus_per_grid: 16,
+        backbone_devices: 16,
+        link_capacity_gbps: 100.0,
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let (topo, _, _) = build_fabric(&full_dc_spec());
+    let equalize = RoutingIntent::EqualizePaths {
+        destination: well_known::BACKBONE_DEFAULT_ROUTE,
+        origin_layer: Layer::Backbone,
+        targets: TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw, Layer::Fadu, Layer::Fauu]),
+    };
+    let protect = RoutingIntent::MinNextHopProtection {
+        destination: well_known::BACKBONE_DEFAULT_ROUTE,
+        min: MinNextHop::Fraction(0.75),
+        keep_fib_warm: true,
+        targets: TargetSet::Layer(Layer::Ssw),
+    };
+    let mut group = c.benchmark_group("rpa_generation_full_dc");
+    group.sample_size(20);
+    group.bench_function(
+        format!("equalize_{}_devices", topo.device_count()),
+        |b| b.iter(|| std::hint::black_box(compile_intent(&topo, &equalize).unwrap().len())),
+    );
+    group.bench_function("min_nexthop_all_ssws", |b| {
+        b.iter(|| std::hint::black_box(compile_intent(&topo, &protect).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates the **Figure 14 Site EVent (§7.2)**: an incorrectly set
+//! `KeepFibWarmIfMnhViolated` knob turns a protective RPA into a black-hole.
+//!
+//! Operators originate a new route (more specific than the default) from the
+//! FA layer. A Path Selection RPA with `BgpNativeMinNextHop` is pre-deployed
+//! on SSWs so a switch only advertises the new route when enough next-hops
+//! exist. During the migration, an FA that was **not production ready**
+//! (missing backbone cabling) unexpectedly originates the route:
+//!
+//! * knob set (the SEV): the lone-path route is withheld from advertisement
+//!   — correctly — but still lands in SSW FIBs; packets that reach an SSW
+//!   via the default route match the more-specific entry, head to the bad
+//!   FA, and die;
+//! * knob unset: the route never enters the FIB; packets keep following the
+//!   default route toward healthy FAs and deliver.
+//!
+//! The `fib_warm_keeper` app makes the misconfiguration unrepresentable by
+//! deriving the knob from whether the destination is established or newly
+//! originated.
+
+use centralium::apps::fib_warm_keeper::DestinationKind;
+use centralium_bench::report::Table;
+use centralium_bench::scenarios::fig14_sev;
+
+fn main() {
+    println!("Figure 14 (§7.2): the KeepFibWarmIfMnhViolated mis-configuration SEV");
+    println!("A not-production-ready FA originates a new more-specific route; the SSWs'");
+    println!("min-next-hop RPA correctly withholds it from advertisement — but the knob");
+    println!("decides whether it still lands in their FIBs.\n");
+    let (sev_del, sev_bh) = fig14_sev(DestinationKind::Established, 14);
+    let (ok_del, ok_bh) = fig14_sev(DestinationKind::NewOrigination, 14);
+    let mut table =
+        Table::new(&["KeepFibWarmIfMnhViolated", "delivered Gbps", "blackholed Gbps"]);
+    table.row(&["true (the SEV)".into(), format!("{sev_del:.1}"), format!("{sev_bh:.1}")]);
+    table.row(&[
+        "false (correct for new routes)".into(),
+        format!("{ok_del:.1}"),
+        format!("{ok_bh:.1}"),
+    ]);
+    println!("{}", table.render());
+    println!("Shape to check: with the knob set, traffic matching the new route black-holes");
+    println!("toward the bad FA; with it unset, packets follow the default route to healthy");
+    println!("aggregation and deliver. The fib_warm_keeper app derives the knob from the");
+    println!("destination kind, making the SEV unrepresentable.");
+}

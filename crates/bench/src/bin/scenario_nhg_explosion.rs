@@ -1,0 +1,101 @@
+//! Regenerates **Scenario 3 (§3.4 / Figure 5)**: transient next-hop-group
+//! explosion during distributed WCMP convergence, vs the Route Attribute RPA.
+//!
+//! `EB[1:8]` originate N prefixes toward `UU[1:4]`; each UU relays them to a DU
+//! over two parallel sessions with link-bandwidth communities. EB1 and EB2
+//! then enter MAINTENANCE. Every (prefix, session) converges independently,
+//! so the DU transiently observes many distinct 8-session weight vectors —
+//! each a distinct next-hop group object. With the RPA prescribing static
+//! weights a priori, the group count stays constant.
+
+use centralium_bench::report::Table;
+use centralium_bench::scenarios::fig5_rig;
+use centralium_simnet::NhgStats;
+
+const N_PREFIXES: usize = 256;
+const DU_NHG_CAPACITY: usize = 32;
+
+/// Which maintenance event hits EB1/EB2.
+#[derive(Clone, Copy)]
+enum Event {
+    /// Preset export policy (less favorable attributes) — §3.4's example.
+    /// Session membership at the DU never changes, only weights do.
+    Drain,
+    /// Whole EB fleet powers off: UUs withdraw prefixes one by one as their
+    /// last paths vanish, so the DU's per-prefix session membership varies
+    /// transiently — the churn that defeats member-set dedup heuristics.
+    PowerOff,
+}
+
+fn run(with_rpa: bool, dedup_heuristic: bool, event: Event, seed: u64) -> NhgStats {
+    let mut rig = fig5_rig(N_PREFIXES, DU_NHG_CAPACITY, seed, with_rpa);
+    {
+        let fib = &mut rig.net.device_mut(rig.du).expect("du").fib;
+        fib.dedup_heuristic = dedup_heuristic;
+        // Steady state reached; reset counters so only the maintenance
+        // transition is measured.
+        fib.reset_stats();
+    }
+    match event {
+        Event::Drain => {
+            rig.net.drain_device(rig.ebs[0]);
+            rig.net.drain_device(rig.ebs[1]);
+        }
+        Event::PowerOff => {
+            for &eb in &rig.ebs {
+                rig.net.device_down(eb);
+            }
+        }
+    }
+    rig.net.run_until_quiescent().expect_converged();
+    rig.net.device(rig.du).expect("du").fib.nhg_stats()
+}
+
+fn main() {
+    println!("Scenario 3 (§3.4): transient next-hop-group explosion at the DU");
+    println!(
+        "rig: 8 EBs x 4 UUs x 1 DU, 2 sessions per UU-DU pair, N = {N_PREFIXES} prefixes, DU group table holds {DU_NHG_CAPACITY}\n"
+    );
+    let mut table = Table::new(&[
+        "mode",
+        "event",
+        "peak groups (transient)",
+        "group creations",
+        "table overflows",
+    ]);
+    let rows: [(&str, bool, bool, Event); 5] = [
+        ("distributed WCMP (native)", false, false, Event::Drain),
+        ("native + dedup heuristic", false, true, Event::Drain),
+        ("native + dedup heuristic", false, true, Event::PowerOff),
+        ("Route Attribute RPA", true, false, Event::Drain),
+        ("Route Attribute RPA", true, false, Event::PowerOff),
+    ];
+    for (label, rpa, dedup, event) in rows {
+        let stats = run(rpa, dedup, event, 34);
+        table.row(&[
+            label.into(),
+            match event {
+                Event::Drain => "drain".into(),
+                Event::PowerOff => "power-off".into(),
+            },
+            stats.max_groups.to_string(),
+            stats.group_creations.to_string(),
+            stats.overflow_events.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Combinatorial bound from the paper: up to s^m per-UU states and 4^8 = 65536");
+    println!("possible groups at the DU.");
+    println!();
+    println!("Shapes to check:");
+    println!("  - native WCMP drain convergence peaks far above the table (overflows > 0);");
+    println!("    the Route Attribute RPA holds the group count constant — maintenance is");
+    println!("    exactly the attribute-churn case the RPA 'fundamentally eliminates' (§4.3);");
+    println!("  - the member-set dedup heuristic (the §3.4 'native approach', e.g. in-place");
+    println!("    adjacency replace) also absorbs weight-only churn, but it is best effort:");
+    println!("    per-prefix membership churn (whole EB fleet withdrawing) still explodes,");
+    println!("    with or without the heuristic — no scheme can share groups across");
+    println!("    genuinely different next-hop sets, which is why the paper calls such");
+    println!("    optimizations 'not guaranteed to provide protections in every convergence");
+    println!("    event'.");
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table 1**: network migration categories with operation
+//! frequency, change scope and typical duration.
+//!
+//! Frequencies are the paper's reported operational constants; scope and
+//! duration come from the category metadata the workload model uses.
+
+use centralium_bench::report::Table;
+use centralium_topology::MigrationCategory;
+
+fn main() {
+    let mut table = Table::new(&["Migration", "Operation Frequency", "Change Scope", "Typical Duration"]);
+    for cat in MigrationCategory::ALL {
+        let freq = match cat {
+            MigrationCategory::TrafficDrainForMaintenance => "Daily",
+            _ => "10+/year",
+        };
+        let scope = if cat.is_multi_dc() { "Multi-DC" } else { "Sub-DC" };
+        let days = cat.typical_duration_days();
+        let duration = if days < 1.0 {
+            "<1 hour".to_string()
+        } else if days >= 30.0 {
+            format!("~{:.1} months", days / 30.0)
+        } else {
+            format!("~{days:.0} days")
+        };
+        table.row(&[
+            format!("{} {}", cat.label(), cat.name()),
+            freq.to_string(),
+            scope.to_string(),
+            duration,
+        ]);
+    }
+    println!("Table 1: Network Migration Categories");
+    println!("{}", table.render());
+}

@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # centralium-bench
+//!
+//! Shared experiment infrastructure for regenerating every table and figure
+//! of the Centralium paper's evaluation (§6), plus the §3 pathology
+//! scenarios and the §5.3 interoperability ablations.
+//!
+//! * [`scenarios`] — purpose-built topologies: the Figure 5 EB/UU/DU
+//!   explosion rig, the Figure 9 dissemination-loop sixpack, the Figure 10
+//!   sequencing rig, and converged standard fabrics;
+//! * [`stats`] — percentiles and CDF rendering for the measurement bins;
+//! * [`report`] — plain-text table/series printers shared by the `bin/`
+//!   regenerators, one binary per paper artifact (see DESIGN.md's index).
+
+pub mod report;
+pub mod scenarios;
+pub mod stats;

@@ -1,0 +1,232 @@
+//! BGP path attributes.
+//!
+//! Only the attributes the paper's decision process and RPAs actually consume
+//! are modeled — AS-path, origin, local-pref, MED, standard communities and
+//! the link-bandwidth extended community [draft-ietf-idr-link-bandwidth] used
+//! for distributed WCMP (§2 "Traffic Distribution").
+
+use centralium_topology::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Route origin code, in preference order IGP < EGP < Incomplete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub enum Origin {
+    /// Network-statement style origination (most preferred).
+    #[default]
+    Igp,
+    /// Learned via EGP (historic).
+    Egp,
+    /// Redistributed (least preferred).
+    Incomplete,
+}
+
+/// A standard 32-bit BGP community value.
+///
+/// The fabric attaches a designated community to every prefix at its point of
+/// origin (§4.4), e.g. `BACKBONE_DEFAULT_ROUTE` on default routes originated
+/// by the backbone; RPA destinations are matched against these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Render as the conventional `asn:value` form.
+    pub fn as_pair(&self) -> (u16, u16) {
+        ((self.0 >> 16) as u16, (self.0 & 0xFFFF) as u16)
+    }
+
+    /// Build from the conventional `asn:value` pair.
+    pub const fn from_pair(hi: u16, lo: u16) -> Self {
+        Community(((hi as u32) << 16) | lo as u32)
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (hi, lo) = self.as_pair();
+        write!(f, "{hi}:{lo}")
+    }
+}
+
+/// Well-known communities used throughout the reproduction. These mirror the
+/// origination-tagging scheme of §4.4.
+pub mod well_known {
+    use super::Community;
+
+    /// Attached to default routes advertised downstream by the backbone.
+    pub const BACKBONE_DEFAULT_ROUTE: Community = Community::from_pair(65000, 1);
+    /// Attached to rack-level production prefixes at origination.
+    pub const RACK_PREFIX: Community = Community::from_pair(65000, 2);
+    /// Attached to anycast load-bearing prefixes (Differential Traffic
+    /// Distribution migrations apply special policy to these).
+    pub const ANYCAST_VIP: Community = Community::from_pair(65000, 3);
+    /// Marks a route advertised by a device in MAINTENANCE (drained) state.
+    pub const MAINTENANCE: Community = Community::from_pair(65000, 99);
+    /// Marks a route as learned from an upper layer. The fabric's base
+    /// import policies set/clear it and base export policies reject it
+    /// toward upper layers, yielding valley-free propagation — the
+    /// "deterministic origination and propagation policies" of §4.3.
+    pub const FROM_UPSTREAM: Community = Community::from_pair(65000, 101);
+}
+
+/// The attribute set carried by one route announcement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathAttributes {
+    /// AS-path, nearest AS first. Plain sequence (no sets/confederations —
+    /// the fabric never produces them).
+    pub as_path: Vec<Asn>,
+    /// Origin code.
+    pub origin: Origin,
+    /// Local preference (higher wins). DC eBGP carries it fabric-internally.
+    pub local_pref: u32,
+    /// Multi-exit discriminator (lower wins), compared across all paths in
+    /// the DC as is common with `always-compare-med`.
+    pub med: u32,
+    /// Standard communities, kept sorted + deduped.
+    pub communities: Vec<Community>,
+    /// Link-bandwidth extended community in Gbps, if the advertising peer
+    /// attached one (drives distributed WCMP weight derivation).
+    pub link_bandwidth_gbps: Option<f64>,
+}
+
+impl Default for PathAttributes {
+    fn default() -> Self {
+        PathAttributes {
+            as_path: Vec::new(),
+            origin: Origin::Igp,
+            local_pref: Self::DEFAULT_LOCAL_PREF,
+            med: 0,
+            communities: Vec::new(),
+            link_bandwidth_gbps: None,
+        }
+    }
+}
+
+impl PathAttributes {
+    /// Default local preference when none is set by policy.
+    pub const DEFAULT_LOCAL_PREF: u32 = 100;
+
+    /// Attributes for a locally-originated route tagged with `communities`.
+    pub fn originated(communities: impl IntoIterator<Item = Community>) -> Self {
+        let mut attrs = PathAttributes::default();
+        for c in communities {
+            attrs.add_community(c);
+        }
+        attrs
+    }
+
+    /// AS-path length (the decision-process metric).
+    pub fn as_path_len(&self) -> usize {
+        self.as_path.len()
+    }
+
+    /// First (nearest) AS on the path, i.e. the neighbor that sent it to us.
+    pub fn first_asn(&self) -> Option<Asn> {
+        self.as_path.first().copied()
+    }
+
+    /// Last AS on the path, i.e. the originator.
+    pub fn origin_asn(&self) -> Option<Asn> {
+        self.as_path.last().copied()
+    }
+
+    /// Whether `asn` appears anywhere on the path (loop check).
+    pub fn path_contains(&self, asn: Asn) -> bool {
+        self.as_path.contains(&asn)
+    }
+
+    /// Prepend `asn` `count` times (what a speaker does when exporting, or a
+    /// policy does to de-preference a path).
+    pub fn prepend(&mut self, asn: Asn, count: usize) {
+        for _ in 0..count {
+            self.as_path.insert(0, asn);
+        }
+    }
+
+    /// Add a community, keeping the list sorted and deduped.
+    pub fn add_community(&mut self, c: Community) {
+        if let Err(pos) = self.communities.binary_search(&c) {
+            self.communities.insert(pos, c);
+        }
+    }
+
+    /// Remove a community if present.
+    pub fn remove_community(&mut self, c: Community) {
+        if let Ok(pos) = self.communities.binary_search(&c) {
+            self.communities.remove(pos);
+        }
+    }
+
+    /// Whether the route carries community `c`.
+    pub fn has_community(&self, c: Community) -> bool {
+        self.communities.binary_search(&c).is_ok()
+    }
+
+    /// Render the AS-path as a space-separated ASN string, the form RPA
+    /// `as_path_regex` signatures match against (e.g. `"12345 64512 64513"`).
+    pub fn as_path_string(&self) -> String {
+        let mut out = String::new();
+        for (i, asn) in self.as_path.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&asn.0.to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn community_pair_roundtrip() {
+        let c = Community::from_pair(65000, 42);
+        assert_eq!(c.as_pair(), (65000, 42));
+        assert_eq!(c.to_string(), "65000:42");
+    }
+
+    #[test]
+    fn communities_stay_sorted_and_deduped() {
+        let mut a = PathAttributes::default();
+        a.add_community(Community(30));
+        a.add_community(Community(10));
+        a.add_community(Community(20));
+        a.add_community(Community(10));
+        assert_eq!(a.communities, vec![Community(10), Community(20), Community(30)]);
+        a.remove_community(Community(20));
+        assert_eq!(a.communities, vec![Community(10), Community(30)]);
+        assert!(a.has_community(Community(10)));
+        assert!(!a.has_community(Community(20)));
+    }
+
+    #[test]
+    fn prepend_builds_nearest_first_path() {
+        let mut a = PathAttributes::default();
+        a.prepend(Asn(3), 1); // originator exports
+        a.prepend(Asn(2), 1); // middle hop exports
+        a.prepend(Asn(1), 2); // near hop pads twice
+        assert_eq!(a.as_path, vec![Asn(1), Asn(1), Asn(2), Asn(3)]);
+        assert_eq!(a.first_asn(), Some(Asn(1)));
+        assert_eq!(a.origin_asn(), Some(Asn(3)));
+        assert_eq!(a.as_path_len(), 4);
+        assert!(a.path_contains(Asn(2)));
+        assert!(!a.path_contains(Asn(9)));
+        assert_eq!(a.as_path_string(), "1 1 2 3");
+    }
+
+    #[test]
+    fn origin_preference_order() {
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+    }
+
+    #[test]
+    fn originated_routes_carry_communities() {
+        let a = PathAttributes::originated([well_known::BACKBONE_DEFAULT_ROUTE]);
+        assert!(a.has_community(well_known::BACKBONE_DEFAULT_ROUTE));
+        assert!(a.as_path.is_empty());
+        assert_eq!(a.local_pref, PathAttributes::DEFAULT_LOCAL_PREF);
+    }
+}

@@ -1,0 +1,1027 @@
+//! The BGP speaker: RIBs + decision process + advertisement, with RPA hooks.
+//!
+//! [`BgpDaemon`] is a pure state machine. Every entry point returns the
+//! updates the speaker wants transmitted, as `(session, UpdateMessage)`
+//! pairs; the caller owns delivery (and, in the emulator, delivery *timing* —
+//! which is what creates the paper's transitory states).
+
+use crate::attrs::PathAttributes;
+use crate::decision::{best_route, compare_routes, multipath_set};
+use crate::hooks::{AdvertiseChoice, RibPolicy};
+use crate::msg::UpdateMessage;
+use crate::policy::{Policy, PolicyVerdict};
+use crate::rib::{AdjRibIn, LocRibEntry, Route};
+use crate::types::{PeerId, Prefix};
+use crate::wcmp;
+use centralium_topology::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Speaker-level configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DaemonConfig {
+    /// Own autonomous system.
+    pub asn: Asn,
+    /// Select all equally-preferred paths (ECMP) rather than a single best.
+    pub multipath: bool,
+    /// Derive WCMP weights from received link-bandwidth communities.
+    pub wcmp: bool,
+    /// Attach a link-bandwidth community on export, advertising the
+    /// effective capacity behind the selected paths (distributed WCMP).
+    pub wcmp_advertise: bool,
+    /// Apply the §5.3.1 rule: when a Path Selection RPA chose the multipath
+    /// set, advertise the *least favorable* selected route. Disabling this is
+    /// the E10 ablation that re-creates the routing loop of Figure 9.
+    pub least_favorable_advertisement: bool,
+}
+
+impl DaemonConfig {
+    /// The standard fabric configuration: multipath on, WCMP on, safe
+    /// advertisement rule on.
+    pub fn fabric(asn: Asn) -> Self {
+        DaemonConfig {
+            asn,
+            multipath: true,
+            wcmp: true,
+            wcmp_advertise: false,
+            least_favorable_advertisement: true,
+        }
+    }
+}
+
+/// Per-session configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PeerConfig {
+    /// Session id.
+    pub peer: PeerId,
+    /// Remote AS (for documentation/validation; loop checks use AS-path).
+    pub remote_asn: Asn,
+    /// Import policy applied to routes received on this session.
+    pub import: Policy,
+    /// Export policy applied to routes advertised on this session.
+    pub export: Policy,
+    /// Physical capacity of the underlying link, in Gbps.
+    pub link_capacity_gbps: f64,
+}
+
+impl PeerConfig {
+    /// Accept-all policies with the given capacity.
+    pub fn open(peer: PeerId, remote_asn: Asn, link_capacity_gbps: f64) -> Self {
+        PeerConfig {
+            peer,
+            remote_asn,
+            import: Policy::accept_all(),
+            export: Policy::accept_all(),
+            link_capacity_gbps,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PeerState {
+    cfg: PeerConfig,
+    established: bool,
+}
+
+/// One FIB entry produced by the daemon for the forwarding plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FibEntry {
+    /// Destination.
+    pub prefix: Prefix,
+    /// Next-hop sessions with relative weights. Sorted by session id so that
+    /// identical groups compare equal (next-hop-group dedup relies on this).
+    pub nexthops: Vec<(PeerId, u32)>,
+    /// True when the entry is retained only because of
+    /// `KeepFibWarmIfMnhViolated` (withdrawn from peers).
+    pub warm: bool,
+}
+
+/// A BGP speaker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BgpDaemon {
+    cfg: DaemonConfig,
+    peers: BTreeMap<PeerId, PeerState>,
+    adj_rib_in: AdjRibIn,
+    originated: BTreeMap<Prefix, PathAttributes>,
+    loc_rib: BTreeMap<Prefix, LocRibEntry>,
+    adj_rib_out: BTreeMap<(PeerId, Prefix), PathAttributes>,
+}
+
+impl BgpDaemon {
+    /// Create a speaker with no peers and nothing originated.
+    pub fn new(cfg: DaemonConfig) -> Self {
+        BgpDaemon {
+            cfg,
+            peers: BTreeMap::new(),
+            adj_rib_in: AdjRibIn::default(),
+            originated: BTreeMap::new(),
+            loc_rib: BTreeMap::new(),
+            adj_rib_out: BTreeMap::new(),
+        }
+    }
+
+    /// Own ASN.
+    pub fn asn(&self) -> Asn {
+        self.cfg.asn
+    }
+
+    /// Mutable access to the speaker config (used by ablations).
+    pub fn config_mut(&mut self) -> &mut DaemonConfig {
+        &mut self.cfg
+    }
+
+    /// Register a session (initially down).
+    pub fn add_peer(&mut self, cfg: PeerConfig) {
+        self.peers.insert(cfg.peer, PeerState { cfg, established: false });
+    }
+
+    /// Remove a session entirely, flushing its routes. Returns updates.
+    pub fn remove_peer(&mut self, peer: PeerId, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+        let out = self.peer_down(peer, policy);
+        self.peers.remove(&peer);
+        let keys: Vec<(PeerId, Prefix)> = self
+            .adj_rib_out
+            .keys()
+            .filter(|(p, _)| *p == peer)
+            .copied()
+            .collect();
+        for k in keys {
+            self.adj_rib_out.remove(&k);
+        }
+        out
+    }
+
+    /// Replace the export policy of a session (used e.g. to drain a device
+    /// by making its advertisements less preferred). Callers should follow
+    /// with [`reevaluate_all`](Self::reevaluate_all) to push the change out.
+    pub fn set_export_policy(&mut self, peer: PeerId, policy: Policy) -> bool {
+        match self.peers.get_mut(&peer) {
+            Some(state) => {
+                state.cfg.export = policy;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replace the import policy of a session. Takes effect for routes
+    /// received after the change (real BGP would need a route refresh).
+    pub fn set_import_policy(&mut self, peer: PeerId, policy: Policy) -> bool {
+        match self.peers.get_mut(&peer) {
+            Some(state) => {
+                state.cfg.import = policy;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The import policy configured on a session.
+    pub fn import_policy(&self, peer: PeerId) -> Option<&Policy> {
+        self.peers.get(&peer).map(|s| &s.cfg.import)
+    }
+
+    /// Prefixes currently originated by this speaker.
+    pub fn originated_prefixes(&self) -> Vec<Prefix> {
+        self.originated.keys().copied().collect()
+    }
+
+    /// Attributes a prefix is originated with, if originated here.
+    pub fn origination(&self, prefix: Prefix) -> Option<&PathAttributes> {
+        self.originated.get(&prefix)
+    }
+
+    /// Configured sessions.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Whether a session is established.
+    pub fn is_established(&self, peer: PeerId) -> bool {
+        self.peers.get(&peer).map(|p| p.established).unwrap_or(false)
+    }
+
+    /// Number of established sessions.
+    pub fn established_count(&self) -> usize {
+        self.peers.values().filter(|p| p.established).count()
+    }
+
+    // ---- event entry points -------------------------------------------------
+
+    /// Session reached Established: advertise the current table to it.
+    pub fn peer_up(&mut self, peer: PeerId, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        if state.established {
+            return Vec::new();
+        }
+        state.established = true;
+        // Advertise every Loc-RIB advertised route to the new peer.
+        let prefixes: Vec<Prefix> = self.loc_rib.keys().copied().collect();
+        let mut out = UpdateMessage::default();
+        for prefix in prefixes {
+            if let Some(attrs) = self.desired_advertisement(peer, prefix, policy) {
+                self.adj_rib_out.insert((peer, prefix), attrs.clone());
+                out.merge(UpdateMessage::announce(prefix, attrs));
+            }
+        }
+        if out.is_empty() {
+            Vec::new()
+        } else {
+            vec![(peer, out)]
+        }
+    }
+
+    /// Session dropped: flush its routes and re-run decisions.
+    pub fn peer_down(&mut self, peer: PeerId, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return Vec::new();
+        };
+        if !state.established {
+            return Vec::new();
+        }
+        state.established = false;
+        let affected = self.adj_rib_in.flush_peer(peer);
+        // Drop pending out-state toward the dead session.
+        let keys: Vec<(PeerId, Prefix)> = self
+            .adj_rib_out
+            .keys()
+            .filter(|(p, _)| *p == peer)
+            .copied()
+            .collect();
+        for k in keys {
+            self.adj_rib_out.remove(&k);
+        }
+        self.run_decisions(affected, policy)
+    }
+
+    /// Originate (or re-originate with new attributes) a local route.
+    pub fn originate(
+        &mut self,
+        prefix: Prefix,
+        mut attrs: PathAttributes,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
+        if attrs.link_bandwidth_gbps.map(|b| !b.is_finite()).unwrap_or(false) {
+            attrs.link_bandwidth_gbps = None;
+        }
+        self.originated.insert(prefix, attrs);
+        self.run_decisions(vec![prefix], policy)
+    }
+
+    /// Stop originating a local route.
+    pub fn withdraw_origin(&mut self, prefix: Prefix, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+        if self.originated.remove(&prefix).is_none() {
+            return Vec::new();
+        }
+        self.run_decisions(vec![prefix], policy)
+    }
+
+    /// Process a received UPDATE.
+    pub fn handle_update(
+        &mut self,
+        from: PeerId,
+        update: UpdateMessage,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
+        let Some(state) = self.peers.get(&from) else {
+            return Vec::new();
+        };
+        if !state.established {
+            return Vec::new();
+        }
+        let import = state.cfg.import.clone();
+        let mut affected = Vec::new();
+        for prefix in update.withdrawn {
+            if self.adj_rib_in.remove(from, prefix) {
+                affected.push(prefix);
+            }
+        }
+        for (prefix, attrs) in update.announced {
+            // RFC 4271 loop prevention: discard routes carrying our ASN.
+            // The announcement still implicitly withdraws whatever this
+            // session previously advertised for the prefix — skipping that
+            // leaves stale "ghost" routes that can form stable cycles.
+            if attrs.path_contains(self.cfg.asn) {
+                if self.adj_rib_in.remove(from, prefix) {
+                    affected.push(prefix);
+                }
+                continue;
+            }
+            match import.apply(&prefix, &attrs) {
+                PolicyVerdict::Accept(mut attrs) => {
+                    // A non-finite link-bandwidth value would poison both
+                    // weight derivation and the Adj-RIB-Out equality diff
+                    // (NaN != NaN ⇒ perpetual re-announcement churn).
+                    if attrs.link_bandwidth_gbps.map(|b| !b.is_finite()).unwrap_or(false) {
+                        attrs.link_bandwidth_gbps = None;
+                    }
+                    let route = Route::learned(prefix, attrs, from);
+                    // Route Filter RPA, ingress direction (Figure 6).
+                    if policy.permit_ingress(from, prefix, &route) {
+                        self.adj_rib_in.insert(route);
+                        affected.push(prefix);
+                    } else if self.adj_rib_in.remove(from, prefix) {
+                        affected.push(prefix);
+                    }
+                }
+                PolicyVerdict::Reject => {
+                    // Treat as withdraw if we previously held it.
+                    if self.adj_rib_in.remove(from, prefix) {
+                        affected.push(prefix);
+                    }
+                }
+            }
+        }
+        self.run_decisions(affected, policy)
+    }
+
+    /// Re-run the decision process for every known prefix — called when an
+    /// RPA is installed or removed ("BGP can independently discover and
+    /// process new viable routes by locally re-applying the pre-installed
+    /// RPAs", §4.1).
+    pub fn reevaluate_all(&mut self, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+        // Re-apply the ingress Route Filter hook to routes already admitted:
+        // a freshly deployed filter must evict now-disallowed RIB entries.
+        // Eviction is deliberate and permanent — holding filtered routes is
+        // exactly the resource exhaustion Route Filter RPAs exist to prevent
+        // (§4.3). As in real BGP, re-admitting them after the filter is
+        // lifted requires the peer to re-advertise (route refresh) or the
+        // session to bounce.
+        let purged = self.adj_rib_in.purge(|r| {
+            match r.learned_from {
+                Some(peer) => policy.permit_ingress(peer, r.prefix, r),
+                None => true,
+            }
+        });
+        let mut prefixes: BTreeSet<Prefix> = purged.into_iter().collect();
+        prefixes.extend(self.adj_rib_in.prefixes());
+        prefixes.extend(self.originated.keys().copied());
+        prefixes.extend(self.loc_rib.keys().copied());
+        self.run_decisions(prefixes.into_iter().collect(), policy)
+    }
+
+    // ---- inspection ----------------------------------------------------------
+
+    /// Current Loc-RIB entry for a prefix.
+    pub fn loc_rib_entry(&self, prefix: Prefix) -> Option<&LocRibEntry> {
+        self.loc_rib.get(&prefix)
+    }
+
+    /// All Loc-RIB prefixes.
+    pub fn loc_rib_prefixes(&self) -> Vec<Prefix> {
+        self.loc_rib.keys().copied().collect()
+    }
+
+    /// Adj-RIB-In size (for controller health checks).
+    pub fn adj_rib_in_len(&self) -> usize {
+        self.adj_rib_in.len()
+    }
+
+    /// Routes currently held for `prefix` across sessions.
+    pub fn rib_in_routes(&self, prefix: Prefix) -> Vec<&Route> {
+        self.adj_rib_in.routes_for(prefix)
+    }
+
+    /// What we last advertised to `peer` for `prefix`.
+    pub fn advertised_to(&self, peer: PeerId, prefix: Prefix) -> Option<&PathAttributes> {
+        self.adj_rib_out.get(&(peer, prefix))
+    }
+
+    /// Everything currently advertised to `peer`, as one UPDATE — the reply
+    /// to a route-refresh request (RFC 2918's role): the neighbor lost or
+    /// filtered state it now wants back.
+    pub fn full_advertisement(&self, peer: PeerId) -> UpdateMessage {
+        let mut out = UpdateMessage::default();
+        for ((p, prefix), attrs) in &self.adj_rib_out {
+            if *p == peer {
+                out.merge(UpdateMessage::announce(*prefix, attrs.clone()));
+            }
+        }
+        out
+    }
+
+    /// Snapshot the FIB: one entry per forwarding-installed prefix.
+    pub fn fib(&self) -> Vec<FibEntry> {
+        self.loc_rib
+            .iter()
+            .filter_map(|(prefix, entry)| {
+                let mut nexthops: Vec<(PeerId, u32)> = entry
+                    .selected
+                    .iter()
+                    .zip(&entry.weights)
+                    .filter_map(|(r, w)| r.learned_from.map(|p| (p, *w)))
+                    .collect();
+                if nexthops.is_empty() {
+                    // Locally-originated only: nothing to forward upstream.
+                    return None;
+                }
+                nexthops.sort_unstable_by_key(|(p, _)| *p);
+                Some(FibEntry { prefix: *prefix, nexthops, warm: entry.fib_warm_only })
+            })
+            .collect()
+    }
+
+    // ---- decision process ----------------------------------------------------
+
+    fn candidates(&self, prefix: Prefix) -> Vec<Route> {
+        let mut out: Vec<Route> = self
+            .adj_rib_in
+            .routes_for(prefix)
+            .into_iter()
+            .filter(|r| {
+                r.learned_from
+                    .map(|p| self.is_established(p))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        if let Some(attrs) = self.originated.get(&prefix) {
+            out.push(Route::local(prefix, attrs.clone()));
+        }
+        out
+    }
+
+    /// Effective capacity (Gbps) behind a Loc-RIB entry: the sum over
+    /// selected learned routes of min(link capacity, advertised bandwidth).
+    /// Used when `wcmp_advertise` relays capacity downstream (§3.4's
+    /// distributed WCMP cascade). `None` when only locally-originated routes
+    /// are selected — an originator's capacity is not link-bound, so no
+    /// bandwidth community is attached and receivers fall back to their own
+    /// link capacities.
+    fn effective_capacity(&self, entry: &LocRibEntry) -> Option<f64> {
+        let caps: Vec<f64> = entry
+            .selected
+            .iter()
+            .filter_map(|r| {
+                let peer = r.learned_from?;
+                let link = self.peers.get(&peer)?.cfg.link_capacity_gbps;
+                Some(match r.attrs.link_bandwidth_gbps {
+                    Some(bw) => bw.min(link),
+                    None => link,
+                })
+            })
+            .collect();
+        if caps.is_empty() {
+            None
+        } else {
+            Some(caps.iter().sum())
+        }
+    }
+
+    fn run_decisions(&mut self, prefixes: Vec<Prefix>, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+        let mut unique: BTreeSet<Prefix> = prefixes.into_iter().collect();
+        let mut per_peer: BTreeMap<PeerId, UpdateMessage> = BTreeMap::new();
+        for prefix in std::mem::take(&mut unique) {
+            self.decide_prefix(prefix, policy, &mut per_peer);
+        }
+        per_peer.into_iter().filter(|(_, u)| !u.is_empty()).collect()
+    }
+
+    fn decide_prefix(
+        &mut self,
+        prefix: Prefix,
+        policy: &dyn RibPolicy,
+        per_peer: &mut BTreeMap<PeerId, UpdateMessage>,
+    ) {
+        let candidates = self.candidates(prefix);
+        let previous = self.loc_rib.get(&prefix).cloned();
+
+        let new_entry: Option<LocRibEntry> = if candidates.is_empty() {
+            None
+        } else if let Some(sel) = policy.select_paths(prefix, &candidates) {
+            // Path Selection RPA outcome.
+            if sel.selected.is_empty() {
+                if sel.keep_fib_warm {
+                    previous.clone().map(|mut e| {
+                        e.fib_warm_only = true;
+                        e.advertised = None;
+                        e
+                    })
+                } else {
+                    None
+                }
+            } else {
+                let selected: Vec<Route> =
+                    sel.selected.iter().map(|&i| candidates[i].clone()).collect();
+                let weights = self.weights_for(prefix, &selected, policy);
+                let advertised = match sel.advertise {
+                    AdvertiseChoice::Withdraw => None,
+                    AdvertiseChoice::NativeBest => best_route(&selected).cloned(),
+                    AdvertiseChoice::LeastFavorable => {
+                        if self.cfg.least_favorable_advertisement {
+                            selected.iter().min_by(|a, b| compare_routes(a, b)).cloned()
+                        } else {
+                            best_route(&selected).cloned()
+                        }
+                    }
+                };
+                Some(LocRibEntry { selected, weights, advertised, fib_warm_only: false })
+            }
+        } else {
+            // Native selection.
+            let indices = if self.cfg.multipath {
+                multipath_set(&candidates)
+            } else {
+                // Select the best route by index directly (comparing routes
+                // for equality would mis-handle attribute payloads that are
+                // not reflexively equal).
+                (0..candidates.len())
+                    .max_by(|&i, &j| compare_routes(&candidates[i], &candidates[j]))
+                    .into_iter()
+                    .collect()
+            };
+            let selected: Vec<Route> = indices.iter().map(|&i| candidates[i].clone()).collect();
+            // BgpNativeMinNextHop guard (§4.3): count learned next-hops.
+            let nexthop_count = selected.iter().filter(|r| r.learned_from.is_some()).count();
+            let violated = match policy.native_min_nexthop(prefix) {
+                Some((min, _)) if nexthop_count > 0 => nexthop_count < min,
+                _ => false,
+            };
+            if violated {
+                let keep_warm = policy
+                    .native_min_nexthop(prefix)
+                    .map(|(_, k)| k)
+                    .unwrap_or(false);
+                if keep_warm {
+                    // "Keep the forwarding entries of this route so in-flight
+                    // packets are not dropped" (§4.3): preserve the previous
+                    // FIB state — which still spreads over the full next-hop
+                    // set, drained members included — and advertise nothing.
+                    // Next-hops whose sessions have since gone down are
+                    // pruned: forwarding onto a dead session is a black-hole,
+                    // not warmth.
+                    let prior = previous.clone().unwrap_or_else(|| {
+                        let weights = self.weights_for(prefix, &selected, policy);
+                        LocRibEntry {
+                            selected: selected.clone(),
+                            weights,
+                            advertised: None,
+                            fib_warm_only: true,
+                        }
+                    });
+                    let (kept, weights): (Vec<Route>, Vec<u32>) = prior
+                        .selected
+                        .into_iter()
+                        .zip(prior.weights)
+                        .filter(|(r, _)| {
+                            r.learned_from.map(|p| self.is_established(p)).unwrap_or(true)
+                        })
+                        .unzip();
+                    if kept.is_empty() {
+                        None
+                    } else {
+                        Some(LocRibEntry {
+                            selected: kept,
+                            weights,
+                            advertised: None,
+                            fib_warm_only: true,
+                        })
+                    }
+                } else {
+                    None
+                }
+            } else if selected.is_empty() {
+                None
+            } else {
+                let weights = self.weights_for(prefix, &selected, policy);
+                let advertised = best_route(&selected).cloned();
+                Some(LocRibEntry { selected, weights, advertised, fib_warm_only: false })
+            }
+        };
+
+        match &new_entry {
+            Some(e) => {
+                self.loc_rib.insert(prefix, e.clone());
+            }
+            None => {
+                self.loc_rib.remove(&prefix);
+            }
+        }
+
+        // Propagate advertisement changes to every established session.
+        let peers: Vec<PeerId> = self
+            .peers
+            .iter()
+            .filter(|(_, s)| s.established)
+            .map(|(p, _)| *p)
+            .collect();
+        for peer in peers {
+            let desired = self.desired_advertisement(peer, prefix, policy);
+            let current = self.adj_rib_out.get(&(peer, prefix)).cloned();
+            match (current, desired) {
+                (None, None) => {}
+                (Some(_), None) => {
+                    self.adj_rib_out.remove(&(peer, prefix));
+                    per_peer.entry(peer).or_default().merge(UpdateMessage::withdraw(prefix));
+                }
+                (cur, Some(want)) => {
+                    if cur.as_ref() != Some(&want) {
+                        self.adj_rib_out.insert((peer, prefix), want.clone());
+                        per_peer
+                            .entry(peer)
+                            .or_default()
+                            .merge(UpdateMessage::announce(prefix, want));
+                    }
+                }
+            }
+        }
+    }
+
+    fn weights_for(&self, prefix: Prefix, selected: &[Route], policy: &dyn RibPolicy) -> Vec<u32> {
+        if let Some(w) = policy.assign_weights(prefix, selected) {
+            debug_assert_eq!(w.len(), selected.len(), "hook weights must be parallel");
+            if w.len() == selected.len() {
+                return w;
+            }
+        }
+        if self.cfg.wcmp {
+            wcmp::derive_weights(selected)
+        } else {
+            vec![1; selected.len()]
+        }
+    }
+
+    /// The attributes we want advertised to `peer` for `prefix`, after export
+    /// transformation, export policy, split-horizon and the egress Route
+    /// Filter hook — or `None` to withdraw/suppress.
+    ///
+    /// Note: this consults the *installed* Loc-RIB entry, so it must be
+    /// called after `loc_rib` is updated.
+    fn desired_advertisement(
+        &self,
+        peer: PeerId,
+        prefix: Prefix,
+        policy: &dyn RibPolicy,
+    ) -> Option<PathAttributes> {
+        let entry = self.loc_rib.get(&prefix)?;
+        let route = entry.advertised.as_ref()?;
+        // Split-horizon: never advertise a route back over the session it was
+        // learned from (§5.3.1).
+        if route.learned_from == Some(peer) {
+            return None;
+        }
+        // Route Filter RPA, egress direction (Figure 6).
+        if !policy.permit_egress(peer, prefix, route) {
+            return None;
+        }
+        let peer_state = self.peers.get(&peer)?;
+        // Export transformation: prepend own ASN.
+        let mut attrs = route.attrs.clone();
+        attrs.prepend(self.cfg.asn, 1);
+        if self.cfg.wcmp_advertise {
+            attrs.link_bandwidth_gbps = self.effective_capacity(entry);
+        }
+        match peer_state.cfg.export.apply(&prefix, &attrs) {
+            PolicyVerdict::Accept(attrs) => Some(attrs),
+            PolicyVerdict::Reject => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NativePolicy;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn daemon(asn: u32) -> BgpDaemon {
+        BgpDaemon::new(DaemonConfig::fabric(Asn(asn)))
+    }
+
+    fn connect(d: &mut BgpDaemon, peer: u64, remote_asn: u32) -> Vec<(PeerId, UpdateMessage)> {
+        d.add_peer(PeerConfig::open(PeerId(peer), Asn(remote_asn), 100.0));
+        d.peer_up(PeerId(peer), &NativePolicy)
+    }
+
+    fn announce(peer: u64, prefix: &str, path: &[u32]) -> UpdateMessage {
+        let mut attrs = PathAttributes::default();
+        for asn in path.iter().rev() {
+            attrs.prepend(Asn(*asn), 1);
+        }
+        let _ = peer;
+        UpdateMessage::announce(p(prefix), attrs)
+    }
+
+    #[test]
+    fn origination_advertises_to_established_peers() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        let out = d.originate(p("10.0.0.0/8"), PathAttributes::default(), &NativePolicy);
+        assert_eq!(out.len(), 2);
+        for (_, upd) in &out {
+            assert_eq!(upd.announced.len(), 1);
+            // Exported with our ASN prepended.
+            assert_eq!(upd.announced[0].1.as_path, vec![Asn(1)]);
+        }
+    }
+
+    #[test]
+    fn peer_up_receives_existing_table() {
+        let mut d = daemon(1);
+        d.originate(p("10.0.0.0/8"), PathAttributes::default(), &NativePolicy);
+        let out = connect(&mut d, 10, 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, PeerId(10));
+        assert_eq!(out[0].1.announced.len(), 1);
+    }
+
+    #[test]
+    fn learned_route_installs_and_propagates() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 5]), &NativePolicy);
+        // Propagated to peer 20 only (split horizon suppresses peer 10).
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, PeerId(20));
+        assert_eq!(out[0].1.announced[0].1.as_path, vec![Asn(1), Asn(2), Asn(5)]);
+        let entry = d.loc_rib_entry(p("0.0.0.0/0")).unwrap();
+        assert_eq!(entry.selected.len(), 1);
+        assert_eq!(d.fib().len(), 1);
+    }
+
+    #[test]
+    fn loop_prevention_discards_own_asn() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 1, 5]), &NativePolicy);
+        assert!(out.is_empty());
+        assert!(d.loc_rib_entry(p("0.0.0.0/0")).is_none());
+    }
+
+    #[test]
+    fn multipath_groups_equal_paths_in_fib() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        let fib = d.fib();
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib[0].nexthops.len(), 2);
+        assert_eq!(fib[0].nexthops, vec![(PeerId(10), 1), (PeerId(20), 1)]);
+    }
+
+    #[test]
+    fn shorter_path_displaces_ecmp_group_first_router_problem() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        connect(&mut d, 30, 4);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 8, 9]), &NativePolicy);
+        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 8, 9]), &NativePolicy);
+        assert_eq!(d.fib()[0].nexthops.len(), 2);
+        // The "FAv2" path: one hop shorter. Native BGP funnels onto it.
+        d.handle_update(PeerId(30), announce(30, "0.0.0.0/0", &[4, 9]), &NativePolicy);
+        let fib = d.fib();
+        assert_eq!(fib[0].nexthops, vec![(PeerId(30), 1)]);
+    }
+
+    #[test]
+    fn withdraw_removes_and_propagates() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        let out = d.handle_update(PeerId(10), UpdateMessage::withdraw(p("0.0.0.0/0")), &NativePolicy);
+        assert!(d.loc_rib_entry(p("0.0.0.0/0")).is_none());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, PeerId(20));
+        assert_eq!(out[0].1.withdrawn, vec![p("0.0.0.0/0")]);
+    }
+
+    #[test]
+    fn peer_down_flushes_and_reconverges() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        connect(&mut d, 30, 4);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        assert_eq!(d.fib()[0].nexthops.len(), 2);
+        let out = d.peer_down(PeerId(10), &NativePolicy);
+        // Last router standing: all traffic now on peer 20.
+        assert_eq!(d.fib()[0].nexthops, vec![(PeerId(20), 1)]);
+        // Peer 30 gets a fresh announcement only if the advertised attrs
+        // changed; peer 10 is down and must receive nothing.
+        assert!(out.iter().all(|(p, _)| *p != PeerId(10)));
+    }
+
+    #[test]
+    fn best_path_changes_trigger_readvertisement() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        connect(&mut d, 30, 4);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 8, 9]), &NativePolicy);
+        // Shorter path arrives; best changes; peers see new attrs.
+        let out = d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        let to30 = out.iter().find(|(p, _)| *p == PeerId(30)).unwrap();
+        assert_eq!(to30.1.announced[0].1.as_path, vec![Asn(1), Asn(3), Asn(9)]);
+    }
+
+    #[test]
+    fn import_policy_reject_acts_as_withdraw() {
+        let mut d = daemon(1);
+        d.add_peer(PeerConfig {
+            peer: PeerId(10),
+            remote_asn: Asn(2),
+            import: Policy::reject_all(),
+            export: Policy::accept_all(),
+            link_capacity_gbps: 100.0,
+        });
+        d.peer_up(PeerId(10), &NativePolicy);
+        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        assert!(out.is_empty());
+        assert!(d.loc_rib_entry(p("0.0.0.0/0")).is_none());
+    }
+
+    #[test]
+    fn export_policy_reject_suppresses_advertisement() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        d.add_peer(PeerConfig {
+            peer: PeerId(20),
+            remote_asn: Asn(3),
+            import: Policy::accept_all(),
+            export: Policy::reject_all(),
+            link_capacity_gbps: 100.0,
+        });
+        d.peer_up(PeerId(20), &NativePolicy);
+        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        assert!(out.is_empty(), "export reject-all suppresses all advertisements");
+    }
+
+    #[test]
+    fn wcmp_weights_follow_link_bandwidth() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        let mut a1 = PathAttributes::default();
+        a1.prepend(Asn(2), 1);
+        a1.link_bandwidth_gbps = Some(100.0);
+        let mut a2 = PathAttributes::default();
+        a2.prepend(Asn(3), 1);
+        a2.link_bandwidth_gbps = Some(300.0);
+        d.handle_update(PeerId(10), UpdateMessage::announce(p("0.0.0.0/0"), a1), &NativePolicy);
+        d.handle_update(PeerId(20), UpdateMessage::announce(p("0.0.0.0/0"), a2), &NativePolicy);
+        let fib = d.fib();
+        assert_eq!(fib[0].nexthops, vec![(PeerId(10), 1), (PeerId(20), 3)]);
+    }
+
+    #[test]
+    fn wcmp_advertise_attaches_effective_capacity() {
+        let mut d = daemon(1);
+        d.config_mut().wcmp_advertise = true;
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        connect(&mut d, 30, 4);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        let out = d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        let to30 = out.iter().find(|(pp, _)| *pp == PeerId(30)).unwrap();
+        // Two selected 100G paths => 200G effective capacity advertised.
+        assert_eq!(to30.1.announced[0].1.link_bandwidth_gbps, Some(200.0));
+    }
+
+    #[test]
+    fn duplicate_announcement_is_silent() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        assert!(out.is_empty(), "identical re-announcement must not churn");
+    }
+
+    #[test]
+    fn remove_peer_withdraws_learned_routes() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        let out = d.remove_peer(PeerId(10), &NativePolicy);
+        assert!(d.loc_rib_entry(p("0.0.0.0/0")).is_none());
+        let to20 = out.iter().find(|(pp, _)| *pp == PeerId(20)).unwrap();
+        assert_eq!(to20.1.withdrawn, vec![p("0.0.0.0/0")]);
+        assert!(d.peer_ids().iter().all(|pp| *pp != PeerId(10)));
+    }
+
+    #[test]
+    fn update_from_unknown_or_down_peer_ignored() {
+        let mut d = daemon(1);
+        assert!(d
+            .handle_update(PeerId(99), announce(99, "0.0.0.0/0", &[2]), &NativePolicy)
+            .is_empty());
+        d.add_peer(PeerConfig::open(PeerId(10), Asn(2), 100.0));
+        // Not yet up.
+        assert!(d
+            .handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2]), &NativePolicy)
+            .is_empty());
+    }
+
+    #[test]
+    fn withdraw_origin_propagates() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        d.originate(p("10.0.0.0/8"), PathAttributes::default(), &NativePolicy);
+        let out = d.withdraw_origin(p("10.0.0.0/8"), &NativePolicy);
+        assert_eq!(out[0].1.withdrawn, vec![p("10.0.0.0/8")]);
+        assert!(d.loc_rib_entry(p("10.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn native_guard_keep_warm_preserves_previous_entry_and_recovers() {
+        struct Guard;
+        impl crate::hooks::RibPolicy for Guard {
+            fn native_min_nexthop(&self, _prefix: Prefix) -> Option<(usize, bool)> {
+                Some((2, true))
+            }
+        }
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        connect(&mut d, 30, 4);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &Guard);
+        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &Guard);
+        assert_eq!(d.fib()[0].nexthops.len(), 2);
+        // One next-hop withdraws: guard (min 2) trips → withdraw from peers
+        // but the FIB keeps the PREVIOUS two-path entry warm.
+        let out = d.handle_update(PeerId(10), UpdateMessage::withdraw(p("0.0.0.0/0")), &Guard);
+        let to30 = out.iter().find(|(pp, _)| *pp == PeerId(30)).unwrap();
+        assert_eq!(to30.1.withdrawn, vec![p("0.0.0.0/0")]);
+        let fib = d.fib();
+        assert!(fib[0].warm);
+        assert_eq!(fib[0].nexthops.len(), 2, "previous entry preserved");
+        // The next-hop returns: the guard un-trips and the route is
+        // re-advertised with a live (non-warm) entry.
+        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &Guard);
+        assert!(out.iter().any(|(pp, u)| *pp == PeerId(30) && !u.announced.is_empty()));
+        let fib = d.fib();
+        assert!(!fib[0].warm);
+        assert_eq!(fib[0].nexthops.len(), 2);
+    }
+
+    #[test]
+    fn keep_warm_prunes_next_hops_of_dead_sessions() {
+        struct Guard;
+        impl crate::hooks::RibPolicy for Guard {
+            fn native_min_nexthop(&self, _prefix: Prefix) -> Option<(usize, bool)> {
+                Some((2, true))
+            }
+        }
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &Guard);
+        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &Guard);
+        assert_eq!(d.fib()[0].nexthops.len(), 2);
+        // A session dies (not a graceful withdraw): the guard trips, and the
+        // warm entry must not keep pointing at the dead session.
+        d.peer_down(PeerId(10), &Guard);
+        let fib = d.fib();
+        assert!(fib[0].warm);
+        assert_eq!(fib[0].nexthops, vec![(PeerId(20), 1)], "dead session pruned");
+        // Removing the remaining session removes the entry entirely.
+        d.peer_down(PeerId(20), &Guard);
+        assert!(d.fib().is_empty());
+    }
+
+    #[test]
+    fn non_finite_link_bandwidth_is_sanitized() {
+        let mut d = daemon(1);
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        let mut attrs = PathAttributes::default();
+        attrs.prepend(Asn(2), 1);
+        attrs.link_bandwidth_gbps = Some(f64::NAN);
+        d.handle_update(
+            PeerId(10),
+            UpdateMessage::announce(p("0.0.0.0/0"), attrs.clone()),
+            &NativePolicy,
+        );
+        let stored = d.rib_in_routes(p("0.0.0.0/0"))[0];
+        assert_eq!(stored.attrs.link_bandwidth_gbps, None, "NaN stripped at ingestion");
+        // Identical re-announcement stays silent (no NaN != NaN churn).
+        let out =
+            d.handle_update(PeerId(10), UpdateMessage::announce(p("0.0.0.0/0"), attrs), &NativePolicy);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_path_mode_selects_one() {
+        let mut d = daemon(1);
+        d.config_mut().multipath = false;
+        connect(&mut d, 10, 2);
+        connect(&mut d, 20, 3);
+        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        assert_eq!(d.fib()[0].nexthops.len(), 1);
+    }
+
+}

@@ -1,0 +1,314 @@
+//! Classic BGP route policy: ordered match/action rules on import and export.
+//!
+//! This is the "base BGP policy" layer of the paper (§7.1): it tags prefixes
+//! with communities at origination, sets local-pref, pads AS-paths, etc. RPAs
+//! are deliberately a *separate* mechanism layered behind it (the paper's
+//! naive approaches — AS-path padding, minimum-ECMP knobs — are expressible
+//! here, so experiments can compare them against RPAs).
+
+use crate::attrs::{Community, PathAttributes};
+use crate::types::Prefix;
+use centralium_topology::Asn;
+use serde::{Deserialize, Serialize};
+
+/// Match criteria of a policy rule. All present criteria must match (AND).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatchExpr {
+    /// Match routes covered by this prefix (e.g. `10.0.0.0/8` matches all
+    /// more-specifics). `None` matches any prefix.
+    pub prefix_within: Option<Prefix>,
+    /// Match the prefix exactly.
+    pub prefix_exact: Option<Prefix>,
+    /// Route must carry at least one of these communities.
+    pub any_community: Vec<Community>,
+    /// Route's AS-path must contain this ASN.
+    pub as_path_contains: Option<Asn>,
+    /// Route's AS-path length must be at least this.
+    pub min_as_path_len: Option<usize>,
+}
+
+impl MatchExpr {
+    /// Match everything.
+    pub fn any() -> Self {
+        MatchExpr::default()
+    }
+
+    /// Match routes carrying `c`.
+    pub fn community(c: Community) -> Self {
+        MatchExpr { any_community: vec![c], ..Default::default() }
+    }
+
+    /// Match exactly `prefix`.
+    pub fn exact(prefix: Prefix) -> Self {
+        MatchExpr { prefix_exact: Some(prefix), ..Default::default() }
+    }
+
+    /// Evaluate against a route.
+    pub fn matches(&self, prefix: &Prefix, attrs: &PathAttributes) -> bool {
+        if let Some(p) = &self.prefix_within {
+            if !p.contains(prefix) {
+                return false;
+            }
+        }
+        if let Some(p) = &self.prefix_exact {
+            if p != prefix {
+                return false;
+            }
+        }
+        if !self.any_community.is_empty()
+            && !self.any_community.iter().any(|c| attrs.has_community(*c))
+        {
+            return false;
+        }
+        if let Some(asn) = self.as_path_contains {
+            if !attrs.path_contains(asn) {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_as_path_len {
+            if attrs.as_path_len() < min {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An action applied to a matched route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Accept the route, stop evaluating rules.
+    Accept,
+    /// Reject the route, stop evaluating rules.
+    Reject,
+    /// Set local preference, continue.
+    SetLocalPref(u32),
+    /// Prepend an ASN `n` times, continue. (The paper's "naive approach" to
+    /// the first-router problem, §3.2.)
+    Prepend(Asn, u8),
+    /// Attach a community, continue.
+    AddCommunity(Community),
+    /// Strip a community, continue.
+    RemoveCommunity(Community),
+    /// Set MED, continue.
+    SetMed(u32),
+    /// Attach/overwrite the link-bandwidth extended community, continue.
+    SetLinkBandwidth(f64),
+}
+
+/// One ordered rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// Match side.
+    pub matches: MatchExpr,
+    /// Actions applied in order until Accept/Reject terminates evaluation.
+    pub actions: Vec<Action>,
+}
+
+impl PolicyRule {
+    /// Rule that accepts matches after applying `actions`.
+    pub fn accept(matches: MatchExpr, mut actions: Vec<Action>) -> Self {
+        actions.push(Action::Accept);
+        PolicyRule { matches, actions }
+    }
+
+    /// Rule that rejects matches outright.
+    pub fn reject(matches: MatchExpr) -> Self {
+        PolicyRule { matches, actions: vec![Action::Reject] }
+    }
+}
+
+/// Result of running a policy over a route.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyVerdict {
+    /// Route accepted; possibly-modified attributes inside.
+    Accept(PathAttributes),
+    /// Route rejected.
+    Reject,
+}
+
+impl PolicyVerdict {
+    /// Whether the verdict is Accept.
+    pub fn is_accept(&self) -> bool {
+        matches!(self, PolicyVerdict::Accept(_))
+    }
+}
+
+/// An ordered rule list with a default disposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    /// Rules evaluated first-match-wins (a rule "matches" when its MatchExpr
+    /// matches; its actions then run until Accept/Reject or the list ends —
+    /// if the list ends without a terminal action, evaluation continues to
+    /// the next rule with the modified attributes).
+    pub rules: Vec<PolicyRule>,
+    /// Disposition when no rule terminates evaluation.
+    pub default_accept: bool,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::accept_all()
+    }
+}
+
+impl Policy {
+    /// Accept everything unchanged.
+    pub fn accept_all() -> Self {
+        Policy { rules: Vec::new(), default_accept: true }
+    }
+
+    /// Reject everything.
+    pub fn reject_all() -> Self {
+        Policy { rules: Vec::new(), default_accept: false }
+    }
+
+    /// Add a rule, builder-style.
+    pub fn rule(mut self, rule: PolicyRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Run the policy.
+    pub fn apply(&self, prefix: &Prefix, attrs: &PathAttributes) -> PolicyVerdict {
+        let mut attrs = attrs.clone();
+        for rule in &self.rules {
+            if !rule.matches.matches(prefix, &attrs) {
+                continue;
+            }
+            for action in &rule.actions {
+                match action {
+                    Action::Accept => return PolicyVerdict::Accept(attrs),
+                    Action::Reject => return PolicyVerdict::Reject,
+                    Action::SetLocalPref(v) => attrs.local_pref = *v,
+                    Action::Prepend(asn, n) => attrs.prepend(*asn, *n as usize),
+                    Action::AddCommunity(c) => attrs.add_community(*c),
+                    Action::RemoveCommunity(c) => attrs.remove_community(*c),
+                    Action::SetMed(v) => attrs.med = *v,
+                    Action::SetLinkBandwidth(bw) => attrs.link_bandwidth_gbps = Some(*bw),
+                }
+            }
+        }
+        if self.default_accept {
+            PolicyVerdict::Accept(attrs)
+        } else {
+            PolicyVerdict::Reject
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::well_known;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn default_policy_accepts_unchanged() {
+        let attrs = PathAttributes::default();
+        match Policy::accept_all().apply(&p("10.0.0.0/8"), &attrs) {
+            PolicyVerdict::Accept(out) => assert_eq!(out, attrs),
+            PolicyVerdict::Reject => panic!("should accept"),
+        }
+        assert!(!Policy::reject_all().apply(&p("10.0.0.0/8"), &attrs).is_accept());
+    }
+
+    #[test]
+    fn community_match_and_local_pref_action() {
+        let policy = Policy::reject_all().rule(PolicyRule::accept(
+            MatchExpr::community(well_known::BACKBONE_DEFAULT_ROUTE),
+            vec![Action::SetLocalPref(200)],
+        ));
+        let tagged = PathAttributes::originated([well_known::BACKBONE_DEFAULT_ROUTE]);
+        let plain = PathAttributes::default();
+        match policy.apply(&Prefix::DEFAULT, &tagged) {
+            PolicyVerdict::Accept(out) => assert_eq!(out.local_pref, 200),
+            PolicyVerdict::Reject => panic!("tagged route should pass"),
+        }
+        assert_eq!(policy.apply(&Prefix::DEFAULT, &plain), PolicyVerdict::Reject);
+    }
+
+    #[test]
+    fn prepend_action_pads_as_path() {
+        let policy = Policy::accept_all().rule(PolicyRule {
+            matches: MatchExpr::any(),
+            actions: vec![Action::Prepend(Asn(65099), 2)],
+        });
+        let verdict = policy.apply(&p("10.0.0.0/8"), &PathAttributes::default());
+        match verdict {
+            PolicyVerdict::Accept(out) => {
+                assert_eq!(out.as_path, vec![Asn(65099), Asn(65099)]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn prefix_within_and_exact_matching() {
+        let within = MatchExpr { prefix_within: Some(p("10.0.0.0/8")), ..Default::default() };
+        assert!(within.matches(&p("10.3.0.0/16"), &PathAttributes::default()));
+        assert!(!within.matches(&p("11.0.0.0/8"), &PathAttributes::default()));
+        let exact = MatchExpr::exact(p("10.0.0.0/8"));
+        assert!(exact.matches(&p("10.0.0.0/8"), &PathAttributes::default()));
+        assert!(!exact.matches(&p("10.3.0.0/16"), &PathAttributes::default()));
+    }
+
+    #[test]
+    fn as_path_criteria() {
+        let mut attrs = PathAttributes::default();
+        attrs.prepend(Asn(7), 3);
+        let has = MatchExpr { as_path_contains: Some(Asn(7)), ..Default::default() };
+        let hasnt = MatchExpr { as_path_contains: Some(Asn(8)), ..Default::default() };
+        let long = MatchExpr { min_as_path_len: Some(3), ..Default::default() };
+        let longer = MatchExpr { min_as_path_len: Some(4), ..Default::default() };
+        assert!(has.matches(&Prefix::DEFAULT, &attrs));
+        assert!(!hasnt.matches(&Prefix::DEFAULT, &attrs));
+        assert!(long.matches(&Prefix::DEFAULT, &attrs));
+        assert!(!longer.matches(&Prefix::DEFAULT, &attrs));
+    }
+
+    #[test]
+    fn first_terminal_action_wins() {
+        // Rule 1 modifies then accepts; rule 2 would reject but is never hit.
+        let policy = Policy::accept_all()
+            .rule(PolicyRule::accept(MatchExpr::any(), vec![Action::SetMed(5)]))
+            .rule(PolicyRule::reject(MatchExpr::any()));
+        let verdict = policy.apply(&Prefix::DEFAULT, &PathAttributes::default());
+        match verdict {
+            PolicyVerdict::Accept(out) => assert_eq!(out.med, 5),
+            _ => panic!("rule 1 should accept"),
+        }
+    }
+
+    #[test]
+    fn non_terminal_rule_falls_through_with_modifications() {
+        // Rule 1 adds a community but does not terminate; rule 2 matches on
+        // that community and rejects.
+        let marker = Community(0xDEAD);
+        let policy = Policy::accept_all()
+            .rule(PolicyRule {
+                matches: MatchExpr::any(),
+                actions: vec![Action::AddCommunity(marker)],
+            })
+            .rule(PolicyRule::reject(MatchExpr::community(marker)));
+        assert_eq!(
+            policy.apply(&Prefix::DEFAULT, &PathAttributes::default()),
+            PolicyVerdict::Reject
+        );
+    }
+
+    #[test]
+    fn link_bandwidth_action() {
+        let policy = Policy::accept_all().rule(PolicyRule {
+            matches: MatchExpr::any(),
+            actions: vec![Action::SetLinkBandwidth(400.0)],
+        });
+        match policy.apply(&Prefix::DEFAULT, &PathAttributes::default()) {
+            PolicyVerdict::Accept(out) => assert_eq!(out.link_bandwidth_gbps, Some(400.0)),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Routing Information Bases: Adj-RIB-In, Loc-RIB and Adj-RIB-Out.
+
+use crate::attrs::PathAttributes;
+use crate::types::{PeerId, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A route as stored in the Adj-RIB-In: post-import-policy attributes plus
+/// which session it was learned from. Locally-originated routes use
+/// `learned_from = None`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// Destination.
+    pub prefix: Prefix,
+    /// Post-import-policy attributes.
+    pub attrs: PathAttributes,
+    /// Session the route arrived on; `None` for locally-originated routes.
+    pub learned_from: Option<PeerId>,
+}
+
+impl Route {
+    /// A route learned from a peer.
+    pub fn learned(prefix: Prefix, attrs: PathAttributes, peer: PeerId) -> Self {
+        Route { prefix, attrs, learned_from: Some(peer) }
+    }
+
+    /// A locally-originated route.
+    pub fn local(prefix: Prefix, attrs: PathAttributes) -> Self {
+        Route { prefix, attrs, learned_from: None }
+    }
+
+    /// Whether the route came from the local speaker.
+    pub fn is_local(&self) -> bool {
+        self.learned_from.is_none()
+    }
+}
+
+/// Per-peer received routes (after import policy, before path selection).
+///
+/// Keyed `(peer, prefix)` with a secondary `prefix → peers` index so the
+/// decision process's candidate gathering ([`routes_for`](Self::routes_for))
+/// costs O(peers-per-prefix), not a full-table scan per UPDATE.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct AdjRibIn {
+    routes: BTreeMap<(PeerId, Prefix), Route>,
+    #[serde(skip)]
+    by_prefix: BTreeMap<Prefix, std::collections::BTreeSet<PeerId>>,
+}
+
+impl AdjRibIn {
+    /// Rebuild the skipped secondary index after deserialization.
+    pub fn rebuild_indices(&mut self) {
+        self.by_prefix.clear();
+        for (peer, prefix) in self.routes.keys() {
+            self.by_prefix.entry(*prefix).or_default().insert(*peer);
+        }
+    }
+
+    /// Insert or replace the route for `(peer, prefix)`.
+    pub fn insert(&mut self, route: Route) {
+        let peer = route.learned_from.expect("AdjRibIn stores learned routes");
+        self.by_prefix.entry(route.prefix).or_default().insert(peer);
+        self.routes.insert((peer, route.prefix), route);
+    }
+
+    fn unindex(&mut self, peer: PeerId, prefix: Prefix) {
+        if let Some(set) = self.by_prefix.get_mut(&prefix) {
+            set.remove(&peer);
+            if set.is_empty() {
+                self.by_prefix.remove(&prefix);
+            }
+        }
+    }
+
+    /// Remove the route for `(peer, prefix)`; returns whether one existed.
+    pub fn remove(&mut self, peer: PeerId, prefix: Prefix) -> bool {
+        let removed = self.routes.remove(&(peer, prefix)).is_some();
+        if removed {
+            self.unindex(peer, prefix);
+        }
+        removed
+    }
+
+    /// Remove every route learned from `peer`, returning the affected
+    /// prefixes (used when a session drops).
+    pub fn flush_peer(&mut self, peer: PeerId) -> Vec<Prefix> {
+        let keys: Vec<(PeerId, Prefix)> = self
+            .routes
+            .range((peer, Prefix::new(0, 0))..=(peer, Prefix::new(u32::MAX, 32)))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut prefixes = Vec::with_capacity(keys.len());
+        for k in keys {
+            self.routes.remove(&k);
+            self.unindex(k.0, k.1);
+            prefixes.push(k.1);
+        }
+        prefixes
+    }
+
+    /// Remove every route failing `keep`, returning the affected prefixes.
+    /// Used when a Route Filter RPA is installed: the new filter must be
+    /// re-applied to routes already admitted to the RIB.
+    pub fn purge(&mut self, mut keep: impl FnMut(&Route) -> bool) -> Vec<Prefix> {
+        let doomed: Vec<(PeerId, Prefix)> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| !keep(r))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut prefixes: Vec<Prefix> = doomed.iter().map(|(_, p)| *p).collect();
+        for k in doomed {
+            self.routes.remove(&k);
+            self.unindex(k.0, k.1);
+        }
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        prefixes
+    }
+
+    /// All routes toward `prefix`, across peers.
+    pub fn routes_for(&self, prefix: Prefix) -> Vec<&Route> {
+        match self.by_prefix.get(&prefix) {
+            Some(peers) => peers
+                .iter()
+                .filter_map(|peer| self.routes.get(&(*peer, prefix)))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The route learned from `peer` for `prefix`, if any.
+    pub fn route(&self, peer: PeerId, prefix: Prefix) -> Option<&Route> {
+        self.routes.get(&(peer, prefix))
+    }
+
+    /// All distinct prefixes present.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        self.by_prefix.keys().copied().collect()
+    }
+
+    /// Total stored routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// The outcome of path selection for one prefix, as installed in the Loc-RIB.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocRibEntry {
+    /// Routes selected for forwarding (the multipath set).
+    pub selected: Vec<Route>,
+    /// Per-selected-route relative WCMP weights, parallel to `selected`.
+    pub weights: Vec<u32>,
+    /// The route to advertise to peers, if any. Under native BGP this is the
+    /// single best path; under a Path Selection RPA it is the *least
+    /// favorable* selected route (§5.3.1 loop-avoidance rule).
+    pub advertised: Option<Route>,
+    /// True when the entry is kept in the FIB despite being withdrawn from
+    /// peers (`KeepFibWarmIfMnhViolated`, §4.3).
+    pub fib_warm_only: bool,
+}
+
+impl LocRibEntry {
+    /// Entry with equal weights.
+    pub fn ecmp(selected: Vec<Route>, advertised: Option<Route>) -> Self {
+        let weights = vec![1; selected.len()];
+        LocRibEntry { selected, weights, advertised, fib_warm_only: false }
+    }
+
+    /// Next-hop sessions of the selected routes (local routes contribute no
+    /// next-hop).
+    pub fn nexthop_sessions(&self) -> Vec<PeerId> {
+        self.selected.iter().filter_map(|r| r.learned_from).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route(peer: u64, prefix: &str) -> Route {
+        Route::learned(p(prefix), PathAttributes::default(), PeerId(peer))
+    }
+
+    #[test]
+    fn insert_replace_and_lookup() {
+        let mut rib = AdjRibIn::default();
+        rib.insert(route(1, "10.0.0.0/8"));
+        let mut newer = route(1, "10.0.0.0/8");
+        newer.attrs.local_pref = 500;
+        rib.insert(newer);
+        assert_eq!(rib.len(), 1, "same (peer, prefix) replaces");
+        assert_eq!(rib.route(PeerId(1), p("10.0.0.0/8")).unwrap().attrs.local_pref, 500);
+    }
+
+    #[test]
+    fn routes_for_collects_across_peers() {
+        let mut rib = AdjRibIn::default();
+        rib.insert(route(1, "10.0.0.0/8"));
+        rib.insert(route(2, "10.0.0.0/8"));
+        rib.insert(route(1, "11.0.0.0/8"));
+        assert_eq!(rib.routes_for(p("10.0.0.0/8")).len(), 2);
+        assert_eq!(rib.routes_for(p("11.0.0.0/8")).len(), 1);
+        assert_eq!(rib.prefixes(), vec![p("10.0.0.0/8"), p("11.0.0.0/8")]);
+    }
+
+    #[test]
+    fn flush_peer_removes_only_that_peer() {
+        let mut rib = AdjRibIn::default();
+        rib.insert(route(1, "10.0.0.0/8"));
+        rib.insert(route(1, "11.0.0.0/8"));
+        rib.insert(route(2, "10.0.0.0/8"));
+        let flushed = rib.flush_peer(PeerId(1));
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(rib.len(), 1);
+        assert!(rib.route(PeerId(2), p("10.0.0.0/8")).is_some());
+    }
+
+    #[test]
+    fn remove_single() {
+        let mut rib = AdjRibIn::default();
+        rib.insert(route(1, "10.0.0.0/8"));
+        assert!(rib.remove(PeerId(1), p("10.0.0.0/8")));
+        assert!(!rib.remove(PeerId(1), p("10.0.0.0/8")));
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn locrib_entry_helpers() {
+        let r1 = route(1, "0.0.0.0/0");
+        let r2 = route(2, "0.0.0.0/0");
+        let local = Route::local(p("0.0.0.0/0"), PathAttributes::default());
+        let entry = LocRibEntry::ecmp(vec![r1.clone(), r2.clone(), local], Some(r1));
+        assert_eq!(entry.weights, vec![1, 1, 1]);
+        assert_eq!(entry.nexthop_sessions(), vec![PeerId(1), PeerId(2)]);
+        assert!(!entry.fib_warm_only);
+    }
+
+    #[test]
+    fn secondary_index_tracks_all_mutations() {
+        let mut rib = AdjRibIn::default();
+        rib.insert(route(1, "10.0.0.0/8"));
+        rib.insert(route(2, "10.0.0.0/8"));
+        rib.insert(route(2, "11.0.0.0/8"));
+        assert_eq!(rib.routes_for(p("10.0.0.0/8")).len(), 2);
+        rib.remove(PeerId(1), p("10.0.0.0/8"));
+        assert_eq!(rib.routes_for(p("10.0.0.0/8")).len(), 1);
+        rib.purge(|r| r.prefix != p("11.0.0.0/8"));
+        assert!(rib.routes_for(p("11.0.0.0/8")).is_empty());
+        assert_eq!(rib.prefixes(), vec![p("10.0.0.0/8")]);
+        rib.flush_peer(PeerId(2));
+        assert!(rib.prefixes().is_empty());
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "AdjRibIn stores learned routes")]
+    fn inserting_local_route_into_adj_rib_in_panics() {
+        let mut rib = AdjRibIn::default();
+        rib.insert(Route::local(p("0.0.0.0/0"), PathAttributes::default()));
+    }
+}

@@ -1,0 +1,349 @@
+//! A minimal BGP session finite-state machine.
+//!
+//! The emulator mostly brings sessions up administratively, but session
+//! semantics still matter for the paper's phenomena: a session that drops
+//! must withdraw everything learned over it, and a session that comes up
+//! triggers a full-table advertisement. The FSM here is a reduced RFC 4271
+//! FSM — Idle → OpenSent → Established — with hold-time supervision driven by
+//! the caller's clock (no hidden timers, smoltcp-style).
+
+use crate::msg::{BgpMessage, NotificationCode, OpenMessage};
+use centralium_topology::Asn;
+use serde::{Deserialize, Serialize};
+
+/// Session FSM states (reduced set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SessionState {
+    /// Not attempting to connect.
+    #[default]
+    Idle,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// Session established; UPDATEs flow.
+    Established,
+}
+
+/// What the FSM wants the caller to do after an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionAction {
+    /// Send this message to the peer.
+    Send(BgpMessage),
+    /// Session just reached Established: advertise the full table.
+    AdvertiseAll,
+    /// Session went down: flush routes learned from it.
+    FlushRoutes,
+    /// Nothing to do.
+    None,
+}
+
+/// One side of a BGP session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Session {
+    /// Local AS.
+    pub local_asn: Asn,
+    /// Expected remote AS (eBGP: must differ from local).
+    pub remote_asn: Asn,
+    /// Current FSM state.
+    pub state: SessionState,
+    /// Negotiated hold time (seconds of simulated time).
+    pub hold_time_secs: u32,
+    /// Simulated timestamp of the last message received.
+    pub last_heard_secs: u64,
+}
+
+impl Session {
+    /// Default hold time proposed in OPENs.
+    pub const DEFAULT_HOLD_SECS: u32 = 90;
+
+    /// New idle session.
+    pub fn new(local_asn: Asn, remote_asn: Asn) -> Self {
+        Session {
+            local_asn,
+            remote_asn,
+            state: SessionState::Idle,
+            hold_time_secs: Self::DEFAULT_HOLD_SECS,
+            last_heard_secs: 0,
+        }
+    }
+
+    /// Administratively start the session: emits our OPEN. Calling it again
+    /// while still in OpenSent retransmits the OPEN (recovery from a lost
+    /// one); calling it when Established does nothing.
+    pub fn start(&mut self) -> SessionAction {
+        match self.state {
+            SessionState::Idle | SessionState::OpenSent => {
+                // A fresh attempt renegotiates from the default, so a stale
+                // low hold time from a previous incarnation cannot stick.
+                self.hold_time_secs = Self::DEFAULT_HOLD_SECS;
+                self.state = SessionState::OpenSent;
+                SessionAction::Send(BgpMessage::Open(OpenMessage {
+                    asn: self.local_asn,
+                    hold_time_secs: Self::DEFAULT_HOLD_SECS,
+                }))
+            }
+            SessionState::Established => SessionAction::None,
+        }
+    }
+
+    /// Administratively stop the session (cease).
+    pub fn stop(&mut self) -> Vec<SessionAction> {
+        let was_established = self.state == SessionState::Established;
+        self.state = SessionState::Idle;
+        self.hold_time_secs = Self::DEFAULT_HOLD_SECS;
+        let mut actions =
+            vec![SessionAction::Send(BgpMessage::Notification(NotificationCode::Cease))];
+        if was_established {
+            actions.push(SessionAction::FlushRoutes);
+        }
+        actions
+    }
+
+    /// Handle a message from the peer at simulated time `now_secs`.
+    pub fn handle(&mut self, msg: &BgpMessage, now_secs: u64) -> Vec<SessionAction> {
+        self.last_heard_secs = now_secs;
+        match (self.state, msg) {
+            (SessionState::Idle, BgpMessage::Open(open)) => {
+                // Passive open: peer initiated; answer with our OPEN + KEEPALIVE.
+                if open.asn != self.remote_asn {
+                    return vec![SessionAction::Send(BgpMessage::Notification(
+                        NotificationCode::FiniteStateMachineError,
+                    ))];
+                }
+                self.hold_time_secs = Self::negotiate(self.hold_time_secs, open.hold_time_secs);
+                self.state = SessionState::Established;
+                vec![
+                    SessionAction::Send(BgpMessage::Open(OpenMessage {
+                        asn: self.local_asn,
+                        hold_time_secs: Self::DEFAULT_HOLD_SECS,
+                    })),
+                    SessionAction::Send(BgpMessage::Keepalive),
+                    SessionAction::AdvertiseAll,
+                ]
+            }
+            (SessionState::OpenSent, BgpMessage::Open(open)) => {
+                if open.asn != self.remote_asn {
+                    self.state = SessionState::Idle;
+                    return vec![SessionAction::Send(BgpMessage::Notification(
+                        NotificationCode::FiniteStateMachineError,
+                    ))];
+                }
+                self.hold_time_secs = Self::negotiate(self.hold_time_secs, open.hold_time_secs);
+                self.state = SessionState::Established;
+                vec![SessionAction::Send(BgpMessage::Keepalive), SessionAction::AdvertiseAll]
+            }
+            (SessionState::Established, BgpMessage::Keepalive) => vec![SessionAction::None],
+            (SessionState::Established, BgpMessage::Update(_)) => {
+                // Route processing is the daemon's job; FSM only tracks liveness.
+                vec![SessionAction::None]
+            }
+            (_, BgpMessage::Notification(_)) => {
+                let was_established = self.state == SessionState::Established;
+                self.state = SessionState::Idle;
+                if was_established {
+                    vec![SessionAction::FlushRoutes]
+                } else {
+                    vec![SessionAction::None]
+                }
+            }
+            // UPDATE or KEEPALIVE outside Established is an FSM error.
+            (_, BgpMessage::Update(_)) | (_, BgpMessage::Keepalive) => {
+                self.state = SessionState::Idle;
+                vec![SessionAction::Send(BgpMessage::Notification(
+                    NotificationCode::FiniteStateMachineError,
+                ))]
+            }
+            (SessionState::Established, BgpMessage::Open(_)) => {
+                self.state = SessionState::Idle;
+                vec![
+                    SessionAction::Send(BgpMessage::Notification(
+                        NotificationCode::FiniteStateMachineError,
+                    )),
+                    SessionAction::FlushRoutes,
+                ]
+            }
+        }
+    }
+
+    /// RFC 4271 hold-time negotiation: the smaller of the two proposals,
+    /// where 0 means "hold timer disabled" and wins outright.
+    fn negotiate(ours: u32, theirs: u32) -> u32 {
+        if ours == 0 || theirs == 0 {
+            0
+        } else {
+            ours.min(theirs)
+        }
+    }
+
+    /// Check hold-timer expiry at simulated time `now_secs`. A negotiated
+    /// hold time of 0 disables the timer entirely (RFC 4271 §4.2).
+    pub fn check_hold_timer(&mut self, now_secs: u64) -> Vec<SessionAction> {
+        if self.state == SessionState::Established
+            && self.hold_time_secs > 0
+            && now_secs.saturating_sub(self.last_heard_secs) > self.hold_time_secs as u64
+        {
+            self.state = SessionState::Idle;
+            vec![
+                SessionAction::Send(BgpMessage::Notification(NotificationCode::HoldTimerExpired)),
+                SessionAction::FlushRoutes,
+            ]
+        } else {
+            vec![SessionAction::None]
+        }
+    }
+
+    /// Whether UPDATEs may flow.
+    pub fn is_established(&self) -> bool {
+        self.state == SessionState::Established
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::UpdateMessage;
+
+    fn pair() -> (Session, Session) {
+        (Session::new(Asn(1), Asn(2)), Session::new(Asn(2), Asn(1)))
+    }
+
+    /// Deliver `actions`' Send messages from `from` to `to`, returning the
+    /// resulting actions.
+    fn deliver(actions: Vec<SessionAction>, to: &mut Session, now: u64) -> Vec<SessionAction> {
+        let mut out = Vec::new();
+        for a in actions {
+            if let SessionAction::Send(msg) = a {
+                out.extend(to.handle(&msg, now));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn active_passive_handshake_establishes_both_sides() {
+        let (mut a, mut b) = pair();
+        let a_open = a.start();
+        assert_eq!(a.state, SessionState::OpenSent);
+        // b receives a's OPEN passively.
+        let b_actions = deliver(vec![a_open], &mut b, 1);
+        assert!(b.is_established());
+        assert!(b_actions.contains(&SessionAction::AdvertiseAll));
+        // a receives b's OPEN (and keepalive).
+        let a_actions = deliver(b_actions, &mut a, 2);
+        assert!(a.is_established());
+        assert!(a_actions.contains(&SessionAction::AdvertiseAll));
+    }
+
+    #[test]
+    fn wrong_asn_is_rejected() {
+        let mut s = Session::new(Asn(1), Asn(2));
+        s.start();
+        let actions = s.handle(
+            &BgpMessage::Open(OpenMessage { asn: Asn(99), hold_time_secs: 90 }),
+            1,
+        );
+        assert_eq!(s.state, SessionState::Idle);
+        assert!(matches!(
+            actions[0],
+            SessionAction::Send(BgpMessage::Notification(
+                NotificationCode::FiniteStateMachineError
+            ))
+        ));
+    }
+
+    #[test]
+    fn hold_timer_expiry_flushes() {
+        let (mut a, mut b) = pair();
+        let o = a.start();
+        let ba = deliver(vec![o], &mut b, 0);
+        deliver(ba, &mut a, 0);
+        assert!(a.is_established());
+        // No keepalives for longer than hold time.
+        let actions = a.check_hold_timer(1000);
+        assert!(actions.contains(&SessionAction::FlushRoutes));
+        assert_eq!(a.state, SessionState::Idle);
+    }
+
+    #[test]
+    fn keepalive_refreshes_hold_timer() {
+        let (mut a, mut b) = pair();
+        let o = a.start();
+        let ba = deliver(vec![o], &mut b, 0);
+        deliver(ba, &mut a, 0);
+        a.handle(&BgpMessage::Keepalive, 80);
+        assert_eq!(a.check_hold_timer(120), vec![SessionAction::None]);
+        assert!(a.is_established());
+    }
+
+    #[test]
+    fn update_outside_established_is_fsm_error() {
+        let mut s = Session::new(Asn(1), Asn(2));
+        let actions = s.handle(&BgpMessage::Update(UpdateMessage::default()), 0);
+        assert!(matches!(
+            actions[0],
+            SessionAction::Send(BgpMessage::Notification(
+                NotificationCode::FiniteStateMachineError
+            ))
+        ));
+    }
+
+    #[test]
+    fn stop_ceases_and_flushes_when_established() {
+        let (mut a, mut b) = pair();
+        let o = a.start();
+        let ba = deliver(vec![o], &mut b, 0);
+        deliver(ba, &mut a, 0);
+        let actions = a.stop();
+        assert!(actions.contains(&SessionAction::FlushRoutes));
+        assert_eq!(a.state, SessionState::Idle);
+        // Stopping an idle session does not flush.
+        let actions = a.stop();
+        assert!(!actions.contains(&SessionAction::FlushRoutes));
+    }
+
+    #[test]
+    fn hold_time_zero_disables_the_timer() {
+        let mut s = Session::new(Asn(1), Asn(2));
+        s.start();
+        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 0 }), 0);
+        assert!(s.is_established());
+        assert_eq!(s.hold_time_secs, 0);
+        // No keepalives for ages: the session must stay up.
+        assert_eq!(s.check_hold_timer(1_000_000), vec![SessionAction::None]);
+        assert!(s.is_established());
+    }
+
+    #[test]
+    fn hold_time_resets_across_session_flaps() {
+        let mut s = Session::new(Asn(1), Asn(2));
+        s.start();
+        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 30 }), 0);
+        assert_eq!(s.hold_time_secs, 30);
+        s.stop();
+        s.start();
+        // The peer proposes the default this time: no decay to 30.
+        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 90 }), 0);
+        assert_eq!(s.hold_time_secs, 90);
+    }
+
+    #[test]
+    fn open_retransmits_from_open_sent() {
+        let mut s = Session::new(Asn(1), Asn(2));
+        let first = s.start();
+        assert!(matches!(first, SessionAction::Send(BgpMessage::Open(_))));
+        // The OPEN was lost: starting again resends instead of wedging.
+        let second = s.start();
+        assert!(matches!(second, SessionAction::Send(BgpMessage::Open(_))));
+        assert_eq!(s.state, SessionState::OpenSent);
+        // But an established session ignores further starts.
+        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 90 }), 0);
+        assert_eq!(s.start(), SessionAction::None);
+    }
+
+    #[test]
+    fn hold_time_negotiates_to_minimum() {
+        let mut s = Session::new(Asn(1), Asn(2));
+        s.start();
+        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 30 }), 0);
+        assert_eq!(s.hold_time_secs, 30);
+    }
+}

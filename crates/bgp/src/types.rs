@@ -1,0 +1,216 @@
+//! Fundamental identifiers: prefixes and peer (session) ids.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 prefix, stored as a masked 32-bit address plus mask length.
+///
+/// Construction always masks host bits, so two `Prefix` values are equal iff
+/// they denote the same route — a property the proptest suite pins down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl<'de> serde::Deserialize<'de> for Prefix {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        // Route through `Prefix::new` so deserialized values uphold the
+        // masked-host-bits / len ≤ 32 invariants the rest of the crate
+        // relies on (raw field deserialization would bypass them).
+        #[derive(Deserialize)]
+        struct Raw {
+            addr: u32,
+            len: u8,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        Ok(Prefix::new(raw.addr, raw.len))
+    }
+}
+
+impl Prefix {
+    /// The IPv4 default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { addr: 0, len: 0 };
+
+    /// Build a prefix, masking away host bits. `len` is clamped to 32.
+    pub fn new(addr: u32, len: u8) -> Self {
+        let len = len.min(32);
+        Prefix { addr: addr & Self::mask(len), len }
+    }
+
+    /// Build from dotted-quad octets.
+    pub fn from_octets(o: [u8; 4], len: u8) -> Self {
+        Self::new(u32::from_be_bytes(o), len)
+    }
+
+    /// The network address (host bits zero).
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// Mask length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether the prefix has a zero-length mask (i.e. it is the default
+    /// route). Exists to pair with [`len`](Self::len).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this is the default route.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// Whether `self` covers `other` (same or more-general prefix).
+    pub fn contains(&self, other: &Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.len)
+    }
+}
+
+/// Error parsing a prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(pub String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParsePrefixError(s.to_string());
+        let (ip, len) = s.split_once('/').ok_or_else(err)?;
+        let len: u8 = len.parse().map_err(|_| err())?;
+        if len > 32 {
+            return Err(err());
+        }
+        let mut octets = [0u8; 4];
+        let mut parts = ip.split('.');
+        for o in &mut octets {
+            *o = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(Prefix::from_octets(octets, len))
+    }
+}
+
+/// Opaque id of one BGP *session* from a speaker's point of view.
+///
+/// Meta's fabric runs multiple parallel sessions between the same device pair
+/// (e.g. two sessions per UU–DU pair in §3.4), and every session converges
+/// independently — which is exactly what mints transient next-hop groups. So
+/// the daemon keys everything by session, not by neighbor device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeerId(pub u64);
+
+impl PeerId {
+    /// Compose a session id from a neighbor device id and a parallel-session
+    /// index. The inverse operations are [`device`](Self::device) and
+    /// [`session_index`](Self::session_index).
+    pub fn compose(device: u32, session_index: u8) -> Self {
+        PeerId(((device as u64) << 8) | session_index as u64)
+    }
+
+    /// Neighbor device id encoded by [`compose`](Self::compose).
+    pub fn device(&self) -> u32 {
+        (self.0 >> 8) as u32
+    }
+
+    /// Parallel-session index encoded by [`compose`](Self::compose).
+    pub fn session_index(&self) -> u8 {
+        (self.0 & 0xFF) as u8
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer(d{}, s{})", self.device(), self.session_index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_mask_host_bits() {
+        let a = Prefix::new(0x0A0A_0A0A, 8);
+        let b = Prefix::new(0x0A00_0000, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.addr(), 0x0A00_0000);
+    }
+
+    #[test]
+    fn default_route_properties() {
+        assert!(Prefix::DEFAULT.is_default());
+        assert_eq!(Prefix::DEFAULT.to_string(), "0.0.0.0/0");
+        // Default covers everything.
+        assert!(Prefix::DEFAULT.contains(&Prefix::new(0xC0A8_0000, 16)));
+    }
+
+    #[test]
+    fn containment() {
+        let wide: Prefix = "10.0.0.0/8".parse().unwrap();
+        let narrow: Prefix = "10.1.0.0/16".parse().unwrap();
+        let other: Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(wide.contains(&narrow));
+        assert!(!narrow.contains(&wide));
+        assert!(!wide.contains(&other));
+        assert!(wide.contains(&wide));
+    }
+
+    #[test]
+    fn parse_roundtrip_and_errors() {
+        let p: Prefix = "192.168.4.0/22".parse().unwrap();
+        assert_eq!(p.to_string(), "192.168.4.0/22");
+        assert!("not-a-prefix".parse::<Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0.0.0/8".parse::<Prefix>().is_err());
+        assert!("10.0.x.0/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn parse_masks_host_bits() {
+        let p: Prefix = "192.168.7.9/24".parse().unwrap();
+        assert_eq!(p.to_string(), "192.168.7.0/24");
+    }
+
+    #[test]
+    fn peer_id_compose_roundtrip() {
+        let p = PeerId::compose(12345, 7);
+        assert_eq!(p.device(), 12345);
+        assert_eq!(p.session_index(), 7);
+        assert_ne!(PeerId::compose(12345, 0), PeerId::compose(12345, 1));
+    }
+
+    #[test]
+    fn len_33_is_clamped() {
+        assert_eq!(Prefix::new(u32::MAX, 40).len(), 32);
+    }
+}

@@ -1,0 +1,87 @@
+//! A minimal `--key value` / `--flag` argument parser (no dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: `--key value` pairs and bare `--flag`s.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Flags that take no value.
+    const BARE_FLAGS: &'static [&'static str] = &["handshake"];
+
+    /// Parse the remaining command-line words.
+    pub fn parse(words: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut words = words.peekable();
+        while let Some(word) = words.next() {
+            let Some(key) = word.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{word}' (options start with --)"));
+            };
+            if Self::BARE_FLAGS.contains(&key) {
+                out.flags.push(key.to_string());
+                continue;
+            }
+            let Some(value) = words.next() else {
+                return Err(format!("--{key} requires a value"));
+            };
+            out.values.insert(key.to_string(), value);
+        }
+        Ok(out)
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A string option.
+    pub fn get_str(&self, name: &str) -> Result<Option<String>, String> {
+        Ok(self.values.get(name).cloned())
+    }
+
+    /// A u16 option.
+    pub fn get_u16(&self, name: &str) -> Result<Option<u16>, String> {
+        self.values
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} expects a small integer, got '{v}'")))
+            .transpose()
+    }
+
+    /// A u64 option.
+    pub fn get_u64(&self, name: &str) -> Result<Option<u64>, String> {
+        self.values
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")))
+            .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let args = parse(&["--pods", "4", "--handshake", "--seed", "9"]).unwrap();
+        assert_eq!(args.get_u16("pods").unwrap(), Some(4));
+        assert_eq!(args.get_u64("seed").unwrap(), Some(9));
+        assert!(args.has_flag("handshake"));
+        assert_eq!(args.get_str("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&["loose-word"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        let args = parse(&["--seed", "not-a-number"]).unwrap();
+        assert!(args.get_u64("seed").is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! `centralium-cli` — the operator surface of the reproduction.
+//!
+//! ```text
+//! centralium-cli topo     [--pods N] [--planes N] ...        fabric summary
+//! centralium-cli converge [--seed N] [--handshake]           build + converge
+//! centralium-cli compile  --intent FILE                      intent → per-switch RPAs
+//! centralium-cli deploy   --intent FILE [--strategy S]       preverify + deploy + inspect
+//! centralium-cli plan                                        Table 3 migration plans
+//! ```
+//!
+//! Intent files are JSON-serialized [`centralium::RoutingIntent`] values;
+//! see `examples/intents/`. `deploy` runs the §7.1 emulation pre-check
+//! before touching the (emulated) fabric and finishes with the §7.2 debug
+//! view: active RPAs per switch and the governing statement for the
+//! default route.
+
+use centralium::apps::app_names;
+use centralium::controller::Controller;
+use centralium::health::{HealthCheck, TrafficProbe};
+use centralium::preverify::{emulate_and_verify, VerifyOutcome};
+use centralium::sequencer::DeploymentStrategy;
+use centralium::RoutingIntent;
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_simnet::{SimConfig, SimNet};
+use centralium_topology::{build_fabric, FabricSpec, Layer};
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is a closed pipe (`centralium-cli ... | head`):
+    // without a libc dependency SIGPIPE stays ignored and println! panics,
+    // so intercept that one panic and treat it as a normal exit.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|m| m.contains("Broken pipe"))
+            .unwrap_or(false);
+        if is_broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "topo" => cmd_topo(&args),
+        "converge" => cmd_converge(&args),
+        "compile" => cmd_compile(&args),
+        "deploy" => cmd_deploy(&args),
+        "plan" => cmd_plan(&args),
+        "apps" => {
+            println!("onboarded applications ({}):", app_names().len());
+            for name in app_names() {
+                println!("  {name}");
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: centralium-cli <command> [options]
+
+commands:
+  topo      print a fabric summary          [--pods N --planes N --ssws N --racks N --grids N --fauus N --ebs N]
+  converge  build a fabric and converge it  [fabric opts] [--seed N] [--handshake]
+  compile   compile an intent to RPAs       --intent FILE [fabric opts]
+  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [fabric opts] [--seed N]
+  plan      print the Table 3 migration plans
+  apps      list the onboarded applications";
+
+fn spec_from(args: &Args) -> Result<FabricSpec, String> {
+    let mut spec = FabricSpec::tiny();
+    if let Some(v) = args.get_u16("pods")? {
+        spec.pods = v;
+    }
+    if let Some(v) = args.get_u16("planes")? {
+        spec.planes = v;
+    }
+    if let Some(v) = args.get_u16("ssws")? {
+        spec.ssws_per_plane = v;
+    }
+    if let Some(v) = args.get_u16("racks")? {
+        spec.racks_per_pod = v;
+    }
+    if let Some(v) = args.get_u16("grids")? {
+        spec.grids = v;
+    }
+    if let Some(v) = args.get_u16("fauus")? {
+        spec.fauus_per_grid = v;
+    }
+    if let Some(v) = args.get_u16("ebs")? {
+        spec.backbone_devices = v;
+    }
+    for (name, v) in [
+        ("pods", spec.pods),
+        ("planes", spec.planes),
+        ("ssws", spec.ssws_per_plane),
+        ("racks", spec.racks_per_pod),
+        ("grids", spec.grids),
+        ("fauus", spec.fauus_per_grid),
+        ("ebs", spec.backbone_devices),
+    ] {
+        if v == 0 {
+            return Err(format!("--{name} must be at least 1"));
+        }
+    }
+    Ok(spec)
+}
+
+fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::FabricIndex), String> {
+    let spec = spec_from(args)?;
+    let (topo, idx, _) = build_fabric(&spec);
+    let cfg = SimConfig {
+        seed: args.get_u64("seed")?.unwrap_or(1),
+        handshake_sessions: args.has_flag("handshake"),
+        ..Default::default()
+    };
+    let mut net = SimNet::new(topo, cfg);
+    net.establish_all();
+    for &eb in &idx.backbone {
+        net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+    }
+    let report = net.run_until_quiescent();
+    if !report.converged {
+        return Err("fabric failed to converge".into());
+    }
+    Ok((net, idx))
+}
+
+fn cmd_topo(args: &Args) -> Result<(), String> {
+    let spec = spec_from(args)?;
+    let (topo, _, _) = build_fabric(&spec);
+    println!("fabric: {} devices, {} links", topo.device_count(), topo.link_count());
+    for layer in Layer::ALL {
+        let n = topo.devices_in_layer(layer).count();
+        println!("  {:<5} {n}", layer.short_name());
+    }
+    Ok(())
+}
+
+fn cmd_converge(args: &Args) -> Result<(), String> {
+    let (net, idx) = converged(args)?;
+    let stats = net.stats();
+    println!(
+        "converged at t={:.1}ms: {} messages delivered, {} announcements, {} withdrawals",
+        net.now() as f64 / 1000.0,
+        stats.messages_delivered,
+        stats.announcements,
+        stats.withdrawals
+    );
+    let rsw = idx.rsw[0][0];
+    let dev = net.device(rsw).ok_or("rsw missing")?;
+    let entry = dev.fib.entry(Prefix::DEFAULT).ok_or("no default route at the rack")?;
+    println!(
+        "rack {} default route: {} next-hops {:?}",
+        rsw,
+        entry.nexthops.len(),
+        entry.nexthops.iter().map(|(p, w)| format!("d{}:{w}", p.device())).collect::<Vec<_>>()
+    );
+    Ok(())
+}
+
+fn load_intent(args: &Args) -> Result<RoutingIntent, String> {
+    let path = args.get_str("intent")?.ok_or("--intent FILE is required")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let spec = spec_from(args)?;
+    let (topo, _, _) = build_fabric(&spec);
+    let intent = load_intent(args)?;
+    let docs = centralium::compile_intent(&topo, &intent).map_err(|e| e.to_string())?;
+    println!("intent '{}' compiles to {} per-switch documents", intent.kind(), docs.len());
+    if let Some((dev, doc)) = docs.first() {
+        println!(
+            "--- exemplar for device {dev} ({} LOC) ---\n{}",
+            doc.loc(),
+            serde_json::to_string_pretty(doc).map_err(|e| e.to_string())?
+        );
+    }
+    Ok(())
+}
+
+fn cmd_deploy(args: &Args) -> Result<(), String> {
+    let intent = load_intent(args)?;
+    let strategy = match args.get_str("strategy")?.as_deref() {
+        None | Some("safe") => DeploymentStrategy::SafeOrder,
+        Some("inverse") => DeploymentStrategy::InverseOrder,
+        Some("unordered") => DeploymentStrategy::Unordered,
+        Some(other) => return Err(format!("unknown strategy '{other}'")),
+    };
+    // §7.1: emulation pre-verification gates the deployment.
+    print!("pre-verification on a reduced-scale fabric... ");
+    match emulate_and_verify(&intent, Layer::Backbone) {
+        VerifyOutcome::Passed => println!("PASSED"),
+        VerifyOutcome::DeployFailed(e) => return Err(format!("pre-verification: {e}")),
+        VerifyOutcome::InvariantsBroken(failures) => {
+            return Err(format!("pre-verification caught invariant breaks: {failures:?}"))
+        }
+        VerifyOutcome::Unverifiable(why) => {
+            println!("SKIPPED ({why}); the post-deployment health check still gates")
+        }
+    }
+    let (mut net, idx) = converged(args)?;
+    let mut controller = Controller::new(&net, idx.rsw[0][0]);
+    let check = HealthCheck {
+        probe: Some(TrafficProbe {
+            sources: idx.rsw.iter().flatten().copied().collect(),
+            dest: Prefix::DEFAULT,
+            gbps_each: 1.0,
+        }),
+        max_link_utilization: Some(1.0),
+        ..Default::default()
+    };
+    let report = controller
+        .deploy_intent(&mut net, &intent, Layer::Backbone, strategy, &check, &check)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "deployed '{}' in {} phase(s), {} RPCs; generation {:?}; sim duration {:.1}ms",
+        intent.kind(),
+        report.phases.len(),
+        report.issued_ops.len(),
+        report.generation_time,
+        report.sim_duration() as f64 / 1000.0,
+    );
+    for phase in &report.phases {
+        println!(
+            "  phase {:?}: {} devices, issued t={:.1}ms, converged t={:.1}ms",
+            phase.layer.map(|l| l.short_name()).unwrap_or("-"),
+            phase.devices.len(),
+            phase.issued_at as f64 / 1000.0,
+            phase.converged_at as f64 / 1000.0
+        );
+    }
+    println!(
+        "post-deployment health: {}",
+        if report.post_health.passed() {
+            "PASS".to_string()
+        } else {
+            format!("{:?}", report.post_health.failures)
+        }
+    );
+    // §7.2 debug view on one target switch.
+    if let Some(dev) = report.phases.first().and_then(|p| p.devices.first()) {
+        let device = net.device(*dev).ok_or("device vanished")?;
+        println!("device {dev} active RPAs: {:?}", device.engine.installed());
+        let candidates: Vec<_> =
+            device.daemon.rib_in_routes(Prefix::DEFAULT).into_iter().cloned().collect();
+        if let Some((doc, stmt)) = device.engine.governing_statement(Prefix::DEFAULT, &candidates)
+        {
+            println!("default route governed by '{doc}' statement {stmt}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let spec = spec_from(args)?;
+    let (topo, _, _) = build_fabric(&spec);
+    for plan in centralium::plan_all_categories(&topo) {
+        println!(
+            "{}: {} → {} steps, {:.0} → {:.1} days, {} LOC of RPA",
+            plan.category,
+            plan.steps_without(),
+            plan.steps_with(),
+            plan.days_without(),
+            plan.days_with(),
+            plan.rpa_loc()
+        );
+        for step in &plan.with_rpa {
+            println!("    - {}", step.description);
+        }
+    }
+    Ok(())
+}

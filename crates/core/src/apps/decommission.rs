@@ -1,0 +1,97 @@
+//! Decommission Guard app (§3.3 / §4.4.2): drain interconnected SSW/FADU
+//! groups without last-router funneling or black-holing.
+//!
+//! The RPA makes the migration two steps: drain all FADU-N, drain all SSW-N.
+//! Min-next-hop keeps shrinking ECMP groups from funneling; keep-FIB-warm
+//! keeps in-flight packets alive while withdrawals propagate.
+
+use crate::intent::{RoutingIntent, TargetSet};
+use centralium_bgp::Community;
+use centralium_rpa::MinNextHop;
+use centralium_simnet::SimNet;
+use centralium_topology::DeviceId;
+
+/// Build the per-switch protection intent for the devices about to lose
+/// next-hops (the SSWs left behind when their paired FADUs drain).
+pub fn protection_intent(
+    destination: Community,
+    protected: Vec<DeviceId>,
+    min: MinNextHop,
+) -> RoutingIntent {
+    RoutingIntent::MinNextHopProtection {
+        destination,
+        min,
+        keep_fib_warm: true,
+        targets: TargetSet::Devices(protected),
+    }
+}
+
+/// The two-stage drain itself: all of `first_wave` (FADU-N), then all of
+/// `second_wave` (SSW-N). Each wave is issued at once — the paper's point is
+/// that *with* the RPA, intra-wave convergence asynchrony is harmless.
+/// Callers run the network to quiescence between waves.
+pub fn drain_wave(net: &mut SimNet, wave: &[DeviceId]) {
+    for &dev in wave {
+        net.drain_device(dev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+    use centralium_bgp::Prefix;
+    use centralium_simnet::SimConfig;
+    use centralium_topology::{build_fabric, DeviceState, FabricSpec};
+
+    #[test]
+    fn two_stage_drain_keeps_reachability() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        // Decommission group 0: FADU-0 of each grid, SSW-0 of each plane.
+        let fadus: Vec<DeviceId> = idx.fadu.iter().map(|g| g[0]).collect();
+        let ssws: Vec<DeviceId> = idx.ssw.iter().map(|p| p[0]).collect();
+        drain_wave(&mut net, &fadus);
+        net.run_until_quiescent().expect_converged();
+        drain_wave(&mut net, &ssws);
+        net.run_until_quiescent().expect_converged();
+        // Drained devices are in maintenance; survivors still route.
+        for &f in &fadus {
+            assert_eq!(net.topology().device(f).unwrap().state, DeviceState::Drained);
+        }
+        let survivor_ssw = idx.ssw[0][1];
+        let entry = net
+            .device(survivor_ssw)
+            .unwrap()
+            .fib
+            .entry(Prefix::DEFAULT)
+            .expect("survivor keeps the default route");
+        assert_eq!(entry.nexthops.len(), 2, "both grids' FADU-1s");
+    }
+
+    #[test]
+    fn protection_intent_targets_explicit_devices() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let protected: Vec<DeviceId> = idx.ssw.iter().map(|p| p[0]).collect();
+        let intent = protection_intent(
+            well_known::BACKBONE_DEFAULT_ROUTE,
+            protected.clone(),
+            MinNextHop::Fraction(0.75),
+        );
+        assert_eq!(intent.targets(&topo), protected);
+        let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
+        // Fractions resolved per device: each SSW has 2 uplinks → min 2.
+        for (_, doc) in docs {
+            let centralium_rpa::RpaDocument::PathSelection(ps) = doc else { panic!() };
+            assert_eq!(
+                ps.statements[0].bgp_native_min_next_hop,
+                Some(MinNextHop::Absolute(2))
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Expansion Orchestrator app: the full §3.2 topology-expansion workflow,
+//! end to end — the paper's Scenario 1 carried out safely.
+//!
+//! The old aggregation path (SSW → FADU → FAUU → EB) is replaced by
+//! bigger-capacity "FAv2" units that connect SSWs *directly* to the
+//! backbone, creating a shorter AS-path — the exact condition that funnels
+//! all traffic onto the first FAv2 under native BGP. The workflow:
+//!
+//! 1. deploy path-equalization RPAs bottom-up (FSW → SSW);
+//! 2. commission FAv2 units incrementally;
+//! 3. drain and decommission the old FADU/FAUU layers;
+//! 4. remove the RPAs top-down;
+//! 5. verify full reachability throughout.
+
+use crate::apps::path_equalization::equalize_on_layers;
+use crate::controller::{Controller, DeployError};
+use crate::health::{run_health_check, HealthCheck, TrafficProbe};
+use crate::sequencer::DeploymentStrategy;
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_simnet::SimNet;
+use centralium_topology::{Asn, DeviceId, DeviceName, Layer};
+
+/// Outcome of the orchestrated expansion.
+#[derive(Debug)]
+pub struct ExpansionReport {
+    /// The commissioned FAv2 device ids.
+    pub fav2: Vec<DeviceId>,
+    /// Health after the final step.
+    pub final_health: crate::health::HealthReport,
+}
+
+/// Run the full expansion. `ssws` are all spine switches (FAv2 connects to
+/// each), `old_aggregation` the FADU+FAUU devices to retire, `ebs` the
+/// backbone devices, and `fav2_count` how many FAv2 units to commission.
+#[allow(clippy::too_many_arguments)]
+pub fn orchestrate_expansion(
+    net: &mut SimNet,
+    controller: &mut Controller,
+    ssws: &[DeviceId],
+    old_aggregation: &[DeviceId],
+    ebs: &[DeviceId],
+    fav2_count: u16,
+    probe_sources: &[DeviceId],
+) -> Result<ExpansionReport, DeployError> {
+    let probe = HealthCheck {
+        probe: Some(TrafficProbe {
+            sources: probe_sources.to_vec(),
+            dest: Prefix::DEFAULT,
+            gbps_each: 1.0,
+        }),
+        ..Default::default()
+    };
+    // 1. Equalization RPAs, bottom-up, on the layers that see the shorter
+    //    path (FSWs and SSWs).
+    let intent = equalize_on_layers(
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        Layer::Backbone,
+        vec![Layer::Fsw, Layer::Ssw],
+    );
+    controller.deploy_intent(
+        net,
+        &intent,
+        Layer::Backbone,
+        DeploymentStrategy::SafeOrder,
+        &probe,
+        &probe,
+    )?;
+    // 2. Commission FAv2 units one at a time (deliberately incremental, as
+    //    in production). Each connects to every SSW and every EB.
+    let mut fav2 = Vec::new();
+    for n in 0..fav2_count {
+        let mut links: Vec<(DeviceId, f64)> = ssws.iter().map(|&s| (s, 400.0)).collect();
+        links.extend(ebs.iter().map(|&e| (e, 400.0)));
+        let id = net.commission_device(
+            DeviceName::new(Layer::Fadu, 90, n),
+            Asn(45_000 + n as u32),
+            &links,
+        );
+        fav2.push(id);
+        net.run_until_quiescent();
+    }
+    controller.refresh_mgmt(net);
+    // 3. Drain, then decommission, the old aggregation layers.
+    for &dev in old_aggregation {
+        net.drain_device(dev);
+    }
+    net.run_until_quiescent();
+    for &dev in old_aggregation {
+        net.decommission_device(dev);
+    }
+    net.run_until_quiescent();
+    controller.refresh_mgmt(net);
+    // 4. Remove the RPAs top-down; BGP returns to native selection, which is
+    //    now unambiguous (only FAv2 paths remain).
+    controller.remove_intent(
+        net,
+        &intent,
+        Layer::Backbone,
+        DeploymentStrategy::SafeOrder,
+        &probe,
+    )?;
+    // 5. Final verification.
+    let final_health = run_health_check(net, &probe);
+    Ok(ExpansionReport { fav2, final_health })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_simnet::SimConfig;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    #[test]
+    fn full_expansion_completes_without_loss() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        let ssws: Vec<DeviceId> = idx.ssw.iter().flatten().copied().collect();
+        let old: Vec<DeviceId> = idx
+            .fadu
+            .iter()
+            .flatten()
+            .chain(idx.fauu.iter().flatten())
+            .copied()
+            .collect();
+        let sources: Vec<DeviceId> = idx.rsw.iter().flatten().copied().collect();
+        let report = orchestrate_expansion(
+            &mut net,
+            &mut controller,
+            &ssws,
+            &old,
+            &idx.backbone,
+            2,
+            &sources,
+        )
+        .unwrap();
+        assert!(report.final_health.passed(), "{:?}", report.final_health.failures);
+        assert_eq!(report.fav2.len(), 2);
+        // Old layers are gone; SSWs now reach the backbone via FAv2 only.
+        for &dev in &old {
+            assert!(net.device(dev).is_none());
+        }
+        for &ssw in &ssws {
+            let entry = net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+            assert_eq!(entry.nexthops.len(), 2, "both FAv2 units in the ECMP group");
+            for (peer, _) in &entry.nexthops {
+                assert!(report.fav2.contains(&DeviceId(peer.device())));
+            }
+        }
+        // RPAs were cleaned up (no policy residue, §4.4.1).
+        for &ssw in &ssws {
+            assert!(net.device(ssw).unwrap().engine.installed().is_empty());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Explosion Guard app (§3.4 fix): prescribe static WCMP weights ahead of
+//! maintenance so per-session convergence asynchrony cannot mint
+//! combinatorially many next-hop groups.
+//!
+//! "Operators can update prescribed weights using an RPA in anticipation of
+//! upcoming maintenance, and rely on BGP control plane to update the routing
+//! entries when the devices actually go down."
+
+use crate::intent::RoutingIntent;
+use centralium_bgp::Community;
+use centralium_topology::{Asn, DeviceId, Topology};
+
+/// Build the guard intent for `devices`: each device gets one static weight
+/// per upstream neighbor ASN (equal weights — the point is that the weight
+/// *vector* is fixed a priori, so every prefix maps to the same group
+/// regardless of which sessions have converged).
+pub fn explosion_guard_intent(
+    topo: &Topology,
+    devices: &[DeviceId],
+    destination: Community,
+    expiration_time: Option<u64>,
+) -> RoutingIntent {
+    let mut per_device: Vec<(DeviceId, Vec<(Asn, u32)>)> = Vec::new();
+    for &dev in devices {
+        let mut list: Vec<(Asn, u32)> = topo
+            .uplinks(dev)
+            .into_iter()
+            .filter_map(|(up, _)| topo.device(up).map(|d| (d.asn, 1)))
+            .collect();
+        list.sort_unstable();
+        list.dedup();
+        if !list.is_empty() {
+            per_device.push((dev, list));
+        }
+    }
+    RoutingIntent::PrescribeWeights { destination, per_device, expiration_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    #[test]
+    fn guard_covers_every_upstream_neighbor() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let devices: Vec<DeviceId> = idx.fadu.iter().flatten().copied().collect();
+        let intent = explosion_guard_intent(
+            &topo,
+            &devices,
+            well_known::BACKBONE_DEFAULT_ROUTE,
+            Some(10_000_000),
+        );
+        let RoutingIntent::PrescribeWeights { per_device, .. } = &intent else { panic!() };
+        assert_eq!(per_device.len(), 4);
+        for (_, list) in per_device {
+            assert_eq!(list.len(), 2, "each FADU has two FAUU neighbors");
+            assert!(list.iter().all(|(_, w)| *w == 1));
+        }
+        let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
+        assert_eq!(docs.len(), 4);
+    }
+
+    #[test]
+    fn devices_without_uplinks_are_skipped() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let intent = explosion_guard_intent(
+            &topo,
+            &[idx.backbone[0]],
+            well_known::BACKBONE_DEFAULT_ROUTE,
+            None,
+        );
+        let RoutingIntent::PrescribeWeights { per_device, .. } = &intent else { panic!() };
+        assert!(per_device.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! FIB Warm Keeper app: min-next-hop protection for planned route
+//! originations, with the `KeepFibWarmIfMnhViolated` knob handled correctly.
+//!
+//! Figure 14's SEV: operators pre-deployed this protection for a new
+//! more-specific route but set keep-FIB-warm on a *more specific than
+//! default* route — a not-production-ready FA then originated the route, it
+//! stayed out of advertisements (good) but landed in FIBs (bad), and packets
+//! black-holed toward the bad FA. The builder below encodes the lesson:
+//! keep-FIB-warm is only allowed for destinations that already carry
+//! traffic (protecting in-flight packets), never for *newly originated*
+//! routes, where a warm FIB entry is a trap.
+
+use crate::intent::{RoutingIntent, TargetSet};
+use centralium_bgp::Community;
+use centralium_rpa::MinNextHop;
+use centralium_topology::DeviceId;
+
+/// Is the protected destination an established route (safe to keep warm) or
+/// a new origination (must not keep warm — the Figure 14 lesson)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestinationKind {
+    /// Already carrying traffic; warm FIB entries protect in-flight packets.
+    Established,
+    /// Being introduced by this migration; a warm entry for a route that
+    /// never propagated black-holes traffic.
+    NewOrigination,
+}
+
+/// Build the protection intent with the keep-warm knob derived from the
+/// destination kind rather than left to the operator.
+pub fn protected_origination(
+    destination: Community,
+    kind: DestinationKind,
+    min: MinNextHop,
+    targets: Vec<DeviceId>,
+) -> RoutingIntent {
+    RoutingIntent::MinNextHopProtection {
+        destination,
+        min,
+        keep_fib_warm: matches!(kind, DestinationKind::Established),
+        targets: TargetSet::Devices(targets),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+    use centralium_rpa::RpaDocument;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    #[test]
+    fn new_originations_never_keep_fib_warm() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let intent = protected_origination(
+            well_known::RACK_PREFIX,
+            DestinationKind::NewOrigination,
+            MinNextHop::Absolute(2),
+            vec![idx.ssw[0][0]],
+        );
+        let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
+        let RpaDocument::PathSelection(ps) = &docs[0].1 else { panic!() };
+        assert!(
+            !ps.statements[0].keep_fib_warm_if_mnh_violated,
+            "the Figure 14 mis-configuration is unrepresentable through this app"
+        );
+    }
+
+    #[test]
+    fn established_destinations_keep_fib_warm() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let intent = protected_origination(
+            well_known::BACKBONE_DEFAULT_ROUTE,
+            DestinationKind::Established,
+            MinNextHop::Absolute(2),
+            vec![idx.ssw[0][0]],
+        );
+        let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
+        let RpaDocument::PathSelection(ps) = &docs[0].1 else { panic!() };
+        assert!(ps.statements[0].keep_fib_warm_if_mnh_violated);
+    }
+}

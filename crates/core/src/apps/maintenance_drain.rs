@@ -1,0 +1,81 @@
+//! Maintenance Drain app (Table 1 row e): shift traffic off devices under a
+//! standing min-next-hop protection so that convergence asynchrony cannot
+//! funnel traffic onto the last live device.
+
+use crate::intent::{RoutingIntent, TargetSet};
+use centralium_bgp::Community;
+use centralium_rpa::MinNextHop;
+use centralium_simnet::SimNet;
+use centralium_topology::DeviceId;
+
+/// Standing protection intent deployed on the peers that will lose
+/// next-hops when the maintenance set drains.
+pub fn standing_protection(destination: Community, peers: Vec<DeviceId>) -> RoutingIntent {
+    RoutingIntent::MinNextHopProtection {
+        destination,
+        min: MinNextHop::Fraction(0.5),
+        keep_fib_warm: true,
+        targets: TargetSet::Devices(peers),
+    }
+}
+
+/// Execute the drain: everything at once — the protection RPA makes the
+/// single step safe (Table 3 row e: 3 steps → 1).
+pub fn drain_for_maintenance(net: &mut SimNet, targets: &[DeviceId]) {
+    for &dev in targets {
+        net.drain_device(dev);
+    }
+}
+
+/// Revert after maintenance.
+pub fn undrain_after_maintenance(net: &mut SimNet, targets: &[DeviceId]) {
+    for &dev in targets {
+        net.undrain_device(dev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+    use centralium_bgp::Prefix;
+    use centralium_simnet::SimConfig;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    #[test]
+    fn drain_and_undrain_roundtrip() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        let ssw = idx.ssw[0][0];
+        let before =
+            net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().nexthops.len();
+        let maintenance = vec![idx.fadu[0][0]];
+        drain_for_maintenance(&mut net, &maintenance);
+        net.run_until_quiescent().expect_converged();
+        let during =
+            net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().nexthops.len();
+        assert_eq!(during, before - 1, "drained FADU off the forwarding path");
+        undrain_after_maintenance(&mut net, &maintenance);
+        net.run_until_quiescent().expect_converged();
+        let after = net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().nexthops.len();
+        assert_eq!(after, before, "capacity restored");
+    }
+
+    #[test]
+    fn protection_intent_compiles_with_fib_warm() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let peers: Vec<DeviceId> = idx.ssw.iter().flatten().copied().collect();
+        let intent = standing_protection(well_known::BACKBONE_DEFAULT_ROUTE, peers);
+        let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
+        assert_eq!(docs.len(), 4);
+        for (_, doc) in docs {
+            let centralium_rpa::RpaDocument::PathSelection(ps) = doc else { panic!() };
+            assert!(ps.statements[0].keep_fib_warm_if_mnh_violated);
+        }
+    }
+}

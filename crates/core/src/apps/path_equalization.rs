@@ -1,0 +1,56 @@
+//! Path Equalization app (§4.4.1): treat backbone paths of varying AS-path
+//! length as equal during topology expansion, defeating the first-router
+//! collapse.
+
+use crate::intent::{RoutingIntent, TargetSet};
+use centralium_bgp::Community;
+use centralium_topology::Layer;
+
+/// Build the equalization intent for the standard expansion scenario: every
+/// fabric layer between the racks and the new/old aggregation layers selects
+/// all paths originated by `origin_layer` toward `destination`.
+pub fn equalize_backbone_paths(destination: Community, origin_layer: Layer) -> RoutingIntent {
+    RoutingIntent::EqualizePaths {
+        destination,
+        origin_layer,
+        targets: TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw, Layer::Fadu, Layer::Fauu]),
+    }
+}
+
+/// Equalization scoped to explicit layers (partial rollouts).
+pub fn equalize_on_layers(
+    destination: Community,
+    origin_layer: Layer,
+    layers: Vec<Layer>,
+) -> RoutingIntent {
+    RoutingIntent::EqualizePaths { destination, origin_layer, targets: TargetSet::Layers(layers) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_intent;
+    use centralium_bgp::attrs::well_known;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    #[test]
+    fn standard_intent_targets_all_fabric_layers() {
+        let (topo, _, _) = build_fabric(&FabricSpec::tiny());
+        let intent =
+            equalize_backbone_paths(well_known::BACKBONE_DEFAULT_ROUTE, Layer::Backbone);
+        // tiny: 4 FSW + 4 SSW + 4 FADU + 4 FAUU.
+        assert_eq!(intent.targets(&topo).len(), 16);
+        assert!(compile_intent(&topo, &intent).is_ok());
+    }
+
+    #[test]
+    fn scoped_intent_restricts_layers() {
+        let (topo, _, _) = build_fabric(&FabricSpec::tiny());
+        let intent = equalize_on_layers(
+            well_known::BACKBONE_DEFAULT_ROUTE,
+            Layer::Backbone,
+            vec![Layer::Ssw],
+        );
+        assert_eq!(intent.targets(&topo).len(), 4);
+    }
+}

@@ -1,0 +1,90 @@
+//! Route Filter Boundary app: allow lists at the DC/backbone boundary
+//! (§4.3 Route Filter RPAs, "typically enacted at boundaries of network
+//! domains, such as between data centers and the backbone").
+
+use crate::intent::{RoutingIntent, TargetSet};
+use centralium_bgp::Prefix;
+use centralium_topology::Layer;
+
+/// The standard boundary policy deployed on FAUUs: accept only the default
+/// route from backbone peers; advertise only DC aggregates (bounded mask
+/// length, so more-specifics cannot leak and exhaust backbone FIBs).
+pub fn dc_backbone_boundary(dc_aggregates: Vec<(Prefix, u8)>) -> RoutingIntent {
+    RoutingIntent::FilterBoundary {
+        peer_layer: Layer::Backbone,
+        ingress_allow: vec![(Prefix::DEFAULT, 0)],
+        egress_allow: dc_aggregates,
+        targets: TargetSet::Layer(Layer::Fauu),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+    use centralium_simnet::{SimConfig, SimNet};
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    #[test]
+    fn boundary_filter_blocks_specific_leaks_end_to_end() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        // Backbone originates the default route (allowed) and a rogue /24
+        // more-specific.
+        net.originate(idx.backbone[0], Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        net.originate(idx.backbone[0], "99.99.99.0/24".parse().unwrap(), []);
+        net.run_until_quiescent().expect_converged();
+        // Without the filter the rogue route reaches the fabric.
+        let fauu = idx.fauu[0][0];
+        let rogue: Prefix = "99.99.99.0/24".parse().unwrap();
+        assert!(net.device(fauu).unwrap().daemon.loc_rib_entry(rogue).is_some());
+        // Deploy the boundary filter on every FAUU: deployment re-applies
+        // ingress filtering to already-admitted routes and cascades
+        // withdrawals fabric-wide.
+        let intent = dc_backbone_boundary(vec![("10.0.0.0/8".parse().unwrap(), 16)]);
+        for (dev, doc) in crate::compile::compile_intent(net.topology(), &intent).unwrap() {
+            net.deploy_rpa(dev, doc, 100);
+        }
+        net.run_until_quiescent().expect_converged();
+        for grid in &idx.fauu {
+            for &f in grid {
+                let dev = net.device(f).unwrap();
+                assert!(dev.daemon.loc_rib_entry(Prefix::DEFAULT).is_some(), "default kept");
+                assert!(dev.daemon.loc_rib_entry(rogue).is_none(), "rogue evicted");
+            }
+        }
+        for grid in &idx.fadu {
+            for &f in grid {
+                assert!(
+                    net.device(f).unwrap().daemon.loc_rib_entry(rogue).is_none(),
+                    "withdrawal cascaded below the boundary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn egress_filter_blocks_dc_leaks_toward_backbone() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        net.run_until_quiescent().expect_converged();
+        let intent = dc_backbone_boundary(vec![("10.0.0.0/8".parse().unwrap(), 16)]);
+        let docs = crate::compile::compile_intent(net.topology(), &intent).unwrap();
+        for (dev, doc) in docs {
+            net.deploy_rpa(dev, doc, 100);
+        }
+        net.run_until_quiescent().expect_converged();
+        // A rack originates an allowed /16 aggregate and a too-specific /24.
+        net.originate(idx.rsw[0][0], "10.1.0.0/16".parse().unwrap(), [well_known::RACK_PREFIX]);
+        net.originate(idx.rsw[0][0], "10.1.1.0/24".parse().unwrap(), [well_known::RACK_PREFIX]);
+        net.run_until_quiescent().expect_converged();
+        let eb = net.device(idx.backbone[0]).unwrap();
+        assert!(eb.daemon.loc_rib_entry("10.1.0.0/16".parse().unwrap()).is_some());
+        assert!(
+            eb.daemon.loc_rib_entry("10.1.1.0/24".parse().unwrap()).is_none(),
+            "/24 must not cross the boundary"
+        );
+    }
+}

@@ -1,0 +1,391 @@
+//! The Centralium controller facade: health-checked, safely-sequenced intent
+//! deployment over the emulated fabric.
+
+use crate::compile::{compile_intent, CompileError};
+use crate::health::{run_health_check, HealthCheck, HealthReport};
+use crate::intent::RoutingIntent;
+use crate::sequencer::{deployment_phases, removal_phases, DeploymentStrategy};
+use crate::switch_agent::{IssuedOp, SwitchAgent};
+use centralium_nsdb::{Path, ReplicatedNsdb};
+use centralium_simnet::{ManagementPlane, SimNet, SimTime};
+use centralium_topology::{DeviceId, Layer};
+use std::time::Duration;
+
+/// Why a deployment did not happen.
+#[derive(Debug)]
+pub enum DeployError {
+    /// Intent compilation failed.
+    Compile(CompileError),
+    /// The pre-deployment health check failed; nothing was deployed.
+    PreCheckFailed(HealthReport),
+    /// A phase failed to reach consistency.
+    PhaseStuck {
+        /// Zero-based index of the stuck phase.
+        phase: usize,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Compile(e) => write!(f, "compile error: {e}"),
+            DeployError::PreCheckFailed(r) => {
+                write!(f, "pre-deployment health check failed: {:?}", r.failures)
+            }
+            DeployError::PhaseStuck { phase } => {
+                write!(f, "deployment phase {phase} failed to converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Per-phase deployment record.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Layer covered (None for unordered deployments).
+    pub layer: Option<Layer>,
+    /// Devices touched.
+    pub devices: Vec<DeviceId>,
+    /// Simulated time when the phase's RPCs were issued.
+    pub issued_at: SimTime,
+    /// Simulated time when the network reconverged after the phase.
+    pub converged_at: SimTime,
+}
+
+/// Outcome of a deployment (or removal).
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// Wall-clock time spent generating the per-switch RPAs (§6.2's
+    /// "< 200 ms for a full DC").
+    pub generation_time: Duration,
+    /// Per-phase records, in order.
+    pub phases: Vec<PhaseReport>,
+    /// Every issued RPC with its latency — the Figure 12 samples.
+    pub issued_ops: Vec<IssuedOp>,
+    /// Post-deployment health.
+    pub post_health: HealthReport,
+}
+
+impl DeploymentReport {
+    /// Total simulated duration from first issue to final convergence.
+    pub fn sim_duration(&self) -> SimTime {
+        match (self.phases.first(), self.phases.last()) {
+            (Some(first), Some(last)) => last.converged_at.saturating_sub(first.issued_at),
+            _ => 0,
+        }
+    }
+}
+
+/// The controller: NSDB (durability) + Switch Agent (I/O) + sequencing +
+/// health checks.
+#[derive(Debug)]
+pub struct Controller {
+    /// Durable store for operator intents (two replicas, as in production).
+    pub nsdb: ReplicatedNsdb,
+    /// The I/O layer.
+    pub agent: SwitchAgent,
+}
+
+impl Controller {
+    /// Create a controller attached to the management plane at `root`.
+    pub fn new(net: &SimNet, root: DeviceId) -> Self {
+        let mgmt = ManagementPlane::compute(net.topology(), root);
+        Controller { nsdb: ReplicatedNsdb::new(2), agent: SwitchAgent::new(mgmt) }
+    }
+
+    /// Recompute the management plane after topology changes.
+    pub fn refresh_mgmt(&mut self, net: &SimNet) {
+        let root = self.agent.mgmt().root();
+        self.agent.set_mgmt(ManagementPlane::compute(net.topology(), root));
+    }
+
+    /// Deploy an intent end-to-end: pre-check → compile → record in NSDB →
+    /// phased deployment with convergence barriers → post-check.
+    ///
+    /// `origination_layer` is where the affected routes originate (drives
+    /// the §5.3.2 safe order); `strategy` selects the ordering (ablations
+    /// pass `Unordered`/`InverseOrder`).
+    pub fn deploy_intent(
+        &mut self,
+        net: &mut SimNet,
+        intent: &RoutingIntent,
+        origination_layer: Layer,
+        strategy: DeploymentStrategy,
+        pre: &HealthCheck,
+        post: &HealthCheck,
+    ) -> Result<DeploymentReport, DeployError> {
+        let pre_report = run_health_check(net, pre);
+        if !pre_report.passed() {
+            return Err(DeployError::PreCheckFailed(pre_report));
+        }
+        let started = std::time::Instant::now();
+        let docs = compile_intent(net.topology(), intent).map_err(DeployError::Compile)?;
+        let generation_time = started.elapsed();
+        self.nsdb.publish(
+            Path::parse(&format!("/intents/{}", intent.kind())),
+            serde_json::to_value(intent).expect("intents serialize"),
+        );
+        let phases = deployment_phases(net.topology(), docs, origination_layer, strategy);
+        let (phase_reports, issued_ops) = self.run_phases(net, phases, true)?;
+        let post_health = run_health_check(net, post);
+        Ok(DeploymentReport {
+            generation_time,
+            phases: phase_reports,
+            issued_ops,
+            post_health,
+        })
+    }
+
+    /// Remove a previously deployed intent, in the mirror-safe order.
+    pub fn remove_intent(
+        &mut self,
+        net: &mut SimNet,
+        intent: &RoutingIntent,
+        origination_layer: Layer,
+        strategy: DeploymentStrategy,
+        post: &HealthCheck,
+    ) -> Result<DeploymentReport, DeployError> {
+        let started = std::time::Instant::now();
+        let docs = compile_intent(net.topology(), intent).map_err(DeployError::Compile)?;
+        let generation_time = started.elapsed();
+        let phases = removal_phases(net.topology(), docs, origination_layer, strategy);
+        let (phase_reports, issued_ops) = self.run_phases(net, phases, false)?;
+        // Only drop the durable record once the fleet no longer runs the
+        // RPAs — a stuck removal must leave the intent recorded.
+        self.nsdb.delete(&Path::parse(&format!("/intents/{}", intent.kind())));
+        let post_health = run_health_check(net, post);
+        Ok(DeploymentReport {
+            generation_time,
+            phases: phase_reports,
+            issued_ops,
+            post_health,
+        })
+    }
+
+    fn run_phases(
+        &mut self,
+        net: &mut SimNet,
+        phases: Vec<crate::sequencer::DeploymentPhase>,
+        install: bool,
+    ) -> Result<(Vec<PhaseReport>, Vec<IssuedOp>), DeployError> {
+        let mut reports = Vec::with_capacity(phases.len());
+        let mut all_ops = Vec::new();
+        for (i, phase) in phases.into_iter().enumerate() {
+            let issued_at = net.now();
+            let devices: Vec<DeviceId> = phase.installs.iter().map(|(d, _)| *d).collect();
+            for (dev, doc) in &phase.installs {
+                let nsdb_path =
+                    Path::parse(&format!("/devices/d{}/rpa/{}", dev.0, doc.name()));
+                if install {
+                    self.agent.set_intended(*dev, doc);
+                    // Durability: per-device desired state fans out to every
+                    // NSDB replica (§5.2's write path).
+                    self.nsdb.publish(
+                        nsdb_path,
+                        serde_json::to_value(doc).expect("documents serialize"),
+                    );
+                } else {
+                    self.agent.clear_intended(*dev, doc.name());
+                    self.nsdb.delete(&nsdb_path);
+                }
+            }
+            let ops = self.agent.reconcile(net);
+            all_ops.extend(ops.iter().copied());
+            // Convergence barrier: "every layer must receive the new RPA
+            // after all their downstream peers have picked up" (§5.3.2).
+            if !net.run_until_quiescent().converged {
+                return Err(DeployError::PhaseStuck { phase: i });
+            }
+            self.agent.poll_current(net);
+            if self.agent.service.store.out_of_sync().iter().any(|p| {
+                devices
+                    .iter()
+                    .any(|d| p.to_string().starts_with(&format!("/devices/d{}/", d.0)))
+            }) {
+                return Err(DeployError::PhaseStuck { phase: i });
+            }
+            reports.push(PhaseReport {
+                layer: phase.layer,
+                devices,
+                issued_at,
+                converged_at: net.now(),
+            });
+        }
+        Ok((reports, all_ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::TargetSet;
+    use centralium_bgp::attrs::well_known;
+    use centralium_bgp::Prefix;
+    use centralium_simnet::SimConfig;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    fn fabric() -> (SimNet, centralium_topology::builder::FabricIndex) {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        (net, idx)
+    }
+
+    fn equalize(targets: TargetSet) -> RoutingIntent {
+        RoutingIntent::EqualizePaths {
+            destination: well_known::BACKBONE_DEFAULT_ROUTE,
+            origin_layer: Layer::Backbone,
+            targets,
+        }
+    }
+
+    #[test]
+    fn end_to_end_deployment_installs_in_safe_order() {
+        let (mut net, idx) = fabric();
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        let intent = equalize(TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw, Layer::Fadu]));
+        let report = controller
+            .deploy_intent(
+                &mut net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &HealthCheck::default(),
+                &HealthCheck::default(),
+            )
+            .unwrap();
+        // Phases bottom-up: FSW, SSW, FADU.
+        let order: Vec<Layer> = report.phases.iter().filter_map(|p| p.layer).collect();
+        assert_eq!(order, vec![Layer::Fsw, Layer::Ssw, Layer::Fadu]);
+        // Phases are time-ordered with barriers.
+        for pair in report.phases.windows(2) {
+            assert!(pair[1].issued_at >= pair[0].converged_at);
+        }
+        // Every targeted switch runs the RPA.
+        for &d in idx.fsw.iter().flatten().chain(idx.ssw.iter().flatten()) {
+            assert_eq!(net.device(d).unwrap().engine.installed(), vec!["equalize-paths"]);
+        }
+        assert_eq!(report.issued_ops.len(), 12);
+        assert!(report.post_health.passed());
+        assert!(report.generation_time.as_millis() < 200, "§6.2 generation budget");
+    }
+
+    #[test]
+    fn removal_runs_in_mirror_order() {
+        let (mut net, idx) = fabric();
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        let intent = equalize(TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw]));
+        controller
+            .deploy_intent(
+                &mut net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &HealthCheck::default(),
+                &HealthCheck::default(),
+            )
+            .unwrap();
+        let report = controller
+            .remove_intent(
+                &mut net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &HealthCheck::default(),
+            )
+            .unwrap();
+        let order: Vec<Layer> = report.phases.iter().filter_map(|p| p.layer).collect();
+        assert_eq!(order, vec![Layer::Ssw, Layer::Fsw], "closest to origination first");
+        for &d in idx.ssw.iter().flatten() {
+            assert!(net.device(d).unwrap().engine.installed().is_empty());
+        }
+    }
+
+    #[test]
+    fn failed_precheck_blocks_deployment() {
+        let (mut net, idx) = fabric();
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        let intent = equalize(TargetSet::Layer(Layer::Ssw));
+        let impossible = HealthCheck {
+            min_nexthops: vec![(idx.ssw[0][0], Prefix::DEFAULT, 99)],
+            ..Default::default()
+        };
+        let err = controller
+            .deploy_intent(
+                &mut net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &impossible,
+                &HealthCheck::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeployError::PreCheckFailed(_)));
+        // Nothing deployed.
+        for &d in idx.ssw.iter().flatten() {
+            assert!(net.device(d).unwrap().engine.installed().is_empty());
+        }
+    }
+
+    #[test]
+    fn nsdb_replica_failure_mid_deployment_is_transparent() {
+        let (mut net, idx) = fabric();
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        // Kill the NSDB leader before deploying: writes keep fanning out to
+        // the survivor, reads fail over, the deployment is unaffected.
+        controller.nsdb.fail_replica(0);
+        let intent = equalize(TargetSet::Layer(Layer::Ssw));
+        controller
+            .deploy_intent(
+                &mut net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &HealthCheck::default(),
+                &HealthCheck::default(),
+            )
+            .unwrap();
+        let ssw = idx.ssw[0][0];
+        assert_eq!(net.device(ssw).unwrap().engine.installed(), vec!["equalize-paths"]);
+        // Reads come from the surviving replica.
+        let doc_path = Path::parse(&format!("/devices/d{}/rpa/equalize-paths", ssw.0));
+        assert!(controller.nsdb.get(&doc_path).is_some());
+        // Recovery anti-entropy syncs the dead replica back.
+        controller.nsdb.recover_replica(0);
+        assert!(controller.nsdb.is_consistent());
+    }
+
+    #[test]
+    fn intents_are_recorded_in_nsdb() {
+        let (mut net, idx) = fabric();
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        let intent = equalize(TargetSet::Layer(Layer::Ssw));
+        controller
+            .deploy_intent(
+                &mut net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &HealthCheck::default(),
+                &HealthCheck::default(),
+            )
+            .unwrap();
+        assert!(controller.nsdb.get(&Path::parse("/intents/equalize-paths")).is_some());
+        controller
+            .remove_intent(
+                &mut net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &HealthCheck::default(),
+            )
+            .unwrap();
+        assert!(controller.nsdb.get(&Path::parse("/intents/equalize-paths")).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Pre/post-deployment network health checks (controller functions 1 & 4).
+//!
+//! §5: the controller verifies prerequisites before deploying (specific RIB
+//! states, general network health such as congestion-freeness) and verifies
+//! expected changes after (e.g. new paths selected).
+
+use centralium_bgp::Prefix;
+use centralium_simnet::traffic::{forwarding_cycle, route_flows, TrafficMatrix, DEFAULT_MAX_HOPS};
+use centralium_simnet::SimNet;
+use centralium_topology::DeviceId;
+
+/// A traffic probe: offered demand used to judge loss/loops/congestion.
+#[derive(Debug, Clone)]
+pub struct TrafficProbe {
+    /// Sources of the probe flows.
+    pub sources: Vec<DeviceId>,
+    /// Destination prefix.
+    pub dest: Prefix,
+    /// Demand per source, Gbps.
+    pub gbps_each: f64,
+}
+
+/// What to check.
+#[derive(Debug, Clone, Default)]
+pub struct HealthCheck {
+    /// Route the probe and require full delivery (no black-holes, no loops).
+    pub probe: Option<TrafficProbe>,
+    /// Require max link utilization under the probe to stay below this
+    /// (congestion-freeness). Ignored without a probe.
+    pub max_link_utilization: Option<f64>,
+    /// Expected RIB states: `(device, prefix, min selected next-hops)`.
+    pub min_nexthops: Vec<(DeviceId, Prefix, usize)>,
+    /// Devices that must have a specific RPA installed (post-deployment
+    /// verification that new state is active).
+    pub expect_rpa: Vec<(DeviceId, String)>,
+}
+
+/// Outcome of a health check.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    /// Human-readable failures; empty = healthy.
+    pub failures: Vec<String>,
+}
+
+impl HealthReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run a health check against the emulated network's current state.
+pub fn run_health_check(net: &SimNet, check: &HealthCheck) -> HealthReport {
+    let mut report = HealthReport::default();
+    if let Some(probe) = &check.probe {
+        let tm = TrafficMatrix::uniform(&probe.sources, probe.dest, probe.gbps_each);
+        let offered = tm.total_gbps();
+        let delivery = route_flows(net, &tm, DEFAULT_MAX_HOPS);
+        if delivery.blackholed_gbps > 1e-9 {
+            report.failures.push(format!(
+                "black-holed {:.3} Gbps of {:.3} offered toward {}",
+                delivery.blackholed_gbps, offered, probe.dest
+            ));
+        }
+        if delivery.looped_gbps > 1e-9 {
+            report
+                .failures
+                .push(format!("looping traffic detected: {:.3} Gbps", delivery.looped_gbps));
+        }
+        if let Some(cycle) = forwarding_cycle(net, &probe.dest) {
+            report.failures.push(format!("forwarding loop toward {}: {:?}", probe.dest, cycle));
+        }
+        if let Some(limit) = check.max_link_utilization {
+            let util = delivery.max_link_utilization(net.topology());
+            if util > limit {
+                report.failures.push(format!(
+                    "congestion: max link utilization {:.3} exceeds {:.3}",
+                    util, limit
+                ));
+            }
+        }
+    }
+    for (dev, prefix, min) in &check.min_nexthops {
+        let actual = net
+            .device(*dev)
+            .and_then(|d| d.daemon.loc_rib_entry(*prefix))
+            .map(|e| e.nexthop_sessions().len())
+            .unwrap_or(0);
+        if actual < *min {
+            report.failures.push(format!(
+                "device {dev}: {prefix} has {actual} next-hops, expected >= {min}"
+            ));
+        }
+    }
+    for (dev, rpa_name) in &check.expect_rpa {
+        let installed = net
+            .device(*dev)
+            .map(|d| d.engine.installed().iter().any(|n| *n == rpa_name))
+            .unwrap_or(false);
+        if !installed {
+            report.failures.push(format!("device {dev}: RPA '{rpa_name}' not installed"));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+    use centralium_simnet::SimConfig;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    fn converged() -> (SimNet, centralium_topology::builder::FabricIndex) {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        (net, idx)
+    }
+
+    #[test]
+    fn healthy_fabric_passes() {
+        let (net, idx) = converged();
+        let check = HealthCheck {
+            probe: Some(TrafficProbe {
+                sources: idx.rsw.iter().flatten().copied().collect(),
+                dest: Prefix::DEFAULT,
+                gbps_each: 10.0,
+            }),
+            max_link_utilization: Some(1.0),
+            min_nexthops: vec![(idx.ssw[0][0], Prefix::DEFAULT, 2)],
+            expect_rpa: vec![],
+        };
+        let report = run_health_check(&net, &check);
+        assert!(report.passed(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn blackholes_are_reported() {
+        let (mut net, idx) = converged();
+        for grid in &idx.fadu {
+            for &f in grid {
+                net.device_down(f);
+            }
+        }
+        net.run_until_quiescent().expect_converged();
+        let check = HealthCheck {
+            probe: Some(TrafficProbe {
+                sources: vec![idx.rsw[0][0]],
+                dest: Prefix::DEFAULT,
+                gbps_each: 1.0,
+            }),
+            ..Default::default()
+        };
+        let report = run_health_check(&net, &check);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("black-holed"));
+    }
+
+    #[test]
+    fn congestion_threshold_enforced() {
+        let (net, idx) = converged();
+        let check = HealthCheck {
+            probe: Some(TrafficProbe {
+                sources: vec![idx.rsw[0][0]],
+                dest: Prefix::DEFAULT,
+                gbps_each: 500.0, // 500G over 2×100G uplinks: way over
+            }),
+            max_link_utilization: Some(1.0),
+            ..Default::default()
+        };
+        let report = run_health_check(&net, &check);
+        assert!(report.failures.iter().any(|f| f.contains("congestion")));
+    }
+
+    #[test]
+    fn missing_nexthops_and_rpa_reported() {
+        let (net, idx) = converged();
+        let check = HealthCheck {
+            min_nexthops: vec![(idx.ssw[0][0], Prefix::DEFAULT, 99)],
+            expect_rpa: vec![(idx.ssw[0][0], "equalize".into())],
+            ..Default::default()
+        };
+        let report = run_health_check(&net, &check);
+        assert_eq!(report.failures.len(), 2);
+        assert!(report.failures[0].contains("next-hops"));
+        assert!(report.failures[1].contains("not installed"));
+    }
+}

@@ -1,0 +1,132 @@
+//! The continuous consistency loop (controller function 5).
+//!
+//! "The controller continuously tracks desired RPAs on every switch and
+//! ensures all target switches (particularly those re-provisioned or newly
+//! commissioned) are up-to-date." This module adds straggler tracking on top
+//! of the Switch Agent's per-round reconcile.
+
+use crate::switch_agent::SwitchAgent;
+use centralium_nsdb::Path;
+use centralium_simnet::SimNet;
+use std::collections::HashMap;
+
+/// Report of one loop round.
+#[derive(Debug, Clone, Default)]
+pub struct RoundReport {
+    /// Operations issued this round.
+    pub ops_issued: usize,
+    /// Paths that have now been out-of-sync for at least
+    /// [`ReconcileLoop::STRAGGLER_ROUNDS`] rounds — candidates for operator
+    /// alerting (§5.2 "Device Failures").
+    pub stragglers: Vec<Path>,
+}
+
+/// The loop state.
+#[derive(Debug, Default)]
+pub struct ReconcileLoop {
+    /// Rounds each path has stayed out of sync.
+    out_of_sync_age: HashMap<Path, u32>,
+    /// Total rounds run.
+    pub rounds: u64,
+}
+
+impl ReconcileLoop {
+    /// Rounds of divergence before a path is reported as a straggler.
+    pub const STRAGGLER_ROUNDS: u32 = 3;
+
+    /// New loop.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run one round: poll ground truth, reconcile, age stragglers. Callers
+    /// drive the emulator between rounds.
+    pub fn round(&mut self, agent: &mut SwitchAgent, net: &mut SimNet) -> RoundReport {
+        self.rounds += 1;
+        agent.poll_current(net);
+        let ops = agent.reconcile(net);
+        let diverged: Vec<Path> = agent.service.store.out_of_sync();
+        // Age paths still diverged; forget the ones that converged.
+        self.out_of_sync_age.retain(|p, _| diverged.contains(p));
+        for p in &diverged {
+            *self.out_of_sync_age.entry(p.clone()).or_insert(0) += 1;
+        }
+        let mut stragglers: Vec<Path> = self
+            .out_of_sync_age
+            .iter()
+            .filter(|(_, &age)| age >= Self::STRAGGLER_ROUNDS)
+            .map(|(p, _)| p.clone())
+            .collect();
+        stragglers.sort();
+        RoundReport { ops_issued: ops.len(), stragglers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+    use centralium_bgp::Prefix;
+    use centralium_rpa::{
+        Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature,
+        RpaDocument,
+    };
+    use centralium_simnet::{ManagementPlane, SimConfig};
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    fn doc(name: &str) -> RpaDocument {
+        RpaDocument::PathSelection(PathSelectionRpa::single(
+            name,
+            PathSelectionStatement::select(
+                Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+                vec![PathSet::new("all", PathSignature::any())],
+            ),
+        ))
+    }
+
+    #[test]
+    fn loop_converges_and_clears_stragglers() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        let mgmt = ManagementPlane::compute(net.topology(), idx.rsw[0][0]);
+        let mut agent = SwitchAgent::new(mgmt);
+        let mut rloop = ReconcileLoop::new();
+        agent.set_intended(idx.ssw[0][0], &doc("equalize"));
+        let r1 = rloop.round(&mut agent, &mut net);
+        assert_eq!(r1.ops_issued, 1);
+        net.run_until_quiescent().expect_converged();
+        let r2 = rloop.round(&mut agent, &mut net);
+        assert_eq!(r2.ops_issued, 0, "converged after one round");
+        assert!(r2.stragglers.is_empty());
+    }
+
+    #[test]
+    fn unreachable_device_becomes_straggler() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        net.run_until_quiescent().expect_converged();
+        // The device vanishes (decommissioned / dead) but the operator's
+        // intent for it remains: the loop must flag it, not spin silently.
+        let target = idx.ssw[0][0];
+        net.decommission_device(target);
+        net.run_until_quiescent().expect_converged();
+        let mgmt = ManagementPlane::compute(net.topology(), idx.rsw[0][0]);
+        assert!(!mgmt.reachable(target));
+        let mut agent = SwitchAgent::new(mgmt);
+        agent.set_intended(target, &doc("equalize"));
+        let mut rloop = ReconcileLoop::new();
+        let mut last = RoundReport::default();
+        for _ in 0..ReconcileLoop::STRAGGLER_ROUNDS {
+            last = rloop.round(&mut agent, &mut net);
+            net.run_until_quiescent();
+        }
+        assert_eq!(last.stragglers.len(), 1, "intent for a vanished device is flagged");
+        assert_eq!(last.ops_issued, 0, "unreachable devices get no RPCs");
+    }
+}

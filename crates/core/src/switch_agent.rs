@@ -1,0 +1,256 @@
+//! The Switch Agent: the controller's I/O layer (§5.1).
+//!
+//! "The Switch Agent (1) consumes intended state and writes it to the
+//! distributed control-plane to reconcile current state with intended state,
+//! and (2) polls or streams state and statistics from physical switches to
+//! populate the current state."
+//!
+//! Intended and current state live in the shared [`centralium_nsdb`] dual
+//! store under `/devices/d<id>/rpa/<name>` paths; reconciliation issues RPA
+//! install/remove RPCs into the emulator, with latency taken from the
+//! management plane's SPF distance to each device.
+
+use centralium_nsdb::store::View;
+use centralium_nsdb::{Path, ServiceTemplate};
+use centralium_rpa::RpaDocument;
+use centralium_simnet::{ManagementPlane, SimNet, SimTime};
+use centralium_topology::DeviceId;
+use serde_json::Value;
+
+/// One issued RPA operation and its RPC latency (the Figure 12 sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssuedOp {
+    /// Target device.
+    pub device: DeviceId,
+    /// One-way RPC latency in µs.
+    pub latency_us: SimTime,
+    /// True = install/replace, false = remove.
+    pub install: bool,
+}
+
+/// The agent.
+#[derive(Debug)]
+pub struct SwitchAgent {
+    /// Shared service template: dual store + health + stats.
+    pub service: ServiceTemplate,
+    mgmt: ManagementPlane,
+}
+
+impl SwitchAgent {
+    /// Create an agent reaching devices over the given management plane.
+    pub fn new(mgmt: ManagementPlane) -> Self {
+        SwitchAgent { service: ServiceTemplate::new("switch-agent"), mgmt }
+    }
+
+    /// The management plane in use.
+    pub fn mgmt(&self) -> &ManagementPlane {
+        &self.mgmt
+    }
+
+    /// Replace the management plane (topology changed).
+    pub fn set_mgmt(&mut self, mgmt: ManagementPlane) {
+        self.mgmt = mgmt;
+    }
+
+    fn rpa_path(device: DeviceId, name: &str) -> Path {
+        Path::parse(&format!("/devices/d{}/rpa/{}", device.0, name))
+    }
+
+    fn parse_rpa_path(path: &Path) -> Option<(DeviceId, String)> {
+        let segs = path.segments();
+        if segs.len() == 4 && segs[0] == "devices" && segs[2] == "rpa" {
+            let id: u32 = segs[1].strip_prefix('d')?.parse().ok()?;
+            Some((DeviceId(id), segs[3].clone()))
+        } else {
+            None
+        }
+    }
+
+    /// Record that `device` should run `doc` (writes intended state).
+    pub fn set_intended(&mut self, device: DeviceId, doc: &RpaDocument) {
+        let path = Self::rpa_path(device, doc.name());
+        let value = serde_json::to_value(doc).expect("RPA documents serialize");
+        self.service.store.set(View::Intended, path, value);
+    }
+
+    /// Record that `device` should no longer run the named RPA.
+    pub fn clear_intended(&mut self, device: DeviceId, name: &str) {
+        let path = Self::rpa_path(device, name);
+        self.service.store.delete(View::Intended, &path);
+    }
+
+    /// Poll every device's engine into the current-state view. This is the
+    /// ground-truth collection flow; it also covers re-provisioned or newly
+    /// commissioned switches (§5 function 5).
+    pub fn poll_current(&mut self, net: &SimNet) {
+        let mut observed: Vec<(Path, Value)> = Vec::new();
+        for dev in net.device_ids() {
+            let Some(device) = net.device(dev) else { continue };
+            for name in device.engine.installed() {
+                let doc = device.engine.document(name).expect("installed doc");
+                observed.push((
+                    Self::rpa_path(dev, name),
+                    serde_json::to_value(doc).expect("serialize"),
+                ));
+            }
+        }
+        // Replace the devices subtree of current state with observations.
+        let stale: Vec<Path> = self
+            .service
+            .store
+            .view(View::Current)
+            .subtree(&Path::parse("/devices"))
+            .into_iter()
+            .map(|(p, _)| p.clone())
+            .collect();
+        for p in stale {
+            if !observed.iter().any(|(op, _)| *op == p) {
+                self.service.store.delete(View::Current, &p);
+            }
+        }
+        let n = observed.len() as u64;
+        for (p, v) in observed {
+            self.service.store.set(View::Current, p, v);
+        }
+        self.service.record_rpc(n.max(1));
+    }
+
+    /// One reconciliation round: issue install/remove operations for every
+    /// out-of-sync path. Returns the issued operations (empty = in sync).
+    /// Unreachable devices are skipped and will be retried next round —
+    /// that is the eventual-consistency guarantee.
+    pub fn reconcile(&mut self, net: &mut SimNet) -> Vec<IssuedOp> {
+        let mut issued = Vec::new();
+        let diverged = self.service.store.out_of_sync();
+        for path in &diverged {
+            let Some((device, name)) = Self::parse_rpa_path(path) else { continue };
+            let Some(latency) = self.mgmt.rpc_latency_us(device) else {
+                continue; // unreachable: retry next round
+            };
+            let intended = self.service.store.view(View::Intended).get(path).cloned();
+            match intended {
+                Some(value) => {
+                    let doc: RpaDocument = match serde_json::from_value(value) {
+                        Ok(d) => d,
+                        Err(_) => continue,
+                    };
+                    net.deploy_rpa(device, doc, latency);
+                    issued.push(IssuedOp { device, latency_us: latency, install: true });
+                }
+                None => {
+                    net.remove_rpa(device, name, latency);
+                    issued.push(IssuedOp { device, latency_us: latency, install: false });
+                }
+            }
+        }
+        self.service.record_reconcile(diverged.len() as u64 + 1);
+        issued
+    }
+
+    /// Fraction of intended device paths not yet reflected in current state
+    /// (the slow-roll gate input).
+    pub fn out_of_sync_fraction(&self) -> f64 {
+        self.service.store.out_of_sync_fraction(&Path::parse("/devices"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+    use centralium_bgp::Prefix;
+    use centralium_rpa::{
+        Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature,
+    };
+    use centralium_simnet::SimConfig;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    fn setup() -> (SimNet, SwitchAgent, centralium_topology::builder::FabricIndex) {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(topo, SimConfig::default());
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        let mgmt = ManagementPlane::compute(net.topology(), idx.rsw[0][0]);
+        let agent = SwitchAgent::new(mgmt);
+        (net, agent, idx)
+    }
+
+    fn doc(name: &str) -> RpaDocument {
+        RpaDocument::PathSelection(PathSelectionRpa::single(
+            name,
+            PathSelectionStatement::select(
+                Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+                vec![PathSet::new("all", PathSignature::any())],
+            ),
+        ))
+    }
+
+    #[test]
+    fn reconcile_installs_intended_rpas() {
+        let (mut net, mut agent, idx) = setup();
+        let target = idx.ssw[0][0];
+        agent.set_intended(target, &doc("equalize"));
+        assert!(agent.out_of_sync_fraction() > 0.0);
+        let ops = agent.reconcile(&mut net);
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].install);
+        assert!(ops[0].latency_us > 0);
+        net.run_until_quiescent().expect_converged();
+        assert_eq!(net.device(target).unwrap().engine.installed(), vec!["equalize"]);
+        agent.poll_current(&net);
+        assert_eq!(agent.out_of_sync_fraction(), 0.0);
+        // Second round: nothing to do.
+        assert!(agent.reconcile(&mut net).is_empty());
+    }
+
+    #[test]
+    fn reconcile_removes_unintended_rpas() {
+        let (mut net, mut agent, idx) = setup();
+        let target = idx.ssw[0][0];
+        agent.set_intended(target, &doc("equalize"));
+        agent.reconcile(&mut net);
+        net.run_until_quiescent().expect_converged();
+        agent.poll_current(&net);
+        // Operator withdraws the intent.
+        agent.clear_intended(target, "equalize");
+        let ops = agent.reconcile(&mut net);
+        assert_eq!(ops.len(), 1);
+        assert!(!ops[0].install);
+        net.run_until_quiescent().expect_converged();
+        assert!(net.device(target).unwrap().engine.installed().is_empty());
+        agent.poll_current(&net);
+        assert!(agent.service.store.out_of_sync().is_empty());
+    }
+
+    #[test]
+    fn poll_detects_straggler_after_recommission() {
+        let (mut net, mut agent, idx) = setup();
+        let target = idx.ssw[0][0];
+        agent.set_intended(target, &doc("equalize"));
+        agent.reconcile(&mut net);
+        net.run_until_quiescent().expect_converged();
+        agent.poll_current(&net);
+        // The switch is re-provisioned: its engine loses all RPAs.
+        net.device_mut(target).unwrap().engine.remove("equalize").unwrap();
+        agent.poll_current(&net);
+        // Continuous reconciliation catches the straggler and re-installs.
+        let ops = agent.reconcile(&mut net);
+        assert_eq!(ops.len(), 1, "straggler re-pushed");
+        net.run_until_quiescent().expect_converged();
+        assert_eq!(net.device(target).unwrap().engine.installed(), vec!["equalize"]);
+    }
+
+    #[test]
+    fn rpc_latency_reflects_mgmt_distance() {
+        let (mut net, mut agent, idx) = setup();
+        agent.set_intended(idx.fsw[0][0], &doc("near"));
+        agent.set_intended(idx.fauu[0][0], &doc("far"));
+        let ops = agent.reconcile(&mut net);
+        let near = ops.iter().find(|o| o.device == idx.fsw[0][0]).unwrap();
+        let far = ops.iter().find(|o| o.device == idx.fauu[0][0]).unwrap();
+        assert!(far.latency_us > near.latency_us, "FAUUs are most distant (§6.2)");
+    }
+}

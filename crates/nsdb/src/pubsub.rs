@@ -1,0 +1,152 @@
+//! Publish/subscribe over state-tree changes.
+//!
+//! Subscribers register a path pattern; every matching set/delete lands in
+//! their mailbox, which they drain at their own pace. This mirrors the
+//! paper's pub/sub module that all services share (§5.1) — services
+//! "subscribe to their local current or intended state for any changes to
+//! publish".
+
+use crate::path::Path;
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Subscriber handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriberId(pub u64);
+
+/// One change notification: the concrete path and the new value (`None` for
+/// deletions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeEvent {
+    /// Concrete path that changed.
+    pub path: Path,
+    /// New value, or `None` if deleted.
+    pub value: Option<Value>,
+}
+
+/// A pub/sub hub. Deterministic: subscribers are notified in id order.
+///
+/// Pattern semantics: a concrete path subscribes to its whole subtree; `*`
+/// matches exactly one segment at its position (so `/devices/*` does *not*
+/// cover `/devices/x/rpa` — subscribe to `/devices` or `/devices/**` for
+/// subtree delivery).
+#[derive(Debug, Default)]
+pub struct PubSub {
+    next_id: u64,
+    subs: BTreeMap<SubscriberId, (Path, Vec<ChangeEvent>)>,
+}
+
+impl PubSub {
+    /// Empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribe to a pattern (or concrete path).
+    pub fn subscribe(&mut self, pattern: Path) -> SubscriberId {
+        let id = SubscriberId(self.next_id);
+        self.next_id += 1;
+        self.subs.insert(id, (pattern, Vec::new()));
+        id
+    }
+
+    /// Cancel a subscription; returns whether it existed.
+    pub fn unsubscribe(&mut self, id: SubscriberId) -> bool {
+        self.subs.remove(&id).is_some()
+    }
+
+    /// Publish a change; returns how many subscribers it reached.
+    pub fn publish(&mut self, path: &Path, value: Option<&Value>) -> usize {
+        let mut reached = 0;
+        for (pattern, mailbox) in self.subs.values_mut() {
+            if pattern.matches(path) || pattern.is_ancestor_of(path) {
+                mailbox.push(ChangeEvent { path: path.clone(), value: value.cloned() });
+                reached += 1;
+            }
+        }
+        reached
+    }
+
+    /// Drain a subscriber's mailbox.
+    pub fn drain(&mut self, id: SubscriberId) -> Vec<ChangeEvent> {
+        self.subs.get_mut(&id).map(|(_, m)| std::mem::take(m)).unwrap_or_default()
+    }
+
+    /// Pending events for a subscriber.
+    pub fn pending(&self, id: SubscriberId) -> usize {
+        self.subs.get(&id).map(|(_, m)| m.len()).unwrap_or(0)
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn subscribe_publish_drain() {
+        let mut ps = PubSub::new();
+        let sub = ps.subscribe(Path::parse("/devices/*/rpa"));
+        let reached = ps.publish(&Path::parse("/devices/x/rpa"), Some(&json!(1)));
+        assert_eq!(reached, 1);
+        ps.publish(&Path::parse("/devices/x/config"), Some(&json!(2)));
+        let events = ps.drain(sub);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].path, Path::parse("/devices/x/rpa"));
+        assert_eq!(events[0].value, Some(json!(1)));
+        assert!(ps.drain(sub).is_empty(), "drain empties the mailbox");
+    }
+
+    #[test]
+    fn ancestor_subscriptions_see_descendants() {
+        let mut ps = PubSub::new();
+        let sub = ps.subscribe(Path::parse("/devices"));
+        ps.publish(&Path::parse("/devices/x/rpa/a"), Some(&json!(1)));
+        assert_eq!(ps.pending(sub), 1);
+    }
+
+    #[test]
+    fn deletions_publish_none() {
+        let mut ps = PubSub::new();
+        let sub = ps.subscribe(Path::parse("/a"));
+        ps.publish(&Path::parse("/a"), None);
+        assert_eq!(ps.drain(sub)[0].value, None);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut ps = PubSub::new();
+        let sub = ps.subscribe(Path::parse("/a"));
+        assert!(ps.unsubscribe(sub));
+        assert!(!ps.unsubscribe(sub));
+        assert_eq!(ps.publish(&Path::parse("/a"), Some(&json!(1))), 0);
+        assert_eq!(ps.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn single_segment_wildcard_does_not_cover_subtrees() {
+        let mut ps = PubSub::new();
+        let star = ps.subscribe(Path::parse("/devices/*"));
+        let deep = ps.subscribe(Path::parse("/devices/**"));
+        let plain = ps.subscribe(Path::parse("/devices"));
+        ps.publish(&Path::parse("/devices/x/rpa"), Some(&json!(1)));
+        assert_eq!(ps.pending(star), 0, "`*` is one segment, by contract");
+        assert_eq!(ps.pending(deep), 1);
+        assert_eq!(ps.pending(plain), 1, "concrete ancestors get the subtree");
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let mut ps = PubSub::new();
+        let s1 = ps.subscribe(Path::parse("/a/**"));
+        let s2 = ps.subscribe(Path::parse("/a/b"));
+        assert_eq!(ps.publish(&Path::parse("/a/b"), Some(&json!(1))), 2);
+        assert_eq!(ps.pending(s1), 1);
+        assert_eq!(ps.pending(s2), 1);
+    }
+}

@@ -1,0 +1,759 @@
+//! The RPA evaluation engine: compiles installed documents and implements the
+//! BGP [`RibPolicy`] hooks.
+//!
+//! Mirrors the production behaviour the paper measures:
+//!
+//! * evaluation happens against all routes in the RIB when an RPA is
+//!   deployed, and again per-route as updates arrive (§6.2 "RPA evaluation");
+//! * matched signature evaluations are **cached** so re-evaluation of the
+//!   same route is much faster (Table 2's w/ vs w/o cache rows);
+//! * multiple orthogonal RPAs may be installed; the first applicable
+//!   statement (in install order) governs a prefix.
+
+use crate::document::{RpaDocument, RpaError};
+use crate::path_selection::{MinNextHop, PathSelectionRpa};
+use crate::route_attribute::RouteAttributeRpa;
+use crate::route_filter::RouteFilterRpa;
+use crate::signature::{CompiledSignature, Destination};
+use centralium_bgp::{PeerId, Prefix, RibPolicy, Route, Selection};
+use centralium_topology::Asn;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Counters exposed for the Table 2 experiment and controller health checks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Signature evaluations answered from the cache.
+    pub cache_hits: u64,
+    /// Signature evaluations computed and inserted into the cache.
+    pub cache_misses: u64,
+    /// Signature evaluations computed with the cache disabled.
+    pub uncached_evals: u64,
+}
+
+#[derive(Debug)]
+struct CompiledPathSet {
+    signature: CompiledSignature,
+    min_next_hop: usize,
+}
+
+#[derive(Debug)]
+struct CompiledPsStatement {
+    destination: Destination,
+    path_sets: Vec<CompiledPathSet>,
+    native_min_next_hop: Option<(usize, bool)>,
+}
+
+#[derive(Debug)]
+struct CompiledRaStatement {
+    destination: Destination,
+    weights: Vec<(CompiledSignature, u32)>,
+    expiration_time: Option<u64>,
+}
+
+#[derive(Debug)]
+enum CompiledDoc {
+    PathSelection(Vec<CompiledPsStatement>),
+    RouteAttribute(Vec<CompiledRaStatement>),
+    RouteFilter(RouteFilterRpa),
+}
+
+#[derive(Debug)]
+struct Installed {
+    source: RpaDocument,
+    compiled: CompiledDoc,
+}
+
+/// The engine. One instance lives on each RPA-augmented switch.
+#[derive(Debug)]
+pub struct RpaEngine {
+    docs: Vec<Installed>,
+    /// Bumped on every install/remove; part of the cache key domain (the
+    /// cache is cleared too, but the version also invalidates the memo).
+    version: u64,
+    /// Remote ASN per session, for `PeerSignature::AsnRange`.
+    peer_asn: HashMap<PeerId, Asn>,
+    /// Simulated time used for Route Attribute expiry.
+    now: u64,
+    cache_enabled: bool,
+    cache: Mutex<HashMap<(u32, u64), bool>>,
+    /// Per-prefix native-guard memo from the most recent `select_paths`
+    /// evaluation (the daemon always calls `select_paths` before
+    /// `native_min_nexthop` within one decision).
+    native_guard_memo: Mutex<HashMap<Prefix, (usize, bool)>>,
+    stats: Mutex<EngineStats>,
+    next_sig_id: u32,
+}
+
+impl Default for RpaEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RpaEngine {
+    /// Empty engine with the cache enabled.
+    pub fn new() -> Self {
+        RpaEngine {
+            docs: Vec::new(),
+            version: 0,
+            peer_asn: HashMap::new(),
+            now: 0,
+            cache_enabled: true,
+            cache: Mutex::new(HashMap::new()),
+            native_guard_memo: Mutex::new(HashMap::new()),
+            stats: Mutex::new(EngineStats::default()),
+            next_sig_id: 0,
+        }
+    }
+
+    /// Toggle the evaluation cache (Table 2 ablation).
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        self.cache.lock().clear();
+    }
+
+    /// Advance the engine's clock (Route Attribute expiry).
+    pub fn set_time(&mut self, now: u64) {
+        self.now = now;
+    }
+
+    /// Record a session's remote ASN (needed by ASN-range peer signatures).
+    pub fn set_peer_asn(&mut self, peer: PeerId, asn: Asn) {
+        self.peer_asn.insert(peer, asn);
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock()
+    }
+
+    /// Reset counters.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = EngineStats::default();
+    }
+
+    /// Names of installed documents, in install order (§7.2: "show all
+    /// active RPAs on a switch").
+    pub fn installed(&self) -> Vec<&str> {
+        self.docs.iter().map(|d| d.source.name()).collect()
+    }
+
+    /// The installed source document by name.
+    pub fn document(&self, name: &str) -> Option<&RpaDocument> {
+        self.docs.iter().find(|d| d.source.name() == name).map(|d| &d.source)
+    }
+
+    /// Version counter (bumped on every install/remove).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Install a document. Fails on duplicate name, bad regex, or an
+    /// unresolved fractional min-next-hop (the controller must compile
+    /// fractions to absolutes first).
+    pub fn install(&mut self, doc: RpaDocument) -> Result<(), RpaError> {
+        if self.docs.iter().any(|d| d.source.name() == doc.name()) {
+            return Err(RpaError::DuplicateName(doc.name().to_string()));
+        }
+        let compiled = match &doc {
+            RpaDocument::PathSelection(ps) => CompiledDoc::PathSelection(self.compile_ps(ps)?),
+            RpaDocument::RouteAttribute(ra) => CompiledDoc::RouteAttribute(self.compile_ra(ra)?),
+            RpaDocument::RouteFilter(rf) => CompiledDoc::RouteFilter(rf.clone()),
+        };
+        self.docs.push(Installed { source: doc, compiled });
+        self.bump();
+        Ok(())
+    }
+
+    /// Install a document, replacing any installed document of the same
+    /// name (the Switch Agent's reconcile semantics: desired state wins).
+    /// The replacement keeps the original's position in priority order.
+    pub fn install_or_replace(&mut self, doc: RpaDocument) -> Result<(), RpaError> {
+        let compiled = match &doc {
+            RpaDocument::PathSelection(ps) => CompiledDoc::PathSelection(self.compile_ps(ps)?),
+            RpaDocument::RouteAttribute(ra) => CompiledDoc::RouteAttribute(self.compile_ra(ra)?),
+            RpaDocument::RouteFilter(rf) => CompiledDoc::RouteFilter(rf.clone()),
+        };
+        match self.docs.iter_mut().find(|d| d.source.name() == doc.name()) {
+            Some(slot) => *slot = Installed { source: doc, compiled },
+            None => self.docs.push(Installed { source: doc, compiled }),
+        }
+        self.bump();
+        Ok(())
+    }
+
+    /// Remove a document by name.
+    pub fn remove(&mut self, name: &str) -> Result<RpaDocument, RpaError> {
+        let idx = self
+            .docs
+            .iter()
+            .position(|d| d.source.name() == name)
+            .ok_or_else(|| RpaError::UnknownName(name.to_string()))?;
+        let removed = self.docs.remove(idx);
+        self.bump();
+        Ok(removed.source)
+    }
+
+    /// Which document/statement governs `prefix` given candidate routes —
+    /// the §7.2 debugging aid ("highlight the active RPA given a particular
+    /// route").
+    pub fn governing_statement(&self, prefix: Prefix, candidates: &[Route]) -> Option<(String, usize)> {
+        for doc in &self.docs {
+            if let CompiledDoc::PathSelection(statements) = &doc.compiled {
+                for (i, st) in statements.iter().enumerate() {
+                    if st.destination.applies(prefix, candidates) {
+                        return Some((doc.source.name().to_string(), i));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self) {
+        self.version += 1;
+        self.cache.lock().clear();
+        self.native_guard_memo.lock().clear();
+    }
+
+    fn compile_ps(&mut self, ps: &PathSelectionRpa) -> Result<Vec<CompiledPsStatement>, RpaError> {
+        let mut out = Vec::with_capacity(ps.statements.len());
+        for st in &ps.statements {
+            let mut path_sets = Vec::with_capacity(st.path_set_list.len());
+            for set in &st.path_set_list {
+                let sig_id = self.alloc_sig_id();
+                let signature = CompiledSignature::compile(set.signature.clone(), sig_id)
+                    .map_err(|e| RpaError::BadRegex {
+                        document: ps.name.clone(),
+                        error: e.to_string(),
+                    })?;
+                path_sets.push(CompiledPathSet {
+                    signature,
+                    min_next_hop: set.min_next_hop.max(1),
+                });
+            }
+            let native_min_next_hop = match st.bgp_native_min_next_hop {
+                Some(MinNextHop::Absolute(n)) => Some((n, st.keep_fib_warm_if_mnh_violated)),
+                Some(MinNextHop::Fraction(_)) => {
+                    return Err(RpaError::UnresolvedFraction { document: ps.name.clone() })
+                }
+                None => None,
+            };
+            out.push(CompiledPsStatement {
+                destination: st.destination.clone(),
+                path_sets,
+                native_min_next_hop,
+            });
+        }
+        Ok(out)
+    }
+
+    fn compile_ra(&mut self, ra: &RouteAttributeRpa) -> Result<Vec<CompiledRaStatement>, RpaError> {
+        let mut out = Vec::with_capacity(ra.statements.len());
+        for st in &ra.statements {
+            let mut weights = Vec::with_capacity(st.next_hop_weight_list.len());
+            for w in &st.next_hop_weight_list {
+                let sig_id = self.alloc_sig_id();
+                let sig = CompiledSignature::compile(w.signature.clone(), sig_id).map_err(|e| {
+                    RpaError::BadRegex { document: ra.name.clone(), error: e.to_string() }
+                })?;
+                // Weight 0 is a legitimate prescription ("no traffic on this
+                // path set"); clamping it would silently rewrite operator
+                // intent. Routes matching no entry still default to 1.
+                weights.push((sig, w.weight));
+            }
+            out.push(CompiledRaStatement {
+                destination: st.destination.clone(),
+                weights,
+                expiration_time: st.expiration_time,
+            });
+        }
+        Ok(out)
+    }
+
+    fn alloc_sig_id(&mut self) -> u32 {
+        let id = self.next_sig_id;
+        self.next_sig_id += 1;
+        id
+    }
+
+    /// Signature evaluation through the cache. This is the Table 2 hot path.
+    fn sig_matches(&self, sig: &CompiledSignature, route: &Route) -> bool {
+        if !self.cache_enabled {
+            self.stats.lock().uncached_evals += 1;
+            return sig.matches(route);
+        }
+        let key = (sig.sig_id, fingerprint(route));
+        if let Some(&hit) = self.cache.lock().get(&key) {
+            self.stats.lock().cache_hits += 1;
+            return hit;
+        }
+        let result = sig.matches(route);
+        self.cache.lock().insert(key, result);
+        self.stats.lock().cache_misses += 1;
+        result
+    }
+}
+
+/// Stable fingerprint of a route's match-relevant attributes.
+///
+/// The cache key is `(sig_id, fingerprint)`; a 64-bit collision between two
+/// distinct attribute sets would return a stale verdict. At the scales this
+/// engine sees (≤10⁵ distinct routes) the birthday-bound collision odds are
+/// below 10⁻⁹ per engine lifetime — accepted, as production caches make the
+/// same trade.
+fn fingerprint(route: &Route) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    route.attrs.as_path.hash(&mut h);
+    (route.attrs.origin as u8).hash(&mut h);
+    route.attrs.local_pref.hash(&mut h);
+    route.attrs.med.hash(&mut h);
+    route.attrs.communities.hash(&mut h);
+    route.attrs.link_bandwidth_gbps.map(f64::to_bits).hash(&mut h);
+    route.learned_from.hash(&mut h);
+    h.finish()
+}
+
+impl RibPolicy for RpaEngine {
+    fn select_paths(&self, prefix: Prefix, candidates: &[Route]) -> Option<Selection> {
+        for doc in &self.docs {
+            let CompiledDoc::PathSelection(statements) = &doc.compiled else {
+                continue;
+            };
+            for st in statements {
+                if !st.destination.applies(prefix, candidates) {
+                    continue;
+                }
+                // Record (or clear) the native guard for this prefix so the
+                // daemon's follow-up native_min_nexthop call sees it.
+                {
+                    let mut memo = self.native_guard_memo.lock();
+                    match st.native_min_next_hop {
+                        Some(guard) => {
+                            memo.insert(prefix, guard);
+                        }
+                        None => {
+                            memo.remove(&prefix);
+                        }
+                    }
+                }
+                // Priority walk: first path set with enough matching active
+                // routes wins (§4.3). Only learned routes count toward the
+                // floor — a matching locally-originated route contributes no
+                // forwarding next-hop, so it must not satisfy MinNextHop.
+                for set in &st.path_sets {
+                    let selected: Vec<usize> = candidates
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| self.sig_matches(&set.signature, r))
+                        .map(|(i, _)| i)
+                        .collect();
+                    let nexthops = selected
+                        .iter()
+                        .filter(|&&i| candidates[i].learned_from.is_some())
+                        .count();
+                    if nexthops >= set.min_next_hop {
+                        return Some(Selection {
+                            selected,
+                            advertise: centralium_bgp::AdvertiseChoice::LeastFavorable,
+                            keep_fib_warm: false,
+                        });
+                    }
+                }
+                // No path set matched: fall back to native selection (the
+                // statement's native guard, if any, still applies via the
+                // memo recorded above).
+                return None;
+            }
+        }
+        // No applicable statement at all: clear any stale guard memo.
+        self.native_guard_memo.lock().remove(&prefix);
+        None
+    }
+
+    fn native_min_nexthop(&self, prefix: Prefix) -> Option<(usize, bool)> {
+        self.native_guard_memo.lock().get(&prefix).copied()
+    }
+
+    fn assign_weights(&self, prefix: Prefix, selected: &[Route]) -> Option<Vec<u32>> {
+        for doc in &self.docs {
+            let CompiledDoc::RouteAttribute(statements) = &doc.compiled else {
+                continue;
+            };
+            for st in statements {
+                if !st.expiration_time.map(|t| self.now < t).unwrap_or(true) {
+                    continue; // expired: native fallback
+                }
+                if !st.destination.applies(prefix, selected) {
+                    continue;
+                }
+                let weights = selected
+                    .iter()
+                    .map(|r| {
+                        st.weights
+                            .iter()
+                            .find(|(sig, _)| self.sig_matches(sig, r))
+                            .map(|(_, w)| *w)
+                            .unwrap_or(1)
+                    })
+                    .collect();
+                return Some(weights);
+            }
+        }
+        None
+    }
+
+    fn permit_ingress(&self, peer: PeerId, prefix: Prefix, _route: &Route) -> bool {
+        self.permit_direction(peer, prefix, true)
+    }
+
+    fn permit_egress(&self, peer: PeerId, prefix: Prefix, _route: &Route) -> bool {
+        self.permit_direction(peer, prefix, false)
+    }
+}
+
+impl RpaEngine {
+    fn permit_direction(&self, peer: PeerId, prefix: Prefix, ingress: bool) -> bool {
+        let remote_asn = self.peer_asn.get(&peer).copied();
+        for doc in &self.docs {
+            let CompiledDoc::RouteFilter(rf) = &doc.compiled else {
+                continue;
+            };
+            for st in &rf.statements {
+                if !st.peer_signature.covers(peer, remote_asn) {
+                    continue;
+                }
+                let verdict = if ingress {
+                    st.permits_ingress(&prefix)
+                } else {
+                    st.permits_egress(&prefix)
+                };
+                // Every applicable, direction-constraining statement must
+                // permit the prefix (AND semantics).
+                if verdict == Some(false) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path_selection::{PathSelectionStatement, PathSet};
+    use crate::route_attribute::{NextHopWeight, RouteAttributeStatement};
+    use crate::route_filter::{PeerSignature, PrefixFilter, RouteFilterStatement};
+    use crate::signature::PathSignature;
+    use centralium_bgp::attrs::well_known;
+    use centralium_bgp::PathAttributes;
+
+    fn route(peer: u64, path: &[u32], communities: &[centralium_bgp::Community]) -> Route {
+        let mut attrs = PathAttributes::default();
+        for asn in path.iter().rev() {
+            attrs.prepend(Asn(*asn), 1);
+        }
+        for c in communities {
+            attrs.add_community(*c);
+        }
+        Route::learned(Prefix::DEFAULT, attrs, PeerId(peer))
+    }
+
+    fn equalize_doc() -> RpaDocument {
+        RpaDocument::PathSelection(PathSelectionRpa::single(
+            "equalize",
+            PathSelectionStatement::select(
+                Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+                vec![PathSet::new("via-backbone", PathSignature::originated_by(Asn(60000)))],
+            ),
+        ))
+    }
+
+    #[test]
+    fn install_remove_lifecycle() {
+        let mut e = RpaEngine::new();
+        assert!(e.installed().is_empty());
+        e.install(equalize_doc()).unwrap();
+        assert_eq!(e.installed(), vec!["equalize"]);
+        assert_eq!(e.install(equalize_doc()).unwrap_err(), RpaError::DuplicateName("equalize".into()));
+        assert!(e.document("equalize").is_some());
+        e.remove("equalize").unwrap();
+        assert!(e.installed().is_empty());
+        assert_eq!(e.remove("equalize").unwrap_err(), RpaError::UnknownName("equalize".into()));
+        assert_eq!(e.version(), 2);
+    }
+
+    #[test]
+    fn select_paths_equalizes_varying_lengths() {
+        // §4.4.1: old 3-hop paths and the new 2-hop path are selected
+        // together, defeating the first-router collapse.
+        let mut e = RpaEngine::new();
+        e.install(equalize_doc()).unwrap();
+        let c = well_known::BACKBONE_DEFAULT_ROUTE;
+        let candidates = vec![
+            route(1, &[101, 50, 60000], &[c]),
+            route(2, &[102, 50, 60000], &[c]),
+            route(3, &[200, 60000], &[c]), // new, shorter
+        ];
+        let sel = e.select_paths(Prefix::DEFAULT, &candidates).unwrap();
+        assert_eq!(sel.selected, vec![0, 1, 2]);
+        assert_eq!(sel.advertise, centralium_bgp::AdvertiseChoice::LeastFavorable);
+    }
+
+    #[test]
+    fn statement_only_governs_matching_destinations() {
+        let mut e = RpaEngine::new();
+        e.install(equalize_doc()).unwrap();
+        // Candidates lack the community: native fallback.
+        let candidates = vec![route(1, &[101, 60000], &[])];
+        assert!(e.select_paths(Prefix::DEFAULT, &candidates).is_none());
+    }
+
+    #[test]
+    fn path_set_min_next_hop_gates_matching() {
+        let mut e = RpaEngine::new();
+        let doc = RpaDocument::PathSelection(PathSelectionRpa::single(
+            "guarded",
+            PathSelectionStatement::select(
+                Destination::Any,
+                vec![
+                    PathSet::new("primary", PathSignature::originated_by(Asn(9)))
+                        .with_min_next_hop(2),
+                    PathSet::new("fallback", PathSignature::originated_by(Asn(8))),
+                ],
+            ),
+        ));
+        e.install(doc).unwrap();
+        // Only one primary route: primary set unmatched, fallback wins.
+        let candidates = vec![route(1, &[1, 9], &[]), route(2, &[2, 8], &[])];
+        let sel = e.select_paths(Prefix::DEFAULT, &candidates).unwrap();
+        assert_eq!(sel.selected, vec![1]);
+        // Two primary routes: primary set matches.
+        let candidates =
+            vec![route(1, &[1, 9], &[]), route(2, &[2, 9], &[]), route(3, &[3, 8], &[])];
+        let sel = e.select_paths(Prefix::DEFAULT, &candidates).unwrap();
+        assert_eq!(sel.selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn local_routes_do_not_satisfy_path_set_floors() {
+        let mut e = RpaEngine::new();
+        e.install(RpaDocument::PathSelection(PathSelectionRpa::single(
+            "floor",
+            PathSelectionStatement::select(
+                Destination::Any,
+                vec![PathSet::new("nine", PathSignature::originated_by(Asn(9)))
+                    .with_min_next_hop(2)],
+            ),
+        )))
+        .unwrap();
+        // One learned + one local route match: only one forwarding next-hop,
+        // floor of 2 unmet → native fallback.
+        let mut local_attrs = centralium_bgp::PathAttributes::default();
+        local_attrs.prepend(Asn(9), 1);
+        let candidates = vec![
+            route(1, &[1, 9], &[]),
+            Route::local(Prefix::DEFAULT, local_attrs),
+        ];
+        assert!(e.select_paths(Prefix::DEFAULT, &candidates).is_none());
+        // Two learned routes: floor met.
+        let candidates = vec![route(1, &[1, 9], &[]), route(2, &[2, 9], &[])];
+        assert!(e.select_paths(Prefix::DEFAULT, &candidates).is_some());
+    }
+
+    #[test]
+    fn native_guard_memo_flows_to_hook() {
+        let mut e = RpaEngine::new();
+        e.install(RpaDocument::PathSelection(PathSelectionRpa::single(
+            "decommission-guard",
+            PathSelectionStatement::native_guard(
+                Destination::Any,
+                MinNextHop::Absolute(3),
+                true,
+            ),
+        )))
+        .unwrap();
+        let candidates = vec![route(1, &[1, 9], &[])];
+        // Empty path-set list: select_paths falls back to native...
+        assert!(e.select_paths(Prefix::DEFAULT, &candidates).is_none());
+        // ...but the native guard is exposed.
+        assert_eq!(e.native_min_nexthop(Prefix::DEFAULT), Some((3, true)));
+    }
+
+    #[test]
+    fn fraction_must_be_resolved_before_install() {
+        let mut e = RpaEngine::new();
+        let err = e
+            .install(RpaDocument::PathSelection(PathSelectionRpa::single(
+                "bad",
+                PathSelectionStatement::native_guard(
+                    Destination::Any,
+                    MinNextHop::Fraction(0.75),
+                    false,
+                ),
+            )))
+            .unwrap_err();
+        assert!(matches!(err, RpaError::UnresolvedFraction { .. }));
+    }
+
+    #[test]
+    fn bad_regex_rejected_at_install() {
+        let mut e = RpaEngine::new();
+        let err = e
+            .install(RpaDocument::PathSelection(PathSelectionRpa::single(
+                "bad",
+                PathSelectionStatement::select(
+                    Destination::Any,
+                    vec![PathSet::new("x", PathSignature::as_path("("))],
+                ),
+            )))
+            .unwrap_err();
+        assert!(matches!(err, RpaError::BadRegex { .. }));
+        assert!(e.installed().is_empty());
+    }
+
+    #[test]
+    fn assign_weights_prescribes_and_expires() {
+        let mut e = RpaEngine::new();
+        e.install(RpaDocument::RouteAttribute(RouteAttributeRpa::single(
+            "te",
+            RouteAttributeStatement::new(
+                Destination::Any,
+                vec![
+                    NextHopWeight {
+                        signature: PathSignature::originated_by(Asn(9)),
+                        weight: 3,
+                    },
+                    NextHopWeight {
+                        signature: PathSignature::originated_by(Asn(8)),
+                        weight: 1,
+                    },
+                ],
+            )
+            .expires_at(100),
+        )))
+        .unwrap();
+        let selected = vec![route(1, &[1, 9], &[]), route(2, &[2, 8], &[]), route(3, &[3, 7], &[])];
+        assert_eq!(e.assign_weights(Prefix::DEFAULT, &selected), Some(vec![3, 1, 1]));
+        // After expiry: native fallback.
+        e.set_time(100);
+        assert_eq!(e.assign_weights(Prefix::DEFAULT, &selected), None);
+    }
+
+    #[test]
+    fn route_filter_directions_and_peer_scope() {
+        let mut e = RpaEngine::new();
+        e.set_peer_asn(PeerId(1), Asn(60000)); // backbone session
+        e.set_peer_asn(PeerId(2), Asn(30000)); // fabric session
+        e.install(RpaDocument::RouteFilter(RouteFilterRpa {
+            name: "boundary".into(),
+            statements: vec![RouteFilterStatement {
+                peer_signature: PeerSignature::AsnRange(Asn(60000), Asn(69999)),
+                ingress_filter: Some(vec![PrefixFilter::exact(Prefix::DEFAULT)]),
+                egress_filter: Some(vec![PrefixFilter::within(
+                    "10.0.0.0/8".parse().unwrap(),
+                    24,
+                )]),
+            }],
+        }))
+        .unwrap();
+        let r = route(1, &[60000], &[]);
+        // Backbone session: only the default route in; only 10/8 out.
+        assert!(e.permit_ingress(PeerId(1), Prefix::DEFAULT, &r));
+        assert!(!e.permit_ingress(PeerId(1), "10.0.0.0/8".parse().unwrap(), &r));
+        assert!(e.permit_egress(PeerId(1), "10.1.0.0/16".parse().unwrap(), &r));
+        assert!(!e.permit_egress(PeerId(1), Prefix::DEFAULT, &r));
+        // Fabric session: unconstrained.
+        assert!(e.permit_ingress(PeerId(2), "10.0.0.0/8".parse().unwrap(), &r));
+        assert!(e.permit_egress(PeerId(2), Prefix::DEFAULT, &r));
+    }
+
+    #[test]
+    fn cache_hits_on_reevaluation() {
+        let mut e = RpaEngine::new();
+        e.install(equalize_doc()).unwrap();
+        let c = well_known::BACKBONE_DEFAULT_ROUTE;
+        let candidates = vec![route(1, &[101, 60000], &[c]), route(2, &[102, 60000], &[c])];
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        let first = e.stats();
+        assert_eq!(first.cache_hits, 0);
+        assert!(first.cache_misses >= 2);
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        let second = e.stats();
+        assert_eq!(second.cache_misses, first.cache_misses, "no new misses");
+        assert!(second.cache_hits >= 2);
+    }
+
+    #[test]
+    fn cache_disabled_counts_uncached() {
+        let mut e = RpaEngine::new();
+        e.set_cache_enabled(false);
+        e.install(equalize_doc()).unwrap();
+        let c = well_known::BACKBONE_DEFAULT_ROUTE;
+        let candidates = vec![route(1, &[101, 60000], &[c])];
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        let stats = e.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 0);
+        assert!(stats.uncached_evals >= 2);
+    }
+
+    #[test]
+    fn install_invalidates_cache() {
+        let mut e = RpaEngine::new();
+        e.install(equalize_doc()).unwrap();
+        let c = well_known::BACKBONE_DEFAULT_ROUTE;
+        let candidates = vec![route(1, &[101, 60000], &[c])];
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        e.install(RpaDocument::RouteFilter(RouteFilterRpa {
+            name: "other".into(),
+            statements: vec![],
+        }))
+        .unwrap();
+        e.reset_stats();
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        assert!(e.stats().cache_misses > 0, "cache cleared on install");
+    }
+
+    #[test]
+    fn governing_statement_debug_aid() {
+        let mut e = RpaEngine::new();
+        e.install(equalize_doc()).unwrap();
+        let c = well_known::BACKBONE_DEFAULT_ROUTE;
+        let tagged = vec![route(1, &[101, 60000], &[c])];
+        let plain = vec![route(1, &[101, 60000], &[])];
+        assert_eq!(
+            e.governing_statement(Prefix::DEFAULT, &tagged),
+            Some(("equalize".to_string(), 0))
+        );
+        assert_eq!(e.governing_statement(Prefix::DEFAULT, &plain), None);
+    }
+
+    #[test]
+    fn first_applicable_statement_wins_across_documents() {
+        let mut e = RpaEngine::new();
+        e.install(RpaDocument::PathSelection(PathSelectionRpa::single(
+            "first",
+            PathSelectionStatement::select(
+                Destination::Any,
+                vec![PathSet::new("nine", PathSignature::originated_by(Asn(9)))],
+            ),
+        )))
+        .unwrap();
+        e.install(RpaDocument::PathSelection(PathSelectionRpa::single(
+            "second",
+            PathSelectionStatement::select(
+                Destination::Any,
+                vec![PathSet::new("eight", PathSignature::originated_by(Asn(8)))],
+            ),
+        )))
+        .unwrap();
+        let candidates = vec![route(1, &[1, 9], &[]), route(2, &[2, 8], &[])];
+        let sel = e.select_paths(Prefix::DEFAULT, &candidates).unwrap();
+        assert_eq!(sel.selected, vec![0], "install order gives priority");
+    }
+}

@@ -1,0 +1,189 @@
+//! Path Selection RPA (Figure 7a).
+
+use crate::signature::{Destination, PathSignature};
+use serde::{Deserialize, Serialize};
+
+/// Minimum next-hop requirement: either an absolute count, or a fraction of
+/// the expected next-hop population. Fractions appear in operator intent
+/// (`BgpNativeMinNextHop: 75%`, §4.4.2); the controller's compiler resolves
+/// them against topology before the engine sees them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MinNextHop {
+    /// At least this many next-hops.
+    Absolute(usize),
+    /// At least this fraction (0.0–1.0) of the expected next-hops; resolved
+    /// with [`MinNextHop::resolve`].
+    Fraction(f64),
+}
+
+impl MinNextHop {
+    /// Resolve against an expected population (rounded up, floored at 1).
+    pub fn resolve(&self, expected: usize) -> usize {
+        match self {
+            MinNextHop::Absolute(n) => *n,
+            MinNextHop::Fraction(f) => {
+                // Nudge below the product before ceiling so IEEE-754 noise on
+                // exact-integer products (0.07 × 100 = 7.000000000000001)
+                // cannot inflate the requirement by one.
+                let need = (f * expected as f64 - 1e-9).ceil() as usize;
+                need.max(1)
+            }
+        }
+    }
+}
+
+/// One path set: "a group of operator-defined BGP paths toward a defined
+/// destination", identified by a shared signature (§4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSet {
+    /// Operator label, for debuggability (§7.2).
+    pub name: String,
+    /// The common signature all member paths share.
+    pub signature: PathSignature,
+    /// The path set only matches if at least this many active routes match
+    /// its signature (prevents funneling when the group shrinks, §4.3).
+    #[serde(default = "default_min_next_hop")]
+    pub min_next_hop: usize,
+}
+
+fn default_min_next_hop() -> usize {
+    1
+}
+
+impl PathSet {
+    /// Path set with the default min-next-hop of 1.
+    pub fn new(name: impl Into<String>, signature: PathSignature) -> Self {
+        PathSet { name: name.into(), signature, min_next_hop: 1 }
+    }
+
+    /// Set the min-next-hop floor, builder-style.
+    pub fn with_min_next_hop(mut self, min: usize) -> Self {
+        self.min_next_hop = min;
+        self
+    }
+}
+
+/// One statement, defined per group of destination prefixes sharing intent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSelectionStatement {
+    /// Destination prefixes the statement covers.
+    pub destination: Destination,
+    /// Priority list; the first path set with enough matching active routes
+    /// wins. Empty list = pure native selection (plus the guard below).
+    pub path_set_list: Vec<PathSet>,
+    /// Guard on *native* selection: withdraw the route if native selection
+    /// yields fewer next-hops than this (§4.3 "Augment native BGP
+    /// selection").
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bgp_native_min_next_hop: Option<MinNextHop>,
+    /// Keep forwarding entries when the route is withdrawn due to the guard,
+    /// so in-flight packets are not dropped. (Mis-setting this caused the
+    /// Figure 14 SEV — black-holed packets — so it defaults to off.)
+    #[serde(default)]
+    pub keep_fib_warm_if_mnh_violated: bool,
+}
+
+impl PathSelectionStatement {
+    /// Statement selecting all paths matching `signature` for `destination`.
+    pub fn select(destination: Destination, path_sets: Vec<PathSet>) -> Self {
+        PathSelectionStatement {
+            destination,
+            path_set_list: path_sets,
+            bgp_native_min_next_hop: None,
+            keep_fib_warm_if_mnh_violated: false,
+        }
+    }
+
+    /// Statement guarding native selection only (the §4.4.2 decommission
+    /// protection).
+    pub fn native_guard(destination: Destination, min: MinNextHop, keep_fib_warm: bool) -> Self {
+        PathSelectionStatement {
+            destination,
+            path_set_list: Vec::new(),
+            bgp_native_min_next_hop: Some(min),
+            keep_fib_warm_if_mnh_violated: keep_fib_warm,
+        }
+    }
+}
+
+/// A Path Selection RPA document: named, with ordered statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSelectionRpa {
+    /// Document name (unique per switch; the controller keys desired state
+    /// on it).
+    pub name: String,
+    /// Statements, evaluated in order; the first whose destination applies
+    /// governs the prefix.
+    pub statements: Vec<PathSelectionStatement>,
+}
+
+impl PathSelectionRpa {
+    /// Single-statement document.
+    pub fn single(name: impl Into<String>, statement: PathSelectionStatement) -> Self {
+        PathSelectionRpa { name: name.into(), statements: vec![statement] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::attrs::well_known;
+
+    #[test]
+    fn min_next_hop_resolution() {
+        assert_eq!(MinNextHop::Absolute(3).resolve(100), 3);
+        assert_eq!(MinNextHop::Fraction(0.75).resolve(8), 6);
+        assert_eq!(MinNextHop::Fraction(0.75).resolve(3), 3); // ceil(2.25)
+        assert_eq!(MinNextHop::Fraction(0.01).resolve(10), 1); // floor at 1
+        assert_eq!(MinNextHop::Fraction(1.0).resolve(4), 4);
+        // IEEE-754: 0.07 * 100.0 > 7.0; the resolution must still be 7.
+        assert_eq!(MinNextHop::Fraction(0.07).resolve(100), 7);
+    }
+
+    #[test]
+    fn path_set_defaults() {
+        let ps = PathSet::new("backbone", PathSignature::any());
+        assert_eq!(ps.min_next_hop, 1);
+        let ps = ps.with_min_next_hop(4);
+        assert_eq!(ps.min_next_hop, 4);
+    }
+
+    #[test]
+    fn serde_defaults_for_omitted_fields() {
+        // A terse document omitting optional fields still parses — matching
+        // the paper's compact RPA snippets.
+        let json = r#"{
+            "name": "equalize",
+            "statements": [{
+                "destination": {"Community": 4259840001},
+                "path_set_list": [{
+                    "name": "via-backbone",
+                    "signature": {"origin_asn": 60000}
+                }]
+            }]
+        }"#;
+        let doc: PathSelectionRpa = serde_json::from_str(json).unwrap();
+        let st = &doc.statements[0];
+        assert_eq!(st.path_set_list[0].min_next_hop, 1);
+        assert!(st.bgp_native_min_next_hop.is_none());
+        assert!(!st.keep_fib_warm_if_mnh_violated);
+    }
+
+    #[test]
+    fn constructors_mirror_paper_examples() {
+        // §4.4.1 equalization.
+        let eq = PathSelectionStatement::select(
+            Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+            vec![PathSet::new("via-backbone", PathSignature::any())],
+        );
+        assert!(eq.bgp_native_min_next_hop.is_none());
+        // §4.4.2 native guard with FIB kept warm.
+        let guard = PathSelectionStatement::native_guard(
+            Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+            MinNextHop::Fraction(0.75),
+            true,
+        );
+        assert!(guard.path_set_list.is_empty());
+        assert!(guard.keep_fib_warm_if_mnh_violated);
+    }
+}

@@ -1,0 +1,77 @@
+//! A simulated device: BGP daemon + RPA engine + FIB.
+
+use crate::fib::Fib;
+use centralium_bgp::session::Session;
+use centralium_bgp::{BgpDaemon, PeerId, UpdateMessage};
+use centralium_rpa::RpaEngine;
+use centralium_topology::DeviceId;
+use std::collections::HashMap;
+
+/// One switch in the emulator.
+#[derive(Debug)]
+pub struct SimDevice {
+    /// Topology id.
+    pub id: DeviceId,
+    /// The BGP speaker.
+    pub daemon: BgpDaemon,
+    /// The switch-local RPA engine (implements the daemon's hook trait).
+    pub engine: RpaEngine,
+    /// Forwarding table with next-hop-group accounting.
+    pub fib: Fib,
+    /// Session FSMs, populated when the emulator runs in handshake mode
+    /// (`SimConfig::handshake_sessions`); empty under administrative
+    /// bring-up.
+    pub sessions: HashMap<PeerId, Session>,
+}
+
+impl SimDevice {
+    /// Bundle a daemon with a fresh engine and a FIB of the given capacity.
+    pub fn new(id: DeviceId, daemon: BgpDaemon, nhg_capacity: usize) -> Self {
+        SimDevice {
+            id,
+            daemon,
+            engine: RpaEngine::new(),
+            fib: Fib::new(nhg_capacity),
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Run a daemon operation against this device's engine and synchronize
+    /// the FIB afterwards. Returns the updates the daemon wants sent.
+    pub fn with_daemon(
+        &mut self,
+        f: impl FnOnce(&mut BgpDaemon, &RpaEngine) -> Vec<(PeerId, UpdateMessage)>,
+    ) -> Vec<(PeerId, UpdateMessage)> {
+        let out = f(&mut self.daemon, &self.engine);
+        self.fib.sync(self.daemon.fib());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_bgp::{DaemonConfig, PathAttributes, PeerConfig, Prefix};
+    use centralium_topology::Asn;
+
+    #[test]
+    fn with_daemon_keeps_fib_in_sync() {
+        let daemon = BgpDaemon::new(DaemonConfig::fabric(Asn(1)));
+        let mut dev = SimDevice::new(DeviceId(0), daemon, 64);
+        dev.with_daemon(|d, e| {
+            d.add_peer(PeerConfig::open(PeerId(5), Asn(2), 100.0));
+            d.peer_up(PeerId(5), e)
+        });
+        dev.with_daemon(|d, e| {
+            let mut attrs = PathAttributes::default();
+            attrs.prepend(Asn(2), 1);
+            d.handle_update(
+                PeerId(5),
+                UpdateMessage::announce(Prefix::DEFAULT, attrs),
+                e,
+            )
+        });
+        assert_eq!(dev.fib.len(), 1);
+        assert_eq!(dev.fib.entry(Prefix::DEFAULT).unwrap().nexthops, vec![(PeerId(5), 1)]);
+    }
+}

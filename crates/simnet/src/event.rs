@@ -1,0 +1,118 @@
+//! Simulated time and the deterministic event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in microseconds since simulation start.
+pub type SimTime = u64;
+
+/// One microsecond, for readability at call sites.
+pub const MICROS: SimTime = 1;
+/// One millisecond in [`SimTime`] units.
+pub const MILLIS: SimTime = 1_000;
+/// One second in [`SimTime`] units.
+pub const SECONDS: SimTime = 1_000_000;
+
+/// A deterministic priority queue of timed events.
+///
+/// Ties on time are broken by insertion sequence, so runs are reproducible
+/// regardless of heap internals.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    payloads: std::collections::HashMap<u64, T>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.payloads.insert(seq, event);
+    }
+
+    /// Pop the earliest event, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let Reverse((at, seq)) = self.heap.pop()?;
+        let event = self.payloads.remove(&seq).expect("payload exists for seq");
+        Some((at, event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(MILLIS, 1_000 * MICROS);
+        assert_eq!(SECONDS, 1_000 * MILLIS);
+    }
+}

@@ -1,0 +1,92 @@
+//! Seeded fault injection for control-plane messages.
+//!
+//! Modeled after the fault-injection options every smoltcp example exposes:
+//! a drop probability and an extra-delay distribution, both deterministic
+//! under the simulation seed.
+
+use crate::event::SimTime;
+use rand::Rng;
+
+/// Fault-injection plan applied to every scheduled BGP message.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability in [0, 1] that a message is silently dropped. (TCP would
+    /// retransmit; this models session-level stalls and agent restarts.)
+    pub drop_probability: f64,
+    /// Maximum extra delay added uniformly at random, in microseconds.
+    pub max_extra_delay_us: SimTime,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan { drop_probability: 0.0, max_extra_delay_us: 0 }
+    }
+}
+
+impl FaultPlan {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Decide the fate of one message: `None` = dropped, `Some(extra)` =
+    /// deliver with `extra` additional delay.
+    pub fn apply(&self, rng: &mut impl Rng) -> Option<SimTime> {
+        if self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let extra = if self.max_extra_delay_us > 0 {
+            rng.gen_range(0..=self.max_extra_delay_us)
+        } else {
+            0
+        };
+        Some(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_faults_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = FaultPlan::none();
+        for _ in 0..100 {
+            assert_eq!(plan.apply(&mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn always_drop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = FaultPlan { drop_probability: 1.0, max_extra_delay_us: 0 };
+        for _ in 0..100 {
+            assert_eq!(plan.apply(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn extra_delay_is_bounded_and_deterministic() {
+        let plan = FaultPlan { drop_probability: 0.0, max_extra_delay_us: 50 };
+        let sample = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| plan.apply(&mut rng).unwrap()).collect::<Vec<_>>()
+        };
+        let a = sample(7);
+        let b = sample(7);
+        assert_eq!(a, b, "deterministic under seed");
+        assert!(a.iter().all(|&d| d <= 50));
+        assert!(a.iter().any(|&d| d > 0), "jitter actually applied");
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let plan = FaultPlan { drop_probability: 0.3, max_extra_delay_us: 0 };
+        let drops = (0..10_000).filter(|_| plan.apply(&mut rng).is_none()).count();
+        assert!((2_500..3_500).contains(&drops), "got {drops} drops");
+    }
+}

@@ -1,0 +1,275 @@
+//! The forwarding table with next-hop-group object accounting.
+//!
+//! §3.4 of the paper: packets of one forwarding-equivalence class hash over a
+//! *next-hop group* object; switch ASICs support a bounded number of distinct
+//! group objects, and transient convergence states can mint combinatorially
+//! many (up to `s^m` upstream, `4^8` in the worked DU example), overflowing
+//! the table and delaying forwarding updates. This module tracks exactly
+//! that: the set of distinct groups currently referenced, its high-water
+//! mark, cumulative group creations (churn), and overflow events.
+
+use centralium_bgp::{FibEntry, PeerId, Prefix};
+use std::collections::{BTreeMap, HashMap};
+
+/// A next-hop group: the weighted next-hop set a prefix hashes over. Ordering
+/// is canonical (sorted by session id) so identical groups compare equal.
+pub type NextHopGroup = Vec<(PeerId, u32)>;
+
+/// Counters describing next-hop-group pressure on a device.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NhgStats {
+    /// Distinct groups referenced right now.
+    pub current_groups: usize,
+    /// Maximum distinct groups ever referenced simultaneously — the §3.4
+    /// transient-explosion metric.
+    pub max_groups: usize,
+    /// Total group-object creations (churn); every new distinct group costs
+    /// an ASIC programming operation.
+    pub group_creations: u64,
+    /// Number of sync operations that found more groups than the hardware
+    /// table holds.
+    pub overflow_events: u64,
+}
+
+/// A device's forwarding table.
+#[derive(Debug, Clone)]
+pub struct Fib {
+    entries: BTreeMap<Prefix, FibEntry>,
+    /// Hardware limit on distinct next-hop group objects.
+    capacity: usize,
+    /// Groups currently referenced, with reference counts.
+    groups: HashMap<NextHopGroup, usize>,
+    stats: NhgStats,
+    /// Best-effort dedup heuristic (the "native approach" of §3.4, e.g.
+    /// in-place adjacency replace): when a prefix's group changes but has the
+    /// same *member set* ignoring weights, reuse the old object instead of
+    /// minting a new one. Best effort only — member-set changes still mint.
+    pub dedup_heuristic: bool,
+}
+
+impl Fib {
+    /// Empty FIB with the given group-table capacity.
+    pub fn new(capacity: usize) -> Self {
+        Fib {
+            entries: BTreeMap::new(),
+            capacity,
+            groups: HashMap::new(),
+            stats: NhgStats::default(),
+            dedup_heuristic: false,
+        }
+    }
+
+    /// Synchronize with the daemon's desired forwarding state.
+    pub fn sync(&mut self, desired: Vec<FibEntry>) {
+        let mut new_entries: BTreeMap<Prefix, FibEntry> = BTreeMap::new();
+        for e in desired {
+            new_entries.insert(e.prefix, e);
+        }
+        // Build the new group refcount map, counting creations.
+        let mut new_groups: HashMap<NextHopGroup, usize> = HashMap::new();
+        for e in new_entries.values() {
+            let group = self.canonical_group(&e.nexthops);
+            *new_groups.entry(group).or_insert(0) += 1;
+        }
+        for g in new_groups.keys() {
+            if !self.groups.contains_key(g) {
+                self.stats.group_creations += 1;
+            }
+        }
+        self.groups = new_groups;
+        self.entries = new_entries;
+        self.stats.current_groups = self.groups.len();
+        self.stats.max_groups = self.stats.max_groups.max(self.stats.current_groups);
+        if self.stats.current_groups > self.capacity {
+            self.stats.overflow_events += 1;
+        }
+    }
+
+    /// Canonicalize a group, optionally applying the dedup heuristic: if an
+    /// existing group has the same member sessions (any weights), reuse it.
+    fn canonical_group(&self, nexthops: &[(PeerId, u32)]) -> NextHopGroup {
+        let mut group: NextHopGroup = nexthops.to_vec();
+        group.sort_unstable_by_key(|(p, _)| *p);
+        if self.dedup_heuristic && !self.groups.contains_key(&group) {
+            let members: Vec<PeerId> = group.iter().map(|(p, _)| *p).collect();
+            // Deterministic choice among same-member groups (HashMap
+            // iteration order must not leak into simulation state).
+            if let Some(existing) = self
+                .groups
+                .keys()
+                .filter(|g| g.iter().map(|(p, _)| *p).collect::<Vec<_>>() == members)
+                .min()
+            {
+                return existing.clone();
+            }
+        }
+        group
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dest: &Prefix) -> Option<&FibEntry> {
+        self.entries
+            .values()
+            .filter(|e| e.prefix.contains(dest))
+            .max_by_key(|e| e.prefix.len())
+    }
+
+    /// Exact-prefix entry.
+    pub fn entry(&self, prefix: Prefix) -> Option<&FibEntry> {
+        self.entries.get(&prefix)
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> impl Iterator<Item = &FibEntry> {
+        self.entries.values()
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the FIB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Group-table counters.
+    pub fn nhg_stats(&self) -> NhgStats {
+        self.stats
+    }
+
+    /// Reset the high-water mark and churn counters (keeps current state).
+    pub fn reset_stats(&mut self) {
+        self.stats = NhgStats {
+            current_groups: self.groups.len(),
+            max_groups: self.groups.len(),
+            group_creations: 0,
+            overflow_events: 0,
+        };
+    }
+
+    /// Hardware group-table capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn entry(prefix: &str, nexthops: &[(u64, u32)]) -> FibEntry {
+        FibEntry {
+            prefix: p(prefix),
+            nexthops: nexthops.iter().map(|(d, w)| (PeerId(*d), *w)).collect(),
+            warm: false,
+        }
+    }
+
+    #[test]
+    fn identical_groups_are_shared() {
+        let mut fib = Fib::new(16);
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1), (2, 1)]),
+            entry("11.0.0.0/8", &[(1, 1), (2, 1)]),
+            entry("12.0.0.0/8", &[(2, 1), (1, 1)]), // different order, same group
+        ]);
+        let stats = fib.nhg_stats();
+        assert_eq!(stats.current_groups, 1);
+        assert_eq!(stats.group_creations, 1);
+    }
+
+    #[test]
+    fn distinct_weights_mint_distinct_groups() {
+        let mut fib = Fib::new(16);
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1), (2, 1)]),
+            entry("11.0.0.0/8", &[(1, 1), (2, 3)]),
+        ]);
+        assert_eq!(fib.nhg_stats().current_groups, 2);
+    }
+
+    #[test]
+    fn high_water_mark_persists_after_convergence() {
+        let mut fib = Fib::new(16);
+        // Transient: four prefixes, four distinct groups.
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1)]),
+            entry("11.0.0.0/8", &[(2, 1)]),
+            entry("12.0.0.0/8", &[(3, 1)]),
+            entry("13.0.0.0/8", &[(4, 1)]),
+        ]);
+        // Converged: all share one group.
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1), (2, 1)]),
+            entry("11.0.0.0/8", &[(1, 1), (2, 1)]),
+            entry("12.0.0.0/8", &[(1, 1), (2, 1)]),
+            entry("13.0.0.0/8", &[(1, 1), (2, 1)]),
+        ]);
+        let stats = fib.nhg_stats();
+        assert_eq!(stats.current_groups, 1);
+        assert_eq!(stats.max_groups, 4, "transient peak retained");
+        assert_eq!(stats.group_creations, 5);
+    }
+
+    #[test]
+    fn overflow_detected_when_groups_exceed_capacity() {
+        let mut fib = Fib::new(2);
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1)]),
+            entry("11.0.0.0/8", &[(2, 1)]),
+            entry("12.0.0.0/8", &[(3, 1)]),
+        ]);
+        assert_eq!(fib.nhg_stats().overflow_events, 1);
+    }
+
+    #[test]
+    fn dedup_heuristic_reuses_same_member_groups() {
+        let mut fib = Fib::new(16);
+        fib.dedup_heuristic = true;
+        fib.sync(vec![entry("10.0.0.0/8", &[(1, 1), (2, 1)])]);
+        // Same members, different weights: heuristic reuses the object.
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1), (2, 1)]),
+            entry("11.0.0.0/8", &[(1, 1), (2, 3)]),
+        ]);
+        let stats = fib.nhg_stats();
+        assert_eq!(stats.current_groups, 1, "heuristic deduped by member set");
+        // But a different member set still mints a new group (best effort).
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1), (2, 1)]),
+            entry("11.0.0.0/8", &[(1, 1), (3, 1)]),
+        ]);
+        assert_eq!(fib.nhg_stats().current_groups, 2);
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut fib = Fib::new(16);
+        fib.sync(vec![
+            entry("0.0.0.0/0", &[(1, 1)]),
+            entry("10.0.0.0/8", &[(2, 1)]),
+            entry("10.1.0.0/16", &[(3, 1)]),
+        ]);
+        assert_eq!(fib.lookup(&p("10.1.2.0/24")).unwrap().prefix, p("10.1.0.0/16"));
+        assert_eq!(fib.lookup(&p("10.2.0.0/16")).unwrap().prefix, p("10.0.0.0/8"));
+        assert_eq!(fib.lookup(&p("99.0.0.0/8")).unwrap().prefix, p("0.0.0.0/0"));
+    }
+
+    #[test]
+    fn reset_stats_keeps_current_groups() {
+        let mut fib = Fib::new(16);
+        fib.sync(vec![entry("10.0.0.0/8", &[(1, 1)]), entry("11.0.0.0/8", &[(2, 1)])]);
+        fib.reset_stats();
+        let stats = fib.nhg_stats();
+        assert_eq!(stats.current_groups, 2);
+        assert_eq!(stats.max_groups, 2);
+        assert_eq!(stats.group_creations, 0);
+    }
+}
+

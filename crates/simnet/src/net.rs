@@ -1,0 +1,1177 @@
+//! The emulator: devices, sessions, message scheduling, operations.
+//!
+//! Design rules:
+//!
+//! * **Determinism** — all randomness (latency jitter, faults) flows from the
+//!   seed; event ties break by insertion order.
+//! * **Per-session FIFO** — BGP runs over TCP, so messages on one session
+//!   never reorder; *across* sessions and devices, timing is free. That
+//!   asynchrony is precisely what creates the paper's transitory states.
+//! * **Per-prefix interleaving** — large UPDATEs are (by default) split into
+//!   per-prefix messages with independent jitter, modeling the per-prefix
+//!   convergence interleaving behind the §3.4 next-hop-group explosion.
+
+use crate::device::SimDevice;
+use crate::event::{EventQueue, SimTime};
+use crate::fault::FaultPlan;
+use crate::trace::{ConvergenceReport, TraceStats};
+use centralium_bgp::policy::{Action, MatchExpr, Policy, PolicyRule};
+use centralium_bgp::session::{Session, SessionAction};
+use centralium_bgp::BgpMessage;
+use centralium_bgp::{
+    attrs::well_known, BgpDaemon, DaemonConfig, PathAttributes, PeerConfig, PeerId, Prefix,
+    UpdateMessage,
+};
+use centralium_rpa::RpaDocument;
+use centralium_topology::{Asn, DeviceId, DeviceState, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Emulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// RNG seed; everything is reproducible from it.
+    pub seed: u64,
+    /// Base one-way message latency in µs.
+    pub base_latency_us: SimTime,
+    /// Uniform extra jitter bound in µs (the asynchrony source).
+    pub jitter_us: SimTime,
+    /// Parallel BGP sessions per physical link (§3.4 runs two per UU–DU).
+    pub sessions_per_link: u8,
+    /// Split multi-prefix UPDATEs into per-prefix messages.
+    pub split_announcements: bool,
+    /// Randomize (per recipient session, seeded) the order in which split
+    /// per-prefix messages are queued. BGP guarantees ordering *within* a
+    /// TCP session but says nothing about the order a daemon generates
+    /// updates for different prefixes toward different peers — production
+    /// TX queues drain in effectively independent orders, which is what
+    /// makes the §3.4 per-prefix state space combinatorial.
+    pub shuffle_split_order: bool,
+    /// Delay between a device dying and neighbors noticing, in µs.
+    pub failure_detection_us: SimTime,
+    /// Attach link-bandwidth communities on export (distributed WCMP).
+    pub wcmp_advertise: bool,
+    /// Install the fabric's valley-free base policies: routes learned from
+    /// an upper layer are marked `FROM_UPSTREAM` on import and rejected when
+    /// exporting back toward upper layers. Production fabrics always run
+    /// such deterministic propagation policies (§4.3); disabling this (for
+    /// generic non-layered rigs like Figure 9) allows path hunting through
+    /// valleys, which explodes combinatorially on large fabrics.
+    pub valley_free_policies: bool,
+    /// Fault injection plan for control-plane messages.
+    pub fault: FaultPlan,
+    /// Bring sessions up through the full OPEN handshake FSM instead of
+    /// administratively. Slower (more events) but exercises real session
+    /// semantics; the scenario experiments use administrative bring-up.
+    pub handshake_sessions: bool,
+    /// Safety cap on processed events per `run_until_quiescent`.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            base_latency_us: 200,
+            jitter_us: 300,
+            sessions_per_link: 1,
+            split_announcements: true,
+            shuffle_split_order: true,
+            failure_detection_us: 1_000,
+            wcmp_advertise: false,
+            valley_free_policies: true,
+            fault: FaultPlan::none(),
+            handshake_sessions: false,
+            max_events: 10_000_000,
+        }
+    }
+}
+
+/// Events on the simulation queue.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// Deliver a BGP UPDATE to `to` on its session `on`.
+    Deliver {
+        /// Receiving device.
+        to: DeviceId,
+        /// Receiver-side session id.
+        on: PeerId,
+        /// The message.
+        msg: UpdateMessage,
+    },
+    /// Deliver a session-level control message (OPEN / KEEPALIVE /
+    /// NOTIFICATION) to `to` on its session `on` (handshake mode).
+    DeliverCtl {
+        /// Receiving device.
+        to: DeviceId,
+        /// Receiver-side session id.
+        on: PeerId,
+        /// The control message.
+        msg: BgpMessage,
+    },
+    /// A session reaches Established on `dev`'s side.
+    SessionUp {
+        /// Device whose session comes up.
+        dev: DeviceId,
+        /// Its session id.
+        peer: PeerId,
+    },
+    /// A session drops on `dev`'s side.
+    SessionDown {
+        /// Device whose session drops.
+        dev: DeviceId,
+        /// Its session id.
+        peer: PeerId,
+    },
+    /// Install an RPA document on a device (the Switch Agent's write RPC).
+    InstallRpa {
+        /// Target device.
+        dev: DeviceId,
+        /// The document.
+        doc: Box<RpaDocument>,
+    },
+    /// Remove an RPA document by name.
+    RemoveRpa {
+        /// Target device.
+        dev: DeviceId,
+        /// Document name.
+        name: String,
+    },
+    /// A route-refresh request: `to` must re-send its full Adj-RIB-Out for
+    /// session `on` (the requester lifted an ingress filter and wants the
+    /// state it previously discarded).
+    RouteRefreshRequest {
+        /// The device being asked to re-advertise.
+        to: DeviceId,
+        /// Its session toward the requester.
+        on: PeerId,
+    },
+    /// Tear down and unconfigure a session on one side (link removal).
+    RemovePeer {
+        /// Device losing the session.
+        dev: DeviceId,
+        /// Its session id.
+        peer: PeerId,
+    },
+    /// Start originating a prefix.
+    Originate {
+        /// Originating device.
+        dev: DeviceId,
+        /// The prefix.
+        prefix: Prefix,
+        /// Origination attributes (communities etc.).
+        attrs: PathAttributes,
+    },
+    /// Stop originating a prefix.
+    WithdrawOrigin {
+        /// Originating device.
+        dev: DeviceId,
+        /// The prefix.
+        prefix: Prefix,
+    },
+    /// Apply an export-policy *override* on all sessions of a device (drain
+    /// / undrain / base-policy change) and re-advertise. The override's
+    /// rules run before each session's base (valley-free) policy; its
+    /// default disposition is ignored.
+    SetExportPolicy {
+        /// Target device.
+        dev: DeviceId,
+        /// Override rules (an empty rule list restores the pure base).
+        policy: Policy,
+    },
+}
+
+/// The emulator.
+#[derive(Debug)]
+pub struct SimNet {
+    topo: Topology,
+    cfg: SimConfig,
+    devices: BTreeMap<DeviceId, SimDevice>,
+    queue: EventQueue<NetEvent>,
+    now: SimTime,
+    rng: StdRng,
+    stats: TraceStats,
+    originators: HashMap<Prefix, BTreeSet<DeviceId>>,
+    /// Per directed (from, to, session) last delivery time, for TCP FIFO.
+    fifo: HashMap<(DeviceId, DeviceId, u8), SimTime>,
+}
+
+impl SimNet {
+    /// Build an emulator over a topology: one daemon per non-Down device,
+    /// `sessions_per_link` sessions per Up link. Sessions start down; call
+    /// [`establish_all`](Self::establish_all) (or schedule SessionUp events)
+    /// to bring them up.
+    pub fn new(topo: Topology, cfg: SimConfig) -> Self {
+        let mut devices = BTreeMap::new();
+        for dev in topo.devices() {
+            if dev.state == DeviceState::Down {
+                continue;
+            }
+            let mut dcfg = DaemonConfig::fabric(dev.asn);
+            dcfg.wcmp_advertise = cfg.wcmp_advertise;
+            let daemon = BgpDaemon::new(dcfg);
+            devices.insert(dev.id, SimDevice::new(dev.id, daemon, dev.max_nexthop_groups));
+        }
+        let mut net = SimNet {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            topo,
+            cfg,
+            devices,
+            queue: EventQueue::new(),
+            now: 0,
+            stats: TraceStats::default(),
+            originators: HashMap::new(),
+            fifo: HashMap::new(),
+        };
+        // Wire sessions for every Up link between live devices.
+        let links: Vec<_> = net.topo.links().cloned().collect();
+        for link in links {
+            net.wire_link(link.a, link.b, link.capacity_gbps);
+        }
+        net
+    }
+
+    /// Session indices already wired from `dev` toward `other` (parallel
+    /// links between the same pair stack their sessions).
+    fn next_session_index(&self, dev: DeviceId, other: DeviceId) -> u8 {
+        self.devices
+            .get(&dev)
+            .map(|d| {
+                d.daemon
+                    .peer_ids()
+                    .into_iter()
+                    .filter(|p| p.device() == other.0)
+                    .count() as u8
+            })
+            .unwrap_or(0)
+    }
+
+    fn wire_link(&mut self, a: DeviceId, b: DeviceId, capacity: f64) {
+        if !self.devices.contains_key(&a) || !self.devices.contains_key(&b) {
+            return;
+        }
+        let asn_a = self.devices[&a].daemon.asn();
+        let asn_b = self.devices[&b].daemon.asn();
+        let layer_a = self.topo.device(a).expect("device a in topo").layer();
+        let layer_b = self.topo.device(b).expect("device b in topo").layer();
+        // A second parallel link between the same pair must not collide with
+        // (and silently reset) the first link's sessions.
+        let base = self.next_session_index(a, b);
+        for k in base..base + self.cfg.sessions_per_link {
+            let peer_on_a = PeerId::compose(b.0, k);
+            let peer_on_b = PeerId::compose(a.0, k);
+            let mut cfg_a = PeerConfig::open(peer_on_a, asn_b, capacity);
+            let mut cfg_b = PeerConfig::open(peer_on_b, asn_a, capacity);
+            if self.cfg.valley_free_policies && layer_a != layer_b {
+                let (lower_cfg, upper_cfg) = if layer_a.is_below(layer_b) {
+                    (&mut cfg_a, &mut cfg_b)
+                } else {
+                    (&mut cfg_b, &mut cfg_a)
+                };
+                // Lower side: mark up-learned routes, never send them back up.
+                lower_cfg.import = Self::import_from_up();
+                lower_cfg.export = Self::export_to_up();
+                // Upper side: routes from below are fresh information.
+                upper_cfg.import = Self::import_from_down();
+            }
+            let dev_a = self.devices.get_mut(&a).expect("device a");
+            dev_a.daemon.add_peer(cfg_a);
+            dev_a.engine.set_peer_asn(peer_on_a, asn_b);
+            if self.cfg.handshake_sessions {
+                dev_a.sessions.insert(peer_on_a, Session::new(asn_a, asn_b));
+            }
+            let dev_b = self.devices.get_mut(&b).expect("device b");
+            dev_b.daemon.add_peer(cfg_b);
+            dev_b.engine.set_peer_asn(peer_on_b, asn_a);
+            if self.cfg.handshake_sessions {
+                dev_b.sessions.insert(peer_on_b, Session::new(asn_b, asn_a));
+            }
+        }
+    }
+
+    /// Import policy on a session toward the layer above: tag FROM_UPSTREAM.
+    fn import_from_up() -> Policy {
+        Policy::accept_all().rule(PolicyRule {
+            matches: MatchExpr::any(),
+            actions: vec![Action::AddCommunity(well_known::FROM_UPSTREAM)],
+        })
+    }
+
+    /// Import policy on a session toward the layer below: clear any stale
+    /// FROM_UPSTREAM marking (the route is fresh information from below).
+    fn import_from_down() -> Policy {
+        Policy::accept_all().rule(PolicyRule {
+            matches: MatchExpr::any(),
+            actions: vec![Action::RemoveCommunity(well_known::FROM_UPSTREAM)],
+        })
+    }
+
+    /// Export policy on a session toward the layer above: up-learned routes
+    /// must not be re-advertised upward (valley-freedom).
+    fn export_to_up() -> Policy {
+        Policy::accept_all()
+            .rule(PolicyRule::reject(MatchExpr::community(well_known::FROM_UPSTREAM)))
+    }
+
+    /// The base export policy of a session, as installed at wiring time —
+    /// used to rebuild effective policies when an override (drain, policy
+    /// transition) is applied or lifted.
+    fn base_export_policy(&self, dev: DeviceId, peer: PeerId) -> Policy {
+        if !self.cfg.valley_free_policies {
+            return Policy::accept_all();
+        }
+        let other = DeviceId(peer.device());
+        let (Some(d), Some(o)) = (self.topo.device(dev), self.topo.device(other)) else {
+            return Policy::accept_all();
+        };
+        if d.layer().is_below(o.layer()) {
+            Self::export_to_up()
+        } else {
+            Policy::accept_all()
+        }
+    }
+
+    // ---- accessors ---------------------------------------------------------
+
+    /// Simulated now.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology (kept in sync with commissioned/decommissioned devices).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> TraceStats {
+        self.stats
+    }
+
+    /// A device, if present (not decommissioned).
+    pub fn device(&self, id: DeviceId) -> Option<&SimDevice> {
+        self.devices.get(&id)
+    }
+
+    /// Mutable device access (tests / experiment setup).
+    pub fn device_mut(&mut self, id: DeviceId) -> Option<&mut SimDevice> {
+        self.devices.get_mut(&id)
+    }
+
+    /// Ids of all live simulated devices.
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        self.devices.keys().copied().collect()
+    }
+
+    /// Which devices originate `prefix`.
+    pub fn originators_of(&self, prefix: Prefix) -> Vec<DeviceId> {
+        self.originators.get(&prefix).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Pending event count.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    // ---- operations (schedule events) ---------------------------------------
+
+    /// Schedule an event `offset_us` from now.
+    pub fn schedule_in(&mut self, offset_us: SimTime, event: NetEvent) {
+        self.queue.schedule(self.now + offset_us, event);
+    }
+
+    /// Bring every configured session up at t = now: administratively by
+    /// default, or through the OPEN handshake when
+    /// [`SimConfig::handshake_sessions`] is set (the lower-id device plays
+    /// the active opener).
+    pub fn establish_all(&mut self) {
+        let devs: Vec<DeviceId> = self.devices.keys().copied().collect();
+        if !self.cfg.handshake_sessions {
+            for dev in devs {
+                for peer in self.devices[&dev].daemon.peer_ids() {
+                    self.schedule_in(0, NetEvent::SessionUp { dev, peer });
+                }
+            }
+            return;
+        }
+        for dev in devs {
+            let peers = self.devices[&dev].daemon.peer_ids();
+            for peer in peers {
+                if dev.0 >= peer.device() {
+                    continue; // passive side waits for the OPEN
+                }
+                let d = self.devices.get_mut(&dev).expect("device");
+                let action =
+                    d.sessions.get_mut(&peer).expect("handshake session exists").start();
+                if let SessionAction::Send(msg) = action {
+                    self.emit_ctl(dev, peer, msg);
+                }
+            }
+        }
+    }
+
+    /// Originate `prefix` from `dev` now, tagged with `communities`.
+    pub fn originate(
+        &mut self,
+        dev: DeviceId,
+        prefix: Prefix,
+        communities: impl IntoIterator<Item = centralium_bgp::Community>,
+    ) {
+        let attrs = PathAttributes::originated(communities);
+        self.schedule_in(0, NetEvent::Originate { dev, prefix, attrs });
+    }
+
+    /// Deploy an RPA document to a device after `rpc_latency_us`.
+    pub fn deploy_rpa(&mut self, dev: DeviceId, doc: RpaDocument, rpc_latency_us: SimTime) {
+        self.schedule_in(rpc_latency_us, NetEvent::InstallRpa { dev, doc: Box::new(doc) });
+    }
+
+    /// Remove an RPA document from a device after `rpc_latency_us`.
+    pub fn remove_rpa(&mut self, dev: DeviceId, name: impl Into<String>, rpc_latency_us: SimTime) {
+        self.schedule_in(rpc_latency_us, NetEvent::RemoveRpa { dev, name: name.into() });
+    }
+
+    /// The export-policy *override* a drained device applies: pad the
+    /// AS-path and tag MAINTENANCE, making every advertisement less
+    /// preferred (§3.4's "preset BGP export policy"). The override's rules
+    /// are prepended to each session's base policy, so valley-free
+    /// propagation survives the drain.
+    pub fn drain_export_policy(asn: Asn) -> Policy {
+        Policy::accept_all().rule(PolicyRule {
+            matches: MatchExpr::any(),
+            actions: vec![
+                Action::Prepend(asn, 3),
+                Action::AddCommunity(well_known::MAINTENANCE),
+            ],
+        })
+    }
+
+    /// Drain a device (transition LIVE → MAINTENANCE) now.
+    pub fn drain_device(&mut self, dev: DeviceId) {
+        let Some(d) = self.devices.get(&dev) else { return };
+        let policy = Self::drain_export_policy(d.daemon.asn());
+        self.topo.set_device_state(dev, DeviceState::Drained);
+        self.schedule_in(0, NetEvent::SetExportPolicy { dev, policy });
+    }
+
+    /// Undrain a device (MAINTENANCE → LIVE) now.
+    pub fn undrain_device(&mut self, dev: DeviceId) {
+        self.topo.set_device_state(dev, DeviceState::Live);
+        self.schedule_in(0, NetEvent::SetExportPolicy { dev, policy: Policy::accept_all() });
+    }
+
+    /// Power a device off: its sessions drop; neighbors notice after the
+    /// failure-detection delay.
+    pub fn device_down(&mut self, dev: DeviceId) {
+        self.topo.set_device_state(dev, DeviceState::Down);
+        let Some(d) = self.devices.get(&dev) else { return };
+        let sessions = d.daemon.peer_ids();
+        for peer in sessions {
+            // Local side: immediate, silent (the box is dead).
+            self.schedule_in(0, NetEvent::SessionDown { dev, peer });
+            // Remote side notices after detection delay.
+            let neighbor = DeviceId(peer.device());
+            let their_session = PeerId::compose(dev.0, peer.session_index());
+            self.schedule_in(
+                self.cfg.failure_detection_us,
+                NetEvent::SessionDown { dev: neighbor, peer: their_session },
+            );
+        }
+    }
+
+    /// Power a device back on: sessions re-establish after detection delay.
+    pub fn device_up(&mut self, dev: DeviceId) {
+        self.topo.set_device_state(dev, DeviceState::Live);
+        let Some(d) = self.devices.get(&dev) else { return };
+        for peer in d.daemon.peer_ids() {
+            self.schedule_in(self.cfg.failure_detection_us, NetEvent::SessionUp { dev, peer });
+            let neighbor = DeviceId(peer.device());
+            let their_session = PeerId::compose(dev.0, peer.session_index());
+            self.schedule_in(
+                self.cfg.failure_detection_us,
+                NetEvent::SessionUp { dev: neighbor, peer: their_session },
+            );
+        }
+    }
+
+    /// Commission a new device mid-simulation (topology expansion): creates
+    /// the daemon, wires sessions to `links`, and schedules session
+    /// establishment. Returns the new device id.
+    pub fn commission_device(
+        &mut self,
+        name: centralium_topology::DeviceName,
+        asn: Asn,
+        links: &[(DeviceId, f64)],
+    ) -> DeviceId {
+        let id = self.topo.add_device(name, asn);
+        let mut dcfg = DaemonConfig::fabric(asn);
+        dcfg.wcmp_advertise = self.cfg.wcmp_advertise;
+        let nhg_cap = self.topo.device(id).expect("just added").max_nexthop_groups;
+        self.devices.insert(id, SimDevice::new(id, BgpDaemon::new(dcfg), nhg_cap));
+        for &(other, capacity) in links {
+            self.connect_devices(id, other, capacity);
+        }
+        id
+    }
+
+    /// Cable a new link between two live devices mid-simulation: updates the
+    /// topology, wires sessions (with base policies) and schedules their
+    /// establishment (through the OPEN handshake when that mode is on).
+    /// Returns the new link id.
+    pub fn connect_devices(
+        &mut self,
+        a: DeviceId,
+        b: DeviceId,
+        capacity_gbps: f64,
+    ) -> centralium_topology::LinkId {
+        let base = self.next_session_index(a, b);
+        let lid = self.topo.add_link(a, b, capacity_gbps);
+        self.wire_link(a, b, capacity_gbps);
+        for k in base..base + self.cfg.sessions_per_link {
+            if self.cfg.handshake_sessions {
+                // Active opener: the lower device id, as in establish_all.
+                let (opener, peer) = if a.0 < b.0 {
+                    (a, PeerId::compose(b.0, k))
+                } else {
+                    (b, PeerId::compose(a.0, k))
+                };
+                let action = self
+                    .devices
+                    .get_mut(&opener)
+                    .expect("device")
+                    .sessions
+                    .get_mut(&peer)
+                    .expect("handshake session")
+                    .start();
+                if let SessionAction::Send(msg) = action {
+                    self.emit_ctl(opener, peer, msg);
+                }
+            } else {
+                self.schedule_in(0, NetEvent::SessionUp { dev: a, peer: PeerId::compose(b.0, k) });
+                self.schedule_in(0, NetEvent::SessionUp { dev: b, peer: PeerId::compose(a.0, k) });
+            }
+        }
+        lid
+    }
+
+    /// De-cable a link: tear its sessions down *and unconfigure them* on
+    /// both sides (so a later `device_up` cannot resurrect sessions over
+    /// absent cabling), then remove it from the topology.
+    pub fn disconnect_link(&mut self, link: centralium_topology::LinkId) -> bool {
+        let Some(l) = self.topo.link(link).copied() else { return false };
+        for k in 0..self.cfg.sessions_per_link {
+            self.schedule_in(0, NetEvent::RemovePeer { dev: l.a, peer: PeerId::compose(l.b.0, k) });
+            self.schedule_in(0, NetEvent::RemovePeer { dev: l.b, peer: PeerId::compose(l.a.0, k) });
+        }
+        self.topo.remove_link(link);
+        true
+    }
+
+    /// Apply one stage of a [`centralium_topology::Migration`] to the live
+    /// network, translating topology deltas into emulator operations.
+    /// Returns the name→id bindings for devices the stage created. Callers
+    /// run the network to quiescence between stages — exactly the paper's
+    /// convergence barrier between migration steps.
+    pub fn apply_migration_stage(
+        &mut self,
+        stage: &centralium_topology::MigrationStage,
+    ) -> Result<BTreeMap<centralium_topology::DeviceName, DeviceId>, String> {
+        use centralium_topology::TopologyDelta;
+        let mut created = BTreeMap::new();
+        for delta in &stage.deltas {
+            match delta {
+                TopologyDelta::AddDevice { name, asn } => {
+                    let id = self.commission_device(*name, *asn, &[]);
+                    created.insert(*name, id);
+                }
+                TopologyDelta::RemoveDevice { id } => {
+                    if self.device(*id).is_none() {
+                        return Err(format!("unknown device {id}"));
+                    }
+                    self.decommission_device(*id);
+                }
+                TopologyDelta::SetDeviceState { id, state } => {
+                    if self.device(*id).is_none() {
+                        return Err(format!("unknown device {id}"));
+                    }
+                    match state {
+                        DeviceState::Drained => self.drain_device(*id),
+                        DeviceState::Live => {
+                            // Undrain, and power back on if it was down.
+                            if self.topo.device(*id).map(|d| d.state)
+                                == Some(DeviceState::Down)
+                            {
+                                self.device_up(*id);
+                            }
+                            self.undrain_device(*id);
+                        }
+                        DeviceState::Down => self.device_down(*id),
+                    }
+                }
+                TopologyDelta::AddLinkByName { a, b, capacity_gbps } => {
+                    let ia = self
+                        .topo
+                        .device_by_name(*a)
+                        .ok_or_else(|| format!("unknown device name {a}"))?;
+                    let ib = self
+                        .topo
+                        .device_by_name(*b)
+                        .ok_or_else(|| format!("unknown device name {b}"))?;
+                    self.connect_devices(ia, ib, *capacity_gbps);
+                }
+                TopologyDelta::RemoveLink { id } => {
+                    if !self.disconnect_link(*id) {
+                        return Err(format!("unknown link {id}"));
+                    }
+                }
+            }
+        }
+        Ok(created)
+    }
+
+    /// Decommission a device: drop all its sessions (neighbors notice after
+    /// detection) and remove it from the simulation and topology.
+    pub fn decommission_device(&mut self, dev: DeviceId) {
+        self.device_down(dev);
+        self.devices.remove(&dev);
+        self.topo.remove_device(dev);
+        for prefix_origins in self.originators.values_mut() {
+            prefix_origins.remove(&dev);
+        }
+    }
+
+    // ---- run loop ------------------------------------------------------------
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "time must be monotonic");
+        self.now = t;
+        self.process(ev);
+        true
+    }
+
+    /// Run until the queue drains or the event cap hits.
+    pub fn run_until_quiescent(&mut self) -> ConvergenceReport {
+        let mut n = 0u64;
+        while !self.queue.is_empty() {
+            if n >= self.cfg.max_events {
+                return ConvergenceReport {
+                    converged: false,
+                    events_processed: n,
+                    finished_at: self.now,
+                };
+            }
+            self.step();
+            n += 1;
+        }
+        ConvergenceReport { converged: true, events_processed: n, finished_at: self.now }
+    }
+
+    /// Run events with time ≤ `deadline` (for snapshotting transitory
+    /// states). Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.now = self.now.max(deadline);
+        n
+    }
+
+    fn process(&mut self, ev: NetEvent) {
+        match ev {
+            NetEvent::DeliverCtl { to, on, msg } => {
+                if !self.devices.contains_key(&to) {
+                    return;
+                }
+                self.stats.session_events += 1;
+                let now_secs = self.now / crate::event::SECONDS;
+                let actions = {
+                    let d = self.devices.get_mut(&to).expect("device");
+                    match d.sessions.get_mut(&on) {
+                        Some(session) => session.handle(&msg, now_secs),
+                        None => return,
+                    }
+                };
+                for action in actions {
+                    match action {
+                        SessionAction::Send(reply) => self.emit_ctl(to, on, reply),
+                        SessionAction::AdvertiseAll => {
+                            let d = self.devices.get_mut(&to).expect("device");
+                            d.engine.set_time(self.now);
+                            let out = d.with_daemon(|dm, e| dm.peer_up(on, e));
+                            self.emit(to, out);
+                        }
+                        SessionAction::FlushRoutes => {
+                            let d = self.devices.get_mut(&to).expect("device");
+                            d.engine.set_time(self.now);
+                            let out = d.with_daemon(|dm, e| dm.peer_down(on, e));
+                            self.emit(to, out);
+                        }
+                        SessionAction::None => {}
+                    }
+                }
+            }
+            NetEvent::Deliver { to, on, msg } => {
+                let Some(dev) = self.devices.get_mut(&to) else { return };
+                self.stats.messages_delivered += 1;
+                self.stats.announcements += msg.announced.len() as u64;
+                self.stats.withdrawals += msg.withdrawn.len() as u64;
+                dev.engine.set_time(self.now);
+                let out = dev.with_daemon(|d, e| d.handle_update(on, msg, e));
+                self.emit(to, out);
+            }
+            NetEvent::SessionUp { dev, peer } => {
+                let Some(d) = self.devices.get_mut(&dev) else { return };
+                self.stats.session_events += 1;
+                d.engine.set_time(self.now);
+                let out = d.with_daemon(|dm, e| dm.peer_up(peer, e));
+                self.emit(dev, out);
+            }
+            NetEvent::SessionDown { dev, peer } => {
+                let Some(d) = self.devices.get_mut(&dev) else { return };
+                self.stats.session_events += 1;
+                d.engine.set_time(self.now);
+                let out = d.with_daemon(|dm, e| dm.peer_down(peer, e));
+                self.emit(dev, out);
+            }
+            NetEvent::RouteRefreshRequest { to, on } => {
+                let Some(d) = self.devices.get(&to) else { return };
+                if !d.daemon.is_established(on) {
+                    return;
+                }
+                let refresh = d.daemon.full_advertisement(on);
+                if !refresh.is_empty() {
+                    self.emit(to, vec![(on, refresh)]);
+                }
+            }
+            NetEvent::RemovePeer { dev, peer } => {
+                let Some(d) = self.devices.get_mut(&dev) else { return };
+                self.stats.session_events += 1;
+                d.engine.set_time(self.now);
+                d.sessions.remove(&peer);
+                let out = d.with_daemon(|dm, e| dm.remove_peer(peer, e));
+                self.emit(dev, out);
+            }
+            NetEvent::InstallRpa { dev, doc } => {
+                let Some(d) = self.devices.get_mut(&dev) else { return };
+                self.stats.rpa_operations += 1;
+                d.engine.set_time(self.now);
+                match d.engine.install_or_replace(*doc) {
+                    Ok(()) => {
+                        let out = d.with_daemon(|dm, e| dm.reevaluate_all(e));
+                        self.emit(dev, out);
+                    }
+                    Err(_) => self.stats.rpa_failures += 1,
+                }
+            }
+            NetEvent::RemoveRpa { dev, name } => {
+                let Some(d) = self.devices.get_mut(&dev) else { return };
+                self.stats.rpa_operations += 1;
+                d.engine.set_time(self.now);
+                match d.engine.remove(&name) {
+                    Ok(removed) => {
+                        let peers = d.daemon.peer_ids();
+                        let out = d.with_daemon(|dm, e| dm.reevaluate_all(e));
+                        self.emit(dev, out);
+                        // Lifting a Route Filter cannot resurrect routes the
+                        // filter evicted from the RIB — ask every neighbor to
+                        // re-advertise (route refresh, RFC 2918's role).
+                        if matches!(removed, centralium_rpa::RpaDocument::RouteFilter(_)) {
+                            for peer in peers {
+                                let neighbor = DeviceId(peer.device());
+                                let their_session = PeerId::compose(dev.0, peer.session_index());
+                                self.schedule_in(
+                                    self.cfg.base_latency_us,
+                                    NetEvent::RouteRefreshRequest {
+                                        to: neighbor,
+                                        on: their_session,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Err(_) => self.stats.rpa_failures += 1,
+                }
+            }
+            NetEvent::Originate { dev, prefix, attrs } => {
+                let Some(d) = self.devices.get_mut(&dev) else { return };
+                self.originators.entry(prefix).or_default().insert(dev);
+                d.engine.set_time(self.now);
+                let out = d.with_daemon(|dm, e| dm.originate(prefix, attrs, e));
+                self.emit(dev, out);
+            }
+            NetEvent::WithdrawOrigin { dev, prefix } => {
+                let Some(d) = self.devices.get_mut(&dev) else { return };
+                if let Some(set) = self.originators.get_mut(&prefix) {
+                    set.remove(&dev);
+                }
+                d.engine.set_time(self.now);
+                let out = d.with_daemon(|dm, e| dm.withdraw_origin(prefix, e));
+                self.emit(dev, out);
+            }
+            NetEvent::SetExportPolicy { dev, policy } => {
+                if !self.devices.contains_key(&dev) {
+                    return;
+                }
+                // Compose the override with each session's base policy.
+                let peers: Vec<PeerId> =
+                    self.devices.get(&dev).expect("device").daemon.peer_ids();
+                let composed: Vec<(PeerId, Policy)> = peers
+                    .iter()
+                    .map(|&peer| {
+                        let base = self.base_export_policy(dev, peer);
+                        let mut rules = policy.rules.clone();
+                        rules.extend(base.rules);
+                        (peer, Policy { rules, default_accept: base.default_accept })
+                    })
+                    .collect();
+                let d = self.devices.get_mut(&dev).expect("device");
+                d.engine.set_time(self.now);
+                let out = d.with_daemon(|dm, e| {
+                    for (peer, p) in composed {
+                        dm.set_export_policy(peer, p);
+                    }
+                    dm.reevaluate_all(e)
+                });
+                self.emit(dev, out);
+            }
+        }
+    }
+
+    /// Schedule one session-control message, honoring latency/jitter/faults
+    /// and the same per-session FIFO as route updates (control and updates
+    /// share the TCP stream).
+    fn emit_ctl(&mut self, from: DeviceId, peer: PeerId, msg: BgpMessage) {
+        let to = DeviceId(peer.device());
+        let session_idx = peer.session_index();
+        let on = PeerId::compose(from.0, session_idx);
+        let Some(extra) = self.cfg.fault.apply(&mut self.rng) else {
+            self.stats.messages_dropped += 1;
+            return;
+        };
+        let jitter =
+            if self.cfg.jitter_us > 0 { self.rng.gen_range(0..=self.cfg.jitter_us) } else { 0 };
+        let mut at = self.now + self.cfg.base_latency_us + jitter + extra;
+        let key = (from, to, session_idx);
+        if let Some(&last) = self.fifo.get(&key) {
+            at = at.max(last + 1);
+        }
+        self.fifo.insert(key, at);
+        self.queue.schedule(at, NetEvent::DeliverCtl { to, on, msg });
+    }
+
+    /// Schedule daemon output messages for delivery, applying splitting,
+    /// fault injection, latency, jitter and per-session FIFO.
+    fn emit(&mut self, from: DeviceId, outputs: Vec<(PeerId, UpdateMessage)>) {
+        for (peer, msg) in outputs {
+            let to = DeviceId(peer.device());
+            let session_idx = peer.session_index();
+            let on = PeerId::compose(from.0, session_idx);
+            let pieces: Vec<UpdateMessage> = if self.cfg.split_announcements {
+                let mut v: Vec<UpdateMessage> =
+                    msg.withdrawn.into_iter().map(UpdateMessage::withdraw).collect();
+                v.extend(
+                    msg.announced.into_iter().map(|(p, a)| UpdateMessage::announce(p, a)),
+                );
+                if self.cfg.shuffle_split_order && v.len() > 1 {
+                    use rand::seq::SliceRandom;
+                    v.shuffle(&mut self.rng);
+                }
+                v
+            } else {
+                vec![msg]
+            };
+            for piece in pieces {
+                let Some(extra) = self.cfg.fault.apply(&mut self.rng) else {
+                    self.stats.messages_dropped += 1;
+                    continue;
+                };
+                let jitter = if self.cfg.jitter_us > 0 {
+                    self.rng.gen_range(0..=self.cfg.jitter_us)
+                } else {
+                    0
+                };
+                let mut at = self.now + self.cfg.base_latency_us + jitter + extra;
+                // TCP FIFO per directed session.
+                let key = (from, to, session_idx);
+                if let Some(&last) = self.fifo.get(&key) {
+                    at = at.max(last + 1);
+                }
+                self.fifo.insert(key, at);
+                self.queue.schedule(at, NetEvent::Deliver { to, on, msg: piece });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_topology::{build_fabric, FabricSpec, Layer};
+
+    fn default_route() -> Prefix {
+        Prefix::DEFAULT
+    }
+
+    fn tiny_net(seed: u64) -> (SimNet, centralium_topology::builder::FabricIndex) {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let net = SimNet::new(topo, SimConfig { seed, ..Default::default() });
+        (net, idx)
+    }
+
+    #[test]
+    fn fabric_converges_on_default_route() {
+        let (mut net, idx) = tiny_net(7);
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        let report = net.run_until_quiescent().expect_converged();
+        assert!(report.events_processed > 0);
+        // Every RSW must have a default route with multiple next-hops (its
+        // FSW uplinks).
+        for pod in &idx.rsw {
+            for &rsw in pod {
+                let fib = &net.device(rsw).unwrap().fib;
+                let entry = fib.entry(default_route()).expect("default route installed");
+                assert_eq!(entry.nexthops.len(), 2, "two FSW uplinks in tiny fabric");
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_seed() {
+        let run = |seed| {
+            let (mut net, idx) = tiny_net(seed);
+            net.establish_all();
+            for &eb in &idx.backbone {
+                net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+            }
+            let r = net.run_until_quiescent();
+            (r.events_processed, r.finished_at, net.stats())
+        };
+        assert_eq!(run(42), run(42));
+        let (e1, t1, _) = run(42);
+        let (e2, t2, _) = run(43);
+        // Different seeds almost surely differ in timing.
+        assert!(e1 != e2 || t1 != t2);
+    }
+
+    #[test]
+    fn device_down_withdraws_routes() {
+        let (mut net, idx) = tiny_net(3);
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        // Kill one FADU; SSWs connected to it lose one next-hop.
+        let victim = idx.fadu[0][0];
+        let ssw = idx.ssw[0][0]; // pairs with FADU-0s
+        let before = net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len();
+        net.device_down(victim);
+        net.run_until_quiescent().expect_converged();
+        let after = net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len();
+        assert_eq!(after, before - 1);
+    }
+
+    #[test]
+    fn drain_depreferences_routes() {
+        let (mut net, idx) = tiny_net(11);
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        // Drain FADU-0 of grid 0: the paired SSW still has FADU-0 of grid 1
+        // live; the drained FADU's longer AS-path loses path selection.
+        let victim = idx.fadu[0][0];
+        let ssw = idx.ssw[0][0];
+        assert_eq!(
+            net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len(),
+            2
+        );
+        net.drain_device(victim);
+        net.run_until_quiescent().expect_converged();
+        let entry = net.device(ssw).unwrap().fib.entry(default_route()).unwrap().clone();
+        assert_eq!(entry.nexthops.len(), 1, "drained FADU no longer selected");
+        assert_eq!(entry.nexthops[0].0.device(), idx.fadu[1][0].0);
+        // Undrain restores ECMP.
+        net.undrain_device(victim);
+        net.run_until_quiescent().expect_converged();
+        assert_eq!(
+            net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len(),
+            2
+        );
+    }
+
+    #[test]
+    fn commission_device_joins_fabric() {
+        let (mut net, idx) = tiny_net(5);
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        // Add a third FAUU to grid 0, linked to both FADUs of grid 0 and
+        // both EBs.
+        let mut links: Vec<(DeviceId, f64)> = idx.fadu[0].iter().map(|&d| (d, 100.0)).collect();
+        links.extend(idx.backbone.iter().map(|&d| (d, 100.0)));
+        let new_fauu = net.commission_device(
+            centralium_topology::DeviceName::new(Layer::Fauu, 0, 9),
+            Asn(59_999),
+            &links,
+        );
+        net.run_until_quiescent().expect_converged();
+        // The new FAUU learned the default route from both EBs.
+        let entry = net.device(new_fauu).unwrap().fib.entry(default_route()).unwrap();
+        assert_eq!(entry.nexthops.len(), 2);
+        // FADUs now have three uplinks toward the default route.
+        for &fadu in &idx.fadu[0] {
+            let entry = net.device(fadu).unwrap().fib.entry(default_route()).unwrap();
+            assert_eq!(entry.nexthops.len(), 3);
+        }
+    }
+
+    #[test]
+    fn decommission_device_cleans_up() {
+        let (mut net, idx) = tiny_net(6);
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        let victim = idx.fauu[0][0];
+        net.decommission_device(victim);
+        net.run_until_quiescent().expect_converged();
+        assert!(net.device(victim).is_none());
+        for &fadu in &idx.fadu[0] {
+            let entry = net.device(fadu).unwrap().fib.entry(default_route()).unwrap();
+            assert_eq!(entry.nexthops.len(), 1, "one FAUU left in grid 0");
+        }
+    }
+
+    #[test]
+    fn rpa_deployment_reevaluates_routes() {
+        use centralium_rpa::{
+            Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature,
+        };
+        let (mut net, idx) = tiny_net(8);
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        let ssw = idx.ssw[0][0];
+        // An equalize RPA on an SSW: select every backbone-tagged path.
+        let doc = RpaDocument::PathSelection(PathSelectionRpa::single(
+            "equalize",
+            PathSelectionStatement::select(
+                Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+                vec![PathSet::new("all", PathSignature::any())],
+            ),
+        ));
+        net.deploy_rpa(ssw, doc, 300);
+        net.run_until_quiescent().expect_converged();
+        assert_eq!(net.device(ssw).unwrap().engine.installed(), vec!["equalize"]);
+        assert_eq!(net.stats().rpa_operations, 1);
+    }
+
+    #[test]
+    fn handshake_mode_converges_like_administrative_mode() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let cfg = SimConfig { seed: 7, handshake_sessions: true, ..Default::default() };
+        let mut net = SimNet::new(topo, cfg);
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        // Every session reached Established through the OPEN exchange.
+        for id in net.device_ids() {
+            let dev = net.device(id).unwrap();
+            for (peer, session) in &dev.sessions {
+                assert!(session.is_established(), "{id} session {peer} not established");
+                assert!(dev.daemon.is_established(*peer));
+            }
+        }
+        // And the routing outcome matches the administrative-mode fabric.
+        for pod in &idx.rsw {
+            for &rsw in pod {
+                let entry = net.device(rsw).unwrap().fib.entry(default_route()).unwrap();
+                assert_eq!(entry.nexthops.len(), 2);
+            }
+        }
+        crate::invariants::assert_rib_consistent(&net);
+    }
+
+    #[test]
+    fn handshake_notification_tears_down_and_flushes() {
+        use centralium_bgp::msg::NotificationCode;
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let cfg = SimConfig { seed: 8, handshake_sessions: true, ..Default::default() };
+        let mut net = SimNet::new(topo, cfg);
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        // Send a NOTIFICATION (cease) into one SSW session: the FSM must
+        // drop to Idle and the daemon must flush routes learned there.
+        let ssw = idx.ssw[0][0];
+        let fadu_session = net
+            .device(ssw)
+            .unwrap()
+            .daemon
+            .peer_ids()
+            .into_iter()
+            .find(|p| {
+                let other = centralium_topology::DeviceId(p.device());
+                net.topology().device(other).map(|d| d.layer())
+                    == Some(centralium_topology::Layer::Fadu)
+            })
+            .expect("ssw has a fadu session");
+        let before = net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len();
+        net.schedule_in(
+            0,
+            NetEvent::DeliverCtl {
+                to: ssw,
+                on: fadu_session,
+                msg: BgpMessage::Notification(NotificationCode::Cease),
+            },
+        );
+        net.run_until_quiescent().expect_converged();
+        let dev = net.device(ssw).unwrap();
+        assert!(!dev.sessions[&fadu_session].is_established());
+        let after = dev.fib.entry(default_route()).unwrap().nexthops.len();
+        assert_eq!(after, before - 1, "routes learned over the ceased session flushed");
+    }
+
+    #[test]
+    fn message_loss_is_counted() {
+        let (mut net, idx) = {
+            let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+            let cfg = SimConfig {
+                seed: 9,
+                fault: FaultPlan { drop_probability: 0.2, max_extra_delay_us: 100 },
+                ..Default::default()
+            };
+            (SimNet::new(topo, cfg), idx)
+        };
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        assert!(net.stats().messages_dropped > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Demand matrices for the DCN↔backbone TE problem.
+
+use centralium_topology::DeviceId;
+use std::collections::BTreeMap;
+
+/// Per-source upward demand (Gbps) toward the sink set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Demands {
+    per_source: BTreeMap<DeviceId, f64>,
+}
+
+impl Demands {
+    /// No demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uniform demand from every listed source.
+    pub fn uniform(sources: &[DeviceId], gbps_each: f64) -> Self {
+        let mut d = Self::new();
+        for &s in sources {
+            d.set(s, gbps_each);
+        }
+        d
+    }
+
+    /// Set one source's demand.
+    pub fn set(&mut self, source: DeviceId, gbps: f64) {
+        self.per_source.insert(source, gbps.max(0.0));
+    }
+
+    /// One source's demand.
+    pub fn get(&self, source: DeviceId) -> f64 {
+        self.per_source.get(&source).copied().unwrap_or(0.0)
+    }
+
+    /// Iterate `(source, gbps)` deterministically.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, f64)> + '_ {
+        self.per_source.iter().map(|(&d, &g)| (d, g))
+    }
+
+    /// Total offered demand.
+    pub fn total(&self) -> f64 {
+        self.per_source.values().sum()
+    }
+
+    /// Scale all demands by `factor`, returning a new matrix.
+    pub fn scaled(&self, factor: f64) -> Demands {
+        Demands {
+            per_source: self.per_source.iter().map(|(&d, &g)| (d, g * factor)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_total() {
+        let d = Demands::uniform(&[DeviceId(1), DeviceId(2)], 30.0);
+        assert_eq!(d.total(), 60.0);
+        assert_eq!(d.get(DeviceId(1)), 30.0);
+        assert_eq!(d.get(DeviceId(9)), 0.0);
+    }
+
+    #[test]
+    fn scaled_preserves_pattern() {
+        let d = Demands::uniform(&[DeviceId(1), DeviceId(2)], 30.0).scaled(2.0);
+        assert_eq!(d.total(), 120.0);
+        assert_eq!(d.get(DeviceId(2)), 60.0);
+    }
+
+    #[test]
+    fn negative_demands_clamp_to_zero() {
+        let mut d = Demands::new();
+        d.set(DeviceId(1), -5.0);
+        assert_eq!(d.get(DeviceId(1)), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Compile TE weights into deployable Route Attribute RPAs.
+//!
+//! §4.3: "Route Attribute RPAs support traffic engineering solutions that
+//! directly prescribe the desired traffic distribution on every switch." The
+//! compiled documents identify each next-hop's paths by the neighbor's ASN
+//! (the first ASN on the received path), so one statement per device carries
+//! the whole weight vector.
+
+use crate::graph::{UpGraph, Weights};
+use centralium_bgp::Community;
+use centralium_rpa::{
+    Destination, NextHopWeight, PathSignature, RouteAttributeRpa, RouteAttributeStatement,
+    RpaDocument,
+};
+use centralium_topology::{DeviceId, Topology};
+use std::collections::BTreeMap;
+
+/// Largest integer weight emitted (hashing replication bound).
+const MAX_RPA_WEIGHT: u32 = 64;
+
+/// Compile per-device Route Attribute RPAs from fractional TE weights.
+///
+/// Returns one document per device that has at least two up-edges with
+/// distinguishable weights; single-uplink or uniform devices need no RPA
+/// (native ECMP already matches the intent).
+pub fn compile_weights(
+    topo: &Topology,
+    graph: &UpGraph,
+    weights: &Weights,
+    destination: Community,
+    expiration_time: Option<u64>,
+) -> BTreeMap<DeviceId, RpaDocument> {
+    let mut out = BTreeMap::new();
+    for (node, edges) in graph.per_node() {
+        if edges.len() < 2 {
+            continue;
+        }
+        let fractions: Vec<f64> = edges
+            .iter()
+            .map(|e| weights.get(&(node, e.to)).copied().unwrap_or(0.0))
+            .collect();
+        let quantized = quantize_fractions(&fractions);
+        if quantized.iter().all(|&w| w == quantized[0]) {
+            continue; // uniform: ECMP suffices
+        }
+        let mut list = Vec::with_capacity(edges.len());
+        for (e, w) in edges.iter().zip(&quantized) {
+            let Some(neighbor) = topo.device(e.to) else { continue };
+            list.push(NextHopWeight {
+                signature: PathSignature {
+                    first_asn: Some(neighbor.asn),
+                    ..Default::default()
+                },
+                weight: *w,
+            });
+        }
+        let mut statement =
+            RouteAttributeStatement::new(Destination::Community(destination), list);
+        statement.expiration_time = expiration_time;
+        let name = format!("te-weights-{}", node);
+        out.insert(
+            node,
+            RpaDocument::RouteAttribute(RouteAttributeRpa::single(name, statement)),
+        );
+    }
+    out
+}
+
+/// Quantize fractional weights to integers in `[1, MAX_RPA_WEIGHT]`,
+/// preserving ratios as closely as the range allows. Zero fractions still
+/// get weight 1 would defeat the intent, so they quantize to the minimum
+/// only when all are zero; otherwise near-zero fractions round to 1 but a
+/// true zero is kept out by the caller (an edge with weight 0 should simply
+/// not appear in the statement — BGP's unmatched-route default of 1 would
+/// override, so we clamp to 1 and accept the approximation, documented
+/// here).
+fn quantize_fractions(fractions: &[f64]) -> Vec<u32> {
+    let max = fractions.iter().cloned().fold(0.0_f64, f64::max);
+    if max <= 0.0 {
+        return vec![1; fractions.len()];
+    }
+    fractions
+        .iter()
+        .map(|f| (((f / max) * MAX_RPA_WEIGHT as f64).round() as u32).max(1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::Demands;
+    use crate::graph::UpGraph;
+    use crate::optimize_weights;
+    use centralium_bgp::attrs::well_known;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    #[test]
+    fn symmetric_fabric_needs_no_documents() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let g = UpGraph::from_topology(&topo, &idx.backbone);
+        let sources: Vec<_> = idx.fadu.iter().flatten().copied().collect();
+        let w = optimize_weights(&g, &Demands::uniform(&sources, 10.0), 50);
+        let docs =
+            compile_weights(&topo, &g, &w, well_known::BACKBONE_DEFAULT_ROUTE, None);
+        assert!(docs.is_empty(), "uniform weights compile to nothing");
+    }
+
+    #[test]
+    fn asymmetric_fabric_compiles_weighted_documents() {
+        let (mut topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        // Make one FAUU-EB link smaller to force unequal weights upstream.
+        let fauu = idx.fauu[0][0];
+        let eb = idx.backbone[0];
+        let victim =
+            topo.links().find(|l| l.connects(fauu, eb)).map(|l| l.id).expect("link");
+        topo.remove_link(victim);
+        topo.add_link(fauu, eb, 10.0);
+        let g = UpGraph::from_topology(&topo, &idx.backbone);
+        let sources: Vec<_> = idx.fadu.iter().flatten().copied().collect();
+        let w = optimize_weights(&g, &Demands::uniform(&sources, 40.0), 100);
+        let docs =
+            compile_weights(&topo, &g, &w, well_known::BACKBONE_DEFAULT_ROUTE, Some(500));
+        assert!(!docs.is_empty());
+        // The affected FAUU must carry unequal weights toward the two EBs.
+        let doc = docs.get(&fauu).expect("FAUU with asymmetric uplinks gets a doc");
+        let RpaDocument::RouteAttribute(ra) = doc else { panic!("wrong kind") };
+        let st = &ra.statements[0];
+        assert_eq!(st.expiration_time, Some(500));
+        assert_eq!(st.next_hop_weight_list.len(), 2);
+        let w0 = st.next_hop_weight_list[0].weight;
+        let w1 = st.next_hop_weight_list[1].weight;
+        assert_ne!(w0, w1, "weights reflect the 10G vs 100G asymmetry");
+    }
+
+    #[test]
+    fn quantization_preserves_ratio_ordering() {
+        let q = quantize_fractions(&[0.1, 0.3, 0.6]);
+        assert!(q[0] < q[1] && q[1] < q[2]);
+        assert_eq!(*q.iter().max().unwrap(), MAX_RPA_WEIGHT);
+        assert_eq!(quantize_fractions(&[0.0, 0.0]), vec![1, 1]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the TE stack: optimizer soundness against the
+//! max-flow bound, conservation, and monotonicity under damage.
+
+use centralium_te::{
+    ecmp_weights, effective_capacity, max_flow, metrics, optimize_weights, Demands, UpGraph,
+};
+use centralium_topology::{build_fabric, DeviceState, FabricSpec, LinkId};
+use proptest::prelude::*;
+
+fn damaged_fabric(kill_links: &[usize], kill_fauu: Option<usize>) -> (centralium_topology::Topology, centralium_topology::builder::FabricIndex) {
+    let (mut topo, idx, _) = build_fabric(&FabricSpec::default());
+    let boundary: Vec<LinkId> = topo
+        .links()
+        .filter(|l| topo.device(l.a).map(|d| d.layer()) == Some(centralium_topology::Layer::Fauu))
+        .map(|l| l.id)
+        .collect();
+    for &k in kill_links {
+        if let Some(&lid) = boundary.get(k % boundary.len()) {
+            topo.remove_link(lid);
+        }
+    }
+    if let Some(f) = kill_fauu {
+        let fauus: Vec<_> = idx.fauu.iter().flatten().copied().collect();
+        topo.set_device_state(fauus[f % fauus.len()], DeviceState::Down);
+    }
+    (topo, idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// On any damaged fabric: TE never exceeds the max-flow bound, never
+    /// loses to ECMP, and conserves all offered traffic.
+    #[test]
+    fn optimizer_soundness(
+        kill_links in proptest::collection::vec(0usize..64, 0..12),
+        kill_fauu in proptest::option::of(0usize..8),
+        demand in 5.0f64..80.0,
+    ) {
+        let (topo, idx) = damaged_fabric(&kill_links, kill_fauu);
+        let graph = UpGraph::from_topology(&topo, &idx.backbone);
+        let sources: Vec<_> = idx.fadu.iter().flatten().copied().collect();
+        let demands = Demands::uniform(&sources, demand);
+        let ecmp = effective_capacity(&graph, &demands, &ecmp_weights(&graph));
+        let te_weights = optimize_weights(&graph, &demands, 120);
+        let te = effective_capacity(&graph, &demands, &te_weights);
+        let ideal = max_flow::effective_capacity_bound(&graph, &demands);
+        prop_assert!(te <= ideal * (1.0 + 1e-6), "te {te} must not beat the bound {ideal}");
+        prop_assert!(te >= ecmp * (1.0 - 1e-6), "te {te} must not lose to ecmp {ecmp}");
+        // Conservation under TE weights, over the demand that is routable
+        // at all (sources pruned as dead ends cannot offer traffic).
+        let routable: f64 = demands
+            .iter()
+            .filter(|(s, _)| graph.is_routable(*s))
+            .map(|(_, g)| g)
+            .sum();
+        let delivered = metrics::delivered(&graph, &demands, &te_weights);
+        prop_assert!((delivered - routable).abs() < 1e-6);
+    }
+
+    /// Removing capacity never increases the ideal bound (monotonicity).
+    #[test]
+    fn bound_is_monotone_in_capacity(kill_a in 0usize..64, kill_b in 0usize..64) {
+        let sources = |idx: &centralium_topology::builder::FabricIndex| {
+            idx.fadu.iter().flatten().copied().collect::<Vec<_>>()
+        };
+        let (topo0, idx0) = damaged_fabric(&[], None);
+        let demands = Demands::uniform(&sources(&idx0), 10.0);
+        let g0 = UpGraph::from_topology(&topo0, &idx0.backbone);
+        let (topo1, idx1) = damaged_fabric(&[kill_a], None);
+        let g1 = UpGraph::from_topology(&topo1, &idx1.backbone);
+        let (topo2, idx2) = damaged_fabric(&[kill_a, kill_b], None);
+        let g2 = UpGraph::from_topology(&topo2, &idx2.backbone);
+        let b0 = max_flow::effective_capacity_bound(&g0, &demands);
+        let b1 = max_flow::effective_capacity_bound(&g1, &demands);
+        let b2 = max_flow::effective_capacity_bound(&g2, &demands);
+        prop_assert!(b1 <= b0 * (1.0 + 1e-6));
+        prop_assert!(b2 <= b1 * (1.0 + 1e-6));
+    }
+
+    /// Weights produced by the optimizer are non-negative and normalized
+    /// per node (within numerical tolerance).
+    #[test]
+    fn optimizer_weights_are_distributions(kill in proptest::collection::vec(0usize..64, 0..8)) {
+        let (topo, idx) = damaged_fabric(&kill, None);
+        let graph = UpGraph::from_topology(&topo, &idx.backbone);
+        let sources: Vec<_> = idx.fadu.iter().flatten().copied().collect();
+        let weights = optimize_weights(&graph, &Demands::uniform(&sources, 10.0), 60);
+        for (node, edges) in graph.per_node() {
+            if edges.is_empty() {
+                continue;
+            }
+            let sum: f64 = edges
+                .iter()
+                .map(|e| weights.get(&(node, e.to)).copied().unwrap_or(0.0))
+                .sum();
+            for e in edges {
+                let w = weights.get(&(node, e.to)).copied().unwrap_or(0.0);
+                prop_assert!(w >= 0.0);
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-6, "node {node} weights sum to {sum}");
+        }
+    }
+}

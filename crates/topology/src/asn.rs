@@ -1,0 +1,114 @@
+//! Autonomous-system number allocation.
+//!
+//! Meta's BGP-in-the-DC design gives every switch (or small group of switches)
+//! its own private ASN so AS-path length encodes hop count and loop prevention
+//! works hop-by-hop. We mirror that: each device gets a unique ASN from a
+//! per-layer range, which makes AS-path regexes in Path Selection RPAs (§4.3)
+//! able to identify a layer by its ASN prefix range.
+
+use crate::layer::Layer;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A BGP autonomous-system number (4-byte capable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Allocates unique ASNs from per-layer bases.
+///
+/// Layout (all in the 4-byte private range 4200000000+ would be realistic,
+/// but small bases keep traces readable):
+///
+/// | layer     | base  |
+/// |-----------|-------|
+/// | RSW       | 10000 |
+/// | FSW       | 20000 |
+/// | SSW       | 30000 |
+/// | FADU      | 40000 |
+/// | FAUU      | 50000 |
+/// | Backbone  | 60000 |
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct AsnAllocator {
+    next_offset: [u32; 6],
+}
+
+impl AsnAllocator {
+    /// Base ASN for a layer.
+    pub fn layer_base(layer: Layer) -> u32 {
+        (layer.height() as u32 + 1) * 10_000
+    }
+
+    /// Create an allocator with nothing allocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the next free ASN in the layer's range.
+    ///
+    /// # Panics
+    /// Panics when a layer's 10,000-wide band is exhausted — silently
+    /// bleeding into the next layer's band would corrupt every band-based
+    /// RPA signature.
+    pub fn allocate(&mut self, layer: Layer) -> Asn {
+        let idx = layer.height();
+        assert!(
+            self.next_offset[idx] < 10_000,
+            "ASN band for layer {layer} exhausted"
+        );
+        let asn = Asn(Self::layer_base(layer) + self.next_offset[idx]);
+        self.next_offset[idx] += 1;
+        asn
+    }
+
+    /// Which layer an ASN was allocated for, if it falls in a known range.
+    pub fn layer_of(asn: Asn) -> Option<Layer> {
+        let band = asn.0 / 10_000;
+        match band {
+            1..=6 => Some(Layer::ALL[(band - 1) as usize]),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_unique_within_and_across_layers() {
+        let mut alloc = AsnAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for layer in Layer::ALL {
+            for _ in 0..100 {
+                assert!(seen.insert(alloc.allocate(layer)));
+            }
+        }
+        assert_eq!(seen.len(), 600);
+    }
+
+    #[test]
+    fn layer_of_inverts_allocate() {
+        let mut alloc = AsnAllocator::new();
+        for layer in Layer::ALL {
+            let asn = alloc.allocate(layer);
+            assert_eq!(AsnAllocator::layer_of(asn), Some(layer));
+        }
+    }
+
+    #[test]
+    fn layer_of_unknown_band_is_none() {
+        assert_eq!(AsnAllocator::layer_of(Asn(99_999_999)), None);
+        assert_eq!(AsnAllocator::layer_of(Asn(5)), None);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(Asn(65001).to_string(), "AS65001");
+    }
+}

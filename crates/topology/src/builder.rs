@@ -1,0 +1,297 @@
+//! Parametric Clos fabric generation.
+//!
+//! [`build_fabric`] wires a five-layer Meta-style topology (Figure 1 of the
+//! paper) from a [`FabricSpec`]:
+//!
+//! * every pod has one FSW per plane and `racks_per_pod` RSWs, each RSW
+//!   connected to every FSW in its pod;
+//! * the i-th FSW of every pod connects to every SSW of plane i;
+//! * **SSW-N in every plane is connected only to FADU-N in every grid** and
+//!   vice versa — the wiring invariant that makes the §3.3 last-router
+//!   decommission scenario (drain all SSW-1/FADU-1) well-defined;
+//! * every FADU connects to every FAUU in its grid;
+//! * every FAUU connects to every backbone (EB) device.
+
+use crate::asn::AsnAllocator;
+use crate::device::DeviceId;
+use crate::graph::Topology;
+use crate::layer::Layer;
+use crate::naming::DeviceName;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a Clos fabric.
+///
+/// The defaults produce a small but fully-featured fabric (260 devices)
+/// suitable for unit tests; benches scale the numbers up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricSpec {
+    /// Number of pods (each pod: `planes` FSWs + `racks_per_pod` RSWs).
+    pub pods: u16,
+    /// Number of spine planes; also FSWs per pod.
+    pub planes: u16,
+    /// SSWs per plane; also FADUs per grid (they pair one-to-one by index).
+    pub ssws_per_plane: u16,
+    /// RSWs per pod.
+    pub racks_per_pod: u16,
+    /// Number of fabric-aggregate grids.
+    pub grids: u16,
+    /// FAUUs per grid.
+    pub fauus_per_grid: u16,
+    /// Backbone (EB) devices.
+    pub backbone_devices: u16,
+    /// Capacity of every link, in Gbps.
+    pub link_capacity_gbps: f64,
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        FabricSpec {
+            pods: 4,
+            planes: 4,
+            ssws_per_plane: 4,
+            racks_per_pod: 8,
+            grids: 2,
+            fauus_per_grid: 4,
+            backbone_devices: 4,
+            link_capacity_gbps: crate::link::Link::DEFAULT_CAPACITY_GBPS,
+        }
+    }
+}
+
+impl FabricSpec {
+    /// A minimal spec for fast unit tests (36 devices).
+    pub fn tiny() -> Self {
+        FabricSpec {
+            pods: 2,
+            planes: 2,
+            ssws_per_plane: 2,
+            racks_per_pod: 2,
+            grids: 2,
+            fauus_per_grid: 2,
+            backbone_devices: 2,
+            link_capacity_gbps: 100.0,
+        }
+    }
+
+    /// Total device count the spec will produce.
+    pub fn total_devices(&self) -> usize {
+        let rsw = self.pods as usize * self.racks_per_pod as usize;
+        let fsw = self.pods as usize * self.planes as usize;
+        let ssw = self.planes as usize * self.ssws_per_plane as usize;
+        let fadu = self.grids as usize * self.ssws_per_plane as usize;
+        let fauu = self.grids as usize * self.fauus_per_grid as usize;
+        rsw + fsw + ssw + fadu + fauu + self.backbone_devices as usize
+    }
+}
+
+/// Handle to the devices of a built fabric, grouped by layer, in the grouping
+/// order used by the builder. Useful for experiments that address e.g. "all
+/// SSW-1s" directly.
+#[derive(Debug, Clone, Default)]
+pub struct FabricIndex {
+    /// `rsw[pod][rack]`
+    pub rsw: Vec<Vec<DeviceId>>,
+    /// `fsw[pod][plane]`
+    pub fsw: Vec<Vec<DeviceId>>,
+    /// `ssw[plane][n]`
+    pub ssw: Vec<Vec<DeviceId>>,
+    /// `fadu[grid][n]` — `fadu[g][n]` pairs with `ssw[p][n]` for all p, g.
+    pub fadu: Vec<Vec<DeviceId>>,
+    /// `fauu[grid][n]`
+    pub fauu: Vec<Vec<DeviceId>>,
+    /// `backbone[n]`
+    pub backbone: Vec<DeviceId>,
+}
+
+impl FabricIndex {
+    /// All device ids in the index, layer by layer, bottom-up.
+    pub fn all(&self) -> Vec<DeviceId> {
+        let mut out = Vec::new();
+        for pod in &self.rsw {
+            out.extend(pod);
+        }
+        for pod in &self.fsw {
+            out.extend(pod);
+        }
+        for plane in &self.ssw {
+            out.extend(plane);
+        }
+        for grid in &self.fadu {
+            out.extend(grid);
+        }
+        for grid in &self.fauu {
+            out.extend(grid);
+        }
+        out.extend(&self.backbone);
+        out
+    }
+}
+
+/// Build a fabric per the spec. Returns the topology plus a structured index
+/// of the devices and the ASN allocator (so migrations can allocate more).
+pub fn build_fabric(spec: &FabricSpec) -> (Topology, FabricIndex, AsnAllocator) {
+    let mut topo = Topology::new();
+    let mut asn = AsnAllocator::new();
+    let mut idx = FabricIndex::default();
+    let cap = spec.link_capacity_gbps;
+
+    // Devices, bottom-up so DeviceIds roughly follow layer order.
+    for pod in 0..spec.pods {
+        let racks = (0..spec.racks_per_pod)
+            .map(|r| topo.add_device(DeviceName::new(Layer::Rsw, pod, r), asn.allocate(Layer::Rsw)))
+            .collect();
+        idx.rsw.push(racks);
+    }
+    for pod in 0..spec.pods {
+        let fsws = (0..spec.planes)
+            .map(|p| topo.add_device(DeviceName::new(Layer::Fsw, pod, p), asn.allocate(Layer::Fsw)))
+            .collect();
+        idx.fsw.push(fsws);
+    }
+    for plane in 0..spec.planes {
+        let ssws = (0..spec.ssws_per_plane)
+            .map(|n| topo.add_device(DeviceName::new(Layer::Ssw, plane, n), asn.allocate(Layer::Ssw)))
+            .collect();
+        idx.ssw.push(ssws);
+    }
+    for grid in 0..spec.grids {
+        let fadus = (0..spec.ssws_per_plane)
+            .map(|n| topo.add_device(DeviceName::new(Layer::Fadu, grid, n), asn.allocate(Layer::Fadu)))
+            .collect();
+        idx.fadu.push(fadus);
+    }
+    for grid in 0..spec.grids {
+        let fauus = (0..spec.fauus_per_grid)
+            .map(|n| topo.add_device(DeviceName::new(Layer::Fauu, grid, n), asn.allocate(Layer::Fauu)))
+            .collect();
+        idx.fauu.push(fauus);
+    }
+    idx.backbone = (0..spec.backbone_devices)
+        .map(|n| topo.add_device(DeviceName::new(Layer::Backbone, 0, n), asn.allocate(Layer::Backbone)))
+        .collect();
+
+    // RSW <-> FSW: full mesh within a pod.
+    for pod in 0..spec.pods as usize {
+        for &rsw in &idx.rsw[pod] {
+            for &fsw in &idx.fsw[pod] {
+                topo.add_link(rsw, fsw, cap);
+            }
+        }
+    }
+    // FSW <-> SSW: the plane-i FSW of each pod connects to every SSW in plane i.
+    for pod in 0..spec.pods as usize {
+        for plane in 0..spec.planes as usize {
+            let fsw = idx.fsw[pod][plane];
+            for &ssw in &idx.ssw[plane] {
+                topo.add_link(fsw, ssw, cap);
+            }
+        }
+    }
+    // SSW <-> FADU: SSW-n of every plane connects only to FADU-n of every grid.
+    for plane in 0..spec.planes as usize {
+        for n in 0..spec.ssws_per_plane as usize {
+            let ssw = idx.ssw[plane][n];
+            for grid in 0..spec.grids as usize {
+                topo.add_link(ssw, idx.fadu[grid][n], cap);
+            }
+        }
+    }
+    // FADU <-> FAUU: full mesh within a grid.
+    for grid in 0..spec.grids as usize {
+        for &fadu in &idx.fadu[grid] {
+            for &fauu in &idx.fauu[grid] {
+                topo.add_link(fadu, fauu, cap);
+            }
+        }
+    }
+    // FAUU <-> EB: full mesh.
+    for grid in 0..spec.grids as usize {
+        for &fauu in &idx.fauu[grid] {
+            for &eb in &idx.backbone {
+                topo.add_link(fauu, eb, cap);
+            }
+        }
+    }
+
+    (topo, idx, asn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceState;
+
+    #[test]
+    fn default_spec_builds_expected_counts() {
+        let spec = FabricSpec::default();
+        let (topo, idx, _) = build_fabric(&spec);
+        assert_eq!(topo.device_count(), spec.total_devices());
+        assert_eq!(idx.all().len(), spec.total_devices());
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn tiny_spec_counts() {
+        let spec = FabricSpec::tiny();
+        // 2*2 rsw + 2*2 fsw + 2*2 ssw + 2*2 fadu + 2*2 fauu + 2 eb = 22
+        assert_eq!(spec.total_devices(), 22);
+        let (topo, _, _) = build_fabric(&spec);
+        assert_eq!(topo.device_count(), 22);
+    }
+
+    #[test]
+    fn ssw_fadu_pairing_invariant_holds() {
+        let spec = FabricSpec::default();
+        let (topo, idx, _) = build_fabric(&spec);
+        // SSW-n connects to FADU-n in *every* grid, and to no other FADU.
+        for plane in 0..spec.planes as usize {
+            for n in 0..spec.ssws_per_plane as usize {
+                let ssw = idx.ssw[plane][n];
+                let ups: std::collections::HashSet<DeviceId> =
+                    topo.uplinks(ssw).into_iter().map(|(d, _)| d).collect();
+                let expected: std::collections::HashSet<DeviceId> =
+                    (0..spec.grids as usize).map(|g| idx.fadu[g][n]).collect();
+                assert_eq!(ups, expected, "plane {plane} ssw {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn fsw_plane_wiring_invariant_holds() {
+        let spec = FabricSpec::default();
+        let (topo, idx, _) = build_fabric(&spec);
+        for pod in 0..spec.pods as usize {
+            for plane in 0..spec.planes as usize {
+                let fsw = idx.fsw[pod][plane];
+                let ups: std::collections::HashSet<DeviceId> =
+                    topo.uplinks(fsw).into_iter().map(|(d, _)| d).collect();
+                let expected: std::collections::HashSet<DeviceId> =
+                    idx.ssw[plane].iter().copied().collect();
+                assert_eq!(ups, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn every_rack_reaches_backbone() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let rsw = idx.rsw[0][0];
+        for &eb in &idx.backbone {
+            // rsw -> fsw -> ssw -> fadu -> fauu -> eb = 5 hops
+            assert_eq!(topo.hop_distance(rsw, eb), Some(5));
+        }
+    }
+
+    #[test]
+    fn all_devices_start_live() {
+        let (topo, _, _) = build_fabric(&FabricSpec::tiny());
+        assert!(topo.devices().all(|d| d.state == DeviceState::Live));
+    }
+
+    #[test]
+    fn asn_allocator_can_extend_after_build() {
+        let (_, _, mut asn) = build_fabric(&FabricSpec::tiny());
+        let fresh = asn.allocate(Layer::Fadu);
+        assert_eq!(AsnAllocator::layer_of(fresh), Some(Layer::Fadu));
+    }
+}

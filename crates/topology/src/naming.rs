@@ -1,0 +1,109 @@
+//! Logical groupings (pod / plane / grid) and structured device names.
+
+use crate::layer::Layer;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pod: the smallest unit of deployment, a group of interconnected FSWs and
+/// the RSWs beneath them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pod(pub u16);
+
+/// A plane: a group of interconnected SSWs and FSWs. The i-th FSW of every pod
+/// connects to the SSWs of plane i.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Plane(pub u16);
+
+/// A grid: a group of FADUs and FAUUs in the fabric-aggregate layer. Every SSW
+/// connects to one FADU in every grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Grid(pub u16);
+
+impl fmt::Display for Pod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pod{}", self.0)
+    }
+}
+impl fmt::Display for Plane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plane{}", self.0)
+    }
+}
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grid{}", self.0)
+    }
+}
+
+/// Structured name of a device: its layer, its logical grouping and its index
+/// within that grouping.
+///
+/// The grouping interpretation depends on the layer:
+/// * RSW: `group` = pod, `index` = rack number within the pod;
+/// * FSW: `group` = pod, `index` = plane the FSW belongs to;
+/// * SSW: `group` = plane, `index` = spine number within the plane;
+/// * FADU/FAUU: `group` = grid, `index` = unit number within the grid;
+/// * Backbone (EB): `group` = 0, `index` = backbone device number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceName {
+    /// The horizontal layer this device sits in.
+    pub layer: Layer,
+    /// Logical grouping index (pod / plane / grid depending on layer).
+    pub group: u16,
+    /// Index within the grouping.
+    pub index: u16,
+}
+
+impl DeviceName {
+    /// Construct a name.
+    pub fn new(layer: Layer, group: u16, index: u16) -> Self {
+        DeviceName { layer, group, index }
+    }
+
+    /// The grouping label used when rendering the name, per layer semantics.
+    fn group_label(&self) -> &'static str {
+        match self.layer {
+            Layer::Rsw | Layer::Fsw => "pod",
+            Layer::Ssw => "plane",
+            Layer::Fadu | Layer::Fauu => "grid",
+            Layer::Backbone => "bb",
+        }
+    }
+}
+
+impl fmt::Display for DeviceName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-{}{}-{}",
+            self.layer.short_name().to_ascii_lowercase(),
+            self.group_label(),
+            self.group,
+            self.index
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_follow_layer_semantics() {
+        assert_eq!(DeviceName::new(Layer::Rsw, 3, 7).to_string(), "rsw-pod3-7");
+        assert_eq!(DeviceName::new(Layer::Ssw, 1, 2).to_string(), "ssw-plane1-2");
+        assert_eq!(DeviceName::new(Layer::Fadu, 0, 4).to_string(), "fadu-grid0-4");
+        assert_eq!(DeviceName::new(Layer::Backbone, 0, 1).to_string(), "eb-bb0-1");
+    }
+
+    #[test]
+    fn names_are_ordered_and_hashable() {
+        let a = DeviceName::new(Layer::Fsw, 0, 0);
+        let b = DeviceName::new(Layer::Fsw, 0, 1);
+        let c = DeviceName::new(Layer::Ssw, 0, 0);
+        assert!(a < b);
+        assert!(b < c, "layer dominates ordering");
+        let set: std::collections::HashSet<_> = [a, b, c, a].into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

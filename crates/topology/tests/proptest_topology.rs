@@ -1,0 +1,132 @@
+//! Property-based tests for the topology model: builder invariants,
+//! adjacency-index integrity under random mutation sequences, and
+//! serialization laws.
+
+use centralium_topology::{
+    build_fabric, Asn, DeviceId, DeviceName, DeviceState, FabricSpec, Layer, Topology,
+};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = FabricSpec> {
+    (1u16..=4, 1u16..=4, 1u16..=4, 1u16..=4, 1u16..=3, 1u16..=3, 1u16..=4).prop_map(
+        |(pods, planes, ssws, racks, grids, fauus, ebs)| FabricSpec {
+            pods,
+            planes,
+            ssws_per_plane: ssws,
+            racks_per_pod: racks,
+            grids,
+            fauus_per_grid: fauus,
+            backbone_devices: ebs,
+            link_capacity_gbps: 100.0,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated fabric is connected, has the predicted device count,
+    /// and honours the wiring invariants.
+    #[test]
+    fn builder_invariants(spec in arb_spec()) {
+        let (topo, idx, _) = build_fabric(&spec);
+        prop_assert_eq!(topo.device_count(), spec.total_devices());
+        prop_assert!(topo.is_connected());
+        // Racks reach the backbone in exactly 5 hops.
+        prop_assert_eq!(topo.hop_distance(idx.rsw[0][0], idx.backbone[0]), Some(5));
+        // SSW-n pairs with FADU-n in every grid, exclusively.
+        for plane in 0..spec.planes as usize {
+            for n in 0..spec.ssws_per_plane as usize {
+                let ups: Vec<DeviceId> =
+                    topo.uplinks(idx.ssw[plane][n]).into_iter().map(|(d, _)| d).collect();
+                prop_assert_eq!(ups.len(), spec.grids as usize);
+                for g in 0..spec.grids as usize {
+                    prop_assert!(ups.contains(&idx.fadu[g][n]));
+                }
+            }
+        }
+        // ASNs are unique fabric-wide.
+        let mut asns: Vec<Asn> = topo.devices().map(|d| d.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        prop_assert_eq!(asns.len(), topo.device_count());
+    }
+
+    /// Adjacency indices survive arbitrary mutation sequences: every
+    /// incident-link list refers to live links whose endpoints exist.
+    #[test]
+    fn adjacency_integrity_under_mutation(
+        ops in proptest::collection::vec((0u8..4, 0u32..64), 1..40),
+    ) {
+        let (mut topo, _, mut asn) = build_fabric(&FabricSpec::tiny());
+        let mut next_name = 100u16;
+        for (op, pick) in ops {
+            let devices: Vec<DeviceId> = topo.devices().map(|d| d.id).collect();
+            match op {
+                0 => {
+                    // Add a device.
+                    let name = DeviceName::new(Layer::Fadu, 9, next_name);
+                    next_name += 1;
+                    topo.add_device(name, asn.allocate(Layer::Fadu));
+                }
+                1 => {
+                    // Remove a (possibly linked) device.
+                    if let Some(&victim) = devices.get(pick as usize % devices.len()) {
+                        topo.remove_device(victim);
+                    }
+                }
+                2 => {
+                    // Link two random distinct devices.
+                    if devices.len() >= 2 {
+                        let a = devices[pick as usize % devices.len()];
+                        let b = devices[(pick as usize + 1) % devices.len()];
+                        if a != b {
+                            topo.add_link(a, b, 100.0);
+                        }
+                    }
+                }
+                _ => {
+                    // Flip a device state.
+                    if let Some(&d) = devices.get(pick as usize % devices.len()) {
+                        topo.set_device_state(d, DeviceState::Drained);
+                    }
+                }
+            }
+            // Integrity: every incident link exists and references the device.
+            for dev in topo.devices() {
+                for &lid in topo.incident_links(dev.id) {
+                    let link = topo.link(lid);
+                    prop_assert!(link.is_some(), "dangling link id {lid}");
+                    prop_assert!(link.unwrap().other_end(dev.id).is_some());
+                }
+            }
+            // Every link's endpoints exist and list the link.
+            let links: Vec<_> = topo.links().cloned().collect();
+            for link in links {
+                for end in [link.a, link.b] {
+                    prop_assert!(topo.device(end).is_some());
+                    prop_assert!(topo.incident_links(end).contains(&link.id));
+                }
+            }
+        }
+    }
+
+    /// Serde roundtrip + rebuild restores full query behaviour.
+    #[test]
+    fn serde_roundtrip_restores_queries(spec in arb_spec()) {
+        let (topo, idx, _) = build_fabric(&spec);
+        let json = serde_json::to_string(&topo).unwrap();
+        let mut back: Topology = serde_json::from_str(&json).unwrap();
+        back.rebuild_indices();
+        prop_assert_eq!(back.device_count(), topo.device_count());
+        prop_assert_eq!(back.link_count(), topo.link_count());
+        for dev in topo.devices() {
+            prop_assert_eq!(back.device_by_name(dev.name), Some(dev.id));
+            prop_assert_eq!(back.uplinks(dev.id).len(), topo.uplinks(dev.id).len());
+        }
+        prop_assert_eq!(
+            back.hop_distance(idx.rsw[0][0], idx.backbone[0]),
+            topo.hop_distance(idx.rsw[0][0], idx.backbone[0])
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Centralized traffic engineering (§6.4 / Figure 13): break fabric
+//! symmetry with maintenance, compute min-max-utilization weights, compile
+//! them to Route Attribute RPAs, and compare effective capacity against
+//! ECMP and the ideal WCMP bound.
+//!
+//! ```sh
+//! cargo run --example te_optimization
+//! ```
+
+use centralium::apps::traffic_engineering::te_intent;
+use centralium::compile::compile_intent;
+use centralium_bgp::attrs::well_known;
+use centralium_te::{ecmp_weights, effective_capacity, max_flow, optimize_weights, Demands, UpGraph};
+use centralium_topology::{build_fabric, FabricSpec, Layer};
+
+fn main() {
+    let (mut topo, idx, _) = build_fabric(&FabricSpec::default());
+    // Maintenance: a third of the FAUU↔EB boundary links go away.
+    let victims: Vec<_> = topo
+        .links()
+        .filter(|l| topo.device(l.a).map(|d| d.layer()) == Some(Layer::Fauu))
+        .map(|l| l.id)
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, id)| id)
+        .collect();
+    println!("removing {} FAUU-EB links for maintenance (symmetry broken)", victims.len());
+    for v in victims {
+        topo.remove_link(v);
+    }
+
+    let graph = UpGraph::from_topology(&topo, &idx.backbone);
+    let sources: Vec<_> = idx.fadu.iter().flatten().copied().collect();
+    let demands = Demands::uniform(&sources, 50.0);
+
+    let ecmp = effective_capacity(&graph, &demands, &ecmp_weights(&graph));
+    let te_weights = optimize_weights(&graph, &demands, 200);
+    let te = effective_capacity(&graph, &demands, &te_weights);
+    let ideal = max_flow::effective_capacity_bound(&graph, &demands);
+
+    println!("effective capacity toward the backbone:");
+    println!("  ECMP        {ecmp:>9.1} Gbps  ({:.1}% of ideal)", 100.0 * ecmp / ideal);
+    println!("  TE (RPA)    {te:>9.1} Gbps  ({:.1}% of ideal)", 100.0 * te / ideal);
+    println!("  ideal WCMP  {ideal:>9.1} Gbps");
+
+    // Compile the TE weights into deployable Route Attribute RPAs.
+    let intent = te_intent(
+        &topo,
+        &idx.backbone,
+        &demands,
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        Some(3_600_000_000), // expire after a simulated hour
+        200,
+    );
+    let docs = compile_intent(&topo, &intent).expect("TE intent compiles");
+    println!("\ncompiled {} Route Attribute RPA documents, e.g.:", docs.len());
+    if let Some((dev, doc)) = docs.first() {
+        println!(
+            "--- device {dev} ({} LOC) ---\n{}",
+            doc.loc(),
+            serde_json::to_string_pretty(doc).expect("serializes")
+        );
+    }
+}

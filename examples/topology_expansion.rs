@@ -1,0 +1,69 @@
+//! Scenario 1 end-to-end (§3.2 + §4.4.1): replace the fabric-aggregation
+//! layers with direct-to-backbone FAv2 units, live, without the
+//! first-router collapse — the full Centralium workflow via the expansion
+//! orchestrator app.
+//!
+//! ```sh
+//! cargo run --example topology_expansion
+//! ```
+
+use centralium::apps::expansion_orchestrator::orchestrate_expansion;
+use centralium::controller::Controller;
+use centralium_bench::scenarios::converged_fabric;
+use centralium_bgp::Prefix;
+use centralium_topology::{DeviceId, FabricSpec};
+
+fn main() {
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 2026);
+    println!(
+        "initial fabric: {} devices (RSW/FSW/SSW/FADU/FAUU/EB)",
+        fab.net.topology().device_count()
+    );
+    let mut controller = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+
+    let ssws: Vec<DeviceId> = fab.idx.ssw.iter().flatten().copied().collect();
+    let old_aggregation: Vec<DeviceId> = fab
+        .idx
+        .fadu
+        .iter()
+        .flatten()
+        .chain(fab.idx.fauu.iter().flatten())
+        .copied()
+        .collect();
+    let sources: Vec<DeviceId> = fab.idx.rsw.iter().flatten().copied().collect();
+    println!(
+        "replacing {} old aggregation devices with 2 FAv2 units...",
+        old_aggregation.len()
+    );
+
+    let report = orchestrate_expansion(
+        &mut fab.net,
+        &mut controller,
+        &ssws,
+        &old_aggregation,
+        &fab.idx.backbone,
+        2,
+        &sources,
+    )
+    .expect("expansion succeeds");
+
+    println!("commissioned FAv2 units: {:?}", report.fav2);
+    println!(
+        "final health: {}",
+        if report.final_health.passed() { "PASS".to_string() } else { format!("{:?}", report.final_health.failures) }
+    );
+    println!(
+        "final fabric: {} devices (old aggregation layers removed)",
+        fab.net.topology().device_count()
+    );
+    for &ssw in &ssws {
+        let entry = fab.net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+        println!(
+            "  ssw {} default route: {} next-hops (all FAv2), RPAs left: {:?}",
+            ssw,
+            entry.nexthops.len(),
+            fab.net.device(ssw).unwrap().engine.installed()
+        );
+    }
+    println!("no policy residue remains — the RPAs were removed top-down after the swap.");
+}

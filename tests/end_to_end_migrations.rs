@@ -1,0 +1,177 @@
+//! End-to-end migration workflows through the controller, with RIB
+//! consistency verified after every quiescence.
+
+use centralium::apps::expansion_orchestrator::orchestrate_expansion;
+use centralium::apps::rollout::{run_rollout, RolloutStep};
+use centralium::controller::Controller;
+use centralium::health::{HealthCheck, TrafficProbe};
+use centralium::preverify::{emulate_and_verify, VerifyOutcome};
+use centralium::sequencer::DeploymentStrategy;
+use centralium_bench::scenarios::converged_fabric;
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_rpa::MinNextHop;
+use centralium_simnet::assert_rib_consistent;
+use centralium_topology::{DeviceId, FabricSpec, Layer};
+
+fn probe(fab: &centralium_bench::scenarios::ConvergedFabric) -> HealthCheck {
+    HealthCheck {
+        probe: Some(TrafficProbe {
+            sources: fab.idx.rsw.iter().flatten().copied().collect(),
+            dest: Prefix::DEFAULT,
+            gbps_each: 5.0,
+        }),
+        max_link_utilization: Some(1.0),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_expansion_keeps_rib_consistent() {
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 1001);
+    assert_rib_consistent(&fab.net);
+    let mut controller = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+    let ssws: Vec<DeviceId> = fab.idx.ssw.iter().flatten().copied().collect();
+    let old: Vec<DeviceId> = fab
+        .idx
+        .fadu
+        .iter()
+        .flatten()
+        .chain(fab.idx.fauu.iter().flatten())
+        .copied()
+        .collect();
+    let sources: Vec<DeviceId> = fab.idx.rsw.iter().flatten().copied().collect();
+    let report = orchestrate_expansion(
+        &mut fab.net,
+        &mut controller,
+        &ssws,
+        &old,
+        &fab.idx.backbone,
+        2,
+        &sources,
+    )
+    .expect("expansion succeeds");
+    assert!(report.final_health.passed(), "{:?}", report.final_health.failures);
+    assert_rib_consistent(&fab.net);
+}
+
+#[test]
+fn deployment_respects_health_gates_and_cleans_up() {
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 1002);
+    let mut controller = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+    let check = probe(&fab);
+    let intent = centralium::apps::path_equalization::equalize_on_layers(
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        Layer::Backbone,
+        vec![Layer::Fsw, Layer::Ssw],
+    );
+    let deploy = controller
+        .deploy_intent(
+            &mut fab.net,
+            &intent,
+            Layer::Backbone,
+            DeploymentStrategy::SafeOrder,
+            &check,
+            &check,
+        )
+        .expect("deploys");
+    assert!(deploy.post_health.passed());
+    assert!(deploy.generation_time.as_millis() < 200, "§6.2 budget");
+    assert_rib_consistent(&fab.net);
+    let remove = controller
+        .remove_intent(
+            &mut fab.net,
+            &intent,
+            Layer::Backbone,
+            DeploymentStrategy::SafeOrder,
+            &check,
+        )
+        .expect("removes");
+    assert!(remove.post_health.passed());
+    for id in fab.net.device_ids() {
+        assert!(fab.net.device(id).unwrap().engine.installed().is_empty());
+    }
+    assert_rib_consistent(&fab.net);
+}
+
+#[test]
+fn unified_rollout_with_base_policy_change() {
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 1003);
+    let mut controller = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+    let check = probe(&fab);
+    let intent = centralium::apps::path_equalization::equalize_on_layers(
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        Layer::Backbone,
+        vec![Layer::Ssw],
+    );
+    let drain_like = centralium_bgp::policy::Policy::accept_all().rule(
+        centralium_bgp::policy::PolicyRule {
+            matches: centralium_bgp::policy::MatchExpr::any(),
+            actions: vec![centralium_bgp::policy::Action::SetMed(50)],
+        },
+    );
+    let fadus: Vec<DeviceId> = fab.idx.fadu.iter().flatten().copied().collect();
+    let steps = vec![
+        RolloutStep::DeployRpa { intent: intent.clone(), origination_layer: Layer::Backbone },
+        RolloutStep::BasePolicy { devices: fadus, policy: drain_like },
+        RolloutStep::RemoveRpa { intent, origination_layer: Layer::Backbone },
+    ];
+    let reports = run_rollout(&mut fab.net, &mut controller, steps, &check).expect("rollout");
+    assert_eq!(reports.len(), 2);
+    assert!(reports.iter().all(|r| r.post_health.passed()));
+    assert_rib_consistent(&fab.net);
+}
+
+#[test]
+fn preverification_gates_unsafe_intents() {
+    // The §7.1 emulation suite: a safe intent passes, an unsafe one is
+    // caught before production.
+    let safe = centralium::apps::path_equalization::equalize_on_layers(
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        Layer::Backbone,
+        vec![Layer::Ssw],
+    );
+    assert!(emulate_and_verify(&safe, Layer::Backbone).passed());
+    let unsafe_intent = centralium::intent::RoutingIntent::MinNextHopProtection {
+        destination: well_known::BACKBONE_DEFAULT_ROUTE,
+        min: MinNextHop::Absolute(64),
+        keep_fib_warm: false,
+        targets: centralium::intent::TargetSet::Layer(Layer::Ssw),
+    };
+    assert!(matches!(
+        emulate_and_verify(&unsafe_intent, Layer::Backbone),
+        VerifyOutcome::InvariantsBroken(_)
+    ));
+}
+
+#[test]
+fn drain_maintenance_cycle_preserves_capacity_and_consistency() {
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 1004);
+    let plane0: Vec<DeviceId> = fab.idx.ssw[0].clone();
+    centralium::apps::maintenance_drain::drain_for_maintenance(&mut fab.net, &plane0);
+    fab.net.run_until_quiescent().expect_converged();
+    assert_rib_consistent(&fab.net);
+    // Drained SSWs carry no transit.
+    let sources: Vec<DeviceId> = fab.idx.rsw.iter().flatten().copied().collect();
+    let tm = centralium_simnet::traffic::TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
+    let report = centralium_simnet::traffic::route_flows(
+        &fab.net,
+        &tm,
+        centralium_simnet::traffic::DEFAULT_MAX_HOPS,
+    );
+    for &ssw in &plane0 {
+        assert!(report.device_transit.get(&ssw).copied().unwrap_or(0.0) < 1e-9);
+    }
+    assert!((report.delivery_ratio(tm.total_gbps()) - 1.0).abs() < 1e-9);
+    centralium::apps::maintenance_drain::undrain_after_maintenance(&mut fab.net, &plane0);
+    fab.net.run_until_quiescent().expect_converged();
+    assert_rib_consistent(&fab.net);
+    let report = centralium_simnet::traffic::route_flows(
+        &fab.net,
+        &tm,
+        centralium_simnet::traffic::DEFAULT_MAX_HOPS,
+    );
+    let ssws_all: Vec<DeviceId> = fab.idx.ssw.iter().flatten().copied().collect();
+    let ratio = report.funneling_ratio(&ssws_all);
+    assert!((ratio - 0.25).abs() < 0.01, "balance restored, got {ratio}");
+}

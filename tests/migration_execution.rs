@@ -1,0 +1,134 @@
+//! Execute staged `Migration` plans live against the emulator: the topology
+//! deltas of `centralium-topology` translate into running-network operations
+//! with full convergence between stages.
+
+use centralium_bench::scenarios::converged_fabric;
+use centralium_bgp::Prefix;
+use centralium_simnet::traffic::{route_flows, TrafficMatrix, DEFAULT_MAX_HOPS};
+use centralium_topology::{
+    DeviceName, DeviceState, FabricSpec, Layer, Migration, MigrationCategory, MigrationStage,
+    TopologyDelta,
+};
+
+#[test]
+fn staged_expansion_migration_executes_live() {
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 3001);
+    let new_name = DeviceName::new(Layer::Fauu, 0, 9);
+    let migration = Migration::new(
+        MigrationCategory::IncrementalCapacityScaling,
+        "add a FAUU to grid 0",
+    )
+    .stage(MigrationStage::new(
+        "commission the new FAUU",
+        vec![TopologyDelta::AddDevice { name: new_name, asn: centralium_topology::Asn(59_999) }],
+    ))
+    .stage(MigrationStage::new(
+        "cable it to grid-0 FADUs and the backbone",
+        vec![
+            TopologyDelta::AddLinkByName {
+                a: new_name,
+                b: DeviceName::new(Layer::Fadu, 0, 0),
+                capacity_gbps: 100.0,
+            },
+            TopologyDelta::AddLinkByName {
+                a: new_name,
+                b: DeviceName::new(Layer::Fadu, 0, 1),
+                capacity_gbps: 100.0,
+            },
+            TopologyDelta::AddLinkByName {
+                a: new_name,
+                b: DeviceName::new(Layer::Backbone, 0, 0),
+                capacity_gbps: 100.0,
+            },
+            TopologyDelta::AddLinkByName {
+                a: new_name,
+                b: DeviceName::new(Layer::Backbone, 0, 1),
+                capacity_gbps: 100.0,
+            },
+        ],
+    ));
+    assert_eq!(migration.critical_path_steps(), 2);
+    let mut new_id = None;
+    for stage in &migration.stages {
+        let created = fab.net.apply_migration_stage(stage).expect("stage applies");
+        if let Some(&id) = created.get(&new_name) {
+            new_id = Some(id);
+        }
+        fab.net.run_until_quiescent().expect_converged();
+    }
+    let new_id = new_id.expect("device was created");
+    // The new FAUU joined routing: it holds the default route from both EBs,
+    // and grid-0 FADUs gained a third uplink.
+    let entry = fab.net.device(new_id).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+    assert_eq!(entry.nexthops.len(), 2);
+    for &fadu in &fab.idx.fadu[0] {
+        let entry = fab.net.device(fadu).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+        assert_eq!(entry.nexthops.len(), 3, "FADU gained the new uplink");
+    }
+    centralium_simnet::assert_rib_consistent(&fab.net);
+}
+
+#[test]
+fn staged_decommission_migration_executes_live() {
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 3002);
+    let victim_fadus: Vec<_> = fab.idx.fadu.iter().map(|g| g[0]).collect();
+    let victim_ssws: Vec<_> = fab.idx.ssw.iter().map(|p| p[0]).collect();
+    let migration = Migration::new(MigrationCategory::TrafficDrainForMaintenance, "retire group 0")
+        .stage(MigrationStage::new(
+            "drain the FADU-0s",
+            victim_fadus
+                .iter()
+                .map(|&id| TopologyDelta::SetDeviceState { id, state: DeviceState::Drained })
+                .collect(),
+        ))
+        .stage(MigrationStage::new(
+            "drain the SSW-0s",
+            victim_ssws
+                .iter()
+                .map(|&id| TopologyDelta::SetDeviceState { id, state: DeviceState::Drained })
+                .collect(),
+        ))
+        .stage(MigrationStage::new(
+            "physically remove the group",
+            victim_fadus
+                .iter()
+                .chain(&victim_ssws)
+                .map(|&id| TopologyDelta::RemoveDevice { id })
+                .collect(),
+        ));
+    let sources: Vec<_> = fab.idx.rsw.iter().flatten().copied().collect();
+    let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 5.0);
+    for stage in &migration.stages {
+        fab.net.apply_migration_stage(stage).expect("stage applies");
+        fab.net.run_until_quiescent().expect_converged();
+        // Full delivery after every stage: the migration is hitless.
+        let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
+        assert!(
+            (report.delivery_ratio(tm.total_gbps()) - 1.0).abs() < 1e-9,
+            "stage '{}' lost traffic",
+            stage.description
+        );
+    }
+    for id in victim_fadus.iter().chain(&victim_ssws) {
+        assert!(fab.net.device(*id).is_none());
+    }
+    centralium_simnet::assert_rib_consistent(&fab.net);
+}
+
+#[test]
+fn link_removal_reconverges() {
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 3003);
+    let ssw = fab.idx.ssw[0][0];
+    let (_, link) = fab.net.topology().uplinks(ssw)[0];
+    let stage = MigrationStage::new("de-cable one SSW uplink", vec![TopologyDelta::RemoveLink {
+        id: link,
+    }]);
+    fab.net.apply_migration_stage(&stage).expect("applies");
+    fab.net.run_until_quiescent().expect_converged();
+    let entry = fab.net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+    assert_eq!(entry.nexthops.len(), 1, "one uplink left");
+    centralium_simnet::assert_rib_consistent(&fab.net);
+    // Unknown references error cleanly.
+    let bad = MigrationStage::new("bad", vec![TopologyDelta::RemoveLink { id: link }]);
+    assert!(fab.net.apply_migration_stage(&bad).is_err());
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the core invariants: convergence, RIB
+//! consistency, delivery, and data-structure laws, under randomized fabric
+//! shapes, seeds and churn sequences.
+
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_simnet::traffic::{route_flows, TrafficMatrix, DEFAULT_MAX_HOPS};
+use centralium_simnet::{verify_rib_consistency, SimConfig, SimNet};
+use centralium_topology::{build_fabric, FabricSpec};
+use proptest::prelude::*;
+
+fn small_spec() -> impl Strategy<Value = FabricSpec> {
+    (1u16..=3, 1u16..=3, 1u16..=3, 1u16..=2, 1u16..=2, 1u16..=2, 1u16..=3).prop_map(
+        |(pods, planes, ssws, racks, grids, fauus, ebs)| FabricSpec {
+            pods,
+            planes,
+            ssws_per_plane: ssws,
+            racks_per_pod: racks,
+            grids,
+            fauus_per_grid: fauus,
+            backbone_devices: ebs,
+            link_capacity_gbps: 100.0,
+        },
+    )
+}
+
+fn converge(spec: &FabricSpec, seed: u64) -> (SimNet, centralium_topology::builder::FabricIndex) {
+    let (topo, idx, _) = build_fabric(spec);
+    let mut net = SimNet::new(topo, SimConfig { seed, ..Default::default() });
+    net.establish_all();
+    for &eb in &idx.backbone {
+        net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+    }
+    let report = net.run_until_quiescent();
+    assert!(report.converged, "fabric must converge");
+    (net, idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valley-free fabric converges, is RIB-consistent, delivers all
+    /// northbound traffic, and has no forwarding loops.
+    #[test]
+    fn random_fabrics_converge_consistently(spec in small_spec(), seed in 0u64..1000) {
+        let (net, idx) = converge(&spec, seed);
+        prop_assert!(verify_rib_consistency(&net).is_empty());
+        let sources: Vec<_> = idx.rsw.iter().flatten().copied().collect();
+        let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 1.0);
+        let report = route_flows(&net, &tm, DEFAULT_MAX_HOPS);
+        prop_assert!((report.delivery_ratio(tm.total_gbps()) - 1.0).abs() < 1e-9);
+        prop_assert_eq!(
+            centralium_simnet::traffic::forwarding_cycle(&net, &Prefix::DEFAULT),
+            None
+        );
+    }
+
+    /// Random churn (drains, failures, recoveries) never leaves the network
+    /// inconsistent at quiescence, and traffic delivers fully as long as at
+    /// least one FADU in each grid... (weaker: as long as the fabric stays
+    /// connected upward, which killing a single device per layer guarantees
+    /// for specs with >= 2 devices per layer).
+    #[test]
+    fn churn_preserves_consistency(seed in 0u64..500, ops in proptest::collection::vec(0u8..6, 1..8)) {
+        let spec = FabricSpec::tiny();
+        let (mut net, idx) = converge(&spec, seed);
+        // Apply a random op sequence against fixed victims, converging after
+        // each; the fabric keeps at least one survivor per role.
+        let fadu = idx.fadu[0][0];
+        let fauu = idx.fauu[0][0];
+        for op in ops {
+            match op {
+                0 => net.drain_device(fadu),
+                1 => net.undrain_device(fadu),
+                2 => net.device_down(fauu),
+                3 => net.device_up(fauu),
+                4 => net.drain_device(fauu),
+                _ => net.undrain_device(fauu),
+            }
+            let report = net.run_until_quiescent();
+            prop_assert!(report.converged);
+            let failures = verify_rib_consistency(&net);
+            prop_assert!(failures.is_empty(), "inconsistent after op: {:?}", failures);
+        }
+        // All northbound traffic still delivers (survivors exist everywhere).
+        let sources: Vec<_> = idx.rsw.iter().flatten().copied().collect();
+        let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 1.0);
+        let report = route_flows(&net, &tm, DEFAULT_MAX_HOPS);
+        prop_assert!((report.delivery_ratio(tm.total_gbps()) - 1.0).abs() < 1e-9);
+    }
+
+    /// Prefix parse/display roundtrip and masking laws.
+    #[test]
+    fn prefix_roundtrip(addr in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(addr, len);
+        let back: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, back);
+        prop_assert!(p.contains(&p));
+        // Host bits are always masked.
+        prop_assert_eq!(p, Prefix::new(p.addr(), p.len()));
+    }
+
+    /// A covering prefix contains everything built from extending it.
+    #[test]
+    fn prefix_containment(addr in any::<u32>(), len in 0u8..=31, extra in 1u8..=8) {
+        let wide = Prefix::new(addr, len);
+        let narrow = Prefix::new(addr, (len + extra).min(32));
+        prop_assert!(wide.contains(&narrow));
+        prop_assert!(wide.len() == narrow.len() || !narrow.contains(&wide));
+    }
+
+    /// WCMP quantization: weights stay in range, preserve order, and never
+    /// vanish.
+    #[test]
+    fn wcmp_quantize_laws(raw in proptest::collection::vec(0.0f64..10_000.0, 1..12)) {
+        let weights = centralium_bgp::wcmp::quantize(&raw);
+        prop_assert_eq!(weights.len(), raw.len());
+        prop_assert!(weights.iter().all(|&w| (1..=64).contains(&w)));
+        for (i, a) in raw.iter().enumerate() {
+            for (j, b) in raw.iter().enumerate() {
+                if a > b {
+                    prop_assert!(weights[i] >= weights[j], "order preserved");
+                }
+            }
+        }
+    }
+
+    /// NSDB wildcard matching agrees with direct segment comparison.
+    #[test]
+    fn nsdb_path_matching(segments in proptest::collection::vec("[a-z]{1,4}", 1..5), star_at in 0usize..5) {
+        use centralium_nsdb::Path;
+        let concrete = Path::from_segments(segments.clone());
+        prop_assert!(concrete.matches(&concrete));
+        // Replacing any one segment with * still matches.
+        if star_at < segments.len() {
+            let mut pat = segments.clone();
+            pat[star_at] = "*".to_string();
+            prop_assert!(Path::from_segments(pat).matches(&concrete));
+        }
+        // `/**` under any ancestor matches.
+        if segments.len() > 1 {
+            let mut pat: Vec<String> = segments[..1].to_vec();
+            pat.push("**".to_string());
+            prop_assert!(Path::from_segments(pat).matches(&concrete));
+        }
+    }
+}
+
+/// Drained devices keep forwarding (FIB warm through drain): delivery stays
+/// 1.0 even when *every* FADU is drained (they are unpreferred, but with no
+/// alternative they are still selected and still forward).
+#[test]
+fn fully_drained_layer_still_forwards() {
+    let (mut net, idx) = converge(&FabricSpec::tiny(), 4242);
+    for grid in &idx.fadu {
+        for &f in grid {
+            net.drain_device(f);
+        }
+    }
+    net.run_until_quiescent().expect_converged();
+    let sources: Vec<_> = idx.rsw.iter().flatten().copied().collect();
+    let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 1.0);
+    let report = route_flows(&net, &tm, DEFAULT_MAX_HOPS);
+    assert!((report.delivery_ratio(tm.total_gbps()) - 1.0).abs() < 1e-9);
+    assert!(verify_rib_consistency(&net).is_empty());
+}

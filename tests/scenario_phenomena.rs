@@ -1,0 +1,185 @@
+//! Integration tests pinning the paper's §3 pathologies and their RPA fixes
+//! — the qualitative shapes every scenario regenerator reports.
+
+use centralium::apps::path_equalization::equalize_on_layers;
+use centralium::compile::compile_intent;
+use centralium_bench::scenarios::{
+    converged_fabric, fig10_rig, fig5_rig, fig9_rig, max_metric_during, time_above_threshold,
+};
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_simnet::traffic::{forwarding_cycle, route_flows, TrafficMatrix, DEFAULT_MAX_HOPS};
+use centralium_topology::{Asn, DeviceId, DeviceName, FabricSpec, Layer};
+
+/// §3.2: native BGP funnels all traffic onto the first (shorter-path)
+/// router; the equalization RPA keeps the fair share.
+#[test]
+fn first_router_collapse_and_rpa_fix() {
+    let run = |with_rpa: bool| -> f64 {
+        let mut fab = converged_fabric(&FabricSpec::tiny(), 411);
+        if with_rpa {
+            let intent = equalize_on_layers(
+                well_known::BACKBONE_DEFAULT_ROUTE,
+                Layer::Backbone,
+                vec![Layer::Fsw, Layer::Ssw],
+            );
+            for (dev, doc) in compile_intent(fab.net.topology(), &intent).unwrap() {
+                fab.net.deploy_rpa(dev, doc, 100);
+            }
+            fab.net.run_until_quiescent().expect_converged();
+        }
+        let ssws: Vec<DeviceId> = fab.idx.ssw.iter().flatten().copied().collect();
+        let mut links: Vec<(DeviceId, f64)> = ssws.iter().map(|&s| (s, 400.0)).collect();
+        links.extend(fab.idx.backbone.iter().map(|&e| (e, 400.0)));
+        let fav2 =
+            fab.net.commission_device(DeviceName::new(Layer::Fadu, 90, 0), Asn(45_000), &links);
+        fab.net.run_until_quiescent().expect_converged();
+        let sources: Vec<DeviceId> = fab.idx.rsw.iter().flatten().copied().collect();
+        let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
+        let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
+        let mut group: Vec<DeviceId> = fab.idx.fadu.iter().flatten().copied().collect();
+        group.push(fav2);
+        let total: f64 =
+            group.iter().map(|d| report.device_transit.get(d).copied().unwrap_or(0.0)).sum();
+        report.device_transit.get(&fav2).copied().unwrap_or(0.0) / total
+    };
+    let native = run(false);
+    let rpa = run(true);
+    assert!(native > 0.99, "native BGP collapses onto the first router, got {native}");
+    // Tiny fabric: each SSW has 2 FADU uplinks + FAv2 → fair share 1/3.
+    assert!((rpa - 1.0 / 3.0).abs() < 0.01, "RPA holds the fair share, got {rpa}");
+}
+
+/// §3.3: under staggered drains the last live group member funnels the
+/// group's traffic natively; the min-next-hop guard prevents it.
+#[test]
+fn last_router_funneling_and_rpa_fix() {
+    let run = |with_rpa: bool| -> u64 {
+        let mut fab = converged_fabric(&FabricSpec::tiny(), 88);
+        let sources: Vec<DeviceId> = fab.idx.rsw.iter().flatten().copied().collect();
+        let fadu0s: Vec<DeviceId> = fab.idx.fadu.iter().map(|g| g[0]).collect();
+        let ssw0s: Vec<DeviceId> = fab.idx.ssw.iter().map(|p| p[0]).collect();
+        if with_rpa {
+            let intent = centralium::apps::decommission::protection_intent(
+                well_known::BACKBONE_DEFAULT_ROUTE,
+                ssw0s,
+                centralium_rpa::MinNextHop::Fraction(1.0),
+            );
+            for (dev, doc) in compile_intent(fab.net.topology(), &intent).unwrap() {
+                fab.net.deploy_rpa(dev, doc, 100);
+            }
+            fab.net.run_until_quiescent().expect_converged();
+        }
+        for (i, &f) in fadu0s.iter().enumerate() {
+            let asn = fab.net.device(f).unwrap().daemon.asn();
+            fab.net.schedule_in(
+                (i as u64) * 30_000,
+                centralium_simnet::NetEvent::SetExportPolicy {
+                    dev: f,
+                    policy: centralium_simnet::SimNet::drain_export_policy(asn),
+                },
+            );
+        }
+        time_above_threshold(&mut fab.net, 0.9, |net| {
+            let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
+            route_flows(net, &tm, DEFAULT_MAX_HOPS).funneling_ratio(&fadu0s)
+        })
+    };
+    let native_us = run(false);
+    let rpa_us = run(true);
+    assert!(
+        native_us > 20_000,
+        "native drains funnel for most of the stagger window, got {native_us}us"
+    );
+    assert!(
+        rpa_us * 10 < native_us,
+        "min-next-hop guard collapses the funneled window ({rpa_us}us vs {native_us}us)"
+    );
+}
+
+/// §3.4: distributed WCMP mints transient next-hop groups past the hardware
+/// table; the Route Attribute RPA keeps the count constant.
+#[test]
+fn nhg_explosion_and_rpa_fix() {
+    let run = |with_rpa: bool| {
+        let mut rig = fig5_rig(64, 8, 55, with_rpa);
+        rig.net.device_mut(rig.du).unwrap().fib.reset_stats();
+        rig.net.drain_device(rig.ebs[0]);
+        rig.net.drain_device(rig.ebs[1]);
+        rig.net.run_until_quiescent().expect_converged();
+        rig.net.device(rig.du).unwrap().fib.nhg_stats()
+    };
+    let native = run(false);
+    let rpa = run(true);
+    assert!(
+        native.max_groups > 8,
+        "native transient groups exceed the table capacity, got {}",
+        native.max_groups
+    );
+    assert!(native.overflow_events > 0);
+    assert_eq!(rpa.max_groups, 1, "RPA holds the group count constant");
+    assert_eq!(rpa.group_creations, 0);
+}
+
+/// §5.3.1: advertising the best selected path builds a persistent loop;
+/// the least-favorable rule removes it.
+#[test]
+fn dissemination_rule_prevents_loops() {
+    let ablated = fig9_rig(false, 991);
+    let cycle = forwarding_cycle(&ablated.net, &ablated.d);
+    assert!(cycle.is_some(), "ablation must loop");
+    let fixed = fig9_rig(true, 991);
+    assert_eq!(forwarding_cycle(&fixed.net, &fixed.d), None);
+    // And R6 still load-balances over both paths in both cases.
+    for rig in [&ablated, &fixed] {
+        let r6 = rig.net.device(rig.r[5]).unwrap();
+        assert_eq!(r6.fib.entry(rig.d).unwrap().nexthops.len(), 2);
+    }
+}
+
+/// §5.3.2: uncoordinated RPA deployment transiently funnels traffic; the
+/// bottom-up safe order never does.
+#[test]
+fn deployment_sequencing_prevents_funneling() {
+    let run = |safe: bool| -> f64 {
+        let mut rig = fig10_rig(77);
+        let sources = rig.fsws.clone();
+        let fa_group = rig.fa.to_vec();
+        let order: Vec<DeviceId> = if safe {
+            let mut v = rig.ssws.clone();
+            v.extend(rig.fa);
+            v
+        } else {
+            let mut v = vec![rig.fa[0]];
+            v.extend(rig.ssws.clone());
+            v.push(rig.fa[1]);
+            v
+        };
+        for (i, dev) in order.into_iter().enumerate() {
+            rig.net.deploy_rpa(dev, rig.rpa.clone(), (i as u64) * 100_000 + 500);
+        }
+        max_metric_during(&mut rig.net, |net| {
+            let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
+            route_flows(net, &tm, DEFAULT_MAX_HOPS).funneling_ratio(&fa_group)
+        })
+    };
+    let uncoordinated = run(false);
+    let safe = run(true);
+    assert!(uncoordinated > 0.99, "uncoordinated deployment funnels, got {uncoordinated}");
+    assert!(safe < 0.51, "safe order stays balanced, got {safe}");
+}
+
+/// §7.2 / Figure 14: the keep-FIB-warm mis-configuration black-holes
+/// traffic toward a not-production-ready FA; the correct knob setting (and
+/// the fib_warm_keeper app that derives it) keeps delivery intact.
+#[test]
+fn fib_warm_sev_reproduces_and_is_unrepresentable_via_app() {
+    use centralium::apps::fib_warm_keeper::DestinationKind;
+    use centralium_bench::scenarios::fig14_sev;
+    let (sev_delivered, sev_blackholed) = fig14_sev(DestinationKind::Established, 14);
+    assert!(sev_blackholed > 1.0, "the SEV black-holes traffic, got {sev_blackholed}");
+    assert!(sev_delivered < sev_blackholed + sev_delivered, "sanity");
+    let (ok_delivered, ok_blackholed) = fig14_sev(DestinationKind::NewOrigination, 14);
+    assert!(ok_blackholed < 1e-9, "correct knob: nothing black-holes");
+    assert!(ok_delivered > sev_delivered, "correct knob delivers strictly more");
+}

@@ -1,0 +1,92 @@
+//! Scale stress tests: larger fabrics, many prefixes, sustained churn.
+//! Heavier than the unit suites but still seconds in release mode; the
+//! `#[ignore]`d giant case is for manual runs.
+
+use centralium_bench::scenarios::{converged_fabric, originate_rack_prefixes};
+use centralium_bgp::Prefix;
+use centralium_simnet::traffic::{route_flows, TrafficMatrix, DEFAULT_MAX_HOPS};
+use centralium_simnet::verify_rib_consistency;
+use centralium_topology::{DeviceId, FabricSpec};
+
+/// The default (104-device) fabric with a full rack-prefix table converges,
+/// stays consistent, and serves all northbound + east-west traffic.
+#[test]
+fn default_fabric_with_rack_prefixes() {
+    let mut fab = converged_fabric(&FabricSpec::default(), 6001);
+    let racks = originate_rack_prefixes(&mut fab);
+    let report = fab.net.run_until_quiescent().expect_converged();
+    assert!(report.events_processed > 0);
+    assert!(verify_rib_consistency(&fab.net).is_empty());
+    // Every device holds every rack prefix plus the default route.
+    let expected = racks.len() + 1;
+    for id in fab.net.device_ids() {
+        let dev = fab.net.device(id).unwrap();
+        let have = dev.daemon.loc_rib_prefixes().len();
+        assert!(
+            have >= expected - 1,
+            "device {id} holds {have} prefixes, expected ~{expected}"
+        );
+    }
+    // Spot-check east-west delivery across pods.
+    let tm = TrafficMatrix {
+        flows: vec![
+            centralium_simnet::traffic::Flow {
+                src: fab.idx.rsw[0][0],
+                dest: racks.last().unwrap().1,
+                gbps: 1.0,
+            },
+            centralium_simnet::traffic::Flow {
+                src: racks.last().unwrap().0,
+                dest: racks[0].1,
+                gbps: 1.0,
+            },
+        ],
+    };
+    let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
+    assert!((report.delivered_gbps - 2.0).abs() < 1e-9);
+}
+
+/// Sustained churn at scale: repeated drain/fail/restore rounds on the
+/// default fabric leave it consistent and fully delivering every time.
+#[test]
+fn sustained_churn_rounds() {
+    let mut fab = converged_fabric(&FabricSpec::default(), 6002);
+    let sources: Vec<DeviceId> = fab.idx.rsw.iter().flatten().copied().collect();
+    let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 1.0);
+    for round in 0..4 {
+        let fadu = fab.idx.fadu[round % 2][round % 4];
+        let fauu = fab.idx.fauu[(round + 1) % 2][round % 4];
+        fab.net.drain_device(fadu);
+        fab.net.device_down(fauu);
+        fab.net.run_until_quiescent().expect_converged();
+        let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
+        assert!(
+            (report.delivery_ratio(tm.total_gbps()) - 1.0).abs() < 1e-9,
+            "round {round}: loss under churn"
+        );
+        fab.net.undrain_device(fadu);
+        fab.net.device_up(fauu);
+        fab.net.run_until_quiescent().expect_converged();
+        assert!(verify_rib_consistency(&fab.net).is_empty(), "round {round}");
+    }
+}
+
+/// Manual scale drill: a ~1000-device fabric cold-converges on the default
+/// route. Run with `cargo test --release -- --ignored stress_giant`.
+#[test]
+#[ignore = "manual scale drill (~1000 devices)"]
+fn stress_giant_fabric_cold_convergence() {
+    let spec = FabricSpec {
+        pods: 20,
+        planes: 8,
+        ssws_per_plane: 8,
+        racks_per_pod: 32,
+        grids: 4,
+        fauus_per_grid: 8,
+        backbone_devices: 8,
+        link_capacity_gbps: 100.0,
+    };
+    let fab = converged_fabric(&spec, 6003);
+    assert!(fab.net.topology().device_count() > 900);
+    assert!(verify_rib_consistency(&fab.net).is_empty());
+}
