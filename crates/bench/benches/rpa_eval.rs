@@ -17,7 +17,10 @@ fn engine(cache: bool) -> RpaEngine {
         "equalize",
         PathSelectionStatement::select(
             Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
-            vec![PathSet::new("via-backbone", PathSignature::as_path("(^| )6\\d{4}$"))],
+            vec![PathSet::new(
+                "via-backbone",
+                PathSignature::as_path("(^| )6\\d{4}$"),
+            )],
         ),
     )))
     .expect("installs");

@@ -40,10 +40,9 @@ fn bench_generation(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("rpa_generation_full_dc");
     group.sample_size(20);
-    group.bench_function(
-        format!("equalize_{}_devices", topo.device_count()),
-        |b| b.iter(|| std::hint::black_box(compile_intent(&topo, &equalize).unwrap().len())),
-    );
+    group.bench_function(format!("equalize_{}_devices", topo.device_count()), |b| {
+        b.iter(|| std::hint::black_box(compile_intent(&topo, &equalize).unwrap().len()))
+    });
     group.bench_function("min_nexthop_all_ssws", |b| {
         b.iter(|| std::hint::black_box(compile_intent(&topo, &protect).unwrap().len()))
     });

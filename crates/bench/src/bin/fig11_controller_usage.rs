@@ -48,11 +48,15 @@ fn main() {
     );
 
     // Shard devices across agents round-robin (production shards by scope).
-    let mut agents: Vec<SwitchAgent> =
-        (0..AGENT_SHARDS).map(|_| SwitchAgent::new(mgmt.clone())).collect();
+    let mut agents: Vec<SwitchAgent> = (0..AGENT_SHARDS)
+        .map(|_| SwitchAgent::new(mgmt.clone()))
+        .collect();
     let mut nsdb = ReplicatedNsdb::new(NSDB_REPLICAS);
     let devices = fab.net.device_ids();
-    let intent = equalize_backbone_paths(well_known::BACKBONE_DEFAULT_ROUTE, centralium_topology::Layer::Backbone);
+    let intent = equalize_backbone_paths(
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        centralium_topology::Layer::Backbone,
+    );
     let docs = compile_intent(fab.net.topology(), &intent).expect("compiles");
     for (i, (dev, doc)) in docs.iter().enumerate() {
         agents[i % AGENT_SHARDS].set_intended(*dev, doc);
@@ -94,10 +98,15 @@ fn main() {
         .map(|a| a.service.approx_memory_bytes() as f64 / 1e9)
         .collect();
     for _ in 0..NSDB_REPLICAS {
-        mem_gb.push((256.0 * 1024.0 * 1024.0 + nsdb.approx_bytes() as f64 / NSDB_REPLICAS as f64) / 1e9);
+        mem_gb.push(
+            (256.0 * 1024.0 * 1024.0 + nsdb.approx_bytes() as f64 / NSDB_REPLICAS as f64) / 1e9,
+        );
     }
 
-    println!("{}", render_cdf("single-core-equivalent CPU utilization", "%", &cpu));
+    println!(
+        "{}",
+        render_cdf("single-core-equivalent CPU utilization", "%", &cpu)
+    );
     println!("{}", render_cdf("memory usage", "GB", &mem_gb));
     let max_cpu = cpu.iter().cloned().fold(0.0, f64::max);
     let max_mem = mem_gb.iter().cloned().fold(0.0, f64::max);

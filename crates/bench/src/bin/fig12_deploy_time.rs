@@ -13,6 +13,7 @@
 
 use centralium::apps::path_equalization::equalize_on_layers;
 use centralium::compile::compile_intent;
+use centralium_bench::report::{metrics_diff_table, phase_table};
 use centralium_bench::scenarios::converged_fabric;
 use centralium_bench::stats::render_cdf;
 use centralium_bgp::attrs::well_known;
@@ -32,10 +33,18 @@ fn main() {
         link_capacity_gbps: 100.0,
     };
     let mut fab = converged_fabric(&spec, 12);
+    let tel = fab.net.telemetry().clone();
+    let before = tel.metrics().snapshot();
     let mgmt = ManagementPlane::compute(fab.net.topology(), fab.idx.rsw[0][0]);
-    let intent =
-        equalize_on_layers(well_known::BACKBONE_DEFAULT_ROUTE, Layer::Backbone, vec![Layer::Fauu]);
+    let plan_span = tel.phases().span("plan", fab.net.now());
+    let intent = equalize_on_layers(
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        Layer::Backbone,
+        vec![Layer::Fauu],
+    );
     let docs = compile_intent(fab.net.topology(), &intent).expect("compiles");
+    plan_span.finish(fab.net.now());
+    let wave_span = tel.phases().span("wave 1 (Fauu)", fab.net.now());
     let mut samples_ms = Vec::with_capacity(docs.len());
     for (dev, doc) in docs {
         let rpc_us = mgmt.rpc_latency_us(dev).expect("reachable") as f64;
@@ -47,13 +56,27 @@ fn main() {
         let _ = out; // propagation is not part of the deployment-time metric
         samples_ms.push((rpc_us + install_us) / 1_000.0);
     }
+    wave_span.finish(fab.net.now());
     // Let the triggered re-advertisements drain so the fabric stays sane.
+    let converge_span = tel.phases().span("converge", fab.net.now());
     fab.net.run_until_quiescent();
-    println!("Figure 12: CDF of RPA deployment time, FAUU layer ({} devices)\n", samples_ms.len());
+    converge_span.finish(fab.net.now());
+    println!(
+        "Figure 12: CDF of RPA deployment time, FAUU layer ({} devices)\n",
+        samples_ms.len()
+    );
     println!("{}", render_cdf("RPA deployment time", "ms", &samples_ms));
     let sub_ms = samples_ms.iter().filter(|&&s| s <= 1.0).count();
     println!(
         "{:.1}% of deployments complete within 1 ms (paper: 'most RPA updates complete within one millisecond')",
         100.0 * sub_ms as f64 / samples_ms.len() as f64
+    );
+    println!(
+        "\nPer-phase deployment timing:\n{}",
+        phase_table(&tel.phases().records()).render()
+    );
+    println!(
+        "Telemetry delta over the deployment:\n{}",
+        metrics_diff_table(&tel.metrics().snapshot().diff(&before)).render()
     );
 }

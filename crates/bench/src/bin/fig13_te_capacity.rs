@@ -27,7 +27,10 @@ const EVENTS: usize = 40;
 const SLA_FRACTION: f64 = 0.70;
 
 fn main() {
-    let spec = FabricSpec { backbone_devices: 8, ..FabricSpec::default() };
+    let spec = FabricSpec {
+        backbone_devices: 8,
+        ..FabricSpec::default()
+    };
     let mut rng = StdRng::seed_from_u64(1313);
     let (base_topo, idx, _) = build_fabric(&spec);
     let sources: Vec<_> = idx.fadu.iter().flatten().copied().collect();
@@ -67,8 +70,7 @@ fn main() {
         }
         let graph = UpGraph::from_topology(&topo, &idx.backbone);
         let ideal = max_flow::effective_capacity_bound(&graph, &demands);
-        let ecmp =
-            centralium_te::effective_capacity(&graph, &demands, &ecmp_weights(&graph));
+        let ecmp = centralium_te::effective_capacity(&graph, &demands, &ecmp_weights(&graph));
         let te_weights = optimize_weights(&graph, &demands, 150);
         let te = centralium_te::effective_capacity(&graph, &demands, &te_weights);
         if ecmp >= sla {
@@ -77,7 +79,13 @@ fn main() {
         if te >= sla {
             te_ok += 1;
         }
-        rows.push((event, count, ecmp / ideal, te / ideal, ideal / healthy_ideal));
+        rows.push((
+            event,
+            count,
+            ecmp / ideal,
+            te / ideal,
+            ideal / healthy_ideal,
+        ));
     }
 
     println!(
@@ -86,8 +94,13 @@ fn main() {
         boundary_count,
         SLA_FRACTION * 100.0
     );
-    let mut table =
-        Table::new(&["event", "links cut", "ECMP/ideal", "TE/ideal", "ideal/healthy"]);
+    let mut table = Table::new(&[
+        "event",
+        "links cut",
+        "ECMP/ideal",
+        "TE/ideal",
+        "ideal/healthy",
+    ]);
     for (event, cut, e, t, i) in &rows {
         table.row(&[
             event.to_string(),
@@ -100,7 +113,11 @@ fn main() {
     println!("{}", table.render());
     let ecmp_frac: Vec<f64> = rows.iter().map(|r| r.2).collect();
     let te_frac: Vec<f64> = rows.iter().map(|r| r.3).collect();
-    println!("mean ECMP/ideal {:.3}   mean TE/ideal {:.3}", mean(&ecmp_frac), mean(&te_frac));
+    println!(
+        "mean ECMP/ideal {:.3}   mean TE/ideal {:.3}",
+        mean(&ecmp_frac),
+        mean(&te_frac)
+    );
     println!(
         "events meeting the SLA: ECMP {}/{}  TE {}/{}",
         ecmp_ok, EVENTS, te_ok, EVENTS

@@ -69,7 +69,11 @@ fn main() {
         let mut row = vec![format!("{} {}", cat.label(), cat.name())];
         let mut total = 0usize;
         for layer in layers {
-            let frac = fp.iter().find(|(l, _)| *l == layer).map(|(_, f)| *f).unwrap_or(0.0);
+            let frac = fp
+                .iter()
+                .find(|(l, _)| *l == layer)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0);
             let n = (layer_count(&topo, layer) as f64 * frac).round() as usize;
             total += n;
             row.push(n.to_string());

@@ -32,11 +32,11 @@ fn run(with_rpa: bool, seed: u64) -> (usize, bool) {
     for &eb in &fab.idx.backbone {
         fab.net.originate(eb, vip(), [well_known::ANYCAST_VIP]);
     }
-    fab.net.originate(fab.idx.rsw[0][0], vip(), [well_known::ANYCAST_VIP]);
+    fab.net
+        .originate(fab.idx.rsw[0][0], vip(), [well_known::ANYCAST_VIP]);
     fab.net.run_until_quiescent().expect_converged();
     if with_rpa {
-        let intent =
-            anycast_stability_intent(Layer::Backbone, 2, Layer::Rsw, vec![Layer::Fadu]);
+        let intent = anycast_stability_intent(Layer::Backbone, 2, Layer::Rsw, vec![Layer::Fadu]);
         for (dev, doc) in compile_intent(fab.net.topology(), &intent).expect("compiles") {
             fab.net.deploy_rpa(dev, doc, SCENARIO_RPC_US);
         }
@@ -82,9 +82,12 @@ fn main() {
     println!("rolling FAUU maintenance cycle (drain + restore each unit in turn)\n");
     let (native_changes, native_lost) = run(false, 61);
     let (rpa_changes, rpa_lost) = run(true, 61);
-    let mut table =
-        Table::new(&["mode", "VIP next-hop set changes", "VIP ever unreachable"]);
-    table.row(&["native BGP".into(), native_changes.to_string(), native_lost.to_string()]);
+    let mut table = Table::new(&["mode", "VIP next-hop set changes", "VIP ever unreachable"]);
+    table.row(&[
+        "native BGP".into(),
+        native_changes.to_string(),
+        native_lost.to_string(),
+    ]);
     table.row(&[
         "PrimaryBackup RPA".into(),
         rpa_changes.to_string(),

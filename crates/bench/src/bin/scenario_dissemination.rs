@@ -33,10 +33,16 @@ fn main() {
             .map(|e| e.nexthops.len())
             .unwrap_or(0);
         table.row(&[
-            if least_favorable { "least favorable (paper rule)" } else { "native best (ablation)" }
-                .to_string(),
+            if least_favorable {
+                "least favorable (paper rule)"
+            } else {
+                "native best (ablation)"
+            }
+            .to_string(),
             cycle.is_some().to_string(),
-            cycle.map(|c| format!("{c:?}")).unwrap_or_else(|| "-".to_string()),
+            cycle
+                .map(|c| format!("{c:?}"))
+                .unwrap_or_else(|| "-".to_string()),
             r6_paths.to_string(),
             format!("{:.4}", report.delivery_ratio(10.0)),
         ]);

@@ -29,9 +29,16 @@ fn main() {
     println!("decides whether it still lands in their FIBs.\n");
     let (sev_del, sev_bh) = fig14_sev(DestinationKind::Established, 14);
     let (ok_del, ok_bh) = fig14_sev(DestinationKind::NewOrigination, 14);
-    let mut table =
-        Table::new(&["KeepFibWarmIfMnhViolated", "delivered Gbps", "blackholed Gbps"]);
-    table.row(&["true (the SEV)".into(), format!("{sev_del:.1}"), format!("{sev_bh:.1}")]);
+    let mut table = Table::new(&[
+        "KeepFibWarmIfMnhViolated",
+        "delivered Gbps",
+        "blackholed Gbps",
+    ]);
+    table.row(&[
+        "true (the SEV)".into(),
+        format!("{sev_del:.1}"),
+        format!("{sev_bh:.1}"),
+    ]);
     table.row(&[
         "false (correct for new routes)".into(),
         format!("{ok_del:.1}"),

@@ -29,8 +29,10 @@ struct Outcome {
 fn fav2_share(net: &SimNet, sources: &[DeviceId], fav2: DeviceId, group: &[DeviceId]) -> f64 {
     let tm = TrafficMatrix::uniform(sources, Prefix::DEFAULT, 10.0);
     let report = route_flows(net, &tm, DEFAULT_MAX_HOPS);
-    let total: f64 =
-        group.iter().map(|d| report.device_transit.get(d).copied().unwrap_or(0.0)).sum();
+    let total: f64 = group
+        .iter()
+        .map(|d| report.device_transit.get(d).copied().unwrap_or(0.0))
+        .sum();
     if total <= 0.0 {
         return 0.0;
     }
@@ -57,11 +59,9 @@ fn run(with_rpa: bool) -> Outcome {
     let ssws: Vec<DeviceId> = fab.idx.ssw.iter().flatten().copied().collect();
     let mut links: Vec<(DeviceId, f64)> = ssws.iter().map(|&s| (s, 400.0)).collect();
     links.extend(fab.idx.backbone.iter().map(|&e| (e, 400.0)));
-    let fav2 = fab.net.commission_device(
-        DeviceName::new(Layer::Fadu, 90, 0),
-        Asn(45_000),
-        &links,
-    );
+    let fav2 = fab
+        .net
+        .commission_device(DeviceName::new(Layer::Fadu, 90, 0), Asn(45_000), &links);
     // Old aggregation group = all FADUs + the new FAv2.
     let mut group: Vec<DeviceId> = fab.idx.fadu.iter().flatten().copied().collect();
     group.push(fav2);
@@ -72,8 +72,10 @@ fn run(with_rpa: bool) -> Outcome {
         if report.blackholed_gbps > 1e-9 {
             any_blackhole = true;
         }
-        let total: f64 =
-            group.iter().map(|d| report.device_transit.get(d).copied().unwrap_or(0.0)).sum();
+        let total: f64 = group
+            .iter()
+            .map(|d| report.device_transit.get(d).copied().unwrap_or(0.0))
+            .sum();
         if total <= 0.0 {
             0.0
         } else {
@@ -81,7 +83,11 @@ fn run(with_rpa: bool) -> Outcome {
         }
     });
     let steady_share = fav2_share(&fab.net, &sources, fav2, &group);
-    Outcome { steady_share, transient_peak, any_blackhole }
+    Outcome {
+        steady_share,
+        transient_peak,
+        any_blackhole,
+    }
 }
 
 fn main() {

@@ -8,9 +8,10 @@
 //! each a distinct next-hop group object. With the RPA prescribing static
 //! weights a priori, the group count stays constant.
 
-use centralium_bench::report::Table;
+use centralium_bench::report::{metrics_diff_table, phase_table, Table};
 use centralium_bench::scenarios::fig5_rig;
 use centralium_simnet::NhgStats;
+use centralium_telemetry::{MetricsSnapshot, PhaseRecord};
 
 const N_PREFIXES: usize = 256;
 const DU_NHG_CAPACITY: usize = 32;
@@ -27,7 +28,12 @@ enum Event {
     PowerOff,
 }
 
-fn run(with_rpa: bool, dedup_heuristic: bool, event: Event, seed: u64) -> NhgStats {
+fn run(
+    with_rpa: bool,
+    dedup_heuristic: bool,
+    event: Event,
+    seed: u64,
+) -> (NhgStats, MetricsSnapshot, Vec<PhaseRecord>) {
     let mut rig = fig5_rig(N_PREFIXES, DU_NHG_CAPACITY, seed, with_rpa);
     {
         let fib = &mut rig.net.device_mut(rig.du).expect("du").fib;
@@ -36,6 +42,9 @@ fn run(with_rpa: bool, dedup_heuristic: bool, event: Event, seed: u64) -> NhgSta
         // transition is measured.
         fib.reset_stats();
     }
+    let tel = rig.net.telemetry().clone();
+    let before = tel.metrics().snapshot();
+    let span = tel.phases().span("maintenance", rig.net.now());
     match event {
         Event::Drain => {
             rig.net.drain_device(rig.ebs[0]);
@@ -48,7 +57,10 @@ fn run(with_rpa: bool, dedup_heuristic: bool, event: Event, seed: u64) -> NhgSta
         }
     }
     rig.net.run_until_quiescent().expect_converged();
-    rig.net.device(rig.du).expect("du").fib.nhg_stats()
+    span.finish(rig.net.now());
+    let delta = tel.metrics().snapshot().diff(&before);
+    let stats = rig.net.device(rig.du).expect("du").fib.nhg_stats();
+    (stats, delta, tel.phases().records())
 }
 
 fn main() {
@@ -70,20 +82,34 @@ fn main() {
         ("Route Attribute RPA", true, false, Event::Drain),
         ("Route Attribute RPA", true, false, Event::PowerOff),
     ];
+    let mut last_delta = None;
+    let mut phases: Vec<PhaseRecord> = Vec::new();
     for (label, rpa, dedup, event) in rows {
-        let stats = run(rpa, dedup, event, 34);
+        let (stats, delta, mut run_phases) = run(rpa, dedup, event, 34);
+        let event_name = match event {
+            Event::Drain => "drain",
+            Event::PowerOff => "power-off",
+        };
+        for p in &mut run_phases {
+            p.name = format!("{label} / {event_name}");
+        }
+        phases.extend(run_phases);
+        last_delta = Some(delta);
         table.row(&[
             label.into(),
-            match event {
-                Event::Drain => "drain".into(),
-                Event::PowerOff => "power-off".into(),
-            },
+            event_name.into(),
             stats.max_groups.to_string(),
             stats.group_creations.to_string(),
             stats.overflow_events.to_string(),
         ]);
     }
     println!("{}", table.render());
+    println!("Per-run convergence timing (maintenance event → quiescence):");
+    println!("{}", phase_table(&phases).render());
+    if let Some(delta) = last_delta {
+        println!("Telemetry delta for the final run (Route Attribute RPA, power-off):");
+        println!("{}", metrics_diff_table(&delta).render());
+    }
     println!("Combinatorial bound from the paper: up to s^m per-UU states and 4^8 = 65536");
     println!("possible groups at the DU.");
     println!();

@@ -45,7 +45,8 @@ fn run(safe_order: bool, seed: u64) -> Outcome {
         v
     };
     for (i, dev) in order.into_iter().enumerate() {
-        rig.net.deploy_rpa(dev, rig.rpa.clone(), (i as SimTime) * STAGGER_US + 500);
+        rig.net
+            .deploy_rpa(dev, rig.rpa.clone(), (i as SimTime) * STAGGER_US + 500);
     }
     let peak_fa_share = max_metric_during(&mut rig.net, |net| {
         let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
@@ -53,7 +54,10 @@ fn run(safe_order: bool, seed: u64) -> Outcome {
     });
     let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
     let steady = route_flows(&rig.net, &tm, DEFAULT_MAX_HOPS).funneling_ratio(&fa_group);
-    Outcome { peak_fa_share, steady_fa_share: steady }
+    Outcome {
+        peak_fa_share,
+        steady_fa_share: steady,
+    }
 }
 
 fn main() {
@@ -61,8 +65,11 @@ fn main() {
     println!("rig: BB originates D; FA1/FA2 with direct + DMAG backup paths; 2 SSWs\n");
     let unordered = run(false, 17);
     let safe = run(true, 17);
-    let mut table =
-        Table::new(&["deployment order", "peak single-FA share", "steady single-FA share"]);
+    let mut table = Table::new(&[
+        "deployment order",
+        "peak single-FA share",
+        "steady single-FA share",
+    ]);
     table.row(&[
         "uncoordinated (FA1 first)".into(),
         format!("{:.3}", unordered.peak_fa_share),

@@ -8,13 +8,22 @@ use centralium_bench::report::Table;
 use centralium_topology::MigrationCategory;
 
 fn main() {
-    let mut table = Table::new(&["Migration", "Operation Frequency", "Change Scope", "Typical Duration"]);
+    let mut table = Table::new(&[
+        "Migration",
+        "Operation Frequency",
+        "Change Scope",
+        "Typical Duration",
+    ]);
     for cat in MigrationCategory::ALL {
         let freq = match cat {
             MigrationCategory::TrafficDrainForMaintenance => "Daily",
             _ => "10+/year",
         };
-        let scope = if cat.is_multi_dc() { "Multi-DC" } else { "Sub-DC" };
+        let scope = if cat.is_multi_dc() {
+            "Multi-DC"
+        } else {
+            "Sub-DC"
+        };
         let days = cat.typical_duration_days();
         let duration = if days < 1.0 {
             "<1 hour".to_string()

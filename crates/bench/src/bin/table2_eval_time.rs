@@ -47,7 +47,10 @@ fn engine(cache: bool) -> RpaEngine {
         "equalize",
         PathSelectionStatement::select(
             Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
-            vec![PathSet::new("via-backbone", PathSignature::as_path("(^| )6\\d{4}$"))],
+            vec![PathSet::new(
+                "via-backbone",
+                PathSignature::as_path("(^| )6\\d{4}$"),
+            )],
         ),
     )))
     .expect("installs");
@@ -67,7 +70,13 @@ fn measure(e: &RpaEngine, routes: &[(Prefix, Vec<Route>)]) -> Vec<f64> {
 }
 
 fn row(label: &str, samples: &[f64]) {
-    let fmt = |v: f64| if v < 0.001 { "<0.001".to_string() } else { format!("{v:.3}") };
+    let fmt = |v: f64| {
+        if v < 0.001 {
+            "<0.001".to_string()
+        } else {
+            format!("{v:.3}")
+        }
+    };
     println!(
         "  {label:<10} p50 {:>8}  p95 {:>8}  p99 {:>8}   (ms)",
         fmt(percentile(samples, 50.0)),
@@ -96,8 +105,8 @@ fn main() {
         stats.cache_misses,
         100.0 * stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64
     );
-    let speedup = centralium_bench::stats::mean(&no_cache)
-        / centralium_bench::stats::mean(&cached).max(1e-9);
+    let speedup =
+        centralium_bench::stats::mean(&no_cache) / centralium_bench::stats::mean(&cached).max(1e-9);
     println!("mean speedup w/ cache: {speedup:.1}x");
     println!("\nPaper reference: w/o cache p50 <1, p95 2, p99 4 ms; w/ cache all <1 ms.");
     println!("Shape to check: cached evaluation is strictly faster at every percentile.");

@@ -1,5 +1,7 @@
 //! Plain-text table rendering for the regenerator binaries.
 
+use centralium_telemetry::{MetricsSnapshot, PhaseRecord};
+
 /// A simple fixed-width table.
 #[derive(Debug, Default)]
 pub struct Table {
@@ -10,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -21,6 +26,11 @@ impl Table {
 
     /// Render with column-aligned padding.
     pub fn render(&self) -> String {
+        // A zero-column table has nothing to align (and the separator-width
+        // arithmetic below would underflow on `widths.len() - 1`).
+        if self.header.is_empty() {
+            return String::new();
+        }
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
@@ -47,6 +57,54 @@ impl Table {
     }
 }
 
+/// Tabulate the non-zero entries of a metrics snapshot — typically a
+/// [`MetricsSnapshot::diff`] bracketing one experiment stage. Per-device
+/// update counters (`simnet.device.*`) are rolled up into a single total so
+/// large fabrics don't produce a thousand-row table.
+pub fn metrics_diff_table(snap: &MetricsSnapshot) -> Table {
+    let mut table = Table::new(&["metric", "value"]);
+    let mut device_updates = 0u64;
+    for (name, v) in &snap.counters {
+        if name.starts_with("simnet.device.") {
+            device_updates += v;
+        } else if *v != 0 {
+            table.row(&[name.clone(), v.to_string()]);
+        }
+    }
+    if device_updates != 0 {
+        table.row(&[
+            "simnet.device.*.updates (total)".into(),
+            device_updates.to_string(),
+        ]);
+    }
+    for (name, v) in &snap.gauges {
+        if *v != 0 {
+            table.row(&[name.clone(), v.to_string()]);
+        }
+    }
+    for (name, h) in &snap.histograms {
+        if h.count() > 0 {
+            let mean = h.mean().unwrap_or(0.0);
+            table.row(&[name.clone(), format!("count={} mean={mean:.2}", h.count())]);
+        }
+    }
+    table
+}
+
+/// Tabulate per-phase deployment timings from a
+/// [`PhaseTimer`](centralium_telemetry::PhaseTimer).
+pub fn phase_table(records: &[PhaseRecord]) -> Table {
+    let mut table = Table::new(&["phase", "wall (ms)", "sim (ms)"]);
+    for r in records {
+        table.row(&[
+            r.name.clone(),
+            format!("{:.3}", r.wall.as_secs_f64() * 1e3),
+            format!("{:.1}", r.sim_us as f64 / 1e3),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +126,34 @@ mod tests {
     fn arity_is_enforced() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn empty_header_renders_empty() {
+        // Regression: `widths.len() - 1` used to underflow and panic here.
+        assert_eq!(Table::new(&[]).render(), "");
+        assert_eq!(Table::default().render(), "");
+    }
+
+    #[test]
+    fn metrics_diff_table_rolls_up_device_counters() {
+        let reg = centralium_telemetry::MetricsRegistry::new();
+        reg.counter("simnet.device.d1.updates").add(3);
+        reg.counter("simnet.device.d2.updates").add(4);
+        reg.counter("bgp.decisions").add(9);
+        reg.counter("quiet").add(0);
+        let out = metrics_diff_table(&reg.snapshot()).render();
+        assert!(out.contains("simnet.device.*.updates (total)  7"));
+        assert!(out.contains("bgp.decisions"));
+        assert!(!out.contains("quiet"), "zero counters are elided:\n{out}");
+    }
+
+    #[test]
+    fn phase_table_lists_records() {
+        let timer = centralium_telemetry::PhaseTimer::new();
+        timer.span("plan", 0).finish(1_500);
+        let out = phase_table(&timer.records()).render();
+        assert!(out.contains("plan"));
+        assert!(out.contains("1.5"), "sim ms column:\n{out}");
     }
 }

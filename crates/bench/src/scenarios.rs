@@ -22,7 +22,13 @@ pub struct ConvergedFabric {
 /// Build and converge a standard fabric.
 pub fn converged_fabric(spec: &FabricSpec, seed: u64) -> ConvergedFabric {
     let (topo, idx, _) = build_fabric(spec);
-    let mut net = SimNet::new(topo, SimConfig { seed, ..Default::default() });
+    let mut net = SimNet::new(
+        topo,
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     net.establish_all();
     for &eb in &idx.backbone {
         net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
@@ -114,7 +120,10 @@ pub fn fig5_rig(n_prefixes: usize, du_nhg_capacity: usize, seed: u64, with_rpa: 
     let mut topo = Topology::new();
     let mut ebs = Vec::new();
     for n in 0..8u16 {
-        ebs.push(topo.add_device(DeviceName::new(Layer::Backbone, 0, n), Asn(60_000 + n as u32)));
+        ebs.push(topo.add_device(
+            DeviceName::new(Layer::Backbone, 0, n),
+            Asn(60_000 + n as u32),
+        ));
     }
     let mut uus = Vec::new();
     for n in 0..4u16 {
@@ -164,15 +173,22 @@ pub fn fig5_rig(n_prefixes: usize, du_nhg_capacity: usize, seed: u64, with_rpa: 
             .expect("guard installs");
     }
     net.establish_all();
-    let prefixes: Vec<Prefix> =
-        (0..n_prefixes).map(|i| Prefix::new(0x0A00_0000 + ((i as u32) << 8), 24)).collect();
+    let prefixes: Vec<Prefix> = (0..n_prefixes)
+        .map(|i| Prefix::new(0x0A00_0000 + ((i as u32) << 8), 24))
+        .collect();
     for &eb in &ebs {
         for &p in &prefixes {
             net.originate(eb, p, [well_known::BACKBONE_DEFAULT_ROUTE]);
         }
     }
     net.run_until_quiescent().expect_converged();
-    Fig5Rig { net, ebs, uus, du, prefixes }
+    Fig5Rig {
+        net,
+        ebs,
+        uus,
+        du,
+        prefixes,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -209,7 +225,11 @@ pub fn fig9_rig(least_favorable: bool, seed: u64) -> Fig9Rig {
     topo.add_link(r6, r5, 100.0);
     // Generic (non-layered) rig: the paper's Figure 9 routers peer freely,
     // so the fabric's valley-free base policies do not apply.
-    let cfg = SimConfig { seed, valley_free_policies: false, ..Default::default() };
+    let cfg = SimConfig {
+        seed,
+        valley_free_policies: false,
+        ..Default::default()
+    };
     let mut net = SimNet::new(topo, cfg);
     // R6 runs the Path Selection RPA: select every path originated by R1.
     let doc = RpaDocument::PathSelection(centralium_rpa::PathSelectionRpa::single(
@@ -231,7 +251,11 @@ pub fn fig9_rig(least_favorable: bool, seed: u64) -> Fig9Rig {
     let d = Prefix::new(0xC612_0000, 16);
     net.originate(r1, d, [well_known::BACKBONE_DEFAULT_ROUTE]);
     net.run_until_quiescent().expect_converged();
-    Fig9Rig { net, r: [r1, r2, r3, r4, r5, r6], d }
+    Fig9Rig {
+        net,
+        r: [r1, r2, r3, r4, r5, r6],
+        d,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -286,7 +310,13 @@ pub fn fig10_rig(seed: u64) -> Fig10Rig {
             topo.add_link(fsw, ssw, 100.0);
         }
     }
-    let mut net = SimNet::new(topo, SimConfig { seed, ..Default::default() });
+    let mut net = SimNet::new(
+        topo,
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     net.establish_all();
     net.originate(bb, Prefix::DEFAULT, [FIG10_DEST]);
     net.run_until_quiescent().expect_converged();
@@ -300,7 +330,15 @@ pub fn fig10_rig(seed: u64) -> Fig10Rig {
             )],
         ),
     ));
-    Fig10Rig { net, bb, dmag, fa: [fa1, fa2], ssws, fsws, rpa }
+    Fig10Rig {
+        net,
+        bb,
+        dmag,
+        fa: [fa1, fa2],
+        ssws,
+        fsws,
+        rpa,
+    }
 }
 
 /// A plausible RPC latency for scenario deployments, in µs.
@@ -328,19 +366,20 @@ pub fn fig14_sev(
     let mut fab = converged_fabric(&FabricSpec::tiny(), seed);
     let new_route: Prefix = "10.99.0.0/16".parse().expect("prefix");
     let ssws: Vec<DeviceId> = fab.idx.ssw.iter().flatten().copied().collect();
-    let intent = protected_origination(
-        well_known::RACK_PREFIX,
-        kind,
-        MinNextHop::Absolute(2),
-        ssws,
-    );
+    let intent =
+        protected_origination(well_known::RACK_PREFIX, kind, MinNextHop::Absolute(2), ssws);
     for (dev, doc) in compile_intent(fab.net.topology(), &intent).expect("compiles") {
         fab.net.deploy_rpa(dev, doc, SCENARIO_RPC_US);
     }
     fab.net.run_until_quiescent().expect_converged();
     let bad_fa = fab.idx.fadu[0][0];
-    let upstream: Vec<DeviceId> =
-        fab.net.topology().uplinks(bad_fa).into_iter().map(|(up, _)| up).collect();
+    let upstream: Vec<DeviceId> = fab
+        .net
+        .topology()
+        .uplinks(bad_fa)
+        .into_iter()
+        .map(|(up, _)| up)
+        .collect();
     for up in upstream {
         fab.net.schedule_in(
             0,
@@ -358,7 +397,8 @@ pub fn fig14_sev(
         );
     }
     fab.net.run_until_quiescent().expect_converged();
-    fab.net.originate(bad_fa, new_route, [well_known::RACK_PREFIX]);
+    fab.net
+        .originate(bad_fa, new_route, [well_known::RACK_PREFIX]);
     fab.net.run_until_quiescent().expect_converged();
     let sources: Vec<DeviceId> = fab.idx.rsw.iter().flatten().copied().collect();
     let tm = TrafficMatrix::uniform(&sources, "10.99.1.0/24".parse().expect("prefix"), 10.0);
@@ -385,7 +425,10 @@ mod tests {
         let rig = fig9_rig(true, 5);
         let tm = TrafficMatrix::uniform(&[rig.r[5]], rig.d, 10.0);
         let report = route_flows(&rig.net, &tm, DEFAULT_MAX_HOPS);
-        assert!(report.looped_gbps < 1e-9, "no loop with least-favorable rule");
+        assert!(
+            report.looped_gbps < 1e-9,
+            "no loop with least-favorable rule"
+        );
         assert!((report.delivered_gbps - 10.0).abs() < 1e-6);
         // R6 really does load-balance over R2 and R5.
         let r6 = rig.net.device(rig.r[5]).unwrap();
@@ -410,13 +453,29 @@ mod tests {
     fn fig10_rig_baseline_prefers_direct_paths() {
         let rig = fig10_rig(4);
         for &fa in &rig.fa {
-            let entry = rig.net.device(fa).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
-            assert_eq!(entry.nexthops.len(), 1, "direct BB link preferred over DMAG");
+            let entry = rig
+                .net
+                .device(fa)
+                .unwrap()
+                .fib
+                .entry(Prefix::DEFAULT)
+                .unwrap();
+            assert_eq!(
+                entry.nexthops.len(),
+                1,
+                "direct BB link preferred over DMAG"
+            );
             assert_eq!(entry.nexthops[0].0.device(), rig.bb.0);
         }
         // SSWs balance over both FAs.
         for &ssw in &rig.ssws {
-            let entry = rig.net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+            let entry = rig
+                .net
+                .device(ssw)
+                .unwrap()
+                .fib
+                .entry(Prefix::DEFAULT)
+                .unwrap();
             assert_eq!(entry.nexthops.len(), 2);
         }
     }

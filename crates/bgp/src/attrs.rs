@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Route origin code, in preference order IGP < EGP < Incomplete.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum Origin {
     /// Network-statement style origination (most preferred).
     #[default]
@@ -194,7 +196,10 @@ mod tests {
         a.add_community(Community(10));
         a.add_community(Community(20));
         a.add_community(Community(10));
-        assert_eq!(a.communities, vec![Community(10), Community(20), Community(30)]);
+        assert_eq!(
+            a.communities,
+            vec![Community(10), Community(20), Community(30)]
+        );
         a.remove_community(Community(20));
         assert_eq!(a.communities, vec![Community(10), Community(30)]);
         assert!(a.has_community(Community(10)));

@@ -13,6 +13,7 @@ use crate::policy::{Policy, PolicyVerdict};
 use crate::rib::{AdjRibIn, LocRibEntry, Route};
 use crate::types::{PeerId, Prefix};
 use crate::wcmp;
+use centralium_telemetry::{Counter, EventKind, Severity, Telemetry};
 use centralium_topology::Asn;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -96,6 +97,36 @@ pub struct FibEntry {
     pub warm: bool,
 }
 
+/// Telemetry binding of one speaker: disabled (and free) by default,
+/// attached by the host via [`BgpDaemon::set_telemetry`]. Boxed so an
+/// unbound daemon carries one pointer of overhead, and skipped during
+/// (de)serialization — a restored daemon starts unbound.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonTelemetry(Option<Box<DaemonTelemetryInner>>);
+
+#[derive(Debug, Clone)]
+struct DaemonTelemetryInner {
+    telemetry: Telemetry,
+    /// Emitter label on journal events, e.g. `"d12"`.
+    scope: String,
+    decisions: Counter,
+    best_path_changes: Counter,
+}
+
+// The binding is process-local (live counter handles); a deserialized
+// daemon always starts unbound.
+impl Serialize for DaemonTelemetry {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for DaemonTelemetry {
+    fn deserialize(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(DaemonTelemetry::default())
+    }
+}
+
 /// A BGP speaker.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BgpDaemon {
@@ -105,6 +136,8 @@ pub struct BgpDaemon {
     originated: BTreeMap<Prefix, PathAttributes>,
     loc_rib: BTreeMap<Prefix, LocRibEntry>,
     adj_rib_out: BTreeMap<(PeerId, Prefix), PathAttributes>,
+    #[serde(skip)]
+    telemetry: DaemonTelemetry,
 }
 
 impl BgpDaemon {
@@ -117,12 +150,25 @@ impl BgpDaemon {
             originated: BTreeMap::new(),
             loc_rib: BTreeMap::new(),
             adj_rib_out: BTreeMap::new(),
+            telemetry: DaemonTelemetry::default(),
         }
     }
 
     /// Own ASN.
     pub fn asn(&self) -> Asn {
         self.cfg.asn
+    }
+
+    /// Attach telemetry: decision/best-path-change counters plus
+    /// [`EventKind::BgpDecision`] journal events labeled `scope`.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry, scope: impl Into<String>) {
+        let m = telemetry.metrics();
+        self.telemetry = DaemonTelemetry(Some(Box::new(DaemonTelemetryInner {
+            telemetry: telemetry.clone(),
+            scope: scope.into(),
+            decisions: m.counter("bgp.decisions"),
+            best_path_changes: m.counter("bgp.best_path_changes"),
+        })));
     }
 
     /// Mutable access to the speaker config (used by ablations).
@@ -132,11 +178,21 @@ impl BgpDaemon {
 
     /// Register a session (initially down).
     pub fn add_peer(&mut self, cfg: PeerConfig) {
-        self.peers.insert(cfg.peer, PeerState { cfg, established: false });
+        self.peers.insert(
+            cfg.peer,
+            PeerState {
+                cfg,
+                established: false,
+            },
+        );
     }
 
     /// Remove a session entirely, flushing its routes. Returns updates.
-    pub fn remove_peer(&mut self, peer: PeerId, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+    pub fn remove_peer(
+        &mut self,
+        peer: PeerId,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
         let out = self.peer_down(peer, policy);
         self.peers.remove(&peer);
         let keys: Vec<(PeerId, Prefix)> = self
@@ -198,7 +254,10 @@ impl BgpDaemon {
 
     /// Whether a session is established.
     pub fn is_established(&self, peer: PeerId) -> bool {
-        self.peers.get(&peer).map(|p| p.established).unwrap_or(false)
+        self.peers
+            .get(&peer)
+            .map(|p| p.established)
+            .unwrap_or(false)
     }
 
     /// Number of established sessions.
@@ -209,7 +268,11 @@ impl BgpDaemon {
     // ---- event entry points -------------------------------------------------
 
     /// Session reached Established: advertise the current table to it.
-    pub fn peer_up(&mut self, peer: PeerId, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+    pub fn peer_up(
+        &mut self,
+        peer: PeerId,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
         let Some(state) = self.peers.get_mut(&peer) else {
             return Vec::new();
         };
@@ -234,7 +297,11 @@ impl BgpDaemon {
     }
 
     /// Session dropped: flush its routes and re-run decisions.
-    pub fn peer_down(&mut self, peer: PeerId, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+    pub fn peer_down(
+        &mut self,
+        peer: PeerId,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
         let Some(state) = self.peers.get_mut(&peer) else {
             return Vec::new();
         };
@@ -263,7 +330,11 @@ impl BgpDaemon {
         mut attrs: PathAttributes,
         policy: &dyn RibPolicy,
     ) -> Vec<(PeerId, UpdateMessage)> {
-        if attrs.link_bandwidth_gbps.map(|b| !b.is_finite()).unwrap_or(false) {
+        if attrs
+            .link_bandwidth_gbps
+            .map(|b| !b.is_finite())
+            .unwrap_or(false)
+        {
             attrs.link_bandwidth_gbps = None;
         }
         self.originated.insert(prefix, attrs);
@@ -271,7 +342,11 @@ impl BgpDaemon {
     }
 
     /// Stop originating a local route.
-    pub fn withdraw_origin(&mut self, prefix: Prefix, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+    pub fn withdraw_origin(
+        &mut self,
+        prefix: Prefix,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
         if self.originated.remove(&prefix).is_none() {
             return Vec::new();
         }
@@ -314,7 +389,11 @@ impl BgpDaemon {
                     // A non-finite link-bandwidth value would poison both
                     // weight derivation and the Adj-RIB-Out equality diff
                     // (NaN != NaN ⇒ perpetual re-announcement churn).
-                    if attrs.link_bandwidth_gbps.map(|b| !b.is_finite()).unwrap_or(false) {
+                    if attrs
+                        .link_bandwidth_gbps
+                        .map(|b| !b.is_finite())
+                        .unwrap_or(false)
+                    {
                         attrs.link_bandwidth_gbps = None;
                     }
                     let route = Route::learned(prefix, attrs, from);
@@ -349,11 +428,9 @@ impl BgpDaemon {
         // (§4.3). As in real BGP, re-admitting them after the filter is
         // lifted requires the peer to re-advertise (route refresh) or the
         // session to bounce.
-        let purged = self.adj_rib_in.purge(|r| {
-            match r.learned_from {
-                Some(peer) => policy.permit_ingress(peer, r.prefix, r),
-                None => true,
-            }
+        let purged = self.adj_rib_in.purge(|r| match r.learned_from {
+            Some(peer) => policy.permit_ingress(peer, r.prefix, r),
+            None => true,
         });
         let mut prefixes: BTreeSet<Prefix> = purged.into_iter().collect();
         prefixes.extend(self.adj_rib_in.prefixes());
@@ -418,7 +495,11 @@ impl BgpDaemon {
                     return None;
                 }
                 nexthops.sort_unstable_by_key(|(p, _)| *p);
-                Some(FibEntry { prefix: *prefix, nexthops, warm: entry.fib_warm_only })
+                Some(FibEntry {
+                    prefix: *prefix,
+                    nexthops,
+                    warm: entry.fib_warm_only,
+                })
             })
             .collect()
     }
@@ -470,13 +551,20 @@ impl BgpDaemon {
         }
     }
 
-    fn run_decisions(&mut self, prefixes: Vec<Prefix>, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
+    fn run_decisions(
+        &mut self,
+        prefixes: Vec<Prefix>,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
         let mut unique: BTreeSet<Prefix> = prefixes.into_iter().collect();
         let mut per_peer: BTreeMap<PeerId, UpdateMessage> = BTreeMap::new();
         for prefix in std::mem::take(&mut unique) {
             self.decide_prefix(prefix, policy, &mut per_peer);
         }
-        per_peer.into_iter().filter(|(_, u)| !u.is_empty()).collect()
+        per_peer
+            .into_iter()
+            .filter(|(_, u)| !u.is_empty())
+            .collect()
     }
 
     fn decide_prefix(
@@ -503,8 +591,11 @@ impl BgpDaemon {
                     None
                 }
             } else {
-                let selected: Vec<Route> =
-                    sel.selected.iter().map(|&i| candidates[i].clone()).collect();
+                let selected: Vec<Route> = sel
+                    .selected
+                    .iter()
+                    .map(|&i| candidates[i].clone())
+                    .collect();
                 let weights = self.weights_for(prefix, &selected, policy);
                 let advertised = match sel.advertise {
                     AdvertiseChoice::Withdraw => None,
@@ -517,7 +608,12 @@ impl BgpDaemon {
                         }
                     }
                 };
-                Some(LocRibEntry { selected, weights, advertised, fib_warm_only: false })
+                Some(LocRibEntry {
+                    selected,
+                    weights,
+                    advertised,
+                    fib_warm_only: false,
+                })
             }
         } else {
             // Native selection.
@@ -566,7 +662,9 @@ impl BgpDaemon {
                         .into_iter()
                         .zip(prior.weights)
                         .filter(|(r, _)| {
-                            r.learned_from.map(|p| self.is_established(p)).unwrap_or(true)
+                            r.learned_from
+                                .map(|p| self.is_established(p))
+                                .unwrap_or(true)
                         })
                         .unzip();
                     if kept.is_empty() {
@@ -587,9 +685,33 @@ impl BgpDaemon {
             } else {
                 let weights = self.weights_for(prefix, &selected, policy);
                 let advertised = best_route(&selected).cloned();
-                Some(LocRibEntry { selected, weights, advertised, fib_warm_only: false })
+                Some(LocRibEntry {
+                    selected,
+                    weights,
+                    advertised,
+                    fib_warm_only: false,
+                })
             }
         };
+
+        if let DaemonTelemetry(Some(tel)) = &self.telemetry {
+            tel.decisions.inc();
+            let prev_adv = previous.as_ref().and_then(|e| e.advertised.as_ref());
+            let new_adv = new_entry.as_ref().and_then(|e| e.advertised.as_ref());
+            if prev_adv != new_adv {
+                tel.best_path_changes.inc();
+                if tel.telemetry.journal_enabled() {
+                    tel.telemetry.record(
+                        tel.telemetry
+                            .event(EventKind::BgpDecision, Severity::Debug)
+                            .field("device", tel.scope.as_str())
+                            .field("prefix", prefix.to_string())
+                            .field("had_path", prev_adv.is_some())
+                            .field("has_path", new_adv.is_some()),
+                    );
+                }
+            }
+        }
 
         match &new_entry {
             Some(e) => {
@@ -614,7 +736,10 @@ impl BgpDaemon {
                 (None, None) => {}
                 (Some(_), None) => {
                     self.adj_rib_out.remove(&(peer, prefix));
-                    per_peer.entry(peer).or_default().merge(UpdateMessage::withdraw(prefix));
+                    per_peer
+                        .entry(peer)
+                        .or_default()
+                        .merge(UpdateMessage::withdraw(prefix));
                 }
                 (cur, Some(want)) => {
                     if cur.as_ref() != Some(&want) {
@@ -736,11 +861,18 @@ mod tests {
         let mut d = daemon(1);
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
-        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 5]), &NativePolicy);
+        let out = d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 5]),
+            &NativePolicy,
+        );
         // Propagated to peer 20 only (split horizon suppresses peer 10).
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, PeerId(20));
-        assert_eq!(out[0].1.announced[0].1.as_path, vec![Asn(1), Asn(2), Asn(5)]);
+        assert_eq!(
+            out[0].1.announced[0].1.as_path,
+            vec![Asn(1), Asn(2), Asn(5)]
+        );
         let entry = d.loc_rib_entry(p("0.0.0.0/0")).unwrap();
         assert_eq!(entry.selected.len(), 1);
         assert_eq!(d.fib().len(), 1);
@@ -750,7 +882,11 @@ mod tests {
     fn loop_prevention_discards_own_asn() {
         let mut d = daemon(1);
         connect(&mut d, 10, 2);
-        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 1, 5]), &NativePolicy);
+        let out = d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 1, 5]),
+            &NativePolicy,
+        );
         assert!(out.is_empty());
         assert!(d.loc_rib_entry(p("0.0.0.0/0")).is_none());
     }
@@ -760,8 +896,16 @@ mod tests {
         let mut d = daemon(1);
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
-        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
+        d.handle_update(
+            PeerId(20),
+            announce(20, "0.0.0.0/0", &[3, 9]),
+            &NativePolicy,
+        );
         let fib = d.fib();
         assert_eq!(fib.len(), 1);
         assert_eq!(fib[0].nexthops.len(), 2);
@@ -774,11 +918,23 @@ mod tests {
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
         connect(&mut d, 30, 4);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 8, 9]), &NativePolicy);
-        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 8, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 8, 9]),
+            &NativePolicy,
+        );
+        d.handle_update(
+            PeerId(20),
+            announce(20, "0.0.0.0/0", &[3, 8, 9]),
+            &NativePolicy,
+        );
         assert_eq!(d.fib()[0].nexthops.len(), 2);
         // The "FAv2" path: one hop shorter. Native BGP funnels onto it.
-        d.handle_update(PeerId(30), announce(30, "0.0.0.0/0", &[4, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(30),
+            announce(30, "0.0.0.0/0", &[4, 9]),
+            &NativePolicy,
+        );
         let fib = d.fib();
         assert_eq!(fib[0].nexthops, vec![(PeerId(30), 1)]);
     }
@@ -788,8 +944,16 @@ mod tests {
         let mut d = daemon(1);
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
-        let out = d.handle_update(PeerId(10), UpdateMessage::withdraw(p("0.0.0.0/0")), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
+        let out = d.handle_update(
+            PeerId(10),
+            UpdateMessage::withdraw(p("0.0.0.0/0")),
+            &NativePolicy,
+        );
         assert!(d.loc_rib_entry(p("0.0.0.0/0")).is_none());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, PeerId(20));
@@ -802,8 +966,16 @@ mod tests {
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
         connect(&mut d, 30, 4);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
-        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
+        d.handle_update(
+            PeerId(20),
+            announce(20, "0.0.0.0/0", &[3, 9]),
+            &NativePolicy,
+        );
         assert_eq!(d.fib()[0].nexthops.len(), 2);
         let out = d.peer_down(PeerId(10), &NativePolicy);
         // Last router standing: all traffic now on peer 20.
@@ -819,9 +991,17 @@ mod tests {
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
         connect(&mut d, 30, 4);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 8, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 8, 9]),
+            &NativePolicy,
+        );
         // Shorter path arrives; best changes; peers see new attrs.
-        let out = d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        let out = d.handle_update(
+            PeerId(20),
+            announce(20, "0.0.0.0/0", &[3, 9]),
+            &NativePolicy,
+        );
         let to30 = out.iter().find(|(p, _)| *p == PeerId(30)).unwrap();
         assert_eq!(to30.1.announced[0].1.as_path, vec![Asn(1), Asn(3), Asn(9)]);
     }
@@ -837,7 +1017,11 @@ mod tests {
             link_capacity_gbps: 100.0,
         });
         d.peer_up(PeerId(10), &NativePolicy);
-        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        let out = d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
         assert!(out.is_empty());
         assert!(d.loc_rib_entry(p("0.0.0.0/0")).is_none());
     }
@@ -854,8 +1038,15 @@ mod tests {
             link_capacity_gbps: 100.0,
         });
         d.peer_up(PeerId(20), &NativePolicy);
-        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
-        assert!(out.is_empty(), "export reject-all suppresses all advertisements");
+        let out = d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
+        assert!(
+            out.is_empty(),
+            "export reject-all suppresses all advertisements"
+        );
     }
 
     #[test]
@@ -869,8 +1060,16 @@ mod tests {
         let mut a2 = PathAttributes::default();
         a2.prepend(Asn(3), 1);
         a2.link_bandwidth_gbps = Some(300.0);
-        d.handle_update(PeerId(10), UpdateMessage::announce(p("0.0.0.0/0"), a1), &NativePolicy);
-        d.handle_update(PeerId(20), UpdateMessage::announce(p("0.0.0.0/0"), a2), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            UpdateMessage::announce(p("0.0.0.0/0"), a1),
+            &NativePolicy,
+        );
+        d.handle_update(
+            PeerId(20),
+            UpdateMessage::announce(p("0.0.0.0/0"), a2),
+            &NativePolicy,
+        );
         let fib = d.fib();
         assert_eq!(fib[0].nexthops, vec![(PeerId(10), 1), (PeerId(20), 3)]);
     }
@@ -882,8 +1081,16 @@ mod tests {
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
         connect(&mut d, 30, 4);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
-        let out = d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
+        let out = d.handle_update(
+            PeerId(20),
+            announce(20, "0.0.0.0/0", &[3, 9]),
+            &NativePolicy,
+        );
         let to30 = out.iter().find(|(pp, _)| *pp == PeerId(30)).unwrap();
         // Two selected 100G paths => 200G effective capacity advertised.
         assert_eq!(to30.1.announced[0].1.link_bandwidth_gbps, Some(200.0));
@@ -894,8 +1101,16 @@ mod tests {
         let mut d = daemon(1);
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
-        let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
+        let out = d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
         assert!(out.is_empty(), "identical re-announcement must not churn");
     }
 
@@ -904,7 +1119,11 @@ mod tests {
         let mut d = daemon(1);
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
         let out = d.remove_peer(PeerId(10), &NativePolicy);
         assert!(d.loc_rib_entry(p("0.0.0.0/0")).is_none());
         let to20 = out.iter().find(|(pp, _)| *pp == PeerId(20)).unwrap();
@@ -961,7 +1180,9 @@ mod tests {
         // The next-hop returns: the guard un-trips and the route is
         // re-advertised with a live (non-warm) entry.
         let out = d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &Guard);
-        assert!(out.iter().any(|(pp, u)| *pp == PeerId(30) && !u.announced.is_empty()));
+        assert!(out
+            .iter()
+            .any(|(pp, u)| *pp == PeerId(30) && !u.announced.is_empty()));
         let fib = d.fib();
         assert!(!fib[0].warm);
         assert_eq!(fib[0].nexthops.len(), 2);
@@ -986,7 +1207,11 @@ mod tests {
         d.peer_down(PeerId(10), &Guard);
         let fib = d.fib();
         assert!(fib[0].warm);
-        assert_eq!(fib[0].nexthops, vec![(PeerId(20), 1)], "dead session pruned");
+        assert_eq!(
+            fib[0].nexthops,
+            vec![(PeerId(20), 1)],
+            "dead session pruned"
+        );
         // Removing the remaining session removes the entry entirely.
         d.peer_down(PeerId(20), &Guard);
         assert!(d.fib().is_empty());
@@ -1006,10 +1231,16 @@ mod tests {
             &NativePolicy,
         );
         let stored = d.rib_in_routes(p("0.0.0.0/0"))[0];
-        assert_eq!(stored.attrs.link_bandwidth_gbps, None, "NaN stripped at ingestion");
+        assert_eq!(
+            stored.attrs.link_bandwidth_gbps, None,
+            "NaN stripped at ingestion"
+        );
         // Identical re-announcement stays silent (no NaN != NaN churn).
-        let out =
-            d.handle_update(PeerId(10), UpdateMessage::announce(p("0.0.0.0/0"), attrs), &NativePolicy);
+        let out = d.handle_update(
+            PeerId(10),
+            UpdateMessage::announce(p("0.0.0.0/0"), attrs),
+            &NativePolicy,
+        );
         assert!(out.is_empty());
     }
 
@@ -1019,9 +1250,16 @@ mod tests {
         d.config_mut().multipath = false;
         connect(&mut d, 10, 2);
         connect(&mut d, 20, 3);
-        d.handle_update(PeerId(10), announce(10, "0.0.0.0/0", &[2, 9]), &NativePolicy);
-        d.handle_update(PeerId(20), announce(20, "0.0.0.0/0", &[3, 9]), &NativePolicy);
+        d.handle_update(
+            PeerId(10),
+            announce(10, "0.0.0.0/0", &[2, 9]),
+            &NativePolicy,
+        );
+        d.handle_update(
+            PeerId(20),
+            announce(20, "0.0.0.0/0", &[3, 9]),
+            &NativePolicy,
+        );
         assert_eq!(d.fib()[0].nexthops.len(), 1);
     }
-
 }

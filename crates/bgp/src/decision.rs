@@ -58,16 +58,18 @@ impl PathPreference {
 /// Full comparison including the deterministic tie-break. `Greater` means `a`
 /// is preferred over `b`.
 pub fn compare_routes(a: &Route, b: &Route) -> Ordering {
-    PathPreference::of(a).compare(&PathPreference::of(b)).then_with(|| {
-        // Tie-break: local routes beat learned; then lowest session id wins,
-        // expressed as reverse ordering on the id.
-        match (a.learned_from, b.learned_from) {
-            (None, None) => Ordering::Equal,
-            (None, Some(_)) => Ordering::Greater,
-            (Some(_), None) => Ordering::Less,
-            (Some(x), Some(y)) => y.cmp(&x),
-        }
-    })
+    PathPreference::of(a)
+        .compare(&PathPreference::of(b))
+        .then_with(|| {
+            // Tie-break: local routes beat learned; then lowest session id wins,
+            // expressed as reverse ordering on the id.
+            match (a.learned_from, b.learned_from) {
+                (None, None) => Ordering::Equal,
+                (None, Some(_)) => Ordering::Greater,
+                (Some(_), None) => Ordering::Less,
+                (Some(x), Some(y)) => y.cmp(&x),
+            }
+        })
 }
 
 /// The single best route among candidates, or `None` if empty.
@@ -79,7 +81,11 @@ pub fn best_route(candidates: &[Route]) -> Option<&Route> {
 /// best route's. Returns indices into `candidates` in input order (stable),
 /// so callers can zip with per-candidate metadata.
 pub fn multipath_set(candidates: &[Route]) -> Vec<usize> {
-    let Some(best) = candidates.iter().map(PathPreference::of).max_by(|a, b| a.compare(b)) else {
+    let Some(best) = candidates
+        .iter()
+        .map(PathPreference::of)
+        .max_by(|a, b| a.compare(b))
+    else {
         return Vec::new();
     };
     candidates

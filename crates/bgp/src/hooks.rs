@@ -57,7 +57,11 @@ impl Selection {
 
     /// A withdraw outcome.
     pub fn withdraw(keep_fib_warm: bool) -> Self {
-        Selection { selected: Vec::new(), advertise: AdvertiseChoice::Withdraw, keep_fib_warm }
+        Selection {
+            selected: Vec::new(),
+            advertise: AdvertiseChoice::Withdraw,
+            keep_fib_warm,
+        }
     }
 }
 
@@ -119,7 +123,9 @@ mod tests {
         let route = Route::local(Prefix::DEFAULT, PathAttributes::default());
         assert!(p.permit_ingress(PeerId(1), Prefix::DEFAULT, &route));
         assert!(p.permit_egress(PeerId(1), Prefix::DEFAULT, &route));
-        assert!(p.select_paths(Prefix::DEFAULT, &[route.clone()]).is_none());
+        assert!(p
+            .select_paths(Prefix::DEFAULT, std::slice::from_ref(&route))
+            .is_none());
         assert!(p.assign_weights(Prefix::DEFAULT, &[route]).is_none());
         assert!(p.native_min_nexthop(Prefix::DEFAULT).is_none());
     }

@@ -24,12 +24,18 @@ pub struct UpdateMessage {
 impl UpdateMessage {
     /// An update announcing a single prefix.
     pub fn announce(prefix: Prefix, attrs: PathAttributes) -> Self {
-        UpdateMessage { withdrawn: Vec::new(), announced: vec![(prefix, attrs)] }
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            announced: vec![(prefix, attrs)],
+        }
     }
 
     /// An update withdrawing a single prefix.
     pub fn withdraw(prefix: Prefix) -> Self {
-        UpdateMessage { withdrawn: vec![prefix], announced: Vec::new() }
+        UpdateMessage {
+            withdrawn: vec![prefix],
+            announced: Vec::new(),
+        }
     }
 
     /// Whether the update carries no routing information.
@@ -110,7 +116,10 @@ mod tests {
     #[test]
     fn merge_later_announce_wins_over_withdraw() {
         let mut m = UpdateMessage::withdraw(p("10.0.0.0/8"));
-        m.merge(UpdateMessage::announce(p("10.0.0.0/8"), PathAttributes::default()));
+        m.merge(UpdateMessage::announce(
+            p("10.0.0.0/8"),
+            PathAttributes::default(),
+        ));
         assert!(m.withdrawn.is_empty());
         assert_eq!(m.announced.len(), 1);
     }
@@ -125,8 +134,10 @@ mod tests {
 
     #[test]
     fn merge_replaces_same_prefix_announcement() {
-        let mut attrs2 = PathAttributes::default();
-        attrs2.local_pref = 200;
+        let attrs2 = PathAttributes {
+            local_pref: 200,
+            ..Default::default()
+        };
         let mut m = UpdateMessage::announce(p("10.0.0.0/8"), PathAttributes::default());
         m.merge(UpdateMessage::announce(p("10.0.0.0/8"), attrs2.clone()));
         assert_eq!(m.announced.len(), 1);

@@ -35,12 +35,18 @@ impl MatchExpr {
 
     /// Match routes carrying `c`.
     pub fn community(c: Community) -> Self {
-        MatchExpr { any_community: vec![c], ..Default::default() }
+        MatchExpr {
+            any_community: vec![c],
+            ..Default::default()
+        }
     }
 
     /// Match exactly `prefix`.
     pub fn exact(prefix: Prefix) -> Self {
-        MatchExpr { prefix_exact: Some(prefix), ..Default::default() }
+        MatchExpr {
+            prefix_exact: Some(prefix),
+            ..Default::default()
+        }
     }
 
     /// Evaluate against a route.
@@ -114,7 +120,10 @@ impl PolicyRule {
 
     /// Rule that rejects matches outright.
     pub fn reject(matches: MatchExpr) -> Self {
-        PolicyRule { matches, actions: vec![Action::Reject] }
+        PolicyRule {
+            matches,
+            actions: vec![Action::Reject],
+        }
     }
 }
 
@@ -155,12 +164,18 @@ impl Default for Policy {
 impl Policy {
     /// Accept everything unchanged.
     pub fn accept_all() -> Self {
-        Policy { rules: Vec::new(), default_accept: true }
+        Policy {
+            rules: Vec::new(),
+            default_accept: true,
+        }
     }
 
     /// Reject everything.
     pub fn reject_all() -> Self {
-        Policy { rules: Vec::new(), default_accept: false }
+        Policy {
+            rules: Vec::new(),
+            default_accept: false,
+        }
     }
 
     /// Add a rule, builder-style.
@@ -213,7 +228,9 @@ mod tests {
             PolicyVerdict::Accept(out) => assert_eq!(out, attrs),
             PolicyVerdict::Reject => panic!("should accept"),
         }
-        assert!(!Policy::reject_all().apply(&p("10.0.0.0/8"), &attrs).is_accept());
+        assert!(!Policy::reject_all()
+            .apply(&p("10.0.0.0/8"), &attrs)
+            .is_accept());
     }
 
     #[test]
@@ -228,7 +245,10 @@ mod tests {
             PolicyVerdict::Accept(out) => assert_eq!(out.local_pref, 200),
             PolicyVerdict::Reject => panic!("tagged route should pass"),
         }
-        assert_eq!(policy.apply(&Prefix::DEFAULT, &plain), PolicyVerdict::Reject);
+        assert_eq!(
+            policy.apply(&Prefix::DEFAULT, &plain),
+            PolicyVerdict::Reject
+        );
     }
 
     #[test]
@@ -248,7 +268,10 @@ mod tests {
 
     #[test]
     fn prefix_within_and_exact_matching() {
-        let within = MatchExpr { prefix_within: Some(p("10.0.0.0/8")), ..Default::default() };
+        let within = MatchExpr {
+            prefix_within: Some(p("10.0.0.0/8")),
+            ..Default::default()
+        };
         assert!(within.matches(&p("10.3.0.0/16"), &PathAttributes::default()));
         assert!(!within.matches(&p("11.0.0.0/8"), &PathAttributes::default()));
         let exact = MatchExpr::exact(p("10.0.0.0/8"));
@@ -260,10 +283,22 @@ mod tests {
     fn as_path_criteria() {
         let mut attrs = PathAttributes::default();
         attrs.prepend(Asn(7), 3);
-        let has = MatchExpr { as_path_contains: Some(Asn(7)), ..Default::default() };
-        let hasnt = MatchExpr { as_path_contains: Some(Asn(8)), ..Default::default() };
-        let long = MatchExpr { min_as_path_len: Some(3), ..Default::default() };
-        let longer = MatchExpr { min_as_path_len: Some(4), ..Default::default() };
+        let has = MatchExpr {
+            as_path_contains: Some(Asn(7)),
+            ..Default::default()
+        };
+        let hasnt = MatchExpr {
+            as_path_contains: Some(Asn(8)),
+            ..Default::default()
+        };
+        let long = MatchExpr {
+            min_as_path_len: Some(3),
+            ..Default::default()
+        };
+        let longer = MatchExpr {
+            min_as_path_len: Some(4),
+            ..Default::default()
+        };
         assert!(has.matches(&Prefix::DEFAULT, &attrs));
         assert!(!hasnt.matches(&Prefix::DEFAULT, &attrs));
         assert!(long.matches(&Prefix::DEFAULT, &attrs));
@@ -274,7 +309,10 @@ mod tests {
     fn first_terminal_action_wins() {
         // Rule 1 modifies then accepts; rule 2 would reject but is never hit.
         let policy = Policy::accept_all()
-            .rule(PolicyRule::accept(MatchExpr::any(), vec![Action::SetMed(5)]))
+            .rule(PolicyRule::accept(
+                MatchExpr::any(),
+                vec![Action::SetMed(5)],
+            ))
             .rule(PolicyRule::reject(MatchExpr::any()));
         let verdict = policy.apply(&Prefix::DEFAULT, &PathAttributes::default());
         match verdict {

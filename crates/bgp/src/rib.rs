@@ -21,12 +21,20 @@ pub struct Route {
 impl Route {
     /// A route learned from a peer.
     pub fn learned(prefix: Prefix, attrs: PathAttributes, peer: PeerId) -> Self {
-        Route { prefix, attrs, learned_from: Some(peer) }
+        Route {
+            prefix,
+            attrs,
+            learned_from: Some(peer),
+        }
     }
 
     /// A locally-originated route.
     pub fn local(prefix: Prefix, attrs: PathAttributes) -> Self {
-        Route { prefix, attrs, learned_from: None }
+        Route {
+            prefix,
+            attrs,
+            learned_from: None,
+        }
     }
 
     /// Whether the route came from the local speaker.
@@ -170,13 +178,21 @@ impl LocRibEntry {
     /// Entry with equal weights.
     pub fn ecmp(selected: Vec<Route>, advertised: Option<Route>) -> Self {
         let weights = vec![1; selected.len()];
-        LocRibEntry { selected, weights, advertised, fib_warm_only: false }
+        LocRibEntry {
+            selected,
+            weights,
+            advertised,
+            fib_warm_only: false,
+        }
     }
 
     /// Next-hop sessions of the selected routes (local routes contribute no
     /// next-hop).
     pub fn nexthop_sessions(&self) -> Vec<PeerId> {
-        self.selected.iter().filter_map(|r| r.learned_from).collect()
+        self.selected
+            .iter()
+            .filter_map(|r| r.learned_from)
+            .collect()
     }
 }
 
@@ -200,7 +216,13 @@ mod tests {
         newer.attrs.local_pref = 500;
         rib.insert(newer);
         assert_eq!(rib.len(), 1, "same (peer, prefix) replaces");
-        assert_eq!(rib.route(PeerId(1), p("10.0.0.0/8")).unwrap().attrs.local_pref, 500);
+        assert_eq!(
+            rib.route(PeerId(1), p("10.0.0.0/8"))
+                .unwrap()
+                .attrs
+                .local_pref,
+            500
+        );
     }
 
     #[test]

@@ -90,8 +90,9 @@ impl Session {
         let was_established = self.state == SessionState::Established;
         self.state = SessionState::Idle;
         self.hold_time_secs = Self::DEFAULT_HOLD_SECS;
-        let mut actions =
-            vec![SessionAction::Send(BgpMessage::Notification(NotificationCode::Cease))];
+        let mut actions = vec![SessionAction::Send(BgpMessage::Notification(
+            NotificationCode::Cease,
+        ))];
         if was_established {
             actions.push(SessionAction::FlushRoutes);
         }
@@ -129,7 +130,10 @@ impl Session {
                 }
                 self.hold_time_secs = Self::negotiate(self.hold_time_secs, open.hold_time_secs);
                 self.state = SessionState::Established;
-                vec![SessionAction::Send(BgpMessage::Keepalive), SessionAction::AdvertiseAll]
+                vec![
+                    SessionAction::Send(BgpMessage::Keepalive),
+                    SessionAction::AdvertiseAll,
+                ]
             }
             (SessionState::Established, BgpMessage::Keepalive) => vec![SessionAction::None],
             (SessionState::Established, BgpMessage::Update(_)) => {
@@ -238,7 +242,10 @@ mod tests {
         let mut s = Session::new(Asn(1), Asn(2));
         s.start();
         let actions = s.handle(
-            &BgpMessage::Open(OpenMessage { asn: Asn(99), hold_time_secs: 90 }),
+            &BgpMessage::Open(OpenMessage {
+                asn: Asn(99),
+                hold_time_secs: 90,
+            }),
             1,
         );
         assert_eq!(s.state, SessionState::Idle);
@@ -304,7 +311,13 @@ mod tests {
     fn hold_time_zero_disables_the_timer() {
         let mut s = Session::new(Asn(1), Asn(2));
         s.start();
-        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 0 }), 0);
+        s.handle(
+            &BgpMessage::Open(OpenMessage {
+                asn: Asn(2),
+                hold_time_secs: 0,
+            }),
+            0,
+        );
         assert!(s.is_established());
         assert_eq!(s.hold_time_secs, 0);
         // No keepalives for ages: the session must stay up.
@@ -316,12 +329,24 @@ mod tests {
     fn hold_time_resets_across_session_flaps() {
         let mut s = Session::new(Asn(1), Asn(2));
         s.start();
-        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 30 }), 0);
+        s.handle(
+            &BgpMessage::Open(OpenMessage {
+                asn: Asn(2),
+                hold_time_secs: 30,
+            }),
+            0,
+        );
         assert_eq!(s.hold_time_secs, 30);
         s.stop();
         s.start();
         // The peer proposes the default this time: no decay to 30.
-        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 90 }), 0);
+        s.handle(
+            &BgpMessage::Open(OpenMessage {
+                asn: Asn(2),
+                hold_time_secs: 90,
+            }),
+            0,
+        );
         assert_eq!(s.hold_time_secs, 90);
     }
 
@@ -335,7 +360,13 @@ mod tests {
         assert!(matches!(second, SessionAction::Send(BgpMessage::Open(_))));
         assert_eq!(s.state, SessionState::OpenSent);
         // But an established session ignores further starts.
-        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 90 }), 0);
+        s.handle(
+            &BgpMessage::Open(OpenMessage {
+                asn: Asn(2),
+                hold_time_secs: 90,
+            }),
+            0,
+        );
         assert_eq!(s.start(), SessionAction::None);
     }
 
@@ -343,7 +374,13 @@ mod tests {
     fn hold_time_negotiates_to_minimum() {
         let mut s = Session::new(Asn(1), Asn(2));
         s.start();
-        s.handle(&BgpMessage::Open(OpenMessage { asn: Asn(2), hold_time_secs: 30 }), 0);
+        s.handle(
+            &BgpMessage::Open(OpenMessage {
+                asn: Asn(2),
+                hold_time_secs: 30,
+            }),
+            0,
+        );
         assert_eq!(s.hold_time_secs, 30);
     }
 }

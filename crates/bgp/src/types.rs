@@ -14,8 +14,8 @@ pub struct Prefix {
     len: u8,
 }
 
-impl<'de> serde::Deserialize<'de> for Prefix {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+impl serde::Deserialize for Prefix {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
         // Route through `Prefix::new` so deserialized values uphold the
         // masked-host-bits / len ≤ 32 invariants the rest of the crate
         // relies on (raw field deserialization would bypass them).
@@ -24,7 +24,7 @@ impl<'de> serde::Deserialize<'de> for Prefix {
             addr: u32,
             len: u8,
         }
-        let raw = Raw::deserialize(deserializer)?;
+        let raw = Raw::deserialize(v)?;
         Ok(Prefix::new(raw.addr, raw.len))
     }
 }
@@ -36,7 +36,10 @@ impl Prefix {
     /// Build a prefix, masking away host bits. `len` is clamped to 32.
     pub fn new(addr: u32, len: u8) -> Self {
         let len = len.min(32);
-        Prefix { addr: addr & Self::mask(len), len }
+        Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        }
     }
 
     /// Build from dotted-quad octets.

@@ -24,8 +24,10 @@ pub fn derive_weights(selected: &[Route]) -> Vec<u32> {
     if selected.is_empty() {
         return Vec::new();
     }
-    let bandwidths: Vec<Option<f64>> =
-        selected.iter().map(|r| r.attrs.link_bandwidth_gbps).collect();
+    let bandwidths: Vec<Option<f64>> = selected
+        .iter()
+        .map(|r| r.attrs.link_bandwidth_gbps)
+        .collect();
     if bandwidths.iter().all(|b| b.is_none()) {
         return vec![1; selected.len()];
     }
@@ -34,7 +36,10 @@ pub fn derive_weights(selected: &[Route]) -> Vec<u32> {
         .filter_map(|b| *b)
         .fold(f64::INFINITY, f64::min)
         .max(f64::MIN_POSITIVE);
-    let raw: Vec<f64> = bandwidths.iter().map(|b| b.unwrap_or(min_bw).max(0.0)).collect();
+    let raw: Vec<f64> = bandwidths
+        .iter()
+        .map(|b| b.unwrap_or(min_bw).max(0.0))
+        .collect();
     quantize(&raw)
 }
 
@@ -45,7 +50,11 @@ pub fn derive_weights(selected: &[Route]) -> Vec<u32> {
 /// multiplier to capture fractional ratios (100:250 → 2:5), then capped at
 /// [`MAX_WEIGHT`] and reduced by their GCD.
 pub fn quantize(raw: &[f64]) -> Vec<u32> {
-    let min = raw.iter().cloned().filter(|w| *w > 0.0).fold(f64::INFINITY, f64::min);
+    let min = raw
+        .iter()
+        .cloned()
+        .filter(|w| *w > 0.0)
+        .fold(f64::INFINITY, f64::min);
     if !min.is_finite() {
         return vec![1; raw.len()];
     }
@@ -54,7 +63,13 @@ pub fn quantize(raw: &[f64]) -> Vec<u32> {
     // weight 0 — it must receive no traffic, not a token share.
     let mut weights: Vec<u32> = raw
         .iter()
-        .map(|w| if *w <= 0.0 { 0 } else { (((w / min) * 4.0).round() as u32).max(1) })
+        .map(|w| {
+            if *w <= 0.0 {
+                0
+            } else {
+                (((w / min) * 4.0).round() as u32).max(1)
+            }
+        })
         .collect();
     let max = *weights.iter().max().expect("non-empty");
     if max > MAX_WEIGHT {
@@ -62,7 +77,10 @@ pub fn quantize(raw: &[f64]) -> Vec<u32> {
             *w = (((*w as f64 / max as f64) * MAX_WEIGHT as f64).round() as u32).max(1);
         }
     }
-    let g = weights.iter().filter(|&&w| w > 0).fold(0, |acc, &w| gcd(acc, w));
+    let g = weights
+        .iter()
+        .filter(|&&w| w > 0)
+        .fold(0, |acc, &w| gcd(acc, w));
     if g > 1 {
         for w in &mut weights {
             *w /= g;
@@ -86,8 +104,10 @@ mod tests {
     use crate::types::{PeerId, Prefix};
 
     fn route(peer: u64, bw: Option<f64>) -> Route {
-        let mut attrs = PathAttributes::default();
-        attrs.link_bandwidth_gbps = bw;
+        let attrs = PathAttributes {
+            link_bandwidth_gbps: bw,
+            ..Default::default()
+        };
         Route::learned(Prefix::DEFAULT, attrs, PeerId(peer))
     }
 
@@ -107,7 +127,11 @@ mod tests {
 
     #[test]
     fn equal_bandwidths_reduce_to_unit() {
-        let routes = vec![route(1, Some(400.0)), route(2, Some(400.0)), route(3, Some(400.0))];
+        let routes = vec![
+            route(1, Some(400.0)),
+            route(2, Some(400.0)),
+            route(3, Some(400.0)),
+        ];
         assert_eq!(derive_weights(&routes), vec![1, 1, 1]);
     }
 
@@ -141,6 +165,9 @@ mod tests {
 
     #[test]
     fn gcd_reduction() {
-        assert_eq!(quantize(&[2.0, 4.0, 8.0]), [4, 8, 16].iter().map(|x| x / 4).collect::<Vec<u32>>());
+        assert_eq!(
+            quantize(&[2.0, 4.0, 8.0]),
+            [4, 8, 16].iter().map(|x| x / 4).collect::<Vec<u32>>()
+        );
     }
 }

@@ -139,8 +139,10 @@ proptest! {
                 .iter()
                 .enumerate()
                 .map(|(i, bw)| {
-                    let mut a = PathAttributes::default();
-                    a.link_bandwidth_gbps = Some(*bw);
+                    let a = PathAttributes {
+                        link_bandwidth_gbps: Some(*bw),
+                        ..Default::default()
+                    };
                     Route::learned(Prefix::DEFAULT, a, PeerId(i as u64))
                 })
                 .collect()

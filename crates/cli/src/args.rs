@@ -11,7 +11,7 @@ pub struct Args {
 
 impl Args {
     /// Flags that take no value.
-    const BARE_FLAGS: &'static [&'static str] = &["handshake"];
+    const BARE_FLAGS: &'static [&'static str] = &["handshake", "metrics-summary"];
 
     /// Parse the remaining command-line words.
     pub fn parse(words: impl Iterator<Item = String>) -> Result<Self, String> {
@@ -19,7 +19,9 @@ impl Args {
         let mut words = words.peekable();
         while let Some(word) = words.next() {
             let Some(key) = word.strip_prefix("--") else {
-                return Err(format!("unexpected argument '{word}' (options start with --)"));
+                return Err(format!(
+                    "unexpected argument '{word}' (options start with --)"
+                ));
             };
             if Self::BARE_FLAGS.contains(&key) {
                 out.flags.push(key.to_string());
@@ -47,7 +49,10 @@ impl Args {
     pub fn get_u16(&self, name: &str) -> Result<Option<u16>, String> {
         self.values
             .get(name)
-            .map(|v| v.parse().map_err(|_| format!("--{name} expects a small integer, got '{v}'")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} expects a small integer, got '{v}'"))
+            })
             .transpose()
     }
 
@@ -55,7 +60,10 @@ impl Args {
     pub fn get_u64(&self, name: &str) -> Result<Option<u64>, String> {
         self.values
             .get(name)
-            .map(|v| v.parse().map_err(|_| format!("--{name} expects an integer, got '{v}'")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--{name} expects an integer, got '{v}'"))
+            })
             .transpose()
     }
 }

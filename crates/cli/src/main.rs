@@ -23,6 +23,7 @@ use centralium::RoutingIntent;
 use centralium_bgp::attrs::well_known;
 use centralium_bgp::Prefix;
 use centralium_simnet::{SimConfig, SimNet};
+use centralium_telemetry::Telemetry;
 use centralium_topology::{build_fabric, FabricSpec, Layer};
 use std::process::ExitCode;
 
@@ -89,11 +90,15 @@ const USAGE: &str = "usage: centralium-cli <command> [options]
 
 commands:
   topo      print a fabric summary          [--pods N --planes N --ssws N --racks N --grids N --fauus N --ebs N]
-  converge  build a fabric and converge it  [fabric opts] [--seed N] [--handshake]
+  converge  build a fabric and converge it  [fabric opts] [--seed N] [--handshake] [telemetry opts]
   compile   compile an intent to RPAs       --intent FILE [fabric opts]
-  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [fabric opts] [--seed N]
+  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [fabric opts] [--seed N] [telemetry opts]
   plan      print the Table 3 migration plans
-  apps      list the onboarded applications";
+  apps      list the onboarded applications
+
+telemetry opts:
+  --telemetry FILE   write the structured event journal as JSON lines
+  --metrics-summary  print registry counters/gauges/histograms and phase timings";
 
 fn spec_from(args: &Args) -> Result<FabricSpec, String> {
     let mut spec = FabricSpec::tiny();
@@ -134,6 +139,60 @@ fn spec_from(args: &Args) -> Result<FabricSpec, String> {
     Ok(spec)
 }
 
+/// Ring capacity for `--telemetry` journals: large enough for a tiny-fabric
+/// deploy end to end, bounded so a pathological run cannot eat the heap.
+const JOURNAL_CAPACITY: usize = 65_536;
+
+/// Shared `--telemetry FILE` / `--metrics-summary` epilogue for commands that
+/// drive a [`SimNet`].
+fn report_telemetry(net: &SimNet, args: &Args) -> Result<(), String> {
+    let tel = net.telemetry();
+    if let Some(path) = args.get_str("telemetry")? {
+        let journal = tel.journal().ok_or("journal unexpectedly disabled")?;
+        let file = std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        let written = journal
+            .export_jsonl(&mut w)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "telemetry: {written} events written to {path} ({} recorded, {} evicted)",
+            journal.recorded(),
+            journal.dropped()
+        );
+    }
+    if args.has_flag("metrics-summary") {
+        let snap = tel.metrics().snapshot();
+        println!("metrics:");
+        for (name, v) in &snap.counters {
+            println!("  {name:<40} {v}");
+        }
+        for (name, v) in &snap.gauges {
+            println!("  {name:<40} {v}");
+        }
+        for (name, h) in &snap.histograms {
+            match h.mean() {
+                Some(mean) => {
+                    println!("  {name:<40} count={} mean={mean:.2}", h.count())
+                }
+                None => println!("  {name:<40} count=0"),
+            }
+        }
+        let phases = tel.phases().records();
+        if !phases.is_empty() {
+            println!("phases:");
+            for p in &phases {
+                println!(
+                    "  {:<24} wall={:>10.3?} sim={:>8.1}ms",
+                    p.name,
+                    p.wall,
+                    p.sim_us as f64 / 1000.0
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::FabricIndex), String> {
     let spec = spec_from(args)?;
     let (topo, idx, _) = build_fabric(&spec);
@@ -143,6 +202,10 @@ fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::Fabri
         ..Default::default()
     };
     let mut net = SimNet::new(topo, cfg);
+    if args.get_str("telemetry")?.is_some() {
+        // The journal is opt-in; metrics and phase timing are always live.
+        net.set_telemetry(Telemetry::with_journal(JOURNAL_CAPACITY));
+    }
     net.establish_all();
     for &eb in &idx.backbone {
         net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
@@ -157,7 +220,11 @@ fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::Fabri
 fn cmd_topo(args: &Args) -> Result<(), String> {
     let spec = spec_from(args)?;
     let (topo, _, _) = build_fabric(&spec);
-    println!("fabric: {} devices, {} links", topo.device_count(), topo.link_count());
+    println!(
+        "fabric: {} devices, {} links",
+        topo.device_count(),
+        topo.link_count()
+    );
     for layer in Layer::ALL {
         let n = topo.devices_in_layer(layer).count();
         println!("  {:<5} {n}", layer.short_name());
@@ -177,13 +244,21 @@ fn cmd_converge(args: &Args) -> Result<(), String> {
     );
     let rsw = idx.rsw[0][0];
     let dev = net.device(rsw).ok_or("rsw missing")?;
-    let entry = dev.fib.entry(Prefix::DEFAULT).ok_or("no default route at the rack")?;
+    let entry = dev
+        .fib
+        .entry(Prefix::DEFAULT)
+        .ok_or("no default route at the rack")?;
     println!(
         "rack {} default route: {} next-hops {:?}",
         rsw,
         entry.nexthops.len(),
-        entry.nexthops.iter().map(|(p, w)| format!("d{}:{w}", p.device())).collect::<Vec<_>>()
+        entry
+            .nexthops
+            .iter()
+            .map(|(p, w)| format!("d{}:{w}", p.device()))
+            .collect::<Vec<_>>()
     );
+    report_telemetry(&net, args)?;
     Ok(())
 }
 
@@ -198,7 +273,11 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
     let (topo, _, _) = build_fabric(&spec);
     let intent = load_intent(args)?;
     let docs = centralium::compile_intent(&topo, &intent).map_err(|e| e.to_string())?;
-    println!("intent '{}' compiles to {} per-switch documents", intent.kind(), docs.len());
+    println!(
+        "intent '{}' compiles to {} per-switch documents",
+        intent.kind(),
+        docs.len()
+    );
     if let Some((dev, doc)) = docs.first() {
         println!(
             "--- exemplar for device {dev} ({} LOC) ---\n{}",
@@ -223,7 +302,9 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
         VerifyOutcome::Passed => println!("PASSED"),
         VerifyOutcome::DeployFailed(e) => return Err(format!("pre-verification: {e}")),
         VerifyOutcome::InvariantsBroken(failures) => {
-            return Err(format!("pre-verification caught invariant breaks: {failures:?}"))
+            return Err(format!(
+                "pre-verification caught invariant breaks: {failures:?}"
+            ))
         }
         VerifyOutcome::Unverifiable(why) => {
             println!("SKIPPED ({why}); the post-deployment health check still gates")
@@ -272,13 +353,20 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
     if let Some(dev) = report.phases.first().and_then(|p| p.devices.first()) {
         let device = net.device(*dev).ok_or("device vanished")?;
         println!("device {dev} active RPAs: {:?}", device.engine.installed());
-        let candidates: Vec<_> =
-            device.daemon.rib_in_routes(Prefix::DEFAULT).into_iter().cloned().collect();
-        if let Some((doc, stmt)) = device.engine.governing_statement(Prefix::DEFAULT, &candidates)
+        let candidates: Vec<_> = device
+            .daemon
+            .rib_in_routes(Prefix::DEFAULT)
+            .into_iter()
+            .cloned()
+            .collect();
+        if let Some((doc, stmt)) = device
+            .engine
+            .governing_statement(Prefix::DEFAULT, &candidates)
         {
             println!("default route governed by '{doc}' statement {stmt}");
         }
     }
+    report_telemetry(&net, args)?;
     Ok(())
 }
 

@@ -49,12 +49,7 @@ mod tests {
     #[test]
     fn primary_holds_until_floor_breaks_then_backup() {
         let (topo, _, _) = build_fabric(&FabricSpec::tiny());
-        let intent = anycast_stability_intent(
-            Layer::Backbone,
-            2,
-            Layer::Fauu,
-            vec![Layer::Ssw],
-        );
+        let intent = anycast_stability_intent(Layer::Backbone, 2, Layer::Fauu, vec![Layer::Ssw]);
         let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
         let mut engine = RpaEngine::new();
         engine.install(docs[0].1.clone()).unwrap();
@@ -67,18 +62,25 @@ mod tests {
             vip_route(3, 50_000, 1),
         ];
         let sel = engine.select_paths(prefix, &candidates).unwrap();
-        assert_eq!(sel.selected, vec![0, 1], "primary set selected, backup idle");
+        assert_eq!(
+            sel.selected,
+            vec![0, 1],
+            "primary set selected, backup idle"
+        );
         // One primary path dies: floor of 2 violated → backup set.
         let degraded = vec![vip_route(1, 60_000, 2), vip_route(3, 50_000, 1)];
         let sel = engine.select_paths(prefix, &degraded).unwrap();
-        assert_eq!(sel.selected, vec![1], "fell back to the backup set as a whole");
+        assert_eq!(
+            sel.selected,
+            vec![1],
+            "fell back to the backup set as a whole"
+        );
     }
 
     #[test]
     fn non_vip_prefixes_are_untouched() {
         let (topo, _, _) = build_fabric(&FabricSpec::tiny());
-        let intent =
-            anycast_stability_intent(Layer::Backbone, 2, Layer::Fauu, vec![Layer::Ssw]);
+        let intent = anycast_stability_intent(Layer::Backbone, 2, Layer::Fauu, vec![Layer::Ssw]);
         let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
         let mut engine = RpaEngine::new();
         engine.install(docs[0].1.clone()).unwrap();

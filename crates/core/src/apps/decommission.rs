@@ -62,7 +62,10 @@ mod tests {
         net.run_until_quiescent().expect_converged();
         // Drained devices are in maintenance; survivors still route.
         for &f in &fadus {
-            assert_eq!(net.topology().device(f).unwrap().state, DeviceState::Drained);
+            assert_eq!(
+                net.topology().device(f).unwrap().state,
+                DeviceState::Drained
+            );
         }
         let survivor_ssw = idx.ssw[0][1];
         let entry = net
@@ -87,7 +90,9 @@ mod tests {
         let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
         // Fractions resolved per device: each SSW has 2 uplinks → min 2.
         for (_, doc) in docs {
-            let centralium_rpa::RpaDocument::PathSelection(ps) = doc else { panic!() };
+            let centralium_rpa::RpaDocument::PathSelection(ps) = doc else {
+                panic!()
+            };
             assert_eq!(
                 ps.statements[0].bgp_native_min_next_hop,
                 Some(MinNextHop::Absolute(2))

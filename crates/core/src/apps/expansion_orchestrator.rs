@@ -140,7 +140,11 @@ mod tests {
             &sources,
         )
         .unwrap();
-        assert!(report.final_health.passed(), "{:?}", report.final_health.failures);
+        assert!(
+            report.final_health.passed(),
+            "{:?}",
+            report.final_health.failures
+        );
         assert_eq!(report.fav2.len(), 2);
         // Old layers are gone; SSWs now reach the backbone via FAv2 only.
         for &dev in &old {

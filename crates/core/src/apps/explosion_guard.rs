@@ -33,7 +33,11 @@ pub fn explosion_guard_intent(
             per_device.push((dev, list));
         }
     }
-    RoutingIntent::PrescribeWeights { destination, per_device, expiration_time }
+    RoutingIntent::PrescribeWeights {
+        destination,
+        per_device,
+        expiration_time,
+    }
 }
 
 #[cfg(test)]
@@ -52,7 +56,9 @@ mod tests {
             well_known::BACKBONE_DEFAULT_ROUTE,
             Some(10_000_000),
         );
-        let RoutingIntent::PrescribeWeights { per_device, .. } = &intent else { panic!() };
+        let RoutingIntent::PrescribeWeights { per_device, .. } = &intent else {
+            panic!()
+        };
         assert_eq!(per_device.len(), 4);
         for (_, list) in per_device {
             assert_eq!(list.len(), 2, "each FADU has two FAUU neighbors");
@@ -71,7 +77,9 @@ mod tests {
             well_known::BACKBONE_DEFAULT_ROUTE,
             None,
         );
-        let RoutingIntent::PrescribeWeights { per_device, .. } = &intent else { panic!() };
+        let RoutingIntent::PrescribeWeights { per_device, .. } = &intent else {
+            panic!()
+        };
         assert!(per_device.is_empty());
     }
 }

@@ -59,7 +59,9 @@ mod tests {
             vec![idx.ssw[0][0]],
         );
         let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
-        let RpaDocument::PathSelection(ps) = &docs[0].1 else { panic!() };
+        let RpaDocument::PathSelection(ps) = &docs[0].1 else {
+            panic!()
+        };
         assert!(
             !ps.statements[0].keep_fib_warm_if_mnh_violated,
             "the Figure 14 mis-configuration is unrepresentable through this app"
@@ -76,7 +78,9 @@ mod tests {
             vec![idx.ssw[0][0]],
         );
         let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
-        let RpaDocument::PathSelection(ps) = &docs[0].1 else { panic!() };
+        let RpaDocument::PathSelection(ps) = &docs[0].1 else {
+            panic!()
+        };
         assert!(ps.statements[0].keep_fib_warm_if_mnh_violated);
     }
 }

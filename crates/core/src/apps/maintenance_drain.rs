@@ -52,17 +52,36 @@ mod tests {
         }
         net.run_until_quiescent().expect_converged();
         let ssw = idx.ssw[0][0];
-        let before =
-            net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().nexthops.len();
+        let before = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(Prefix::DEFAULT)
+            .unwrap()
+            .nexthops
+            .len();
         let maintenance = vec![idx.fadu[0][0]];
         drain_for_maintenance(&mut net, &maintenance);
         net.run_until_quiescent().expect_converged();
-        let during =
-            net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().nexthops.len();
+        let during = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(Prefix::DEFAULT)
+            .unwrap()
+            .nexthops
+            .len();
         assert_eq!(during, before - 1, "drained FADU off the forwarding path");
         undrain_after_maintenance(&mut net, &maintenance);
         net.run_until_quiescent().expect_converged();
-        let after = net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().nexthops.len();
+        let after = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(Prefix::DEFAULT)
+            .unwrap()
+            .nexthops
+            .len();
         assert_eq!(after, before, "capacity restored");
     }
 
@@ -74,7 +93,9 @@ mod tests {
         let docs = crate::compile::compile_intent(&topo, &intent).unwrap();
         assert_eq!(docs.len(), 4);
         for (_, doc) in docs {
-            let centralium_rpa::RpaDocument::PathSelection(ps) = doc else { panic!() };
+            let centralium_rpa::RpaDocument::PathSelection(ps) = doc else {
+                panic!()
+            };
             assert!(ps.statements[0].keep_fib_warm_if_mnh_violated);
         }
     }

@@ -41,7 +41,11 @@ mod tests {
     #[test]
     fn at_least_ten_apps_are_onboarded() {
         let names = super::app_names();
-        assert!(names.len() >= 10, "paper claims 10+ use cases, got {}", names.len());
+        assert!(
+            names.len() >= 10,
+            "paper claims 10+ use cases, got {}",
+            names.len()
+        );
         let unique: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(unique.len(), names.len(), "no duplicate app names");
     }

@@ -23,7 +23,11 @@ pub fn equalize_on_layers(
     origin_layer: Layer,
     layers: Vec<Layer>,
 ) -> RoutingIntent {
-    RoutingIntent::EqualizePaths { destination, origin_layer, targets: TargetSet::Layers(layers) }
+    RoutingIntent::EqualizePaths {
+        destination,
+        origin_layer,
+        targets: TargetSet::Layers(layers),
+    }
 }
 
 #[cfg(test)]
@@ -36,8 +40,7 @@ mod tests {
     #[test]
     fn standard_intent_targets_all_fabric_layers() {
         let (topo, _, _) = build_fabric(&FabricSpec::tiny());
-        let intent =
-            equalize_backbone_paths(well_known::BACKBONE_DEFAULT_ROUTE, Layer::Backbone);
+        let intent = equalize_backbone_paths(well_known::BACKBONE_DEFAULT_ROUTE, Layer::Backbone);
         // tiny: 4 FSW + 4 SSW + 4 FADU + 4 FAUU.
         assert_eq!(intent.targets(&topo).len(), 16);
         assert!(compile_intent(&topo, &intent).is_ok());

@@ -25,7 +25,10 @@ pub fn push_base_policy(net: &mut SimNet, devices: &[DeviceId], policy: Policy) 
     for &dev in devices {
         net.schedule_in(
             0,
-            centralium_simnet::NetEvent::SetExportPolicy { dev, policy: policy.clone() },
+            centralium_simnet::NetEvent::SetExportPolicy {
+                dev,
+                policy: policy.clone(),
+            },
         );
     }
 }
@@ -49,14 +52,19 @@ mod tests {
         }
         net.run_until_quiescent().expect_converged();
         // Pin selection on the SSWs.
-        let intent =
-            pin_current_selection(well_known::BACKBONE_DEFAULT_ROUTE, vec![Layer::Ssw]);
+        let intent = pin_current_selection(well_known::BACKBONE_DEFAULT_ROUTE, vec![Layer::Ssw]);
         for (dev, doc) in crate::compile::compile_intent(net.topology(), &intent).unwrap() {
             net.deploy_rpa(dev, doc, 100);
         }
         net.run_until_quiescent().expect_converged();
         let ssw = idx.ssw[0][0];
-        let before = net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().clone();
+        let before = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(Prefix::DEFAULT)
+            .unwrap()
+            .clone();
         // Swap base policy on the FADUs: new policy tags everything with a
         // marker community (an intent-neutral change that, without the pin,
         // churns attribute comparisons).
@@ -68,10 +76,23 @@ mod tests {
         let fadus: Vec<DeviceId> = idx.fadu.iter().flatten().copied().collect();
         push_base_policy(&mut net, &fadus, new_policy);
         net.run_until_quiescent().expect_converged();
-        let after = net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().clone();
-        assert_eq!(before.nexthops, after.nexthops, "pinned selection unchanged");
+        let after = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(Prefix::DEFAULT)
+            .unwrap()
+            .clone();
+        assert_eq!(
+            before.nexthops, after.nexthops,
+            "pinned selection unchanged"
+        );
         // The new policy is in effect: routes carry the marker.
-        let routes = net.device(ssw).unwrap().daemon.rib_in_routes(Prefix::DEFAULT);
+        let routes = net
+            .device(ssw)
+            .unwrap()
+            .daemon
+            .rib_in_routes(Prefix::DEFAULT);
         assert!(routes.iter().any(|r| r.attrs.has_community(marker)));
     }
 }

@@ -51,11 +51,20 @@ pub fn run_rollout(
         match step {
             RolloutStep::BasePolicy { devices, policy } => {
                 for dev in devices {
-                    net.schedule_in(0, NetEvent::SetExportPolicy { dev, policy: policy.clone() });
+                    net.schedule_in(
+                        0,
+                        NetEvent::SetExportPolicy {
+                            dev,
+                            policy: policy.clone(),
+                        },
+                    );
                 }
                 net.run_until_quiescent();
             }
-            RolloutStep::DeployRpa { intent, origination_layer } => {
+            RolloutStep::DeployRpa {
+                intent,
+                origination_layer,
+            } => {
                 reports.push(controller.deploy_intent(
                     net,
                     &intent,
@@ -65,7 +74,10 @@ pub fn run_rollout(
                     health,
                 )?);
             }
-            RolloutStep::RemoveRpa { intent, origination_layer } => {
+            RolloutStep::RemoveRpa {
+                intent,
+                origination_layer,
+            } => {
                 reports.push(controller.remove_intent(
                     net,
                     &intent,
@@ -99,8 +111,11 @@ mod tests {
         }
         net.run_until_quiescent().expect_converged();
         let mut controller = Controller::new(&net, idx.rsw[0][0]);
-        let intent =
-            equalize_on_layers(well_known::BACKBONE_DEFAULT_ROUTE, Layer::Backbone, vec![Layer::Ssw]);
+        let intent = equalize_on_layers(
+            well_known::BACKBONE_DEFAULT_ROUTE,
+            Layer::Backbone,
+            vec![Layer::Ssw],
+        );
         let marker = Community(0xCAFE);
         let tag_policy = Policy::accept_all().rule(PolicyRule {
             matches: MatchExpr::any(),
@@ -112,8 +127,14 @@ mod tests {
                 intent: intent.clone(),
                 origination_layer: Layer::Backbone,
             },
-            RolloutStep::BasePolicy { devices: fadus, policy: tag_policy },
-            RolloutStep::RemoveRpa { intent, origination_layer: Layer::Backbone },
+            RolloutStep::BasePolicy {
+                devices: fadus,
+                policy: tag_policy,
+            },
+            RolloutStep::RemoveRpa {
+                intent,
+                origination_layer: Layer::Backbone,
+            },
         ];
         let reports =
             run_rollout(&mut net, &mut controller, steps, &HealthCheck::default()).unwrap();
@@ -121,7 +142,11 @@ mod tests {
         // End state: base policy active, RPA cleaned up.
         let ssw = idx.ssw[0][0];
         assert!(net.device(ssw).unwrap().engine.installed().is_empty());
-        let routes = net.device(ssw).unwrap().daemon.rib_in_routes(Prefix::DEFAULT);
+        let routes = net
+            .device(ssw)
+            .unwrap()
+            .daemon
+            .rib_in_routes(Prefix::DEFAULT);
         assert!(routes.iter().any(|r| r.attrs.has_community(marker)));
     }
 }

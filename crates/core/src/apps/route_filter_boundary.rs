@@ -32,13 +32,22 @@ mod tests {
         net.establish_all();
         // Backbone originates the default route (allowed) and a rogue /24
         // more-specific.
-        net.originate(idx.backbone[0], Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        net.originate(
+            idx.backbone[0],
+            Prefix::DEFAULT,
+            [well_known::BACKBONE_DEFAULT_ROUTE],
+        );
         net.originate(idx.backbone[0], "99.99.99.0/24".parse().unwrap(), []);
         net.run_until_quiescent().expect_converged();
         // Without the filter the rogue route reaches the fabric.
         let fauu = idx.fauu[0][0];
         let rogue: Prefix = "99.99.99.0/24".parse().unwrap();
-        assert!(net.device(fauu).unwrap().daemon.loc_rib_entry(rogue).is_some());
+        assert!(net
+            .device(fauu)
+            .unwrap()
+            .daemon
+            .loc_rib_entry(rogue)
+            .is_some());
         // Deploy the boundary filter on every FAUU: deployment re-applies
         // ingress filtering to already-admitted routes and cascades
         // withdrawals fabric-wide.
@@ -50,7 +59,10 @@ mod tests {
         for grid in &idx.fauu {
             for &f in grid {
                 let dev = net.device(f).unwrap();
-                assert!(dev.daemon.loc_rib_entry(Prefix::DEFAULT).is_some(), "default kept");
+                assert!(
+                    dev.daemon.loc_rib_entry(Prefix::DEFAULT).is_some(),
+                    "default kept"
+                );
                 assert!(dev.daemon.loc_rib_entry(rogue).is_none(), "rogue evicted");
             }
         }
@@ -77,13 +89,26 @@ mod tests {
         }
         net.run_until_quiescent().expect_converged();
         // A rack originates an allowed /16 aggregate and a too-specific /24.
-        net.originate(idx.rsw[0][0], "10.1.0.0/16".parse().unwrap(), [well_known::RACK_PREFIX]);
-        net.originate(idx.rsw[0][0], "10.1.1.0/24".parse().unwrap(), [well_known::RACK_PREFIX]);
+        net.originate(
+            idx.rsw[0][0],
+            "10.1.0.0/16".parse().unwrap(),
+            [well_known::RACK_PREFIX],
+        );
+        net.originate(
+            idx.rsw[0][0],
+            "10.1.1.0/24".parse().unwrap(),
+            [well_known::RACK_PREFIX],
+        );
         net.run_until_quiescent().expect_converged();
         let eb = net.device(idx.backbone[0]).unwrap();
-        assert!(eb.daemon.loc_rib_entry("10.1.0.0/16".parse().unwrap()).is_some());
+        assert!(eb
+            .daemon
+            .loc_rib_entry("10.1.0.0/16".parse().unwrap())
+            .is_some());
         assert!(
-            eb.daemon.loc_rib_entry("10.1.1.0/24".parse().unwrap()).is_none(),
+            eb.daemon
+                .loc_rib_entry("10.1.1.0/24".parse().unwrap())
+                .is_none(),
             "/24 must not cross the boundary"
         );
     }

@@ -26,8 +26,10 @@ pub fn te_intent(
         if edges.len() < 2 {
             continue;
         }
-        let fractions: Vec<f64> =
-            edges.iter().map(|e| weights.get(&(node, e.to)).copied().unwrap_or(0.0)).collect();
+        let fractions: Vec<f64> = edges
+            .iter()
+            .map(|e| weights.get(&(node, e.to)).copied().unwrap_or(0.0))
+            .collect();
         let max = fractions.iter().cloned().fold(0.0_f64, f64::max);
         if max <= 0.0 {
             continue;
@@ -46,7 +48,11 @@ pub fn te_intent(
             .collect();
         per_device.push((node, list));
     }
-    RoutingIntent::PrescribeWeights { destination, per_device, expiration_time }
+    RoutingIntent::PrescribeWeights {
+        destination,
+        per_device,
+        expiration_time,
+    }
 }
 
 #[cfg(test)]
@@ -67,7 +73,9 @@ mod tests {
             None,
             50,
         );
-        let RoutingIntent::PrescribeWeights { per_device, .. } = &intent else { panic!() };
+        let RoutingIntent::PrescribeWeights { per_device, .. } = &intent else {
+            panic!()
+        };
         assert!(per_device.is_empty(), "uniform optimum ⇒ no RPAs needed");
     }
 
@@ -91,15 +99,21 @@ mod tests {
             Some(60_000_000),
             100,
         );
-        let RoutingIntent::PrescribeWeights { per_device, expiration_time, .. } = &intent
+        let RoutingIntent::PrescribeWeights {
+            per_device,
+            expiration_time,
+            ..
+        } = &intent
         else {
             panic!()
         };
         assert!(!per_device.is_empty());
         assert_eq!(*expiration_time, Some(60_000_000));
         // The degraded FAUU's list carries unequal weights.
-        let (_, list) =
-            per_device.iter().find(|(d, _)| *d == idx.fauu[0][0]).expect("degraded FAUU");
+        let (_, list) = per_device
+            .iter()
+            .find(|(d, _)| *d == idx.fauu[0][0])
+            .expect("degraded FAUU");
         assert!(list.iter().any(|(_, w)| *w != list[0].1));
     }
 }

@@ -27,7 +27,10 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::EmptyTargets => write!(f, "intent targets no devices"),
             CompileError::NoNextHops(d) => {
-                write!(f, "device {d} has no uplinks to resolve a fractional MinNextHop")
+                write!(
+                    f,
+                    "device {d} has no uplinks to resolve a fractional MinNextHop"
+                )
             }
         }
     }
@@ -56,7 +59,11 @@ pub fn compile_intent(
     }
     let name = intent.kind().to_string();
     match intent {
-        RoutingIntent::EqualizePaths { destination, origin_layer, .. } => {
+        RoutingIntent::EqualizePaths {
+            destination,
+            origin_layer,
+            ..
+        } => {
             let doc = RpaDocument::PathSelection(PathSelectionRpa::single(
                 name,
                 PathSelectionStatement::select(
@@ -69,7 +76,12 @@ pub fn compile_intent(
             ));
             Ok(targets.into_iter().map(|d| (d, doc.clone())).collect())
         }
-        RoutingIntent::MinNextHopProtection { destination, min, keep_fib_warm, .. } => {
+        RoutingIntent::MinNextHopProtection {
+            destination,
+            min,
+            keep_fib_warm,
+            ..
+        } => {
             let mut out = Vec::with_capacity(targets.len());
             for dev in targets {
                 // Fractions resolve against this device's next-hop population
@@ -96,7 +108,11 @@ pub fn compile_intent(
             }
             Ok(out)
         }
-        RoutingIntent::PrescribeWeights { destination, per_device, expiration_time } => {
+        RoutingIntent::PrescribeWeights {
+            destination,
+            per_device,
+            expiration_time,
+        } => {
             let mut out = Vec::with_capacity(per_device.len());
             for (dev, weights) in per_device {
                 if topo.device(*dev).is_none() {
@@ -105,7 +121,10 @@ pub fn compile_intent(
                 let list = weights
                     .iter()
                     .map(|(asn, w)| NextHopWeight {
-                        signature: PathSignature { first_asn: Some(*asn), ..Default::default() },
+                        signature: PathSignature {
+                            first_asn: Some(*asn),
+                            ..Default::default()
+                        },
                         weight: *w,
                     })
                     .collect();
@@ -114,10 +133,7 @@ pub fn compile_intent(
                 statement.expiration_time = *expiration_time;
                 out.push((
                     *dev,
-                    RpaDocument::RouteAttribute(RouteAttributeRpa::single(
-                        name.clone(),
-                        statement,
-                    )),
+                    RpaDocument::RouteAttribute(RouteAttributeRpa::single(name.clone(), statement)),
                 ));
             }
             if out.is_empty() {
@@ -125,14 +141,21 @@ pub fn compile_intent(
             }
             Ok(out)
         }
-        RoutingIntent::FilterBoundary { peer_layer, ingress_allow, egress_allow, .. } => {
+        RoutingIntent::FilterBoundary {
+            peer_layer,
+            ingress_allow,
+            egress_allow,
+            ..
+        } => {
             let base = AsnAllocator::layer_base(*peer_layer);
             let range = PeerSignature::AsnRange(
                 centralium_topology::Asn(base),
                 centralium_topology::Asn(base + 9_999),
             );
             let to_filters = |list: &Vec<(centralium_bgp::Prefix, u8)>| {
-                list.iter().map(|(p, max)| PrefixFilter::within(*p, *max)).collect::<Vec<_>>()
+                list.iter()
+                    .map(|(p, max)| PrefixFilter::within(*p, *max))
+                    .collect::<Vec<_>>()
             };
             let doc = RpaDocument::RouteFilter(RouteFilterRpa {
                 name,
@@ -202,7 +225,10 @@ mod tests {
             for asn in path.split_whitespace().rev() {
                 attrs.prepend(centralium_topology::Asn(asn.parse().unwrap()), 1);
             }
-            sig.matches(&centralium_bgp::Route::local(centralium_bgp::Prefix::DEFAULT, attrs))
+            sig.matches(&centralium_bgp::Route::local(
+                centralium_bgp::Prefix::DEFAULT,
+                attrs,
+            ))
         }
     }
 
@@ -229,7 +255,9 @@ mod tests {
             targets: TargetSet::Devices(vec![idx.ssw[0][0]]),
         };
         let docs = compile_intent(&topo, &intent).unwrap();
-        let RpaDocument::PathSelection(ps) = &docs[0].1 else { panic!() };
+        let RpaDocument::PathSelection(ps) = &docs[0].1 else {
+            panic!()
+        };
         // SSW has 2 uplinks (one FADU per grid): ceil(0.75*2) = 2.
         assert_eq!(
             ps.statements[0].bgp_native_min_next_hop,
@@ -261,7 +289,10 @@ mod tests {
             origin_layer: Layer::Backbone,
             targets: TargetSet::Devices(vec![]),
         };
-        assert_eq!(compile_intent(&topo, &intent).unwrap_err(), CompileError::EmptyTargets);
+        assert_eq!(
+            compile_intent(&topo, &intent).unwrap_err(),
+            CompileError::EmptyTargets
+        );
     }
 
     #[test]
@@ -275,7 +306,9 @@ mod tests {
         };
         let docs = compile_intent(&topo, &intent).unwrap();
         assert_eq!(docs.len(), 4);
-        let RpaDocument::RouteFilter(rf) = &docs[0].1 else { panic!() };
+        let RpaDocument::RouteFilter(rf) = &docs[0].1 else {
+            panic!()
+        };
         assert_eq!(
             rf.statements[0].peer_signature,
             PeerSignature::AsnRange(
@@ -296,7 +329,9 @@ mod tests {
             targets: TargetSet::Layer(Layer::Ssw),
         };
         let docs = compile_intent(&topo, &intent).unwrap();
-        let RpaDocument::PathSelection(ps) = &docs[0].1 else { panic!() };
+        let RpaDocument::PathSelection(ps) = &docs[0].1 else {
+            panic!()
+        };
         let sets = &ps.statements[0].path_set_list;
         assert_eq!(sets.len(), 2);
         assert_eq!(sets[0].min_next_hop, 2);
@@ -317,7 +352,9 @@ mod tests {
         };
         let docs = compile_intent(&topo, &intent).unwrap();
         assert_eq!(docs.len(), 1);
-        let RpaDocument::RouteAttribute(ra) = &docs[0].1 else { panic!() };
+        let RpaDocument::RouteAttribute(ra) = &docs[0].1 else {
+            panic!()
+        };
         assert_eq!(ra.statements[0].expiration_time, Some(1_000_000));
     }
 }

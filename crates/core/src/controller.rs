@@ -8,6 +8,7 @@ use crate::sequencer::{deployment_phases, removal_phases, DeploymentStrategy};
 use crate::switch_agent::{IssuedOp, SwitchAgent};
 use centralium_nsdb::{Path, ReplicatedNsdb};
 use centralium_simnet::{ManagementPlane, SimNet, SimTime};
+use centralium_telemetry::{EventKind, Severity};
 use centralium_topology::{DeviceId, Layer};
 use std::time::Duration;
 
@@ -92,13 +93,17 @@ impl Controller {
     /// Create a controller attached to the management plane at `root`.
     pub fn new(net: &SimNet, root: DeviceId) -> Self {
         let mgmt = ManagementPlane::compute(net.topology(), root);
-        Controller { nsdb: ReplicatedNsdb::new(2), agent: SwitchAgent::new(mgmt) }
+        Controller {
+            nsdb: ReplicatedNsdb::new(2),
+            agent: SwitchAgent::new(mgmt),
+        }
     }
 
     /// Recompute the management plane after topology changes.
     pub fn refresh_mgmt(&mut self, net: &SimNet) {
         let root = self.agent.mgmt().root();
-        self.agent.set_mgmt(ManagementPlane::compute(net.topology(), root));
+        self.agent
+            .set_mgmt(ManagementPlane::compute(net.topology(), root));
     }
 
     /// Deploy an intent end-to-end: pre-check → compile → record in NSDB →
@@ -116,20 +121,29 @@ impl Controller {
         pre: &HealthCheck,
         post: &HealthCheck,
     ) -> Result<DeploymentReport, DeployError> {
+        // Clone the handle: spans must not hold a borrow of `net` across the
+        // pipeline's `&mut SimNet` calls.
+        let tel = net.telemetry().clone();
+        let pre_span = tel.phases().span("preverify", net.now());
         let pre_report = run_health_check(net, pre);
+        pre_span.finish(net.now());
         if !pre_report.passed() {
             return Err(DeployError::PreCheckFailed(pre_report));
         }
+        let plan_span = tel.phases().span("plan", net.now());
         let started = std::time::Instant::now();
         let docs = compile_intent(net.topology(), intent).map_err(DeployError::Compile)?;
         let generation_time = started.elapsed();
+        plan_span.finish(net.now());
         self.nsdb.publish(
             Path::parse(&format!("/intents/{}", intent.kind())),
             serde_json::to_value(intent).expect("intents serialize"),
         );
         let phases = deployment_phases(net.topology(), docs, origination_layer, strategy);
         let (phase_reports, issued_ops) = self.run_phases(net, phases, true)?;
+        let health_span = tel.phases().span("health", net.now());
         let post_health = run_health_check(net, post);
+        health_span.finish(net.now());
         Ok(DeploymentReport {
             generation_time,
             phases: phase_reports,
@@ -147,15 +161,21 @@ impl Controller {
         strategy: DeploymentStrategy,
         post: &HealthCheck,
     ) -> Result<DeploymentReport, DeployError> {
+        let tel = net.telemetry().clone();
+        let plan_span = tel.phases().span("plan", net.now());
         let started = std::time::Instant::now();
         let docs = compile_intent(net.topology(), intent).map_err(DeployError::Compile)?;
         let generation_time = started.elapsed();
+        plan_span.finish(net.now());
         let phases = removal_phases(net.topology(), docs, origination_layer, strategy);
         let (phase_reports, issued_ops) = self.run_phases(net, phases, false)?;
         // Only drop the durable record once the fleet no longer runs the
         // RPAs — a stuck removal must leave the intent recorded.
-        self.nsdb.delete(&Path::parse(&format!("/intents/{}", intent.kind())));
+        self.nsdb
+            .delete(&Path::parse(&format!("/intents/{}", intent.kind())));
+        let health_span = tel.phases().span("health", net.now());
         let post_health = run_health_check(net, post);
+        health_span.finish(net.now());
         Ok(DeploymentReport {
             generation_time,
             phases: phase_reports,
@@ -170,14 +190,19 @@ impl Controller {
         phases: Vec<crate::sequencer::DeploymentPhase>,
         install: bool,
     ) -> Result<(Vec<PhaseReport>, Vec<IssuedOp>), DeployError> {
+        let tel = net.telemetry().clone();
         let mut reports = Vec::with_capacity(phases.len());
         let mut all_ops = Vec::new();
         for (i, phase) in phases.into_iter().enumerate() {
             let issued_at = net.now();
+            let wave_label = match phase.layer {
+                Some(layer) => format!("wave {} ({layer:?})", i + 1),
+                None => format!("wave {}", i + 1),
+            };
+            let wave_span = tel.phases().span(wave_label, issued_at);
             let devices: Vec<DeviceId> = phase.installs.iter().map(|(d, _)| *d).collect();
             for (dev, doc) in &phase.installs {
-                let nsdb_path =
-                    Path::parse(&format!("/devices/d{}/rpa/{}", dev.0, doc.name()));
+                let nsdb_path = Path::parse(&format!("/devices/d{}/rpa/{}", dev.0, doc.name()));
                 if install {
                     self.agent.set_intended(*dev, doc);
                     // Durability: per-device desired state fans out to every
@@ -206,11 +231,26 @@ impl Controller {
             }) {
                 return Err(DeployError::PhaseStuck { phase: i });
             }
+            let converged_at = net.now();
+            wave_span.finish(converged_at);
+            if tel.journal_enabled() {
+                let mut ev = tel
+                    .event(EventKind::SequencerWave, Severity::Info)
+                    .field("wave", i + 1)
+                    .field("devices", devices.len())
+                    .field("install", install)
+                    .field("issued_at_us", issued_at)
+                    .field("converged_at_us", converged_at);
+                if let Some(layer) = phase.layer {
+                    ev = ev.field("layer", format!("{layer:?}"));
+                }
+                tel.record(ev);
+            }
             reports.push(PhaseReport {
                 layer: phase.layer,
                 devices,
                 issued_at,
-                converged_at: net.now(),
+                converged_at,
             });
         }
         Ok((reports, all_ops))
@@ -269,11 +309,17 @@ mod tests {
         }
         // Every targeted switch runs the RPA.
         for &d in idx.fsw.iter().flatten().chain(idx.ssw.iter().flatten()) {
-            assert_eq!(net.device(d).unwrap().engine.installed(), vec!["equalize-paths"]);
+            assert_eq!(
+                net.device(d).unwrap().engine.installed(),
+                vec!["equalize-paths"]
+            );
         }
         assert_eq!(report.issued_ops.len(), 12);
         assert!(report.post_health.passed());
-        assert!(report.generation_time.as_millis() < 200, "§6.2 generation budget");
+        assert!(
+            report.generation_time.as_millis() < 200,
+            "§6.2 generation budget"
+        );
     }
 
     #[test]
@@ -301,7 +347,11 @@ mod tests {
             )
             .unwrap();
         let order: Vec<Layer> = report.phases.iter().filter_map(|p| p.layer).collect();
-        assert_eq!(order, vec![Layer::Ssw, Layer::Fsw], "closest to origination first");
+        assert_eq!(
+            order,
+            vec![Layer::Ssw, Layer::Fsw],
+            "closest to origination first"
+        );
         for &d in idx.ssw.iter().flatten() {
             assert!(net.device(d).unwrap().engine.installed().is_empty());
         }
@@ -352,7 +402,10 @@ mod tests {
             )
             .unwrap();
         let ssw = idx.ssw[0][0];
-        assert_eq!(net.device(ssw).unwrap().engine.installed(), vec!["equalize-paths"]);
+        assert_eq!(
+            net.device(ssw).unwrap().engine.installed(),
+            vec!["equalize-paths"]
+        );
         // Reads come from the surviving replica.
         let doc_path = Path::parse(&format!("/devices/d{}/rpa/equalize-paths", ssw.0));
         assert!(controller.nsdb.get(&doc_path).is_some());
@@ -376,7 +429,10 @@ mod tests {
                 &HealthCheck::default(),
             )
             .unwrap();
-        assert!(controller.nsdb.get(&Path::parse("/intents/equalize-paths")).is_some());
+        assert!(controller
+            .nsdb
+            .get(&Path::parse("/intents/equalize-paths"))
+            .is_some());
         controller
             .remove_intent(
                 &mut net,
@@ -386,6 +442,9 @@ mod tests {
                 &HealthCheck::default(),
             )
             .unwrap();
-        assert!(controller.nsdb.get(&Path::parse("/intents/equalize-paths")).is_none());
+        assert!(controller
+            .nsdb
+            .get(&Path::parse("/intents/equalize-paths"))
+            .is_none());
     }
 }

@@ -7,7 +7,9 @@
 use centralium_bgp::Prefix;
 use centralium_simnet::traffic::{forwarding_cycle, route_flows, TrafficMatrix, DEFAULT_MAX_HOPS};
 use centralium_simnet::SimNet;
+use centralium_telemetry::{EventKind, Severity};
 use centralium_topology::DeviceId;
+use serde::Serialize;
 
 /// A traffic probe: offered demand used to judge loss/loops/congestion.
 #[derive(Debug, Clone)]
@@ -36,7 +38,7 @@ pub struct HealthCheck {
 }
 
 /// Outcome of a health check.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct HealthReport {
     /// Human-readable failures; empty = healthy.
     pub failures: Vec<String>,
@@ -63,12 +65,16 @@ pub fn run_health_check(net: &SimNet, check: &HealthCheck) -> HealthReport {
             ));
         }
         if delivery.looped_gbps > 1e-9 {
-            report
-                .failures
-                .push(format!("looping traffic detected: {:.3} Gbps", delivery.looped_gbps));
+            report.failures.push(format!(
+                "looping traffic detected: {:.3} Gbps",
+                delivery.looped_gbps
+            ));
         }
         if let Some(cycle) = forwarding_cycle(net, &probe.dest) {
-            report.failures.push(format!("forwarding loop toward {}: {:?}", probe.dest, cycle));
+            report.failures.push(format!(
+                "forwarding loop toward {}: {:?}",
+                probe.dest, cycle
+            ));
         }
         if let Some(limit) = check.max_link_utilization {
             let util = delivery.max_link_utilization(net.topology());
@@ -98,8 +104,31 @@ pub fn run_health_check(net: &SimNet, check: &HealthCheck) -> HealthReport {
             .map(|d| d.engine.installed().iter().any(|n| *n == rpa_name))
             .unwrap_or(false);
         if !installed {
-            report.failures.push(format!("device {dev}: RPA '{rpa_name}' not installed"));
+            report
+                .failures
+                .push(format!("device {dev}: RPA '{rpa_name}' not installed"));
         }
+    }
+    let telemetry = net.telemetry();
+    let m = telemetry.metrics();
+    m.counter("health.checks").inc();
+    if !report.passed() {
+        m.counter("health.failures").inc();
+    }
+    if telemetry.journal_enabled() {
+        let severity = if report.passed() {
+            Severity::Info
+        } else {
+            Severity::Warn
+        };
+        let mut ev = telemetry
+            .event(EventKind::HealthCheck, severity)
+            .field("passed", report.passed())
+            .field("failures", report.failures.len());
+        if let Some(first) = report.failures.first() {
+            ev = ev.field("first_failure", first.as_str());
+        }
+        telemetry.record(ev);
     }
     report
 }

@@ -38,9 +38,11 @@ impl TargetSet {
                 }
                 out
             }
-            TargetSet::Devices(devs) => {
-                devs.iter().copied().filter(|d| topo.device(*d).is_some()).collect()
-            }
+            TargetSet::Devices(devs) => devs
+                .iter()
+                .copied()
+                .filter(|d| topo.device(*d).is_some())
+                .collect(),
         }
     }
 }
@@ -138,9 +140,11 @@ impl RoutingIntent {
             | RoutingIntent::MinNextHopProtection { targets, .. }
             | RoutingIntent::FilterBoundary { targets, .. }
             | RoutingIntent::PrimaryBackup { targets, .. } => targets.resolve(topo),
-            RoutingIntent::PrescribeWeights { per_device, .. } => {
-                per_device.iter().map(|(d, _)| *d).filter(|d| topo.device(*d).is_some()).collect()
-            }
+            RoutingIntent::PrescribeWeights { per_device, .. } => per_device
+                .iter()
+                .map(|(d, _)| *d)
+                .filter(|d| topo.device(*d).is_some())
+                .collect(),
         }
     }
 }
@@ -156,11 +160,17 @@ mod tests {
         let (mut topo, idx, _) = build_fabric(&FabricSpec::tiny());
         assert_eq!(TargetSet::Layer(Layer::Ssw).resolve(&topo).len(), 4);
         assert_eq!(
-            TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw]).resolve(&topo).len(),
+            TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw])
+                .resolve(&topo)
+                .len(),
             8
         );
         let explicit = TargetSet::Devices(vec![idx.ssw[0][0], DeviceId(99_999)]);
-        assert_eq!(explicit.resolve(&topo), vec![idx.ssw[0][0]], "unknown ids dropped");
+        assert_eq!(
+            explicit.resolve(&topo),
+            vec![idx.ssw[0][0]],
+            "unknown ids dropped"
+        );
         // Down devices are skipped by layer targeting.
         topo.set_device_state(idx.ssw[0][0], DeviceState::Down);
         assert_eq!(TargetSet::Layer(Layer::Ssw).resolve(&topo).len(), 3);

@@ -57,7 +57,10 @@ pub struct PlanStep {
 
 impl PlanStep {
     fn new(description: &str, kind: StepKind) -> Self {
-        PlanStep { description: description.into(), kind }
+        PlanStep {
+            description: description.into(),
+            kind,
+        }
     }
 }
 
@@ -171,7 +174,10 @@ pub fn plan_category(topo: &Topology, category: MigrationCategory) -> MigrationP
             without_rpa: vec![
                 PlanStep::new("push AS-path padding policy on SSWs", StepKind::ConfigPush),
                 PlanStep::new("cable first batch of FAv2 nodes", StepKind::Physical(21.0)),
-                PlanStep::new("push policy update admitting FAv2 paths", StepKind::ConfigPush),
+                PlanStep::new(
+                    "push policy update admitting FAv2 paths",
+                    StepKind::ConfigPush,
+                ),
                 PlanStep::new("cable remaining FAv2 nodes", StepKind::Physical(21.0)),
                 PlanStep::new("push traffic shift to FAv2", StepKind::ConfigPush),
                 PlanStep::new("drain FAv1/Edge layers", StepKind::ConfigPush),
@@ -180,10 +186,7 @@ pub fn plan_category(topo: &Topology, category: MigrationCategory) -> MigrationP
                 PlanStep::new("push final cleanup and verification", StepKind::ConfigPush),
             ],
             with_rpa: vec![
-                PlanStep::new(
-                    "deploy path-equalization RPAs bottom-up",
-                    StepKind::RpaOp,
-                ),
+                PlanStep::new("deploy path-equalization RPAs bottom-up", StepKind::RpaOp),
                 PlanStep::new(
                     "swap topology: commission FAv2, decommission FAv1/Edge",
                     StepKind::Physical(21.0),
@@ -305,7 +308,10 @@ pub fn plan_category(topo: &Topology, category: MigrationCategory) -> MigrationP
 
 /// Build all five Table 3 rows.
 pub fn plan_all_categories(topo: &Topology) -> Vec<MigrationPlanComparison> {
-    MigrationCategory::ALL.iter().map(|&c| plan_category(topo, c)).collect()
+    MigrationCategory::ALL
+        .iter()
+        .map(|&c| plan_category(topo, c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -321,16 +327,20 @@ mod tests {
     #[test]
     fn step_counts_match_table3() {
         let plans = plans();
-        let steps: Vec<(usize, usize)> =
-            plans.iter().map(|p| (p.steps_without(), p.steps_with())).collect();
+        let steps: Vec<(usize, usize)> = plans
+            .iter()
+            .map(|p| (p.steps_without(), p.steps_with()))
+            .collect();
         assert_eq!(steps, vec![(2, 1), (9, 3), (3, 1), (5, 3), (3, 1)]);
     }
 
     #[test]
     fn day_totals_match_table3_shape() {
         let plans = plans();
-        let days: Vec<(f64, f64)> =
-            plans.iter().map(|p| (p.days_without(), p.days_with())).collect();
+        let days: Vec<(f64, f64)> = plans
+            .iter()
+            .map(|p| (p.days_without(), p.days_with()))
+            .collect();
         // Paper: (42, <1), (189, 21), (63, 7), (105, 21), (<1 h ≈ small, <1).
         assert_eq!(days[0].0, 42.0);
         assert!(days[0].1 < 1.0);

@@ -51,12 +51,22 @@ impl VerifyOutcome {
 /// device ids that mean nothing here, so verify those with layer-scoped
 /// stand-ins.
 pub fn emulate_and_verify(intent: &RoutingIntent, origination_layer: Layer) -> VerifyOutcome {
-    if let RoutingIntent::EqualizePaths { targets: crate::intent::TargetSet::Devices(_), .. }
-    | RoutingIntent::MinNextHopProtection {
-        targets: crate::intent::TargetSet::Devices(_), ..
+    if let RoutingIntent::EqualizePaths {
+        targets: crate::intent::TargetSet::Devices(_),
+        ..
     }
-    | RoutingIntent::FilterBoundary { targets: crate::intent::TargetSet::Devices(_), .. }
-    | RoutingIntent::PrimaryBackup { targets: crate::intent::TargetSet::Devices(_), .. }
+    | RoutingIntent::MinNextHopProtection {
+        targets: crate::intent::TargetSet::Devices(_),
+        ..
+    }
+    | RoutingIntent::FilterBoundary {
+        targets: crate::intent::TargetSet::Devices(_),
+        ..
+    }
+    | RoutingIntent::PrimaryBackup {
+        targets: crate::intent::TargetSet::Devices(_),
+        ..
+    }
     | RoutingIntent::PrescribeWeights { .. } = intent
     {
         return VerifyOutcome::Unverifiable(
@@ -66,7 +76,13 @@ pub fn emulate_and_verify(intent: &RoutingIntent, origination_layer: Layer) -> V
         );
     }
     let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-    let mut net = SimNet::new(topo, SimConfig { seed: 0xEB0, ..Default::default() });
+    let mut net = SimNet::new(
+        topo,
+        SimConfig {
+            seed: 0xEB0,
+            ..Default::default()
+        },
+    );
     net.establish_all();
     for &eb in &idx.backbone {
         net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
@@ -75,7 +91,11 @@ pub fn emulate_and_verify(intent: &RoutingIntent, origination_layer: Layer) -> V
     let mut controller = Controller::new(&net, idx.rsw[0][0]);
     let sources: Vec<_> = idx.rsw.iter().flatten().copied().collect();
     let post = HealthCheck {
-        probe: Some(TrafficProbe { sources, dest: Prefix::DEFAULT, gbps_each: 10.0 }),
+        probe: Some(TrafficProbe {
+            sources,
+            dest: Prefix::DEFAULT,
+            gbps_each: 10.0,
+        }),
         max_link_utilization: Some(1.0),
         ..Default::default()
     };

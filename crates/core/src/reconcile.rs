@@ -8,7 +8,14 @@
 use crate::switch_agent::SwitchAgent;
 use centralium_nsdb::Path;
 use centralium_simnet::SimNet;
+use centralium_telemetry::{EventKind, Severity};
 use std::collections::HashMap;
+use std::time::Instant;
+
+/// Bucket bounds (µs) for wall-clock reconcile round duration.
+const ROUND_US_BOUNDS: &[f64] = &[
+    10.0, 50.0, 100.0, 500.0, 1_000.0, 5_000.0, 10_000.0, 50_000.0, 100_000.0,
+];
 
 /// Report of one loop round.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +49,7 @@ impl ReconcileLoop {
     /// Run one round: poll ground truth, reconcile, age stragglers. Callers
     /// drive the emulator between rounds.
     pub fn round(&mut self, agent: &mut SwitchAgent, net: &mut SimNet) -> RoundReport {
+        let started = Instant::now();
         self.rounds += 1;
         agent.poll_current(net);
         let ops = agent.reconcile(net);
@@ -58,7 +66,31 @@ impl ReconcileLoop {
             .map(|(p, _)| p.clone())
             .collect();
         stragglers.sort();
-        RoundReport { ops_issued: ops.len(), stragglers }
+        let report = RoundReport {
+            ops_issued: ops.len(),
+            stragglers,
+        };
+        let telemetry = net.telemetry();
+        let m = telemetry.metrics();
+        m.counter("reconcile.rounds").inc();
+        m.histogram("reconcile.round_us", ROUND_US_BOUNDS)
+            .observe(started.elapsed().as_secs_f64() * 1_000_000.0);
+        if telemetry.journal_enabled() {
+            let severity = if report.stragglers.is_empty() {
+                Severity::Info
+            } else {
+                Severity::Warn
+            };
+            telemetry.record(
+                telemetry
+                    .event(EventKind::ReconcileCycle, severity)
+                    .field("round", self.rounds)
+                    .field("ops_issued", report.ops_issued)
+                    .field("diverged", diverged.len())
+                    .field("stragglers", report.stragglers.len()),
+            );
+        }
+        report
     }
 }
 
@@ -68,8 +100,7 @@ mod tests {
     use centralium_bgp::attrs::well_known;
     use centralium_bgp::Prefix;
     use centralium_rpa::{
-        Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature,
-        RpaDocument,
+        Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature, RpaDocument,
     };
     use centralium_simnet::{ManagementPlane, SimConfig};
     use centralium_topology::{build_fabric, FabricSpec};
@@ -126,7 +157,11 @@ mod tests {
             last = rloop.round(&mut agent, &mut net);
             net.run_until_quiescent();
         }
-        assert_eq!(last.stragglers.len(), 1, "intent for a vanished device is flagged");
+        assert_eq!(
+            last.stragglers.len(),
+            1,
+            "intent for a vanished device is flagged"
+        );
         assert_eq!(last.ops_issued, 0, "unreachable devices get no RPCs");
     }
 }

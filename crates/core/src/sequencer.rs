@@ -64,12 +64,17 @@ fn order_phases(
     removal: bool,
 ) -> Vec<DeploymentPhase> {
     if matches!(strategy, DeploymentStrategy::Unordered) {
-        return vec![DeploymentPhase { layer: None, installs: docs }];
+        return vec![DeploymentPhase {
+            layer: None,
+            installs: docs,
+        }];
     }
     // Bucket by layer.
     let mut buckets: BTreeMap<Layer, Vec<(DeviceId, RpaDocument)>> = BTreeMap::new();
     for (dev, doc) in docs {
-        let Some(device) = topo.device(dev) else { continue };
+        let Some(device) = topo.device(dev) else {
+            continue;
+        };
         buckets.entry(device.layer()).or_default().push((dev, doc));
     }
     // Distance from origination = |height - origin height|. Deploy:
@@ -129,8 +134,7 @@ mod tests {
     fn safe_order_deploys_bottom_up_for_backbone_routes() {
         let (topo, _, _) = build_fabric(&FabricSpec::tiny());
         let docs = docs_for_layers(&topo, &[Layer::Fsw, Layer::Ssw, Layer::Fadu]);
-        let phases =
-            deployment_phases(&topo, docs, Layer::Backbone, DeploymentStrategy::SafeOrder);
+        let phases = deployment_phases(&topo, docs, Layer::Backbone, DeploymentStrategy::SafeOrder);
         let order: Vec<Layer> = phases.iter().filter_map(|p| p.layer).collect();
         assert_eq!(order, vec![Layer::Fsw, Layer::Ssw, Layer::Fadu]);
     }
@@ -170,8 +174,12 @@ mod tests {
     fn inverse_order_flips_safe_order() {
         let (topo, _, _) = build_fabric(&FabricSpec::tiny());
         let docs = docs_for_layers(&topo, &[Layer::Fsw, Layer::Fadu]);
-        let phases =
-            deployment_phases(&topo, docs, Layer::Backbone, DeploymentStrategy::InverseOrder);
+        let phases = deployment_phases(
+            &topo,
+            docs,
+            Layer::Backbone,
+            DeploymentStrategy::InverseOrder,
+        );
         let order: Vec<Layer> = phases.iter().filter_map(|p| p.layer).collect();
         assert_eq!(order, vec![Layer::Fadu, Layer::Fsw]);
     }
@@ -181,8 +189,7 @@ mod tests {
         let (mut topo, idx, _) = build_fabric(&FabricSpec::tiny());
         let docs = vec![(idx.ssw[0][0], doc()), (idx.ssw[0][1], doc())];
         topo.remove_device(idx.ssw[0][0]);
-        let phases =
-            deployment_phases(&topo, docs, Layer::Backbone, DeploymentStrategy::SafeOrder);
+        let phases = deployment_phases(&topo, docs, Layer::Backbone, DeploymentStrategy::SafeOrder);
         assert_eq!(phases.len(), 1);
         assert_eq!(phases[0].installs.len(), 1);
     }

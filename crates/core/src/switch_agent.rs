@@ -39,7 +39,10 @@ pub struct SwitchAgent {
 impl SwitchAgent {
     /// Create an agent reaching devices over the given management plane.
     pub fn new(mgmt: ManagementPlane) -> Self {
-        SwitchAgent { service: ServiceTemplate::new("switch-agent"), mgmt }
+        SwitchAgent {
+            service: ServiceTemplate::new("switch-agent"),
+            mgmt,
+        }
     }
 
     /// The management plane in use.
@@ -85,7 +88,9 @@ impl SwitchAgent {
     pub fn poll_current(&mut self, net: &SimNet) {
         let mut observed: Vec<(Path, Value)> = Vec::new();
         for dev in net.device_ids() {
-            let Some(device) = net.device(dev) else { continue };
+            let Some(device) = net.device(dev) else {
+                continue;
+            };
             for name in device.engine.installed() {
                 let doc = device.engine.document(name).expect("installed doc");
                 observed.push((
@@ -123,7 +128,9 @@ impl SwitchAgent {
         let mut issued = Vec::new();
         let diverged = self.service.store.out_of_sync();
         for path in &diverged {
-            let Some((device, name)) = Self::parse_rpa_path(path) else { continue };
+            let Some((device, name)) = Self::parse_rpa_path(path) else {
+                continue;
+            };
             let Some(latency) = self.mgmt.rpc_latency_us(device) else {
                 continue; // unreachable: retry next round
             };
@@ -135,11 +142,19 @@ impl SwitchAgent {
                         Err(_) => continue,
                     };
                     net.deploy_rpa(device, doc, latency);
-                    issued.push(IssuedOp { device, latency_us: latency, install: true });
+                    issued.push(IssuedOp {
+                        device,
+                        latency_us: latency,
+                        install: true,
+                    });
                 }
                 None => {
                     net.remove_rpa(device, name, latency);
-                    issued.push(IssuedOp { device, latency_us: latency, install: false });
+                    issued.push(IssuedOp {
+                        device,
+                        latency_us: latency,
+                        install: false,
+                    });
                 }
             }
         }
@@ -150,7 +165,9 @@ impl SwitchAgent {
     /// Fraction of intended device paths not yet reflected in current state
     /// (the slow-roll gate input).
     pub fn out_of_sync_fraction(&self) -> f64 {
-        self.service.store.out_of_sync_fraction(&Path::parse("/devices"))
+        self.service
+            .store
+            .out_of_sync_fraction(&Path::parse("/devices"))
     }
 }
 
@@ -165,7 +182,11 @@ mod tests {
     use centralium_simnet::SimConfig;
     use centralium_topology::{build_fabric, FabricSpec};
 
-    fn setup() -> (SimNet, SwitchAgent, centralium_topology::builder::FabricIndex) {
+    fn setup() -> (
+        SimNet,
+        SwitchAgent,
+        centralium_topology::builder::FabricIndex,
+    ) {
         let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
         let mut net = SimNet::new(topo, SimConfig::default());
         net.establish_all();
@@ -199,7 +220,10 @@ mod tests {
         assert!(ops[0].install);
         assert!(ops[0].latency_us > 0);
         net.run_until_quiescent().expect_converged();
-        assert_eq!(net.device(target).unwrap().engine.installed(), vec!["equalize"]);
+        assert_eq!(
+            net.device(target).unwrap().engine.installed(),
+            vec!["equalize"]
+        );
         agent.poll_current(&net);
         assert_eq!(agent.out_of_sync_fraction(), 0.0);
         // Second round: nothing to do.
@@ -234,13 +258,20 @@ mod tests {
         net.run_until_quiescent().expect_converged();
         agent.poll_current(&net);
         // The switch is re-provisioned: its engine loses all RPAs.
-        net.device_mut(target).unwrap().engine.remove("equalize").unwrap();
+        net.device_mut(target)
+            .unwrap()
+            .engine
+            .remove("equalize")
+            .unwrap();
         agent.poll_current(&net);
         // Continuous reconciliation catches the straggler and re-installs.
         let ops = agent.reconcile(&mut net);
         assert_eq!(ops.len(), 1, "straggler re-pushed");
         net.run_until_quiescent().expect_converged();
-        assert_eq!(net.device(target).unwrap().engine.installed(), vec!["equalize"]);
+        assert_eq!(
+            net.device(target).unwrap().engine.installed(),
+            vec!["equalize"]
+        );
     }
 
     #[test]
@@ -251,6 +282,9 @@ mod tests {
         let ops = agent.reconcile(&mut net);
         let near = ops.iter().find(|o| o.device == idx.fsw[0][0]).unwrap();
         let far = ops.iter().find(|o| o.device == idx.fauu[0][0]).unwrap();
-        assert!(far.latency_us > near.latency_us, "FAUUs are most distant (§6.2)");
+        assert!(
+            far.latency_us > near.latency_us,
+            "FAUUs are most distant (§6.2)"
+        );
     }
 }

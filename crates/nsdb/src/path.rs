@@ -16,20 +16,28 @@ pub struct Path {
 impl Path {
     /// The root path.
     pub fn root() -> Self {
-        Path { segments: Vec::new() }
+        Path {
+            segments: Vec::new(),
+        }
     }
 
     /// Parse from a `/`-separated string; empty segments are ignored, so
     /// `/a//b/` equals `/a/b`.
     pub fn parse(s: &str) -> Self {
         Path {
-            segments: s.split('/').filter(|p| !p.is_empty()).map(str::to_string).collect(),
+            segments: s
+                .split('/')
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect(),
         }
     }
 
     /// Build from segments.
     pub fn from_segments(segments: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        Path { segments: segments.into_iter().map(Into::into).collect() }
+        Path {
+            segments: segments.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// The segments.

@@ -60,7 +60,10 @@ impl PubSub {
         let mut reached = 0;
         for (pattern, mailbox) in self.subs.values_mut() {
             if pattern.matches(path) || pattern.is_ancestor_of(path) {
-                mailbox.push(ChangeEvent { path: path.clone(), value: value.cloned() });
+                mailbox.push(ChangeEvent {
+                    path: path.clone(),
+                    value: value.cloned(),
+                });
                 reached += 1;
             }
         }
@@ -69,7 +72,10 @@ impl PubSub {
 
     /// Drain a subscriber's mailbox.
     pub fn drain(&mut self, id: SubscriberId) -> Vec<ChangeEvent> {
-        self.subs.get_mut(&id).map(|(_, m)| std::mem::take(m)).unwrap_or_default()
+        self.subs
+            .get_mut(&id)
+            .map(|(_, m)| std::mem::take(m))
+            .unwrap_or_default()
     }
 
     /// Pending events for a subscriber.

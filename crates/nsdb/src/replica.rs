@@ -34,7 +34,14 @@ impl ReplicatedNsdb {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "need at least one replica");
         ReplicatedNsdb {
-            replicas: vec![Replica { state: StateTree::new(), alive: true, writes: 0 }; n],
+            replicas: vec![
+                Replica {
+                    state: StateTree::new(),
+                    alive: true,
+                    writes: 0
+                };
+                n
+            ],
             reads: 0,
             partial_writes: 0,
         }
@@ -92,7 +99,9 @@ impl ReplicatedNsdb {
 
     /// Wildcard read from the elected leader.
     pub fn get_matching(&mut self, pattern: &Path) -> Vec<(Path, Value)> {
-        let Some(leader) = self.leader() else { return Vec::new() };
+        let Some(leader) = self.leader() else {
+            return Vec::new();
+        };
         self.reads += 1;
         self.replicas[leader]
             .state
@@ -137,7 +146,11 @@ impl ReplicatedNsdb {
 
     /// (reads, total writes, partial writes) — CPU proxies.
     pub fn op_counters(&self) -> (u64, u64, u64) {
-        (self.reads, self.replicas.iter().map(|r| r.writes).sum(), self.partial_writes)
+        (
+            self.reads,
+            self.replicas.iter().map(|r| r.writes).sum(),
+            self.partial_writes,
+        )
     }
 
     /// Memory proxy: bytes across replicas.

@@ -57,7 +57,10 @@ pub struct ServiceTemplate {
 impl ServiceTemplate {
     /// New healthy service.
     pub fn new(name: impl Into<String>) -> Self {
-        ServiceTemplate { name: name.into(), ..Default::default() }
+        ServiceTemplate {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Record an RPC taking `busy_us` of work.
@@ -96,8 +99,10 @@ mod tests {
 
     #[test]
     fn cpu_utilization_bounds() {
-        let mut s = ServiceStats::default();
-        s.busy_us = 250;
+        let mut s = ServiceStats {
+            busy_us: 250,
+            ..Default::default()
+        };
         assert!((s.cpu_utilization(1000) - 0.25).abs() < 1e-9);
         assert_eq!(s.cpu_utilization(0), 0.0);
         s.busy_us = 5000;
@@ -107,10 +112,12 @@ mod tests {
     #[test]
     fn reconcile_updates_health() {
         let mut svc = ServiceTemplate::new("switch-agent");
-        svc.store.set(View::Intended, Path::parse("/d/x/rpa"), json!("v2"));
+        svc.store
+            .set(View::Intended, Path::parse("/d/x/rpa"), json!("v2"));
         svc.record_reconcile(10);
         assert_eq!(svc.health, ServiceHealth::Degraded);
-        svc.store.set(View::Current, Path::parse("/d/x/rpa"), json!("v2"));
+        svc.store
+            .set(View::Current, Path::parse("/d/x/rpa"), json!("v2"));
         svc.record_reconcile(10);
         assert_eq!(svc.health, ServiceHealth::Healthy);
         assert_eq!(svc.stats.reconcile_rounds, 2);
@@ -129,7 +136,11 @@ mod tests {
     fn memory_includes_baseline_and_state() {
         let mut svc = ServiceTemplate::new("nsdb");
         let empty = svc.approx_memory_bytes();
-        svc.store.set(View::Current, Path::parse("/big"), json!("x".repeat(10_000)));
+        svc.store.set(
+            View::Current,
+            Path::parse("/big"),
+            json!("x".repeat(10_000)),
+        );
         assert!(svc.approx_memory_bytes() > empty);
         assert!(empty >= 256 * 1024 * 1024);
     }

@@ -116,7 +116,10 @@ mod tests {
     fn views_are_independent() {
         let mut s = DualStore::new();
         s.set(View::Intended, Path::parse("/a"), json!(1));
-        assert_eq!(s.view(View::Intended).get(&Path::parse("/a")), Some(&json!(1)));
+        assert_eq!(
+            s.view(View::Intended).get(&Path::parse("/a")),
+            Some(&json!(1))
+        );
         assert_eq!(s.view(View::Current).get(&Path::parse("/a")), None);
     }
 
@@ -135,10 +138,18 @@ mod tests {
     fn slow_roll_gate_fraction() {
         let mut s = DualStore::new();
         for i in 0..10 {
-            s.set(View::Intended, Path::parse(&format!("/dev/d{i}/rpa")), json!("new"));
+            s.set(
+                View::Intended,
+                Path::parse(&format!("/dev/d{i}/rpa")),
+                json!("new"),
+            );
         }
         for i in 0..7 {
-            s.set(View::Current, Path::parse(&format!("/dev/d{i}/rpa")), json!("new"));
+            s.set(
+                View::Current,
+                Path::parse(&format!("/dev/d{i}/rpa")),
+                json!("new"),
+            );
         }
         let frac = s.out_of_sync_fraction(&Path::parse("/dev"));
         assert!((frac - 0.3).abs() < 1e-9, "3 of 10 stale, got {frac}");

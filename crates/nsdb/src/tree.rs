@@ -39,8 +39,12 @@ impl StateTree {
 
     /// Delete an entire subtree; returns the number of leaves removed.
     pub fn delete_subtree(&mut self, root: &Path) -> usize {
-        let doomed: Vec<Path> =
-            self.leaves.keys().filter(|p| root.is_ancestor_of(p)).cloned().collect();
+        let doomed: Vec<Path> = self
+            .leaves
+            .keys()
+            .filter(|p| root.is_ancestor_of(p))
+            .cloned()
+            .collect();
         for p in &doomed {
             self.leaves.remove(p);
         }
@@ -51,14 +55,24 @@ impl StateTree {
     /// match for a concrete path) — the wildcard get of Appendix A.3.
     pub fn get_matching(&self, pattern: &Path) -> Vec<(&Path, &Value)> {
         if !pattern.is_pattern() {
-            return self.get(pattern).map(|v| (self.leaves.get_key_value(pattern).unwrap().0, v)).into_iter().collect();
+            return self
+                .get(pattern)
+                .map(|v| (self.leaves.get_key_value(pattern).unwrap().0, v))
+                .into_iter()
+                .collect();
         }
-        self.leaves.iter().filter(|(p, _)| pattern.matches(p)).collect()
+        self.leaves
+            .iter()
+            .filter(|(p, _)| pattern.matches(p))
+            .collect()
     }
 
     /// All leaves under a subtree root.
     pub fn subtree(&self, root: &Path) -> Vec<(&Path, &Value)> {
-        self.leaves.iter().filter(|(p, _)| root.is_ancestor_of(p)).collect()
+        self.leaves
+            .iter()
+            .filter(|(p, _)| root.is_ancestor_of(p))
+            .collect()
     }
 
     /// Leaf count.
@@ -81,7 +95,9 @@ impl StateTree {
     pub fn approx_bytes(&self) -> usize {
         self.leaves
             .iter()
-            .map(|(p, v)| p.to_string().len() + serde_json::to_string(v).map(|s| s.len()).unwrap_or(0))
+            .map(|(p, v)| {
+                p.to_string().len() + serde_json::to_string(v).map(|s| s.len()).unwrap_or(0)
+            })
             .sum()
     }
 
@@ -166,7 +182,11 @@ mod tests {
         let diff = a.diff_paths(&b);
         assert_eq!(
             diff,
-            vec![Path::parse("/changed"), Path::parse("/only-a"), Path::parse("/only-b")]
+            vec![
+                Path::parse("/changed"),
+                Path::parse("/only-a"),
+                Path::parse("/only-b")
+            ]
         );
         assert!(a.diff_paths(&a).is_empty());
     }

@@ -116,8 +116,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = RpaError::BadRegex { document: "x".into(), error: "unclosed".into() };
+        let e = RpaError::BadRegex {
+            document: "x".into(),
+            error: "unclosed".into(),
+        };
         assert!(e.to_string().contains("invalid as_path_regex"));
-        assert!(RpaError::DuplicateName("d".into()).to_string().contains("already installed"));
+        assert!(RpaError::DuplicateName("d".into())
+            .to_string()
+            .contains("already installed"));
     }
 }

@@ -16,10 +16,12 @@ use crate::route_attribute::RouteAttributeRpa;
 use crate::route_filter::RouteFilterRpa;
 use crate::signature::{CompiledSignature, Destination};
 use centralium_bgp::{PeerId, Prefix, RibPolicy, Route, Selection};
+use centralium_telemetry::{Counter, EventKind, Histogram, Severity, Telemetry};
 use centralium_topology::Asn;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
 /// Counters exposed for the Table 2 experiment and controller health checks.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +67,25 @@ struct Installed {
     compiled: CompiledDoc,
 }
 
+/// Telemetry binding of one engine: disabled (and free) by default,
+/// attached by the host via [`RpaEngine::set_telemetry`].
+#[derive(Debug, Default)]
+struct EngineTelemetry(Option<Box<EngineTelemetryInner>>);
+
+#[derive(Debug)]
+struct EngineTelemetryInner {
+    telemetry: Telemetry,
+    /// Emitter label on journal events, e.g. `"d12"`.
+    scope: String,
+    installs: Counter,
+    removals: Counter,
+    fallbacks: Counter,
+    eval_us: Histogram,
+}
+
+/// Bucket bounds (µs) for RPA evaluation latency.
+const EVAL_US_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 500.0, 1000.0];
+
 /// The engine. One instance lives on each RPA-augmented switch.
 #[derive(Debug)]
 pub struct RpaEngine {
@@ -84,6 +105,7 @@ pub struct RpaEngine {
     native_guard_memo: Mutex<HashMap<Prefix, (usize, bool)>>,
     stats: Mutex<EngineStats>,
     next_sig_id: u32,
+    telemetry: EngineTelemetry,
 }
 
 impl Default for RpaEngine {
@@ -105,6 +127,43 @@ impl RpaEngine {
             native_guard_memo: Mutex::new(HashMap::new()),
             stats: Mutex::new(EngineStats::default()),
             next_sig_id: 0,
+            telemetry: EngineTelemetry::default(),
+        }
+    }
+
+    /// Attach telemetry: install/fallback counters, an evaluation-latency
+    /// histogram, and [`EventKind::RpaInstall`] /
+    /// [`EventKind::RpaEvalFallback`] journal events labeled `scope`.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry, scope: impl Into<String>) {
+        let m = telemetry.metrics();
+        self.telemetry = EngineTelemetry(Some(Box::new(EngineTelemetryInner {
+            telemetry: telemetry.clone(),
+            scope: scope.into(),
+            installs: m.counter("rpa.installs"),
+            removals: m.counter("rpa.removals"),
+            fallbacks: m.counter("rpa.eval_fallbacks"),
+            eval_us: m.histogram("rpa.eval_us", EVAL_US_BOUNDS),
+        })));
+    }
+
+    /// Record a successful document change on counters and the journal.
+    fn note_doc_change(&self, action: &'static str, name: &str) {
+        let Some(tel) = self.telemetry.0.as_deref() else {
+            return;
+        };
+        if action == "remove" {
+            tel.removals.inc();
+        } else {
+            tel.installs.inc();
+        }
+        if tel.telemetry.journal_enabled() {
+            tel.telemetry.record(
+                tel.telemetry
+                    .event(EventKind::RpaInstall, Severity::Info)
+                    .field("device", tel.scope.as_str())
+                    .field("action", action)
+                    .field("document", name),
+            );
         }
     }
 
@@ -142,7 +201,10 @@ impl RpaEngine {
 
     /// The installed source document by name.
     pub fn document(&self, name: &str) -> Option<&RpaDocument> {
-        self.docs.iter().find(|d| d.source.name() == name).map(|d| &d.source)
+        self.docs
+            .iter()
+            .find(|d| d.source.name() == name)
+            .map(|d| &d.source)
     }
 
     /// Version counter (bumped on every install/remove).
@@ -162,7 +224,11 @@ impl RpaEngine {
             RpaDocument::RouteAttribute(ra) => CompiledDoc::RouteAttribute(self.compile_ra(ra)?),
             RpaDocument::RouteFilter(rf) => CompiledDoc::RouteFilter(rf.clone()),
         };
-        self.docs.push(Installed { source: doc, compiled });
+        self.note_doc_change("install", doc.name());
+        self.docs.push(Installed {
+            source: doc,
+            compiled,
+        });
         self.bump();
         Ok(())
     }
@@ -176,9 +242,19 @@ impl RpaEngine {
             RpaDocument::RouteAttribute(ra) => CompiledDoc::RouteAttribute(self.compile_ra(ra)?),
             RpaDocument::RouteFilter(rf) => CompiledDoc::RouteFilter(rf.clone()),
         };
+        let replacing = self.docs.iter().any(|d| d.source.name() == doc.name());
+        self.note_doc_change(if replacing { "replace" } else { "install" }, doc.name());
         match self.docs.iter_mut().find(|d| d.source.name() == doc.name()) {
-            Some(slot) => *slot = Installed { source: doc, compiled },
-            None => self.docs.push(Installed { source: doc, compiled }),
+            Some(slot) => {
+                *slot = Installed {
+                    source: doc,
+                    compiled,
+                }
+            }
+            None => self.docs.push(Installed {
+                source: doc,
+                compiled,
+            }),
         }
         self.bump();
         Ok(())
@@ -192,6 +268,7 @@ impl RpaEngine {
             .position(|d| d.source.name() == name)
             .ok_or_else(|| RpaError::UnknownName(name.to_string()))?;
         let removed = self.docs.remove(idx);
+        self.note_doc_change("remove", name);
         self.bump();
         Ok(removed.source)
     }
@@ -199,7 +276,11 @@ impl RpaEngine {
     /// Which document/statement governs `prefix` given candidate routes —
     /// the §7.2 debugging aid ("highlight the active RPA given a particular
     /// route").
-    pub fn governing_statement(&self, prefix: Prefix, candidates: &[Route]) -> Option<(String, usize)> {
+    pub fn governing_statement(
+        &self,
+        prefix: Prefix,
+        candidates: &[Route],
+    ) -> Option<(String, usize)> {
         for doc in &self.docs {
             if let CompiledDoc::PathSelection(statements) = &doc.compiled {
                 for (i, st) in statements.iter().enumerate() {
@@ -224,10 +305,12 @@ impl RpaEngine {
             let mut path_sets = Vec::with_capacity(st.path_set_list.len());
             for set in &st.path_set_list {
                 let sig_id = self.alloc_sig_id();
-                let signature = CompiledSignature::compile(set.signature.clone(), sig_id)
-                    .map_err(|e| RpaError::BadRegex {
-                        document: ps.name.clone(),
-                        error: e.to_string(),
+                let signature =
+                    CompiledSignature::compile(set.signature.clone(), sig_id).map_err(|e| {
+                        RpaError::BadRegex {
+                            document: ps.name.clone(),
+                            error: e.to_string(),
+                        }
                     })?;
                 path_sets.push(CompiledPathSet {
                     signature,
@@ -237,7 +320,9 @@ impl RpaEngine {
             let native_min_next_hop = match st.bgp_native_min_next_hop {
                 Some(MinNextHop::Absolute(n)) => Some((n, st.keep_fib_warm_if_mnh_violated)),
                 Some(MinNextHop::Fraction(_)) => {
-                    return Err(RpaError::UnresolvedFraction { document: ps.name.clone() })
+                    return Err(RpaError::UnresolvedFraction {
+                        document: ps.name.clone(),
+                    })
                 }
                 None => None,
             };
@@ -257,7 +342,10 @@ impl RpaEngine {
             for w in &st.next_hop_weight_list {
                 let sig_id = self.alloc_sig_id();
                 let sig = CompiledSignature::compile(w.signature.clone(), sig_id).map_err(|e| {
-                    RpaError::BadRegex { document: ra.name.clone(), error: e.to_string() }
+                    RpaError::BadRegex {
+                        document: ra.name.clone(),
+                        error: e.to_string(),
+                    }
                 })?;
                 // Weight 0 is a legitimate prescription ("no traffic on this
                 // path set"); clamping it would silently rewrite operator
@@ -295,29 +383,10 @@ impl RpaEngine {
         self.stats.lock().cache_misses += 1;
         result
     }
-}
 
-/// Stable fingerprint of a route's match-relevant attributes.
-///
-/// The cache key is `(sig_id, fingerprint)`; a 64-bit collision between two
-/// distinct attribute sets would return a stale verdict. At the scales this
-/// engine sees (≤10⁵ distinct routes) the birthday-bound collision odds are
-/// below 10⁻⁹ per engine lifetime — accepted, as production caches make the
-/// same trade.
-fn fingerprint(route: &Route) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    route.attrs.as_path.hash(&mut h);
-    (route.attrs.origin as u8).hash(&mut h);
-    route.attrs.local_pref.hash(&mut h);
-    route.attrs.med.hash(&mut h);
-    route.attrs.communities.hash(&mut h);
-    route.attrs.link_bandwidth_gbps.map(f64::to_bits).hash(&mut h);
-    route.learned_from.hash(&mut h);
-    h.finish()
-}
-
-impl RibPolicy for RpaEngine {
-    fn select_paths(&self, prefix: Prefix, candidates: &[Route]) -> Option<Selection> {
+    /// The Path Selection walk (§4.3): first applicable statement governs,
+    /// first path set meeting its floor wins within it.
+    fn evaluate_path_selection(&self, prefix: Prefix, candidates: &[Route]) -> PsOutcome {
         for doc in &self.docs {
             let CompiledDoc::PathSelection(statements) = &doc.compiled else {
                 continue;
@@ -355,7 +424,7 @@ impl RibPolicy for RpaEngine {
                         .filter(|&&i| candidates[i].learned_from.is_some())
                         .count();
                     if nexthops >= set.min_next_hop {
-                        return Some(Selection {
+                        return PsOutcome::Selected(Selection {
                             selected,
                             advertise: centralium_bgp::AdvertiseChoice::LeastFavorable,
                             keep_fib_warm: false,
@@ -365,12 +434,81 @@ impl RibPolicy for RpaEngine {
                 // No path set matched: fall back to native selection (the
                 // statement's native guard, if any, still applies via the
                 // memo recorded above).
-                return None;
+                return PsOutcome::Fallback;
             }
         }
         // No applicable statement at all: clear any stale guard memo.
         self.native_guard_memo.lock().remove(&prefix);
-        None
+        PsOutcome::NotApplicable
+    }
+}
+
+/// Stable fingerprint of a route's match-relevant attributes.
+///
+/// The cache key is `(sig_id, fingerprint)`; a 64-bit collision between two
+/// distinct attribute sets would return a stale verdict. At the scales this
+/// engine sees (≤10⁵ distinct routes) the birthday-bound collision odds are
+/// below 10⁻⁹ per engine lifetime — accepted, as production caches make the
+/// same trade.
+fn fingerprint(route: &Route) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    route.attrs.as_path.hash(&mut h);
+    (route.attrs.origin as u8).hash(&mut h);
+    route.attrs.local_pref.hash(&mut h);
+    route.attrs.med.hash(&mut h);
+    route.attrs.communities.hash(&mut h);
+    route
+        .attrs
+        .link_bandwidth_gbps
+        .map(f64::to_bits)
+        .hash(&mut h);
+    route.learned_from.hash(&mut h);
+    h.finish()
+}
+
+/// Outcome of one Path Selection evaluation, distinguishing "a statement
+/// applied but nothing matched" (the fallback-to-native case the paper's
+/// operators alert on) from "no statement applied at all".
+enum PsOutcome {
+    /// A statement applied and a path set matched.
+    Selected(Selection),
+    /// A statement applied but no path set met its floor: native fallback.
+    Fallback,
+    /// No installed statement governs this prefix.
+    NotApplicable,
+}
+
+impl RibPolicy for RpaEngine {
+    fn select_paths(&self, prefix: Prefix, candidates: &[Route]) -> Option<Selection> {
+        // No documents ⇒ nothing to evaluate and (since `bump` clears the
+        // memo on every install/remove) no stale guard to clear: skip the
+        // walk and any timing entirely. This keeps the un-instrumented,
+        // un-configured hot path free.
+        if self.docs.is_empty() {
+            return None;
+        }
+        let timed = self.telemetry.0.as_deref().map(|tel| (tel, Instant::now()));
+        let outcome = self.evaluate_path_selection(prefix, candidates);
+        if let Some((tel, started)) = timed {
+            tel.eval_us
+                .observe(started.elapsed().as_secs_f64() * 1_000_000.0);
+            if matches!(outcome, PsOutcome::Fallback) {
+                tel.fallbacks.inc();
+                if tel.telemetry.journal_enabled() {
+                    tel.telemetry.record(
+                        tel.telemetry
+                            .event(EventKind::RpaEvalFallback, Severity::Info)
+                            .field("device", tel.scope.as_str())
+                            .field("prefix", prefix.to_string())
+                            .field("candidates", candidates.len()),
+                    );
+                }
+            }
+        }
+        match outcome {
+            PsOutcome::Selected(sel) => Some(sel),
+            PsOutcome::Fallback | PsOutcome::NotApplicable => None,
+        }
     }
 
     fn native_min_nexthop(&self, prefix: Prefix) -> Option<(usize, bool)> {
@@ -467,7 +605,10 @@ mod tests {
             "equalize",
             PathSelectionStatement::select(
                 Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
-                vec![PathSet::new("via-backbone", PathSignature::originated_by(Asn(60000)))],
+                vec![PathSet::new(
+                    "via-backbone",
+                    PathSignature::originated_by(Asn(60000)),
+                )],
             ),
         ))
     }
@@ -478,11 +619,17 @@ mod tests {
         assert!(e.installed().is_empty());
         e.install(equalize_doc()).unwrap();
         assert_eq!(e.installed(), vec!["equalize"]);
-        assert_eq!(e.install(equalize_doc()).unwrap_err(), RpaError::DuplicateName("equalize".into()));
+        assert_eq!(
+            e.install(equalize_doc()).unwrap_err(),
+            RpaError::DuplicateName("equalize".into())
+        );
         assert!(e.document("equalize").is_some());
         e.remove("equalize").unwrap();
         assert!(e.installed().is_empty());
-        assert_eq!(e.remove("equalize").unwrap_err(), RpaError::UnknownName("equalize".into()));
+        assert_eq!(
+            e.remove("equalize").unwrap_err(),
+            RpaError::UnknownName("equalize".into())
+        );
         assert_eq!(e.version(), 2);
     }
 
@@ -500,7 +647,10 @@ mod tests {
         ];
         let sel = e.select_paths(Prefix::DEFAULT, &candidates).unwrap();
         assert_eq!(sel.selected, vec![0, 1, 2]);
-        assert_eq!(sel.advertise, centralium_bgp::AdvertiseChoice::LeastFavorable);
+        assert_eq!(
+            sel.advertise,
+            centralium_bgp::AdvertiseChoice::LeastFavorable
+        );
     }
 
     #[test]
@@ -532,8 +682,11 @@ mod tests {
         let sel = e.select_paths(Prefix::DEFAULT, &candidates).unwrap();
         assert_eq!(sel.selected, vec![1]);
         // Two primary routes: primary set matches.
-        let candidates =
-            vec![route(1, &[1, 9], &[]), route(2, &[2, 9], &[]), route(3, &[3, 8], &[])];
+        let candidates = vec![
+            route(1, &[1, 9], &[]),
+            route(2, &[2, 9], &[]),
+            route(3, &[3, 8], &[]),
+        ];
         let sel = e.select_paths(Prefix::DEFAULT, &candidates).unwrap();
         assert_eq!(sel.selected, vec![0, 1]);
     }
@@ -545,8 +698,9 @@ mod tests {
             "floor",
             PathSelectionStatement::select(
                 Destination::Any,
-                vec![PathSet::new("nine", PathSignature::originated_by(Asn(9)))
-                    .with_min_next_hop(2)],
+                vec![
+                    PathSet::new("nine", PathSignature::originated_by(Asn(9))).with_min_next_hop(2)
+                ],
             ),
         )))
         .unwrap();
@@ -569,11 +723,7 @@ mod tests {
         let mut e = RpaEngine::new();
         e.install(RpaDocument::PathSelection(PathSelectionRpa::single(
             "decommission-guard",
-            PathSelectionStatement::native_guard(
-                Destination::Any,
-                MinNextHop::Absolute(3),
-                true,
-            ),
+            PathSelectionStatement::native_guard(Destination::Any, MinNextHop::Absolute(3), true),
         )))
         .unwrap();
         let candidates = vec![route(1, &[1, 9], &[])];
@@ -636,8 +786,15 @@ mod tests {
             .expires_at(100),
         )))
         .unwrap();
-        let selected = vec![route(1, &[1, 9], &[]), route(2, &[2, 8], &[]), route(3, &[3, 7], &[])];
-        assert_eq!(e.assign_weights(Prefix::DEFAULT, &selected), Some(vec![3, 1, 1]));
+        let selected = vec![
+            route(1, &[1, 9], &[]),
+            route(2, &[2, 8], &[]),
+            route(3, &[3, 7], &[]),
+        ];
+        assert_eq!(
+            e.assign_weights(Prefix::DEFAULT, &selected),
+            Some(vec![3, 1, 1])
+        );
         // After expiry: native fallback.
         e.set_time(100);
         assert_eq!(e.assign_weights(Prefix::DEFAULT, &selected), None);

@@ -53,7 +53,11 @@ fn default_min_next_hop() -> usize {
 impl PathSet {
     /// Path set with the default min-next-hop of 1.
     pub fn new(name: impl Into<String>, signature: PathSignature) -> Self {
-        PathSet { name: name.into(), signature, min_next_hop: 1 }
+        PathSet {
+            name: name.into(),
+            signature,
+            min_next_hop: 1,
+        }
     }
 
     /// Set the min-next-hop floor, builder-style.
@@ -120,7 +124,10 @@ pub struct PathSelectionRpa {
 impl PathSelectionRpa {
     /// Single-statement document.
     pub fn single(name: impl Into<String>, statement: PathSelectionStatement) -> Self {
-        PathSelectionRpa { name: name.into(), statements: vec![statement] }
+        PathSelectionRpa {
+            name: name.into(),
+            statements: vec![statement],
+        }
     }
 }
 

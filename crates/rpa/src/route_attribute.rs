@@ -69,7 +69,10 @@ pub struct RouteAttributeRpa {
 impl RouteAttributeRpa {
     /// Single-statement document.
     pub fn single(name: impl Into<String>, statement: RouteAttributeStatement) -> Self {
-        RouteAttributeRpa { name: name.into(), statements: vec![statement] }
+        RouteAttributeRpa {
+            name: name.into(),
+            statements: vec![statement],
+        }
     }
 }
 
@@ -94,7 +97,10 @@ mod tests {
             "te-weights",
             RouteAttributeStatement::new(
                 Destination::Any,
-                vec![NextHopWeight { signature: PathSignature::any(), weight: 3 }],
+                vec![NextHopWeight {
+                    signature: PathSignature::any(),
+                    weight: 3,
+                }],
             )
             .expires_at(1_000),
         );

@@ -25,12 +25,20 @@ pub struct PrefixFilter {
 impl PrefixFilter {
     /// Allow exactly `prefix` (and nothing more specific).
     pub fn exact(prefix: Prefix) -> Self {
-        PrefixFilter { prefix, min_mask_length: prefix.len(), max_mask_length: prefix.len() }
+        PrefixFilter {
+            prefix,
+            min_mask_length: prefix.len(),
+            max_mask_length: prefix.len(),
+        }
     }
 
     /// Allow `prefix` and more-specifics up to `max_mask_length`.
     pub fn within(prefix: Prefix, max_mask_length: u8) -> Self {
-        PrefixFilter { prefix, min_mask_length: prefix.len(), max_mask_length }
+        PrefixFilter {
+            prefix,
+            min_mask_length: prefix.len(),
+            max_mask_length,
+        }
     }
 
     /// Whether a candidate prefix passes this entry.
@@ -86,12 +94,16 @@ impl RouteFilterStatement {
     /// Whether `prefix` may be accepted from `peer` under this statement.
     /// Returns `None` when the statement does not constrain this direction.
     pub fn permits_ingress(&self, prefix: &Prefix) -> Option<bool> {
-        self.ingress_filter.as_ref().map(|list| list.iter().any(|f| f.allows(prefix)))
+        self.ingress_filter
+            .as_ref()
+            .map(|list| list.iter().any(|f| f.allows(prefix)))
     }
 
     /// Whether `prefix` may be advertised to `peer` under this statement.
     pub fn permits_egress(&self, prefix: &Prefix) -> Option<bool> {
-        self.egress_filter.as_ref().map(|list| list.iter().any(|f| f.allows(prefix)))
+        self.egress_filter
+            .as_ref()
+            .map(|list| list.iter().any(|f| f.allows(prefix)))
     }
 }
 
@@ -116,7 +128,10 @@ mod tests {
     fn exact_filter_blocks_more_specifics() {
         let f = PrefixFilter::exact(p("10.0.0.0/8"));
         assert!(f.allows(&p("10.0.0.0/8")));
-        assert!(!f.allows(&p("10.1.0.0/16")), "more-specific leak must be blocked");
+        assert!(
+            !f.allows(&p("10.1.0.0/16")),
+            "more-specific leak must be blocked"
+        );
         assert!(!f.allows(&p("11.0.0.0/8")));
     }
 
@@ -149,7 +164,11 @@ mod tests {
         };
         assert_eq!(st.permits_ingress(&Prefix::DEFAULT), Some(true));
         assert_eq!(st.permits_ingress(&p("10.0.0.0/8")), Some(false));
-        assert_eq!(st.permits_egress(&p("10.0.0.0/8")), None, "egress unconstrained");
+        assert_eq!(
+            st.permits_egress(&p("10.0.0.0/8")),
+            None,
+            "egress unconstrained"
+        );
     }
 
     #[test]

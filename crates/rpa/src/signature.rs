@@ -49,17 +49,26 @@ impl PathSignature {
     /// pattern ("select paths that start with the backbone AS number",
     /// i.e. whose origin is the backbone, neglecting AS-path length).
     pub fn originated_by(asn: Asn) -> Self {
-        PathSignature { origin_asn: Some(asn), ..Default::default() }
+        PathSignature {
+            origin_asn: Some(asn),
+            ..Default::default()
+        }
     }
 
     /// Signature matching routes carrying a community.
     pub fn with_community(c: Community) -> Self {
-        PathSignature { any_community: vec![c], ..Default::default() }
+        PathSignature {
+            any_community: vec![c],
+            ..Default::default()
+        }
     }
 
     /// Signature matching an AS-path regex.
     pub fn as_path(regex: impl Into<String>) -> Self {
-        PathSignature { as_path_regex: Some(regex.into()), ..Default::default() }
+        PathSignature {
+            as_path_regex: Some(regex.into()),
+            ..Default::default()
+        }
     }
 }
 
@@ -81,7 +90,11 @@ impl CompiledSignature {
             Some(r) => Some(Regex::new(r)?),
             None => None,
         };
-        Ok(CompiledSignature { spec, regex, sig_id })
+        Ok(CompiledSignature {
+            spec,
+            regex,
+            sig_id,
+        })
     }
 
     /// Evaluate the signature against a route. This is the Table 2 "cache
@@ -94,11 +107,20 @@ impl CompiledSignature {
             }
         }
         if !self.spec.any_community.is_empty()
-            && !self.spec.any_community.iter().any(|c| attrs.has_community(*c))
+            && !self
+                .spec
+                .any_community
+                .iter()
+                .any(|c| attrs.has_community(*c))
         {
             return false;
         }
-        if !self.spec.all_communities.iter().all(|c| attrs.has_community(*c)) {
+        if !self
+            .spec
+            .all_communities
+            .iter()
+            .all(|c| attrs.has_community(*c))
+        {
             return false;
         }
         if let Some(asn) = self.spec.origin_asn {
@@ -199,8 +221,10 @@ mod tests {
         let by_origin = compile(PathSignature::originated_by(Asn(9)));
         assert!(by_origin.matches(&route(&[1, 2, 9], &[])));
         assert!(!by_origin.matches(&route(&[9, 2, 1], &[])));
-        let by_first =
-            compile(PathSignature { first_asn: Some(Asn(9)), ..Default::default() });
+        let by_first = compile(PathSignature {
+            first_asn: Some(Asn(9)),
+            ..Default::default()
+        });
         assert!(by_first.matches(&route(&[9, 2, 1], &[])));
         assert!(!by_first.matches(&route(&[1, 2, 9], &[])));
     }
@@ -209,7 +233,10 @@ mod tests {
     fn community_criteria() {
         let c1 = Community::from_pair(65000, 1);
         let c2 = Community::from_pair(65000, 2);
-        let any = compile(PathSignature { any_community: vec![c1, c2], ..Default::default() });
+        let any = compile(PathSignature {
+            any_community: vec![c1, c2],
+            ..Default::default()
+        });
         let all = compile(PathSignature {
             all_communities: vec![c1, c2],
             ..Default::default()

@@ -72,6 +72,9 @@ mod tests {
             )
         });
         assert_eq!(dev.fib.len(), 1);
-        assert_eq!(dev.fib.entry(Prefix::DEFAULT).unwrap().nexthops, vec![(PeerId(5), 1)]);
+        assert_eq!(
+            dev.fib.entry(Prefix::DEFAULT).unwrap().nexthops,
+            vec![(PeerId(5), 1)]
+        );
     }
 }

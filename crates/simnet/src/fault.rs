@@ -19,7 +19,10 @@ pub struct FaultPlan {
 
 impl Default for FaultPlan {
     fn default() -> Self {
-        FaultPlan { drop_probability: 0.0, max_extra_delay_us: 0 }
+        FaultPlan {
+            drop_probability: 0.0,
+            max_extra_delay_us: 0,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ mod tests {
     #[test]
     fn always_drop() {
         let mut rng = StdRng::seed_from_u64(1);
-        let plan = FaultPlan { drop_probability: 1.0, max_extra_delay_us: 0 };
+        let plan = FaultPlan {
+            drop_probability: 1.0,
+            max_extra_delay_us: 0,
+        };
         for _ in 0..100 {
             assert_eq!(plan.apply(&mut rng), None);
         }
@@ -70,10 +76,15 @@ mod tests {
 
     #[test]
     fn extra_delay_is_bounded_and_deterministic() {
-        let plan = FaultPlan { drop_probability: 0.0, max_extra_delay_us: 50 };
+        let plan = FaultPlan {
+            drop_probability: 0.0,
+            max_extra_delay_us: 50,
+        };
         let sample = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..100).map(|_| plan.apply(&mut rng).unwrap()).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| plan.apply(&mut rng).unwrap())
+                .collect::<Vec<_>>()
         };
         let a = sample(7);
         let b = sample(7);
@@ -85,8 +96,13 @@ mod tests {
     #[test]
     fn drop_rate_roughly_matches_probability() {
         let mut rng = StdRng::seed_from_u64(42);
-        let plan = FaultPlan { drop_probability: 0.3, max_extra_delay_us: 0 };
-        let drops = (0..10_000).filter(|_| plan.apply(&mut rng).is_none()).count();
+        let plan = FaultPlan {
+            drop_probability: 0.3,
+            max_extra_delay_us: 0,
+        };
+        let drops = (0..10_000)
+            .filter(|_| plan.apply(&mut rng).is_none())
+            .count();
         assert!((2_500..3_500).contains(&drops), "got {drops} drops");
     }
 }

@@ -256,15 +256,24 @@ mod tests {
             entry("10.0.0.0/8", &[(2, 1)]),
             entry("10.1.0.0/16", &[(3, 1)]),
         ]);
-        assert_eq!(fib.lookup(&p("10.1.2.0/24")).unwrap().prefix, p("10.1.0.0/16"));
-        assert_eq!(fib.lookup(&p("10.2.0.0/16")).unwrap().prefix, p("10.0.0.0/8"));
+        assert_eq!(
+            fib.lookup(&p("10.1.2.0/24")).unwrap().prefix,
+            p("10.1.0.0/16")
+        );
+        assert_eq!(
+            fib.lookup(&p("10.2.0.0/16")).unwrap().prefix,
+            p("10.0.0.0/8")
+        );
         assert_eq!(fib.lookup(&p("99.0.0.0/8")).unwrap().prefix, p("0.0.0.0/0"));
     }
 
     #[test]
     fn reset_stats_keeps_current_groups() {
         let mut fib = Fib::new(16);
-        fib.sync(vec![entry("10.0.0.0/8", &[(1, 1)]), entry("11.0.0.0/8", &[(2, 1)])]);
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1)]),
+            entry("11.0.0.0/8", &[(2, 1)]),
+        ]);
         fib.reset_stats();
         let stats = fib.nhg_stats();
         assert_eq!(stats.current_groups, 2);
@@ -272,4 +281,3 @@ mod tests {
         assert_eq!(stats.group_creations, 0);
     }
 }
-

@@ -120,7 +120,13 @@ mod tests {
     #[test]
     fn consistency_holds_through_churn() {
         let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-        let mut net = SimNet::new(topo, SimConfig { seed: 77, ..Default::default() });
+        let mut net = SimNet::new(
+            topo,
+            SimConfig {
+                seed: 77,
+                ..Default::default()
+            },
+        );
         net.establish_all();
         for &eb in &idx.backbone {
             net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);

@@ -29,8 +29,8 @@
 pub mod device;
 pub mod event;
 pub mod fault;
-pub mod invariants;
 pub mod fib;
+pub mod invariants;
 pub mod mgmt;
 pub mod net;
 pub mod trace;
@@ -39,8 +39,8 @@ pub mod traffic;
 pub use device::SimDevice;
 pub use event::{EventQueue, SimTime};
 pub use fault::FaultPlan;
-pub use invariants::{assert_rib_consistent, verify_rib_consistency};
 pub use fib::{Fib, NhgStats};
+pub use invariants::{assert_rib_consistent, verify_rib_consistency};
 pub use mgmt::ManagementPlane;
 pub use net::{NetEvent, SimConfig, SimNet};
 pub use trace::{ConvergenceReport, TraceStats};

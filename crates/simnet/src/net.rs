@@ -23,6 +23,7 @@ use centralium_bgp::{
     UpdateMessage,
 };
 use centralium_rpa::RpaDocument;
+use centralium_telemetry::{Counter, EventKind, Severity, Telemetry};
 use centralium_topology::{Asn, DeviceId, DeviceState, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -182,6 +183,38 @@ pub enum NetEvent {
     },
 }
 
+/// Cached handles for the registry counters the run loop bumps on every
+/// event — binding by name happens once, updates are single atomic adds
+/// (the same cost class as the `u64` fields of the old ad-hoc `TraceStats`).
+#[derive(Debug)]
+struct NetCounters {
+    messages_delivered: Counter,
+    messages_dropped: Counter,
+    announcements: Counter,
+    withdrawals: Counter,
+    rpa_operations: Counter,
+    rpa_failures: Counter,
+    session_events: Counter,
+}
+
+impl NetCounters {
+    fn bind(telemetry: &Telemetry) -> Self {
+        let m = telemetry.metrics();
+        NetCounters {
+            messages_delivered: m.counter("simnet.messages_delivered"),
+            messages_dropped: m.counter("simnet.messages_dropped"),
+            announcements: m.counter("simnet.announcements"),
+            withdrawals: m.counter("simnet.withdrawals"),
+            rpa_operations: m.counter("simnet.rpa_operations"),
+            rpa_failures: m.counter("simnet.rpa_failures"),
+            session_events: m.counter("simnet.session_events"),
+        }
+    }
+}
+
+/// Bucket bounds (ms) for per-prefix convergence latency.
+const CONVERGENCE_MS_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 500.0, 1000.0];
+
 /// The emulator.
 #[derive(Debug)]
 pub struct SimNet {
@@ -191,7 +224,15 @@ pub struct SimNet {
     queue: EventQueue<NetEvent>,
     now: SimTime,
     rng: StdRng,
-    stats: TraceStats,
+    telemetry: Telemetry,
+    counters: NetCounters,
+    /// Per-device UPDATE-churn counters (`simnet.device.d<N>.updates`),
+    /// bound lazily on first delivery to each device.
+    churn: HashMap<DeviceId, Counter>,
+    /// When each prefix was first originated (for convergence latency).
+    origin_time: HashMap<Prefix, SimTime>,
+    /// Last time an UPDATE carrying each originated prefix was delivered.
+    last_update: HashMap<Prefix, SimTime>,
     originators: HashMap<Prefix, BTreeSet<DeviceId>>,
     /// Per directed (from, to, session) last delivery time, for TCP FIFO.
     fifo: HashMap<(DeviceId, DeviceId, u8), SimTime>,
@@ -211,8 +252,13 @@ impl SimNet {
             let mut dcfg = DaemonConfig::fabric(dev.asn);
             dcfg.wcmp_advertise = cfg.wcmp_advertise;
             let daemon = BgpDaemon::new(dcfg);
-            devices.insert(dev.id, SimDevice::new(dev.id, daemon, dev.max_nexthop_groups));
+            devices.insert(
+                dev.id,
+                SimDevice::new(dev.id, daemon, dev.max_nexthop_groups),
+            );
         }
+        let telemetry = Telemetry::new();
+        let counters = NetCounters::bind(&telemetry);
         let mut net = SimNet {
             rng: StdRng::seed_from_u64(cfg.seed),
             topo,
@@ -220,16 +266,49 @@ impl SimNet {
             devices,
             queue: EventQueue::new(),
             now: 0,
-            stats: TraceStats::default(),
+            telemetry,
+            counters,
+            churn: HashMap::new(),
+            origin_time: HashMap::new(),
+            last_update: HashMap::new(),
             originators: HashMap::new(),
             fifo: HashMap::new(),
         };
+        net.bind_all_device_telemetry();
         // Wire sessions for every Up link between live devices.
         let links: Vec<_> = net.topo.links().cloned().collect();
         for link in links {
             net.wire_link(link.a, link.b, link.capacity_gbps);
         }
         net
+    }
+
+    /// Replace the network's telemetry handle (e.g. with a journal-enabled
+    /// one), rebinding every cached counter and device instrument. Counts
+    /// accumulated on the previous handle's registry are left behind; call
+    /// this before running the simulation.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        telemetry.set_now(self.now);
+        self.counters = NetCounters::bind(&telemetry);
+        self.churn.clear();
+        self.telemetry = telemetry;
+        self.bind_all_device_telemetry();
+    }
+
+    /// The network's telemetry handle — shared (via cheap clones) with every
+    /// device daemon and RPA engine, so all metrics and journal events of
+    /// one simulation land in one place.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn bind_all_device_telemetry(&mut self) {
+        let t = self.telemetry.clone();
+        for (&id, dev) in self.devices.iter_mut() {
+            let scope = format!("d{}", id.0);
+            dev.daemon.set_telemetry(&t, scope.clone());
+            dev.engine.set_telemetry(&t, scope);
+        }
     }
 
     /// Session indices already wired from `dev` toward `other` (parallel
@@ -310,8 +389,9 @@ impl SimNet {
     /// Export policy on a session toward the layer above: up-learned routes
     /// must not be re-advertised upward (valley-freedom).
     fn export_to_up() -> Policy {
-        Policy::accept_all()
-            .rule(PolicyRule::reject(MatchExpr::community(well_known::FROM_UPSTREAM)))
+        Policy::accept_all().rule(PolicyRule::reject(MatchExpr::community(
+            well_known::FROM_UPSTREAM,
+        )))
     }
 
     /// The base export policy of a session, as installed at wiring time —
@@ -344,9 +424,18 @@ impl SimNet {
         &self.topo
     }
 
-    /// Run counters.
+    /// Run counters, assembled from the registry-backed telemetry counters
+    /// (compatibility view — the registry is the source of truth).
     pub fn stats(&self) -> TraceStats {
-        self.stats
+        TraceStats {
+            messages_delivered: self.counters.messages_delivered.get(),
+            messages_dropped: self.counters.messages_dropped.get(),
+            announcements: self.counters.announcements.get(),
+            withdrawals: self.counters.withdrawals.get(),
+            rpa_operations: self.counters.rpa_operations.get(),
+            rpa_failures: self.counters.rpa_failures.get(),
+            session_events: self.counters.session_events.get(),
+        }
     }
 
     /// A device, if present (not decommissioned).
@@ -366,7 +455,10 @@ impl SimNet {
 
     /// Which devices originate `prefix`.
     pub fn originators_of(&self, prefix: Prefix) -> Vec<DeviceId> {
-        self.originators.get(&prefix).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.originators
+            .get(&prefix)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Pending event count.
@@ -402,8 +494,11 @@ impl SimNet {
                     continue; // passive side waits for the OPEN
                 }
                 let d = self.devices.get_mut(&dev).expect("device");
-                let action =
-                    d.sessions.get_mut(&peer).expect("handshake session exists").start();
+                let action = d
+                    .sessions
+                    .get_mut(&peer)
+                    .expect("handshake session exists")
+                    .start();
                 if let SessionAction::Send(msg) = action {
                     self.emit_ctl(dev, peer, msg);
                 }
@@ -424,12 +519,24 @@ impl SimNet {
 
     /// Deploy an RPA document to a device after `rpc_latency_us`.
     pub fn deploy_rpa(&mut self, dev: DeviceId, doc: RpaDocument, rpc_latency_us: SimTime) {
-        self.schedule_in(rpc_latency_us, NetEvent::InstallRpa { dev, doc: Box::new(doc) });
+        self.schedule_in(
+            rpc_latency_us,
+            NetEvent::InstallRpa {
+                dev,
+                doc: Box::new(doc),
+            },
+        );
     }
 
     /// Remove an RPA document from a device after `rpc_latency_us`.
     pub fn remove_rpa(&mut self, dev: DeviceId, name: impl Into<String>, rpc_latency_us: SimTime) {
-        self.schedule_in(rpc_latency_us, NetEvent::RemoveRpa { dev, name: name.into() });
+        self.schedule_in(
+            rpc_latency_us,
+            NetEvent::RemoveRpa {
+                dev,
+                name: name.into(),
+            },
+        );
     }
 
     /// The export-policy *override* a drained device applies: pad the
@@ -449,7 +556,9 @@ impl SimNet {
 
     /// Drain a device (transition LIVE → MAINTENANCE) now.
     pub fn drain_device(&mut self, dev: DeviceId) {
-        let Some(d) = self.devices.get(&dev) else { return };
+        let Some(d) = self.devices.get(&dev) else {
+            return;
+        };
         let policy = Self::drain_export_policy(d.daemon.asn());
         self.topo.set_device_state(dev, DeviceState::Drained);
         self.schedule_in(0, NetEvent::SetExportPolicy { dev, policy });
@@ -458,14 +567,22 @@ impl SimNet {
     /// Undrain a device (MAINTENANCE → LIVE) now.
     pub fn undrain_device(&mut self, dev: DeviceId) {
         self.topo.set_device_state(dev, DeviceState::Live);
-        self.schedule_in(0, NetEvent::SetExportPolicy { dev, policy: Policy::accept_all() });
+        self.schedule_in(
+            0,
+            NetEvent::SetExportPolicy {
+                dev,
+                policy: Policy::accept_all(),
+            },
+        );
     }
 
     /// Power a device off: its sessions drop; neighbors notice after the
     /// failure-detection delay.
     pub fn device_down(&mut self, dev: DeviceId) {
         self.topo.set_device_state(dev, DeviceState::Down);
-        let Some(d) = self.devices.get(&dev) else { return };
+        let Some(d) = self.devices.get(&dev) else {
+            return;
+        };
         let sessions = d.daemon.peer_ids();
         for peer in sessions {
             // Local side: immediate, silent (the box is dead).
@@ -475,7 +592,10 @@ impl SimNet {
             let their_session = PeerId::compose(dev.0, peer.session_index());
             self.schedule_in(
                 self.cfg.failure_detection_us,
-                NetEvent::SessionDown { dev: neighbor, peer: their_session },
+                NetEvent::SessionDown {
+                    dev: neighbor,
+                    peer: their_session,
+                },
             );
         }
     }
@@ -483,14 +603,22 @@ impl SimNet {
     /// Power a device back on: sessions re-establish after detection delay.
     pub fn device_up(&mut self, dev: DeviceId) {
         self.topo.set_device_state(dev, DeviceState::Live);
-        let Some(d) = self.devices.get(&dev) else { return };
+        let Some(d) = self.devices.get(&dev) else {
+            return;
+        };
         for peer in d.daemon.peer_ids() {
-            self.schedule_in(self.cfg.failure_detection_us, NetEvent::SessionUp { dev, peer });
+            self.schedule_in(
+                self.cfg.failure_detection_us,
+                NetEvent::SessionUp { dev, peer },
+            );
             let neighbor = DeviceId(peer.device());
             let their_session = PeerId::compose(dev.0, peer.session_index());
             self.schedule_in(
                 self.cfg.failure_detection_us,
-                NetEvent::SessionUp { dev: neighbor, peer: their_session },
+                NetEvent::SessionUp {
+                    dev: neighbor,
+                    peer: their_session,
+                },
             );
         }
     }
@@ -508,7 +636,11 @@ impl SimNet {
         let mut dcfg = DaemonConfig::fabric(asn);
         dcfg.wcmp_advertise = self.cfg.wcmp_advertise;
         let nhg_cap = self.topo.device(id).expect("just added").max_nexthop_groups;
-        self.devices.insert(id, SimDevice::new(id, BgpDaemon::new(dcfg), nhg_cap));
+        let mut device = SimDevice::new(id, BgpDaemon::new(dcfg), nhg_cap);
+        let scope = format!("d{}", id.0);
+        device.daemon.set_telemetry(&self.telemetry, scope.clone());
+        device.engine.set_telemetry(&self.telemetry, scope);
+        self.devices.insert(id, device);
         for &(other, capacity) in links {
             self.connect_devices(id, other, capacity);
         }
@@ -548,8 +680,20 @@ impl SimNet {
                     self.emit_ctl(opener, peer, msg);
                 }
             } else {
-                self.schedule_in(0, NetEvent::SessionUp { dev: a, peer: PeerId::compose(b.0, k) });
-                self.schedule_in(0, NetEvent::SessionUp { dev: b, peer: PeerId::compose(a.0, k) });
+                self.schedule_in(
+                    0,
+                    NetEvent::SessionUp {
+                        dev: a,
+                        peer: PeerId::compose(b.0, k),
+                    },
+                );
+                self.schedule_in(
+                    0,
+                    NetEvent::SessionUp {
+                        dev: b,
+                        peer: PeerId::compose(a.0, k),
+                    },
+                );
             }
         }
         lid
@@ -559,10 +703,24 @@ impl SimNet {
     /// both sides (so a later `device_up` cannot resurrect sessions over
     /// absent cabling), then remove it from the topology.
     pub fn disconnect_link(&mut self, link: centralium_topology::LinkId) -> bool {
-        let Some(l) = self.topo.link(link).copied() else { return false };
+        let Some(l) = self.topo.link(link).copied() else {
+            return false;
+        };
         for k in 0..self.cfg.sessions_per_link {
-            self.schedule_in(0, NetEvent::RemovePeer { dev: l.a, peer: PeerId::compose(l.b.0, k) });
-            self.schedule_in(0, NetEvent::RemovePeer { dev: l.b, peer: PeerId::compose(l.a.0, k) });
+            self.schedule_in(
+                0,
+                NetEvent::RemovePeer {
+                    dev: l.a,
+                    peer: PeerId::compose(l.b.0, k),
+                },
+            );
+            self.schedule_in(
+                0,
+                NetEvent::RemovePeer {
+                    dev: l.b,
+                    peer: PeerId::compose(l.a.0, k),
+                },
+            );
         }
         self.topo.remove_link(link);
         true
@@ -599,9 +757,7 @@ impl SimNet {
                         DeviceState::Drained => self.drain_device(*id),
                         DeviceState::Live => {
                             // Undrain, and power back on if it was down.
-                            if self.topo.device(*id).map(|d| d.state)
-                                == Some(DeviceState::Down)
-                            {
+                            if self.topo.device(*id).map(|d| d.state) == Some(DeviceState::Down) {
                                 self.device_up(*id);
                             }
                             self.undrain_device(*id);
@@ -609,7 +765,11 @@ impl SimNet {
                         DeviceState::Down => self.device_down(*id),
                     }
                 }
-                TopologyDelta::AddLinkByName { a, b, capacity_gbps } => {
+                TopologyDelta::AddLinkByName {
+                    a,
+                    b,
+                    capacity_gbps,
+                } => {
                     let ia = self
                         .topo
                         .device_by_name(*a)
@@ -650,6 +810,7 @@ impl SimNet {
         };
         debug_assert!(t >= self.now, "time must be monotonic");
         self.now = t;
+        self.telemetry.set_now(t);
         self.process(ev);
         true
     }
@@ -668,7 +829,44 @@ impl SimNet {
             self.step();
             n += 1;
         }
-        ConvergenceReport { converged: true, events_processed: n, finished_at: self.now }
+        self.observe_quiescence();
+        ConvergenceReport {
+            converged: true,
+            events_processed: n,
+            finished_at: self.now,
+        }
+    }
+
+    /// Fold per-run observations into the metrics registry at quiescence:
+    /// per-prefix convergence latency (origination → last UPDATE carrying
+    /// the prefix) and the RIB/FIB size gauges. Runs once per convergence
+    /// barrier, so the device walk is off every hot path.
+    fn observe_quiescence(&mut self) {
+        if !self.last_update.is_empty() {
+            let hist = self
+                .telemetry
+                .metrics()
+                .histogram("simnet.prefix_convergence_ms", CONVERGENCE_MS_BOUNDS);
+            for (prefix, &last) in &self.last_update {
+                if let Some(&origin) = self.origin_time.get(prefix) {
+                    if last >= origin {
+                        hist.observe((last - origin) as f64 / 1_000.0);
+                    }
+                }
+            }
+        }
+        self.origin_time.clear();
+        self.last_update.clear();
+        let (mut adj_rib_in, mut loc_rib, mut nhgs) = (0i64, 0i64, 0i64);
+        for dev in self.devices.values() {
+            adj_rib_in += dev.daemon.adj_rib_in_len() as i64;
+            loc_rib += dev.daemon.loc_rib_prefixes().len() as i64;
+            nhgs += dev.fib.nhg_stats().current_groups as i64;
+        }
+        let m = self.telemetry.metrics();
+        m.gauge("bgp.adj_rib_in_total").set(adj_rib_in);
+        m.gauge("bgp.loc_rib_total").set(loc_rib);
+        m.gauge("fib.nexthop_groups_total").set(nhgs);
     }
 
     /// Run events with time ≤ `deadline` (for snapshotting transitory
@@ -692,7 +890,7 @@ impl SimNet {
                 if !self.devices.contains_key(&to) {
                     return;
                 }
-                self.stats.session_events += 1;
+                self.counters.session_events.inc();
                 let now_secs = self.now / crate::event::SECONDS;
                 let actions = {
                     let d = self.devices.get_mut(&to).expect("device");
@@ -721,30 +919,55 @@ impl SimNet {
                 }
             }
             NetEvent::Deliver { to, on, msg } => {
-                let Some(dev) = self.devices.get_mut(&to) else { return };
-                self.stats.messages_delivered += 1;
-                self.stats.announcements += msg.announced.len() as u64;
-                self.stats.withdrawals += msg.withdrawn.len() as u64;
+                if !self.devices.contains_key(&to) {
+                    return;
+                }
+                self.counters.messages_delivered.inc();
+                self.counters.announcements.add(msg.announced.len() as u64);
+                self.counters.withdrawals.add(msg.withdrawn.len() as u64);
+                self.note_churn(to);
+                if !self.origin_time.is_empty() {
+                    let now = self.now;
+                    for (p, _) in &msg.announced {
+                        if self.origin_time.contains_key(p) {
+                            self.last_update.insert(*p, now);
+                        }
+                    }
+                    for p in &msg.withdrawn {
+                        if self.origin_time.contains_key(p) {
+                            self.last_update.insert(*p, now);
+                        }
+                    }
+                }
+                let dev = self.devices.get_mut(&to).expect("checked above");
                 dev.engine.set_time(self.now);
                 let out = dev.with_daemon(|d, e| d.handle_update(on, msg, e));
                 self.emit(to, out);
             }
             NetEvent::SessionUp { dev, peer } => {
-                let Some(d) = self.devices.get_mut(&dev) else { return };
-                self.stats.session_events += 1;
+                let Some(d) = self.devices.get_mut(&dev) else {
+                    return;
+                };
+                self.counters.session_events.inc();
+                Self::note_session_transition(&self.telemetry, dev, peer, "up");
                 d.engine.set_time(self.now);
                 let out = d.with_daemon(|dm, e| dm.peer_up(peer, e));
                 self.emit(dev, out);
             }
             NetEvent::SessionDown { dev, peer } => {
-                let Some(d) = self.devices.get_mut(&dev) else { return };
-                self.stats.session_events += 1;
+                let Some(d) = self.devices.get_mut(&dev) else {
+                    return;
+                };
+                self.counters.session_events.inc();
+                Self::note_session_transition(&self.telemetry, dev, peer, "down");
                 d.engine.set_time(self.now);
                 let out = d.with_daemon(|dm, e| dm.peer_down(peer, e));
                 self.emit(dev, out);
             }
             NetEvent::RouteRefreshRequest { to, on } => {
-                let Some(d) = self.devices.get(&to) else { return };
+                let Some(d) = self.devices.get(&to) else {
+                    return;
+                };
                 if !d.daemon.is_established(on) {
                     return;
                 }
@@ -754,28 +977,35 @@ impl SimNet {
                 }
             }
             NetEvent::RemovePeer { dev, peer } => {
-                let Some(d) = self.devices.get_mut(&dev) else { return };
-                self.stats.session_events += 1;
+                let Some(d) = self.devices.get_mut(&dev) else {
+                    return;
+                };
+                self.counters.session_events.inc();
+                Self::note_session_transition(&self.telemetry, dev, peer, "removed");
                 d.engine.set_time(self.now);
                 d.sessions.remove(&peer);
                 let out = d.with_daemon(|dm, e| dm.remove_peer(peer, e));
                 self.emit(dev, out);
             }
             NetEvent::InstallRpa { dev, doc } => {
-                let Some(d) = self.devices.get_mut(&dev) else { return };
-                self.stats.rpa_operations += 1;
+                let Some(d) = self.devices.get_mut(&dev) else {
+                    return;
+                };
+                self.counters.rpa_operations.inc();
                 d.engine.set_time(self.now);
                 match d.engine.install_or_replace(*doc) {
                     Ok(()) => {
                         let out = d.with_daemon(|dm, e| dm.reevaluate_all(e));
                         self.emit(dev, out);
                     }
-                    Err(_) => self.stats.rpa_failures += 1,
+                    Err(_) => self.counters.rpa_failures.inc(),
                 }
             }
             NetEvent::RemoveRpa { dev, name } => {
-                let Some(d) = self.devices.get_mut(&dev) else { return };
-                self.stats.rpa_operations += 1;
+                let Some(d) = self.devices.get_mut(&dev) else {
+                    return;
+                };
+                self.counters.rpa_operations.inc();
                 d.engine.set_time(self.now);
                 match d.engine.remove(&name) {
                     Ok(removed) => {
@@ -799,18 +1029,23 @@ impl SimNet {
                             }
                         }
                     }
-                    Err(_) => self.stats.rpa_failures += 1,
+                    Err(_) => self.counters.rpa_failures.inc(),
                 }
             }
             NetEvent::Originate { dev, prefix, attrs } => {
-                let Some(d) = self.devices.get_mut(&dev) else { return };
+                let Some(d) = self.devices.get_mut(&dev) else {
+                    return;
+                };
                 self.originators.entry(prefix).or_default().insert(dev);
+                self.origin_time.entry(prefix).or_insert(self.now);
                 d.engine.set_time(self.now);
                 let out = d.with_daemon(|dm, e| dm.originate(prefix, attrs, e));
                 self.emit(dev, out);
             }
             NetEvent::WithdrawOrigin { dev, prefix } => {
-                let Some(d) = self.devices.get_mut(&dev) else { return };
+                let Some(d) = self.devices.get_mut(&dev) else {
+                    return;
+                };
                 if let Some(set) = self.originators.get_mut(&prefix) {
                     set.remove(&dev);
                 }
@@ -823,15 +1058,20 @@ impl SimNet {
                     return;
                 }
                 // Compose the override with each session's base policy.
-                let peers: Vec<PeerId> =
-                    self.devices.get(&dev).expect("device").daemon.peer_ids();
+                let peers: Vec<PeerId> = self.devices.get(&dev).expect("device").daemon.peer_ids();
                 let composed: Vec<(PeerId, Policy)> = peers
                     .iter()
                     .map(|&peer| {
                         let base = self.base_export_policy(dev, peer);
                         let mut rules = policy.rules.clone();
                         rules.extend(base.rules);
-                        (peer, Policy { rules, default_accept: base.default_accept })
+                        (
+                            peer,
+                            Policy {
+                                rules,
+                                default_accept: base.default_accept,
+                            },
+                        )
                     })
                     .collect();
                 let d = self.devices.get_mut(&dev).expect("device");
@@ -847,6 +1087,51 @@ impl SimNet {
         }
     }
 
+    /// Bump the per-device UPDATE-churn counter for `dev`, binding the
+    /// registry handle on first use. Written without `entry()` because the
+    /// bind closure would need `&self.telemetry` while `self.churn` is
+    /// mutably borrowed.
+    fn note_churn(&mut self, dev: DeviceId) {
+        if let Some(c) = self.churn.get(&dev) {
+            c.inc();
+        } else {
+            let c = self
+                .telemetry
+                .metrics()
+                .counter(&format!("simnet.device.d{}.updates", dev.0));
+            c.inc();
+            self.churn.insert(dev, c);
+        }
+    }
+
+    /// Journal a session lifecycle change (up / down / removed).
+    fn note_session_transition(telemetry: &Telemetry, dev: DeviceId, peer: PeerId, state: &str) {
+        if telemetry.journal_enabled() {
+            telemetry.record(
+                telemetry
+                    .event(EventKind::SessionTransition, Severity::Info)
+                    .field("device", format!("d{}", dev.0))
+                    .field("neighbor", format!("d{}", peer.device()))
+                    .field("session", peer.session_index())
+                    .field("state", state),
+            );
+        }
+    }
+
+    /// Count (and journal) a control-plane message dropped by the fault plan.
+    fn note_fault_drop(&self, from: DeviceId, to: DeviceId) {
+        self.counters.messages_dropped.inc();
+        if self.telemetry.journal_enabled() {
+            self.telemetry.record(
+                self.telemetry
+                    .event(EventKind::FaultInjected, Severity::Warn)
+                    .field("fault", "message_drop")
+                    .field("from", format!("d{}", from.0))
+                    .field("to", format!("d{}", to.0)),
+            );
+        }
+    }
+
     /// Schedule one session-control message, honoring latency/jitter/faults
     /// and the same per-session FIFO as route updates (control and updates
     /// share the TCP stream).
@@ -855,18 +1140,22 @@ impl SimNet {
         let session_idx = peer.session_index();
         let on = PeerId::compose(from.0, session_idx);
         let Some(extra) = self.cfg.fault.apply(&mut self.rng) else {
-            self.stats.messages_dropped += 1;
+            self.note_fault_drop(from, to);
             return;
         };
-        let jitter =
-            if self.cfg.jitter_us > 0 { self.rng.gen_range(0..=self.cfg.jitter_us) } else { 0 };
+        let jitter = if self.cfg.jitter_us > 0 {
+            self.rng.gen_range(0..=self.cfg.jitter_us)
+        } else {
+            0
+        };
         let mut at = self.now + self.cfg.base_latency_us + jitter + extra;
         let key = (from, to, session_idx);
         if let Some(&last) = self.fifo.get(&key) {
             at = at.max(last + 1);
         }
         self.fifo.insert(key, at);
-        self.queue.schedule(at, NetEvent::DeliverCtl { to, on, msg });
+        self.queue
+            .schedule(at, NetEvent::DeliverCtl { to, on, msg });
     }
 
     /// Schedule daemon output messages for delivery, applying splitting,
@@ -877,10 +1166,15 @@ impl SimNet {
             let session_idx = peer.session_index();
             let on = PeerId::compose(from.0, session_idx);
             let pieces: Vec<UpdateMessage> = if self.cfg.split_announcements {
-                let mut v: Vec<UpdateMessage> =
-                    msg.withdrawn.into_iter().map(UpdateMessage::withdraw).collect();
+                let mut v: Vec<UpdateMessage> = msg
+                    .withdrawn
+                    .into_iter()
+                    .map(UpdateMessage::withdraw)
+                    .collect();
                 v.extend(
-                    msg.announced.into_iter().map(|(p, a)| UpdateMessage::announce(p, a)),
+                    msg.announced
+                        .into_iter()
+                        .map(|(p, a)| UpdateMessage::announce(p, a)),
                 );
                 if self.cfg.shuffle_split_order && v.len() > 1 {
                     use rand::seq::SliceRandom;
@@ -892,7 +1186,7 @@ impl SimNet {
             };
             for piece in pieces {
                 let Some(extra) = self.cfg.fault.apply(&mut self.rng) else {
-                    self.stats.messages_dropped += 1;
+                    self.note_fault_drop(from, to);
                     continue;
                 };
                 let jitter = if self.cfg.jitter_us > 0 {
@@ -907,7 +1201,8 @@ impl SimNet {
                     at = at.max(last + 1);
                 }
                 self.fifo.insert(key, at);
-                self.queue.schedule(at, NetEvent::Deliver { to, on, msg: piece });
+                self.queue
+                    .schedule(at, NetEvent::Deliver { to, on, msg: piece });
             }
         }
     }
@@ -924,7 +1219,13 @@ mod tests {
 
     fn tiny_net(seed: u64) -> (SimNet, centralium_topology::builder::FabricIndex) {
         let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-        let net = SimNet::new(topo, SimConfig { seed, ..Default::default() });
+        let net = SimNet::new(
+            topo,
+            SimConfig {
+                seed,
+                ..Default::default()
+            },
+        );
         (net, idx)
     }
 
@@ -977,10 +1278,24 @@ mod tests {
         // Kill one FADU; SSWs connected to it lose one next-hop.
         let victim = idx.fadu[0][0];
         let ssw = idx.ssw[0][0]; // pairs with FADU-0s
-        let before = net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len();
+        let before = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(default_route())
+            .unwrap()
+            .nexthops
+            .len();
         net.device_down(victim);
         net.run_until_quiescent().expect_converged();
-        let after = net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len();
+        let after = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(default_route())
+            .unwrap()
+            .nexthops
+            .len();
         assert_eq!(after, before - 1);
     }
 
@@ -997,19 +1312,37 @@ mod tests {
         let victim = idx.fadu[0][0];
         let ssw = idx.ssw[0][0];
         assert_eq!(
-            net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len(),
+            net.device(ssw)
+                .unwrap()
+                .fib
+                .entry(default_route())
+                .unwrap()
+                .nexthops
+                .len(),
             2
         );
         net.drain_device(victim);
         net.run_until_quiescent().expect_converged();
-        let entry = net.device(ssw).unwrap().fib.entry(default_route()).unwrap().clone();
+        let entry = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(default_route())
+            .unwrap()
+            .clone();
         assert_eq!(entry.nexthops.len(), 1, "drained FADU no longer selected");
         assert_eq!(entry.nexthops[0].0.device(), idx.fadu[1][0].0);
         // Undrain restores ECMP.
         net.undrain_device(victim);
         net.run_until_quiescent().expect_converged();
         assert_eq!(
-            net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len(),
+            net.device(ssw)
+                .unwrap()
+                .fib
+                .entry(default_route())
+                .unwrap()
+                .nexthops
+                .len(),
             2
         );
     }
@@ -1033,11 +1366,21 @@ mod tests {
         );
         net.run_until_quiescent().expect_converged();
         // The new FAUU learned the default route from both EBs.
-        let entry = net.device(new_fauu).unwrap().fib.entry(default_route()).unwrap();
+        let entry = net
+            .device(new_fauu)
+            .unwrap()
+            .fib
+            .entry(default_route())
+            .unwrap();
         assert_eq!(entry.nexthops.len(), 2);
         // FADUs now have three uplinks toward the default route.
         for &fadu in &idx.fadu[0] {
-            let entry = net.device(fadu).unwrap().fib.entry(default_route()).unwrap();
+            let entry = net
+                .device(fadu)
+                .unwrap()
+                .fib
+                .entry(default_route())
+                .unwrap();
             assert_eq!(entry.nexthops.len(), 3);
         }
     }
@@ -1055,7 +1398,12 @@ mod tests {
         net.run_until_quiescent().expect_converged();
         assert!(net.device(victim).is_none());
         for &fadu in &idx.fadu[0] {
-            let entry = net.device(fadu).unwrap().fib.entry(default_route()).unwrap();
+            let entry = net
+                .device(fadu)
+                .unwrap()
+                .fib
+                .entry(default_route())
+                .unwrap();
             assert_eq!(entry.nexthops.len(), 1, "one FAUU left in grid 0");
         }
     }
@@ -1082,14 +1430,21 @@ mod tests {
         ));
         net.deploy_rpa(ssw, doc, 300);
         net.run_until_quiescent().expect_converged();
-        assert_eq!(net.device(ssw).unwrap().engine.installed(), vec!["equalize"]);
+        assert_eq!(
+            net.device(ssw).unwrap().engine.installed(),
+            vec!["equalize"]
+        );
         assert_eq!(net.stats().rpa_operations, 1);
     }
 
     #[test]
     fn handshake_mode_converges_like_administrative_mode() {
         let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-        let cfg = SimConfig { seed: 7, handshake_sessions: true, ..Default::default() };
+        let cfg = SimConfig {
+            seed: 7,
+            handshake_sessions: true,
+            ..Default::default()
+        };
         let mut net = SimNet::new(topo, cfg);
         net.establish_all();
         for &eb in &idx.backbone {
@@ -1100,7 +1455,10 @@ mod tests {
         for id in net.device_ids() {
             let dev = net.device(id).unwrap();
             for (peer, session) in &dev.sessions {
-                assert!(session.is_established(), "{id} session {peer} not established");
+                assert!(
+                    session.is_established(),
+                    "{id} session {peer} not established"
+                );
                 assert!(dev.daemon.is_established(*peer));
             }
         }
@@ -1118,7 +1476,11 @@ mod tests {
     fn handshake_notification_tears_down_and_flushes() {
         use centralium_bgp::msg::NotificationCode;
         let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-        let cfg = SimConfig { seed: 8, handshake_sessions: true, ..Default::default() };
+        let cfg = SimConfig {
+            seed: 8,
+            handshake_sessions: true,
+            ..Default::default()
+        };
         let mut net = SimNet::new(topo, cfg);
         net.establish_all();
         for &eb in &idx.backbone {
@@ -1140,7 +1502,14 @@ mod tests {
                     == Some(centralium_topology::Layer::Fadu)
             })
             .expect("ssw has a fadu session");
-        let before = net.device(ssw).unwrap().fib.entry(default_route()).unwrap().nexthops.len();
+        let before = net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(default_route())
+            .unwrap()
+            .nexthops
+            .len();
         net.schedule_in(
             0,
             NetEvent::DeliverCtl {
@@ -1153,7 +1522,11 @@ mod tests {
         let dev = net.device(ssw).unwrap();
         assert!(!dev.sessions[&fadu_session].is_established());
         let after = dev.fib.entry(default_route()).unwrap().nexthops.len();
-        assert_eq!(after, before - 1, "routes learned over the ceased session flushed");
+        assert_eq!(
+            after,
+            before - 1,
+            "routes learned over the ceased session flushed"
+        );
     }
 
     #[test]
@@ -1162,7 +1535,10 @@ mod tests {
             let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
             let cfg = SimConfig {
                 seed: 9,
-                fault: FaultPlan { drop_probability: 0.2, max_extra_delay_us: 100 },
+                fault: FaultPlan {
+                    drop_probability: 0.2,
+                    max_extra_delay_us: 100,
+                },
                 ..Default::default()
             };
             (SimNet::new(topo, cfg), idx)

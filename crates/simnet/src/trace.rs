@@ -1,9 +1,14 @@
 //! Event counters and convergence reporting.
 
 use crate::event::SimTime;
+use serde::Serialize;
 
 /// Aggregate counters over one simulation run.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+///
+/// Since the telemetry subsystem landed this is a *view* assembled by
+/// [`SimNet::stats`](crate::SimNet::stats) from registry-backed counters,
+/// kept for its ergonomic field access in tests and experiments.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct TraceStats {
     /// BGP messages delivered to daemons.
     pub messages_delivered: u64,
@@ -24,7 +29,7 @@ pub struct TraceStats {
 }
 
 /// Result of running the emulator until quiescence (or a safety cap).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct ConvergenceReport {
     /// Whether the event queue drained (true) or the event cap hit (false).
     pub converged: bool,
@@ -54,14 +59,22 @@ mod tests {
 
     #[test]
     fn expect_converged_passes_through() {
-        let r = ConvergenceReport { converged: true, events_processed: 5, finished_at: 10 };
+        let r = ConvergenceReport {
+            converged: true,
+            events_processed: 5,
+            finished_at: 10,
+        };
         assert_eq!(r.expect_converged(), r);
     }
 
     #[test]
     #[should_panic(expected = "failed to converge")]
     fn expect_converged_panics_on_cap() {
-        ConvergenceReport { converged: false, events_processed: 5, finished_at: 10 }
-            .expect_converged();
+        ConvergenceReport {
+            converged: false,
+            events_processed: 5,
+            finished_at: 10,
+        }
+        .expect_converged();
     }
 }

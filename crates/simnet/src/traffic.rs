@@ -34,7 +34,14 @@ impl TrafficMatrix {
     /// Uniform demand from every device in `sources` toward `dest`.
     pub fn uniform(sources: &[DeviceId], dest: Prefix, gbps_each: f64) -> Self {
         TrafficMatrix {
-            flows: sources.iter().map(|&src| Flow { src, dest, gbps: gbps_each }).collect(),
+            flows: sources
+                .iter()
+                .map(|&src| Flow {
+                    src,
+                    dest,
+                    gbps: gbps_each,
+                })
+                .collect(),
         }
     }
 
@@ -71,8 +78,10 @@ impl DeliveryReport {
     /// Largest transit share among `group` (funneling metric): 1/|group| is
     /// perfectly balanced; →1.0 is a first/last-router collapse.
     pub fn funneling_ratio(&self, group: &[DeviceId]) -> f64 {
-        let loads: Vec<f64> =
-            group.iter().map(|d| self.device_transit.get(d).copied().unwrap_or(0.0)).collect();
+        let loads: Vec<f64> = group
+            .iter()
+            .map(|d| self.device_transit.get(d).copied().unwrap_or(0.0))
+            .collect();
         let total: f64 = loads.iter().sum();
         if total <= 0.0 {
             return 0.0;
@@ -110,7 +119,11 @@ pub fn route_flows(net: &SimNet, matrix: &TrafficMatrix, max_hops: usize) -> Del
     let mut by_dest: std::collections::BTreeMap<Prefix, std::collections::BTreeMap<DeviceId, f64>> =
         std::collections::BTreeMap::new();
     for flow in &matrix.flows {
-        *by_dest.entry(flow.dest).or_default().entry(flow.src).or_insert(0.0) += flow.gbps;
+        *by_dest
+            .entry(flow.dest)
+            .or_default()
+            .entry(flow.src)
+            .or_insert(0.0) += flow.gbps;
     }
     for (dest, sources) in by_dest {
         let sinks: std::collections::HashSet<DeviceId> =
@@ -136,7 +149,11 @@ pub fn route_flows_to(
     let mut by_dest: std::collections::BTreeMap<Prefix, std::collections::BTreeMap<DeviceId, f64>> =
         std::collections::BTreeMap::new();
     for flow in &matrix.flows {
-        *by_dest.entry(flow.dest).or_default().entry(flow.src).or_insert(0.0) += flow.gbps;
+        *by_dest
+            .entry(flow.dest)
+            .or_default()
+            .entry(flow.src)
+            .or_insert(0.0) += flow.gbps;
     }
     for (dest, sources) in by_dest {
         route_one(net, dest, sources, &sinks, max_hops, &mut report);
@@ -219,8 +236,11 @@ pub fn forwarding_cycle(net: &SimNet, dest: &Prefix) -> Option<Vec<DeviceId>> {
         }
         if let Some(device) = net.device(dev) {
             if let Some(entry) = device.fib.lookup(dest) {
-                let hops: Vec<DeviceId> =
-                    entry.nexthops.iter().map(|(p, _)| DeviceId(p.device())).collect();
+                let hops: Vec<DeviceId> = entry
+                    .nexthops
+                    .iter()
+                    .map(|(p, _)| DeviceId(p.device()))
+                    .collect();
                 next.insert(dev, hops);
             }
         }
@@ -282,7 +302,13 @@ mod tests {
 
     fn converged_tiny() -> (SimNet, centralium_topology::builder::FabricIndex) {
         let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-        let mut net = SimNet::new(topo, SimConfig { seed: 2, ..Default::default() });
+        let mut net = SimNet::new(
+            topo,
+            SimConfig {
+                seed: 2,
+                ..Default::default()
+            },
+        );
         net.establish_all();
         for &eb in &idx.backbone {
             net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
@@ -298,7 +324,10 @@ mod tests {
         let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
         let report = route_flows(&net, &tm, DEFAULT_MAX_HOPS);
         let offered = tm.total_gbps();
-        assert!((report.delivered_gbps - offered).abs() < 1e-6, "all traffic delivered");
+        assert!(
+            (report.delivered_gbps - offered).abs() < 1e-6,
+            "all traffic delivered"
+        );
         assert_eq!(report.blackholed_gbps, 0.0);
         assert_eq!(report.looped_gbps, 0.0);
         assert_eq!(report.delivery_ratio(offered), 1.0);

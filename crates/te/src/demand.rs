@@ -47,7 +47,11 @@ impl Demands {
     /// Scale all demands by `factor`, returning a new matrix.
     pub fn scaled(&self, factor: f64) -> Demands {
         Demands {
-            per_source: self.per_source.iter().map(|(&d, &g)| (d, g * factor)).collect(),
+            per_source: self
+                .per_source
+                .iter()
+                .map(|(&d, &g)| (d, g * factor))
+                .collect(),
         }
     }
 }

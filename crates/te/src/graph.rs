@@ -54,7 +54,10 @@ impl UpGraph {
             }
             edges.insert(
                 dev.id,
-                pooled.into_iter().map(|(to, capacity)| UpEdge { to, capacity }).collect(),
+                pooled
+                    .into_iter()
+                    .map(|(to, capacity)| UpEdge { to, capacity })
+                    .collect(),
             );
         }
         // Iteratively remove edges toward nodes that cannot reach a sink.
@@ -159,7 +162,13 @@ mod tests {
         topo.add_link(a, b, 100.0);
         topo.add_link(a, b, 100.0);
         let g = UpGraph::from_topology(&topo, &[b]);
-        assert_eq!(g.edges_of(a), &[UpEdge { to: b, capacity: 200.0 }]);
+        assert_eq!(
+            g.edges_of(a),
+            &[UpEdge {
+                to: b,
+                capacity: 200.0
+            }]
+        );
     }
 
     #[test]
@@ -202,7 +211,9 @@ mod tests {
             let sum: f64 = edges.iter().map(|e| w[&(node, e.to)]).sum();
             assert!((sum - 1.0).abs() < 1e-9);
             let first = w[&(node, edges[0].to)];
-            assert!(edges.iter().all(|e| (w[&(node, e.to)] - first).abs() < 1e-12));
+            assert!(edges
+                .iter()
+                .all(|e| (w[&(node, e.to)] - first).abs() < 1e-12));
         }
     }
 }

@@ -48,7 +48,10 @@ pub fn optimize_weights(graph: &UpGraph, demands: &Demands, iterations: usize) -
     for (node, edges) in graph.per_node() {
         let total: f64 = edges.iter().map(|e| e.capacity).sum();
         for e in edges {
-            weights.insert((node, e.to), if total > 0.0 { e.capacity / total } else { 0.0 });
+            weights.insert(
+                (node, e.to),
+                if total > 0.0 { e.capacity / total } else { 0.0 },
+            );
         }
     }
     if graph.edge_count() == 0 {
@@ -96,7 +99,14 @@ pub fn optimize_weights(graph: &UpGraph, demands: &Demands, iterations: usize) -
                 weighted += w * cost;
                 total_w += w;
             }
-            label.insert(node, if total_w > 0.0 { weighted / total_w } else { 0.0 });
+            label.insert(
+                node,
+                if total_w > 0.0 {
+                    weighted / total_w
+                } else {
+                    0.0
+                },
+            );
         }
         let mut changed = false;
         for (node, edges) in graph.per_node() {

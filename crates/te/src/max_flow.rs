@@ -21,7 +21,11 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Network with `n` nodes.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { to: Vec::new(), cap: Vec::new(), head: vec![Vec::new(); n] }
+        FlowNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
     }
 
     /// Add a directed edge with capacity.
@@ -193,7 +197,10 @@ mod tests {
         let g = UpGraph::from_topology(&topo, &[e1, e2]);
         let d = Demands::uniform(&[a], 10.0);
         let bound = effective_capacity_bound(&g, &d);
-        assert!((bound - 140.0).abs() < 0.1, "sum of uplink capacity, got {bound}");
+        assert!(
+            (bound - 140.0).abs() < 0.1,
+            "sum of uplink capacity, got {bound}"
+        );
     }
 
     #[test]

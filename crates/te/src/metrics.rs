@@ -28,7 +28,10 @@ pub fn propagate(
             continue;
         }
         let edges = graph.edges_of(node);
-        let total_w: f64 = edges.iter().map(|e| weights.get(&(node, e.to)).copied().unwrap_or(0.0)).sum();
+        let total_w: f64 = edges
+            .iter()
+            .map(|e| weights.get(&(node, e.to)).copied().unwrap_or(0.0))
+            .sum();
         if total_w <= 0.0 {
             continue; // dropped
         }
@@ -69,7 +72,10 @@ pub fn effective_capacity(graph: &UpGraph, demands: &Demands, weights: &Weights)
 /// Demand delivered to sinks (conservation check).
 pub fn delivered(graph: &UpGraph, demands: &Demands, weights: &Weights) -> f64 {
     let (inflow, _) = propagate(graph, demands, weights);
-    graph.sinks().map(|s| inflow.get(&s).copied().unwrap_or(0.0)).sum()
+    graph
+        .sinks()
+        .map(|s| inflow.get(&s).copied().unwrap_or(0.0))
+        .sum()
 }
 
 #[cfg(test)]

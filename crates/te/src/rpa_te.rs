@@ -45,7 +45,9 @@ pub fn compile_weights(
         }
         let mut list = Vec::with_capacity(edges.len());
         for (e, w) in edges.iter().zip(&quantized) {
-            let Some(neighbor) = topo.device(e.to) else { continue };
+            let Some(neighbor) = topo.device(e.to) else {
+                continue;
+            };
             list.push(NextHopWeight {
                 signature: PathSignature {
                     first_asn: Some(neighbor.asn),
@@ -54,8 +56,7 @@ pub fn compile_weights(
                 weight: *w,
             });
         }
-        let mut statement =
-            RouteAttributeStatement::new(Destination::Community(destination), list);
+        let mut statement = RouteAttributeStatement::new(Destination::Community(destination), list);
         statement.expiration_time = expiration_time;
         let name = format!("te-weights-{}", node);
         out.insert(
@@ -100,8 +101,7 @@ mod tests {
         let g = UpGraph::from_topology(&topo, &idx.backbone);
         let sources: Vec<_> = idx.fadu.iter().flatten().copied().collect();
         let w = optimize_weights(&g, &Demands::uniform(&sources, 10.0), 50);
-        let docs =
-            compile_weights(&topo, &g, &w, well_known::BACKBONE_DEFAULT_ROUTE, None);
+        let docs = compile_weights(&topo, &g, &w, well_known::BACKBONE_DEFAULT_ROUTE, None);
         assert!(docs.is_empty(), "uniform weights compile to nothing");
     }
 
@@ -111,19 +111,25 @@ mod tests {
         // Make one FAUU-EB link smaller to force unequal weights upstream.
         let fauu = idx.fauu[0][0];
         let eb = idx.backbone[0];
-        let victim =
-            topo.links().find(|l| l.connects(fauu, eb)).map(|l| l.id).expect("link");
+        let victim = topo
+            .links()
+            .find(|l| l.connects(fauu, eb))
+            .map(|l| l.id)
+            .expect("link");
         topo.remove_link(victim);
         topo.add_link(fauu, eb, 10.0);
         let g = UpGraph::from_topology(&topo, &idx.backbone);
         let sources: Vec<_> = idx.fadu.iter().flatten().copied().collect();
         let w = optimize_weights(&g, &Demands::uniform(&sources, 40.0), 100);
-        let docs =
-            compile_weights(&topo, &g, &w, well_known::BACKBONE_DEFAULT_ROUTE, Some(500));
+        let docs = compile_weights(&topo, &g, &w, well_known::BACKBONE_DEFAULT_ROUTE, Some(500));
         assert!(!docs.is_empty());
         // The affected FAUU must carry unequal weights toward the two EBs.
-        let doc = docs.get(&fauu).expect("FAUU with asymmetric uplinks gets a doc");
-        let RpaDocument::RouteAttribute(ra) = doc else { panic!("wrong kind") };
+        let doc = docs
+            .get(&fauu)
+            .expect("FAUU with asymmetric uplinks gets a doc");
+        let RpaDocument::RouteAttribute(ra) = doc else {
+            panic!("wrong kind")
+        };
         let st = &ra.statements[0];
         assert_eq!(st.expiration_time, Some(500));
         assert_eq!(st.next_hop_weight_list.len(), 2);

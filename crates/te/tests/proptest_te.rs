@@ -7,7 +7,13 @@ use centralium_te::{
 use centralium_topology::{build_fabric, DeviceState, FabricSpec, LinkId};
 use proptest::prelude::*;
 
-fn damaged_fabric(kill_links: &[usize], kill_fauu: Option<usize>) -> (centralium_topology::Topology, centralium_topology::builder::FabricIndex) {
+fn damaged_fabric(
+    kill_links: &[usize],
+    kill_fauu: Option<usize>,
+) -> (
+    centralium_topology::Topology,
+    centralium_topology::builder::FabricIndex,
+) {
     let (mut topo, idx, _) = build_fabric(&FabricSpec::default());
     let boundary: Vec<LinkId> = topo
         .links()

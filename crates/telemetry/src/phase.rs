@@ -1,0 +1,135 @@
+//! Span-like phase timing for the deployment pipeline.
+//!
+//! The controller opens a [`PhaseSpan`] around each pipeline stage
+//! (plan → preverify → wave N → health) and finishes it explicitly when the
+//! stage completes. Each span records both **wall-clock** duration (what the
+//! operator waits for) and **simulated** duration (how long the emulated
+//! network took to converge); the two answer different questions, so both
+//! are kept.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed pipeline stage.
+#[derive(Debug, Clone)]
+pub struct PhaseRecord {
+    /// Stage name, e.g. `"plan"`, `"wave 1 (fsw)"`, `"health"`.
+    pub name: String,
+    /// Wall-clock time spent in the stage.
+    pub wall: Duration,
+    /// Simulated time elapsed during the stage, in microseconds.
+    pub sim_us: u64,
+}
+
+/// Accumulates completed [`PhaseRecord`]s in execution order.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    records: Mutex<Vec<PhaseRecord>>,
+}
+
+impl PhaseTimer {
+    /// Fresh, empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a span; call [`PhaseSpan::finish`] when the stage completes.
+    /// `sim_now_us` is the simulated clock at stage entry.
+    pub fn span(&self, name: impl Into<String>, sim_now_us: u64) -> PhaseSpan<'_> {
+        PhaseSpan {
+            timer: self,
+            name: name.into(),
+            started: Instant::now(),
+            sim_start: sim_now_us,
+        }
+    }
+
+    /// Append an already-measured record.
+    pub fn record(&self, record: PhaseRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// Completed records, in execution order.
+    pub fn records(&self) -> Vec<PhaseRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of completed records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether no stage has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Drop all records (between repetitions of a benchmark).
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+}
+
+/// An open pipeline stage. Finish it explicitly — there is no RAII drop, so
+/// an abandoned span (error path) simply records nothing rather than
+/// attributing unrelated time to the stage.
+#[must_use = "call finish() when the stage completes"]
+pub struct PhaseSpan<'a> {
+    timer: &'a PhaseTimer,
+    name: String,
+    started: Instant,
+    sim_start: u64,
+}
+
+impl PhaseSpan<'_> {
+    /// Close the span. `sim_now_us` is the simulated clock at stage exit.
+    pub fn finish(self, sim_now_us: u64) {
+        self.timer.record(PhaseRecord {
+            name: self.name,
+            wall: self.started.elapsed(),
+            sim_us: sim_now_us.saturating_sub(self.sim_start),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_execution_order() {
+        let t = PhaseTimer::new();
+        let a = t.span("plan", 0);
+        a.finish(0);
+        let b = t.span("wave 1 (fsw)", 100);
+        b.finish(350);
+        let records = t.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "plan");
+        assert_eq!(records[0].sim_us, 0);
+        assert_eq!(records[1].name, "wave 1 (fsw)");
+        assert_eq!(records[1].sim_us, 250);
+    }
+
+    #[test]
+    fn abandoned_span_records_nothing() {
+        let t = PhaseTimer::new();
+        drop(t.span("never finished", 0));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_between_repetitions() {
+        let t = PhaseTimer::new();
+        t.span("x", 0).finish(1);
+        t.clear();
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn sim_clock_regression_saturates() {
+        let t = PhaseTimer::new();
+        t.span("odd", 500).finish(100);
+        assert_eq!(t.records()[0].sim_us, 0);
+    }
+}

@@ -138,36 +138,66 @@ pub fn build_fabric(spec: &FabricSpec) -> (Topology, FabricIndex, AsnAllocator) 
     // Devices, bottom-up so DeviceIds roughly follow layer order.
     for pod in 0..spec.pods {
         let racks = (0..spec.racks_per_pod)
-            .map(|r| topo.add_device(DeviceName::new(Layer::Rsw, pod, r), asn.allocate(Layer::Rsw)))
+            .map(|r| {
+                topo.add_device(
+                    DeviceName::new(Layer::Rsw, pod, r),
+                    asn.allocate(Layer::Rsw),
+                )
+            })
             .collect();
         idx.rsw.push(racks);
     }
     for pod in 0..spec.pods {
         let fsws = (0..spec.planes)
-            .map(|p| topo.add_device(DeviceName::new(Layer::Fsw, pod, p), asn.allocate(Layer::Fsw)))
+            .map(|p| {
+                topo.add_device(
+                    DeviceName::new(Layer::Fsw, pod, p),
+                    asn.allocate(Layer::Fsw),
+                )
+            })
             .collect();
         idx.fsw.push(fsws);
     }
     for plane in 0..spec.planes {
         let ssws = (0..spec.ssws_per_plane)
-            .map(|n| topo.add_device(DeviceName::new(Layer::Ssw, plane, n), asn.allocate(Layer::Ssw)))
+            .map(|n| {
+                topo.add_device(
+                    DeviceName::new(Layer::Ssw, plane, n),
+                    asn.allocate(Layer::Ssw),
+                )
+            })
             .collect();
         idx.ssw.push(ssws);
     }
     for grid in 0..spec.grids {
         let fadus = (0..spec.ssws_per_plane)
-            .map(|n| topo.add_device(DeviceName::new(Layer::Fadu, grid, n), asn.allocate(Layer::Fadu)))
+            .map(|n| {
+                topo.add_device(
+                    DeviceName::new(Layer::Fadu, grid, n),
+                    asn.allocate(Layer::Fadu),
+                )
+            })
             .collect();
         idx.fadu.push(fadus);
     }
     for grid in 0..spec.grids {
         let fauus = (0..spec.fauus_per_grid)
-            .map(|n| topo.add_device(DeviceName::new(Layer::Fauu, grid, n), asn.allocate(Layer::Fauu)))
+            .map(|n| {
+                topo.add_device(
+                    DeviceName::new(Layer::Fauu, grid, n),
+                    asn.allocate(Layer::Fauu),
+                )
+            })
             .collect();
         idx.fauu.push(fauus);
     }
     idx.backbone = (0..spec.backbone_devices)
-        .map(|n| topo.add_device(DeviceName::new(Layer::Backbone, 0, n), asn.allocate(Layer::Backbone)))
+        .map(|n| {
+            topo.add_device(
+                DeviceName::new(Layer::Backbone, 0, n),
+                asn.allocate(Layer::Backbone),
+            )
+        })
         .collect();
 
     // RSW <-> FSW: full mesh within a pod.

@@ -86,11 +86,7 @@ mod tests {
     use super::*;
 
     fn dev(state: DeviceState) -> Device {
-        let mut d = Device::new(
-            DeviceId(1),
-            DeviceName::new(Layer::Fsw, 0, 0),
-            Asn(65001),
-        );
+        let mut d = Device::new(DeviceId(1), DeviceName::new(Layer::Fsw, 0, 0), Asn(65001));
         d.state = state;
         d
     }

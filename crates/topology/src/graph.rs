@@ -154,8 +154,16 @@ impl Topology {
     /// Panics if either endpoint does not exist or if `a == b`.
     pub fn add_link(&mut self, a: DeviceId, b: DeviceId, capacity_gbps: f64) -> LinkId {
         assert_ne!(a, b, "self-links are not allowed");
-        let la = self.devices.get(&a).expect("link endpoint a exists").layer();
-        let lb = self.devices.get(&b).expect("link endpoint b exists").layer();
+        let la = self
+            .devices
+            .get(&a)
+            .expect("link endpoint a exists")
+            .layer();
+        let lb = self
+            .devices
+            .get(&b)
+            .expect("link endpoint b exists")
+            .layer();
         let (lo, hi) = if lb.is_below(la) { (b, a) } else { (a, b) };
         let id = LinkId(self.next_link_id);
         self.next_link_id += 1;

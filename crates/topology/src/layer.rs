@@ -89,7 +89,12 @@ mod tests {
     #[test]
     fn layers_are_ordered_bottom_up() {
         for pair in Layer::ALL.windows(2) {
-            assert!(pair[0].is_below(pair[1]), "{} should be below {}", pair[0], pair[1]);
+            assert!(
+                pair[0].is_below(pair[1]),
+                "{} should be below {}",
+                pair[0],
+                pair[1]
+            );
             assert!(pair[0] < pair[1]);
         }
     }

@@ -47,7 +47,13 @@ impl Link {
 
     /// Create an up link with the given capacity.
     pub fn new(id: LinkId, a: DeviceId, b: DeviceId, capacity_gbps: f64) -> Self {
-        Link { id, a, b, capacity_gbps, state: LinkState::Up }
+        Link {
+            id,
+            a,
+            b,
+            capacity_gbps,
+            state: LinkState::Up,
+        }
     }
 
     /// The endpoint opposite to `from`, or `None` if `from` is not on the link.

@@ -141,7 +141,10 @@ pub struct MigrationStage {
 impl MigrationStage {
     /// Create a stage.
     pub fn new(description: impl Into<String>, deltas: Vec<TopologyDelta>) -> Self {
-        MigrationStage { description: description.into(), deltas }
+        MigrationStage {
+            description: description.into(),
+            deltas,
+        }
     }
 }
 
@@ -206,7 +209,11 @@ impl std::error::Error for MigrationError {}
 impl Migration {
     /// Create a migration plan.
     pub fn new(category: MigrationCategory, name: impl Into<String>) -> Self {
-        Migration { category, name: name.into(), stages: Vec::new() }
+        Migration {
+            category,
+            name: name.into(),
+            stages: Vec::new(),
+        }
     }
 
     /// Append a stage, builder-style.
@@ -233,7 +240,8 @@ impl Migration {
                     report.created.insert(*name, id);
                 }
                 TopologyDelta::RemoveDevice { id } => {
-                    topo.remove_device(*id).ok_or(MigrationError::UnknownDevice(*id))?;
+                    topo.remove_device(*id)
+                        .ok_or(MigrationError::UnknownDevice(*id))?;
                     report.removed_devices.push(*id);
                 }
                 TopologyDelta::SetDeviceState { id, state } => {
@@ -242,13 +250,24 @@ impl Migration {
                     }
                     report.state_changed.push(*id);
                 }
-                TopologyDelta::AddLinkByName { a, b, capacity_gbps } => {
-                    let ia = topo.device_by_name(*a).ok_or(MigrationError::UnknownName(*a))?;
-                    let ib = topo.device_by_name(*b).ok_or(MigrationError::UnknownName(*b))?;
-                    report.added_links.push(topo.add_link(ia, ib, *capacity_gbps));
+                TopologyDelta::AddLinkByName {
+                    a,
+                    b,
+                    capacity_gbps,
+                } => {
+                    let ia = topo
+                        .device_by_name(*a)
+                        .ok_or(MigrationError::UnknownName(*a))?;
+                    let ib = topo
+                        .device_by_name(*b)
+                        .ok_or(MigrationError::UnknownName(*b))?;
+                    report
+                        .added_links
+                        .push(topo.add_link(ia, ib, *capacity_gbps));
                 }
                 TopologyDelta::RemoveLink { id } => {
-                    topo.remove_link(*id).ok_or(MigrationError::UnknownLink(*id))?;
+                    topo.remove_link(*id)
+                        .ok_or(MigrationError::UnknownLink(*id))?;
                     report.removed_links.push(*id);
                 }
             }
@@ -318,8 +337,15 @@ mod tests {
         let stage = MigrationStage::new(
             "commission fadu",
             vec![
-                TopologyDelta::AddDevice { name: new_name, asn: asn.allocate(Layer::Fadu) },
-                TopologyDelta::AddLinkByName { a: new_name, b: peer, capacity_gbps: 100.0 },
+                TopologyDelta::AddDevice {
+                    name: new_name,
+                    asn: asn.allocate(Layer::Fadu),
+                },
+                TopologyDelta::AddLinkByName {
+                    a: new_name,
+                    b: peer,
+                    capacity_gbps: 100.0,
+                },
             ],
         );
         let report = Migration::apply_stage(&mut topo, &stage).unwrap();
@@ -335,7 +361,10 @@ mod tests {
         let victim = idx.ssw[0][0];
         let drain = MigrationStage::new(
             "drain",
-            vec![TopologyDelta::SetDeviceState { id: victim, state: DeviceState::Drained }],
+            vec![TopologyDelta::SetDeviceState {
+                id: victim,
+                state: DeviceState::Drained,
+            }],
         );
         let remove =
             MigrationStage::new("remove", vec![TopologyDelta::RemoveDevice { id: victim }]);
@@ -349,8 +378,7 @@ mod tests {
     fn unknown_references_error() {
         let (mut topo, _, _) = build_fabric(&FabricSpec::tiny());
         let bogus = DeviceId(9999);
-        let stage =
-            MigrationStage::new("bad", vec![TopologyDelta::RemoveDevice { id: bogus }]);
+        let stage = MigrationStage::new("bad", vec![TopologyDelta::RemoveDevice { id: bogus }]);
         assert_eq!(
             Migration::apply_stage(&mut topo, &stage).unwrap_err(),
             MigrationError::UnknownDevice(bogus)
@@ -372,8 +400,8 @@ mod tests {
     #[test]
     fn devices_touched_per_layer_counts_all_delta_kinds() {
         let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-        let mig = Migration::new(MigrationCategory::TrafficDrainForMaintenance, "drain ssw")
-            .stage(MigrationStage::new(
+        let mig = Migration::new(MigrationCategory::TrafficDrainForMaintenance, "drain ssw").stage(
+            MigrationStage::new(
                 "drain two ssws",
                 vec![
                     TopologyDelta::SetDeviceState {
@@ -385,7 +413,8 @@ mod tests {
                         state: DeviceState::Drained,
                     },
                 ],
-            ));
+            ),
+        );
         let per_layer = mig.devices_touched_per_layer(&topo);
         assert_eq!(per_layer.get(&Layer::Ssw), Some(&2));
         assert_eq!(per_layer.get(&Layer::Fsw), None);

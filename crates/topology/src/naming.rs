@@ -57,7 +57,11 @@ pub struct DeviceName {
 impl DeviceName {
     /// Construct a name.
     pub fn new(layer: Layer, group: u16, index: u16) -> Self {
-        DeviceName { layer, group, index }
+        DeviceName {
+            layer,
+            group,
+            index,
+        }
     }
 
     /// The grouping label used when rendering the name, per layer semantics.
@@ -91,9 +95,18 @@ mod tests {
     #[test]
     fn display_formats_follow_layer_semantics() {
         assert_eq!(DeviceName::new(Layer::Rsw, 3, 7).to_string(), "rsw-pod3-7");
-        assert_eq!(DeviceName::new(Layer::Ssw, 1, 2).to_string(), "ssw-plane1-2");
-        assert_eq!(DeviceName::new(Layer::Fadu, 0, 4).to_string(), "fadu-grid0-4");
-        assert_eq!(DeviceName::new(Layer::Backbone, 0, 1).to_string(), "eb-bb0-1");
+        assert_eq!(
+            DeviceName::new(Layer::Ssw, 1, 2).to_string(),
+            "ssw-plane1-2"
+        );
+        assert_eq!(
+            DeviceName::new(Layer::Fadu, 0, 4).to_string(),
+            "fadu-grid0-4"
+        );
+        assert_eq!(
+            DeviceName::new(Layer::Backbone, 0, 1).to_string(),
+            "eb-bb0-1"
+        );
     }
 
     #[test]

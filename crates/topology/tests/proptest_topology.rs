@@ -8,18 +8,27 @@ use centralium_topology::{
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = FabricSpec> {
-    (1u16..=4, 1u16..=4, 1u16..=4, 1u16..=4, 1u16..=3, 1u16..=3, 1u16..=4).prop_map(
-        |(pods, planes, ssws, racks, grids, fauus, ebs)| FabricSpec {
-            pods,
-            planes,
-            ssws_per_plane: ssws,
-            racks_per_pod: racks,
-            grids,
-            fauus_per_grid: fauus,
-            backbone_devices: ebs,
-            link_capacity_gbps: 100.0,
-        },
+    (
+        1u16..=4,
+        1u16..=4,
+        1u16..=4,
+        1u16..=4,
+        1u16..=3,
+        1u16..=3,
+        1u16..=4,
     )
+        .prop_map(
+            |(pods, planes, ssws, racks, grids, fauus, ebs)| FabricSpec {
+                pods,
+                planes,
+                ssws_per_plane: ssws,
+                racks_per_pod: racks,
+                grids,
+                fauus_per_grid: fauus,
+                backbone_devices: ebs,
+                link_capacity_gbps: 100.0,
+            },
+        )
 }
 
 proptest! {

@@ -23,7 +23,11 @@ fn main() {
     // plane (the SSW-N ↔ FADU-N pairing invariant makes this well-defined).
     let fadu0s: Vec<DeviceId> = fab.idx.fadu.iter().map(|g| g[0]).collect();
     let ssw0s: Vec<DeviceId> = fab.idx.ssw.iter().map(|p| p[0]).collect();
-    println!("decommission group: {} FADU-0s, {} SSW-0s", fadu0s.len(), ssw0s.len());
+    println!(
+        "decommission group: {} FADU-0s, {} SSW-0s",
+        fadu0s.len(),
+        ssw0s.len()
+    );
 
     // Step 0: selectively inject the protection RPA on the affected SSWs —
     // exactly the §4.4.2 snippet: BgpNativeMinNextHop 75%, FIB kept warm.
@@ -55,7 +59,10 @@ fn main() {
     drain_wave(&mut fab.net, &ssw0s);
     fab.net.run_until_quiescent().expect_converged();
     let report = route_flows(&fab.net, &probe, DEFAULT_MAX_HOPS);
-    println!("after SSW-0 drain: delivery {:.4}", report.delivery_ratio(offered));
+    println!(
+        "after SSW-0 drain: delivery {:.4}",
+        report.delivery_ratio(offered)
+    );
 
     // Both groups are now traffic-free and safe to unplug.
     for dev in fadu0s.iter().chain(&ssw0s) {

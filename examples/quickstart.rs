@@ -18,7 +18,11 @@ fn main() {
     // 1. A small five-layer Clos fabric (Figure 1 of the paper).
     let spec = FabricSpec::tiny();
     let (topo, idx, _) = build_fabric(&spec);
-    println!("built fabric: {} devices, {} links", topo.device_count(), topo.link_count());
+    println!(
+        "built fabric: {} devices, {} links",
+        topo.device_count(),
+        topo.link_count()
+    );
 
     // 2. Wire the emulator, bring every BGP session up, and originate the
     //    backbone default route.
@@ -36,15 +40,27 @@ fn main() {
 
     // 3. Inspect a spine switch's FIB: ECMP over its FADU uplinks.
     let ssw = idx.ssw[0][0];
-    let entry = net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().clone();
-    println!("ssw-plane0-0 default route: {} next-hops (native ECMP)", entry.nexthops.len());
+    let entry = net
+        .device(ssw)
+        .unwrap()
+        .fib
+        .entry(Prefix::DEFAULT)
+        .unwrap()
+        .clone();
+    println!(
+        "ssw-plane0-0 default route: {} next-hops (native ECMP)",
+        entry.nexthops.len()
+    );
 
     // 4. Deploy a Path Selection RPA through the controller: equalize all
     //    backbone-originated paths on the SSW layer, in the §5.3.2 safe
     //    order, with health checks before and after.
     let mut controller = Controller::new(&net, idx.rsw[0][0]);
-    let intent =
-        equalize_on_layers(well_known::BACKBONE_DEFAULT_ROUTE, Layer::Backbone, vec![Layer::Ssw]);
+    let intent = equalize_on_layers(
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        Layer::Backbone,
+        vec![Layer::Ssw],
+    );
     let deployment = controller
         .deploy_intent(
             &mut net,
@@ -67,8 +83,12 @@ fn main() {
     //    default route (the §7.2 debugging surface).
     let dev = net.device(ssw).unwrap();
     println!("ssw-plane0-0 active RPAs: {:?}", dev.engine.installed());
-    let candidates: Vec<_> =
-        dev.daemon.rib_in_routes(Prefix::DEFAULT).into_iter().cloned().collect();
+    let candidates: Vec<_> = dev
+        .daemon
+        .rib_in_routes(Prefix::DEFAULT)
+        .into_iter()
+        .cloned()
+        .collect();
     if let Some((doc, stmt)) = dev.engine.governing_statement(Prefix::DEFAULT, &candidates) {
         println!("default route is governed by RPA '{doc}', statement {stmt}");
     }

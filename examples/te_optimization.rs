@@ -10,7 +10,9 @@
 use centralium::apps::traffic_engineering::te_intent;
 use centralium::compile::compile_intent;
 use centralium_bgp::attrs::well_known;
-use centralium_te::{ecmp_weights, effective_capacity, max_flow, optimize_weights, Demands, UpGraph};
+use centralium_te::{
+    ecmp_weights, effective_capacity, max_flow, optimize_weights, Demands, UpGraph,
+};
 use centralium_topology::{build_fabric, FabricSpec, Layer};
 
 fn main() {
@@ -24,7 +26,10 @@ fn main() {
         .filter(|(i, _)| i % 3 == 0)
         .map(|(_, id)| id)
         .collect();
-    println!("removing {} FAUU-EB links for maintenance (symmetry broken)", victims.len());
+    println!(
+        "removing {} FAUU-EB links for maintenance (symmetry broken)",
+        victims.len()
+    );
     for v in victims {
         topo.remove_link(v);
     }
@@ -39,8 +44,14 @@ fn main() {
     let ideal = max_flow::effective_capacity_bound(&graph, &demands);
 
     println!("effective capacity toward the backbone:");
-    println!("  ECMP        {ecmp:>9.1} Gbps  ({:.1}% of ideal)", 100.0 * ecmp / ideal);
-    println!("  TE (RPA)    {te:>9.1} Gbps  ({:.1}% of ideal)", 100.0 * te / ideal);
+    println!(
+        "  ECMP        {ecmp:>9.1} Gbps  ({:.1}% of ideal)",
+        100.0 * ecmp / ideal
+    );
+    println!(
+        "  TE (RPA)    {te:>9.1} Gbps  ({:.1}% of ideal)",
+        100.0 * te / ideal
+    );
     println!("  ideal WCMP  {ideal:>9.1} Gbps");
 
     // Compile the TE weights into deployable Route Attribute RPAs.
@@ -53,7 +64,10 @@ fn main() {
         200,
     );
     let docs = compile_intent(&topo, &intent).expect("TE intent compiles");
-    println!("\ncompiled {} Route Attribute RPA documents, e.g.:", docs.len());
+    println!(
+        "\ncompiled {} Route Attribute RPA documents, e.g.:",
+        docs.len()
+    );
     if let Some((dev, doc)) = docs.first() {
         println!(
             "--- device {dev} ({} LOC) ---\n{}",

@@ -50,14 +50,24 @@ fn main() {
     println!("commissioned FAv2 units: {:?}", report.fav2);
     println!(
         "final health: {}",
-        if report.final_health.passed() { "PASS".to_string() } else { format!("{:?}", report.final_health.failures) }
+        if report.final_health.passed() {
+            "PASS".to_string()
+        } else {
+            format!("{:?}", report.final_health.failures)
+        }
     );
     println!(
         "final fabric: {} devices (old aggregation layers removed)",
         fab.net.topology().device_count()
     );
     for &ssw in &ssws {
-        let entry = fab.net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+        let entry = fab
+            .net
+            .device(ssw)
+            .unwrap()
+            .fib
+            .entry(Prefix::DEFAULT)
+            .unwrap();
         println!(
             "  ssw {} default route: {} next-hops (all FAv2), RPAs left: {:?}",
             ssw,

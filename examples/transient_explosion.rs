@@ -9,14 +9,23 @@
 use centralium_bench::scenarios::fig5_rig;
 
 fn run(with_rpa: bool) {
-    let label = if with_rpa { "Route Attribute RPA" } else { "distributed WCMP" };
+    let label = if with_rpa {
+        "Route Attribute RPA"
+    } else {
+        "distributed WCMP"
+    };
     let mut rig = fig5_rig(128, 16, 99, with_rpa);
     rig.net.device_mut(rig.du).unwrap().fib.reset_stats();
     println!("== {label} ==");
     println!(
         "steady state: {} prefixes over {} groups",
         rig.net.device(rig.du).unwrap().fib.len(),
-        rig.net.device(rig.du).unwrap().fib.nhg_stats().current_groups
+        rig.net
+            .device(rig.du)
+            .unwrap()
+            .fib
+            .nhg_stats()
+            .current_groups
     );
     // EB1 and EB2 enter MAINTENANCE; every (prefix, session) converges
     // independently.

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`: same macro/API surface
+//! (`criterion_group!`, `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`), but a deliberately simple
+//! wall-clock harness — it calibrates an iteration count per benchmark and
+//! reports the mean time per iteration. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; only a hint in this shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.to_string(), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Calibration pass: grow the iteration count until one sample takes
+    // at least ~1ms, so per-iteration means are not pure timer noise.
+    loop {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || b.iters >= 1 << 20 {
+            break;
+        }
+        b.iters *= 8;
+    }
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size.min(10) {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+        if total > Duration::from_secs(2) {
+            break; // keep slow benchmarks bounded; this shim is not for stats
+        }
+    }
+    let per_iter = if total_iters > 0 {
+        total / total_iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("  {id}: {per_iter:?}/iter ({total_iters} iters)");
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// `criterion_group!(name, target1, target2, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_both_iter_forms() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut ran = 0u64;
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+}

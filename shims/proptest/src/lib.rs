@@ -1,0 +1,514 @@
+//! Offline stand-in for `proptest`: deterministic random-input testing.
+//!
+//! Implements the surface this workspace's property tests use — `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!`, `ProptestConfig::with_cases`, range and
+//! tuple strategies, `collection::vec`, `option::of`, `bool::ANY`, `any::<T>()`,
+//! simple `"[a-z]{1,4}"`-style string strategies, and `.prop_map` — but does
+//! **no shrinking**: a failing case reports its seed and case number instead.
+
+use rand::{Rng, RngCore, SeedableRng, StdRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Build the deterministic RNG used by the `proptest!` macro. Public so the
+/// macro expansion works in crates that do not themselves depend on `rand`.
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree / shrinking: `sample` draws a single value.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! numeric_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+/// `any::<T>()` — full-domain strategy for primitives.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Minimal `"[a-z]{1,4}"`-style string strategies: a sequence of literal
+/// characters or `[lo-hi...]` classes, each optionally followed by `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One unit: a character class or a literal character.
+        let choices: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .expect("proptest shim: unclosed class in string strategy")
+                + i;
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j], chars[j + 2]);
+                    set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional {m,n} / {m} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("proptest shim: unclosed repetition in string strategy")
+                + i;
+            let inner: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match inner.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("repetition min"),
+                    hi.parse().expect("repetition max"),
+                ),
+                None => {
+                    let n: usize = inner.parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let n = if min == max {
+            min
+        } else {
+            rng.gen_range(min..=max)
+        };
+        for _ in 0..n {
+            if choices.is_empty() {
+                continue;
+            }
+            let pick = rng.gen_range(0..choices.len());
+            out.push(choices[pick]);
+        }
+    }
+    out
+}
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Length specification for [`vec`].
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    /// `proptest::collection::vec(strategy, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.min..=self.size.max_inclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// `proptest::option::of(strategy)`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::{StdRng, Strategy};
+    use rand::RngCore;
+
+    /// `proptest::bool::ANY`.
+    pub struct AnyBool;
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = core::primitive::bool;
+        fn sample(&self, rng: &mut StdRng) -> core::primitive::bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// The proptest entry macro: runs each property over `cases` sampled inputs.
+/// No shrinking — failures report the case number (re-run to reproduce; the
+/// RNG is seeded deterministically per property).
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    // Without a config header.
+    (
+        $(#[$meta:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $(#[$meta])* fn $($rest)*);
+    };
+    (@funcs ($cfg:expr)) => {};
+    (
+        @funcs ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            // Deterministic per-property seed derived from the test name.
+            let seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+            let mut rng = $crate::new_rng(seed);
+            for case in 0..config.cases {
+                $(let $arg = ($strat).sample(&mut rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {args}")`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with an optional message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 1u32..10, b in 0u8..=3, f in 1.5f64..2.5) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b <= 3);
+            prop_assert!((1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in crate::collection::vec((0u8..4, 0u32..64), 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            for (a, b) in v {
+                prop_assert!(a < 4 && b < 64);
+            }
+        }
+
+        #[test]
+        fn string_pattern(segments in crate::collection::vec("[a-z]{1,4}", 1..5)) {
+            for s in segments {
+                prop_assert!((1..=4).contains(&s.len()));
+                prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        #[test]
+        fn prop_map_and_option(x in (0u32..5).prop_map(|v| v * 2), o in crate::option::of(1u8..3)) {
+            prop_assert!(x % 2 == 0 && x < 10);
+            if let Some(i) = o {
+                prop_assert!(i == 1 || i == 2);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(_x in 0u8..2) {
+                    prop_assert!(false, "intentional");
+                }
+            }
+            always_fails();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `rand` crate: a deterministic splitmix64-based
+//! `StdRng` plus the `Rng`/`SeedableRng`/`SliceRandom` surface the workspace
+//! uses (`gen_range`, `gen_bool`, `shuffle`). Not cryptographic; fully
+//! reproducible from the seed, which is what the simulator needs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: a stream of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniformRange<T>,
+        Self: Sized,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_full(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The standard deterministic generator (splitmix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut rng = StdRng {
+            state: seed ^ 0x5DEECE66D,
+        };
+        // Warm up so nearby seeds diverge immediately.
+        rng.next_u64();
+        rng
+    }
+}
+
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Types uniformly sampleable from an inclusive range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_full<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128) - (lo as i128); // span in [0, 2^64)
+                if span == 0 {
+                    return lo;
+                }
+                let span = span as u128 + 1;
+                // Modulo bias is irrelevant for a simulator shim.
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                ((lo as i128) + r) as $t
+            }
+            fn sample_full<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+    fn sample_full<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+    fn sample_full<R: RngCore>(rng: &mut R) -> Self {
+        f64::sample_full(rng) as f32
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`]; yields `(lo, hi_inclusive)`.
+pub trait IntoUniformRange<T> {
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform + HasPredecessor> IntoUniformRange<T> for Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end.predecessor())
+    }
+}
+
+impl<T: SampleUniform> IntoUniformRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+/// Integer predecessor, used to convert half-open ranges to inclusive ones.
+pub trait HasPredecessor {
+    fn predecessor(self) -> Self;
+}
+
+macro_rules! predecessor_int {
+    ($($t:ty),*) => {$(
+        impl HasPredecessor for $t {
+            fn predecessor(self) -> Self {
+                self.checked_sub(1).expect("gen_range: empty half-open range")
+            }
+        }
+    )*};
+}
+
+predecessor_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HasPredecessor for f64 {
+    fn predecessor(self) -> Self {
+        self // half-open float ranges sample [lo, hi); endpoint mass is zero
+    }
+}
+
+impl HasPredecessor for f32 {
+    fn predecessor(self) -> Self {
+        self
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Fisher–Yates shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(5..10);
+            assert!((5..10).contains(&x));
+            let y: usize = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&y));
+            let f: f64 = rng.gen_range(5.0..80.0);
+            assert!((5.0..80.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

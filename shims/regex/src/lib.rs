@@ -1,0 +1,390 @@
+//! Offline stand-in for the `regex` crate: a compact backtracking engine.
+//!
+//! Supports the subset used by RPA path signatures: literals, `.`, `^`, `$`,
+//! alternation `|`, groups `(...)`, classes `[a-z0-9]` (with `^` negation),
+//! quantifiers `*` `+` `?` `{m}` `{m,}` `{m,n}`, and common escapes
+//! (`\d \w \s \D \W \S` plus escaped metacharacters). Compilation errors on
+//! malformed patterns (unbalanced groups/classes, dangling quantifiers), as
+//! the engine tests rely on `Regex::new("(")` failing.
+
+/// Pattern compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Char(char),
+    Any,
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
+    Start,
+    End,
+    Concat(Vec<Node>),
+    Alt(Vec<Node>),
+    Repeat {
+        node: Box<Node>,
+        min: u32,
+        max: Option<u32>,
+    },
+}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    ast: Node,
+    pattern: String,
+}
+
+impl Regex {
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        let mut p = PatternParser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let ast = p.parse_alt()?;
+        if p.pos != p.chars.len() {
+            return Err(Error(format!(
+                "unexpected '{}' at {}",
+                p.chars[p.pos], p.pos
+            )));
+        }
+        Ok(Regex {
+            ast,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether the pattern matches anywhere in `text` (unanchored search).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        (0..=chars.len()).any(|start| matches_at(&[&self.ast], &chars, start, start == 0).is_some())
+    }
+}
+
+// ----------------------------------------------------------------- parser
+
+struct PatternParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl PatternParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, Error> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Node::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Node, Error> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            nodes.push(self.parse_repeat()?);
+        }
+        Ok(match nodes.len() {
+            1 => nodes.pop().expect("one node"),
+            _ => Node::Concat(nodes),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, Error> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => (0, None),
+            Some('+') => (1, None),
+            Some('?') => (0, Some(1)),
+            Some('{') => {
+                // Only treat as a quantifier when it parses as one; `{`
+                // otherwise behaves like a literal (matching the real crate's
+                // lenient handling of non-quantifier braces).
+                if let Some((min, max, consumed)) = self.try_parse_braces() {
+                    self.pos += consumed;
+                    return Ok(Node::Repeat {
+                        node: Box::new(atom),
+                        min,
+                        max,
+                    });
+                }
+                return Ok(atom);
+            }
+            _ => return Ok(atom),
+        };
+        self.bump();
+        Ok(Node::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    /// Try to read `{m}`, `{m,}` or `{m,n}` starting at `self.pos` (which
+    /// points at `{`). Returns `(min, max, chars_consumed)` without consuming.
+    fn try_parse_braces(&self) -> Option<(u32, Option<u32>, usize)> {
+        let rest: String = self.chars[self.pos..].iter().collect();
+        let close = rest.find('}')?;
+        let inner = &rest[1..close];
+        let consumed = close + 1;
+        if let Some((lo, hi)) = inner.split_once(',') {
+            let min = lo.parse().ok()?;
+            let max = if hi.is_empty() {
+                None
+            } else {
+                Some(hi.parse().ok()?)
+            };
+            Some((min, max, consumed))
+        } else {
+            let n = inner.parse().ok()?;
+            Some((n, Some(n), consumed))
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, Error> {
+        match self.bump() {
+            None => Err(Error("unexpected end of pattern".into())),
+            Some('(') => {
+                // Swallow non-capturing / named-group markers.
+                if self.peek() == Some('?') {
+                    self.bump();
+                    if self.peek() == Some(':') {
+                        self.bump();
+                    }
+                }
+                let inner = self.parse_alt()?;
+                match self.bump() {
+                    Some(')') => Ok(inner),
+                    _ => Err(Error("unclosed group".into())),
+                }
+            }
+            Some(')') => Err(Error("unopened group".into())),
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::Any),
+            Some('^') => Ok(Node::Start),
+            Some('$') => Ok(Node::End),
+            Some('*') | Some('+') => Err(Error("dangling quantifier".into())),
+            Some('\\') => self.parse_escape(),
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<Node, Error> {
+        match self.bump() {
+            None => Err(Error("trailing backslash".into())),
+            Some('d') => Ok(Node::Class {
+                negated: false,
+                ranges: vec![('0', '9')],
+            }),
+            Some('D') => Ok(Node::Class {
+                negated: true,
+                ranges: vec![('0', '9')],
+            }),
+            Some('w') => Ok(word_class(false)),
+            Some('W') => Ok(word_class(true)),
+            Some('s') => Ok(Node::Class {
+                negated: false,
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            }),
+            Some('S') => Ok(Node::Class {
+                negated: true,
+                ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r')],
+            }),
+            Some('n') => Ok(Node::Char('\n')),
+            Some('t') => Ok(Node::Char('\t')),
+            Some('r') => Ok(Node::Char('\r')),
+            Some(c) => Ok(Node::Char(c)), // escaped metacharacter
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, Error> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.bump() {
+                None => return Err(Error("unclosed character class".into())),
+                Some(']') if !ranges.is_empty() || negated => break,
+                Some(']') => break, // `[]` — empty class matches nothing
+                Some('\\') => match self.bump() {
+                    None => return Err(Error("trailing backslash in class".into())),
+                    Some('d') => {
+                        ranges.push(('0', '9'));
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(e) => e,
+                },
+                Some(c) => c,
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| Error("unclosed range in class".into()))?;
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Ok(Node::Class { negated, ranges })
+    }
+}
+
+fn word_class(negated: bool) -> Node {
+    Node::Class {
+        negated,
+        ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+    }
+}
+
+// ---------------------------------------------------------------- matcher
+
+/// Backtracking matcher: does the node sequence `seq` match starting at
+/// `pos`? Returns the end position of a match. `at_text_start` disambiguates
+/// `^` when the search starts mid-string.
+fn matches_at(seq: &[&Node], text: &[char], pos: usize, at_text_start: bool) -> Option<usize> {
+    let Some((&first, rest)) = seq.split_first() else {
+        return Some(pos);
+    };
+    match first {
+        Node::Char(c) => (text.get(pos) == Some(c))
+            .then_some(())
+            .and_then(|_| matches_at(rest, text, pos + 1, false)),
+        Node::Any => (pos < text.len())
+            .then_some(())
+            .and_then(|_| matches_at(rest, text, pos + 1, false)),
+        Node::Class { negated, ranges } => {
+            let &c = text.get(pos)?;
+            let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+            (inside != *negated)
+                .then_some(())
+                .and_then(|_| matches_at(rest, text, pos + 1, false))
+        }
+        Node::Start => (pos == 0 && at_text_start)
+            .then_some(())
+            .and_then(|_| matches_at(rest, text, pos, at_text_start)),
+        Node::End => (pos == text.len())
+            .then_some(())
+            .and_then(|_| matches_at(rest, text, pos, at_text_start)),
+        Node::Concat(nodes) => {
+            let mut merged: Vec<&Node> = nodes.iter().collect();
+            merged.extend_from_slice(rest);
+            matches_at(&merged, text, pos, at_text_start)
+        }
+        Node::Alt(branches) => branches.iter().find_map(|b| {
+            let mut seq2: Vec<&Node> = vec![b];
+            seq2.extend_from_slice(rest);
+            matches_at(&seq2, text, pos, at_text_start)
+        }),
+        Node::Repeat { node, min, max } => {
+            if max.is_none_or(|m| m > 0) {
+                let dec = Node::Repeat {
+                    node: node.clone(),
+                    min: min.saturating_sub(1),
+                    max: max.map(|m| m - 1),
+                };
+                let mut seq2: Vec<&Node> = vec![node, &dec];
+                seq2.extend_from_slice(rest);
+                // Greedy: prefer consuming another repetition first. Require
+                // progress (the inner match must consume input) to avoid
+                // infinite recursion on nullable inner nodes like `(a?)*`.
+                let probe: Vec<&Node> = vec![node.as_ref()];
+                if matches_at(&probe, text, pos, at_text_start).is_some_and(|end| end > pos)
+                    || *min > 0
+                {
+                    if let Some(end) = matches_at(&seq2, text, pos, at_text_start) {
+                        return Some(end);
+                    }
+                }
+            }
+            if *min == 0 {
+                matches_at(rest, text, pos, at_text_start)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn anchors_and_alternation() {
+        assert!(m("^12345( |$)", "12345 64512"));
+        assert!(m("^12345( |$)", "12345"));
+        assert!(!m("^12345( |$)", "123456"));
+        assert!(!m("^12345( |$)", "512345"));
+        assert!(m("^1", "1 2 3"));
+        assert!(!m("^1", "2 1"));
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        assert!(m("[a-z]{1,4}$", "abc"));
+        assert!(m("a+b?c*", "aa"));
+        assert!(!m("^a+$", "b"));
+        assert!(m("^[0-9]+( [0-9]+)*$", "10 20 30"));
+        assert!(!m("^[^0-9]+$", "a1b"));
+        assert!(m(r"^\d+$", "42"));
+        assert!(m("^(ab|cd)+$", "abcdab"));
+    }
+
+    #[test]
+    fn unanchored_search() {
+        assert!(m("234", "12345"));
+        assert!(!m("235", "12345"));
+    }
+
+    #[test]
+    #[allow(clippy::invalid_regex)]
+    fn invalid_patterns_error() {
+        assert!(Regex::new("(").is_err());
+        assert!(Regex::new(")").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("*x").is_err());
+    }
+}

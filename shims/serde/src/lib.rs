@@ -1,0 +1,484 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access, so the workspace cannot fetch
+//! the real serde. This crate provides a deliberately small, value-tree-based
+//! replacement: types serialize into a [`Value`] tree and deserialize back
+//! out of one. The `derive` feature re-exports hand-rolled `Serialize` /
+//! `Deserialize` derive macros from the sibling `serde_derive` shim.
+//!
+//! The API is intentionally simpler than real serde (no `Serializer` /
+//! `Deserializer` visitors); manual impls in the workspace are written
+//! against this surface.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Ordered JSON object representation.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-like value tree: the interchange format for this shim.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    /// Object-key or array-index lookup, mirroring `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can turn themselves into a [`Value`] tree.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    _ => Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| Error::custom("expected number"))
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::custom("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(t) => t.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(v)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::custom("wrong array length"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::custom("expected tuple array"))?;
+                let expected = [$($n),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom("wrong tuple arity"));
+                }
+                Ok(($($t::deserialize(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Maps serialize to a JSON object when every key renders as a string, and
+/// to an array of `[key, value]` pairs otherwise (tuple or struct keys).
+fn serialize_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)> + Clone,
+) -> Value {
+    let all_string = entries
+        .clone()
+        .all(|(k, _)| matches!(k.serialize(), Value::Str(_)));
+    if all_string {
+        Value::Object(
+            entries
+                .map(|(k, v)| {
+                    let Value::Str(key) = k.serialize() else {
+                        unreachable!()
+                    };
+                    (key, v.serialize())
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            entries
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+
+fn deserialize_map_entries<K: Deserialize, V: Deserialize>(
+    v: &Value,
+) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Value::Object(m) => m
+            .iter()
+            .map(|(k, val)| {
+                Ok((
+                    K::deserialize(&Value::Str(k.clone()))?,
+                    V::deserialize(val)?,
+                ))
+            })
+            .collect(),
+        Value::Array(pairs) => pairs
+            .iter()
+            .map(|pair| {
+                let items = pair
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| Error::custom("expected [key, value] pair in map encoding"))?;
+                Ok((K::deserialize(&items[0])?, V::deserialize(&items[1])?))
+            })
+            .collect(),
+        _ => Err(Error::custom("expected map (object or pair array)")),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        serialize_map(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(deserialize_map_entries::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        // Deterministic output: sort entries by their serialized key.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| {
+            a.0.serialize()
+                .partial_cmp(&b.0.serialize())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        serialize_map(entries.into_iter())
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize, S> Deserialize for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(deserialize_map_entries::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::serialize).collect();
+        items.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash, S> Deserialize for HashSet<T, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::deserialize(v)?.into_iter().collect())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("secs".into(), Value::Int(self.as_secs() as i128));
+        m.insert("nanos".into(), Value::Int(self.subsec_nanos() as i128));
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected duration object"))?;
+        let secs = obj.get("secs").and_then(Value::as_u64).unwrap_or(0);
+        let nanos = obj.get("nanos").and_then(Value::as_u64).unwrap_or(0) as u32;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(String::deserialize(&"hi".serialize()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2].serialize()).unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn non_string_keys_become_pair_arrays() {
+        let mut m = BTreeMap::new();
+        m.insert((1u32, 2u32), "x".to_string());
+        let v = m.serialize();
+        assert!(matches!(v, Value::Array(_)));
+        let back: BTreeMap<(u32, u32), String> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn string_keys_become_objects() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 7u64);
+        assert!(matches!(m.serialize(), Value::Object(_)));
+    }
+}

@@ -1,0 +1,435 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim. No `syn`/`quote`: the item is parsed directly from the
+//! `proc_macro` token stream and the impl is generated as source text.
+//!
+//! Supported shapes (everything this workspace uses):
+//! - named structs, tuple structs (incl. newtypes), unit structs
+//! - enums with unit / tuple / struct variants (externally tagged encoding)
+//! - field attrs: `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]`, `#[serde(skip_serializing_if = "path")]`
+//!
+//! Unsupported shapes (generics, lifetimes, unknown serde attrs) panic at
+//! compile time with a clear message rather than silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `None` = no default; `Some(None)` = `Default::default()`;
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String, // positional index rendered as "0", "1", … for tuple fields
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Strip a leading run of `#[...]` attributes, returning any serde attrs seen.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs::default();
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                parse_attr_group(&g.stream(), &mut attrs);
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, attrs)
+}
+
+/// Parse the inside of one `#[...]`; only `serde(...)` contributes.
+fn parse_attr_group(stream: &TokenStream, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.len() != 2 || ident_of(&tokens[0]).as_deref() != Some("serde") {
+        return; // doc comment or other attribute
+    }
+    let TokenTree::Group(inner) = &tokens[1] else {
+        return;
+    };
+    let items: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < items.len() {
+        let key = ident_of(&items[j])
+            .unwrap_or_else(|| panic!("serde shim: unexpected token in #[serde(...)]"));
+        j += 1;
+        let value = if j < items.len() && is_punct(&items[j], '=') {
+            let TokenTree::Literal(lit) = &items[j + 1] else {
+                panic!("serde shim: #[serde({key} = ...)] expects a string literal");
+            };
+            j += 2;
+            Some(lit.to_string().trim_matches('"').to_string())
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("skip", None) => attrs.skip = true,
+            ("default", v) => attrs.default = Some(v),
+            ("skip_serializing_if", Some(p)) => attrs.skip_serializing_if = Some(p),
+            (other, _) => panic!("serde shim: unsupported serde attribute '{other}'"),
+        }
+        if j < items.len() && is_punct(&items[j], ',') {
+            j += 1;
+        }
+    }
+}
+
+/// Split a token list on top-level commas, tracking `<`/`>` nesting so that
+/// commas inside generic arguments do not split fields.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        if is_punct(&tt, '<') {
+            angle += 1;
+        } else if is_punct(&tt, '>') {
+            angle -= 1;
+        } else if is_punct(&tt, ',') && angle == 0 {
+            out.push(std::mem::take(&mut cur));
+            continue;
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    split_commas(group.into_iter().collect())
+        .into_iter()
+        .map(|tokens| {
+            let (mut i, attrs) = take_attrs(&tokens, 0);
+            if ident_of(&tokens[i]).as_deref() == Some("pub") {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            let name = ident_of(&tokens[i])
+                .unwrap_or_else(|| panic!("serde shim: expected field name"));
+            Field { name, attrs }
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
+    split_commas(group.into_iter().collect())
+        .into_iter()
+        .enumerate()
+        .map(|(idx, tokens)| {
+            let (_, attrs) = take_attrs(&tokens, 0);
+            Field {
+                name: idx.to_string(),
+                attrs,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = take_attrs(&tokens, 0);
+    if ident_of(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind =
+        ident_of(&tokens[i]).unwrap_or_else(|| panic!("serde shim: expected `struct` or `enum`"));
+    i += 1;
+    let name = ident_of(&tokens[i]).unwrap_or_else(|| panic!("serde shim: expected item name"));
+    i += 1;
+    if tokens.get(i).map(|t| is_punct(t, '<')).unwrap_or(false) {
+        panic!("serde shim: generic types are not supported (derive on {name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(t) if is_punct(t, ';') => Shape::Unit,
+                _ => panic!("serde shim: unsupported struct body for {name}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde shim: expected enum body for {name}");
+            };
+            let variants = split_commas(g.stream().into_iter().collect())
+                .into_iter()
+                .map(|tokens| {
+                    let (j, _) = take_attrs(&tokens, 0);
+                    let vname = ident_of(&tokens[j])
+                        .unwrap_or_else(|| panic!("serde shim: expected variant name"));
+                    let shape = match tokens.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Shape::Named(parse_named_fields(g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Shape::Tuple(parse_tuple_fields(g.stream()))
+                        }
+                        None => Shape::Unit,
+                        _ => panic!("serde shim: unsupported variant shape in {name}::{vname}"),
+                    };
+                    Variant { name: vname, shape }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+/// Serialize a set of named fields (from `struct` bodies or struct variants)
+/// into statements populating a `serde::Map` named `__m`. `accessor` renders
+/// the borrow expression for a field (e.g. `&self.foo` or plain `foo` for a
+/// match binding that is already a reference).
+fn gen_named_serialize(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let expr = accessor(&f.name);
+        let insert = format!(
+            "__m.insert({:?}.to_string(), ::serde::Serialize::serialize({expr}));",
+            f.name
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !({pred})({expr}) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Deserialize named fields from a `serde::Map` named `__obj` into a
+/// comma-separated `field: expr` list.
+fn gen_named_deserialize(fields: &[Field], type_label: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.attrs.skip {
+            "::std::default::Default::default()".to_string()
+        } else if let Some(default) = &f.attrs.default {
+            match default {
+                Some(path) => format!("{path}()"),
+                None => "::std::default::Default::default()".to_string(),
+            }
+        } else if f.attrs.skip_serializing_if.is_some() {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::Error::custom(\"missing field {} in {}\"))",
+                f.name, type_label
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match __obj.get({name_str:?}) {{ Some(__x) => ::serde::Deserialize::deserialize(__x)?, None => {missing} }},\n",
+            name = f.name,
+            name_str = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => format!(
+            "let mut __m = ::serde::Map::new();\n{}\n::serde::Value::Object(__m)",
+            gen_named_serialize(fields, |f| format!("&self.{f}"))
+        ),
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            "::serde::Serialize::serialize(&self.0)".to_string()
+        }
+        Shape::Tuple(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\nOk({name} {{\n{}\n}})",
+            gen_named_deserialize(fields, name)
+        ),
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Tuple(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().filter(|a| a.len() == {n}).ok_or_else(|| ::serde::Error::custom(\"expected {n}-element array for {name}\"))?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+            )),
+            Shape::Tuple(fields) => {
+                let binds: Vec<String> = (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                let inner = if fields.len() == 1 {
+                    "::serde::Serialize::serialize(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => {{ let mut __outer = ::serde::Map::new(); __outer.insert({vname:?}.to_string(), {inner}); ::serde::Value::Object(__outer) }}\n",
+                    binds = binds.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let body = gen_named_serialize(fields, |f| f.to_string());
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{ let mut __m = ::serde::Map::new();\n{body}\nlet mut __outer = ::serde::Map::new(); __outer.insert({vname:?}.to_string(), ::serde::Value::Object(__m)); ::serde::Value::Object(__outer) }}\n",
+                    binds = binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn serialize(&self) -> ::serde::Value {{ match self {{\n{arms}\n}} }}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                // Also accept the object form `{"Variant": null}` for symmetry.
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{ let _ = __val; Ok({name}::{vname}) }}\n"
+                ));
+            }
+            Shape::Tuple(fields) if fields.len() == 1 => tagged_arms.push_str(&format!(
+                "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::deserialize(__val)?)),\n"
+            )),
+            Shape::Tuple(fields) => {
+                let n = fields.len();
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "{vname:?} => {{ let __items = __val.as_array().filter(|a| a.len() == {n}).ok_or_else(|| ::serde::Error::custom(\"expected {n}-element array for {name}::{vname}\"))?; Ok({name}::{vname}({})) }}\n",
+                    items.join(", ")
+                ));
+            }
+            Shape::Named(fields) => tagged_arms.push_str(&format!(
+                "{vname:?} => {{ let __obj = __val.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}::{vname}\"))?; Ok({name}::{vname} {{\n{}\n}}) }}\n",
+                gen_named_deserialize(fields, &format!("{name}::{vname}"))
+            )),
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn deserialize(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n match __v {{\n ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\n __other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{__other}}\"))),\n }},\n ::serde::Value::Object(__m) if __m.len() == 1 => {{\n let (__k, __val) = __m.iter().next().expect(\"len checked\");\n match __k.as_str() {{\n{tagged_arms}\n __other => Err(::serde::Error::custom(format!(\"unknown {name} variant {{__other}}\"))),\n }}\n }},\n _ => Err(::serde::Error::custom(\"expected string or single-key object for {name}\")),\n }}\n }}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let source = match parse_item(input) {
+        Item::Struct { name, shape } => gen_struct_serialize(&name, &shape),
+        Item::Enum { name, variants } => gen_enum_serialize(&name, &variants),
+    };
+    source
+        .parse()
+        .expect("serde shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let source = match parse_item(input) {
+        Item::Struct { name, shape } => gen_struct_deserialize(&name, &shape),
+        Item::Enum { name, variants } => gen_enum_deserialize(&name, &variants),
+    };
+    source
+        .parse()
+        .expect("serde shim: generated Deserialize impl failed to parse")
+}

@@ -27,7 +27,8 @@ fn rig() -> Rig {
         fab.net.originate(eb, vip, [well_known::ANYCAST_VIP]);
     }
     // Backup origin: a rack-hosted fallback instance of the service.
-    fab.net.originate(fab.idx.rsw[0][0], vip, [well_known::ANYCAST_VIP]);
+    fab.net
+        .originate(fab.idx.rsw[0][0], vip, [well_known::ANYCAST_VIP]);
     fab.net.run_until_quiescent().expect_converged();
     // Deploy the stability RPA on the FADU layer, which hears both the
     // backbone paths (via its FAUUs) and the rack path (via its SSWs):
@@ -65,7 +66,10 @@ fn anycast_vip_sticks_to_primary_until_floor_breaks() {
     // ignoring the rack-hosted backup entirely.
     let origins = selected_origins(&rig);
     assert_eq!(origins.len(), 2, "two FAUU-relayed backbone paths");
-    assert!(origins.iter().all(|o| (60_000..70_000).contains(o)), "{origins:?}");
+    assert!(
+        origins.iter().all(|o| (60_000..70_000).contains(o)),
+        "{origins:?}"
+    );
     let fib_hops: Vec<u32> = rig
         .fab
         .net
@@ -73,7 +77,12 @@ fn anycast_vip_sticks_to_primary_until_floor_breaks() {
         .unwrap()
         .fib
         .entry(rig.vip)
-        .map(|e| e.nexthops.iter().map(|(p, _): &(PeerId, u32)| p.device()).collect())
+        .map(|e| {
+            e.nexthops
+                .iter()
+                .map(|(p, _): &(PeerId, u32)| p.device())
+                .collect()
+        })
         .unwrap_or_default();
     assert_eq!(fib_hops.len(), 2);
     // Maintenance takes a FAUU down: only one primary path remains, the
@@ -93,7 +102,10 @@ fn anycast_vip_sticks_to_primary_until_floor_breaks() {
     rig.fab.net.run_until_quiescent().expect_converged();
     let origins = selected_origins(&rig);
     assert_eq!(origins.len(), 2);
-    assert!(origins.iter().all(|o| (60_000..70_000).contains(o)), "{origins:?}");
+    assert!(
+        origins.iter().all(|o| (60_000..70_000).contains(o)),
+        "{origins:?}"
+    );
     centralium_simnet::assert_rib_consistent(&rig.fab.net);
 }
 

@@ -11,7 +11,10 @@ use centralium_topology::{DeviceId, FabricSpec};
 
 fn rack_fabric(
     seed: u64,
-) -> (centralium_bench::scenarios::ConvergedFabric, Vec<(DeviceId, Prefix)>) {
+) -> (
+    centralium_bench::scenarios::ConvergedFabric,
+    Vec<(DeviceId, Prefix)>,
+) {
     let mut fab = converged_fabric(&FabricSpec::tiny(), seed);
     let racks = originate_rack_prefixes(&mut fab);
     fab.net.run_until_quiescent().expect_converged();
@@ -28,7 +31,11 @@ fn all_pairs_east_west_delivers() {
     for (src, _) in &racks {
         for (dst, prefix) in &racks {
             if src != dst {
-                flows.push(Flow { src: *src, dest: *prefix, gbps: 1.0 });
+                flows.push(Flow {
+                    src: *src,
+                    dest: *prefix,
+                    gbps: 1.0,
+                });
             }
         }
     }
@@ -49,13 +56,25 @@ fn cross_pod_traffic_balances_over_planes() {
     let (fab, racks) = rack_fabric(5002);
     // One flow from pod-0 rack to a pod-1 prefix.
     let src = racks[0].0;
-    let (_, dst_prefix) =
-        racks.iter().find(|(d, _)| *d == fab.idx.rsw[1][0]).copied().unwrap();
-    let tm = TrafficMatrix { flows: vec![Flow { src, dest: dst_prefix, gbps: 8.0 }] };
+    let (_, dst_prefix) = racks
+        .iter()
+        .find(|(d, _)| *d == fab.idx.rsw[1][0])
+        .copied()
+        .unwrap();
+    let tm = TrafficMatrix {
+        flows: vec![Flow {
+            src,
+            dest: dst_prefix,
+            gbps: 8.0,
+        }],
+    };
     let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
     let ssws: Vec<DeviceId> = fab.idx.ssw.iter().flatten().copied().collect();
     let ratio = report.funneling_ratio(&ssws);
-    assert!((ratio - 0.25).abs() < 1e-6, "4 spines, equal shares, got {ratio}");
+    assert!(
+        (ratio - 0.25).abs() < 1e-6,
+        "4 spines, equal shares, got {ratio}"
+    );
 }
 
 /// Intra-pod traffic never climbs above the FSW layer.
@@ -63,8 +82,18 @@ fn cross_pod_traffic_balances_over_planes() {
 fn intra_pod_traffic_stays_local() {
     let (fab, racks) = rack_fabric(5003);
     let src = fab.idx.rsw[0][0];
-    let (_, dst_prefix) = racks.iter().find(|(d, _)| *d == fab.idx.rsw[0][1]).copied().unwrap();
-    let tm = TrafficMatrix { flows: vec![Flow { src, dest: dst_prefix, gbps: 4.0 }] };
+    let (_, dst_prefix) = racks
+        .iter()
+        .find(|(d, _)| *d == fab.idx.rsw[0][1])
+        .copied()
+        .unwrap();
+    let tm = TrafficMatrix {
+        flows: vec![Flow {
+            src,
+            dest: dst_prefix,
+            gbps: 4.0,
+        }],
+    };
     let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
     assert!((report.delivered_gbps - 4.0).abs() < 1e-9);
     for grid in &fab.idx.ssw {
@@ -85,17 +114,33 @@ fn rack_prefix_withdraw_and_heal() {
     let (victim, prefix) = racks[0];
     fab.net.schedule_in(
         0,
-        centralium_simnet::NetEvent::WithdrawOrigin { dev: victim, prefix },
+        centralium_simnet::NetEvent::WithdrawOrigin {
+            dev: victim,
+            prefix,
+        },
     );
     fab.net.run_until_quiescent().expect_converged();
     assert!(verify_rib_consistency(&fab.net).is_empty());
     let other_pod_src = fab.idx.rsw[1][0];
-    let tm = TrafficMatrix { flows: vec![Flow { src: other_pod_src, dest: prefix, gbps: 2.0 }] };
+    let tm = TrafficMatrix {
+        flows: vec![Flow {
+            src: other_pod_src,
+            dest: prefix,
+            gbps: 2.0,
+        }],
+    };
     let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
     assert_eq!(report.delivered_gbps, 0.0);
-    assert!(report.looped_gbps < 1e-9, "no loops toward the withdrawn prefix");
+    assert!(
+        report.looped_gbps < 1e-9,
+        "no loops toward the withdrawn prefix"
+    );
     // Heal.
-    fab.net.originate(victim, prefix, [centralium_bgp::attrs::well_known::RACK_PREFIX]);
+    fab.net.originate(
+        victim,
+        prefix,
+        [centralium_bgp::attrs::well_known::RACK_PREFIX],
+    );
     fab.net.run_until_quiescent().expect_converged();
     let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
     assert!((report.delivered_gbps - 2.0).abs() < 1e-9);
@@ -110,7 +155,10 @@ fn rack_prefixes_override_default_route() {
     let dev = fab.net.device(ssw).unwrap();
     let (_, some_prefix) = racks[0];
     let via_lpm = dev.fib.lookup(&some_prefix).unwrap();
-    assert_eq!(via_lpm.prefix, some_prefix, "LPM picks the /24 over 0.0.0.0/0");
+    assert_eq!(
+        via_lpm.prefix, some_prefix,
+        "LPM picks the /24 over 0.0.0.0/0"
+    );
     let far = "99.0.0.0/24".parse().unwrap();
     let via_default = dev.fib.lookup(&far).unwrap();
     assert!(via_default.prefix.is_default());

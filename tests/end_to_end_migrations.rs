@@ -51,7 +51,11 @@ fn full_expansion_keeps_rib_consistent() {
         &sources,
     )
     .expect("expansion succeeds");
-    assert!(report.final_health.passed(), "{:?}", report.final_health.failures);
+    assert!(
+        report.final_health.passed(),
+        "{:?}",
+        report.final_health.failures
+    );
     assert_rib_consistent(&fab.net);
 }
 
@@ -104,17 +108,25 @@ fn unified_rollout_with_base_policy_change() {
         Layer::Backbone,
         vec![Layer::Ssw],
     );
-    let drain_like = centralium_bgp::policy::Policy::accept_all().rule(
-        centralium_bgp::policy::PolicyRule {
+    let drain_like =
+        centralium_bgp::policy::Policy::accept_all().rule(centralium_bgp::policy::PolicyRule {
             matches: centralium_bgp::policy::MatchExpr::any(),
             actions: vec![centralium_bgp::policy::Action::SetMed(50)],
-        },
-    );
+        });
     let fadus: Vec<DeviceId> = fab.idx.fadu.iter().flatten().copied().collect();
     let steps = vec![
-        RolloutStep::DeployRpa { intent: intent.clone(), origination_layer: Layer::Backbone },
-        RolloutStep::BasePolicy { devices: fadus, policy: drain_like },
-        RolloutStep::RemoveRpa { intent, origination_layer: Layer::Backbone },
+        RolloutStep::DeployRpa {
+            intent: intent.clone(),
+            origination_layer: Layer::Backbone,
+        },
+        RolloutStep::BasePolicy {
+            devices: fadus,
+            policy: drain_like,
+        },
+        RolloutStep::RemoveRpa {
+            intent,
+            origination_layer: Layer::Backbone,
+        },
     ];
     let reports = run_rollout(&mut fab.net, &mut controller, steps, &check).expect("rollout");
     assert_eq!(reports.len(), 2);

@@ -20,7 +20,10 @@ fn staged_expansion_migration_executes_live() {
     )
     .stage(MigrationStage::new(
         "commission the new FAUU",
-        vec![TopologyDelta::AddDevice { name: new_name, asn: centralium_topology::Asn(59_999) }],
+        vec![TopologyDelta::AddDevice {
+            name: new_name,
+            asn: centralium_topology::Asn(59_999),
+        }],
     ))
     .stage(MigrationStage::new(
         "cable it to grid-0 FADUs and the backbone",
@@ -59,10 +62,22 @@ fn staged_expansion_migration_executes_live() {
     let new_id = new_id.expect("device was created");
     // The new FAUU joined routing: it holds the default route from both EBs,
     // and grid-0 FADUs gained a third uplink.
-    let entry = fab.net.device(new_id).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+    let entry = fab
+        .net
+        .device(new_id)
+        .unwrap()
+        .fib
+        .entry(Prefix::DEFAULT)
+        .unwrap();
     assert_eq!(entry.nexthops.len(), 2);
     for &fadu in &fab.idx.fadu[0] {
-        let entry = fab.net.device(fadu).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+        let entry = fab
+            .net
+            .device(fadu)
+            .unwrap()
+            .fib
+            .entry(Prefix::DEFAULT)
+            .unwrap();
         assert_eq!(entry.nexthops.len(), 3, "FADU gained the new uplink");
     }
     centralium_simnet::assert_rib_consistent(&fab.net);
@@ -73,29 +88,38 @@ fn staged_decommission_migration_executes_live() {
     let mut fab = converged_fabric(&FabricSpec::tiny(), 3002);
     let victim_fadus: Vec<_> = fab.idx.fadu.iter().map(|g| g[0]).collect();
     let victim_ssws: Vec<_> = fab.idx.ssw.iter().map(|p| p[0]).collect();
-    let migration = Migration::new(MigrationCategory::TrafficDrainForMaintenance, "retire group 0")
-        .stage(MigrationStage::new(
-            "drain the FADU-0s",
-            victim_fadus
-                .iter()
-                .map(|&id| TopologyDelta::SetDeviceState { id, state: DeviceState::Drained })
-                .collect(),
-        ))
-        .stage(MigrationStage::new(
-            "drain the SSW-0s",
-            victim_ssws
-                .iter()
-                .map(|&id| TopologyDelta::SetDeviceState { id, state: DeviceState::Drained })
-                .collect(),
-        ))
-        .stage(MigrationStage::new(
-            "physically remove the group",
-            victim_fadus
-                .iter()
-                .chain(&victim_ssws)
-                .map(|&id| TopologyDelta::RemoveDevice { id })
-                .collect(),
-        ));
+    let migration = Migration::new(
+        MigrationCategory::TrafficDrainForMaintenance,
+        "retire group 0",
+    )
+    .stage(MigrationStage::new(
+        "drain the FADU-0s",
+        victim_fadus
+            .iter()
+            .map(|&id| TopologyDelta::SetDeviceState {
+                id,
+                state: DeviceState::Drained,
+            })
+            .collect(),
+    ))
+    .stage(MigrationStage::new(
+        "drain the SSW-0s",
+        victim_ssws
+            .iter()
+            .map(|&id| TopologyDelta::SetDeviceState {
+                id,
+                state: DeviceState::Drained,
+            })
+            .collect(),
+    ))
+    .stage(MigrationStage::new(
+        "physically remove the group",
+        victim_fadus
+            .iter()
+            .chain(&victim_ssws)
+            .map(|&id| TopologyDelta::RemoveDevice { id })
+            .collect(),
+    ));
     let sources: Vec<_> = fab.idx.rsw.iter().flatten().copied().collect();
     let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 5.0);
     for stage in &migration.stages {
@@ -120,12 +144,19 @@ fn link_removal_reconverges() {
     let mut fab = converged_fabric(&FabricSpec::tiny(), 3003);
     let ssw = fab.idx.ssw[0][0];
     let (_, link) = fab.net.topology().uplinks(ssw)[0];
-    let stage = MigrationStage::new("de-cable one SSW uplink", vec![TopologyDelta::RemoveLink {
-        id: link,
-    }]);
+    let stage = MigrationStage::new(
+        "de-cable one SSW uplink",
+        vec![TopologyDelta::RemoveLink { id: link }],
+    );
     fab.net.apply_migration_stage(&stage).expect("applies");
     fab.net.run_until_quiescent().expect_converged();
-    let entry = fab.net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap();
+    let entry = fab
+        .net
+        .device(ssw)
+        .unwrap()
+        .fib
+        .entry(Prefix::DEFAULT)
+        .unwrap();
     assert_eq!(entry.nexthops.len(), 1, "one uplink left");
     centralium_simnet::assert_rib_consistent(&fab.net);
     // Unknown references error cleanly.

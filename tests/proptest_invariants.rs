@@ -10,23 +10,38 @@ use centralium_topology::{build_fabric, FabricSpec};
 use proptest::prelude::*;
 
 fn small_spec() -> impl Strategy<Value = FabricSpec> {
-    (1u16..=3, 1u16..=3, 1u16..=3, 1u16..=2, 1u16..=2, 1u16..=2, 1u16..=3).prop_map(
-        |(pods, planes, ssws, racks, grids, fauus, ebs)| FabricSpec {
-            pods,
-            planes,
-            ssws_per_plane: ssws,
-            racks_per_pod: racks,
-            grids,
-            fauus_per_grid: fauus,
-            backbone_devices: ebs,
-            link_capacity_gbps: 100.0,
-        },
+    (
+        1u16..=3,
+        1u16..=3,
+        1u16..=3,
+        1u16..=2,
+        1u16..=2,
+        1u16..=2,
+        1u16..=3,
     )
+        .prop_map(
+            |(pods, planes, ssws, racks, grids, fauus, ebs)| FabricSpec {
+                pods,
+                planes,
+                ssws_per_plane: ssws,
+                racks_per_pod: racks,
+                grids,
+                fauus_per_grid: fauus,
+                backbone_devices: ebs,
+                link_capacity_gbps: 100.0,
+            },
+        )
 }
 
 fn converge(spec: &FabricSpec, seed: u64) -> (SimNet, centralium_topology::builder::FabricIndex) {
     let (topo, idx, _) = build_fabric(spec);
-    let mut net = SimNet::new(topo, SimConfig { seed, ..Default::default() });
+    let mut net = SimNet::new(
+        topo,
+        SimConfig {
+            seed,
+            ..Default::default()
+        },
+    );
     net.establish_all();
     for &eb in &idx.backbone {
         net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);

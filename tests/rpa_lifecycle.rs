@@ -35,11 +35,17 @@ fn route_attribute_rpa_expires_to_native_distribution() {
             Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
             vec![
                 NextHopWeight {
-                    signature: PathSignature { first_asn: Some(neighbors[0]), ..Default::default() },
+                    signature: PathSignature {
+                        first_asn: Some(neighbors[0]),
+                        ..Default::default()
+                    },
                     weight: 3,
                 },
                 NextHopWeight {
-                    signature: PathSignature { first_asn: Some(neighbors[1]), ..Default::default() },
+                    signature: PathSignature {
+                        first_asn: Some(neighbors[1]),
+                        ..Default::default()
+                    },
                     weight: 1,
                 },
             ],
@@ -59,15 +65,21 @@ fn route_attribute_rpa_expires_to_native_distribution() {
         .iter()
         .map(|(_, w)| *w)
         .collect();
-    assert!(weights.contains(&3) && weights.contains(&1), "prescribed 3:1, got {weights:?}");
+    assert!(
+        weights.contains(&3) && weights.contains(&1),
+        "prescribed 3:1, got {weights:?}"
+    );
     // Past the deadline, any event that re-runs the decision falls back to
     // native (equal) distribution. Trigger one via a drain/undrain bounce
     // far in the future.
     let fadu = fab.idx.fadu[0][0];
-    fab.net.schedule_in(3_000_000, NetEvent::SetExportPolicy {
-        dev: fadu,
-        policy: centralium_bgp::policy::Policy::accept_all(),
-    });
+    fab.net.schedule_in(
+        3_000_000,
+        NetEvent::SetExportPolicy {
+            dev: fadu,
+            policy: centralium_bgp::policy::Policy::accept_all(),
+        },
+    );
     fab.net.run_until_quiescent().expect_converged();
     // Force re-evaluation on the SSW itself (production re-applies RPAs on
     // any local event; model with an explicit reevaluate via a no-op deploy).
@@ -119,7 +131,11 @@ fn replacement_and_orthogonality() {
     fab.net.deploy_rpa(ssw, make(2), 100);
     fab.net.run_until_quiescent().expect_converged();
     let dev = fab.net.device(ssw).unwrap();
-    assert_eq!(dev.engine.installed(), vec!["guard"], "replaced, not duplicated");
+    assert_eq!(
+        dev.engine.installed(),
+        vec!["guard"],
+        "replaced, not duplicated"
+    );
     // An orthogonal RPA for a different destination coexists.
     let anycast = RpaDocument::PathSelection(PathSelectionRpa::single(
         "anycast",
@@ -134,8 +150,12 @@ fn replacement_and_orthogonality() {
     assert_eq!(dev.engine.installed(), vec!["guard", "anycast"]);
     // The default route is still governed by the guard statement, not the
     // anycast one (§7.2: highlight the active RPA for a route).
-    let candidates: Vec<_> =
-        dev.daemon.rib_in_routes(Prefix::DEFAULT).into_iter().cloned().collect();
+    let candidates: Vec<_> = dev
+        .daemon
+        .rib_in_routes(Prefix::DEFAULT)
+        .into_iter()
+        .cloned()
+        .collect();
     let governing = dev.engine.governing_statement(Prefix::DEFAULT, &candidates);
     assert_eq!(governing, Some(("guard".to_string(), 0)));
     // Default-route behaviour is unaffected by the anycast RPA.
@@ -157,7 +177,14 @@ fn removal_is_clean() {
     ));
     fab.net.deploy_rpa(ssw, doc, 100);
     fab.net.run_until_quiescent().expect_converged();
-    let before = fab.net.device(ssw).unwrap().fib.entry(Prefix::DEFAULT).unwrap().clone();
+    let before = fab
+        .net
+        .device(ssw)
+        .unwrap()
+        .fib
+        .entry(Prefix::DEFAULT)
+        .unwrap()
+        .clone();
     fab.net.remove_rpa(ssw, "equalize", 100);
     fab.net.run_until_quiescent().expect_converged();
     let dev = fab.net.device(ssw).unwrap();
@@ -178,7 +205,13 @@ fn removing_a_route_filter_restores_evicted_routes() {
     fab.net.originate(fab.idx.backbone[0], rogue, []);
     fab.net.run_until_quiescent().expect_converged();
     let fauu = fab.idx.fauu[0][0];
-    assert!(fab.net.device(fauu).unwrap().daemon.loc_rib_entry(rogue).is_some());
+    assert!(fab
+        .net
+        .device(fauu)
+        .unwrap()
+        .daemon
+        .loc_rib_entry(rogue)
+        .is_some());
     // Deploy a boundary filter that admits only the default route: the
     // rogue /24 is evicted from the RIB.
     let doc = RpaDocument::RouteFilter(RouteFilterRpa {
@@ -194,13 +227,24 @@ fn removing_a_route_filter_restores_evicted_routes() {
     });
     fab.net.deploy_rpa(fauu, doc, 100);
     fab.net.run_until_quiescent().expect_converged();
-    assert!(fab.net.device(fauu).unwrap().daemon.loc_rib_entry(rogue).is_none());
+    assert!(fab
+        .net
+        .device(fauu)
+        .unwrap()
+        .daemon
+        .loc_rib_entry(rogue)
+        .is_none());
     // Lift the filter: the route-refresh machinery re-learns the route
     // without bouncing any session.
     fab.net.remove_rpa(fauu, "boundary", 100);
     fab.net.run_until_quiescent().expect_converged();
     assert!(
-        fab.net.device(fauu).unwrap().daemon.loc_rib_entry(rogue).is_some(),
+        fab.net
+            .device(fauu)
+            .unwrap()
+            .daemon
+            .loc_rib_entry(rogue)
+            .is_some(),
         "route restored via refresh after the filter was lifted"
     );
     centralium_simnet::assert_rib_consistent(&fab.net);

@@ -32,22 +32,31 @@ fn first_router_collapse_and_rpa_fix() {
         let mut links: Vec<(DeviceId, f64)> = ssws.iter().map(|&s| (s, 400.0)).collect();
         links.extend(fab.idx.backbone.iter().map(|&e| (e, 400.0)));
         let fav2 =
-            fab.net.commission_device(DeviceName::new(Layer::Fadu, 90, 0), Asn(45_000), &links);
+            fab.net
+                .commission_device(DeviceName::new(Layer::Fadu, 90, 0), Asn(45_000), &links);
         fab.net.run_until_quiescent().expect_converged();
         let sources: Vec<DeviceId> = fab.idx.rsw.iter().flatten().copied().collect();
         let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
         let report = route_flows(&fab.net, &tm, DEFAULT_MAX_HOPS);
         let mut group: Vec<DeviceId> = fab.idx.fadu.iter().flatten().copied().collect();
         group.push(fav2);
-        let total: f64 =
-            group.iter().map(|d| report.device_transit.get(d).copied().unwrap_or(0.0)).sum();
+        let total: f64 = group
+            .iter()
+            .map(|d| report.device_transit.get(d).copied().unwrap_or(0.0))
+            .sum();
         report.device_transit.get(&fav2).copied().unwrap_or(0.0) / total
     };
     let native = run(false);
     let rpa = run(true);
-    assert!(native > 0.99, "native BGP collapses onto the first router, got {native}");
+    assert!(
+        native > 0.99,
+        "native BGP collapses onto the first router, got {native}"
+    );
     // Tiny fabric: each SSW has 2 FADU uplinks + FAv2 → fair share 1/3.
-    assert!((rpa - 1.0 / 3.0).abs() < 0.01, "RPA holds the fair share, got {rpa}");
+    assert!(
+        (rpa - 1.0 / 3.0).abs() < 0.01,
+        "RPA holds the fair share, got {rpa}"
+    );
 }
 
 /// §3.3: under staggered drains the last live group member funnels the
@@ -156,7 +165,8 @@ fn deployment_sequencing_prevents_funneling() {
             v
         };
         for (i, dev) in order.into_iter().enumerate() {
-            rig.net.deploy_rpa(dev, rig.rpa.clone(), (i as u64) * 100_000 + 500);
+            rig.net
+                .deploy_rpa(dev, rig.rpa.clone(), (i as u64) * 100_000 + 500);
         }
         max_metric_during(&mut rig.net, |net| {
             let tm = TrafficMatrix::uniform(&sources, Prefix::DEFAULT, 10.0);
@@ -165,7 +175,10 @@ fn deployment_sequencing_prevents_funneling() {
     };
     let uncoordinated = run(false);
     let safe = run(true);
-    assert!(uncoordinated > 0.99, "uncoordinated deployment funnels, got {uncoordinated}");
+    assert!(
+        uncoordinated > 0.99,
+        "uncoordinated deployment funnels, got {uncoordinated}"
+    );
     assert!(safe < 0.51, "safe order stays balanced, got {safe}");
 }
 
@@ -177,9 +190,15 @@ fn fib_warm_sev_reproduces_and_is_unrepresentable_via_app() {
     use centralium::apps::fib_warm_keeper::DestinationKind;
     use centralium_bench::scenarios::fig14_sev;
     let (sev_delivered, sev_blackholed) = fig14_sev(DestinationKind::Established, 14);
-    assert!(sev_blackholed > 1.0, "the SEV black-holes traffic, got {sev_blackholed}");
+    assert!(
+        sev_blackholed > 1.0,
+        "the SEV black-holes traffic, got {sev_blackholed}"
+    );
     assert!(sev_delivered < sev_blackholed + sev_delivered, "sanity");
     let (ok_delivered, ok_blackholed) = fig14_sev(DestinationKind::NewOrigination, 14);
     assert!(ok_blackholed < 1e-9, "correct knob: nothing black-holes");
-    assert!(ok_delivered > sev_delivered, "correct knob delivers strictly more");
+    assert!(
+        ok_delivered > sev_delivered,
+        "correct knob delivers strictly more"
+    );
 }

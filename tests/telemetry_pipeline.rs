@@ -1,0 +1,157 @@
+//! End-to-end telemetry: a small migration deployed through the controller
+//! must leave a journal whose `SequencerWave` and `HealthCheck` events appear
+//! in the topology-safe order the sequencer promises (§5.3.2), and a metrics
+//! registry whose counters agree with the legacy `TraceStats` view.
+
+use centralium::controller::Controller;
+use centralium::health::HealthCheck;
+use centralium::intent::TargetSet;
+use centralium::sequencer::DeploymentStrategy;
+use centralium::RoutingIntent;
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_simnet::{SimConfig, SimNet};
+use centralium_telemetry::{EventKind, Telemetry};
+use centralium_topology::{build_fabric, FabricSpec, Layer};
+
+fn journaled_fabric() -> (SimNet, centralium_topology::builder::FabricIndex) {
+    let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+    let mut net = SimNet::new(topo, SimConfig::default());
+    net.set_telemetry(Telemetry::with_journal(16_384));
+    net.establish_all();
+    for &eb in &idx.backbone {
+        net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+    }
+    net.run_until_quiescent().expect_converged();
+    (net, idx)
+}
+
+#[test]
+fn deployment_journal_orders_waves_and_health_checks() {
+    let (mut net, idx) = journaled_fabric();
+    let mut controller = Controller::new(&net, idx.rsw[0][0]);
+    let intent = RoutingIntent::EqualizePaths {
+        destination: well_known::BACKBONE_DEFAULT_ROUTE,
+        origin_layer: Layer::Backbone,
+        targets: TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw, Layer::Fadu]),
+    };
+    controller
+        .deploy_intent(
+            &mut net,
+            &intent,
+            Layer::Backbone,
+            DeploymentStrategy::SafeOrder,
+            &HealthCheck::default(),
+            &HealthCheck::default(),
+        )
+        .expect("deploys");
+
+    let tel = net.telemetry();
+    let journal = tel.journal().expect("journal enabled");
+    assert_eq!(journal.dropped(), 0, "16k ring holds a tiny-fabric deploy");
+    let events = journal.snapshot();
+
+    // The sequencer emitted one wave per layer, bottom-up (topology-safe):
+    // FSW before SSW before FADU, with sim time monotone across waves.
+    let waves: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SequencerWave)
+        .collect();
+    let layers: Vec<&str> = waves
+        .iter()
+        .filter_map(|e| e.get("layer").and_then(|v| v.as_str()))
+        .collect();
+    assert_eq!(layers, ["Fsw", "Ssw", "Fadu"]);
+    for (i, wave) in waves.iter().enumerate() {
+        assert_eq!(
+            wave.get("wave").and_then(|v| v.as_u64()),
+            Some(i as u64 + 1)
+        );
+        let issued = wave.get("issued_at_us").and_then(|v| v.as_u64()).unwrap();
+        let converged = wave
+            .get("converged_at_us")
+            .and_then(|v| v.as_u64())
+            .unwrap();
+        assert!(issued <= converged);
+        if let Some(prev) = i.checked_sub(1).map(|j| waves[j]) {
+            let prev_converged = prev
+                .get("converged_at_us")
+                .and_then(|v| v.as_u64())
+                .unwrap();
+            assert!(
+                issued >= prev_converged,
+                "waves respect the convergence barrier"
+            );
+        }
+    }
+
+    // Health checks bracket the waves: the preverify check lands before the
+    // first wave in the journal, the post-deployment check after the last.
+    let positions = |kind| {
+        events
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.kind == kind)
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>()
+    };
+    let health = positions(EventKind::HealthCheck);
+    let wave_pos = positions(EventKind::SequencerWave);
+    assert_eq!(health.len(), 2, "one pre- and one post-deployment check");
+    assert!(health[0] < wave_pos[0], "pre-check precedes the first wave");
+    assert!(
+        health[1] > *wave_pos.last().unwrap(),
+        "post-check follows the last wave"
+    );
+
+    // The deploy pipeline's phase timer saw every stage.
+    let phase_names: Vec<String> = tel.phases().records().into_iter().map(|r| r.name).collect();
+    assert_eq!(
+        phase_names,
+        [
+            "preverify",
+            "plan",
+            "wave 1 (Fsw)",
+            "wave 2 (Ssw)",
+            "wave 3 (Fadu)",
+            "health"
+        ]
+    );
+
+    // The compatibility view and the registry are the same numbers.
+    let stats = net.stats();
+    let snap = tel.metrics().snapshot();
+    assert_eq!(
+        stats.messages_delivered,
+        snap.counter("simnet.messages_delivered")
+    );
+    assert_eq!(stats.rpa_operations, snap.counter("simnet.rpa_operations"));
+    assert_eq!(snap.counter("health.checks"), 2);
+    assert_eq!(
+        snap.counter("rpa.installs"),
+        12,
+        "12 RPCs across three layers"
+    );
+}
+
+#[test]
+fn journal_captures_rpa_and_session_lifecycle() {
+    let (mut net, idx) = journaled_fabric();
+    // A session flap and a device decommission feed SessionTransition events;
+    // the RPA installs from establish-time are already journaled.
+    net.device_down(idx.fadu[0][0]);
+    net.run_until_quiescent().expect_converged();
+    let journal = net.telemetry().journal().expect("journal enabled");
+    let events = journal.snapshot();
+    let has = |kind| events.iter().any(|e| e.kind == kind);
+    assert!(has(EventKind::SessionTransition));
+    assert!(has(EventKind::BgpDecision));
+    let downs = events
+        .iter()
+        .filter(|e| {
+            e.kind == EventKind::SessionTransition
+                && e.get("state").and_then(|v| v.as_str()) == Some("down")
+        })
+        .count();
+    assert!(downs > 0, "the decommissioned FADU's sessions went down");
+}
