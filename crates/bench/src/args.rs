@@ -1,21 +1,31 @@
-//! A minimal `--key value` / `--flag` argument parser (no dependencies).
+//! Minimal `--key value` / `--flag` parsing for the `bin/` regenerators.
+//!
+//! The regenerators are zero-argument by default (every figure regenerates
+//! with its paper-faithful parameters); flags exist for the chaos harness
+//! and the CI smoke jobs (`--tiny`, `--json FILE`, `--chaos-seed N`,
+//! `--rpc-loss P`).
 
 use std::collections::BTreeMap;
 
-/// Parsed arguments: `--key value` pairs and bare `--flag`s.
+/// Parsed arguments for a bench regenerator.
 #[derive(Debug, Default)]
-pub struct Args {
+pub struct BenchArgs {
     values: BTreeMap<String, String>,
     flags: Vec<String>,
 }
 
-impl Args {
+impl BenchArgs {
     /// Flags that take no value.
-    const BARE_FLAGS: &'static [&'static str] = &["handshake", "metrics-summary"];
+    const BARE_FLAGS: &'static [&'static str] = &["tiny"];
 
-    /// Parse the remaining command-line words.
+    /// Parse the process arguments (after the program name).
+    pub fn from_env() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit word stream (tests).
     pub fn parse(words: impl Iterator<Item = String>) -> Result<Self, String> {
-        let mut out = Args::default();
+        let mut out = BenchArgs::default();
         let mut words = words.peekable();
         while let Some(word) = words.next() {
             let Some(key) = word.strip_prefix("--") else {
@@ -45,30 +55,8 @@ impl Args {
         Ok(self.values.get(name).cloned())
     }
 
-    /// A u16 option.
-    pub fn get_u16(&self, name: &str) -> Result<Option<u16>, String> {
-        self.values
-            .get(name)
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| format!("--{name} expects a small integer, got '{v}'"))
-            })
-            .transpose()
-    }
-
     /// A u64 option.
     pub fn get_u64(&self, name: &str) -> Result<Option<u64>, String> {
-        self.values
-            .get(name)
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| format!("--{name} expects an integer, got '{v}'"))
-            })
-            .transpose()
-    }
-
-    /// A u32 option.
-    pub fn get_u32(&self, name: &str) -> Result<Option<u32>, String> {
         self.values
             .get(name)
             .map(|v| {
@@ -94,34 +82,24 @@ impl Args {
 mod tests {
     use super::*;
 
-    fn parse(words: &[&str]) -> Result<Args, String> {
-        Args::parse(words.iter().map(|s| s.to_string()))
+    fn parse(words: &[&str]) -> Result<BenchArgs, String> {
+        BenchArgs::parse(words.iter().map(|s| s.to_string()))
     }
 
     #[test]
-    fn parses_pairs_and_flags() {
-        let args = parse(&[
-            "--pods",
-            "4",
-            "--handshake",
-            "--seed",
-            "9",
-            "--rpc-loss",
-            "0.05",
-        ])
-        .unwrap();
-        assert_eq!(args.get_u16("pods").unwrap(), Some(4));
-        assert_eq!(args.get_u64("seed").unwrap(), Some(9));
+    fn parses_chaos_and_smoke_flags() {
+        let args = parse(&["--tiny", "--chaos-seed", "7", "--rpc-loss", "0.05"]).unwrap();
+        assert!(args.has_flag("tiny"));
+        assert_eq!(args.get_u64("chaos-seed").unwrap(), Some(7));
         assert_eq!(args.get_f64("rpc-loss").unwrap(), Some(0.05));
-        assert!(args.has_flag("handshake"));
-        assert_eq!(args.get_str("missing").unwrap(), None);
+        assert_eq!(args.get_str("json").unwrap(), None);
     }
 
     #[test]
     fn rejects_malformed_input() {
-        assert!(parse(&["loose-word"]).is_err());
-        assert!(parse(&["--seed"]).is_err());
-        let args = parse(&["--seed", "not-a-number"]).unwrap();
-        assert!(args.get_u64("seed").is_err());
+        assert!(parse(&["bare-word"]).is_err());
+        assert!(parse(&["--json"]).is_err());
+        let args = parse(&["--rpc-loss", "lots"]).unwrap();
+        assert!(args.get_f64("rpc-loss").is_err());
     }
 }

@@ -13,24 +13,31 @@
 
 use centralium::apps::path_equalization::equalize_on_layers;
 use centralium::compile::compile_intent;
+use centralium_bench::args::BenchArgs;
 use centralium_bench::report::{metrics_diff_table, phase_table};
 use centralium_bench::scenarios::converged_fabric;
-use centralium_bench::stats::render_cdf;
+use centralium_bench::stats::{percentile, render_cdf};
 use centralium_bgp::attrs::well_known;
 use centralium_simnet::ManagementPlane;
 use centralium_topology::{FabricSpec, Layer};
 use std::time::Instant;
 
 fn main() {
-    let spec = FabricSpec {
-        pods: 8,
-        planes: 4,
-        ssws_per_plane: 8,
-        racks_per_pod: 8,
-        grids: 4,
-        fauus_per_grid: 8,
-        backbone_devices: 8,
-        link_capacity_gbps: 100.0,
+    let args = BenchArgs::from_env().expect("usage: fig12_deploy_time [--tiny] [--json FILE]");
+    // `--tiny` is the CI smoke configuration: same measurement, small fabric.
+    let spec = if args.has_flag("tiny") {
+        FabricSpec::tiny()
+    } else {
+        FabricSpec {
+            pods: 8,
+            planes: 4,
+            ssws_per_plane: 8,
+            racks_per_pod: 8,
+            grids: 4,
+            fauus_per_grid: 8,
+            backbone_devices: 8,
+            link_capacity_gbps: 100.0,
+        }
     };
     let mut fab = converged_fabric(&spec, 12);
     let tel = fab.net.telemetry().clone();
@@ -79,4 +86,16 @@ fn main() {
         "Telemetry delta over the deployment:\n{}",
         metrics_diff_table(&tel.metrics().snapshot().diff(&before)).render()
     );
+    if let Some(path) = args.get_str("json").expect("--json FILE") {
+        let summary = serde_json::json!({
+            "figure": "fig12_deploy_time",
+            "devices": samples_ms.len(),
+            "p50_ms": percentile(&samples_ms, 0.50),
+            "p99_ms": percentile(&samples_ms, 0.99),
+            "sub_ms_fraction": sub_ms as f64 / samples_ms.len() as f64,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&summary).expect("json"))
+            .expect("write --json file");
+        println!("summary written to {path}");
+    }
 }

@@ -11,8 +11,11 @@
 //!   sequencing rig, and converged standard fabrics;
 //! * [`stats`] — percentiles and CDF rendering for the measurement bins;
 //! * [`report`] — plain-text table/series printers shared by the `bin/`
-//!   regenerators, one binary per paper artifact (see DESIGN.md's index).
+//!   regenerators, one binary per paper artifact (see DESIGN.md's index);
+//! * [`args`] — the tiny flag parser behind the regenerators' chaos/smoke
+//!   options (`--chaos-seed`, `--rpc-loss`, `--tiny`, `--json FILE`).
 
+pub mod args;
 pub mod report;
 pub mod scenarios;
 pub mod stats;

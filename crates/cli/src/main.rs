@@ -90,11 +90,17 @@ const USAGE: &str = "usage: centralium-cli <command> [options]
 
 commands:
   topo      print a fabric summary          [--pods N --planes N --ssws N --racks N --grids N --fauus N --ebs N]
-  converge  build a fabric and converge it  [fabric opts] [--seed N] [--handshake] [telemetry opts]
+  converge  build a fabric and converge it  [fabric opts] [--seed N] [--handshake] [chaos opts] [telemetry opts]
   compile   compile an intent to RPAs       --intent FILE [fabric opts]
-  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [fabric opts] [--seed N] [telemetry opts]
+  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [fabric opts] [--seed N] [chaos opts] [--max-retries N] [telemetry opts]
   plan      print the Table 3 migration plans
   apps      list the onboarded applications
+
+chaos opts (deterministic fault injection; the deploy path absorbs faults
+with deadline-driven RPC retries and per-device circuit breakers):
+  --chaos-seed N     seed for the fault-decision hash (default 0)
+  --rpc-loss P       probability each management RPC is dropped (0.0-1.0)
+  --max-retries N    RPC re-issues allowed per divergence (deploy only)
 
 telemetry opts:
   --telemetry FILE   write the structured event journal as JSON lines
@@ -193,6 +199,26 @@ fn report_telemetry(net: &SimNet, args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Build a [`centralium_simnet::ChaosPlan`] from `--chaos-seed` /
+/// `--rpc-loss`, or `None` when
+/// neither is given. Chaos decisions are a pure hash of the seed and never
+/// touch the BGP RNG, so enabling it leaves convergence timing bit-identical.
+fn chaos_from(args: &Args) -> Result<Option<centralium_simnet::ChaosPlan>, String> {
+    let seed = args.get_u64("chaos-seed")?;
+    let loss = args.get_f64("rpc-loss")?;
+    if seed.is_none() && loss.is_none() {
+        return Ok(None);
+    }
+    let loss = loss.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&loss) {
+        return Err(format!("--rpc-loss must be within 0.0..=1.0, got {loss}"));
+    }
+    Ok(Some(centralium_simnet::ChaosPlan::with_rpc_loss(
+        seed.unwrap_or(0),
+        loss,
+    )))
+}
+
 fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::FabricIndex), String> {
     let spec = spec_from(args)?;
     let (topo, idx, _) = build_fabric(&spec);
@@ -205,6 +231,9 @@ fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::Fabri
     if args.get_str("telemetry")?.is_some() {
         // The journal is opt-in; metrics and phase timing are always live.
         net.set_telemetry(Telemetry::with_journal(JOURNAL_CAPACITY));
+    }
+    if let Some(plan) = chaos_from(args)? {
+        net.set_chaos(plan);
     }
     net.establish_all();
     for &eb in &idx.backbone {
@@ -312,6 +341,12 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
     }
     let (mut net, idx) = converged(args)?;
     let mut controller = Controller::new(&net, idx.rsw[0][0]);
+    if let Some(max_retries) = args.get_u32("max-retries")? {
+        let mut policy = *controller.agent.retry_policy();
+        policy.max_retries = max_retries;
+        policy.jitter_seed = args.get_u64("chaos-seed")?.unwrap_or(0);
+        controller.agent.set_retry_policy(policy);
+    }
     let check = HealthCheck {
         probe: Some(TrafficProbe {
             sources: idx.rsw.iter().flatten().copied().collect(),
@@ -349,6 +384,16 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
             format!("{:?}", report.post_health.failures)
         }
     );
+    if net.chaos().is_some() {
+        let snap = net.telemetry().metrics().snapshot();
+        println!(
+            "chaos: {} RPCs dropped, {} retried, {} circuits opened, {} waves rolled back",
+            snap.counter("simnet.rpc_dropped"),
+            snap.counter("core.rpc_retries"),
+            snap.counter("core.circuit_open"),
+            snap.counter("core.wave_rollbacks"),
+        );
+    }
     // §7.2 debug view on one target switch.
     if let Some(dev) = report.phases.first().and_then(|p| p.devices.first()) {
         let device = net.device(*dev).ok_or("device vanished")?;

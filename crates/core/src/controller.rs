@@ -4,13 +4,23 @@
 use crate::compile::{compile_intent, CompileError};
 use crate::health::{run_health_check, HealthCheck, HealthReport};
 use crate::intent::RoutingIntent;
-use crate::sequencer::{deployment_phases, removal_phases, DeploymentStrategy};
+use crate::sequencer::{
+    deployment_phases, removal_phases, DeploymentPhase, DeploymentStrategy, WaveFailurePolicy,
+};
 use crate::switch_agent::{IssuedOp, SwitchAgent};
+use centralium_nsdb::store::View;
 use centralium_nsdb::{Path, ReplicatedNsdb};
 use centralium_simnet::{ManagementPlane, SimNet, SimTime};
 use centralium_telemetry::{EventKind, Severity};
 use centralium_topology::{DeviceId, Layer};
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// NSDB path of the durable partial-deployment record. Written before the
+/// first wave, bumped after every converged wave, deleted on completion (or
+/// rollback) — so a restarted controller can [`Controller::resume_deployment`]
+/// from exactly the wave the crash interrupted.
+const DEPLOY_STATE_PATH: &str = "/deploy/state";
 
 /// Why a deployment did not happen.
 #[derive(Debug)]
@@ -19,10 +29,29 @@ pub enum DeployError {
     Compile(CompileError),
     /// The pre-deployment health check failed; nothing was deployed.
     PreCheckFailed(HealthReport),
-    /// A phase failed to reach consistency.
+    /// A phase failed to reach consistency within its retry budget and the
+    /// wave policy is [`WaveFailurePolicy::HoldAndRetry`]: the intent stays
+    /// published and the partial-wave record stays in NSDB for resumption.
     PhaseStuck {
         /// Zero-based index of the stuck phase.
         phase: usize,
+    },
+    /// A wave failed under [`WaveFailurePolicy::Rollback`]: the wave's RPAs
+    /// (and those of every previously converged wave) were uninstalled in
+    /// reverse topology order.
+    WaveRolledBack {
+        /// Zero-based index of the failed wave.
+        wave: usize,
+        /// Health of the network after the rollback completed.
+        post_health: HealthReport,
+    },
+    /// The controller halted after [`DeployOptions::halt_after_waves`]
+    /// converged waves (a simulated crash): the partial-wave record remains
+    /// in NSDB and the deployment resumes via
+    /// [`Controller::resume_deployment`].
+    Halted {
+        /// Number of waves that converged before the halt.
+        completed_waves: usize,
     },
 }
 
@@ -36,11 +65,64 @@ impl std::fmt::Display for DeployError {
             DeployError::PhaseStuck { phase } => {
                 write!(f, "deployment phase {phase} failed to converge")
             }
+            DeployError::WaveRolledBack { wave, .. } => {
+                write!(f, "deployment wave {wave} failed and was rolled back")
+            }
+            DeployError::Halted { completed_waves } => {
+                write!(f, "controller halted after {completed_waves} waves")
+            }
         }
     }
 }
 
 impl std::error::Error for DeployError {}
+
+/// Knobs for a single deployment (or removal). [`Controller::deploy_intent`]
+/// uses the defaults; resilience tests and the chaos harness reach for
+/// [`Controller::deploy_intent_with`].
+#[derive(Debug, Clone)]
+pub struct DeployOptions {
+    /// Where the affected routes originate (drives the §5.3.2 safe order).
+    pub origination_layer: Layer,
+    /// Phase ordering (ablations pass `Unordered`/`InverseOrder`).
+    pub strategy: DeploymentStrategy,
+    /// What to do with a wave that exhausts its retry budget.
+    pub wave_policy: WaveFailurePolicy,
+    /// Reconcile rounds (each with deadline-driven RPC retries) a wave may
+    /// take before it counts as failed. Clamped to at least 1.
+    pub max_wave_rounds: u32,
+    /// Testing hook: stop — as if the controller process died — once this
+    /// many waves have converged, leaving the partial-wave record in NSDB.
+    pub halt_after_waves: Option<usize>,
+}
+
+impl DeployOptions {
+    /// Defaults: hold-and-retry with a 10-round wave budget.
+    pub fn new(origination_layer: Layer, strategy: DeploymentStrategy) -> Self {
+        DeployOptions {
+            origination_layer,
+            strategy,
+            wave_policy: WaveFailurePolicy::HoldAndRetry,
+            max_wave_rounds: 10,
+            halt_after_waves: None,
+        }
+    }
+}
+
+/// The durable partial-deployment record at [`DEPLOY_STATE_PATH`]. Carries
+/// everything a freshly restarted controller needs to recompile the intent
+/// and continue from `next_wave`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DeployState {
+    intent: RoutingIntent,
+    origination_layer: Layer,
+    strategy: DeploymentStrategy,
+    wave_policy: WaveFailurePolicy,
+    max_wave_rounds: u32,
+    install: bool,
+    total_waves: usize,
+    next_wave: usize,
+}
 
 /// Per-phase deployment record.
 #[derive(Debug, Clone)]
@@ -121,6 +203,26 @@ impl Controller {
         pre: &HealthCheck,
         post: &HealthCheck,
     ) -> Result<DeploymentReport, DeployError> {
+        self.deploy_intent_with(
+            net,
+            intent,
+            &DeployOptions::new(origination_layer, strategy),
+            pre,
+            post,
+        )
+    }
+
+    /// [`Controller::deploy_intent`] with explicit failure-handling knobs:
+    /// wave policy (hold vs rollback), retry budget, and the crash-simulation
+    /// halt used by the resume tests.
+    pub fn deploy_intent_with(
+        &mut self,
+        net: &mut SimNet,
+        intent: &RoutingIntent,
+        opts: &DeployOptions,
+        pre: &HealthCheck,
+        post: &HealthCheck,
+    ) -> Result<DeploymentReport, DeployError> {
         // Clone the handle: spans must not hold a borrow of `net` across the
         // pipeline's `&mut SimNet` calls.
         let tel = net.telemetry().clone();
@@ -139,8 +241,19 @@ impl Controller {
             Path::parse(&format!("/intents/{}", intent.kind())),
             serde_json::to_value(intent).expect("intents serialize"),
         );
-        let phases = deployment_phases(net.topology(), docs, origination_layer, strategy);
-        let (phase_reports, issued_ops) = self.run_phases(net, phases, true)?;
+        let phases = deployment_phases(net.topology(), docs, opts.origination_layer, opts.strategy);
+        let state = DeployState {
+            intent: intent.clone(),
+            origination_layer: opts.origination_layer,
+            strategy: opts.strategy,
+            wave_policy: opts.wave_policy,
+            max_wave_rounds: opts.max_wave_rounds,
+            install: true,
+            total_waves: phases.len(),
+            next_wave: 0,
+        };
+        self.publish_deploy_state(&state);
+        let (phase_reports, issued_ops) = self.run_phases(net, phases, true, opts, post, state)?;
         let health_span = tel.phases().span("health", net.now());
         let post_health = run_health_check(net, post);
         health_span.finish(net.now());
@@ -150,6 +263,72 @@ impl Controller {
             issued_ops,
             post_health,
         })
+    }
+
+    /// Continue a deployment whose controller died mid-wave.
+    ///
+    /// Reads the durable partial-wave record, polls ground truth (a restarted
+    /// controller has no in-memory current state), rebuilds intended state
+    /// from the per-device NSDB records, recompiles the intent, and re-runs
+    /// the remaining waves. Returns `Ok(None)` when no deployment was in
+    /// flight.
+    pub fn resume_deployment(
+        &mut self,
+        net: &mut SimNet,
+        post: &HealthCheck,
+    ) -> Result<Option<DeploymentReport>, DeployError> {
+        let Some(value) = self.nsdb.get(&Path::parse(DEPLOY_STATE_PATH)) else {
+            return Ok(None);
+        };
+        let state: DeployState = serde_json::from_value(value).expect("deploy state deserializes");
+        let tel = net.telemetry().clone();
+        // Ground truth first; then intended state from the durable records
+        // (exactly the waves published before the crash), so continuous
+        // reconciliation also repairs any straggler from the interrupted
+        // wave.
+        self.agent.poll_current(net);
+        for (path, value) in self.nsdb.get_matching(&Path::parse("/devices/*/rpa/*")) {
+            self.agent.service.store.set(View::Intended, path, value);
+        }
+        let plan_span = tel.phases().span("plan", net.now());
+        let started = std::time::Instant::now();
+        let docs = compile_intent(net.topology(), &state.intent).map_err(DeployError::Compile)?;
+        let generation_time = started.elapsed();
+        plan_span.finish(net.now());
+        let phases = if state.install {
+            deployment_phases(
+                net.topology(),
+                docs,
+                state.origination_layer,
+                state.strategy,
+            )
+        } else {
+            removal_phases(
+                net.topology(),
+                docs,
+                state.origination_layer,
+                state.strategy,
+            )
+        };
+        let opts = DeployOptions {
+            origination_layer: state.origination_layer,
+            strategy: state.strategy,
+            wave_policy: state.wave_policy,
+            max_wave_rounds: state.max_wave_rounds,
+            halt_after_waves: None,
+        };
+        let install = state.install;
+        let (phase_reports, issued_ops) =
+            self.run_phases(net, phases, install, &opts, post, state)?;
+        let health_span = tel.phases().span("health", net.now());
+        let post_health = run_health_check(net, post);
+        health_span.finish(net.now());
+        Ok(Some(DeploymentReport {
+            generation_time,
+            phases: phase_reports,
+            issued_ops,
+            post_health,
+        }))
     }
 
     /// Remove a previously deployed intent, in the mirror-safe order.
@@ -168,7 +347,20 @@ impl Controller {
         let generation_time = started.elapsed();
         plan_span.finish(net.now());
         let phases = removal_phases(net.topology(), docs, origination_layer, strategy);
-        let (phase_reports, issued_ops) = self.run_phases(net, phases, false)?;
+        let opts = DeployOptions::new(origination_layer, strategy);
+        let state = DeployState {
+            intent: intent.clone(),
+            origination_layer,
+            strategy,
+            wave_policy: opts.wave_policy,
+            max_wave_rounds: opts.max_wave_rounds,
+            install: false,
+            total_waves: phases.len(),
+            next_wave: 0,
+        };
+        self.publish_deploy_state(&state);
+        let (phase_reports, issued_ops) =
+            self.run_phases(net, phases, false, &opts, post, state)?;
         // Only drop the durable record once the fleet no longer runs the
         // RPAs — a stuck removal must leave the intent recorded.
         self.nsdb
@@ -184,16 +376,33 @@ impl Controller {
         })
     }
 
+    fn publish_deploy_state(&mut self, state: &DeployState) {
+        self.nsdb.publish(
+            Path::parse(DEPLOY_STATE_PATH),
+            serde_json::to_value(state).expect("deploy state serializes"),
+        );
+    }
+
     fn run_phases(
         &mut self,
         net: &mut SimNet,
-        phases: Vec<crate::sequencer::DeploymentPhase>,
+        phases: Vec<DeploymentPhase>,
         install: bool,
+        opts: &DeployOptions,
+        post: &HealthCheck,
+        mut state: DeployState,
     ) -> Result<(Vec<PhaseReport>, Vec<IssuedOp>), DeployError> {
         let tel = net.telemetry().clone();
         let mut reports = Vec::with_capacity(phases.len());
         let mut all_ops = Vec::new();
-        for (i, phase) in phases.into_iter().enumerate() {
+        let start_wave = state.next_wave.min(phases.len());
+        for i in start_wave..phases.len() {
+            if opts.halt_after_waves.is_some_and(|n| i >= n) {
+                // Simulated controller crash: the durable record still says
+                // `next_wave = i`, so resume_deployment picks up here.
+                return Err(DeployError::Halted { completed_waves: i });
+            }
+            let phase = &phases[i];
             let issued_at = net.now();
             let wave_label = match phase.layer {
                 Some(layer) => format!("wave {} ({layer:?})", i + 1),
@@ -216,20 +425,51 @@ impl Controller {
                     self.nsdb.delete(&nsdb_path);
                 }
             }
-            let ops = self.agent.reconcile(net);
-            all_ops.extend(ops.iter().copied());
-            // Convergence barrier: "every layer must receive the new RPA
-            // after all their downstream peers have picked up" (§5.3.2).
-            if !net.run_until_quiescent().converged {
-                return Err(DeployError::PhaseStuck { phase: i });
+            // Convergence barrier with a retry budget: "every layer must
+            // receive the new RPA after all their downstream peers have
+            // picked up" (§5.3.2). Each round issues deadline-carrying RPCs;
+            // between rounds simulated time advances to the earliest retry
+            // deadline (or circuit-breaker reopen) so lost RPCs get
+            // re-issued with backoff.
+            let mut wave_ok = false;
+            let mut idle_rounds = 0u32;
+            for _round in 0..opts.max_wave_rounds.max(1) {
+                let ops = self.agent.reconcile(net);
+                let issued_any = !ops.is_empty();
+                all_ops.extend(ops.iter().copied());
+                if !net.run_until_quiescent().converged {
+                    return Err(DeployError::PhaseStuck { phase: i });
+                }
+                self.agent.poll_current(net);
+                let wave_diverged = self.agent.service.store.out_of_sync().iter().any(|p| {
+                    devices
+                        .iter()
+                        .any(|d| p.to_string().starts_with(&format!("/devices/d{}/", d.0)))
+                });
+                if !wave_diverged {
+                    wave_ok = true;
+                    break;
+                }
+                match self.agent.next_retry_due(net.now()) {
+                    Some(due) => {
+                        net.run_until(due);
+                        idle_rounds = 0;
+                    }
+                    // No deadline pending right after a budget-exhaustion
+                    // round is normal (the next round starts a fresh
+                    // burst); two consecutive idle rounds means nothing can
+                    // issue at all (e.g. an unreachable device).
+                    None if !issued_any => {
+                        idle_rounds += 1;
+                        if idle_rounds >= 2 {
+                            break;
+                        }
+                    }
+                    None => idle_rounds = 0,
+                }
             }
-            self.agent.poll_current(net);
-            if self.agent.service.store.out_of_sync().iter().any(|p| {
-                devices
-                    .iter()
-                    .any(|d| p.to_string().starts_with(&format!("/devices/d{}/", d.0)))
-            }) {
-                return Err(DeployError::PhaseStuck { phase: i });
+            if !wave_ok {
+                return Err(self.fail_wave(net, &phases, i, install, opts, post));
             }
             let converged_at = net.now();
             wave_span.finish(converged_at);
@@ -252,8 +492,93 @@ impl Controller {
                 issued_at,
                 converged_at,
             });
+            state.next_wave = i + 1;
+            self.publish_deploy_state(&state);
         }
+        self.nsdb.delete(&Path::parse(DEPLOY_STATE_PATH));
         Ok((reports, all_ops))
+    }
+
+    /// A wave exhausted its retry budget: apply the wave policy. Always
+    /// produces the error `run_phases` surfaces.
+    fn fail_wave(
+        &mut self,
+        net: &mut SimNet,
+        phases: &[DeploymentPhase],
+        failed: usize,
+        install: bool,
+        opts: &DeployOptions,
+        post: &HealthCheck,
+    ) -> DeployError {
+        // Rolling back a removal would mean re-installing already-removed
+        // RPAs; hold instead (the mirror order makes partial removals safe).
+        if !install || opts.wave_policy == WaveFailurePolicy::HoldAndRetry {
+            return DeployError::PhaseStuck { phase: failed };
+        }
+        self.rollback_through(net, phases, failed, opts);
+        self.nsdb.delete(&Path::parse(DEPLOY_STATE_PATH));
+        let post_health = run_health_check(net, post);
+        DeployError::WaveRolledBack {
+            wave: failed,
+            post_health,
+        }
+    }
+
+    /// Uninstall the RPAs of waves `0..=failed` in reverse topology order —
+    /// the §5.3.2 mirror of the deployment order — with the same
+    /// deadline-driven retry loop per wave (best effort: a still-wedged
+    /// device is left to continuous reconciliation).
+    fn rollback_through(
+        &mut self,
+        net: &mut SimNet,
+        phases: &[DeploymentPhase],
+        failed: usize,
+        opts: &DeployOptions,
+    ) {
+        let tel = net.telemetry().clone();
+        let started_at = net.now();
+        for phase in phases[..=failed].iter().rev() {
+            for (dev, doc) in &phase.installs {
+                self.agent.clear_intended(*dev, doc.name());
+                self.nsdb.delete(&Path::parse(&format!(
+                    "/devices/d{}/rpa/{}",
+                    dev.0,
+                    doc.name()
+                )));
+            }
+            let mut idle_rounds = 0u32;
+            for _round in 0..opts.max_wave_rounds.max(1) {
+                let ops = self.agent.reconcile(net);
+                let issued_any = !ops.is_empty();
+                let _ = net.run_until_quiescent();
+                self.agent.poll_current(net);
+                if self.agent.service.store.out_of_sync().is_empty() {
+                    break;
+                }
+                match self.agent.next_retry_due(net.now()) {
+                    Some(due) => {
+                        net.run_until(due);
+                        idle_rounds = 0;
+                    }
+                    None if !issued_any => {
+                        idle_rounds += 1;
+                        if idle_rounds >= 2 {
+                            break;
+                        }
+                    }
+                    None => idle_rounds = 0,
+                }
+            }
+        }
+        tel.metrics().counter("core.wave_rollbacks").inc();
+        if tel.journal_enabled() {
+            tel.record(
+                tel.event(EventKind::WaveRollback, Severity::Error)
+                    .field("wave", failed + 1)
+                    .field("waves_rolled_back", failed + 1)
+                    .field("started_at_us", started_at),
+            );
+        }
     }
 }
 
@@ -412,6 +737,158 @@ mod tests {
         // Recovery anti-entropy syncs the dead replica back.
         controller.nsdb.recover_replica(0);
         assert!(controller.nsdb.is_consistent());
+    }
+
+    #[test]
+    fn chaos_losses_are_absorbed_by_wave_retries() {
+        use centralium_simnet::ChaosPlan;
+        // Reference run: no chaos.
+        let (mut clean_net, idx) = fabric();
+        let mut clean = Controller::new(&clean_net, idx.rsw[0][0]);
+        let intent = equalize(TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw]));
+        clean
+            .deploy_intent(
+                &mut clean_net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &HealthCheck::default(),
+                &HealthCheck::default(),
+            )
+            .unwrap();
+        // Lossy run: 40% of RPCs dropped; deadline-driven retries absorb it.
+        let (mut net, idx) = fabric();
+        net.set_telemetry(centralium_telemetry::Telemetry::with_journal(4096));
+        net.set_chaos(ChaosPlan::with_rpc_loss(7, 0.4));
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        controller
+            .deploy_intent(
+                &mut net,
+                &intent,
+                Layer::Backbone,
+                DeploymentStrategy::SafeOrder,
+                &HealthCheck::default(),
+                &HealthCheck::default(),
+            )
+            .expect("retries converge the deployment despite drops");
+        let snap = net.telemetry().metrics().snapshot();
+        let dropped = snap.counter("simnet.rpc_dropped");
+        assert!(dropped > 0, "seed 7 @ 40% must drop something");
+        assert!(
+            snap.counter("core.rpc_retries") >= dropped,
+            "every dropped RPC is eventually re-issued"
+        );
+        // The lossy fleet ends up running exactly what the clean one runs.
+        for &d in idx.fsw.iter().flatten().chain(idx.ssw.iter().flatten()) {
+            assert_eq!(
+                net.device(d).unwrap().engine.installed(),
+                clean_net.device(d).unwrap().engine.installed(),
+            );
+        }
+        assert!(controller.nsdb.get(&Path::parse("/deploy/state")).is_none());
+    }
+
+    #[test]
+    fn wedged_wave_rolls_back_in_reverse_order() {
+        use crate::sequencer::WaveFailurePolicy;
+        use centralium_simnet::ChaosPlan;
+        let (mut net, idx) = fabric();
+        net.set_telemetry(centralium_telemetry::Telemetry::with_journal(4096));
+        // Total loss: no wave can ever converge.
+        net.set_chaos(ChaosPlan::with_rpc_loss(7, 1.0));
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        controller
+            .agent
+            .set_retry_policy(crate::retry::RetryPolicy {
+                max_retries: 2,
+                base_backoff_us: 5_000,
+                max_backoff_us: 20_000,
+                jitter_seed: 7,
+            });
+        let intent = equalize(TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw]));
+        let mut opts = DeployOptions::new(Layer::Backbone, DeploymentStrategy::SafeOrder);
+        opts.wave_policy = WaveFailurePolicy::Rollback;
+        opts.max_wave_rounds = 3;
+        let err = controller
+            .deploy_intent_with(
+                &mut net,
+                &intent,
+                &opts,
+                &HealthCheck::default(),
+                &HealthCheck::default(),
+            )
+            .unwrap_err();
+        let DeployError::WaveRolledBack { wave, post_health } = err else {
+            panic!("expected WaveRolledBack, got {err}");
+        };
+        assert_eq!(wave, 0, "first wave (FSW) is the one that wedges");
+        assert!(post_health.passed(), "rollback leaves a healthy fabric");
+        // Nothing is left installed and nothing is left intended.
+        for &d in idx.fsw.iter().flatten().chain(idx.ssw.iter().flatten()) {
+            assert!(net.device(d).unwrap().engine.installed().is_empty());
+        }
+        assert!(controller.agent.service.store.out_of_sync().is_empty());
+        // The durable partial-wave record is gone: nothing to resume.
+        assert!(controller.nsdb.get(&Path::parse("/deploy/state")).is_none());
+        let snap = net.telemetry().metrics().snapshot();
+        assert_eq!(snap.counter("core.wave_rollbacks"), 1);
+        assert!(net
+            .telemetry()
+            .journal()
+            .unwrap()
+            .snapshot()
+            .iter()
+            .any(|e| e.kind == EventKind::WaveRollback));
+    }
+
+    #[test]
+    fn halted_deployment_resumes_from_nsdb_partial_state() {
+        let (mut net, idx) = fabric();
+        let mut controller = Controller::new(&net, idx.rsw[0][0]);
+        let intent = equalize(TargetSet::Layers(vec![Layer::Fsw, Layer::Ssw, Layer::Fadu]));
+        let mut opts = DeployOptions::new(Layer::Backbone, DeploymentStrategy::SafeOrder);
+        // Crash after the first wave (FSW) converges.
+        opts.halt_after_waves = Some(1);
+        let err = controller
+            .deploy_intent_with(
+                &mut net,
+                &intent,
+                &opts,
+                &HealthCheck::default(),
+                &HealthCheck::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeployError::Halted { completed_waves: 1 }));
+        // Only the FSW wave landed.
+        for &d in idx.ssw.iter().flatten() {
+            assert!(net.device(d).unwrap().engine.installed().is_empty());
+        }
+        // "Restart": a brand-new controller (fresh agent, empty in-memory
+        // state) inherits only the durable NSDB.
+        let nsdb = std::mem::replace(&mut controller.nsdb, ReplicatedNsdb::new(2));
+        drop(controller);
+        let mut restarted = Controller::new(&net, idx.rsw[0][0]);
+        restarted.nsdb = nsdb;
+        let report = restarted
+            .resume_deployment(&mut net, &HealthCheck::default())
+            .unwrap()
+            .expect("a partial deployment was recorded");
+        // Waves 2 and 3 (SSW, FADU) ran under the restarted controller.
+        let order: Vec<Layer> = report.phases.iter().filter_map(|p| p.layer).collect();
+        assert_eq!(order, vec![Layer::Ssw, Layer::Fadu]);
+        for &d in idx.fsw.iter().flatten().chain(idx.ssw.iter().flatten()) {
+            assert_eq!(
+                net.device(d).unwrap().engine.installed(),
+                vec!["equalize-paths"]
+            );
+        }
+        assert!(report.post_health.passed());
+        assert!(restarted.nsdb.get(&Path::parse("/deploy/state")).is_none());
+        // Idempotent: nothing further to resume.
+        assert!(restarted
+            .resume_deployment(&mut net, &HealthCheck::default())
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -30,13 +30,15 @@ pub mod intent;
 pub mod planner;
 pub mod preverify;
 pub mod reconcile;
+pub mod retry;
 pub mod sequencer;
 pub mod switch_agent;
 
 pub use compile::{compile_intent, CompileError};
-pub use controller::{Controller, DeploymentReport};
+pub use controller::{Controller, DeployError, DeployOptions, DeploymentReport};
 pub use health::{HealthCheck, HealthReport};
 pub use intent::{RoutingIntent, TargetSet};
 pub use planner::{plan_all_categories, MigrationPlanComparison};
-pub use sequencer::{DeploymentPhase, DeploymentStrategy};
+pub use retry::{CircuitBreaker, RetryPolicy};
+pub use sequencer::{DeploymentPhase, DeploymentStrategy, WaveFailurePolicy};
 pub use switch_agent::SwitchAgent;

@@ -10,12 +10,15 @@
 //! install/remove RPCs into the emulator, with latency taken from the
 //! management plane's SPF distance to each device.
 
+use crate::retry::{CircuitBreaker, RetryPolicy};
 use centralium_nsdb::store::View;
 use centralium_nsdb::{Path, ServiceTemplate};
 use centralium_rpa::RpaDocument;
 use centralium_simnet::{ManagementPlane, SimNet, SimTime};
+use centralium_telemetry::{EventKind, Severity};
 use centralium_topology::DeviceId;
 use serde_json::Value;
+use std::collections::HashMap;
 
 /// One issued RPA operation and its RPC latency (the Figure 12 sample).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,12 +31,26 @@ pub struct IssuedOp {
     pub install: bool,
 }
 
+/// In-flight RPC bookkeeping for one out-of-sync path.
+#[derive(Debug, Clone, Copy)]
+struct AttemptState {
+    /// RPCs issued so far for this path's current divergence.
+    attempts: u32,
+    /// Deadline of the in-flight RPC: before this instant the path is not
+    /// re-issued; after it, the attempt counts as failed.
+    deadline_at: SimTime,
+}
+
 /// The agent.
 #[derive(Debug)]
 pub struct SwitchAgent {
     /// Shared service template: dual store + health + stats.
     pub service: ServiceTemplate,
     mgmt: ManagementPlane,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    /// Per-path in-flight RPC state; cleared when the path syncs.
+    attempts: HashMap<Path, AttemptState>,
 }
 
 impl SwitchAgent {
@@ -42,6 +59,9 @@ impl SwitchAgent {
         SwitchAgent {
             service: ServiceTemplate::new("switch-agent"),
             mgmt,
+            retry: RetryPolicy::default(),
+            breaker: CircuitBreaker::default(),
+            attempts: HashMap::new(),
         }
     }
 
@@ -53,6 +73,59 @@ impl SwitchAgent {
     /// Replace the management plane (topology changed).
     pub fn set_mgmt(&mut self, mgmt: ManagementPlane) {
         self.mgmt = mgmt;
+    }
+
+    /// Replace the RPC retry schedule.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The RPC retry schedule in use.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Replace the per-device circuit breaker.
+    pub fn set_breaker(&mut self, breaker: CircuitBreaker) {
+        self.breaker = breaker;
+    }
+
+    /// Devices whose circuit is open (degraded) at `now`.
+    pub fn degraded_devices(&self, now: SimTime) -> Vec<DeviceId> {
+        self.breaker.degraded_devices(now)
+    }
+
+    /// Earliest instant at which a held-back RPC becomes issuable again —
+    /// the minimum over in-flight deadlines and open-circuit cooldowns.
+    /// The controller advances simulated time here while holding a wave
+    /// (the event queue alone does not advance time past its last event).
+    pub fn next_retry_due(&self, now: SimTime) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        let mut fold = |t: SimTime| best = Some(best.map_or(t, |b: SimTime| b.min(t)));
+        for (path, s) in &self.attempts {
+            // A path whose deadline passed while its device's circuit is
+            // open only becomes actionable at the circuit's reopen.
+            let mut due = s.deadline_at;
+            if let Some((device, _)) = Self::parse_rpa_path(path) {
+                if let Some(reopen) = self.breaker.reopen_at(device) {
+                    due = due.max(reopen);
+                }
+            }
+            fold(due);
+        }
+        if let Some(r) = self.breaker.earliest_reopen(now) {
+            fold(r);
+        }
+        best
+    }
+
+    /// RPCs issued so far for `device`/`name`'s current divergence (0 once
+    /// the path syncs).
+    pub fn rpc_attempts(&self, device: DeviceId, name: &str) -> u32 {
+        self.attempts
+            .get(&Self::rpa_path(device, name))
+            .map(|s| s.attempts)
+            .unwrap_or(0)
     }
 
     fn rpa_path(device: DeviceId, name: &str) -> Path {
@@ -118,45 +191,131 @@ impl SwitchAgent {
             self.service.store.set(View::Current, p, v);
         }
         self.service.record_rpc(n.max(1));
+        // Fresh ground truth settles in-flight RPCs immediately — a path
+        // may sync and re-diverge (new intent) before the next reconcile,
+        // and a stale deadline must not suppress the new divergence's RPC.
+        self.settle_attempts();
+    }
+
+    /// Drop in-flight state (and reset breakers) for paths that synced:
+    /// their RPC succeeded.
+    fn settle_attempts(&mut self) {
+        if self.attempts.is_empty() {
+            return;
+        }
+        let diverged = self.service.store.out_of_sync();
+        let resolved: Vec<Path> = self
+            .attempts
+            .keys()
+            .filter(|p| !diverged.contains(p))
+            .cloned()
+            .collect();
+        for path in resolved {
+            self.attempts.remove(&path);
+            if let Some((device, _)) = Self::parse_rpa_path(&path) {
+                self.breaker.record_success(device);
+            }
+        }
     }
 
     /// One reconciliation round: issue install/remove operations for every
-    /// out-of-sync path. Returns the issued operations (empty = in sync).
-    /// Unreachable devices are skipped and will be retried next round —
-    /// that is the eventual-consistency guarantee.
+    /// out-of-sync path. Returns the issued operations (empty = in sync or
+    /// everything held back by deadlines/breakers).
+    ///
+    /// Failure semantics: every issued RPC carries a deadline from the
+    /// [`RetryPolicy`]; a path still diverged past its deadline counts as a
+    /// failed RPC and is re-issued with exponential backoff (journal:
+    /// [`EventKind::RpcRetry`]). Consecutive failures trip the device's
+    /// [`CircuitBreaker`] (journal: [`EventKind::CircuitOpen`]) so a wedged
+    /// agent fails fast until its cooldown. Unreachable devices are skipped
+    /// and retried next round — the eventual-consistency guarantee.
     pub fn reconcile(&mut self, net: &mut SimNet) -> Vec<IssuedOp> {
+        let now = net.now();
+        let tel = net.telemetry().clone();
         let mut issued = Vec::new();
+        // Paths that synced since the last round: their RPC succeeded.
+        self.settle_attempts();
         let diverged = self.service.store.out_of_sync();
         for path in &diverged {
             let Some((device, name)) = Self::parse_rpa_path(path) else {
                 continue;
             };
+            let attempt = match self.attempts.get(path) {
+                // In-flight RPC still within its deadline: leave it alone.
+                Some(s) if now < s.deadline_at => continue,
+                Some(s) => s.attempts,
+                None => 0,
+            };
+            if attempt > 0 {
+                // The previous RPC missed its deadline: a failure.
+                if self.breaker.record_failure(device, now) {
+                    tel.metrics().counter("core.circuit_open").inc();
+                    if tel.journal_enabled() {
+                        tel.record(
+                            tel.event(EventKind::CircuitOpen, Severity::Error)
+                                .field("device", format!("d{}", device.0))
+                                .field("failures", self.breaker.threshold)
+                                .field("cooldown_us", self.breaker.cooldown_us),
+                        );
+                    }
+                }
+            }
+            if !self.breaker.allows(device, now) {
+                // Degraded: fail fast, and drop the in-flight state — its
+                // failure is already counted, and after the cooldown the
+                // path restarts as a fresh half-open probe.
+                self.attempts.remove(path);
+                continue;
+            }
+            if attempt > self.retry.max_retries {
+                // Budget exhausted: reset so the next (breaker-gated) round
+                // starts a fresh burst.
+                self.attempts.remove(path);
+                continue;
+            }
             let Some(latency) = self.mgmt.rpc_latency_us(device) else {
                 continue; // unreachable: retry next round
             };
             let intended = self.service.store.view(View::Intended).get(path).cloned();
-            match intended {
+            let install = match intended {
                 Some(value) => {
                     let doc: RpaDocument = match serde_json::from_value(value) {
                         Ok(d) => d,
                         Err(_) => continue,
                     };
                     net.deploy_rpa(device, doc, latency);
-                    issued.push(IssuedOp {
-                        device,
-                        latency_us: latency,
-                        install: true,
-                    });
+                    true
                 }
                 None => {
-                    net.remove_rpa(device, name, latency);
-                    issued.push(IssuedOp {
-                        device,
-                        latency_us: latency,
-                        install: false,
-                    });
+                    net.remove_rpa(device, name.clone(), latency);
+                    false
+                }
+            };
+            if attempt > 0 {
+                tel.metrics().counter("core.rpc_retries").inc();
+                if tel.journal_enabled() {
+                    tel.record(
+                        tel.event(EventKind::RpcRetry, Severity::Warn)
+                            .field("device", format!("d{}", device.0))
+                            .field("document", name.as_str())
+                            .field("attempt", attempt)
+                            .field("install", install),
+                    );
                 }
             }
+            let backoff = self.retry.backoff_us(attempt, device);
+            self.attempts.insert(
+                path.clone(),
+                AttemptState {
+                    attempts: attempt + 1,
+                    deadline_at: now + latency + backoff,
+                },
+            );
+            issued.push(IssuedOp {
+                device,
+                latency_us: latency,
+                install,
+            });
         }
         self.service.record_reconcile(diverged.len() as u64 + 1);
         issued
@@ -268,6 +427,110 @@ mod tests {
         let ops = agent.reconcile(&mut net);
         assert_eq!(ops.len(), 1, "straggler re-pushed");
         net.run_until_quiescent().expect_converged();
+        assert_eq!(
+            net.device(target).unwrap().engine.installed(),
+            vec!["equalize"]
+        );
+    }
+
+    #[test]
+    fn lost_rpc_is_retried_after_deadline() {
+        use centralium_simnet::ChaosPlan;
+        let (mut net, mut agent, idx) = setup();
+        net.set_telemetry(centralium_telemetry::Telemetry::with_journal(1024));
+        // Drop the first RPCs, then heal: nonce-keyed fates make exactly
+        // the early attempts fail. With loss 1.0 on nonce 0 only we can't
+        // express "first only" via probability, so use full loss and heal
+        // by swapping the plan after the first round.
+        net.set_chaos(ChaosPlan::with_rpc_loss(7, 1.0));
+        let target = idx.ssw[0][0];
+        agent.set_retry_policy(RetryPolicy {
+            max_retries: 6,
+            base_backoff_us: 5_000,
+            max_backoff_us: 40_000,
+            jitter_seed: 7,
+        });
+        agent.set_intended(target, &doc("equalize"));
+        let ops = agent.reconcile(&mut net);
+        assert_eq!(ops.len(), 1);
+        net.run_until_quiescent().expect_converged();
+        agent.poll_current(&net);
+        // RPC was dropped: still out of sync, attempt recorded.
+        assert_eq!(agent.rpc_attempts(target, "equalize"), 1);
+        // Within the deadline nothing is re-issued.
+        assert!(agent.reconcile(&mut net).is_empty());
+        // Heal the network and advance past the deadline: the retry fires.
+        net.set_chaos(ChaosPlan::new(7));
+        let due = agent.next_retry_due(net.now()).expect("deadline pending");
+        net.run_until(due);
+        let ops = agent.reconcile(&mut net);
+        assert_eq!(ops.len(), 1, "retry issued");
+        net.run_until_quiescent().expect_converged();
+        agent.poll_current(&net);
+        assert_eq!(
+            net.device(target).unwrap().engine.installed(),
+            vec!["equalize"]
+        );
+        assert_eq!(agent.rpc_attempts(target, "equalize"), 0, "settled");
+        let snap = net.telemetry().metrics().snapshot();
+        assert_eq!(snap.counter("core.rpc_retries"), 1);
+        let journal = net.telemetry().journal().unwrap().snapshot();
+        assert!(journal
+            .iter()
+            .any(|e| e.kind == centralium_telemetry::EventKind::RpcRetry));
+    }
+
+    #[test]
+    fn wedged_device_trips_circuit_breaker() {
+        use centralium_simnet::ChaosPlan;
+        let (mut net, mut agent, idx) = setup();
+        net.set_telemetry(centralium_telemetry::Telemetry::with_journal(1024));
+        net.set_chaos(ChaosPlan::with_rpc_loss(7, 1.0));
+        let target = idx.ssw[0][0];
+        agent.set_retry_policy(RetryPolicy {
+            max_retries: 10,
+            base_backoff_us: 1_000,
+            max_backoff_us: 4_000,
+            jitter_seed: 1,
+        });
+        agent.set_breaker(CircuitBreaker::new(3, 1_000_000));
+        agent.set_intended(target, &doc("equalize"));
+        // Drive rounds until the breaker opens. (Degradation must be
+        // checked before advancing time: next_retry_due points at the
+        // cooldown's end once the circuit is open.)
+        for _ in 0..8 {
+            agent.reconcile(&mut net);
+            net.run_until_quiescent();
+            agent.poll_current(&net);
+            if !agent.degraded_devices(net.now()).is_empty() {
+                break;
+            }
+            if let Some(due) = agent.next_retry_due(net.now()) {
+                net.run_until(due);
+            }
+        }
+        assert_eq!(agent.degraded_devices(net.now()), vec![target]);
+        let snap = net.telemetry().metrics().snapshot();
+        assert_eq!(snap.counter("core.circuit_open"), 1);
+        assert!(net
+            .telemetry()
+            .journal()
+            .unwrap()
+            .snapshot()
+            .iter()
+            .any(|e| e.kind == centralium_telemetry::EventKind::CircuitOpen));
+        // While open, reconcile fails fast: no RPCs toward the device.
+        assert!(agent.reconcile(&mut net).is_empty());
+        // After the cooldown the half-open probe flows again — and with the
+        // chaos healed it succeeds and closes the circuit.
+        net.set_chaos(ChaosPlan::new(7));
+        let due = agent.next_retry_due(net.now()).expect("cooldown pending");
+        net.run_until(due);
+        let ops = agent.reconcile(&mut net);
+        assert_eq!(ops.len(), 1, "half-open probe");
+        net.run_until_quiescent().expect_converged();
+        agent.poll_current(&net);
+        assert!(agent.degraded_devices(net.now()).is_empty());
         assert_eq!(
             net.device(target).unwrap().engine.installed(),
             vec!["equalize"]

@@ -167,10 +167,20 @@ impl RpaEngine {
         }
     }
 
-    /// Toggle the evaluation cache (Table 2 ablation).
+    /// Toggle the evaluation cache (Table 2 ablation). The mode's foreign
+    /// counters are zeroed on each switch — with the cache off, `stats()`
+    /// must not keep reporting hit/miss counts from the enabled era (and
+    /// vice versa), or the Table 2 rows contaminate each other.
     pub fn set_cache_enabled(&mut self, enabled: bool) {
         self.cache_enabled = enabled;
         self.cache.lock().clear();
+        let mut stats = self.stats.lock();
+        if enabled {
+            stats.uncached_evals = 0;
+        } else {
+            stats.cache_hits = 0;
+            stats.cache_misses = 0;
+        }
     }
 
     /// Advance the engine's clock (Route Attribute expiry).
@@ -857,6 +867,30 @@ mod tests {
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.cache_misses, 0);
         assert!(stats.uncached_evals >= 2);
+    }
+
+    #[test]
+    fn disabling_cache_zeroes_hit_miss_counters() {
+        let mut e = RpaEngine::new();
+        e.install(equalize_doc()).unwrap();
+        let c = well_known::BACKBONE_DEFAULT_ROUTE;
+        let candidates = vec![route(1, &[101, 60000], &[c])];
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        let warm = e.stats();
+        assert!(warm.cache_hits > 0 && warm.cache_misses > 0);
+        // Disable: the stale hit/miss counts must not leak into the
+        // uncached era's report.
+        e.set_cache_enabled(false);
+        let off = e.stats();
+        assert_eq!((off.cache_hits, off.cache_misses), (0, 0));
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        let after = e.stats();
+        assert_eq!((after.cache_hits, after.cache_misses), (0, 0));
+        assert!(after.uncached_evals > 0);
+        // Re-enable: the uncached count is the other era's residue.
+        e.set_cache_enabled(true);
+        assert_eq!(e.stats().uncached_evals, 0);
     }
 
     #[test]

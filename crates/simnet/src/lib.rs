@@ -23,7 +23,9 @@
 //!   loop detection;
 //! * [`mgmt`] — Open/R-like management plane (SPF reachability + RPC
 //!   latency for the controller);
-//! * [`fault`] — seeded message-loss / extra-delay injection;
+//! * [`fault`] — seeded message-loss / extra-delay injection, plus the
+//!   [`ChaosPlan`] driving RPC drop/delay/duplicate, agent crash-restart
+//!   and NSDB staleness for deployment-resilience testing;
 //! * [`trace`] — event counters and convergence reporting.
 
 pub mod device;
@@ -38,7 +40,7 @@ pub mod traffic;
 
 pub use device::SimDevice;
 pub use event::{EventQueue, SimTime};
-pub use fault::FaultPlan;
+pub use fault::{chaos_unit, ChaosPlan, FaultPlan, RpcFate};
 pub use fib::{Fib, NhgStats};
 pub use invariants::{assert_rib_consistent, verify_rib_consistency};
 pub use mgmt::ManagementPlane;

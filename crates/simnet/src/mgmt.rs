@@ -73,6 +73,20 @@ impl ManagementPlane {
             .map(|h| self.rpc_overhead_us + self.per_hop_latency_us * h as SimTime)
     }
 
+    /// Chaos injection: partition `dev` off the management plane (RPCs to
+    /// it fail fast with "unreachable" until healed). Returns the prior hop
+    /// distance so the caller can restore it, or `None` if the device was
+    /// already unreachable.
+    pub fn partition_device(&mut self, dev: DeviceId) -> Option<usize> {
+        self.distance.remove(&dev)
+    }
+
+    /// Undo [`partition_device`](Self::partition_device): restore `dev` at
+    /// `hops` from the root.
+    pub fn heal_device(&mut self, dev: DeviceId, hops: usize) {
+        self.distance.insert(dev, hops);
+    }
+
     /// Devices currently unreachable from the root (controller alerting:
     /// "unexpected device unavailability", §5.2).
     pub fn unreachable_devices(&self, topo: &Topology) -> Vec<DeviceId> {
@@ -125,6 +139,20 @@ mod tests {
         assert!(unreachable.contains(&idx.rsw[0][1]));
         // The Down FSWs themselves are not reported (expected unavailability).
         assert!(!unreachable.contains(&idx.fsw[0][0]));
+    }
+
+    #[test]
+    fn partition_and_heal_round_trip() {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut mp = ManagementPlane::compute(&topo, idx.rsw[0][0]);
+        let victim = idx.fauu[0][0];
+        let hops = mp.hops_to(victim).unwrap();
+        assert_eq!(mp.partition_device(victim), Some(hops));
+        assert!(!mp.reachable(victim));
+        assert_eq!(mp.rpc_latency_us(victim), None);
+        assert_eq!(mp.partition_device(victim), None, "already partitioned");
+        mp.heal_device(victim, hops);
+        assert_eq!(mp.hops_to(victim), Some(hops));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::device::SimDevice;
 use crate::event::{EventQueue, SimTime};
-use crate::fault::FaultPlan;
+use crate::fault::{ChaosPlan, FaultPlan, RpcFate};
 use crate::trace::{ConvergenceReport, TraceStats};
 use centralium_bgp::policy::{Action, MatchExpr, Policy, PolicyRule};
 use centralium_bgp::session::{Session, SessionAction};
@@ -181,6 +181,13 @@ pub enum NetEvent {
         /// Override rules (an empty rule list restores the pure base).
         policy: Policy,
     },
+    /// The device's RPA agent process crash-restarts (chaos injection):
+    /// every installed RPA document is lost and routes re-evaluate natively.
+    /// BGP sessions survive — only the agent's configuration state dies.
+    AgentRestart {
+        /// Target device.
+        dev: DeviceId,
+    },
 }
 
 /// Cached handles for the registry counters the run loop bumps on every
@@ -195,6 +202,9 @@ struct NetCounters {
     rpa_operations: Counter,
     rpa_failures: Counter,
     session_events: Counter,
+    rpc_dropped: Counter,
+    rpc_duplicated: Counter,
+    agent_restarts: Counter,
 }
 
 impl NetCounters {
@@ -208,6 +218,9 @@ impl NetCounters {
             rpa_operations: m.counter("simnet.rpa_operations"),
             rpa_failures: m.counter("simnet.rpa_failures"),
             session_events: m.counter("simnet.session_events"),
+            rpc_dropped: m.counter("simnet.rpc_dropped"),
+            rpc_duplicated: m.counter("simnet.rpc_duplicated"),
+            agent_restarts: m.counter("simnet.agent_restarts"),
         }
     }
 }
@@ -236,6 +249,12 @@ pub struct SimNet {
     originators: HashMap<Prefix, BTreeSet<DeviceId>>,
     /// Per directed (from, to, session) last delivery time, for TCP FIFO.
     fifo: HashMap<(DeviceId, DeviceId, u8), SimTime>,
+    /// Deterministic chaos schedule for management RPCs, if any. Decisions
+    /// hash `(seed, device, rpc_nonce)` and never touch `rng`, so enabling
+    /// chaos leaves BGP message timing bit-identical.
+    chaos: Option<ChaosPlan>,
+    /// Monotonic RPC counter feeding [`ChaosPlan::rpc_fate`].
+    rpc_nonce: u64,
 }
 
 impl SimNet {
@@ -273,6 +292,8 @@ impl SimNet {
             last_update: HashMap::new(),
             originators: HashMap::new(),
             fifo: HashMap::new(),
+            chaos: None,
+            rpc_nonce: 0,
         };
         net.bind_all_device_telemetry();
         // Wire sessions for every Up link between live devices.
@@ -517,9 +538,21 @@ impl SimNet {
         self.schedule_in(0, NetEvent::Originate { dev, prefix, attrs });
     }
 
+    /// Install (or replace) the chaos schedule for management RPCs. Pass a
+    /// quiet plan (or never call this) for fault-free RPC delivery.
+    pub fn set_chaos(&mut self, plan: ChaosPlan) {
+        self.chaos = Some(plan);
+    }
+
+    /// The active chaos schedule, if any.
+    pub fn chaos(&self) -> Option<&ChaosPlan> {
+        self.chaos.as_ref()
+    }
+
     /// Deploy an RPA document to a device after `rpc_latency_us`.
     pub fn deploy_rpa(&mut self, dev: DeviceId, doc: RpaDocument, rpc_latency_us: SimTime) {
-        self.schedule_in(
+        self.schedule_rpc(
+            dev,
             rpc_latency_us,
             NetEvent::InstallRpa {
                 dev,
@@ -530,13 +563,64 @@ impl SimNet {
 
     /// Remove an RPA document from a device after `rpc_latency_us`.
     pub fn remove_rpa(&mut self, dev: DeviceId, name: impl Into<String>, rpc_latency_us: SimTime) {
-        self.schedule_in(
+        self.schedule_rpc(
+            dev,
             rpc_latency_us,
             NetEvent::RemoveRpa {
                 dev,
                 name: name.into(),
             },
         );
+    }
+
+    /// Schedule one management RPC toward `dev`, consulting the chaos plan:
+    /// the RPC may be dropped, delayed beyond `rpc_latency_us`, delivered
+    /// twice, or followed by an agent crash-restart.
+    fn schedule_rpc(&mut self, dev: DeviceId, rpc_latency_us: SimTime, event: NetEvent) {
+        let Some(plan) = self.chaos.filter(|p| !p.is_quiet()) else {
+            self.schedule_in(rpc_latency_us, event);
+            return;
+        };
+        let nonce = self.rpc_nonce;
+        self.rpc_nonce += 1;
+        match plan.rpc_fate(dev.0, nonce) {
+            RpcFate::Dropped => {
+                self.counters.rpc_dropped.inc();
+                self.note_chaos(dev, "rpc_drop");
+            }
+            RpcFate::Delivered {
+                extra_delay_us,
+                duplicate,
+                crash_agent,
+            } => {
+                let at = rpc_latency_us + extra_delay_us;
+                if duplicate {
+                    // At-least-once semantics under retransmission: the
+                    // second copy lands one tick later (installs must be
+                    // idempotent for this to be harmless).
+                    self.counters.rpc_duplicated.inc();
+                    self.note_chaos(dev, "rpc_duplicate");
+                    self.schedule_in(at + 1, event.clone());
+                }
+                if crash_agent {
+                    self.note_chaos(dev, "agent_crash");
+                    self.schedule_in(at + 1, NetEvent::AgentRestart { dev });
+                }
+                self.schedule_in(at, event);
+            }
+        }
+    }
+
+    /// Journal one chaos-plan injection against `dev`.
+    fn note_chaos(&self, dev: DeviceId, fault: &'static str) {
+        if self.telemetry.journal_enabled() {
+            self.telemetry.record(
+                self.telemetry
+                    .event(EventKind::FaultInjected, Severity::Warn)
+                    .field("fault", fault)
+                    .field("device", format!("d{}", dev.0)),
+            );
+        }
     }
 
     /// The export-policy *override* a drained device applies: pad the
@@ -1084,6 +1168,26 @@ impl SimNet {
                 });
                 self.emit(dev, out);
             }
+            NetEvent::AgentRestart { dev } => {
+                let Some(d) = self.devices.get_mut(&dev) else {
+                    return;
+                };
+                self.counters.agent_restarts.inc();
+                d.engine.set_time(self.now);
+                // The restarted agent comes back with empty RPA state; the
+                // controller's reconcile loop must notice and re-install.
+                let installed: Vec<String> = d
+                    .engine
+                    .installed()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect();
+                for name in installed {
+                    let _ = d.engine.remove(&name);
+                }
+                let out = d.with_daemon(|dm, e| dm.reevaluate_all(e));
+                self.emit(dev, out);
+            }
         }
     }
 
@@ -1526,6 +1630,106 @@ mod tests {
             after,
             before - 1,
             "routes learned over the ceased session flushed"
+        );
+    }
+
+    #[test]
+    fn chaos_drops_rpcs_but_not_bgp() {
+        let run = |chaos: Option<ChaosPlan>| {
+            let (mut net, idx) = tiny_net(13);
+            if let Some(plan) = chaos {
+                net.set_chaos(plan);
+            }
+            net.establish_all();
+            for &eb in &idx.backbone {
+                net.originate(eb, default_route(), [well_known::BACKBONE_DEFAULT_ROUTE]);
+            }
+            let report = net.run_until_quiescent().expect_converged();
+            (report.events_processed, report.finished_at, net, idx)
+        };
+        let (e0, t0, _, _) = run(None);
+        // Chaos with total RPC loss: BGP convergence is bit-identical
+        // (chaos never touches the shared RNG stream) and the lost RPCs
+        // are counted.
+        let (e1, t1, mut net, idx) = run(Some(ChaosPlan::with_rpc_loss(7, 1.0)));
+        assert_eq!((e0, t0), (e1, t1), "chaos must not perturb BGP timing");
+        let ssw = idx.ssw[0][0];
+        net.deploy_rpa(
+            ssw,
+            RpaDocument::RouteFilter(centralium_rpa::RouteFilterRpa {
+                name: "never-lands".into(),
+                statements: vec![],
+            }),
+            300,
+        );
+        net.run_until_quiescent().expect_converged();
+        assert!(net.device(ssw).unwrap().engine.installed().is_empty());
+        assert_eq!(net.stats().rpa_operations, 0);
+        assert_eq!(
+            net.telemetry()
+                .metrics()
+                .snapshot()
+                .counter("simnet.rpc_dropped"),
+            1
+        );
+    }
+
+    #[test]
+    fn chaos_duplicates_are_idempotent() {
+        let (mut net, idx) = tiny_net(14);
+        net.set_chaos(ChaosPlan {
+            rpc_duplicate: 1.0,
+            ..ChaosPlan::new(7)
+        });
+        net.establish_all();
+        net.run_until_quiescent().expect_converged();
+        let ssw = idx.ssw[0][0];
+        net.deploy_rpa(
+            ssw,
+            RpaDocument::RouteFilter(centralium_rpa::RouteFilterRpa {
+                name: "twice".into(),
+                statements: vec![],
+            }),
+            300,
+        );
+        net.run_until_quiescent().expect_converged();
+        // Both copies land; install_or_replace makes the second a no-op.
+        assert_eq!(net.device(ssw).unwrap().engine.installed(), vec!["twice"]);
+        assert_eq!(net.stats().rpa_operations, 2);
+        assert_eq!(
+            net.telemetry()
+                .metrics()
+                .snapshot()
+                .counter("simnet.rpc_duplicated"),
+            1
+        );
+    }
+
+    #[test]
+    fn agent_restart_loses_rpa_state() {
+        let (mut net, idx) = tiny_net(15);
+        net.establish_all();
+        net.run_until_quiescent().expect_converged();
+        let ssw = idx.ssw[0][0];
+        net.deploy_rpa(
+            ssw,
+            RpaDocument::RouteFilter(centralium_rpa::RouteFilterRpa {
+                name: "doomed".into(),
+                statements: vec![],
+            }),
+            300,
+        );
+        net.run_until_quiescent().expect_converged();
+        assert_eq!(net.device(ssw).unwrap().engine.installed(), vec!["doomed"]);
+        net.schedule_in(0, NetEvent::AgentRestart { dev: ssw });
+        net.run_until_quiescent().expect_converged();
+        assert!(net.device(ssw).unwrap().engine.installed().is_empty());
+        assert_eq!(
+            net.telemetry()
+                .metrics()
+                .snapshot()
+                .counter("simnet.agent_restarts"),
+            1
         );
     }
 

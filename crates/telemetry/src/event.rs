@@ -26,11 +26,20 @@ pub enum EventKind {
     SessionTransition,
     /// The fault plan dropped a control-plane message.
     FaultInjected,
+    /// A Switch Agent RPC missed its deadline and was re-issued with
+    /// backoff.
+    RpcRetry,
+    /// A deployment wave missed its convergence budget and its RPAs were
+    /// uninstalled in reverse topology order.
+    WaveRollback,
+    /// A device's circuit breaker opened after consecutive RPC failures:
+    /// the agent is marked degraded until the cooldown elapses.
+    CircuitOpen,
 }
 
 impl EventKind {
     /// All kinds, for iteration in tests and exporters.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::BgpDecision,
         EventKind::RpaInstall,
         EventKind::RpaEvalFallback,
@@ -39,6 +48,9 @@ impl EventKind {
         EventKind::HealthCheck,
         EventKind::SessionTransition,
         EventKind::FaultInjected,
+        EventKind::RpcRetry,
+        EventKind::WaveRollback,
+        EventKind::CircuitOpen,
     ];
 
     /// Stable name used in the JSON-lines export.
@@ -52,6 +64,9 @@ impl EventKind {
             EventKind::HealthCheck => "HealthCheck",
             EventKind::SessionTransition => "SessionTransition",
             EventKind::FaultInjected => "FaultInjected",
+            EventKind::RpcRetry => "RpcRetry",
+            EventKind::WaveRollback => "WaveRollback",
+            EventKind::CircuitOpen => "CircuitOpen",
         }
     }
 }

@@ -234,7 +234,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`].
     pub struct SizeRange {
         min: usize,
         max_inclusive: usize,

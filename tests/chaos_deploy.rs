@@ -1,0 +1,211 @@
+//! Chaos-harness acceptance tests: fleet-wide RPA deployments driven through
+//! the controller's retry/rollback machinery while the simnet injects
+//! management-plane faults from a seeded [`ChaosPlan`].
+//!
+//! The small tests run in the CI `chaos` job across seeds {7, 21, 1337}; the
+//! `#[ignore]`d test is the full 2,960-device acceptance run from ISSUE's
+//! deploy-resilience milestone (CI runs it in release with
+//! `--include-ignored`).
+
+use centralium::apps::path_equalization::equalize_backbone_paths;
+use centralium::{Controller, DeployOptions, DeploymentStrategy, HealthCheck, RetryPolicy};
+use centralium_bench::scenarios::converged_fabric;
+use centralium_bgp::attrs::well_known;
+use centralium_simnet::ChaosPlan;
+use centralium_telemetry::{EventKind, Telemetry};
+use centralium_topology::{FabricSpec, Layer};
+
+/// Deploy fleet-wide equalization on a fabric built from `spec`, optionally
+/// under chaos, and return the resulting per-device FIB snapshots plus the
+/// telemetry handle.
+fn deploy_fleet(
+    spec: &FabricSpec,
+    sim_seed: u64,
+    chaos: Option<ChaosPlan>,
+) -> (
+    Vec<(centralium_topology::DeviceId, Vec<centralium_bgp::FibEntry>)>,
+    Telemetry,
+) {
+    let mut fab = converged_fabric(spec, sim_seed);
+    fab.net.set_telemetry(Telemetry::with_journal(65_536));
+    if let Some(plan) = chaos {
+        let seed = plan.seed;
+        fab.net.set_chaos(plan);
+        // Jitter the backoff schedule from the same seed as the fault plan.
+        let mut controller = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+        controller.agent.set_retry_policy(RetryPolicy {
+            jitter_seed: seed,
+            ..Default::default()
+        });
+        run_deploy(&mut fab.net, controller, spec)
+    } else {
+        let controller = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+        run_deploy(&mut fab.net, controller, spec)
+    };
+    let tel = fab.net.telemetry().clone();
+    let mut fibs: Vec<_> = fab
+        .net
+        .device_ids()
+        .into_iter()
+        .map(|id| {
+            let entries = fab.net.device(id).unwrap().fib.entries().cloned().collect();
+            (id, entries)
+        })
+        .collect();
+    fibs.sort_by_key(|(id, _)| *id);
+    (fibs, tel)
+}
+
+fn run_deploy(
+    net: &mut centralium_simnet::SimNet,
+    mut controller: Controller,
+    _spec: &FabricSpec,
+) -> centralium::DeploymentReport {
+    let intent = equalize_backbone_paths(well_known::BACKBONE_DEFAULT_ROUTE, Layer::Backbone);
+    let opts = DeployOptions::new(Layer::Backbone, DeploymentStrategy::SafeOrder);
+    let report = controller
+        .deploy_intent_with(
+            net,
+            &intent,
+            &opts,
+            &HealthCheck::default(),
+            &HealthCheck::default(),
+        )
+        .expect("deployment converges");
+    assert!(
+        controller
+            .nsdb
+            .get(&centralium_nsdb::Path::parse("/deploy/state"))
+            .is_none(),
+        "durable partial-wave record is cleared on success"
+    );
+    report
+}
+
+/// Shared body: a chaotic deploy must land byte-identical FIBs to the
+/// zero-loss deploy of the same fabric/seed.
+fn assert_chaos_run_matches_clean(spec: &FabricSpec, sim_seed: u64, plan: ChaosPlan) {
+    let (clean_fibs, _) = deploy_fleet(spec, sim_seed, None);
+    let expect_drops = plan.rpc_loss > 0.0;
+    let (chaos_fibs, tel) = deploy_fleet(spec, sim_seed, Some(plan));
+    assert_eq!(
+        clean_fibs, chaos_fibs,
+        "chaotic deploy must converge to the zero-loss FIBs"
+    );
+    let snap = tel.metrics().snapshot();
+    let dropped = snap.counter("simnet.rpc_dropped");
+    if expect_drops && dropped > 0 {
+        assert!(
+            snap.counter("core.rpc_retries") >= dropped,
+            "every dropped RPC is re-issued"
+        );
+        let journal = tel.journal().expect("journal attached");
+        assert!(
+            journal
+                .snapshot()
+                .iter()
+                .any(|e| e.kind == EventKind::RpcRetry),
+            "RpcRetry events reach the journal"
+        );
+    }
+}
+
+#[test]
+fn chaos_seeds_converge_to_zero_loss_fibs() {
+    // The three CI seeds at 5% loss — the acceptance criterion, small scale.
+    for seed in [7, 21, 1337] {
+        assert_chaos_run_matches_clean(
+            &FabricSpec::tiny(),
+            4001,
+            ChaosPlan::with_rpc_loss(seed, 0.05),
+        );
+    }
+}
+
+#[test]
+fn heavy_loss_still_converges() {
+    assert_chaos_run_matches_clean(&FabricSpec::tiny(), 4002, ChaosPlan::with_rpc_loss(21, 0.4));
+}
+
+#[test]
+fn duplicates_and_delays_are_harmless() {
+    // RPA installation is idempotent and deadline-retried, so duplicated and
+    // delayed RPCs must not change the outcome either.
+    let plan = ChaosPlan {
+        rpc_duplicate: 0.3,
+        rpc_max_extra_delay_us: 50_000,
+        ..ChaosPlan::new(1337)
+    };
+    assert_chaos_run_matches_clean(&FabricSpec::tiny(), 4003, plan);
+}
+
+/// The full acceptance run: a fleet-wide deploy on the 2,960-device fabric
+/// under 5% RPC loss (seed 7) converges to FIBs identical to the zero-loss
+/// run and emits RpcRetry telemetry. Ignored by default (several minutes);
+/// the CI `chaos` job runs it in release with `--include-ignored`.
+/// EXPERIMENTS.md "Deploy-time overhead under RPC loss": measures the
+/// simulated fleet-deploy duration on the mid-size (fig12) fabric at 0%, 1%
+/// and 5% RPC loss. Run with `--nocapture` to see the table:
+///
+/// ```text
+/// cargo test --release --test chaos_deploy -- --include-ignored --nocapture \
+///     deploy_time_overhead_under_rpc_loss
+/// ```
+#[test]
+#[ignore = "measurement for EXPERIMENTS.md; run in release with --nocapture"]
+fn deploy_time_overhead_under_rpc_loss() {
+    let spec = FabricSpec {
+        pods: 8,
+        planes: 4,
+        ssws_per_plane: 8,
+        racks_per_pod: 8,
+        grids: 4,
+        fauus_per_grid: 8,
+        backbone_devices: 8,
+        link_capacity_gbps: 100.0,
+    };
+    let mut baseline_us = 0u64;
+    for loss in [0.0, 0.01, 0.05] {
+        let mut fab = converged_fabric(&spec, 4005);
+        fab.net.set_telemetry(Telemetry::new());
+        let mut controller = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+        if loss > 0.0 {
+            fab.net.set_chaos(ChaosPlan::with_rpc_loss(7, loss));
+            controller.agent.set_retry_policy(RetryPolicy {
+                jitter_seed: 7,
+                ..Default::default()
+            });
+        }
+        let report = run_deploy(&mut fab.net, controller, &spec);
+        let snap = fab.net.telemetry().metrics().snapshot();
+        let dur = report.sim_duration();
+        if loss == 0.0 {
+            baseline_us = dur;
+        }
+        println!(
+            "rpc loss {:>4.0}% | sim deploy time {:>8.1} ms | overhead {:>+6.1}% | {} dropped, {} retried",
+            loss * 100.0,
+            dur as f64 / 1000.0,
+            (dur as f64 - baseline_us as f64) / baseline_us as f64 * 100.0,
+            snap.counter("simnet.rpc_dropped"),
+            snap.counter("core.rpc_retries"),
+        );
+        assert!(loss == 0.0 || snap.counter("simnet.rpc_dropped") > 0);
+    }
+}
+
+#[test]
+#[ignore = "2,960-device acceptance run; minutes in release — CI chaos job only"]
+fn fleet_deploy_on_2960_device_fabric_absorbs_five_percent_loss() {
+    let spec = FabricSpec {
+        pods: 48,
+        planes: 8,
+        ssws_per_plane: 16,
+        racks_per_pod: 48,
+        grids: 4,
+        fauus_per_grid: 16,
+        backbone_devices: 16,
+        link_capacity_gbps: 100.0,
+    };
+    assert_chaos_run_matches_clean(&spec, 4004, ChaosPlan::with_rpc_loss(7, 0.05));
+}

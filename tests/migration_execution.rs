@@ -139,6 +139,75 @@ fn staged_decommission_migration_executes_live() {
     centralium_simnet::assert_rib_consistent(&fab.net);
 }
 
+/// DESIGN.md §8 failure model: a controller crash mid-deployment loses every
+/// piece of in-memory state, but the durable partial-wave record in NSDB lets
+/// a freshly restarted controller resume the remaining waves — and the fabric
+/// ends up with exactly the FIBs of a fault-free run.
+#[test]
+fn controller_crash_mid_wave_resumes_and_matches_fault_free_fibs() {
+    use centralium::apps::path_equalization::equalize_on_layers;
+    use centralium::{Controller, DeployError, DeployOptions, DeploymentStrategy, HealthCheck};
+    use centralium_bgp::attrs::well_known;
+    use centralium_nsdb::ReplicatedNsdb;
+
+    let intent = equalize_on_layers(
+        well_known::BACKBONE_DEFAULT_ROUTE,
+        Layer::Backbone,
+        vec![Layer::Fsw, Layer::Ssw, Layer::Fadu],
+    );
+    let opts = DeployOptions::new(Layer::Backbone, DeploymentStrategy::SafeOrder);
+
+    // Reference run: the same deployment with no fault.
+    let mut clean = converged_fabric(&FabricSpec::tiny(), 3004);
+    let mut reference = Controller::new(&clean.net, clean.idx.rsw[0][0]);
+    reference
+        .deploy_intent_with(
+            &mut clean.net,
+            &intent,
+            &opts,
+            &HealthCheck::default(),
+            &HealthCheck::default(),
+        )
+        .expect("fault-free deployment succeeds");
+
+    // Faulted run: the controller "dies" after wave 1 of 3 converges.
+    let mut fab = converged_fabric(&FabricSpec::tiny(), 3004);
+    let mut crashed = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+    let mut halt_opts = opts.clone();
+    halt_opts.halt_after_waves = Some(1);
+    let err = crashed
+        .deploy_intent_with(
+            &mut fab.net,
+            &intent,
+            &halt_opts,
+            &HealthCheck::default(),
+            &HealthCheck::default(),
+        )
+        .unwrap_err();
+    assert!(matches!(err, DeployError::Halted { completed_waves: 1 }));
+
+    // Only the durable NSDB survives the crash; agent state does not.
+    let nsdb = std::mem::replace(&mut crashed.nsdb, ReplicatedNsdb::new(2));
+    drop(crashed);
+    let mut restarted = Controller::new(&fab.net, fab.idx.rsw[0][0]);
+    restarted.nsdb = nsdb;
+    let report = restarted
+        .resume_deployment(&mut fab.net, &HealthCheck::default())
+        .expect("resume runs")
+        .expect("a partial deployment was recorded");
+    let resumed: Vec<Layer> = report.phases.iter().filter_map(|p| p.layer).collect();
+    assert_eq!(resumed, vec![Layer::Ssw, Layer::Fadu], "waves 2..3 re-ran");
+    assert!(report.post_health.passed());
+
+    // Byte-for-byte FIB equivalence with the fault-free fabric.
+    for id in fab.net.device_ids() {
+        let faulted: Vec<_> = fab.net.device(id).unwrap().fib.entries().collect();
+        let clean_fib: Vec<_> = clean.net.device(id).unwrap().fib.entries().collect();
+        assert_eq!(faulted, clean_fib, "device d{} diverged after resume", id.0);
+    }
+    centralium_simnet::assert_rib_consistent(&fab.net);
+}
+
 #[test]
 fn link_removal_reconverges() {
     let mut fab = converged_fabric(&FabricSpec::tiny(), 3003);
