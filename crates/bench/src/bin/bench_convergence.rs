@@ -1,0 +1,231 @@
+//! Perf baseline for the parallel convergence engine: serial vs `--workers
+//! {2,4,8}` wall time at two fabric sizes, plus the determinism check the
+//! CI perf-smoke job gates on.
+//!
+//! Each episode runs a full convergence story — cold start on the backbone
+//! default route, an equalize RPA fleet-deployed to every SSW, and a FADU
+//! bounce — so the measurement covers both pure BGP churn and the
+//! signature-evaluation path whose (sig, attrs) cache the parallel engine
+//! shares per device. Every worker count must reproduce the serial FIBs
+//! byte for byte; a mismatch exits nonzero.
+//!
+//! ```text
+//! bench_convergence [--tiny] [--iters N] [--json FILE]
+//! ```
+//!
+//! `--tiny` restricts to the 22-device fabric (the CI smoke setting);
+//! `--json FILE` writes the machine-readable report (BENCH_convergence.json
+//! by convention).
+
+use centralium_bench::args::BenchArgs;
+use centralium_bench::report::Table;
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_rpa::{
+    Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature, RpaDocument,
+};
+use centralium_simnet::{SimConfig, SimNet};
+use centralium_topology::{build_fabric, FabricSpec};
+use serde_json::json;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SEED: u64 = 7;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const DEFAULT_ITERS: usize = 5;
+const RPC_US: u64 = 300;
+
+struct Episode {
+    wall: std::time::Duration,
+    fib_snapshot: String,
+    cache_hits: u64,
+    cache_misses: u64,
+    events: u64,
+}
+
+fn equalize_doc() -> RpaDocument {
+    RpaDocument::PathSelection(PathSelectionRpa::single(
+        "equalize",
+        PathSelectionStatement::select(
+            Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+            vec![PathSet::new("all", PathSignature::any())],
+        ),
+    ))
+}
+
+/// One full convergence story at a given worker count. The wall clock covers
+/// everything after topology construction: session establishment, cold-start
+/// convergence, the RPA fleet deployment and the FADU bounce.
+fn episode(spec: &FabricSpec, workers: usize) -> Episode {
+    let (topo, idx, _) = build_fabric(spec);
+    let mut net = SimNet::new(
+        topo,
+        SimConfig {
+            seed: SEED,
+            parallel_workers: workers,
+            ..Default::default()
+        },
+    );
+    let start = Instant::now();
+    net.establish_all();
+    for &eb in &idx.backbone {
+        net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+    }
+    let mut events = net
+        .run_until_quiescent()
+        .expect_converged()
+        .events_processed;
+    for grid in &idx.ssw {
+        for &ssw in grid {
+            net.deploy_rpa(ssw, equalize_doc(), RPC_US);
+        }
+    }
+    events += net
+        .run_until_quiescent()
+        .expect_converged()
+        .events_processed;
+    net.device_down(idx.fadu[0][0]);
+    events += net
+        .run_until_quiescent()
+        .expect_converged()
+        .events_processed;
+    net.device_up(idx.fadu[0][0]);
+    events += net
+        .run_until_quiescent()
+        .expect_converged()
+        .events_processed;
+    let wall = start.elapsed();
+
+    let mut fib_snapshot = String::new();
+    for id in net.device_ids() {
+        let dev = net.device(id).expect("listed device exists");
+        writeln!(fib_snapshot, "{id} {:?}", dev.fib).expect("string write");
+    }
+    let snap = net.telemetry().metrics().snapshot();
+    Episode {
+        wall,
+        fib_snapshot,
+        cache_hits: snap.counter("rpa.cache_hits"),
+        cache_misses: snap.counter("rpa.cache_misses"),
+        events,
+    }
+}
+
+fn median_ms(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let args = match BenchArgs::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let iters = args
+        .get_u64("iters")
+        .unwrap_or(None)
+        .map(|n| n.max(1) as usize)
+        .unwrap_or(DEFAULT_ITERS);
+    let fabrics: Vec<(&str, FabricSpec)> = if args.has_flag("tiny") {
+        vec![("tiny", FabricSpec::tiny())]
+    } else {
+        vec![
+            ("tiny", FabricSpec::tiny()),
+            ("default", FabricSpec::default()),
+        ]
+    };
+
+    println!("Convergence engine baseline: serial vs parallel, seed {SEED}, {iters} iters");
+    println!("episode: cold start + SSW-fleet equalize RPA + FADU bounce\n");
+
+    let mut fib_mismatch = false;
+    let mut report = Vec::new();
+    for (label, spec) in &fabrics {
+        let mut table = Table::new(&[
+            "workers",
+            "median wall (ms)",
+            "speedup",
+            "cache hit rate",
+            "fib == serial",
+        ]);
+        let mut serial_snapshot: Option<String> = None;
+        let mut serial_median = 0.0;
+        let mut rows = Vec::new();
+        for &workers in &WORKER_COUNTS {
+            let mut walls = Vec::with_capacity(iters);
+            let mut last = None;
+            for _ in 0..iters {
+                let ep = episode(spec, workers);
+                walls.push(ep.wall.as_secs_f64() * 1e3);
+                last = Some(ep);
+            }
+            let ep = last.expect("at least one iteration");
+            let median = median_ms(&mut walls);
+            let matches = match &serial_snapshot {
+                None => {
+                    serial_snapshot = Some(ep.fib_snapshot.clone());
+                    serial_median = median;
+                    true
+                }
+                Some(serial) => *serial == ep.fib_snapshot,
+            };
+            fib_mismatch |= !matches;
+            let speedup = serial_median / median;
+            let hit_rate = ep.cache_hits as f64 / (ep.cache_hits + ep.cache_misses).max(1) as f64;
+            table.row(&[
+                workers.to_string(),
+                format!("{median:.2}"),
+                format!("{speedup:.2}x"),
+                format!("{:.1}%", hit_rate * 100.0),
+                if matches { "yes".into() } else { "NO".into() },
+            ]);
+            rows.push(json!({
+                "workers": workers,
+                "median_wall_ms": median,
+                "speedup": speedup,
+                "cache_hit_rate": hit_rate,
+                "cache_hits": ep.cache_hits,
+                "cache_misses": ep.cache_misses,
+                "events_processed": ep.events,
+                "fib_matches_serial": matches,
+            }));
+        }
+        let devices = build_fabric(spec).0.device_count();
+        println!("fabric '{label}' ({devices} devices):");
+        println!("{}", table.render());
+        report.push(json!({
+            "fabric": label,
+            "devices": devices,
+            "iters": iters,
+            "results": rows,
+        }));
+    }
+
+    if let Ok(Some(path)) = args.get_str("json") {
+        let doc = json!({ "seed": SEED, "fabrics": report });
+        match serde_json::to_string_pretty(&doc) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text + "\n") {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("error: serializing report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if fib_mismatch {
+        eprintln!("error: a parallel run produced FIBs different from the serial run");
+        return ExitCode::FAILURE;
+    }
+    println!("all parallel FIBs byte-identical to serial");
+    ExitCode::SUCCESS
+}

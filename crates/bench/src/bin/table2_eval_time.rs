@@ -85,6 +85,38 @@ fn row(label: &str, samples: &[f64]) {
     );
 }
 
+/// The cache column at signature granularity: the raw regex walk every
+/// uncached evaluation pays, vs the steady-state memoized path (one
+/// `(sig_id, attr_id)` lookup per candidate, measured through single-
+/// candidate `select_paths` calls on a warm engine).
+fn signature_rows(routes: &[(Prefix, Vec<Route>)]) {
+    use centralium_rpa::signature::CompiledSignature;
+    let sig = CompiledSignature::compile(PathSignature::as_path("(^| )6\\d{4}$"), 1)
+        .expect("signature compiles");
+    let mut raw = Vec::new();
+    for (_, candidates) in routes {
+        for r in candidates {
+            let t = Instant::now();
+            std::hint::black_box(sig.matches(r));
+            raw.push(t.elapsed().as_secs_f64() * 1_000.0);
+        }
+    }
+    row("uncached", &raw);
+
+    let singles: Vec<(Prefix, Vec<Route>)> = routes
+        .iter()
+        .map(|(p, c)| (*p, vec![c[0].clone()]))
+        .collect();
+    let warm = engine(true);
+    let _ = measure(&warm, &singles); // warming pass fills the memo
+    let memoized = measure(&warm, &singles);
+    row("cached", &memoized);
+
+    let speedup =
+        centralium_bench::stats::mean(&raw) / centralium_bench::stats::mean(&memoized).max(1e-9);
+    println!("  mean signature-eval speedup w/ cache: {speedup:.1}x");
+}
+
 fn main() {
     let routes = workload();
     println!("Table 2: RPA evaluation time per route over {ROUTES} routes x 4 candidates\n");
@@ -97,6 +129,9 @@ fn main() {
     let _ = measure(&warm, &routes); // warming pass fills the cache
     let cached = measure(&warm, &routes);
     row("w/ cache", &cached);
+
+    println!("\nSignature evaluation per candidate (the cache column's unit of work):");
+    signature_rows(&routes);
 
     let stats = warm.stats();
     println!(

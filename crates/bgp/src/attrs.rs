@@ -4,10 +4,28 @@
 //! are modeled — AS-path, origin, local-pref, MED, standard communities and
 //! the link-bandwidth extended community [draft-ietf-idr-link-bandwidth] used
 //! for distributed WCMP (§2 "Traffic Distribution").
+//!
+//! AS-paths and community sets are **interned**: each distinct sequence is
+//! stored once in a process-global attribute table and handed out as an
+//! [`AsPath`] / [`CommunitySet`] handle (an `Arc` plus a stable `attr_id`).
+//! A fabric propagating a route clones the same few hundred distinct
+//! sequences millions of times, so cloning a route becomes a pointer bump and
+//! downstream consumers (the RPA signature cache, Adj-RIB-Out diffing) can
+//! compare whole sequences by id instead of by content. Table entries live
+//! for the life of the process — ids are never reused, so a cached id can
+//! never dangle — which is fine because a simulation only ever produces a
+//! bounded set of distinct paths. Ids are assigned in first-intern order and
+//! are therefore not stable across runs; they must never be persisted, only
+//! used as in-memory cache keys. Equality, ordering and serialization are by
+//! content.
 
 use centralium_topology::Asn;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::Hash;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Route origin code, in preference order IGP < EGP < Incomplete.
 #[derive(
@@ -71,12 +89,214 @@ pub mod well_known {
     pub const FROM_UPSTREAM: Community = Community::from_pair(65000, 101);
 }
 
+// ---- attribute interning ---------------------------------------------------
+
+/// One process-global intern table: distinct sequence → (shared storage, id).
+/// Entries are never evicted, so an id handed out once stays valid for the
+/// process lifetime (the "attribute table" of the paper's Table 2 cache).
+struct InternTable<T: 'static> {
+    ids: HashMap<Arc<[T]>, u64>,
+    next_id: u64,
+}
+
+impl<T: Clone + Eq + Hash> InternTable<T> {
+    fn new() -> Self {
+        InternTable {
+            ids: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    fn intern(&mut self, items: &[T]) -> (Arc<[T]>, u64) {
+        if let Some((seq, &id)) = self.ids.get_key_value(items) {
+            return (Arc::clone(seq), id);
+        }
+        let seq: Arc<[T]> = items.into();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ids.insert(Arc::clone(&seq), id);
+        (seq, id)
+    }
+}
+
+fn as_path_table() -> &'static Mutex<InternTable<Asn>> {
+    static TABLE: OnceLock<Mutex<InternTable<Asn>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(InternTable::new()))
+}
+
+fn community_table() -> &'static Mutex<InternTable<Community>> {
+    static TABLE: OnceLock<Mutex<InternTable<Community>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(InternTable::new()))
+}
+
+/// Sizes of the process-global attribute tables (distinct sequences interned
+/// so far) — a cheap capacity/diagnostic signal for benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternStats {
+    /// Distinct AS-paths interned.
+    pub as_paths: usize,
+    /// Distinct community sets interned.
+    pub community_sets: usize,
+}
+
+/// Current sizes of the attribute tables.
+pub fn intern_stats() -> InternStats {
+    InternStats {
+        as_paths: as_path_table().lock().expect("intern table").ids.len(),
+        community_sets: community_table().lock().expect("intern table").ids.len(),
+    }
+}
+
+macro_rules! interned_seq {
+    ($(#[$doc:meta])* $name:ident, $elem:ty, $table:ident) => {
+        $(#[$doc])*
+        #[derive(Clone)]
+        pub struct $name {
+            seq: Arc<[$elem]>,
+            id: u64,
+        }
+
+        impl $name {
+            /// The interned empty sequence.
+            pub fn empty() -> Self {
+                static EMPTY: OnceLock<$name> = OnceLock::new();
+                EMPTY.get_or_init(|| $name::from(&[][..])).clone()
+            }
+
+            /// Stable per-process id of this sequence in the attribute
+            /// table. Valid as an in-memory cache key only — ids depend on
+            /// first-intern order and differ across runs.
+            pub fn attr_id(&self) -> u64 {
+                self.id
+            }
+
+            /// The interned elements.
+            pub fn as_slice(&self) -> &[$elem] {
+                &self.seq
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                $name::empty()
+            }
+        }
+
+        impl Deref for $name {
+            type Target = [$elem];
+            fn deref(&self) -> &[$elem] {
+                &self.seq
+            }
+        }
+
+        impl From<&[$elem]> for $name {
+            fn from(items: &[$elem]) -> Self {
+                let (seq, id) = $table().lock().expect("intern table").intern(items);
+                $name { seq, id }
+            }
+        }
+
+        impl From<Vec<$elem>> for $name {
+            fn from(items: Vec<$elem>) -> Self {
+                $name::from(items.as_slice())
+            }
+        }
+
+        impl FromIterator<$elem> for $name {
+            fn from_iter<I: IntoIterator<Item = $elem>>(iter: I) -> Self {
+                $name::from(iter.into_iter().collect::<Vec<_>>())
+            }
+        }
+
+        impl<'a> IntoIterator for &'a $name {
+            type Item = &'a $elem;
+            type IntoIter = std::slice::Iter<'a, $elem>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.seq.iter()
+            }
+        }
+
+        // All values come from the same table, so id equality is content
+        // equality — one integer compare instead of a slice walk.
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                self.id == other.id
+            }
+        }
+
+        impl Eq for $name {}
+
+        impl PartialEq<Vec<$elem>> for $name {
+            fn eq(&self, other: &Vec<$elem>) -> bool {
+                *self.seq == other[..]
+            }
+        }
+
+        impl PartialEq<$name> for Vec<$elem> {
+            fn eq(&self, other: &$name) -> bool {
+                self[..] == *other.seq
+            }
+        }
+
+        impl PartialEq<[$elem]> for $name {
+            fn eq(&self, other: &[$elem]) -> bool {
+                *self.seq == *other
+            }
+        }
+
+        // Content hash (not id hash): agrees with `Eq` and stays
+        // deterministic across runs.
+        impl Hash for $name {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                self.seq.hash(state)
+            }
+        }
+
+        // Debug like the underlying slice: the id is a process-local detail
+        // and would make test output nondeterministic.
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&self.seq, f)
+            }
+        }
+
+        impl Serialize for $name {
+            fn serialize(&self) -> serde::Value {
+                self.seq.serialize()
+            }
+        }
+
+        impl Deserialize for $name {
+            fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+                Vec::<$elem>::deserialize(v).map($name::from)
+            }
+        }
+    };
+}
+
+interned_seq!(
+    /// An interned AS-path (nearest AS first). Dereferences to `[Asn]`;
+    /// mutation goes through [`PathAttributes::prepend`], which re-interns.
+    AsPath,
+    Asn,
+    as_path_table
+);
+
+interned_seq!(
+    /// An interned sorted community set. Dereferences to `[Community]`;
+    /// mutation goes through [`PathAttributes::add_community`] /
+    /// [`PathAttributes::remove_community`], which re-intern.
+    CommunitySet,
+    Community,
+    community_table
+);
+
 /// The attribute set carried by one route announcement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PathAttributes {
     /// AS-path, nearest AS first. Plain sequence (no sets/confederations —
     /// the fabric never produces them).
-    pub as_path: Vec<Asn>,
+    pub as_path: AsPath,
     /// Origin code.
     pub origin: Origin,
     /// Local preference (higher wins). DC eBGP carries it fabric-internally.
@@ -85,7 +305,7 @@ pub struct PathAttributes {
     /// the DC as is common with `always-compare-med`.
     pub med: u32,
     /// Standard communities, kept sorted + deduped.
-    pub communities: Vec<Community>,
+    pub communities: CommunitySet,
     /// Link-bandwidth extended community in Gbps, if the advertising peer
     /// attached one (drives distributed WCMP weight derivation).
     pub link_bandwidth_gbps: Option<f64>,
@@ -94,11 +314,11 @@ pub struct PathAttributes {
 impl Default for PathAttributes {
     fn default() -> Self {
         PathAttributes {
-            as_path: Vec::new(),
+            as_path: AsPath::empty(),
             origin: Origin::Igp,
             local_pref: Self::DEFAULT_LOCAL_PREF,
             med: 0,
-            communities: Vec::new(),
+            communities: CommunitySet::empty(),
             link_bandwidth_gbps: None,
         }
     }
@@ -115,6 +335,14 @@ impl PathAttributes {
             attrs.add_community(c);
         }
         attrs
+    }
+
+    /// The attribute-table ids of the two interned sequences — everything an
+    /// RPA path signature can observe about a route's attributes. Used as
+    /// the memoization key of the signature-evaluation cache (Table 2); not
+    /// meaningful across processes.
+    pub fn attr_id(&self) -> (u64, u64) {
+        (self.as_path.attr_id(), self.communities.attr_id())
     }
 
     /// AS-path length (the decision-process metric).
@@ -140,22 +368,30 @@ impl PathAttributes {
     /// Prepend `asn` `count` times (what a speaker does when exporting, or a
     /// policy does to de-preference a path).
     pub fn prepend(&mut self, asn: Asn, count: usize) {
-        for _ in 0..count {
-            self.as_path.insert(0, asn);
+        if count == 0 {
+            return;
         }
+        let mut v = Vec::with_capacity(self.as_path.len() + count);
+        v.resize(count, asn);
+        v.extend_from_slice(&self.as_path);
+        self.as_path = AsPath::from(v);
     }
 
     /// Add a community, keeping the list sorted and deduped.
     pub fn add_community(&mut self, c: Community) {
         if let Err(pos) = self.communities.binary_search(&c) {
-            self.communities.insert(pos, c);
+            let mut v = self.communities.to_vec();
+            v.insert(pos, c);
+            self.communities = CommunitySet::from(v);
         }
     }
 
     /// Remove a community if present.
     pub fn remove_community(&mut self, c: Community) {
         if let Ok(pos) = self.communities.binary_search(&c) {
-            self.communities.remove(pos);
+            let mut v = self.communities.to_vec();
+            v.remove(pos);
+            self.communities = CommunitySet::from(v);
         }
     }
 
@@ -233,5 +469,54 @@ mod tests {
         assert!(a.has_community(well_known::BACKBONE_DEFAULT_ROUTE));
         assert!(a.as_path.is_empty());
         assert_eq!(a.local_pref, PathAttributes::DEFAULT_LOCAL_PREF);
+    }
+
+    #[test]
+    fn interning_gives_equal_ids_for_equal_content() {
+        let a = AsPath::from(vec![Asn(1), Asn(2), Asn(3)]);
+        let b = AsPath::from(vec![Asn(1), Asn(2), Asn(3)]);
+        let c = AsPath::from(vec![Asn(3), Asn(2), Asn(1)]);
+        assert_eq!(a.attr_id(), b.attr_id());
+        assert_eq!(a, b);
+        assert_ne!(a.attr_id(), c.attr_id());
+        assert_ne!(a, c);
+        // Equal content shares storage — cloning is a pointer bump.
+        assert!(Arc::ptr_eq(&a.seq, &b.seq));
+        assert!(Arc::ptr_eq(&a.seq, &a.clone().seq));
+    }
+
+    #[test]
+    fn attr_id_tracks_both_sequences() {
+        let mut a = PathAttributes::default();
+        let base = a.attr_id();
+        assert_eq!(a.attr_id(), PathAttributes::default().attr_id());
+        a.prepend(Asn(7), 1);
+        assert_ne!(a.attr_id().0, base.0);
+        assert_eq!(a.attr_id().1, base.1);
+        a.add_community(Community(9));
+        assert_ne!(a.attr_id().1, base.1);
+        // Undoing the community edit returns to the original interned set.
+        a.remove_community(Community(9));
+        assert_eq!(a.attr_id().1, base.1);
+    }
+
+    #[test]
+    fn interned_serde_roundtrips_by_content() {
+        let mut a = PathAttributes::originated([Community(5)]);
+        a.prepend(Asn(42), 2);
+        let v = a.serialize();
+        let back = PathAttributes::deserialize(&v).expect("roundtrip");
+        assert_eq!(back, a);
+        assert_eq!(back.attr_id(), a.attr_id());
+    }
+
+    #[test]
+    fn intern_stats_grow_monotonically() {
+        let before = intern_stats();
+        // A sequence nobody else interns (u32 MAX-ish ASNs).
+        let _p = AsPath::from(vec![Asn(u32::MAX), Asn(u32::MAX - 1)]);
+        let after = intern_stats();
+        assert!(after.as_paths > before.as_paths);
+        assert!(after.community_sets >= before.community_sets);
     }
 }

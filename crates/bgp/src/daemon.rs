@@ -10,7 +10,7 @@ use crate::decision::{best_route, compare_routes, multipath_set};
 use crate::hooks::{AdvertiseChoice, RibPolicy};
 use crate::msg::UpdateMessage;
 use crate::policy::{Policy, PolicyVerdict};
-use crate::rib::{AdjRibIn, LocRibEntry, Route};
+use crate::rib::{take_selected, AdjRibIn, LocRibEntry, Route};
 use crate::types::{PeerId, Prefix};
 use crate::wcmp;
 use centralium_telemetry::{Counter, EventKind, Severity, Telemetry};
@@ -574,7 +574,11 @@ impl BgpDaemon {
         per_peer: &mut BTreeMap<PeerId, UpdateMessage>,
     ) {
         let candidates = self.candidates(prefix);
-        let previous = self.loc_rib.get(&prefix).cloned();
+        // Only the previously advertised route is needed unconditionally
+        // (for the best-path-change comparison); the full previous entry is
+        // cloned lazily inside the rare keep-warm branches.
+        let prev_advertised: Option<Route> =
+            self.loc_rib.get(&prefix).and_then(|e| e.advertised.clone());
 
         let new_entry: Option<LocRibEntry> = if candidates.is_empty() {
             None
@@ -582,7 +586,7 @@ impl BgpDaemon {
             // Path Selection RPA outcome.
             if sel.selected.is_empty() {
                 if sel.keep_fib_warm {
-                    previous.clone().map(|mut e| {
+                    self.loc_rib.get(&prefix).cloned().map(|mut e| {
                         e.fib_warm_only = true;
                         e.advertised = None;
                         e
@@ -591,11 +595,7 @@ impl BgpDaemon {
                     None
                 }
             } else {
-                let selected: Vec<Route> = sel
-                    .selected
-                    .iter()
-                    .map(|&i| candidates[i].clone())
-                    .collect();
+                let selected = take_selected(candidates, &sel.selected);
                 let weights = self.weights_for(prefix, &selected, policy);
                 let advertised = match sel.advertise {
                     AdvertiseChoice::Withdraw => None,
@@ -628,7 +628,7 @@ impl BgpDaemon {
                     .into_iter()
                     .collect()
             };
-            let selected: Vec<Route> = indices.iter().map(|&i| candidates[i].clone()).collect();
+            let selected = take_selected(candidates, &indices);
             // BgpNativeMinNextHop guard (§4.3): count learned next-hops.
             let nexthop_count = selected.iter().filter(|r| r.learned_from.is_some()).count();
             let violated = match policy.native_min_nexthop(prefix) {
@@ -648,7 +648,7 @@ impl BgpDaemon {
                     // Next-hops whose sessions have since gone down are
                     // pruned: forwarding onto a dead session is a black-hole,
                     // not warmth.
-                    let prior = previous.clone().unwrap_or_else(|| {
+                    let prior = self.loc_rib.get(&prefix).cloned().unwrap_or_else(|| {
                         let weights = self.weights_for(prefix, &selected, policy);
                         LocRibEntry {
                             selected: selected.clone(),
@@ -696,7 +696,7 @@ impl BgpDaemon {
 
         if let DaemonTelemetry(Some(tel)) = &self.telemetry {
             tel.decisions.inc();
-            let prev_adv = previous.as_ref().and_then(|e| e.advertised.as_ref());
+            let prev_adv = prev_advertised.as_ref();
             let new_adv = new_entry.as_ref().and_then(|e| e.advertised.as_ref());
             if prev_adv != new_adv {
                 tel.best_path_changes.inc();
@@ -713,9 +713,9 @@ impl BgpDaemon {
             }
         }
 
-        match &new_entry {
+        match new_entry {
             Some(e) => {
-                self.loc_rib.insert(prefix, e.clone());
+                self.loc_rib.insert(prefix, e);
             }
             None => {
                 self.loc_rib.remove(&prefix);

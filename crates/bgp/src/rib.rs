@@ -158,6 +158,22 @@ impl AdjRibIn {
     }
 }
 
+/// Move the routes at `indices` out of an owned candidate set.
+///
+/// The decision process gathers candidates once (one clone out of the
+/// Adj-RIB-In) and then used to clone each selected route a *second* time
+/// when assembling the [`LocRibEntry`]. Since the candidate set is discarded
+/// after selection, the selected routes can simply be moved out. Indices must
+/// be distinct (each candidate can be selected at most once) and in bounds —
+/// both guaranteed by the native selectors and required of RPA hooks.
+pub fn take_selected(candidates: Vec<Route>, indices: &[usize]) -> Vec<Route> {
+    let mut slots: Vec<Option<Route>> = candidates.into_iter().map(Some).collect();
+    indices
+        .iter()
+        .map(|&i| slots[i].take().expect("selection indices must be distinct"))
+        .collect()
+}
+
 /// The outcome of path selection for one prefix, as installed in the Loc-RIB.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LocRibEntry {
@@ -290,5 +306,25 @@ mod tests {
     fn inserting_local_route_into_adj_rib_in_panics() {
         let mut rib = AdjRibIn::default();
         rib.insert(Route::local(p("0.0.0.0/0"), PathAttributes::default()));
+    }
+
+    #[test]
+    fn take_selected_moves_by_index() {
+        let cands = vec![
+            route(1, "0.0.0.0/0"),
+            route(2, "0.0.0.0/0"),
+            route(3, "0.0.0.0/0"),
+        ];
+        let selected = take_selected(cands, &[2, 0]);
+        assert_eq!(selected.len(), 2);
+        assert_eq!(selected[0].learned_from, Some(PeerId(3)));
+        assert_eq!(selected[1].learned_from, Some(PeerId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "selection indices must be distinct")]
+    fn take_selected_rejects_duplicate_indices() {
+        let cands = vec![route(1, "0.0.0.0/0")];
+        take_selected(cands, &[0, 0]);
     }
 }

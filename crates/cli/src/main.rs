@@ -90,9 +90,9 @@ const USAGE: &str = "usage: centralium-cli <command> [options]
 
 commands:
   topo      print a fabric summary          [--pods N --planes N --ssws N --racks N --grids N --fauus N --ebs N]
-  converge  build a fabric and converge it  [fabric opts] [--seed N] [--handshake] [chaos opts] [telemetry opts]
+  converge  build a fabric and converge it  [fabric opts] [--seed N] [--handshake] [--workers N] [chaos opts] [telemetry opts]
   compile   compile an intent to RPAs       --intent FILE [fabric opts]
-  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [fabric opts] [--seed N] [chaos opts] [--max-retries N] [telemetry opts]
+  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [fabric opts] [--seed N] [--workers N] [chaos opts] [--max-retries N] [telemetry opts]
   plan      print the Table 3 migration plans
   apps      list the onboarded applications
 
@@ -101,6 +101,11 @@ with deadline-driven RPC retries and per-device circuit breakers):
   --chaos-seed N     seed for the fault-decision hash (default 0)
   --rpc-loss P       probability each management RPC is dropped (0.0-1.0)
   --max-retries N    RPC re-issues allowed per divergence (deploy only)
+
+convergence opts:
+  --workers N        worker threads for the convergence engine: 1 runs serial
+                     (default), 0 uses one per core; results are bit-identical
+                     either way. --telemetry forces the serial engine.
 
 telemetry opts:
   --telemetry FILE   write the structured event journal as JSON lines
@@ -225,6 +230,7 @@ fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::Fabri
     let cfg = SimConfig {
         seed: args.get_u64("seed")?.unwrap_or(1),
         handshake_sessions: args.has_flag("handshake"),
+        parallel_workers: args.get_u64("workers")?.unwrap_or(1) as usize,
         ..Default::default()
     };
     let mut net = SimNet::new(topo, cfg);

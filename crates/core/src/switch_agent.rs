@@ -18,7 +18,7 @@ use centralium_simnet::{ManagementPlane, SimNet, SimTime};
 use centralium_telemetry::{EventKind, Severity};
 use centralium_topology::DeviceId;
 use serde_json::Value;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One issued RPA operation and its RPC latency (the Figure 12 sample).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,86 +236,98 @@ impl SwitchAgent {
         // Paths that synced since the last round: their RPC succeeded.
         self.settle_attempts();
         let diverged = self.service.store.out_of_sync();
+        // Batch divergences per device: one reachability/latency lookup per
+        // target, operations issued back-to-back in device order — the same
+        // per-device grouping the parallel convergence engine batches on.
+        let mut batches: BTreeMap<DeviceId, Vec<(&Path, String)>> = BTreeMap::new();
         for path in &diverged {
-            let Some((device, name)) = Self::parse_rpa_path(path) else {
-                continue;
-            };
-            let attempt = match self.attempts.get(path) {
-                // In-flight RPC still within its deadline: leave it alone.
-                Some(s) if now < s.deadline_at => continue,
-                Some(s) => s.attempts,
-                None => 0,
-            };
-            if attempt > 0 {
-                // The previous RPC missed its deadline: a failure.
-                if self.breaker.record_failure(device, now) {
-                    tel.metrics().counter("core.circuit_open").inc();
+            if let Some((device, name)) = Self::parse_rpa_path(path) {
+                batches.entry(device).or_default().push((path, name));
+            }
+        }
+        tel.metrics()
+            .counter("core.reconcile_batches")
+            .add(batches.len() as u64);
+        for (device, paths) in batches {
+            let reachable = self.mgmt.rpc_latency_us(device);
+            for (path, name) in paths {
+                let attempt = match self.attempts.get(path) {
+                    // In-flight RPC still within its deadline: leave it alone.
+                    Some(s) if now < s.deadline_at => continue,
+                    Some(s) => s.attempts,
+                    None => 0,
+                };
+                if attempt > 0 {
+                    // The previous RPC missed its deadline: a failure.
+                    if self.breaker.record_failure(device, now) {
+                        tel.metrics().counter("core.circuit_open").inc();
+                        if tel.journal_enabled() {
+                            tel.record(
+                                tel.event(EventKind::CircuitOpen, Severity::Error)
+                                    .field("device", format!("d{}", device.0))
+                                    .field("failures", self.breaker.threshold)
+                                    .field("cooldown_us", self.breaker.cooldown_us),
+                            );
+                        }
+                    }
+                }
+                if !self.breaker.allows(device, now) {
+                    // Degraded: fail fast, and drop the in-flight state — its
+                    // failure is already counted, and after the cooldown the
+                    // path restarts as a fresh half-open probe.
+                    self.attempts.remove(path);
+                    continue;
+                }
+                if attempt > self.retry.max_retries {
+                    // Budget exhausted: reset so the next (breaker-gated)
+                    // round starts a fresh burst.
+                    self.attempts.remove(path);
+                    continue;
+                }
+                let Some(latency) = reachable else {
+                    continue; // unreachable: retry next round
+                };
+                let intended = self.service.store.view(View::Intended).get(path).cloned();
+                let install = match intended {
+                    Some(value) => {
+                        let doc: RpaDocument = match serde_json::from_value(value) {
+                            Ok(d) => d,
+                            Err(_) => continue,
+                        };
+                        net.deploy_rpa(device, doc, latency);
+                        true
+                    }
+                    None => {
+                        net.remove_rpa(device, name.clone(), latency);
+                        false
+                    }
+                };
+                if attempt > 0 {
+                    tel.metrics().counter("core.rpc_retries").inc();
                     if tel.journal_enabled() {
                         tel.record(
-                            tel.event(EventKind::CircuitOpen, Severity::Error)
+                            tel.event(EventKind::RpcRetry, Severity::Warn)
                                 .field("device", format!("d{}", device.0))
-                                .field("failures", self.breaker.threshold)
-                                .field("cooldown_us", self.breaker.cooldown_us),
+                                .field("document", name.as_str())
+                                .field("attempt", attempt)
+                                .field("install", install),
                         );
                     }
                 }
+                let backoff = self.retry.backoff_us(attempt, device);
+                self.attempts.insert(
+                    path.clone(),
+                    AttemptState {
+                        attempts: attempt + 1,
+                        deadline_at: now + latency + backoff,
+                    },
+                );
+                issued.push(IssuedOp {
+                    device,
+                    latency_us: latency,
+                    install,
+                });
             }
-            if !self.breaker.allows(device, now) {
-                // Degraded: fail fast, and drop the in-flight state — its
-                // failure is already counted, and after the cooldown the
-                // path restarts as a fresh half-open probe.
-                self.attempts.remove(path);
-                continue;
-            }
-            if attempt > self.retry.max_retries {
-                // Budget exhausted: reset so the next (breaker-gated) round
-                // starts a fresh burst.
-                self.attempts.remove(path);
-                continue;
-            }
-            let Some(latency) = self.mgmt.rpc_latency_us(device) else {
-                continue; // unreachable: retry next round
-            };
-            let intended = self.service.store.view(View::Intended).get(path).cloned();
-            let install = match intended {
-                Some(value) => {
-                    let doc: RpaDocument = match serde_json::from_value(value) {
-                        Ok(d) => d,
-                        Err(_) => continue,
-                    };
-                    net.deploy_rpa(device, doc, latency);
-                    true
-                }
-                None => {
-                    net.remove_rpa(device, name.clone(), latency);
-                    false
-                }
-            };
-            if attempt > 0 {
-                tel.metrics().counter("core.rpc_retries").inc();
-                if tel.journal_enabled() {
-                    tel.record(
-                        tel.event(EventKind::RpcRetry, Severity::Warn)
-                            .field("device", format!("d{}", device.0))
-                            .field("document", name.as_str())
-                            .field("attempt", attempt)
-                            .field("install", install),
-                    );
-                }
-            }
-            let backoff = self.retry.backoff_us(attempt, device);
-            self.attempts.insert(
-                path.clone(),
-                AttemptState {
-                    attempts: attempt + 1,
-                    deadline_at: now + latency + backoff,
-                },
-            );
-            issued.push(IssuedOp {
-                device,
-                latency_us: latency,
-                install,
-            });
         }
         self.service.record_reconcile(diverged.len() as u64 + 1);
         issued

@@ -20,7 +20,6 @@ use centralium_telemetry::{Counter, EventKind, Histogram, Severity, Telemetry};
 use centralium_topology::Asn;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// Counters exposed for the Table 2 experiment and controller health checks.
@@ -80,6 +79,8 @@ struct EngineTelemetryInner {
     installs: Counter,
     removals: Counter,
     fallbacks: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
     eval_us: Histogram,
 }
 
@@ -98,7 +99,12 @@ pub struct RpaEngine {
     /// Simulated time used for Route Attribute expiry.
     now: u64,
     cache_enabled: bool,
-    cache: Mutex<HashMap<(u32, u64), bool>>,
+    /// Memoized signature verdicts keyed `(sig_id, as_path id, community-set
+    /// id)` — the attribute-table ids cover everything a path signature can
+    /// observe (see [`CompiledSignature::matches`]), so the key is exact: no
+    /// fingerprint collisions, and routes differing only in decision-process
+    /// attributes (local-pref, MED, learning session) share one entry.
+    cache: Mutex<HashMap<(u32, u64, u64), bool>>,
     /// Per-prefix native-guard memo from the most recent `select_paths`
     /// evaluation (the daemon always calls `select_paths` before
     /// `native_min_nexthop` within one decision).
@@ -142,6 +148,8 @@ impl RpaEngine {
             installs: m.counter("rpa.installs"),
             removals: m.counter("rpa.removals"),
             fallbacks: m.counter("rpa.eval_fallbacks"),
+            cache_hits: m.counter("rpa.cache_hits"),
+            cache_misses: m.counter("rpa.cache_misses"),
             eval_us: m.histogram("rpa.eval_us", EVAL_US_BOUNDS),
         })));
     }
@@ -383,14 +391,21 @@ impl RpaEngine {
             self.stats.lock().uncached_evals += 1;
             return sig.matches(route);
         }
-        let key = (sig.sig_id, fingerprint(route));
+        let (path_id, comm_id) = route.attrs.attr_id();
+        let key = (sig.sig_id, path_id, comm_id);
         if let Some(&hit) = self.cache.lock().get(&key) {
             self.stats.lock().cache_hits += 1;
+            if let Some(tel) = self.telemetry.0.as_deref() {
+                tel.cache_hits.inc();
+            }
             return hit;
         }
         let result = sig.matches(route);
         self.cache.lock().insert(key, result);
         self.stats.lock().cache_misses += 1;
+        if let Some(tel) = self.telemetry.0.as_deref() {
+            tel.cache_misses.inc();
+        }
         result
     }
 
@@ -451,29 +466,6 @@ impl RpaEngine {
         self.native_guard_memo.lock().remove(&prefix);
         PsOutcome::NotApplicable
     }
-}
-
-/// Stable fingerprint of a route's match-relevant attributes.
-///
-/// The cache key is `(sig_id, fingerprint)`; a 64-bit collision between two
-/// distinct attribute sets would return a stale verdict. At the scales this
-/// engine sees (≤10⁵ distinct routes) the birthday-bound collision odds are
-/// below 10⁻⁹ per engine lifetime — accepted, as production caches make the
-/// same trade.
-fn fingerprint(route: &Route) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    route.attrs.as_path.hash(&mut h);
-    (route.attrs.origin as u8).hash(&mut h);
-    route.attrs.local_pref.hash(&mut h);
-    route.attrs.med.hash(&mut h);
-    route.attrs.communities.hash(&mut h);
-    route
-        .attrs
-        .link_bandwidth_gbps
-        .map(f64::to_bits)
-        .hash(&mut h);
-    route.learned_from.hash(&mut h);
-    h.finish()
 }
 
 /// Outcome of one Path Selection evaluation, distinguishing "a statement
@@ -891,6 +883,41 @@ mod tests {
         // Re-enable: the uncached count is the other era's residue.
         e.set_cache_enabled(true);
         assert_eq!(e.stats().uncached_evals, 0);
+    }
+
+    #[test]
+    fn cache_keys_on_attr_ids_not_learning_session() {
+        // Path signatures observe only the interned AS-path and community
+        // set, so routes differing in learning session / local-pref must
+        // share one cache entry each per signature.
+        let mut e = RpaEngine::new();
+        e.install(equalize_doc()).unwrap();
+        let c = well_known::BACKBONE_DEFAULT_ROUTE;
+        e.select_paths(Prefix::DEFAULT, &[route(1, &[101, 60000], &[c])]);
+        let warm = e.stats();
+        let mut twin = route(2, &[101, 60000], &[c]);
+        twin.attrs.local_pref += 50;
+        e.select_paths(Prefix::DEFAULT, &[twin]);
+        let after = e.stats();
+        assert_eq!(after.cache_misses, warm.cache_misses, "no new misses");
+        assert!(after.cache_hits > warm.cache_hits);
+    }
+
+    #[test]
+    fn cache_counters_flow_to_registry() {
+        let telemetry = Telemetry::new();
+        let mut e = RpaEngine::new();
+        e.set_telemetry(&telemetry, "d0");
+        e.install(equalize_doc()).unwrap();
+        let c = well_known::BACKBONE_DEFAULT_ROUTE;
+        let candidates = vec![route(1, &[101, 60000], &[c])];
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        let snap = telemetry.metrics().snapshot();
+        let stats = e.stats();
+        assert_eq!(snap.counter("rpa.cache_hits"), stats.cache_hits);
+        assert_eq!(snap.counter("rpa.cache_misses"), stats.cache_misses);
+        assert!(stats.cache_hits > 0 && stats.cache_misses > 0);
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub struct SimConfig {
     pub handshake_sessions: bool,
     /// Safety cap on processed events per `run_until_quiescent`.
     pub max_events: u64,
+    /// Worker threads for the windowed convergence engine: `1` runs the
+    /// serial engine, `0` uses one worker per available core, and `N > 1`
+    /// caps the pool at `N`. Parallel runs are bit-identical to serial ones
+    /// (see `run_until_quiescent`); journaling forces the serial engine.
+    pub parallel_workers: usize,
 }
 
 impl Default for SimConfig {
@@ -85,6 +90,7 @@ impl Default for SimConfig {
             fault: FaultPlan::none(),
             handshake_sessions: false,
             max_events: 10_000_000,
+            parallel_workers: 1,
         }
     }
 }
@@ -190,6 +196,245 @@ pub enum NetEvent {
     },
 }
 
+/// Minimum jobs per worker thread before a window goes parallel. Spawning a
+/// scoped thread costs tens of microseconds; windows with less work than
+/// this per candidate worker run inline instead (bit-identical output, the
+/// threshold only moves wall-clock time).
+const MIN_JOBS_PER_WORKER: usize = 8;
+
+/// The device-local portion of one windowed event, executed by a worker in
+/// the parallel engine. Mirrors [`NetEvent`] minus the target device id
+/// (implied by the per-device job list) and minus everything the serial
+/// pre-pass already consumed (global counters, churn/origination
+/// bookkeeping).
+#[derive(Debug)]
+enum Work {
+    /// Apply a BGP UPDATE received on session `on`.
+    Deliver { on: PeerId, msg: UpdateMessage },
+    /// Feed a session-control message into the FSM for session `on`.
+    Ctl { on: PeerId, msg: BgpMessage },
+    /// A session reached Established.
+    SessionUp { peer: PeerId },
+    /// A session dropped.
+    SessionDown { peer: PeerId },
+    /// Re-send the full Adj-RIB-Out for session `on` if it is established.
+    RouteRefresh { on: PeerId },
+    /// Tear down and unconfigure a session.
+    RemovePeer { peer: PeerId },
+    /// Install an RPA document.
+    InstallRpa { doc: Box<RpaDocument> },
+    /// Remove an RPA document by name.
+    RemoveRpa { name: String },
+    /// Start originating a prefix.
+    Originate {
+        prefix: Prefix,
+        attrs: PathAttributes,
+    },
+    /// Stop originating a prefix.
+    WithdrawOrigin { prefix: Prefix },
+    /// Apply an export-policy override across all sessions.
+    SetExportPolicy { policy: Policy },
+    /// Crash-restart the RPA agent, losing installed documents.
+    AgentRestart,
+}
+
+/// One ordered emission produced by a worker. The merge phase replays these
+/// through [`SimNet::emit`]/[`SimNet::emit_ctl`] in the original global pop
+/// order, so every RNG draw (jitter, faults, split shuffles), FIFO clamp and
+/// queue sequence number lands exactly as it would under the serial engine.
+#[derive(Debug)]
+enum Emission {
+    /// Daemon output updates, to be scheduled via `emit`.
+    Updates(Vec<(PeerId, UpdateMessage)>),
+    /// A session-control reply, to be scheduled via `emit_ctl`.
+    Ctl(PeerId, BgpMessage),
+    /// Route-refresh requests toward `(neighbor, neighbor's session)`,
+    /// scheduled one base latency out (RemoveRpa of a Route Filter).
+    RefreshRequests(Vec<(DeviceId, PeerId)>),
+}
+
+/// One device's worker-phase slot: the device, its window job list and,
+/// once the phase ran, one emission list per job.
+type WorkerSlot<'a> = (
+    DeviceId,
+    &'a mut SimDevice,
+    Vec<(SimTime, Work)>,
+    Vec<Vec<Emission>>,
+);
+
+/// Execute the device-local part of one event on a worker thread. Touches
+/// only `dev` (exclusive), shared read-only context, and atomic counters —
+/// never the RNG, the event queue, or cross-device state, which is what
+/// keeps parallel runs bit-identical to serial ones.
+fn run_work(
+    dev: &mut SimDevice,
+    t: SimTime,
+    work: Work,
+    counters: &NetCounters,
+    topo: &Topology,
+    cfg: &SimConfig,
+) -> Vec<Emission> {
+    match work {
+        Work::Deliver { on, msg } => {
+            dev.engine.set_time(t);
+            let out = dev.with_daemon(|dm, e| dm.handle_update(on, msg, e));
+            vec![Emission::Updates(out)]
+        }
+        Work::Ctl { on, msg } => {
+            let now_secs = t / crate::event::SECONDS;
+            let actions = match dev.sessions.get_mut(&on) {
+                Some(session) => session.handle(&msg, now_secs),
+                None => return Vec::new(),
+            };
+            let mut out = Vec::new();
+            for action in actions {
+                match action {
+                    SessionAction::Send(reply) => out.push(Emission::Ctl(on, reply)),
+                    SessionAction::AdvertiseAll => {
+                        dev.engine.set_time(t);
+                        out.push(Emission::Updates(
+                            dev.with_daemon(|dm, e| dm.peer_up(on, e)),
+                        ));
+                    }
+                    SessionAction::FlushRoutes => {
+                        dev.engine.set_time(t);
+                        out.push(Emission::Updates(
+                            dev.with_daemon(|dm, e| dm.peer_down(on, e)),
+                        ));
+                    }
+                    SessionAction::None => {}
+                }
+            }
+            out
+        }
+        Work::SessionUp { peer } => {
+            dev.engine.set_time(t);
+            let out = dev.with_daemon(|dm, e| dm.peer_up(peer, e));
+            vec![Emission::Updates(out)]
+        }
+        Work::SessionDown { peer } => {
+            dev.engine.set_time(t);
+            let out = dev.with_daemon(|dm, e| dm.peer_down(peer, e));
+            vec![Emission::Updates(out)]
+        }
+        Work::RouteRefresh { on } => {
+            // The establishment check must run here, not in the pre-pass: an
+            // earlier event in the same window may have dropped the session.
+            if !dev.daemon.is_established(on) {
+                return Vec::new();
+            }
+            let refresh = dev.daemon.full_advertisement(on);
+            if refresh.is_empty() {
+                Vec::new()
+            } else {
+                vec![Emission::Updates(vec![(on, refresh)])]
+            }
+        }
+        Work::RemovePeer { peer } => {
+            dev.engine.set_time(t);
+            dev.sessions.remove(&peer);
+            let out = dev.with_daemon(|dm, e| dm.remove_peer(peer, e));
+            vec![Emission::Updates(out)]
+        }
+        Work::InstallRpa { doc } => {
+            dev.engine.set_time(t);
+            match dev.engine.install_or_replace(*doc) {
+                Ok(()) => {
+                    let out = dev.with_daemon(|dm, e| dm.reevaluate_all(e));
+                    vec![Emission::Updates(out)]
+                }
+                Err(_) => {
+                    counters.rpa_failures.inc();
+                    Vec::new()
+                }
+            }
+        }
+        Work::RemoveRpa { name } => {
+            dev.engine.set_time(t);
+            match dev.engine.remove(&name) {
+                Ok(removed) => {
+                    let peers = dev.daemon.peer_ids();
+                    let out = dev.with_daemon(|dm, e| dm.reevaluate_all(e));
+                    let mut emissions = vec![Emission::Updates(out)];
+                    if matches!(removed, centralium_rpa::RpaDocument::RouteFilter(_)) {
+                        emissions.push(Emission::RefreshRequests(
+                            peers
+                                .into_iter()
+                                .map(|peer| {
+                                    (
+                                        DeviceId(peer.device()),
+                                        PeerId::compose(dev.id.0, peer.session_index()),
+                                    )
+                                })
+                                .collect(),
+                        ));
+                    }
+                    emissions
+                }
+                Err(_) => {
+                    counters.rpa_failures.inc();
+                    Vec::new()
+                }
+            }
+        }
+        Work::Originate { prefix, attrs } => {
+            dev.engine.set_time(t);
+            let out = dev.with_daemon(|dm, e| dm.originate(prefix, attrs, e));
+            vec![Emission::Updates(out)]
+        }
+        Work::WithdrawOrigin { prefix } => {
+            dev.engine.set_time(t);
+            let out = dev.with_daemon(|dm, e| dm.withdraw_origin(prefix, e));
+            vec![Emission::Updates(out)]
+        }
+        Work::SetExportPolicy { policy } => {
+            let peers = dev.daemon.peer_ids();
+            let composed: Vec<(PeerId, Policy)> = peers
+                .iter()
+                .map(|&peer| {
+                    let base = SimNet::base_export_policy_for(
+                        topo,
+                        cfg.valley_free_policies,
+                        dev.id,
+                        peer,
+                    );
+                    let mut rules = policy.rules.clone();
+                    rules.extend(base.rules);
+                    (
+                        peer,
+                        Policy {
+                            rules,
+                            default_accept: base.default_accept,
+                        },
+                    )
+                })
+                .collect();
+            dev.engine.set_time(t);
+            let out = dev.with_daemon(|dm, e| {
+                for (peer, p) in composed {
+                    dm.set_export_policy(peer, p);
+                }
+                dm.reevaluate_all(e)
+            });
+            vec![Emission::Updates(out)]
+        }
+        Work::AgentRestart => {
+            dev.engine.set_time(t);
+            let installed: Vec<String> = dev
+                .engine
+                .installed()
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            for name in installed {
+                let _ = dev.engine.remove(&name);
+            }
+            let out = dev.with_daemon(|dm, e| dm.reevaluate_all(e));
+            vec![Emission::Updates(out)]
+        }
+    }
+}
+
 /// Cached handles for the registry counters the run loop bumps on every
 /// event — binding by name happens once, updates are single atomic adds
 /// (the same cost class as the `u64` fields of the old ad-hoc `TraceStats`).
@@ -205,6 +450,14 @@ struct NetCounters {
     rpc_dropped: Counter,
     rpc_duplicated: Counter,
     agent_restarts: Counter,
+    /// Wall-clock µs spent in the windowed engine's serial pre-pass.
+    phase_pre_us: Counter,
+    /// Wall-clock µs spent in the windowed engine's parallel worker phase.
+    phase_work_us: Counter,
+    /// Wall-clock µs spent in the windowed engine's serial merge phase.
+    phase_merge_us: Counter,
+    /// Number of event windows the parallel engine processed.
+    windows: Counter,
 }
 
 impl NetCounters {
@@ -221,6 +474,10 @@ impl NetCounters {
             rpc_dropped: m.counter("simnet.rpc_dropped"),
             rpc_duplicated: m.counter("simnet.rpc_duplicated"),
             agent_restarts: m.counter("simnet.agent_restarts"),
+            phase_pre_us: m.counter("simnet.phase.pre_us"),
+            phase_work_us: m.counter("simnet.phase.work_us"),
+            phase_merge_us: m.counter("simnet.phase.merge_us"),
+            windows: m.counter("simnet.phase.windows"),
         }
     }
 }
@@ -418,12 +675,20 @@ impl SimNet {
     /// The base export policy of a session, as installed at wiring time —
     /// used to rebuild effective policies when an override (drain, policy
     /// transition) is applied or lifted.
-    fn base_export_policy(&self, dev: DeviceId, peer: PeerId) -> Policy {
-        if !self.cfg.valley_free_policies {
+    /// Free-standing (no `&self`) so worker threads can rebuild effective
+    /// policies from shared read-only context without borrowing the whole
+    /// network.
+    fn base_export_policy_for(
+        topo: &Topology,
+        valley_free: bool,
+        dev: DeviceId,
+        peer: PeerId,
+    ) -> Policy {
+        if !valley_free {
             return Policy::accept_all();
         }
         let other = DeviceId(peer.device());
-        let (Some(d), Some(o)) = (self.topo.device(dev), self.topo.device(other)) else {
+        let (Some(d), Some(o)) = (topo.device(dev), topo.device(other)) else {
             return Policy::accept_all();
         };
         if d.layer().is_below(o.layer()) {
@@ -888,6 +1153,10 @@ impl SimNet {
     // ---- run loop ------------------------------------------------------------
 
     /// Process a single event. Returns `false` when the queue is empty.
+    ///
+    /// Serial engine, but built from the same pre-pass / device-work /
+    /// emission-replay stages as the parallel engine — one code path, so
+    /// the two cannot drift apart semantically.
     pub fn step(&mut self) -> bool {
         let Some((t, ev)) = self.queue.pop() else {
             return false;
@@ -895,12 +1164,73 @@ impl SimNet {
         debug_assert!(t >= self.now, "time must be monotonic");
         self.now = t;
         self.telemetry.set_now(t);
-        self.process(ev);
+        if let Some((dev_id, work)) = self.prepare(t, ev) {
+            let Self {
+                devices,
+                counters,
+                topo,
+                cfg,
+                ..
+            } = self;
+            let dev = devices
+                .get_mut(&dev_id)
+                .expect("prepared event targets a live device");
+            let emissions = run_work(dev, t, work, counters, topo, cfg);
+            self.replay(dev_id, emissions);
+        }
         true
     }
 
+    /// Replay worker emissions through the scheduling path (`emit`,
+    /// `emit_ctl`, refresh-request scheduling) at the current sim time.
+    fn replay(&mut self, dev_id: DeviceId, emissions: Vec<Emission>) {
+        for emission in emissions {
+            match emission {
+                Emission::Updates(out) => self.emit(dev_id, out),
+                Emission::Ctl(peer, msg) => self.emit_ctl(dev_id, peer, msg),
+                Emission::RefreshRequests(targets) => {
+                    for (to, on) in targets {
+                        self.schedule_in(
+                            self.cfg.base_latency_us,
+                            NetEvent::RouteRefreshRequest { to, on },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Run until the queue drains or the event cap hits.
+    ///
+    /// With [`SimConfig::parallel_workers`] above one (and no journal
+    /// attached), events are processed by the windowed parallel engine —
+    /// **bit-identical** to the serial engine. The determinism argument:
+    ///
+    /// 1. Every message scheduled during a run lands at least
+    ///    `base_latency_us` after the event that produced it, so all events
+    ///    in the window `[t0, t0 + max(base_latency_us, 1))` are already
+    ///    queued when the window opens and nothing produced inside the
+    ///    window can land inside it.
+    /// 2. Events targeting different devices within one window are causally
+    ///    independent (all cross-device effects travel as messages, which
+    ///    land beyond the window), so per-device batches may run on worker
+    ///    threads; each device's batch preserves its global pop order.
+    /// 3. Workers never touch the RNG, the queue, or shared maps — they
+    ///    return ordered emission lists which the merge phase replays
+    ///    through the normal `emit` path in the original global pop order,
+    ///    reproducing every jitter/fault/shuffle draw, FIFO clamp and queue
+    ///    sequence number of the serial engine.
+    ///
+    /// Journaling forces the serial engine: journal records are stamped and
+    /// appended during device processing, which would interleave
+    /// nondeterministically across workers.
     pub fn run_until_quiescent(&mut self) -> ConvergenceReport {
+        let workers = self.effective_workers();
+        let parallel = workers > 1 && !self.telemetry.journal_enabled();
+        self.telemetry
+            .metrics()
+            .gauge("core.parallel_workers")
+            .set(if parallel { workers as i64 } else { 1 });
         let mut n = 0u64;
         while !self.queue.is_empty() {
             if n >= self.cfg.max_events {
@@ -910,14 +1240,244 @@ impl SimNet {
                     finished_at: self.now,
                 };
             }
-            self.step();
-            n += 1;
+            if parallel {
+                n += self.step_window(workers, self.cfg.max_events - n);
+            } else {
+                self.step();
+                n += 1;
+            }
         }
         self.observe_quiescence();
         ConvergenceReport {
             converged: true,
             events_processed: n,
             finished_at: self.now,
+        }
+    }
+
+    /// Resolved worker count: `parallel_workers`, with `0` meaning one per
+    /// available core.
+    fn effective_workers(&self) -> usize {
+        match self.cfg.parallel_workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Process one causality-safe window of events (at most `budget`) with
+    /// the three-phase pipeline: serial pre-pass (global bookkeeping, in pop
+    /// order), parallel per-device processing, serial merge (emission
+    /// replay, in pop order). Returns the number of events consumed.
+    fn step_window(&mut self, workers: usize, budget: u64) -> u64 {
+        let Some(t0) = self.queue.peek_time() else {
+            return 0;
+        };
+        let horizon = t0 + self.cfg.base_latency_us.max(1);
+
+        // Phase 1 — serial pre-pass: pop the window, run the global-state
+        // side of each event (counters, churn, origination bookkeeping,
+        // device-existence checks) and build per-device job lists.
+        let pre_start = std::time::Instant::now();
+        let mut popped: Vec<(SimTime, Option<(DeviceId, usize)>)> = Vec::new();
+        let mut jobs: BTreeMap<DeviceId, Vec<(SimTime, Work)>> = BTreeMap::new();
+        while (popped.len() as u64) < budget {
+            match self.queue.peek_time() {
+                Some(t) if t < horizon => {}
+                _ => break,
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event");
+            debug_assert!(t >= self.now, "time must be monotonic");
+            let slot = self.prepare(t, ev).map(|(dev_id, work)| {
+                let list = jobs.entry(dev_id).or_default();
+                list.push((t, work));
+                (dev_id, list.len() - 1)
+            });
+            popped.push((t, slot));
+        }
+        self.counters
+            .phase_pre_us
+            .add(pre_start.elapsed().as_micros() as u64);
+
+        // Phase 2 — parallel worker phase over disjoint `&mut SimDevice`.
+        // Falls back to inline execution for small windows (identical
+        // output either way; only wall-clock differs).
+        let work_start = std::time::Instant::now();
+        let counters = &self.counters;
+        let topo = &self.topo;
+        let cfg = &self.cfg;
+        let mut slots: Vec<WorkerSlot> = Vec::with_capacity(jobs.len());
+        for (id, dev) in self.devices.iter_mut() {
+            if let Some(list) = jobs.remove(id) {
+                slots.push((*id, dev, list, Vec::new()));
+            }
+        }
+        debug_assert!(jobs.is_empty(), "every job targets a live device");
+        let total_jobs: usize = slots.iter().map(|(_, _, l, _)| l.len()).sum();
+        // Spawning a scoped thread costs tens of microseconds, so a worker
+        // only pays off once it has a batch of jobs to amortize it over.
+        // Size the pool to the work available and run small windows inline.
+        let threads = workers
+            .min(slots.len())
+            .min((total_jobs / MIN_JOBS_PER_WORKER).max(1));
+        if threads < 2 {
+            for (_, dev, list, outs) in &mut slots {
+                for (t, work) in std::mem::take(list) {
+                    outs.push(run_work(dev, t, work, counters, topo, cfg));
+                }
+            }
+        } else {
+            let chunk = slots.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for batch in slots.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for (_, dev, list, outs) in batch.iter_mut() {
+                            for (t, work) in std::mem::take(list) {
+                                outs.push(run_work(dev, t, work, counters, topo, cfg));
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let mut outputs: BTreeMap<DeviceId, Vec<Vec<Emission>>> = slots
+            .into_iter()
+            .map(|(id, _, _, outs)| (id, outs))
+            .collect();
+        self.counters
+            .phase_work_us
+            .add(work_start.elapsed().as_micros() as u64);
+
+        // Phase 3 — serial merge: replay emissions in the original global
+        // pop order, advancing the clock exactly as the serial engine does.
+        let merge_start = std::time::Instant::now();
+        for (t, slot) in &popped {
+            self.now = *t;
+            self.telemetry.set_now(*t);
+            let Some((dev_id, idx)) = slot else {
+                continue;
+            };
+            let emissions =
+                std::mem::take(&mut outputs.get_mut(dev_id).expect("device has outputs")[*idx]);
+            self.replay(*dev_id, emissions);
+        }
+        self.counters
+            .phase_merge_us
+            .add(merge_start.elapsed().as_micros() as u64);
+        self.counters.windows.inc();
+        popped.len() as u64
+    }
+
+    /// The serial pre-pass of one windowed event: device-existence check,
+    /// global counters and bookkeeping (using the event's own timestamp),
+    /// returning the device-local remainder as a [`Work`] job — or `None`
+    /// when the event is a no-op (target device gone).
+    fn prepare(&mut self, t: SimTime, ev: NetEvent) -> Option<(DeviceId, Work)> {
+        match ev {
+            NetEvent::DeliverCtl { to, on, msg } => {
+                if !self.devices.contains_key(&to) {
+                    return None;
+                }
+                self.counters.session_events.inc();
+                Some((to, Work::Ctl { on, msg }))
+            }
+            NetEvent::Deliver { to, on, msg } => {
+                if !self.devices.contains_key(&to) {
+                    return None;
+                }
+                self.counters.messages_delivered.inc();
+                self.counters.announcements.add(msg.announced.len() as u64);
+                self.counters.withdrawals.add(msg.withdrawn.len() as u64);
+                self.note_churn(to);
+                if !self.origin_time.is_empty() {
+                    for (p, _) in &msg.announced {
+                        if self.origin_time.contains_key(p) {
+                            self.last_update.insert(*p, t);
+                        }
+                    }
+                    for p in &msg.withdrawn {
+                        if self.origin_time.contains_key(p) {
+                            self.last_update.insert(*p, t);
+                        }
+                    }
+                }
+                Some((to, Work::Deliver { on, msg }))
+            }
+            NetEvent::SessionUp { dev, peer } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                self.counters.session_events.inc();
+                Self::note_session_transition(&self.telemetry, dev, peer, "up");
+                Some((dev, Work::SessionUp { peer }))
+            }
+            NetEvent::SessionDown { dev, peer } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                self.counters.session_events.inc();
+                Self::note_session_transition(&self.telemetry, dev, peer, "down");
+                Some((dev, Work::SessionDown { peer }))
+            }
+            NetEvent::RouteRefreshRequest { to, on } => {
+                if !self.devices.contains_key(&to) {
+                    return None;
+                }
+                Some((to, Work::RouteRefresh { on }))
+            }
+            NetEvent::RemovePeer { dev, peer } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                self.counters.session_events.inc();
+                Self::note_session_transition(&self.telemetry, dev, peer, "removed");
+                Some((dev, Work::RemovePeer { peer }))
+            }
+            NetEvent::InstallRpa { dev, doc } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                self.counters.rpa_operations.inc();
+                Some((dev, Work::InstallRpa { doc }))
+            }
+            NetEvent::RemoveRpa { dev, name } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                self.counters.rpa_operations.inc();
+                Some((dev, Work::RemoveRpa { name }))
+            }
+            NetEvent::Originate { dev, prefix, attrs } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                self.originators.entry(prefix).or_default().insert(dev);
+                self.origin_time.entry(prefix).or_insert(t);
+                Some((dev, Work::Originate { prefix, attrs }))
+            }
+            NetEvent::WithdrawOrigin { dev, prefix } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                if let Some(set) = self.originators.get_mut(&prefix) {
+                    set.remove(&dev);
+                }
+                Some((dev, Work::WithdrawOrigin { prefix }))
+            }
+            NetEvent::SetExportPolicy { dev, policy } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                Some((dev, Work::SetExportPolicy { policy }))
+            }
+            NetEvent::AgentRestart { dev } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                self.counters.agent_restarts.inc();
+                Some((dev, Work::AgentRestart))
+            }
         }
     }
 
@@ -966,229 +1526,6 @@ impl SimNet {
         }
         self.now = self.now.max(deadline);
         n
-    }
-
-    fn process(&mut self, ev: NetEvent) {
-        match ev {
-            NetEvent::DeliverCtl { to, on, msg } => {
-                if !self.devices.contains_key(&to) {
-                    return;
-                }
-                self.counters.session_events.inc();
-                let now_secs = self.now / crate::event::SECONDS;
-                let actions = {
-                    let d = self.devices.get_mut(&to).expect("device");
-                    match d.sessions.get_mut(&on) {
-                        Some(session) => session.handle(&msg, now_secs),
-                        None => return,
-                    }
-                };
-                for action in actions {
-                    match action {
-                        SessionAction::Send(reply) => self.emit_ctl(to, on, reply),
-                        SessionAction::AdvertiseAll => {
-                            let d = self.devices.get_mut(&to).expect("device");
-                            d.engine.set_time(self.now);
-                            let out = d.with_daemon(|dm, e| dm.peer_up(on, e));
-                            self.emit(to, out);
-                        }
-                        SessionAction::FlushRoutes => {
-                            let d = self.devices.get_mut(&to).expect("device");
-                            d.engine.set_time(self.now);
-                            let out = d.with_daemon(|dm, e| dm.peer_down(on, e));
-                            self.emit(to, out);
-                        }
-                        SessionAction::None => {}
-                    }
-                }
-            }
-            NetEvent::Deliver { to, on, msg } => {
-                if !self.devices.contains_key(&to) {
-                    return;
-                }
-                self.counters.messages_delivered.inc();
-                self.counters.announcements.add(msg.announced.len() as u64);
-                self.counters.withdrawals.add(msg.withdrawn.len() as u64);
-                self.note_churn(to);
-                if !self.origin_time.is_empty() {
-                    let now = self.now;
-                    for (p, _) in &msg.announced {
-                        if self.origin_time.contains_key(p) {
-                            self.last_update.insert(*p, now);
-                        }
-                    }
-                    for p in &msg.withdrawn {
-                        if self.origin_time.contains_key(p) {
-                            self.last_update.insert(*p, now);
-                        }
-                    }
-                }
-                let dev = self.devices.get_mut(&to).expect("checked above");
-                dev.engine.set_time(self.now);
-                let out = dev.with_daemon(|d, e| d.handle_update(on, msg, e));
-                self.emit(to, out);
-            }
-            NetEvent::SessionUp { dev, peer } => {
-                let Some(d) = self.devices.get_mut(&dev) else {
-                    return;
-                };
-                self.counters.session_events.inc();
-                Self::note_session_transition(&self.telemetry, dev, peer, "up");
-                d.engine.set_time(self.now);
-                let out = d.with_daemon(|dm, e| dm.peer_up(peer, e));
-                self.emit(dev, out);
-            }
-            NetEvent::SessionDown { dev, peer } => {
-                let Some(d) = self.devices.get_mut(&dev) else {
-                    return;
-                };
-                self.counters.session_events.inc();
-                Self::note_session_transition(&self.telemetry, dev, peer, "down");
-                d.engine.set_time(self.now);
-                let out = d.with_daemon(|dm, e| dm.peer_down(peer, e));
-                self.emit(dev, out);
-            }
-            NetEvent::RouteRefreshRequest { to, on } => {
-                let Some(d) = self.devices.get(&to) else {
-                    return;
-                };
-                if !d.daemon.is_established(on) {
-                    return;
-                }
-                let refresh = d.daemon.full_advertisement(on);
-                if !refresh.is_empty() {
-                    self.emit(to, vec![(on, refresh)]);
-                }
-            }
-            NetEvent::RemovePeer { dev, peer } => {
-                let Some(d) = self.devices.get_mut(&dev) else {
-                    return;
-                };
-                self.counters.session_events.inc();
-                Self::note_session_transition(&self.telemetry, dev, peer, "removed");
-                d.engine.set_time(self.now);
-                d.sessions.remove(&peer);
-                let out = d.with_daemon(|dm, e| dm.remove_peer(peer, e));
-                self.emit(dev, out);
-            }
-            NetEvent::InstallRpa { dev, doc } => {
-                let Some(d) = self.devices.get_mut(&dev) else {
-                    return;
-                };
-                self.counters.rpa_operations.inc();
-                d.engine.set_time(self.now);
-                match d.engine.install_or_replace(*doc) {
-                    Ok(()) => {
-                        let out = d.with_daemon(|dm, e| dm.reevaluate_all(e));
-                        self.emit(dev, out);
-                    }
-                    Err(_) => self.counters.rpa_failures.inc(),
-                }
-            }
-            NetEvent::RemoveRpa { dev, name } => {
-                let Some(d) = self.devices.get_mut(&dev) else {
-                    return;
-                };
-                self.counters.rpa_operations.inc();
-                d.engine.set_time(self.now);
-                match d.engine.remove(&name) {
-                    Ok(removed) => {
-                        let peers = d.daemon.peer_ids();
-                        let out = d.with_daemon(|dm, e| dm.reevaluate_all(e));
-                        self.emit(dev, out);
-                        // Lifting a Route Filter cannot resurrect routes the
-                        // filter evicted from the RIB — ask every neighbor to
-                        // re-advertise (route refresh, RFC 2918's role).
-                        if matches!(removed, centralium_rpa::RpaDocument::RouteFilter(_)) {
-                            for peer in peers {
-                                let neighbor = DeviceId(peer.device());
-                                let their_session = PeerId::compose(dev.0, peer.session_index());
-                                self.schedule_in(
-                                    self.cfg.base_latency_us,
-                                    NetEvent::RouteRefreshRequest {
-                                        to: neighbor,
-                                        on: their_session,
-                                    },
-                                );
-                            }
-                        }
-                    }
-                    Err(_) => self.counters.rpa_failures.inc(),
-                }
-            }
-            NetEvent::Originate { dev, prefix, attrs } => {
-                let Some(d) = self.devices.get_mut(&dev) else {
-                    return;
-                };
-                self.originators.entry(prefix).or_default().insert(dev);
-                self.origin_time.entry(prefix).or_insert(self.now);
-                d.engine.set_time(self.now);
-                let out = d.with_daemon(|dm, e| dm.originate(prefix, attrs, e));
-                self.emit(dev, out);
-            }
-            NetEvent::WithdrawOrigin { dev, prefix } => {
-                let Some(d) = self.devices.get_mut(&dev) else {
-                    return;
-                };
-                if let Some(set) = self.originators.get_mut(&prefix) {
-                    set.remove(&dev);
-                }
-                d.engine.set_time(self.now);
-                let out = d.with_daemon(|dm, e| dm.withdraw_origin(prefix, e));
-                self.emit(dev, out);
-            }
-            NetEvent::SetExportPolicy { dev, policy } => {
-                if !self.devices.contains_key(&dev) {
-                    return;
-                }
-                // Compose the override with each session's base policy.
-                let peers: Vec<PeerId> = self.devices.get(&dev).expect("device").daemon.peer_ids();
-                let composed: Vec<(PeerId, Policy)> = peers
-                    .iter()
-                    .map(|&peer| {
-                        let base = self.base_export_policy(dev, peer);
-                        let mut rules = policy.rules.clone();
-                        rules.extend(base.rules);
-                        (
-                            peer,
-                            Policy {
-                                rules,
-                                default_accept: base.default_accept,
-                            },
-                        )
-                    })
-                    .collect();
-                let d = self.devices.get_mut(&dev).expect("device");
-                d.engine.set_time(self.now);
-                let out = d.with_daemon(|dm, e| {
-                    for (peer, p) in composed {
-                        dm.set_export_policy(peer, p);
-                    }
-                    dm.reevaluate_all(e)
-                });
-                self.emit(dev, out);
-            }
-            NetEvent::AgentRestart { dev } => {
-                let Some(d) = self.devices.get_mut(&dev) else {
-                    return;
-                };
-                self.counters.agent_restarts.inc();
-                d.engine.set_time(self.now);
-                // The restarted agent comes back with empty RPA state; the
-                // controller's reconcile loop must notice and re-install.
-                let installed: Vec<String> = d
-                    .engine
-                    .installed()
-                    .into_iter()
-                    .map(str::to_string)
-                    .collect();
-                for name in installed {
-                    let _ = d.engine.remove(&name);
-                }
-                let out = d.with_daemon(|dm, e| dm.reevaluate_all(e));
-                self.emit(dev, out);
-            }
-        }
     }
 
     /// Bump the per-device UPDATE-churn counter for `dev`, binding the

@@ -1,0 +1,207 @@
+//! Bit-exact equivalence of the serial and parallel convergence engines.
+//!
+//! Each scenario runs a full migration-style episode — convergence under
+//! message faults and RPC chaos, RPA deploy/remove, drain/undrain and
+//! device down/up — and reduces the end state to a text snapshot: every
+//! device's FIB and installed RPA documents, the trace statistics, the
+//! convergence report, and the deterministic telemetry counters (including
+//! the signature-cache hit/miss totals). The snapshot for `--workers N`
+//! must equal the serial one byte for byte.
+//!
+//! Wall-clock phase timings (`simnet.phase.*`) are intentionally excluded:
+//! they measure host time, not simulated behaviour.
+
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_rpa::{
+    Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature, RouteFilterRpa,
+    RpaDocument,
+};
+use centralium_simnet::{ChaosPlan, FaultPlan, SimConfig, SimNet};
+use centralium_topology::{build_fabric, FabricSpec};
+use std::fmt::Write;
+
+/// Telemetry counters that must match between engines. Phase timings are
+/// wall-clock and excluded by construction.
+const DETERMINISTIC_COUNTERS: &[&str] = &[
+    "rpa.cache_hits",
+    "rpa.cache_misses",
+    "simnet.rpc_dropped",
+    "simnet.rpc_duplicated",
+    "simnet.agent_restarts",
+    "simnet.messages_delivered",
+    "simnet.messages_dropped",
+    "simnet.session_events",
+    "simnet.rpa_operations",
+];
+
+fn equalize_doc(name: &str) -> RpaDocument {
+    RpaDocument::PathSelection(PathSelectionRpa::single(
+        name,
+        PathSelectionStatement::select(
+            Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+            vec![PathSet::new("all", PathSignature::any())],
+        ),
+    ))
+}
+
+/// Run the full episode and reduce the end state to a comparable snapshot.
+fn scenario(seed: u64, workers: usize, handshake: bool) -> String {
+    let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+    let cfg = SimConfig {
+        seed,
+        parallel_workers: workers,
+        handshake_sessions: handshake,
+        fault: FaultPlan {
+            drop_probability: 0.1,
+            max_extra_delay_us: 150,
+        },
+        ..Default::default()
+    };
+    let mut net = SimNet::new(topo, cfg);
+    net.set_chaos(ChaosPlan {
+        rpc_loss: 0.2,
+        rpc_duplicate: 0.2,
+        agent_crash: 0.1,
+        ..ChaosPlan::new(seed)
+    });
+    net.establish_all();
+    for &eb in &idx.backbone {
+        net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+    }
+    let mut events = 0;
+    let mut finished = 0;
+    let mut run = |net: &mut SimNet| {
+        let r = net.run_until_quiescent().expect_converged();
+        events += r.events_processed;
+        finished = r.finished_at;
+    };
+    run(&mut net);
+
+    // RPA churn on every SSW of grid 0: deploy the equalize document, then
+    // remove it from one device (chaos may drop or duplicate either RPC —
+    // deterministically per seed).
+    for &ssw in &idx.ssw[0] {
+        net.deploy_rpa(ssw, equalize_doc("equalize"), 300);
+    }
+    net.deploy_rpa(
+        idx.ssw[0][0],
+        RpaDocument::RouteFilter(RouteFilterRpa {
+            name: "filter-nothing".into(),
+            statements: vec![],
+        }),
+        300,
+    );
+    run(&mut net);
+    net.remove_rpa(idx.ssw[0][0], "equalize", 300);
+    run(&mut net);
+
+    // Maintenance churn: drain/undrain one FADU, bounce one FAUU.
+    net.drain_device(idx.fadu[0][0]);
+    run(&mut net);
+    net.undrain_device(idx.fadu[0][0]);
+    net.device_down(idx.fauu[0][0]);
+    run(&mut net);
+    net.device_up(idx.fauu[0][0]);
+    run(&mut net);
+
+    let mut s = String::new();
+    writeln!(s, "events={events} finished_at={finished}").unwrap();
+    writeln!(s, "stats={:?}", net.stats()).unwrap();
+    let snap = net.telemetry().metrics().snapshot();
+    for name in DETERMINISTIC_COUNTERS {
+        writeln!(s, "{name}={}", snap.counter(name)).unwrap();
+    }
+    for id in net.device_ids() {
+        let dev = net.device(id).unwrap();
+        writeln!(
+            s,
+            "{id} fib={:?} installed={:?}",
+            dev.fib,
+            dev.engine.installed()
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[test]
+fn parallel_matches_serial_across_chaos_seeds() {
+    for seed in [7u64, 21, 1337] {
+        let serial = scenario(seed, 1, false);
+        for workers in [2usize, 4, 8] {
+            let parallel = scenario(seed, workers, false);
+            assert_eq!(
+                serial, parallel,
+                "seed {seed}: {workers}-worker run diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn handshake_sessions_exercise_the_control_path() {
+    // OPEN/NOTIFICATION exchanges route through Work::Ctl in the worker
+    // phase; they must replay identically too.
+    for seed in [7u64, 21, 1337] {
+        assert_eq!(
+            scenario(seed, 1, true),
+            scenario(seed, 4, true),
+            "seed {seed}: handshake-mode parallel run diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn auto_worker_count_is_deterministic() {
+    // `parallel_workers: 0` sizes the pool from the host's core count; the
+    // result must not depend on however many workers that happens to be.
+    assert_eq!(scenario(7, 1, false), scenario(7, 0, false));
+}
+
+#[test]
+fn signature_cache_counters_match_and_are_exercised() {
+    // The equalize RPA evaluates path signatures on every reconvergence;
+    // interned attribute ids must make those evaluations cache-hit, and the
+    // per-device caches must see identical sequences under both engines.
+    let run = |workers| {
+        let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        let mut net = SimNet::new(
+            topo,
+            SimConfig {
+                seed: 7,
+                parallel_workers: workers,
+                ..Default::default()
+            },
+        );
+        net.establish_all();
+        for &eb in &idx.backbone {
+            net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+        }
+        net.run_until_quiescent().expect_converged();
+        for grid in &idx.ssw {
+            for &ssw in grid {
+                net.deploy_rpa(ssw, equalize_doc("equalize"), 300);
+            }
+        }
+        net.run_until_quiescent().expect_converged();
+        // Bounce a FAUU so the RPA devices re-evaluate signatures over
+        // already-seen attribute ids.
+        net.device_down(idx.fauu[0][0]);
+        net.run_until_quiescent().expect_converged();
+        net.device_up(idx.fauu[0][0]);
+        net.run_until_quiescent().expect_converged();
+        let snap = net.telemetry().metrics().snapshot();
+        (
+            snap.counter("rpa.cache_hits"),
+            snap.counter("rpa.cache_misses"),
+        )
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(4), "cache traffic must match across engines");
+    assert!(serial.0 > 0, "signature cache saw no hits: {serial:?}");
+    assert!(
+        serial.0 >= serial.1,
+        "re-evaluations should mostly hit the cache: {serial:?}"
+    );
+}
