@@ -61,11 +61,7 @@ fn episode(spec: &FabricSpec, workers: usize) -> Episode {
     let (topo, idx, _) = build_fabric(spec);
     let mut net = SimNet::new(
         topo,
-        SimConfig {
-            seed: SEED,
-            parallel_workers: workers,
-            ..Default::default()
-        },
+        SimConfig::builder().seed(SEED).workers(workers).build(),
     );
     let start = Instant::now();
     net.establish_all();

@@ -1,0 +1,257 @@
+//! Full-vs-delta comparison for the incremental convergence engine: wall
+//! time and touched-device counts for a single-wave RPA deploy (a
+//! traffic-engineering weight prescription to one SSW plane), measured
+//! once with delta convergence (`incremental: true`, the default) and once
+//! with the full path (`incremental: false` plus a whole-fabric forced
+//! reconvergence, the same thing `DeployOptions { delta_convergence: false }`
+//! makes the controller do between reconcile rounds).
+//!
+//! Both arms must land on byte-identical FIBs; `--full-check` additionally
+//! runs the delta arm's shadow verification ([`SimNet::verify_full_equivalence`]),
+//! proving the delta-converged state is a fixed point of full reconvergence.
+//! A FIB mismatch exits nonzero, as does a touched-device ratio below 5x on
+//! the default fabric.
+//!
+//! ```text
+//! bench_incremental [--tiny] [--full-check] [--iters N] [--json FILE]
+//! ```
+//!
+//! `--tiny` restricts to the 22-device fabric (the CI smoke setting; the 5x
+//! ratio gate only applies to the default fabric); `--json FILE` writes the
+//! machine-readable report (BENCH_incremental.json by convention).
+
+use centralium_bench::args::BenchArgs;
+use centralium_bench::report::Table;
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_rpa::{
+    Destination, NextHopWeight, PathSignature, RouteAttributeRpa, RouteAttributeStatement,
+    RpaDocument,
+};
+use centralium_simnet::{SimConfig, SimNet};
+use centralium_topology::{build_fabric, FabricSpec};
+use serde_json::json;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Chaos seeds the equivalence must hold across (mirrors
+/// `tests/incremental_equivalence.rs`).
+const SEEDS: [u64; 3] = [7, 21, 1337];
+const DEFAULT_ITERS: usize = 3;
+const RPC_US: u64 = 300;
+/// Minimum full/delta touched-device ratio on the default fabric.
+const MIN_RATIO: f64 = 5.0;
+
+struct Arm {
+    wall_ms: f64,
+    touched: usize,
+    fib: String,
+}
+
+/// A traffic-engineering weight prescription: triple the weight of paths
+/// through the device's first uplink neighbor (everything else keeps the
+/// implicit weight 1). Route Attribute RPAs change the local FIB only — no
+/// export changes ripple — which is exactly the case delta convergence is
+/// built for.
+fn te_doc(net: &SimNet, ssw: centralium_topology::DeviceId) -> RpaDocument {
+    let first = net
+        .topology()
+        .uplinks(ssw)
+        .into_iter()
+        .filter_map(|(up, _)| net.topology().device(up).map(|d| d.asn))
+        .next()
+        .expect("SSW has at least one uplink");
+    RpaDocument::RouteAttribute(RouteAttributeRpa::single(
+        "te-wave",
+        RouteAttributeStatement::new(
+            Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+            vec![NextHopWeight {
+                signature: PathSignature {
+                    first_asn: Some(first),
+                    ..Default::default()
+                },
+                weight: 3,
+            }],
+        ),
+    ))
+}
+
+/// One single-wave deploy episode. The wall clock and touched-device count
+/// cover only the post-deploy reconvergence: the cold start is identical in
+/// both arms and is excluded by draining the touched set first.
+fn arm(spec: &FabricSpec, seed: u64, incremental: bool, full_check: bool) -> Result<Arm, String> {
+    let (topo, idx, _) = build_fabric(spec);
+    let mut net = SimNet::new(
+        topo,
+        SimConfig::builder()
+            .seed(seed)
+            .incremental(incremental)
+            .build(),
+    );
+    net.establish_all();
+    for &eb in &idx.backbone {
+        net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+    }
+    net.run_until_quiescent().expect_converged();
+    net.take_touched_devices();
+    let start = Instant::now();
+    for &ssw in &idx.ssw[0] {
+        let doc = te_doc(&net, ssw);
+        net.deploy_rpa(ssw, doc, RPC_US);
+    }
+    net.run_until_quiescent().expect_converged();
+    if !incremental {
+        // The full arm models a controller that distrusts delta export and
+        // forces every device to re-run decision + FIB sync.
+        net.force_full_reconvergence();
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let touched = net.take_touched_devices().len();
+    let fib = format!("{:?}", net.fib_snapshot());
+    if full_check && incremental {
+        net.verify_full_equivalence()?;
+    }
+    Ok(Arm {
+        wall_ms,
+        touched,
+        fib,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match BenchArgs::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let iters = args
+        .get_u64("iters")
+        .unwrap_or(None)
+        .map(|n| n.max(1) as usize)
+        .unwrap_or(DEFAULT_ITERS);
+    let full_check = args.has_flag("full-check");
+    let tiny = args.has_flag("tiny");
+    let (label, spec) = if tiny {
+        ("tiny", FabricSpec::tiny())
+    } else {
+        ("default", FabricSpec::default())
+    };
+    let devices = build_fabric(&spec).0.device_count();
+
+    println!("Incremental convergence: full vs delta, fabric '{label}' ({devices} devices)");
+    println!(
+        "episode: single-wave TE weight RPA deploy to SSW plane 0; {iters} iters/seed{}",
+        if full_check {
+            "; --full-check shadow verification on"
+        } else {
+            ""
+        }
+    );
+    println!();
+
+    let mut table = Table::new(&[
+        "seed",
+        "full wall (ms)",
+        "delta wall (ms)",
+        "full touched",
+        "delta touched",
+        "ratio",
+        "fib equal",
+    ]);
+    let mut rows = Vec::new();
+    let mut fib_mismatch = false;
+    let mut ratio_failure = false;
+    for &seed in &SEEDS {
+        let mut full_walls = Vec::with_capacity(iters);
+        let mut delta_walls = Vec::with_capacity(iters);
+        let mut full_arm = None;
+        let mut delta_arm = None;
+        for _ in 0..iters {
+            match (
+                arm(&spec, seed, false, full_check),
+                arm(&spec, seed, true, full_check),
+            ) {
+                (Ok(f), Ok(d)) => {
+                    full_walls.push(f.wall_ms);
+                    delta_walls.push(d.wall_ms);
+                    full_arm = Some(f);
+                    delta_arm = Some(d);
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: seed {seed}: shadow verification failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let (full, delta) = (
+            full_arm.expect("at least one iteration"),
+            delta_arm.expect("at least one iteration"),
+        );
+        full_walls.sort_by(|a, b| a.total_cmp(b));
+        delta_walls.sort_by(|a, b| a.total_cmp(b));
+        let full_ms = full_walls[full_walls.len() / 2];
+        let delta_ms = delta_walls[delta_walls.len() / 2];
+        let equal = full.fib == delta.fib;
+        fib_mismatch |= !equal;
+        let ratio = full.touched as f64 / delta.touched.max(1) as f64;
+        if !tiny && ratio < MIN_RATIO {
+            ratio_failure = true;
+        }
+        table.row(&[
+            seed.to_string(),
+            format!("{full_ms:.2}"),
+            format!("{delta_ms:.2}"),
+            full.touched.to_string(),
+            delta.touched.to_string(),
+            format!("{ratio:.1}x"),
+            if equal { "yes".into() } else { "NO".into() },
+        ]);
+        rows.push(json!({
+            "seed": seed,
+            "full_median_wall_ms": full_ms,
+            "delta_median_wall_ms": delta_ms,
+            "full_touched_devices": full.touched,
+            "delta_touched_devices": delta.touched,
+            "touched_ratio": ratio,
+            "fib_equal": equal,
+        }));
+    }
+    println!("{}", table.render());
+
+    if let Ok(Some(path)) = args.get_str("json") {
+        let doc = json!({
+            "fabric": label,
+            "devices": devices,
+            "iters": iters,
+            "full_check": full_check,
+            "min_ratio_default_fabric": MIN_RATIO,
+            "seeds": rows,
+        });
+        match serde_json::to_string_pretty(&doc) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text + "\n") {
+                    eprintln!("error: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("error: serializing report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if fib_mismatch {
+        eprintln!("error: a delta run produced FIBs different from full reconvergence");
+        return ExitCode::FAILURE;
+    }
+    if ratio_failure {
+        eprintln!("error: touched-device ratio below {MIN_RATIO}x on the default fabric");
+        return ExitCode::FAILURE;
+    }
+    println!("all delta FIBs byte-identical to full reconvergence");
+    ExitCode::SUCCESS
+}

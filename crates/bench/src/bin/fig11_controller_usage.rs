@@ -59,7 +59,7 @@ fn main() {
     );
     let docs = compile_intent(fab.net.topology(), &intent).expect("compiles");
     for (i, (dev, doc)) in docs.iter().enumerate() {
-        agents[i % AGENT_SHARDS].set_intended(*dev, doc);
+        agents[i % AGENT_SHARDS].set_intended(*dev, doc).unwrap();
         nsdb.publish(
             Path::parse(&format!("/devices/d{}/rpa/{}", dev.0, doc.name())),
             serde_json::to_value(doc).expect("serializes"),
@@ -71,8 +71,8 @@ fn main() {
     for _ in 0..ROUNDS {
         for (i, agent) in agents.iter_mut().enumerate() {
             let t = Instant::now();
-            agent.poll_current(&fab.net);
-            agent.reconcile(&mut fab.net);
+            agent.poll_current(&fab.net).unwrap();
+            agent.reconcile(&mut fab.net).unwrap();
             busy_wall[i] += t.elapsed().as_secs_f64();
         }
         fab.net.run_until_quiescent();

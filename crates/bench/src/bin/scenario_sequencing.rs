@@ -89,14 +89,14 @@ fn run_chaos(seed: u64, rpc_loss: f64) -> ChaosOutcome {
     let mut converged = true;
     for wave in [rig.ssws.clone(), rig.fa.to_vec()] {
         for &dev in &wave {
-            agent.set_intended(dev, &rig.rpa);
+            agent.set_intended(dev, &rig.rpa).unwrap();
         }
         let mut wave_ok = false;
         let mut idle_rounds = 0u32;
         for _round in 0..64 {
-            let ops = agent.reconcile(&mut rig.net);
+            let ops = agent.reconcile(&mut rig.net).unwrap();
             rig.net.run_until_quiescent();
-            agent.poll_current(&rig.net);
+            agent.poll_current(&rig.net).unwrap();
             if agent.service.store.out_of_sync().is_empty() {
                 wave_ok = true;
                 break;

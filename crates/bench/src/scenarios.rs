@@ -22,13 +22,7 @@ pub struct ConvergedFabric {
 /// Build and converge a standard fabric.
 pub fn converged_fabric(spec: &FabricSpec, seed: u64) -> ConvergedFabric {
     let (topo, idx, _) = build_fabric(spec);
-    let mut net = SimNet::new(
-        topo,
-        SimConfig {
-            seed,
-            ..Default::default()
-        },
-    );
+    let mut net = SimNet::new(topo, SimConfig::builder().seed(seed).build());
     net.establish_all();
     for &eb in &idx.backbone {
         net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
@@ -138,16 +132,15 @@ pub fn fig5_rig(n_prefixes: usize, du_nhg_capacity: usize, seed: u64, with_rpa: 
     for &uu in &uus {
         topo.add_link(du, uu, 400.0);
     }
-    let cfg = SimConfig {
-        seed,
-        sessions_per_link: 2, // two sessions per UU-DU pair (§3.4)
-        wcmp_advertise: true, // the distributed-WCMP cascade
+    let cfg = SimConfig::builder()
+        .seed(seed)
+        .sessions_per_link(2) // two sessions per UU-DU pair (§3.4)
+        .wcmp_advertise(true) // the distributed-WCMP cascade
         // Production-scale convergence asynchrony: per-message timing spread
         // in the tens of milliseconds (BGP MRAI, RIB batching, CPU queueing),
         // so different prefixes observe very different session orderings.
-        jitter_us: 20_000,
-        ..Default::default()
-    };
+        .jitter_us(20_000)
+        .build();
     let mut net = SimNet::new(topo, cfg);
     if with_rpa {
         // Static prescribed distribution: weight 1 per UU (by neighbor ASN).
@@ -225,11 +218,10 @@ pub fn fig9_rig(least_favorable: bool, seed: u64) -> Fig9Rig {
     topo.add_link(r6, r5, 100.0);
     // Generic (non-layered) rig: the paper's Figure 9 routers peer freely,
     // so the fabric's valley-free base policies do not apply.
-    let cfg = SimConfig {
-        seed,
-        valley_free_policies: false,
-        ..Default::default()
-    };
+    let cfg = SimConfig::builder()
+        .seed(seed)
+        .valley_free_policies(false)
+        .build();
     let mut net = SimNet::new(topo, cfg);
     // R6 runs the Path Selection RPA: select every path originated by R1.
     let doc = RpaDocument::PathSelection(centralium_rpa::PathSelectionRpa::single(
@@ -310,13 +302,7 @@ pub fn fig10_rig(seed: u64) -> Fig10Rig {
             topo.add_link(fsw, ssw, 100.0);
         }
     }
-    let mut net = SimNet::new(
-        topo,
-        SimConfig {
-            seed,
-            ..Default::default()
-        },
-    );
+    let mut net = SimNet::new(topo, SimConfig::builder().seed(seed).build());
     net.establish_all();
     net.originate(bb, Prefix::DEFAULT, [FIG10_DEST]);
     net.run_until_quiescent().expect_converged();

@@ -136,6 +136,18 @@ pub struct BgpDaemon {
     originated: BTreeMap<Prefix, PathAttributes>,
     loc_rib: BTreeMap<Prefix, LocRibEntry>,
     adj_rib_out: BTreeMap<(PeerId, Prefix), PathAttributes>,
+    /// Prefixes whose Loc-RIB entry was (re)installed or removed since the
+    /// last FIB export — the per-prefix dirty marks behind
+    /// [`BgpDaemon::take_fib_changes`]. Skipped on the wire: a restored
+    /// daemon starts with no marks and `fib_delta_ready == false`, forcing
+    /// one full sync before delta export resumes.
+    #[serde(skip)]
+    fib_dirty: BTreeSet<Prefix>,
+    /// Whether the host FIB has completed at least one full sync against
+    /// this daemon instance. Delta export is only sound on top of a full
+    /// baseline; see [`BgpDaemon::mark_fib_synced`].
+    #[serde(skip)]
+    fib_delta_ready: bool,
     #[serde(skip)]
     telemetry: DaemonTelemetry,
 }
@@ -150,6 +162,8 @@ impl BgpDaemon {
             originated: BTreeMap::new(),
             loc_rib: BTreeMap::new(),
             adj_rib_out: BTreeMap::new(),
+            fib_dirty: BTreeSet::new(),
+            fib_delta_ready: false,
             telemetry: DaemonTelemetry::default(),
         }
     }
@@ -433,10 +447,32 @@ impl BgpDaemon {
             None => true,
         });
         let mut prefixes: BTreeSet<Prefix> = purged.into_iter().collect();
+        prefixes.extend(self.known_prefixes());
+        self.run_decisions(prefixes.into_iter().collect(), policy)
+    }
+
+    /// Re-run the decision process for `prefixes` only — the scoped
+    /// counterpart of [`BgpDaemon::reevaluate_all`] used by the incremental
+    /// convergence engine when an RPA's destination scope bounds the affected
+    /// prefixes. Unlike `reevaluate_all` this never re-applies ingress
+    /// filters to already-admitted routes, so it must not be used for Route
+    /// Filter changes (those are structural and take the full path).
+    pub fn reevaluate_prefixes(
+        &mut self,
+        prefixes: Vec<Prefix>,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
+        self.run_decisions(prefixes, policy)
+    }
+
+    /// Every prefix the speaker currently knows: held in Adj-RIB-In,
+    /// locally originated, or installed in the Loc-RIB.
+    pub fn known_prefixes(&self) -> Vec<Prefix> {
+        let mut prefixes: BTreeSet<Prefix> = BTreeSet::new();
         prefixes.extend(self.adj_rib_in.prefixes());
         prefixes.extend(self.originated.keys().copied());
         prefixes.extend(self.loc_rib.keys().copied());
-        self.run_decisions(prefixes.into_iter().collect(), policy)
+        prefixes.into_iter().collect()
     }
 
     // ---- inspection ----------------------------------------------------------
@@ -482,31 +518,67 @@ impl BgpDaemon {
     /// Snapshot the FIB: one entry per forwarding-installed prefix.
     pub fn fib(&self) -> Vec<FibEntry> {
         self.loc_rib
-            .iter()
-            .filter_map(|(prefix, entry)| {
-                let mut nexthops: Vec<(PeerId, u32)> = entry
-                    .selected
-                    .iter()
-                    .zip(&entry.weights)
-                    .filter_map(|(r, w)| r.learned_from.map(|p| (p, *w)))
-                    .collect();
-                if nexthops.is_empty() {
-                    // Locally-originated only: nothing to forward upstream.
-                    return None;
-                }
-                nexthops.sort_unstable_by_key(|(p, _)| *p);
-                Some(FibEntry {
-                    prefix: *prefix,
-                    nexthops,
-                    warm: entry.fib_warm_only,
-                })
-            })
+            .keys()
+            .filter_map(|prefix| self.fib_entry_for(*prefix))
             .collect()
+    }
+
+    /// The FIB entry a single prefix projects to, or `None` when the prefix
+    /// has no forwarding next-hops (absent from the Loc-RIB, or
+    /// locally-originated only).
+    fn fib_entry_for(&self, prefix: Prefix) -> Option<FibEntry> {
+        let entry = self.loc_rib.get(&prefix)?;
+        let mut nexthops: Vec<(PeerId, u32)> = entry
+            .selected
+            .iter()
+            .zip(&entry.weights)
+            .filter_map(|(r, w)| r.learned_from.map(|p| (p, *w)))
+            .collect();
+        if nexthops.is_empty() {
+            // Locally-originated only: nothing to forward upstream.
+            return None;
+        }
+        nexthops.sort_unstable_by_key(|(p, _)| *p);
+        Some(FibEntry {
+            prefix,
+            nexthops,
+            warm: entry.fib_warm_only,
+        })
+    }
+
+    /// Whether the host FIB may consume [`BgpDaemon::take_fib_changes`]
+    /// instead of a full [`BgpDaemon::fib`] resync. False until the first
+    /// full sync is acknowledged via [`BgpDaemon::mark_fib_synced`] (and
+    /// again after deserialization, which drops the dirty marks).
+    pub fn fib_delta_ready(&self) -> bool {
+        self.fib_delta_ready
+    }
+
+    /// Drain the per-prefix dirty marks into `(prefix, desired entry)`
+    /// pairs for a delta FIB apply. `None` means "remove the entry". The
+    /// dirty set over-approximates: a returned entry may equal what the FIB
+    /// already holds (the apply is expected to skip no-ops).
+    pub fn take_fib_changes(&mut self) -> Vec<(Prefix, Option<FibEntry>)> {
+        std::mem::take(&mut self.fib_dirty)
+            .into_iter()
+            .map(|p| (p, self.fib_entry_for(p)))
+            .collect()
+    }
+
+    /// Acknowledge a completed full FIB sync: pending dirty marks are moot
+    /// and delta export becomes sound from here on.
+    pub fn mark_fib_synced(&mut self) {
+        self.fib_dirty.clear();
+        self.fib_delta_ready = true;
     }
 
     // ---- decision process ----------------------------------------------------
 
-    fn candidates(&self, prefix: Prefix) -> Vec<Route> {
+    /// Candidate routes for `prefix`: Adj-RIB-In routes on established
+    /// sessions plus any local origination (cloned). Public so hosts can
+    /// evaluate RPA destination scopes against the same candidate set the
+    /// decision process sees.
+    pub fn candidates(&self, prefix: Prefix) -> Vec<Route> {
         let mut out: Vec<Route> = self
             .adj_rib_in
             .routes_for(prefix)
@@ -716,9 +788,12 @@ impl BgpDaemon {
         match new_entry {
             Some(e) => {
                 self.loc_rib.insert(prefix, e);
+                self.fib_dirty.insert(prefix);
             }
             None => {
-                self.loc_rib.remove(&prefix);
+                if self.loc_rib.remove(&prefix).is_some() {
+                    self.fib_dirty.insert(prefix);
+                }
             }
         }
 

@@ -227,12 +227,11 @@ fn chaos_from(args: &Args) -> Result<Option<centralium_simnet::ChaosPlan>, Strin
 fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::FabricIndex), String> {
     let spec = spec_from(args)?;
     let (topo, idx, _) = build_fabric(&spec);
-    let cfg = SimConfig {
-        seed: args.get_u64("seed")?.unwrap_or(1),
-        handshake_sessions: args.has_flag("handshake"),
-        parallel_workers: args.get_u64("workers")?.unwrap_or(1) as usize,
-        ..Default::default()
-    };
+    let cfg = SimConfig::builder()
+        .seed(args.get_u64("seed")?.unwrap_or(1))
+        .handshake_sessions(args.has_flag("handshake"))
+        .workers(args.get_u64("workers")?.unwrap_or(1) as usize)
+        .build();
     let mut net = SimNet::new(topo, cfg);
     if args.get_str("telemetry")?.is_some() {
         // The journal is opt-in; metrics and phase timing are always live.

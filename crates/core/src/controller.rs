@@ -53,6 +53,10 @@ pub enum DeployError {
         /// Number of waves that converged before the halt.
         completed_waves: usize,
     },
+    /// An internal failure outside the deployment state machine — NSDB
+    /// (de)serialization, agent I/O — surfaced through the crate's unified
+    /// [`Error`](crate::Error) type.
+    Internal(crate::Error),
 }
 
 impl std::fmt::Display for DeployError {
@@ -71,6 +75,7 @@ impl std::fmt::Display for DeployError {
             DeployError::Halted { completed_waves } => {
                 write!(f, "controller halted after {completed_waves} waves")
             }
+            DeployError::Internal(e) => write!(f, "internal error: {e}"),
         }
     }
 }
@@ -80,7 +85,12 @@ impl std::error::Error for DeployError {}
 /// Knobs for a single deployment (or removal). [`Controller::deploy_intent`]
 /// uses the defaults; resilience tests and the chaos harness reach for
 /// [`Controller::deploy_intent_with`].
+///
+/// Construct via [`DeployOptions::new`] plus field mutation, or fluently via
+/// [`DeployOptions::builder`]. `#[non_exhaustive]` keeps future knob
+/// additions backwards-compatible for out-of-crate callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct DeployOptions {
     /// Where the affected routes originate (drives the §5.3.2 safe order).
     pub origination_layer: Layer,
@@ -94,10 +104,16 @@ pub struct DeployOptions {
     /// Testing hook: stop — as if the controller process died — once this
     /// many waves have converged, leaving the partial-wave record in NSDB.
     pub halt_after_waves: Option<usize>,
+    /// Delta convergence between reconcile rounds: poll ground truth only
+    /// from the devices the deployment has touched so far, instead of the
+    /// whole fleet. The benchmark's full arm disables this, which also
+    /// forces a whole-fabric re-convergence after every round.
+    pub delta_convergence: bool,
 }
 
 impl DeployOptions {
-    /// Defaults: hold-and-retry with a 10-round wave budget.
+    /// Defaults: hold-and-retry with a 10-round wave budget, delta
+    /// convergence on.
     pub fn new(origination_layer: Layer, strategy: DeploymentStrategy) -> Self {
         DeployOptions {
             origination_layer,
@@ -105,7 +121,53 @@ impl DeployOptions {
             wave_policy: WaveFailurePolicy::HoldAndRetry,
             max_wave_rounds: 10,
             halt_after_waves: None,
+            delta_convergence: true,
         }
+    }
+
+    /// Start a fluent builder seeded with [`DeployOptions::new`]'s defaults.
+    pub fn builder(origination_layer: Layer, strategy: DeploymentStrategy) -> DeployOptionsBuilder {
+        DeployOptionsBuilder {
+            opts: DeployOptions::new(origination_layer, strategy),
+        }
+    }
+}
+
+/// Fluent builder for [`DeployOptions`]; see [`DeployOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct DeployOptionsBuilder {
+    opts: DeployOptions,
+}
+
+impl DeployOptionsBuilder {
+    /// What to do with a wave that exhausts its retry budget.
+    pub fn wave_policy(mut self, policy: WaveFailurePolicy) -> Self {
+        self.opts.wave_policy = policy;
+        self
+    }
+
+    /// Reconcile rounds a wave may take before it counts as failed.
+    pub fn max_wave_rounds(mut self, rounds: u32) -> Self {
+        self.opts.max_wave_rounds = rounds;
+        self
+    }
+
+    /// Simulate a controller crash after this many converged waves.
+    pub fn halt_after_waves(mut self, waves: usize) -> Self {
+        self.opts.halt_after_waves = Some(waves);
+        self
+    }
+
+    /// Delta convergence between reconcile rounds (see
+    /// [`DeployOptions::delta_convergence`]).
+    pub fn delta_convergence(mut self, on: bool) -> Self {
+        self.opts.delta_convergence = on;
+        self
+    }
+
+    /// Finish, yielding the configured [`DeployOptions`].
+    pub fn build(self) -> DeployOptions {
+        self.opts
     }
 }
 
@@ -237,10 +299,14 @@ impl Controller {
         let docs = compile_intent(net.topology(), intent).map_err(DeployError::Compile)?;
         let generation_time = started.elapsed();
         plan_span.finish(net.now());
-        self.nsdb.publish(
-            Path::parse(&format!("/intents/{}", intent.kind())),
-            serde_json::to_value(intent).expect("intents serialize"),
-        );
+        let intent_path = format!("/intents/{}", intent.kind());
+        let intent_value = serde_json::to_value(intent).map_err(|e| {
+            DeployError::Internal(crate::Error::NsdbEncode {
+                record: intent_path.clone(),
+                source: e,
+            })
+        })?;
+        self.nsdb.publish(Path::parse(&intent_path), intent_value);
         let phases = deployment_phases(net.topology(), docs, opts.origination_layer, opts.strategy);
         let state = DeployState {
             intent: intent.clone(),
@@ -252,7 +318,8 @@ impl Controller {
             total_waves: phases.len(),
             next_wave: 0,
         };
-        self.publish_deploy_state(&state);
+        self.publish_deploy_state(&state)
+            .map_err(DeployError::Internal)?;
         let (phase_reports, issued_ops) = self.run_phases(net, phases, true, opts, post, state)?;
         let health_span = tel.phases().span("health", net.now());
         let post_health = run_health_check(net, post);
@@ -280,13 +347,20 @@ impl Controller {
         let Some(value) = self.nsdb.get(&Path::parse(DEPLOY_STATE_PATH)) else {
             return Ok(None);
         };
-        let state: DeployState = serde_json::from_value(value).expect("deploy state deserializes");
+        let state: DeployState = serde_json::from_value(value).map_err(|e| {
+            DeployError::Internal(crate::Error::NsdbDecode {
+                record: DEPLOY_STATE_PATH.to_string(),
+                source: e,
+            })
+        })?;
         let tel = net.telemetry().clone();
         // Ground truth first; then intended state from the durable records
         // (exactly the waves published before the crash), so continuous
         // reconciliation also repairs any straggler from the interrupted
         // wave.
-        self.agent.poll_current(net);
+        self.agent
+            .poll_current(net)
+            .map_err(DeployError::Internal)?;
         for (path, value) in self.nsdb.get_matching(&Path::parse("/devices/*/rpa/*")) {
             self.agent.service.store.set(View::Intended, path, value);
         }
@@ -316,6 +390,7 @@ impl Controller {
             wave_policy: state.wave_policy,
             max_wave_rounds: state.max_wave_rounds,
             halt_after_waves: None,
+            delta_convergence: true,
         };
         let install = state.install;
         let (phase_reports, issued_ops) =
@@ -358,7 +433,8 @@ impl Controller {
             total_waves: phases.len(),
             next_wave: 0,
         };
-        self.publish_deploy_state(&state);
+        self.publish_deploy_state(&state)
+            .map_err(DeployError::Internal)?;
         let (phase_reports, issued_ops) =
             self.run_phases(net, phases, false, &opts, post, state)?;
         // Only drop the durable record once the fleet no longer runs the
@@ -376,11 +452,13 @@ impl Controller {
         })
     }
 
-    fn publish_deploy_state(&mut self, state: &DeployState) {
-        self.nsdb.publish(
-            Path::parse(DEPLOY_STATE_PATH),
-            serde_json::to_value(state).expect("deploy state serializes"),
-        );
+    fn publish_deploy_state(&mut self, state: &DeployState) -> Result<(), crate::Error> {
+        let value = serde_json::to_value(state).map_err(|e| crate::Error::NsdbEncode {
+            record: DEPLOY_STATE_PATH.to_string(),
+            source: e,
+        })?;
+        self.nsdb.publish(Path::parse(DEPLOY_STATE_PATH), value);
+        Ok(())
     }
 
     fn run_phases(
@@ -396,6 +474,15 @@ impl Controller {
         let mut reports = Vec::with_capacity(phases.len());
         let mut all_ops = Vec::new();
         let start_wave = state.next_wave.min(phases.len());
+        // Delta convergence polls ground truth only from devices the
+        // deployment has touched so far (cumulative across waves, so a
+        // straggler from an earlier wave is still observed); the full mode
+        // polls the fleet and forces a whole-fabric re-convergence per
+        // round — the baseline `bench_incremental` measures against.
+        let mut polled_devices: Vec<DeviceId> = phases[..start_wave]
+            .iter()
+            .flat_map(|p| p.installs.iter().map(|(d, _)| *d))
+            .collect();
         for i in start_wave..phases.len() {
             if opts.halt_after_waves.is_some_and(|n| i >= n) {
                 // Simulated controller crash: the durable record still says
@@ -410,16 +497,23 @@ impl Controller {
             };
             let wave_span = tel.phases().span(wave_label, issued_at);
             let devices: Vec<DeviceId> = phase.installs.iter().map(|(d, _)| *d).collect();
+            polled_devices.extend(devices.iter().copied());
             for (dev, doc) in &phase.installs {
-                let nsdb_path = Path::parse(&format!("/devices/d{}/rpa/{}", dev.0, doc.name()));
+                let path_str = format!("/devices/d{}/rpa/{}", dev.0, doc.name());
+                let nsdb_path = Path::parse(&path_str);
                 if install {
-                    self.agent.set_intended(*dev, doc);
+                    self.agent
+                        .set_intended(*dev, doc)
+                        .map_err(DeployError::Internal)?;
                     // Durability: per-device desired state fans out to every
                     // NSDB replica (§5.2's write path).
-                    self.nsdb.publish(
-                        nsdb_path,
-                        serde_json::to_value(doc).expect("documents serialize"),
-                    );
+                    let value = serde_json::to_value(doc).map_err(|e| {
+                        DeployError::Internal(crate::Error::NsdbEncode {
+                            record: path_str,
+                            source: e,
+                        })
+                    })?;
+                    self.nsdb.publish(nsdb_path, value);
                 } else {
                     self.agent.clear_intended(*dev, doc.name());
                     self.nsdb.delete(&nsdb_path);
@@ -434,13 +528,22 @@ impl Controller {
             let mut wave_ok = false;
             let mut idle_rounds = 0u32;
             for _round in 0..opts.max_wave_rounds.max(1) {
-                let ops = self.agent.reconcile(net);
+                let ops = self.agent.reconcile(net).map_err(DeployError::Internal)?;
                 let issued_any = !ops.is_empty();
                 all_ops.extend(ops.iter().copied());
                 if !net.run_until_quiescent().converged {
                     return Err(DeployError::PhaseStuck { phase: i });
                 }
-                self.agent.poll_current(net);
+                if opts.delta_convergence {
+                    self.agent
+                        .poll_devices(net, &polled_devices)
+                        .map_err(DeployError::Internal)?;
+                } else {
+                    net.force_full_reconvergence();
+                    self.agent
+                        .poll_current(net)
+                        .map_err(DeployError::Internal)?;
+                }
                 let wave_diverged = self.agent.service.store.out_of_sync().iter().any(|p| {
                     devices
                         .iter()
@@ -493,7 +596,8 @@ impl Controller {
                 converged_at,
             });
             state.next_wave = i + 1;
-            self.publish_deploy_state(&state);
+            self.publish_deploy_state(&state)
+                .map_err(DeployError::Internal)?;
         }
         self.nsdb.delete(&Path::parse(DEPLOY_STATE_PATH));
         Ok((reports, all_ops))
@@ -548,10 +652,16 @@ impl Controller {
             }
             let mut idle_rounds = 0u32;
             for _round in 0..opts.max_wave_rounds.max(1) {
-                let ops = self.agent.reconcile(net);
+                // Best effort: a typed agent failure mid-rollback leaves the
+                // rest to continuous reconciliation.
+                let Ok(ops) = self.agent.reconcile(net) else {
+                    break;
+                };
                 let issued_any = !ops.is_empty();
                 let _ = net.run_until_quiescent();
-                self.agent.poll_current(net);
+                if self.agent.poll_current(net).is_err() {
+                    break;
+                }
                 if self.agent.service.store.out_of_sync().is_empty() {
                     break;
                 }

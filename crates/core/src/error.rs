@@ -1,0 +1,113 @@
+//! The unified error type of the controller stack.
+//!
+//! Before this type existed the crate reported failures through a mix of
+//! `expect` panics (NSDB serialization), silently skipped records
+//! (reconciliation) and ad-hoc strings. [`Error`] replaces those paths with
+//! one typed surface the facade crate re-exports; the deployment pipeline's
+//! domain outcomes stay on [`DeployError`](crate::DeployError), which wraps
+//! internal failures as `DeployError::Internal(Error)`.
+
+use centralium_rpa::RpaError;
+use centralium_topology::DeviceId;
+use std::fmt;
+
+/// Unified error for NSDB persistence, the RPA layer and the switch agent.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A record failed to serialize for NSDB persistence.
+    NsdbEncode {
+        /// The record (usually an NSDB path) being written.
+        record: String,
+        /// The underlying serialization error.
+        source: serde_json::Error,
+    },
+    /// A durable NSDB record failed to deserialize — corrupt or written by
+    /// an incompatible version.
+    NsdbDecode {
+        /// The record (usually an NSDB path) being read.
+        record: String,
+        /// The underlying deserialization error.
+        source: serde_json::Error,
+    },
+    /// The RPA layer rejected a document.
+    Rpa(RpaError),
+    /// The switch agent cannot reach a device over the management plane.
+    Unreachable {
+        /// The unreachable device.
+        device: DeviceId,
+    },
+    /// The RPC retry budget toward a device is exhausted.
+    RetryExhausted {
+        /// The device the RPCs targeted.
+        device: DeviceId,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NsdbEncode { record, source } => {
+                write!(f, "failed to serialize NSDB record {record}: {source}")
+            }
+            Error::NsdbDecode { record, source } => {
+                write!(f, "failed to deserialize NSDB record {record}: {source}")
+            }
+            Error::Rpa(e) => write!(f, "RPA error: {e}"),
+            Error::Unreachable { device } => {
+                write!(
+                    f,
+                    "device d{} unreachable over the management plane",
+                    device.0
+                )
+            }
+            Error::RetryExhausted { device, attempts } => {
+                write!(
+                    f,
+                    "RPC retry budget toward d{} exhausted after {attempts} attempts",
+                    device.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::NsdbEncode { source, .. } | Error::NsdbDecode { source, .. } => Some(source),
+            Error::Rpa(e) => Some(e),
+            Error::Unreachable { .. } | Error::RetryExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<RpaError> for Error {
+    fn from(e: RpaError) -> Self {
+        Error::Rpa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_record() {
+        let e = Error::NsdbDecode {
+            record: "/deploy/state".into(),
+            source: serde_json::from_value::<u64>(serde_json::Value::Null).unwrap_err(),
+        };
+        assert!(e.to_string().contains("/deploy/state"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn rpa_errors_convert() {
+        let e: Error = RpaError::DuplicateName("x".into()).into();
+        assert!(matches!(e, Error::Rpa(_)));
+        assert!(e.to_string().contains("already installed"));
+    }
+}

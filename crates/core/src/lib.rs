@@ -25,6 +25,7 @@
 pub mod apps;
 pub mod compile;
 pub mod controller;
+pub mod error;
 pub mod health;
 pub mod intent;
 pub mod planner;
@@ -35,7 +36,10 @@ pub mod sequencer;
 pub mod switch_agent;
 
 pub use compile::{compile_intent, CompileError};
-pub use controller::{Controller, DeployError, DeployOptions, DeploymentReport};
+pub use controller::{
+    Controller, DeployError, DeployOptions, DeployOptionsBuilder, DeploymentReport,
+};
+pub use error::Error;
 pub use health::{HealthCheck, HealthReport};
 pub use intent::{RoutingIntent, TargetSet};
 pub use planner::{plan_all_categories, MigrationPlanComparison};

@@ -76,13 +76,7 @@ pub fn emulate_and_verify(intent: &RoutingIntent, origination_layer: Layer) -> V
         );
     }
     let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-    let mut net = SimNet::new(
-        topo,
-        SimConfig {
-            seed: 0xEB0,
-            ..Default::default()
-        },
-    );
+    let mut net = SimNet::new(topo, SimConfig::builder().seed(0xEB0).build());
     net.establish_all();
     for &eb in &idx.backbone {
         net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);

@@ -51,8 +51,11 @@ impl ReconcileLoop {
     pub fn round(&mut self, agent: &mut SwitchAgent, net: &mut SimNet) -> RoundReport {
         let started = Instant::now();
         self.rounds += 1;
-        agent.poll_current(net);
-        let ops = agent.reconcile(net);
+        // Best effort: a failed poll or reconcile (corrupt record) leaves
+        // the affected paths diverged, so they age into stragglers and get
+        // surfaced instead of wedging the loop.
+        let _ = agent.poll_current(net);
+        let ops = agent.reconcile(net).unwrap_or_default();
         let diverged: Vec<Path> = agent.service.store.out_of_sync();
         // Age paths still diverged; forget the ones that converged.
         self.out_of_sync_age.retain(|p, _| diverged.contains(p));
@@ -127,7 +130,7 @@ mod tests {
         let mgmt = ManagementPlane::compute(net.topology(), idx.rsw[0][0]);
         let mut agent = SwitchAgent::new(mgmt);
         let mut rloop = ReconcileLoop::new();
-        agent.set_intended(idx.ssw[0][0], &doc("equalize"));
+        agent.set_intended(idx.ssw[0][0], &doc("equalize")).unwrap();
         let r1 = rloop.round(&mut agent, &mut net);
         assert_eq!(r1.ops_issued, 1);
         net.run_until_quiescent().expect_converged();
@@ -150,7 +153,7 @@ mod tests {
         let mgmt = ManagementPlane::compute(net.topology(), idx.rsw[0][0]);
         assert!(!mgmt.reachable(target));
         let mut agent = SwitchAgent::new(mgmt);
-        agent.set_intended(target, &doc("equalize"));
+        agent.set_intended(target, &doc("equalize")).unwrap();
         let mut rloop = ReconcileLoop::new();
         let mut last = RoundReport::default();
         for _ in 0..ReconcileLoop::STRAGGLER_ROUNDS {

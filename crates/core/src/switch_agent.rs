@@ -10,6 +10,7 @@
 //! install/remove RPCs into the emulator, with latency taken from the
 //! management plane's SPF distance to each device.
 
+use crate::error::Error;
 use crate::retry::{CircuitBreaker, RetryPolicy};
 use centralium_nsdb::store::View;
 use centralium_nsdb::{Path, ServiceTemplate};
@@ -143,10 +144,14 @@ impl SwitchAgent {
     }
 
     /// Record that `device` should run `doc` (writes intended state).
-    pub fn set_intended(&mut self, device: DeviceId, doc: &RpaDocument) {
+    pub fn set_intended(&mut self, device: DeviceId, doc: &RpaDocument) -> Result<(), Error> {
         let path = Self::rpa_path(device, doc.name());
-        let value = serde_json::to_value(doc).expect("RPA documents serialize");
+        let value = serde_json::to_value(doc).map_err(|e| Error::NsdbEncode {
+            record: path.to_string(),
+            source: e,
+        })?;
         self.service.store.set(View::Intended, path, value);
+        Ok(())
     }
 
     /// Record that `device` should no longer run the named RPA.
@@ -155,23 +160,34 @@ impl SwitchAgent {
         self.service.store.delete(View::Intended, &path);
     }
 
-    /// Poll every device's engine into the current-state view. This is the
-    /// ground-truth collection flow; it also covers re-provisioned or newly
-    /// commissioned switches (§5 function 5).
-    pub fn poll_current(&mut self, net: &SimNet) {
+    /// Serialize the RPA documents installed on the given devices into
+    /// `(path, value)` observations.
+    fn observe_devices(net: &SimNet, devices: &[DeviceId]) -> Result<Vec<(Path, Value)>, Error> {
         let mut observed: Vec<(Path, Value)> = Vec::new();
-        for dev in net.device_ids() {
+        for &dev in devices {
             let Some(device) = net.device(dev) else {
                 continue;
             };
             for name in device.engine.installed() {
-                let doc = device.engine.document(name).expect("installed doc");
-                observed.push((
-                    Self::rpa_path(dev, name),
-                    serde_json::to_value(doc).expect("serialize"),
-                ));
+                let Some(doc) = device.engine.document(name) else {
+                    continue;
+                };
+                let path = Self::rpa_path(dev, name);
+                let value = serde_json::to_value(doc).map_err(|e| Error::NsdbEncode {
+                    record: path.to_string(),
+                    source: e,
+                })?;
+                observed.push((path, value));
             }
         }
+        Ok(observed)
+    }
+
+    /// Poll every device's engine into the current-state view. This is the
+    /// ground-truth collection flow; it also covers re-provisioned or newly
+    /// commissioned switches (§5 function 5).
+    pub fn poll_current(&mut self, net: &SimNet) -> Result<(), Error> {
+        let observed = Self::observe_devices(net, &net.device_ids())?;
         // Replace the devices subtree of current state with observations.
         let stale: Vec<Path> = self
             .service
@@ -195,6 +211,39 @@ impl SwitchAgent {
         // may sync and re-diverge (new intent) before the next reconcile,
         // and a stale deadline must not suppress the new divergence's RPC.
         self.settle_attempts();
+        Ok(())
+    }
+
+    /// Poll ground truth from the given devices only, replacing just their
+    /// `/devices/d<id>` current-state subtrees — the scoped collection the
+    /// delta-convergence deployment path uses between reconcile rounds
+    /// ([`DeployOptions::delta_convergence`](crate::DeployOptions)). State
+    /// observed from other devices is left untouched.
+    pub fn poll_devices(&mut self, net: &SimNet, devices: &[DeviceId]) -> Result<(), Error> {
+        let observed = Self::observe_devices(net, devices)?;
+        for &dev in devices {
+            let subtree = Path::parse(&format!("/devices/d{}", dev.0));
+            let stale: Vec<Path> = self
+                .service
+                .store
+                .view(View::Current)
+                .subtree(&subtree)
+                .into_iter()
+                .map(|(p, _)| p.clone())
+                .collect();
+            for p in stale {
+                if !observed.iter().any(|(op, _)| *op == p) {
+                    self.service.store.delete(View::Current, &p);
+                }
+            }
+        }
+        let n = observed.len() as u64;
+        for (p, v) in observed {
+            self.service.store.set(View::Current, p, v);
+        }
+        self.service.record_rpc(n.max(1));
+        self.settle_attempts();
+        Ok(())
     }
 
     /// Drop in-flight state (and reset breakers) for paths that synced:
@@ -220,7 +269,8 @@ impl SwitchAgent {
 
     /// One reconciliation round: issue install/remove operations for every
     /// out-of-sync path. Returns the issued operations (empty = in sync or
-    /// everything held back by deadlines/breakers).
+    /// everything held back by deadlines/breakers); a corrupt intended-state
+    /// record surfaces as [`Error::NsdbDecode`] instead of being skipped.
     ///
     /// Failure semantics: every issued RPC carries a deadline from the
     /// [`RetryPolicy`]; a path still diverged past its deadline counts as a
@@ -229,7 +279,7 @@ impl SwitchAgent {
     /// [`CircuitBreaker`] (journal: [`EventKind::CircuitOpen`]) so a wedged
     /// agent fails fast until its cooldown. Unreachable devices are skipped
     /// and retried next round — the eventual-consistency guarantee.
-    pub fn reconcile(&mut self, net: &mut SimNet) -> Vec<IssuedOp> {
+    pub fn reconcile(&mut self, net: &mut SimNet) -> Result<Vec<IssuedOp>, Error> {
         let now = net.now();
         let tel = net.telemetry().clone();
         let mut issued = Vec::new();
@@ -290,10 +340,11 @@ impl SwitchAgent {
                 let intended = self.service.store.view(View::Intended).get(path).cloned();
                 let install = match intended {
                     Some(value) => {
-                        let doc: RpaDocument = match serde_json::from_value(value) {
-                            Ok(d) => d,
-                            Err(_) => continue,
-                        };
+                        let doc: RpaDocument =
+                            serde_json::from_value(value).map_err(|e| Error::NsdbDecode {
+                                record: path.to_string(),
+                                source: e,
+                            })?;
                         net.deploy_rpa(device, doc, latency);
                         true
                     }
@@ -330,7 +381,7 @@ impl SwitchAgent {
             }
         }
         self.service.record_reconcile(diverged.len() as u64 + 1);
-        issued
+        Ok(issued)
     }
 
     /// Fraction of intended device paths not yet reflected in current state
@@ -384,9 +435,9 @@ mod tests {
     fn reconcile_installs_intended_rpas() {
         let (mut net, mut agent, idx) = setup();
         let target = idx.ssw[0][0];
-        agent.set_intended(target, &doc("equalize"));
+        agent.set_intended(target, &doc("equalize")).unwrap();
         assert!(agent.out_of_sync_fraction() > 0.0);
-        let ops = agent.reconcile(&mut net);
+        let ops = agent.reconcile(&mut net).unwrap();
         assert_eq!(ops.len(), 1);
         assert!(ops[0].install);
         assert!(ops[0].latency_us > 0);
@@ -395,28 +446,28 @@ mod tests {
             net.device(target).unwrap().engine.installed(),
             vec!["equalize"]
         );
-        agent.poll_current(&net);
+        agent.poll_current(&net).unwrap();
         assert_eq!(agent.out_of_sync_fraction(), 0.0);
         // Second round: nothing to do.
-        assert!(agent.reconcile(&mut net).is_empty());
+        assert!(agent.reconcile(&mut net).unwrap().is_empty());
     }
 
     #[test]
     fn reconcile_removes_unintended_rpas() {
         let (mut net, mut agent, idx) = setup();
         let target = idx.ssw[0][0];
-        agent.set_intended(target, &doc("equalize"));
-        agent.reconcile(&mut net);
+        agent.set_intended(target, &doc("equalize")).unwrap();
+        agent.reconcile(&mut net).unwrap();
         net.run_until_quiescent().expect_converged();
-        agent.poll_current(&net);
+        agent.poll_current(&net).unwrap();
         // Operator withdraws the intent.
         agent.clear_intended(target, "equalize");
-        let ops = agent.reconcile(&mut net);
+        let ops = agent.reconcile(&mut net).unwrap();
         assert_eq!(ops.len(), 1);
         assert!(!ops[0].install);
         net.run_until_quiescent().expect_converged();
         assert!(net.device(target).unwrap().engine.installed().is_empty());
-        agent.poll_current(&net);
+        agent.poll_current(&net).unwrap();
         assert!(agent.service.store.out_of_sync().is_empty());
     }
 
@@ -424,19 +475,19 @@ mod tests {
     fn poll_detects_straggler_after_recommission() {
         let (mut net, mut agent, idx) = setup();
         let target = idx.ssw[0][0];
-        agent.set_intended(target, &doc("equalize"));
-        agent.reconcile(&mut net);
+        agent.set_intended(target, &doc("equalize")).unwrap();
+        agent.reconcile(&mut net).unwrap();
         net.run_until_quiescent().expect_converged();
-        agent.poll_current(&net);
+        agent.poll_current(&net).unwrap();
         // The switch is re-provisioned: its engine loses all RPAs.
         net.device_mut(target)
             .unwrap()
             .engine
             .remove("equalize")
             .unwrap();
-        agent.poll_current(&net);
+        agent.poll_current(&net).unwrap();
         // Continuous reconciliation catches the straggler and re-installs.
-        let ops = agent.reconcile(&mut net);
+        let ops = agent.reconcile(&mut net).unwrap();
         assert_eq!(ops.len(), 1, "straggler re-pushed");
         net.run_until_quiescent().expect_converged();
         assert_eq!(
@@ -462,23 +513,23 @@ mod tests {
             max_backoff_us: 40_000,
             jitter_seed: 7,
         });
-        agent.set_intended(target, &doc("equalize"));
-        let ops = agent.reconcile(&mut net);
+        agent.set_intended(target, &doc("equalize")).unwrap();
+        let ops = agent.reconcile(&mut net).unwrap();
         assert_eq!(ops.len(), 1);
         net.run_until_quiescent().expect_converged();
-        agent.poll_current(&net);
+        agent.poll_current(&net).unwrap();
         // RPC was dropped: still out of sync, attempt recorded.
         assert_eq!(agent.rpc_attempts(target, "equalize"), 1);
         // Within the deadline nothing is re-issued.
-        assert!(agent.reconcile(&mut net).is_empty());
+        assert!(agent.reconcile(&mut net).unwrap().is_empty());
         // Heal the network and advance past the deadline: the retry fires.
         net.set_chaos(ChaosPlan::new(7));
         let due = agent.next_retry_due(net.now()).expect("deadline pending");
         net.run_until(due);
-        let ops = agent.reconcile(&mut net);
+        let ops = agent.reconcile(&mut net).unwrap();
         assert_eq!(ops.len(), 1, "retry issued");
         net.run_until_quiescent().expect_converged();
-        agent.poll_current(&net);
+        agent.poll_current(&net).unwrap();
         assert_eq!(
             net.device(target).unwrap().engine.installed(),
             vec!["equalize"]
@@ -506,14 +557,14 @@ mod tests {
             jitter_seed: 1,
         });
         agent.set_breaker(CircuitBreaker::new(3, 1_000_000));
-        agent.set_intended(target, &doc("equalize"));
+        agent.set_intended(target, &doc("equalize")).unwrap();
         // Drive rounds until the breaker opens. (Degradation must be
         // checked before advancing time: next_retry_due points at the
         // cooldown's end once the circuit is open.)
         for _ in 0..8 {
-            agent.reconcile(&mut net);
+            agent.reconcile(&mut net).unwrap();
             net.run_until_quiescent();
-            agent.poll_current(&net);
+            agent.poll_current(&net).unwrap();
             if !agent.degraded_devices(net.now()).is_empty() {
                 break;
             }
@@ -532,16 +583,16 @@ mod tests {
             .iter()
             .any(|e| e.kind == centralium_telemetry::EventKind::CircuitOpen));
         // While open, reconcile fails fast: no RPCs toward the device.
-        assert!(agent.reconcile(&mut net).is_empty());
+        assert!(agent.reconcile(&mut net).unwrap().is_empty());
         // After the cooldown the half-open probe flows again — and with the
         // chaos healed it succeeds and closes the circuit.
         net.set_chaos(ChaosPlan::new(7));
         let due = agent.next_retry_due(net.now()).expect("cooldown pending");
         net.run_until(due);
-        let ops = agent.reconcile(&mut net);
+        let ops = agent.reconcile(&mut net).unwrap();
         assert_eq!(ops.len(), 1, "half-open probe");
         net.run_until_quiescent().expect_converged();
-        agent.poll_current(&net);
+        agent.poll_current(&net).unwrap();
         assert!(agent.degraded_devices(net.now()).is_empty());
         assert_eq!(
             net.device(target).unwrap().engine.installed(),
@@ -552,9 +603,9 @@ mod tests {
     #[test]
     fn rpc_latency_reflects_mgmt_distance() {
         let (mut net, mut agent, idx) = setup();
-        agent.set_intended(idx.fsw[0][0], &doc("near"));
-        agent.set_intended(idx.fauu[0][0], &doc("far"));
-        let ops = agent.reconcile(&mut net);
+        agent.set_intended(idx.fsw[0][0], &doc("near")).unwrap();
+        agent.set_intended(idx.fauu[0][0], &doc("far")).unwrap();
+        let ops = agent.reconcile(&mut net).unwrap();
         let near = ops.iter().find(|o| o.device == idx.fsw[0][0]).unwrap();
         let far = ops.iter().find(|o| o.device == idx.fauu[0][0]).unwrap();
         assert!(

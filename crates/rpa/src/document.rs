@@ -3,6 +3,7 @@
 use crate::path_selection::PathSelectionRpa;
 use crate::route_attribute::RouteAttributeRpa;
 use crate::route_filter::RouteFilterRpa;
+use crate::signature::Destination;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -33,6 +34,37 @@ impl RpaDocument {
         serde_json::to_string_pretty(self)
             .map(|s| s.lines().count())
             .unwrap_or(0)
+    }
+
+    /// The destination scopes this document's statements govern, or `None`
+    /// when the document's effect is not destination-bounded (Route Filters
+    /// constrain *sessions*, so a change to one can affect any prefix).
+    /// Drives the incremental convergence engine's dirty-prefix computation:
+    /// a `Some` scope means only prefixes some returned destination
+    /// [`Destination::applies`] to can change decision outcome.
+    pub fn destinations(&self) -> Option<Vec<&Destination>> {
+        match self {
+            RpaDocument::PathSelection(d) => {
+                Some(d.statements.iter().map(|s| &s.destination).collect())
+            }
+            RpaDocument::RouteAttribute(d) => {
+                Some(d.statements.iter().map(|s| &s.destination).collect())
+            }
+            RpaDocument::RouteFilter(_) => None,
+        }
+    }
+
+    /// Whether any statement's outcome depends on the engine clock (Route
+    /// Attribute expiry). An expiry deadline may pass between two events, so
+    /// time-dependent documents must join every dirty scope: the triggering
+    /// change need not name them for their decision outcome to flip.
+    pub fn time_dependent(&self) -> bool {
+        match self {
+            RpaDocument::RouteAttribute(d) => {
+                d.statements.iter().any(|s| s.expiration_time.is_some())
+            }
+            _ => false,
+        }
     }
 }
 

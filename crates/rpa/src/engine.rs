@@ -64,6 +64,10 @@ enum CompiledDoc {
 struct Installed {
     source: RpaDocument,
     compiled: CompiledDoc,
+    /// Half-open range of signature ids allocated to this document's
+    /// compiled signatures. Ids are never reused, so on remove/replace the
+    /// memo entries to invalidate are exactly the keys in this range.
+    sig_range: (u32, u32),
 }
 
 /// Telemetry binding of one engine: disabled (and free) by default,
@@ -91,8 +95,8 @@ const EVAL_US_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 50
 #[derive(Debug)]
 pub struct RpaEngine {
     docs: Vec<Installed>,
-    /// Bumped on every install/remove; part of the cache key domain (the
-    /// cache is cleared too, but the version also invalidates the memo).
+    /// Bumped on every install/remove (observability; the memo itself is
+    /// invalidated per document via its signature-id range).
     version: u64,
     /// Remote ASN per session, for `PeerSignature::AsnRange`.
     peer_asn: HashMap<PeerId, Asn>,
@@ -237,6 +241,7 @@ impl RpaEngine {
         if self.docs.iter().any(|d| d.source.name() == doc.name()) {
             return Err(RpaError::DuplicateName(doc.name().to_string()));
         }
+        let sig_start = self.next_sig_id;
         let compiled = match &doc {
             RpaDocument::PathSelection(ps) => CompiledDoc::PathSelection(self.compile_ps(ps)?),
             RpaDocument::RouteAttribute(ra) => CompiledDoc::RouteAttribute(self.compile_ra(ra)?),
@@ -246,8 +251,11 @@ impl RpaEngine {
         self.docs.push(Installed {
             source: doc,
             compiled,
+            sig_range: (sig_start, self.next_sig_id),
         });
-        self.bump();
+        // A fresh install needs no memo invalidation: its signature ids were
+        // never seen, so no cached verdict can be stale.
+        self.version += 1;
         Ok(())
     }
 
@@ -255,26 +263,32 @@ impl RpaEngine {
     /// name (the Switch Agent's reconcile semantics: desired state wins).
     /// The replacement keeps the original's position in priority order.
     pub fn install_or_replace(&mut self, doc: RpaDocument) -> Result<(), RpaError> {
+        let sig_start = self.next_sig_id;
         let compiled = match &doc {
             RpaDocument::PathSelection(ps) => CompiledDoc::PathSelection(self.compile_ps(ps)?),
             RpaDocument::RouteAttribute(ra) => CompiledDoc::RouteAttribute(self.compile_ra(ra)?),
             RpaDocument::RouteFilter(rf) => CompiledDoc::RouteFilter(rf.clone()),
         };
+        let sig_range = (sig_start, self.next_sig_id);
         let replacing = self.docs.iter().any(|d| d.source.name() == doc.name());
         self.note_doc_change(if replacing { "replace" } else { "install" }, doc.name());
         match self.docs.iter_mut().find(|d| d.source.name() == doc.name()) {
             Some(slot) => {
+                let retired = slot.sig_range;
                 *slot = Installed {
                     source: doc,
                     compiled,
-                }
+                    sig_range,
+                };
+                self.retire_signatures(retired);
             }
             None => self.docs.push(Installed {
                 source: doc,
                 compiled,
+                sig_range,
             }),
         }
-        self.bump();
+        self.version += 1;
         Ok(())
     }
 
@@ -287,7 +301,8 @@ impl RpaEngine {
             .ok_or_else(|| RpaError::UnknownName(name.to_string()))?;
         let removed = self.docs.remove(idx);
         self.note_doc_change("remove", name);
-        self.bump();
+        self.retire_signatures(removed.sig_range);
+        self.version += 1;
         Ok(removed.source)
     }
 
@@ -311,10 +326,23 @@ impl RpaEngine {
         None
     }
 
-    fn bump(&mut self) {
-        self.version += 1;
-        self.cache.lock().clear();
-        self.native_guard_memo.lock().clear();
+    /// Retire a dead document's compiled signatures: drop exactly its
+    /// memoized verdicts (signature ids are never reused, so every other
+    /// entry stays warm), and clear the per-prefix native-guard memo when
+    /// no documents remain — `select_paths`' empty-docs fast path skips the
+    /// walk that would otherwise settle stale guards per prefix. While
+    /// documents remain, the memo needs no sweeping: the daemon always runs
+    /// `select_paths` (which settles the guard for the prefix) before
+    /// `native_min_nexthop` within one decision.
+    fn retire_signatures(&mut self, range: (u32, u32)) {
+        if range.1 > range.0 {
+            self.cache
+                .lock()
+                .retain(|(sig_id, _, _), _| *sig_id < range.0 || *sig_id >= range.1);
+        }
+        if self.docs.is_empty() {
+            self.native_guard_memo.lock().clear();
+        }
     }
 
     fn compile_ps(&mut self, ps: &PathSelectionRpa) -> Result<Vec<CompiledPsStatement>, RpaError> {
@@ -482,10 +510,10 @@ enum PsOutcome {
 
 impl RibPolicy for RpaEngine {
     fn select_paths(&self, prefix: Prefix, candidates: &[Route]) -> Option<Selection> {
-        // No documents ⇒ nothing to evaluate and (since `bump` clears the
-        // memo on every install/remove) no stale guard to clear: skip the
-        // walk and any timing entirely. This keeps the un-instrumented,
-        // un-configured hot path free.
+        // No documents ⇒ nothing to evaluate and (since `retire_signatures`
+        // clears the memo when the last document goes) no stale guard to
+        // clear: skip the walk and any timing entirely. This keeps the
+        // un-instrumented, un-configured hot path free.
         if self.docs.is_empty() {
             return None;
         }
@@ -921,12 +949,14 @@ mod tests {
     }
 
     #[test]
-    fn install_invalidates_cache() {
+    fn invalidation_is_per_document() {
         let mut e = RpaEngine::new();
         e.install(equalize_doc()).unwrap();
         let c = well_known::BACKBONE_DEFAULT_ROUTE;
         let candidates = vec![route(1, &[101, 60000], &[c])];
         e.select_paths(Prefix::DEFAULT, &candidates);
+        // Installing an unrelated document must NOT cold-start the survivor:
+        // its signature ids are untouched, so its verdicts stay memoized.
         e.install(RpaDocument::RouteFilter(RouteFilterRpa {
             name: "other".into(),
             statements: vec![],
@@ -934,7 +964,20 @@ mod tests {
         .unwrap();
         e.reset_stats();
         e.select_paths(Prefix::DEFAULT, &candidates);
-        assert!(e.stats().cache_misses > 0, "cache cleared on install");
+        let warm = e.stats();
+        assert_eq!(warm.cache_misses, 0, "unrelated install kept the cache");
+        assert!(warm.cache_hits > 0);
+        // Removing and reinstalling the document allocates fresh signature
+        // ids, so the first evaluation re-misses: the dead document's
+        // verdicts really were dropped, not resurrected.
+        e.remove("equalize").unwrap();
+        e.install(equalize_doc()).unwrap();
+        e.reset_stats();
+        e.select_paths(Prefix::DEFAULT, &candidates);
+        assert!(
+            e.stats().cache_misses > 0,
+            "reinstalled document starts cold"
+        );
     }
 
     #[test]

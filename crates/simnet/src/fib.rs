@@ -85,6 +85,71 @@ impl Fib {
         }
     }
 
+    /// Apply a per-prefix delta instead of a full rebuild — the incremental
+    /// counterpart of [`Fib::sync`]. `None` removes the entry. Group
+    /// refcounts, creations, the high-water mark and overflow accounting
+    /// follow `sync`'s batch semantics exactly: a group counts as *created*
+    /// only if it was absent before the whole batch, and overflow is checked
+    /// once per batch. No-op changes (new entry equal to the installed one)
+    /// are skipped entirely, and an all-no-op batch performs no accounting —
+    /// callers must not rely on `apply` bumping stats the way a redundant
+    /// `sync` would.
+    ///
+    /// Not valid with [`Fib::dedup_heuristic`] (its reuse choice depends on
+    /// the whole-table rebuild order); callers fall back to `sync` there.
+    pub fn apply(&mut self, changes: Vec<(Prefix, Option<FibEntry>)>) {
+        debug_assert!(
+            !self.dedup_heuristic,
+            "delta apply bypasses the dedup heuristic"
+        );
+        let real: Vec<(Prefix, Option<FibEntry>)> = changes
+            .into_iter()
+            .filter(|(prefix, new)| self.entries.get(prefix) != new.as_ref())
+            .collect();
+        if real.is_empty() {
+            return;
+        }
+        // Phase 1: release the old groups, keeping zero-refcount groups in
+        // the map so phase 2's creation counting still sees "present before
+        // the batch" (mirroring sync's old-map membership test).
+        for (prefix, _) in &real {
+            if let Some(old) = self.entries.get(prefix) {
+                let mut group: NextHopGroup = old.nexthops.clone();
+                group.sort_unstable_by_key(|(p, _)| *p);
+                if let Some(count) = self.groups.get_mut(&group) {
+                    *count = count.saturating_sub(1);
+                }
+            }
+        }
+        // Phase 2: install the new entries and acquire their groups.
+        for (prefix, new) in real {
+            match new {
+                Some(entry) => {
+                    let mut group: NextHopGroup = entry.nexthops.clone();
+                    group.sort_unstable_by_key(|(p, _)| *p);
+                    match self.groups.get_mut(&group) {
+                        Some(count) => *count += 1,
+                        None => {
+                            self.stats.group_creations += 1;
+                            self.groups.insert(group, 1);
+                        }
+                    }
+                    self.entries.insert(prefix, entry);
+                }
+                None => {
+                    self.entries.remove(&prefix);
+                }
+            }
+        }
+        // Phase 3: drop groups the batch fully released.
+        self.groups.retain(|_, count| *count > 0);
+        self.stats.current_groups = self.groups.len();
+        self.stats.max_groups = self.stats.max_groups.max(self.stats.current_groups);
+        if self.stats.current_groups > self.capacity {
+            self.stats.overflow_events += 1;
+        }
+    }
+
     /// Canonicalize a group, optionally applying the dedup heuristic: if an
     /// existing group has the same member sessions (any weights), reuse it.
     fn canonical_group(&self, nexthops: &[(PeerId, u32)]) -> NextHopGroup {

@@ -44,6 +44,6 @@ pub use fault::{chaos_unit, ChaosPlan, FaultPlan, RpcFate};
 pub use fib::{Fib, NhgStats};
 pub use invariants::{assert_rib_consistent, verify_rib_consistency};
 pub use mgmt::ManagementPlane;
-pub use net::{NetEvent, SimConfig, SimNet};
+pub use net::{NetEvent, SimConfig, SimConfigBuilder, SimNet};
 pub use trace::{ConvergenceReport, TraceStats};
 pub use traffic::{DeliveryReport, TrafficMatrix};

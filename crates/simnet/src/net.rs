@@ -19,8 +19,8 @@ use centralium_bgp::policy::{Action, MatchExpr, Policy, PolicyRule};
 use centralium_bgp::session::{Session, SessionAction};
 use centralium_bgp::BgpMessage;
 use centralium_bgp::{
-    attrs::well_known, BgpDaemon, DaemonConfig, PathAttributes, PeerConfig, PeerId, Prefix,
-    UpdateMessage,
+    attrs::well_known, BgpDaemon, DaemonConfig, FibEntry, PathAttributes, PeerConfig, PeerId,
+    Prefix, UpdateMessage,
 };
 use centralium_rpa::RpaDocument;
 use centralium_telemetry::{Counter, EventKind, Severity, Telemetry};
@@ -30,7 +30,13 @@ use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Emulator configuration.
+///
+/// Construct via [`SimConfig::default`] plus field mutation, or fluently via
+/// [`SimConfig::builder`]. The struct is `#[non_exhaustive]`: new knobs may
+/// be added in any release, so out-of-crate code cannot use struct-literal
+/// syntax — that is what keeps additions backwards-compatible.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// RNG seed; everything is reproducible from it.
     pub seed: u64,
@@ -73,6 +79,14 @@ pub struct SimConfig {
     /// caps the pool at `N`. Parallel runs are bit-identical to serial ones
     /// (see `run_until_quiescent`); journaling forces the serial engine.
     pub parallel_workers: usize,
+    /// Incremental delta convergence: scope RPA-driven re-evaluation to the
+    /// prefixes the document's destinations can affect, and export FIB
+    /// changes per dirty prefix instead of rebuilding each device's table on
+    /// every daemon operation. Structural changes (Route Filters, export
+    /// policies, agent restarts) always fall back to full re-evaluation.
+    /// Disabling this forces the full path everywhere; converged FIBs are
+    /// byte-identical either way (see `verify_full_equivalence`).
+    pub incremental: bool,
 }
 
 impl Default for SimConfig {
@@ -91,7 +105,128 @@ impl Default for SimConfig {
             handshake_sessions: false,
             max_events: 10_000_000,
             parallel_workers: 1,
+            incremental: true,
         }
+    }
+}
+
+impl SimConfig {
+    /// Start a fluent builder seeded with [`SimConfig::default`].
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`SimConfig`]. Every setter overrides one field of the
+/// [`Default`] configuration; [`SimConfigBuilder::build`] returns the result.
+///
+/// ```
+/// use centralium_simnet::SimConfig;
+/// let cfg = SimConfig::builder().seed(7).workers(4).build();
+/// assert_eq!(cfg.seed, 7);
+/// assert_eq!(cfg.parallel_workers, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// RNG seed; everything is reproducible from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Base one-way message latency in µs.
+    pub fn base_latency_us(mut self, us: SimTime) -> Self {
+        self.cfg.base_latency_us = us;
+        self
+    }
+
+    /// Uniform extra jitter bound in µs.
+    pub fn jitter_us(mut self, us: SimTime) -> Self {
+        self.cfg.jitter_us = us;
+        self
+    }
+
+    /// Parallel BGP sessions per physical link.
+    pub fn sessions_per_link(mut self, n: u8) -> Self {
+        self.cfg.sessions_per_link = n;
+        self
+    }
+
+    /// Split multi-prefix UPDATEs into per-prefix messages.
+    pub fn split_announcements(mut self, on: bool) -> Self {
+        self.cfg.split_announcements = on;
+        self
+    }
+
+    /// Randomize the per-session queueing order of split messages.
+    pub fn shuffle_split_order(mut self, on: bool) -> Self {
+        self.cfg.shuffle_split_order = on;
+        self
+    }
+
+    /// Delay between a device dying and neighbors noticing, in µs.
+    pub fn failure_detection_us(mut self, us: SimTime) -> Self {
+        self.cfg.failure_detection_us = us;
+        self
+    }
+
+    /// Attach link-bandwidth communities on export (distributed WCMP).
+    pub fn wcmp_advertise(mut self, on: bool) -> Self {
+        self.cfg.wcmp_advertise = on;
+        self
+    }
+
+    /// Install the fabric's valley-free base policies.
+    pub fn valley_free_policies(mut self, on: bool) -> Self {
+        self.cfg.valley_free_policies = on;
+        self
+    }
+
+    /// Fault injection plan for control-plane messages.
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault = plan;
+        self
+    }
+
+    /// Bring sessions up through the full OPEN handshake FSM.
+    pub fn handshake_sessions(mut self, on: bool) -> Self {
+        self.cfg.handshake_sessions = on;
+        self
+    }
+
+    /// Safety cap on processed events per `run_until_quiescent`.
+    pub fn max_events(mut self, cap: u64) -> Self {
+        self.cfg.max_events = cap;
+        self
+    }
+
+    /// Worker threads for the windowed convergence engine (alias:
+    /// [`SimConfigBuilder::workers`]).
+    pub fn parallel_workers(mut self, n: usize) -> Self {
+        self.cfg.parallel_workers = n;
+        self
+    }
+
+    /// Shorthand for [`SimConfigBuilder::parallel_workers`].
+    pub fn workers(self, n: usize) -> Self {
+        self.parallel_workers(n)
+    }
+
+    /// Incremental delta convergence (see [`SimConfig::incremental`]).
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.cfg.incremental = on;
+        self
+    }
+
+    /// Finish, yielding the configured [`SimConfig`].
+    pub fn build(self) -> SimConfig {
+        self.cfg
     }
 }
 
@@ -194,6 +329,14 @@ pub enum NetEvent {
         /// Target device.
         dev: DeviceId,
     },
+    /// Re-run the full decision process on a device without changing its
+    /// configuration. Scheduled by `force_full_reconvergence` (the
+    /// full-convergence arm of the incremental benchmark and the
+    /// `--full-check` shadow mode); a no-op on converged state.
+    Reevaluate {
+        /// Target device.
+        dev: DeviceId,
+    },
 }
 
 /// Minimum jobs per worker thread before a window goes parallel. Spawning a
@@ -236,6 +379,8 @@ enum Work {
     SetExportPolicy { policy: Policy },
     /// Crash-restart the RPA agent, losing installed documents.
     AgentRestart,
+    /// Re-run the full decision process without a configuration change.
+    Reevaluate,
 }
 
 /// One ordered emission produced by a worker. The merge phase replays these
@@ -338,9 +483,23 @@ fn run_work(
         }
         Work::InstallRpa { doc } => {
             dev.engine.set_time(t);
+            // Dirty-prefix frontier: combine the scopes of the incoming
+            // document and (on a replace) the one it displaces — the old
+            // document's prefixes must re-decide too, since its effect is
+            // being withdrawn. Either document lacking a destination bound
+            // (Route Filter) forces the full path.
+            let scope = if cfg.incremental {
+                let replaced = dev.engine.document(doc.name()).cloned();
+                match replaced {
+                    Some(old) => rpa_scope(dev, &[&old, doc.as_ref()]),
+                    None => rpa_scope(dev, &[doc.as_ref()]),
+                }
+            } else {
+                None
+            };
             match dev.engine.install_or_replace(*doc) {
                 Ok(()) => {
-                    let out = dev.with_daemon(|dm, e| dm.reevaluate_all(e));
+                    let out = reevaluate_scoped(dev, scope, counters);
                     vec![Emission::Updates(out)]
                 }
                 Err(_) => {
@@ -351,10 +510,20 @@ fn run_work(
         }
         Work::RemoveRpa { name } => {
             dev.engine.set_time(t);
+            // Scope must come from the document *before* removal — after it,
+            // the engine no longer knows which prefixes it governed.
+            let scope = if cfg.incremental {
+                dev.engine
+                    .document(&name)
+                    .cloned()
+                    .and_then(|old| rpa_scope(dev, &[&old]))
+            } else {
+                None
+            };
             match dev.engine.remove(&name) {
                 Ok(removed) => {
                     let peers = dev.daemon.peer_ids();
-                    let out = dev.with_daemon(|dm, e| dm.reevaluate_all(e));
+                    let out = reevaluate_scoped(dev, scope, counters);
                     let mut emissions = vec![Emission::Updates(out)];
                     if matches!(removed, centralium_rpa::RpaDocument::RouteFilter(_)) {
                         emissions.push(Emission::RefreshRequests(
@@ -432,6 +601,66 @@ fn run_work(
             let out = dev.with_daemon(|dm, e| dm.reevaluate_all(e));
             vec![Emission::Updates(out)]
         }
+        Work::Reevaluate => {
+            dev.engine.set_time(t);
+            let out = dev.with_daemon(|dm, e| dm.reevaluate_all(e));
+            vec![Emission::Updates(out)]
+        }
+    }
+}
+
+/// The prefixes on `dev` whose decision outcome the given RPA documents can
+/// change, or `None` when any document is not destination-bounded (Route
+/// Filters constrain sessions, not destinations) and full re-evaluation is
+/// required. A prefix is in scope when any document destination
+/// [`applies`](centralium_rpa::Destination::applies) to it given the same
+/// candidate set the decision process would see.
+fn rpa_scope(dev: &SimDevice, docs: &[&RpaDocument]) -> Option<Vec<Prefix>> {
+    let mut dests: Vec<&centralium_rpa::Destination> = Vec::new();
+    for doc in docs {
+        dests.extend(doc.destinations()?);
+    }
+    // Installed documents with expiring statements re-evaluate against the
+    // clock, so an unrelated install can still flip their outcome (the
+    // deadline passed since the last decision run): their destinations join
+    // every dirty scope.
+    for name in dev.engine.installed() {
+        if let Some(doc) = dev.engine.document(name) {
+            if doc.time_dependent() {
+                dests.extend(doc.destinations()?);
+            }
+        }
+    }
+    let mut scope = Vec::new();
+    for prefix in dev.daemon.known_prefixes() {
+        let candidates = dev.daemon.candidates(prefix);
+        if dests.iter().any(|d| d.applies(prefix, &candidates)) {
+            scope.push(prefix);
+        }
+    }
+    Some(scope)
+}
+
+/// Re-run the decision process over `scope` when bounded, or over every
+/// known prefix when `None` (structural change, or incremental mode off).
+/// Scoped runs are behavior-identical to full ones for Path Selection and
+/// Route Attribute installs/removes: out-of-scope prefixes' decisions cannot
+/// change, and the Adj-RIB-Out diff suppresses re-announcing unchanged
+/// routes either way.
+fn reevaluate_scoped(
+    dev: &mut SimDevice,
+    scope: Option<Vec<Prefix>>,
+    counters: &NetCounters,
+) -> Vec<(PeerId, UpdateMessage)> {
+    match scope {
+        Some(prefixes) => {
+            counters.rpa_scoped_reevals.inc();
+            dev.with_daemon(|dm, e| dm.reevaluate_prefixes(prefixes, e))
+        }
+        None => {
+            counters.rpa_full_reevals.inc();
+            dev.with_daemon(|dm, e| dm.reevaluate_all(e))
+        }
     }
 }
 
@@ -446,6 +675,12 @@ struct NetCounters {
     withdrawals: Counter,
     rpa_operations: Counter,
     rpa_failures: Counter,
+    /// RPA installs/removes whose re-evaluation was scoped to the dirty
+    /// prefix frontier (incremental mode, destination-bounded documents).
+    rpa_scoped_reevals: Counter,
+    /// RPA installs/removes that fell back to full re-evaluation
+    /// (incremental mode off, or a structural Route Filter change).
+    rpa_full_reevals: Counter,
     session_events: Counter,
     rpc_dropped: Counter,
     rpc_duplicated: Counter,
@@ -470,6 +705,8 @@ impl NetCounters {
             withdrawals: m.counter("simnet.withdrawals"),
             rpa_operations: m.counter("simnet.rpa_operations"),
             rpa_failures: m.counter("simnet.rpa_failures"),
+            rpa_scoped_reevals: m.counter("simnet.rpa_scoped_reevals"),
+            rpa_full_reevals: m.counter("simnet.rpa_full_reevals"),
             session_events: m.counter("simnet.session_events"),
             rpc_dropped: m.counter("simnet.rpc_dropped"),
             rpc_duplicated: m.counter("simnet.rpc_duplicated"),
@@ -512,6 +749,10 @@ pub struct SimNet {
     chaos: Option<ChaosPlan>,
     /// Monotonic RPC counter feeding [`ChaosPlan::rpc_fate`].
     rpc_nonce: u64,
+    /// Devices whose state any event touched since the last
+    /// [`take_touched_devices`](Self::take_touched_devices) — the
+    /// convergence-footprint measurement behind `bench_incremental`.
+    touched: BTreeSet<DeviceId>,
 }
 
 impl SimNet {
@@ -528,10 +769,9 @@ impl SimNet {
             let mut dcfg = DaemonConfig::fabric(dev.asn);
             dcfg.wcmp_advertise = cfg.wcmp_advertise;
             let daemon = BgpDaemon::new(dcfg);
-            devices.insert(
-                dev.id,
-                SimDevice::new(dev.id, daemon, dev.max_nexthop_groups),
-            );
+            let mut sim_dev = SimDevice::new(dev.id, daemon, dev.max_nexthop_groups);
+            sim_dev.delta_fib = cfg.incremental;
+            devices.insert(dev.id, sim_dev);
         }
         let telemetry = Telemetry::new();
         let counters = NetCounters::bind(&telemetry);
@@ -551,6 +791,7 @@ impl SimNet {
             fifo: HashMap::new(),
             chaos: None,
             rpc_nonce: 0,
+            touched: BTreeSet::new(),
         };
         net.bind_all_device_telemetry();
         // Wire sessions for every Up link between live devices.
@@ -737,6 +978,67 @@ impl SimNet {
     /// Ids of all live simulated devices.
     pub fn device_ids(&self) -> Vec<DeviceId> {
         self.devices.keys().copied().collect()
+    }
+
+    /// Drain and return the set of devices any event has touched since the
+    /// last call (or since construction). `bench_incremental` uses this to
+    /// compare the convergence footprint of delta vs. full reconvergence.
+    pub fn take_touched_devices(&mut self) -> BTreeSet<DeviceId> {
+        std::mem::take(&mut self.touched)
+    }
+
+    /// Schedule a [`NetEvent::Reevaluate`] on every live device and run to
+    /// quiescence — the "re-converge the entire fabric" baseline the
+    /// incremental engine is measured against, and the mechanism behind
+    /// [`verify_full_equivalence`](Self::verify_full_equivalence).
+    pub fn force_full_reconvergence(&mut self) -> ConvergenceReport {
+        let devs: Vec<DeviceId> = self.devices.keys().copied().collect();
+        for dev in devs {
+            self.schedule_in(1, NetEvent::Reevaluate { dev });
+        }
+        self.run_until_quiescent()
+    }
+
+    /// Per-device FIB snapshot — entries only (prefix, next hops, warm
+    /// flag). Group-table statistics are deliberately excluded: delta and
+    /// full modes legitimately differ in churn *accounting* while converging
+    /// to identical forwarding state.
+    pub fn fib_snapshot(&self) -> BTreeMap<DeviceId, Vec<FibEntry>> {
+        self.devices
+            .iter()
+            .map(|(&id, dev)| (id, dev.fib.entries().cloned().collect()))
+            .collect()
+    }
+
+    /// `--full-check` shadow mode: snapshot the converged FIBs, force a full
+    /// re-convergence, and verify the result is identical — converged state
+    /// must be a fixed point of full evaluation, so any difference means the
+    /// incremental engine skipped work it should not have.
+    pub fn verify_full_equivalence(&mut self) -> Result<(), String> {
+        let before = self.fib_snapshot();
+        let report = self.force_full_reconvergence();
+        if !report.converged {
+            return Err("full reconvergence hit the event cap".to_string());
+        }
+        let after = self.fib_snapshot();
+        if before == after {
+            return Ok(());
+        }
+        let mut diverged = Vec::new();
+        for (id, entries) in &before {
+            if after.get(id) != Some(entries) {
+                diverged.push(format!("d{}", id.0));
+            }
+        }
+        for id in after.keys() {
+            if !before.contains_key(id) {
+                diverged.push(format!("d{}", id.0));
+            }
+        }
+        Err(format!(
+            "FIB divergence after full reconvergence on: {}",
+            diverged.join(", ")
+        ))
     }
 
     /// Which devices originate `prefix`.
@@ -1372,8 +1674,18 @@ impl SimNet {
     /// The serial pre-pass of one windowed event: device-existence check,
     /// global counters and bookkeeping (using the event's own timestamp),
     /// returning the device-local remainder as a [`Work`] job — or `None`
-    /// when the event is a no-op (target device gone).
+    /// when the event is a no-op (target device gone). Every device that
+    /// receives a job is recorded in the touched set (both the serial and
+    /// windowed engines route through here).
     fn prepare(&mut self, t: SimTime, ev: NetEvent) -> Option<(DeviceId, Work)> {
+        let slot = self.prepare_inner(t, ev);
+        if let Some((dev, _)) = &slot {
+            self.touched.insert(*dev);
+        }
+        slot
+    }
+
+    fn prepare_inner(&mut self, t: SimTime, ev: NetEvent) -> Option<(DeviceId, Work)> {
         match ev {
             NetEvent::DeliverCtl { to, on, msg } => {
                 if !self.devices.contains_key(&to) {
@@ -1477,6 +1789,12 @@ impl SimNet {
                 }
                 self.counters.agent_restarts.inc();
                 Some((dev, Work::AgentRestart))
+            }
+            NetEvent::Reevaluate { dev } => {
+                if !self.devices.contains_key(&dev) {
+                    return None;
+                }
+                Some((dev, Work::Reevaluate))
             }
         }
     }

@@ -48,16 +48,15 @@ fn equalize_doc(name: &str) -> RpaDocument {
 /// Run the full episode and reduce the end state to a comparable snapshot.
 fn scenario(seed: u64, workers: usize, handshake: bool) -> String {
     let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-    let cfg = SimConfig {
-        seed,
-        parallel_workers: workers,
-        handshake_sessions: handshake,
-        fault: FaultPlan {
+    let cfg = SimConfig::builder()
+        .seed(seed)
+        .workers(workers)
+        .handshake_sessions(handshake)
+        .fault(FaultPlan {
             drop_probability: 0.1,
             max_extra_delay_us: 150,
-        },
-        ..Default::default()
-    };
+        })
+        .build();
     let mut net = SimNet::new(topo, cfg);
     net.set_chaos(ChaosPlan {
         rpc_loss: 0.2,
@@ -166,14 +165,7 @@ fn signature_cache_counters_match_and_are_exercised() {
     // per-device caches must see identical sequences under both engines.
     let run = |workers| {
         let (topo, idx, _) = build_fabric(&FabricSpec::tiny());
-        let mut net = SimNet::new(
-            topo,
-            SimConfig {
-                seed: 7,
-                parallel_workers: workers,
-                ..Default::default()
-            },
-        );
+        let mut net = SimNet::new(topo, SimConfig::builder().seed(7).workers(workers).build());
         net.establish_all();
         for &eb in &idx.backbone {
             net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);

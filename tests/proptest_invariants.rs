@@ -35,13 +35,7 @@ fn small_spec() -> impl Strategy<Value = FabricSpec> {
 
 fn converge(spec: &FabricSpec, seed: u64) -> (SimNet, centralium_topology::builder::FabricIndex) {
     let (topo, idx, _) = build_fabric(spec);
-    let mut net = SimNet::new(
-        topo,
-        SimConfig {
-            seed,
-            ..Default::default()
-        },
-    );
+    let mut net = SimNet::new(topo, SimConfig::builder().seed(seed).build());
     net.establish_all();
     for &eb in &idx.backbone {
         net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
