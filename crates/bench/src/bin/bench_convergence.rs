@@ -10,12 +10,20 @@
 //! byte for byte; a mismatch exits nonzero.
 //!
 //! ```text
-//! bench_convergence [--tiny] [--iters N] [--json FILE]
+//! bench_convergence [--tiny] [--iters N] [--json FILE] [--baseline FILE]
 //! ```
 //!
 //! `--tiny` restricts to the 22-device fabric (the CI smoke setting);
 //! `--json FILE` writes the machine-readable report (BENCH_convergence.json
-//! by convention).
+//! by convention). `--baseline FILE` compares the run against a committed
+//! report and exits nonzero when the serial median wall time regresses by
+//! more than 20% on any fabric — the CI perf-smoke gate.
+//!
+//! Beyond wall time the report carries the zero-copy hot-path counters:
+//! `events_processed` (UPDATE coalescing collapses per-prefix messages into
+//! per-link batches), `attr_clone_bytes` (attribute bytes physically copied —
+//! Arc-shared routes keep this near-constant in fabric size), and the batch
+//! shape (`batches_delivered`, `updates_coalesced`, `max_batch_size`).
 
 use centralium_bench::args::BenchArgs;
 use centralium_bench::report::Table;
@@ -42,6 +50,10 @@ struct Episode {
     cache_hits: u64,
     cache_misses: u64,
     events: u64,
+    attr_clone_bytes: u64,
+    batches_delivered: u64,
+    updates_coalesced: u64,
+    max_batch_size: u64,
 }
 
 fn equalize_doc() -> RpaDocument {
@@ -63,6 +75,7 @@ fn episode(spec: &FabricSpec, workers: usize) -> Episode {
         topo,
         SimConfig::builder().seed(SEED).workers(workers).build(),
     );
+    let clone_bytes_before = centralium_bgp::attrs::attr_clone_bytes();
     let start = Instant::now();
     net.establish_all();
     for &eb in &idx.backbone {
@@ -105,6 +118,10 @@ fn episode(spec: &FabricSpec, workers: usize) -> Episode {
         cache_hits: snap.counter("rpa.cache_hits"),
         cache_misses: snap.counter("rpa.cache_misses"),
         events,
+        attr_clone_bytes: centralium_bgp::attrs::attr_clone_bytes() - clone_bytes_before,
+        batches_delivered: snap.counter("simnet.batches_delivered"),
+        updates_coalesced: snap.counter("simnet.updates_coalesced"),
+        max_batch_size: snap.gauge("simnet.max_batch_size").max(0) as u64,
     }
 }
 
@@ -145,11 +162,14 @@ fn main() -> ExitCode {
             "workers",
             "median wall (ms)",
             "speedup",
+            "events",
+            "attr KB cloned",
             "cache hit rate",
             "fib == serial",
         ]);
         let mut serial_snapshot: Option<String> = None;
         let mut serial_median = 0.0;
+        let mut serial_batch_shape = (0u64, 0u64, 0u64);
         let mut rows = Vec::new();
         for &workers in &WORKER_COUNTS {
             let mut walls = Vec::with_capacity(iters);
@@ -165,6 +185,11 @@ fn main() -> ExitCode {
                 None => {
                     serial_snapshot = Some(ep.fib_snapshot.clone());
                     serial_median = median;
+                    serial_batch_shape = (
+                        ep.batches_delivered,
+                        ep.updates_coalesced,
+                        ep.max_batch_size,
+                    );
                     true
                 }
                 Some(serial) => *serial == ep.fib_snapshot,
@@ -176,6 +201,8 @@ fn main() -> ExitCode {
                 workers.to_string(),
                 format!("{median:.2}"),
                 format!("{speedup:.2}x"),
+                ep.events.to_string(),
+                format!("{:.1}", ep.attr_clone_bytes as f64 / 1024.0),
                 format!("{:.1}%", hit_rate * 100.0),
                 if matches { "yes".into() } else { "NO".into() },
             ]);
@@ -187,12 +214,21 @@ fn main() -> ExitCode {
                 "cache_hits": ep.cache_hits,
                 "cache_misses": ep.cache_misses,
                 "events_processed": ep.events,
+                "attr_clone_bytes": ep.attr_clone_bytes,
+                "batches_delivered": ep.batches_delivered,
+                "updates_coalesced": ep.updates_coalesced,
+                "max_batch_size": ep.max_batch_size,
                 "fib_matches_serial": matches,
             }));
         }
         let devices = build_fabric(spec).0.device_count();
         println!("fabric '{label}' ({devices} devices):");
         println!("{}", table.render());
+        let (batches, coalesced, largest) = serial_batch_shape;
+        println!(
+            "  serial batch shape: {batches} batches delivered, {coalesced} updates coalesced, \
+             largest batch {largest}\n"
+        );
         report.push(json!({
             "fabric": label,
             "devices": devices,
@@ -223,5 +259,72 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("all parallel FIBs byte-identical to serial");
+
+    if let Ok(Some(path)) = args.get_str("baseline") {
+        match check_baseline(&path, &report) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: baseline gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// CI perf-smoke gate: compare this run's serial median wall time against the
+/// committed baseline report, per fabric. More than 20% slower fails the run;
+/// a fabric present in only one report is skipped (so the gate survives
+/// adding or removing fabrics without a lockstep baseline update). FIB
+/// equivalence is gated unconditionally above, not here.
+fn check_baseline(path: &str, report: &[serde_json::Value]) -> Result<Vec<String>, String> {
+    const MAX_REGRESSION: f64 = 0.20;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let baseline: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let serial_wall = |fabrics: &[serde_json::Value], label: &str| -> Option<f64> {
+        fabrics
+            .iter()
+            .find(|f| f.get("fabric").and_then(|v| v.as_str()) == Some(label))?
+            .get("results")?
+            .as_array()?
+            .iter()
+            .find(|r| r.get("workers").and_then(|v| v.as_u64()) == Some(1))?
+            .get("median_wall_ms")?
+            .as_f64()
+    };
+    let base_fabrics = baseline
+        .get("fabrics")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{path} has no fabrics array"))?;
+    let mut lines = Vec::new();
+    for fabric in report {
+        let label = fabric.get("fabric").and_then(|v| v.as_str()).unwrap_or("?");
+        let (Some(base), Some(now)) =
+            (serial_wall(base_fabrics, label), serial_wall(report, label))
+        else {
+            lines.push(format!(
+                "baseline '{label}': no serial sample to compare, skipped"
+            ));
+            continue;
+        };
+        let ratio = now / base;
+        if ratio > 1.0 + MAX_REGRESSION {
+            return Err(format!(
+                "fabric '{label}' serial wall regressed {:.0}%: {base:.2}ms -> {now:.2}ms \
+                 (gate: {:.0}%)",
+                (ratio - 1.0) * 100.0,
+                MAX_REGRESSION * 100.0,
+            ));
+        }
+        lines.push(format!(
+            "baseline '{label}': serial wall {base:.2}ms -> {now:.2}ms ({:+.0}%), within gate",
+            (ratio - 1.0) * 100.0,
+        ));
+    }
+    Ok(lines)
 }

@@ -41,7 +41,7 @@ fn run(with_rpa: bool, seed: u64) -> Outcome {
         // Require the full FADU complement; withdraw (FIB warm) otherwise.
         let intent = protection_intent(
             well_known::BACKBONE_DEFAULT_ROUTE,
-            ssw0s.clone(),
+            ssw0s,
             MinNextHop::Fraction(1.0),
         );
         for (dev, doc) in compile_intent(fab.net.topology(), &intent).expect("compiles") {

@@ -140,6 +140,9 @@ pub fn fig5_rig(n_prefixes: usize, du_nhg_capacity: usize, seed: u64, with_rpa: 
         // in the tens of milliseconds (BGP MRAI, RIB batching, CPU queueing),
         // so different prefixes observe very different session orderings.
         .jitter_us(20_000)
+        // The §3.4 explosion *is* per-prefix message interleaving — batching
+        // would squash exactly the transient orderings under study.
+        .coalesce_updates(false)
         .build();
     let mut net = SimNet::new(topo, cfg);
     if with_rpa {

@@ -25,7 +25,25 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-global count of bytes physically copied for attribute data:
+/// every [`PathAttributes`] struct clone plus every sequence rebuild a
+/// mutation ([`PathAttributes::prepend`] and friends) performs before
+/// re-interning. The zero-copy hot path shows up here directly — benches
+/// diff this counter across a run to prove routes are shared, not copied.
+static ATTR_CLONE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Total attribute bytes cloned so far in this process (monotonic).
+pub fn attr_clone_bytes() -> u64 {
+    ATTR_CLONE_BYTES.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn note_clone_bytes(n: usize) {
+    ATTR_CLONE_BYTES.fetch_add(n as u64, Ordering::Relaxed);
+}
 
 /// Route origin code, in preference order IGP < EGP < Incomplete.
 #[derive(
@@ -292,7 +310,7 @@ interned_seq!(
 );
 
 /// The attribute set carried by one route announcement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct PathAttributes {
     /// AS-path, nearest AS first. Plain sequence (no sets/confederations —
     /// the fabric never produces them).
@@ -309,6 +327,22 @@ pub struct PathAttributes {
     /// Link-bandwidth extended community in Gbps, if the advertising peer
     /// attached one (drives distributed WCMP weight derivation).
     pub link_bandwidth_gbps: Option<f64>,
+}
+
+// Manual impl so every struct copy is visible in [`attr_clone_bytes`]; the
+// sequence handles themselves stay pointer bumps.
+impl Clone for PathAttributes {
+    fn clone(&self) -> Self {
+        note_clone_bytes(std::mem::size_of::<PathAttributes>());
+        PathAttributes {
+            as_path: self.as_path.clone(),
+            origin: self.origin,
+            local_pref: self.local_pref,
+            med: self.med,
+            communities: self.communities.clone(),
+            link_bandwidth_gbps: self.link_bandwidth_gbps,
+        }
+    }
 }
 
 impl Default for PathAttributes {
@@ -374,6 +408,7 @@ impl PathAttributes {
         let mut v = Vec::with_capacity(self.as_path.len() + count);
         v.resize(count, asn);
         v.extend_from_slice(&self.as_path);
+        note_clone_bytes(std::mem::size_of_val(&v[..]));
         self.as_path = AsPath::from(v);
     }
 
@@ -382,6 +417,7 @@ impl PathAttributes {
         if let Err(pos) = self.communities.binary_search(&c) {
             let mut v = self.communities.to_vec();
             v.insert(pos, c);
+            note_clone_bytes(std::mem::size_of_val(&v[..]));
             self.communities = CommunitySet::from(v);
         }
     }
@@ -391,6 +427,7 @@ impl PathAttributes {
         if let Ok(pos) = self.communities.binary_search(&c) {
             let mut v = self.communities.to_vec();
             v.remove(pos);
+            note_clone_bytes(std::mem::size_of_val(&v[..]));
             self.communities = CommunitySet::from(v);
         }
     }

@@ -9,7 +9,7 @@ use crate::attrs::PathAttributes;
 use crate::decision::{best_route, compare_routes, multipath_set};
 use crate::hooks::{AdvertiseChoice, RibPolicy};
 use crate::msg::UpdateMessage;
-use crate::policy::{Policy, PolicyVerdict};
+use crate::policy::Policy;
 use crate::rib::{take_selected, AdjRibIn, LocRibEntry, Route};
 use crate::types::{PeerId, Prefix};
 use crate::wcmp;
@@ -17,6 +17,7 @@ use centralium_telemetry::{Counter, EventKind, Severity, Telemetry};
 use centralium_topology::Asn;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Speaker-level configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -133,9 +134,9 @@ pub struct BgpDaemon {
     cfg: DaemonConfig,
     peers: BTreeMap<PeerId, PeerState>,
     adj_rib_in: AdjRibIn,
-    originated: BTreeMap<Prefix, PathAttributes>,
+    originated: BTreeMap<Prefix, Arc<PathAttributes>>,
     loc_rib: BTreeMap<Prefix, LocRibEntry>,
-    adj_rib_out: BTreeMap<(PeerId, Prefix), PathAttributes>,
+    adj_rib_out: BTreeMap<(PeerId, Prefix), Arc<PathAttributes>>,
     /// Prefixes whose Loc-RIB entry was (re)installed or removed since the
     /// last FIB export — the per-prefix dirty marks behind
     /// [`BgpDaemon::take_fib_changes`]. Skipped on the wire: a restored
@@ -258,7 +259,7 @@ impl BgpDaemon {
 
     /// Attributes a prefix is originated with, if originated here.
     pub fn origination(&self, prefix: Prefix) -> Option<&PathAttributes> {
-        self.originated.get(&prefix)
+        self.originated.get(&prefix).map(Arc::as_ref)
     }
 
     /// Configured sessions.
@@ -351,7 +352,7 @@ impl BgpDaemon {
         {
             attrs.link_bandwidth_gbps = None;
         }
-        self.originated.insert(prefix, attrs);
+        self.originated.insert(prefix, Arc::new(attrs));
         self.run_decisions(vec![prefix], policy)
     }
 
@@ -380,7 +381,7 @@ impl BgpDaemon {
         if !state.established {
             return Vec::new();
         }
-        let import = state.cfg.import.clone();
+        let import = &state.cfg.import;
         let mut affected = Vec::new();
         for prefix in update.withdrawn {
             if self.adj_rib_in.remove(from, prefix) {
@@ -398,8 +399,8 @@ impl BgpDaemon {
                 }
                 continue;
             }
-            match import.apply(&prefix, &attrs) {
-                PolicyVerdict::Accept(mut attrs) => {
+            match import.apply_shared(&prefix, attrs) {
+                Some(mut attrs) => {
                     // A non-finite link-bandwidth value would poison both
                     // weight derivation and the Adj-RIB-Out equality diff
                     // (NaN != NaN ⇒ perpetual re-announcement churn).
@@ -408,18 +409,23 @@ impl BgpDaemon {
                         .map(|b| !b.is_finite())
                         .unwrap_or(false)
                     {
-                        attrs.link_bandwidth_gbps = None;
+                        Arc::make_mut(&mut attrs).link_bandwidth_gbps = None;
                     }
                     let route = Route::learned(prefix, attrs, from);
                     // Route Filter RPA, ingress direction (Figure 6).
                     if policy.permit_ingress(from, prefix, &route) {
-                        self.adj_rib_in.insert(route);
-                        affected.push(prefix);
+                        // An identical re-announcement changes nothing;
+                        // skipping the decision re-run keeps duplicate
+                        // UPDATE floods (session resets, refresh replies)
+                        // off the hot path entirely.
+                        if self.adj_rib_in.insert(route) {
+                            affected.push(prefix);
+                        }
                     } else if self.adj_rib_in.remove(from, prefix) {
                         affected.push(prefix);
                     }
                 }
-                PolicyVerdict::Reject => {
+                None => {
                     // Treat as withdraw if we previously held it.
                     if self.adj_rib_in.remove(from, prefix) {
                         affected.push(prefix);
@@ -493,13 +499,13 @@ impl BgpDaemon {
     }
 
     /// Routes currently held for `prefix` across sessions.
-    pub fn rib_in_routes(&self, prefix: Prefix) -> Vec<&Route> {
+    pub fn rib_in_routes(&self, prefix: Prefix) -> &[Route] {
         self.adj_rib_in.routes_for(prefix)
     }
 
     /// What we last advertised to `peer` for `prefix`.
     pub fn advertised_to(&self, peer: PeerId, prefix: Prefix) -> Option<&PathAttributes> {
-        self.adj_rib_out.get(&(peer, prefix))
+        self.adj_rib_out.get(&(peer, prefix)).map(Arc::as_ref)
     }
 
     /// Everything currently advertised to `peer`, as one UPDATE — the reply
@@ -509,7 +515,7 @@ impl BgpDaemon {
         let mut out = UpdateMessage::default();
         for ((p, prefix), attrs) in &self.adj_rib_out {
             if *p == peer {
-                out.merge(UpdateMessage::announce(*prefix, attrs.clone()));
+                out.merge(UpdateMessage::announce(*prefix, Arc::clone(attrs)));
             }
         }
         out
@@ -582,7 +588,7 @@ impl BgpDaemon {
         let mut out: Vec<Route> = self
             .adj_rib_in
             .routes_for(prefix)
-            .into_iter()
+            .iter()
             .filter(|r| {
                 r.learned_from
                     .map(|p| self.is_established(p))
@@ -805,20 +811,25 @@ impl BgpDaemon {
             .map(|(p, _)| *p)
             .collect();
         for peer in peers {
-            let desired = self.desired_advertisement(peer, prefix, policy);
-            let current = self.adj_rib_out.get(&(peer, prefix)).cloned();
-            match (current, desired) {
-                (None, None) => {}
-                (Some(_), None) => {
-                    self.adj_rib_out.remove(&(peer, prefix));
-                    per_peer
-                        .entry(peer)
-                        .or_default()
-                        .merge(UpdateMessage::withdraw(prefix));
+            match self.desired_advertisement(peer, prefix, policy) {
+                None => {
+                    if self.adj_rib_out.remove(&(peer, prefix)).is_some() {
+                        per_peer
+                            .entry(peer)
+                            .or_default()
+                            .merge(UpdateMessage::withdraw(prefix));
+                    }
                 }
-                (cur, Some(want)) => {
-                    if cur.as_ref() != Some(&want) {
-                        self.adj_rib_out.insert((peer, prefix), want.clone());
+                Some(want) => {
+                    // Attr equality is cheap here: AS-path and communities
+                    // compare by interned id, so an unchanged advertisement
+                    // costs a few integer compares and no allocation.
+                    let unchanged = self
+                        .adj_rib_out
+                        .get(&(peer, prefix))
+                        .is_some_and(|cur| **cur == *want);
+                    if !unchanged {
+                        self.adj_rib_out.insert((peer, prefix), Arc::clone(&want));
                         per_peer
                             .entry(peer)
                             .or_default()
@@ -854,7 +865,7 @@ impl BgpDaemon {
         peer: PeerId,
         prefix: Prefix,
         policy: &dyn RibPolicy,
-    ) -> Option<PathAttributes> {
+    ) -> Option<Arc<PathAttributes>> {
         let entry = self.loc_rib.get(&prefix)?;
         let route = entry.advertised.as_ref()?;
         // Split-horizon: never advertise a route back over the session it was
@@ -867,16 +878,15 @@ impl BgpDaemon {
             return None;
         }
         let peer_state = self.peers.get(&peer)?;
-        // Export transformation: prepend own ASN.
-        let mut attrs = route.attrs.clone();
+        // Export transformation: prepend own ASN. The one deep clone on the
+        // egress path — unavoidable, since the exported attrs genuinely
+        // differ from the stored route's.
+        let mut attrs = (*route.attrs).clone();
         attrs.prepend(self.cfg.asn, 1);
         if self.cfg.wcmp_advertise {
             attrs.link_bandwidth_gbps = self.effective_capacity(entry);
         }
-        match peer_state.cfg.export.apply(&prefix, &attrs) {
-            PolicyVerdict::Accept(attrs) => Some(attrs),
-            PolicyVerdict::Reject => None,
-        }
+        peer_state.cfg.export.apply_shared(&prefix, Arc::new(attrs))
     }
 }
 
@@ -1305,7 +1315,7 @@ mod tests {
             UpdateMessage::announce(p("0.0.0.0/0"), attrs.clone()),
             &NativePolicy,
         );
-        let stored = d.rib_in_routes(p("0.0.0.0/0"))[0];
+        let stored = &d.rib_in_routes(p("0.0.0.0/0"))[0];
         assert_eq!(
             stored.attrs.link_bandwidth_gbps, None,
             "NaN stripped at ingestion"

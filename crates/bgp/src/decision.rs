@@ -14,13 +14,14 @@
 //! Locally-originated routes always win (empty AS-path + step 5 never
 //! reached against a local route).
 
+use crate::inline::InlineVec;
 use crate::rib::Route;
 use std::cmp::Ordering;
 
 /// The comparable preference key of a route. Compare with
 /// [`compare`](Self::compare) — a derived ordering would be misleading
 /// (shorter AS-path and lower MED are *better*, i.e. order-reversed).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PathPreference {
     local_pref: u32,
     as_path_len: usize,
@@ -79,19 +80,18 @@ pub fn best_route(candidates: &[Route]) -> Option<&Route> {
 
 /// Native multipath selection: all candidates whose preference key equals the
 /// best route's. Returns indices into `candidates` in input order (stable),
-/// so callers can zip with per-candidate metadata.
-pub fn multipath_set(candidates: &[Route]) -> Vec<usize> {
-    let Some(best) = candidates
-        .iter()
-        .map(PathPreference::of)
-        .max_by(|a, b| a.compare(b))
-    else {
-        return Vec::new();
+/// so callers can zip with per-candidate metadata. The index set lives inline
+/// (no heap allocation) up to 8 equal-cost paths, and each preference key is
+/// extracted exactly once.
+pub fn multipath_set(candidates: &[Route]) -> InlineVec<usize, 8> {
+    let prefs: InlineVec<PathPreference, 8> = candidates.iter().map(PathPreference::of).collect();
+    let Some(best) = prefs.iter().copied().max_by(|a, b| a.compare(b)) else {
+        return InlineVec::new();
     };
-    candidates
+    prefs
         .iter()
         .enumerate()
-        .filter(|(_, r)| PathPreference::of(r).multipath_equal(&best))
+        .filter(|(_, p)| p.multipath_equal(&best))
         .map(|(i, _)| i)
         .collect()
 }

@@ -1,0 +1,208 @@
+//! Small-vector storage for the decision-process hot path.
+//!
+//! The workspace cannot depend on the `smallvec` crate (offline build), so
+//! this is a minimal hand-rolled equivalent specialized for the hot path's
+//! needs: `Copy` elements, push-only growth, slice access. Values live in an
+//! inline array until it fills; on overflow everything moves to a heap `Vec`
+//! so [`InlineVec::as_slice`] always returns one contiguous slice.
+//!
+//! Next-hop lists, multipath index sets and WCMP weight scratch buffers are
+//! almost always ≤ 8 entries (one per equal-cost uplink), so the common case
+//! allocates nothing.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Deref;
+
+/// A push-only vector that stores up to `N` elements inline.
+#[derive(Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    buf: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            buf: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Append an element, spilling to the heap past `N` elements.
+    pub fn push(&mut self, value: T) {
+        if self.spill.is_empty() && self.len < N {
+            self.buf[self.len] = value;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.buf[..self.len]);
+            }
+            self.spill.push(value);
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        if self.spill.is_empty() {
+            self.len
+        } else {
+            self.spill.len()
+        }
+    }
+
+    /// Whether no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All elements as one contiguous slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.buf[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Copy the elements into a plain `Vec`.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// Whether the elements have spilled to the heap.
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug, const N: usize> std::fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<InlineVec<T, M>>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &InlineVec<T, M>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<InlineVec<T, N>> for Vec<T> {
+    fn eq(&self, other: &InlineVec<T, N>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<[T]> for InlineVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: Copy + Default + Serialize, const N: usize> Serialize for InlineVec<T, N> {
+    fn serialize(&self) -> serde::Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Copy + Default + Deserialize, const N: usize> Deserialize for InlineVec<T, N> {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Vec::<T>::deserialize(v).map(|items| items.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_until_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(!v.spilled());
+        assert_eq!(v.len(), 4);
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_contiguously_past_capacity() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn collects_and_derefs_like_a_slice() {
+        let v: InlineVec<usize, 8> = (0..3).collect();
+        assert_eq!(v.iter().sum::<usize>(), 3);
+        assert_eq!(v[1], 1);
+        assert_eq!(v.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v: InlineVec<u32, 2> = (0..4).collect();
+        let back = InlineVec::<u32, 2>::deserialize(&v.serialize()).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -21,6 +21,7 @@
 //! * [`types`] — prefixes, peer/session ids;
 //! * [`attrs`] — path attributes: AS-path, local-pref, MED, communities,
 //!   link-bandwidth;
+//! * [`inline`] — small-vector inline storage for decision-process scratch;
 //! * [`msg`] — OPEN / UPDATE / KEEPALIVE / NOTIFICATION messages;
 //! * [`session`] — a minimal session FSM (Idle → OpenSent → Established);
 //! * [`policy`] — classic import/export route policy (match / action rules);
@@ -34,6 +35,7 @@ pub mod attrs;
 pub mod daemon;
 pub mod decision;
 pub mod hooks;
+pub mod inline;
 pub mod msg;
 pub mod policy;
 pub mod rib;
@@ -46,6 +48,7 @@ pub use centralium_topology::Asn;
 pub use daemon::{BgpDaemon, DaemonConfig, FibEntry, PeerConfig};
 pub use decision::{compare_routes, multipath_set, PathPreference};
 pub use hooks::{AdvertiseChoice, NativePolicy, RibPolicy, Selection};
+pub use inline::InlineVec;
 pub use msg::{BgpMessage, UpdateMessage};
 pub use policy::{Action, MatchExpr, Policy, PolicyRule, PolicyVerdict};
 pub use rib::{LocRibEntry, Route};

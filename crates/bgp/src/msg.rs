@@ -9,24 +9,26 @@ use crate::attrs::PathAttributes;
 use crate::types::Prefix;
 use centralium_topology::Asn;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// An UPDATE: withdrawals plus announcements sharing nothing (each announced
-/// prefix carries its own attribute set; real BGP groups identical attrs, an
-/// encoding optimization irrelevant here).
+/// An UPDATE: withdrawals plus announcements. Attributes are `Arc`-shared —
+/// a route fanned out to 32 peers carries 32 pointer bumps, not 32 deep
+/// copies — mirroring how real BGP encodes one attribute block for many
+/// NLRI entries.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct UpdateMessage {
     /// Prefixes no longer reachable via the sender.
     pub withdrawn: Vec<Prefix>,
-    /// Announced prefixes and their path attributes.
-    pub announced: Vec<(Prefix, PathAttributes)>,
+    /// Announced prefixes and their (shared) path attributes.
+    pub announced: Vec<(Prefix, Arc<PathAttributes>)>,
 }
 
 impl UpdateMessage {
     /// An update announcing a single prefix.
-    pub fn announce(prefix: Prefix, attrs: PathAttributes) -> Self {
+    pub fn announce(prefix: Prefix, attrs: impl Into<Arc<PathAttributes>>) -> Self {
         UpdateMessage {
             withdrawn: Vec::new(),
-            announced: vec![(prefix, attrs)],
+            announced: vec![(prefix, attrs.into())],
         }
     }
 
@@ -141,7 +143,7 @@ mod tests {
         let mut m = UpdateMessage::announce(p("10.0.0.0/8"), PathAttributes::default());
         m.merge(UpdateMessage::announce(p("10.0.0.0/8"), attrs2.clone()));
         assert_eq!(m.announced.len(), 1);
-        assert_eq!(m.announced[0].1, attrs2);
+        assert_eq!(*m.announced[0].1, attrs2);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::attrs::{Community, PathAttributes};
 use crate::types::Prefix;
 use centralium_topology::Asn;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Match criteria of a policy rule. All present criteria must match (AND).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -210,6 +211,33 @@ impl Policy {
             PolicyVerdict::Reject
         }
     }
+
+    /// Run the policy over shared attributes; `None` means reject.
+    ///
+    /// The zero-copy counterpart of [`Policy::apply`] for the daemon's hot
+    /// import/export path: a rule-less policy passes the `Arc` straight
+    /// through, and a policy whose actions leave the attributes unchanged
+    /// (equality is cheap — interned ids plus scalars) returns the input
+    /// allocation instead of minting a new one.
+    pub fn apply_shared(
+        &self,
+        prefix: &Prefix,
+        attrs: Arc<PathAttributes>,
+    ) -> Option<Arc<PathAttributes>> {
+        if self.rules.is_empty() {
+            return self.default_accept.then_some(attrs);
+        }
+        match self.apply(prefix, &attrs) {
+            PolicyVerdict::Accept(out) => {
+                if out == *attrs {
+                    Some(attrs)
+                } else {
+                    Some(Arc::new(out))
+                }
+            }
+            PolicyVerdict::Reject => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +364,39 @@ mod tests {
             policy.apply(&Prefix::DEFAULT, &PathAttributes::default()),
             PolicyVerdict::Reject
         );
+    }
+
+    #[test]
+    fn apply_shared_reuses_allocation_when_unmodified() {
+        let attrs = Arc::new(PathAttributes::default());
+        // Rule-less accept: pointer passes straight through.
+        let out = Policy::accept_all()
+            .apply_shared(&Prefix::DEFAULT, Arc::clone(&attrs))
+            .unwrap();
+        assert!(Arc::ptr_eq(&out, &attrs));
+        // Rules that match but change nothing observable still share.
+        let noop = Policy::accept_all().rule(PolicyRule::accept(
+            MatchExpr::community(Community(0xBEEF)),
+            vec![Action::SetMed(9)],
+        ));
+        let out = noop
+            .apply_shared(&Prefix::DEFAULT, Arc::clone(&attrs))
+            .unwrap();
+        assert!(Arc::ptr_eq(&out, &attrs));
+        // A modifying rule mints a fresh allocation.
+        let modifies = Policy::accept_all().rule(PolicyRule {
+            matches: MatchExpr::any(),
+            actions: vec![Action::SetMed(9)],
+        });
+        let out = modifies
+            .apply_shared(&Prefix::DEFAULT, Arc::clone(&attrs))
+            .unwrap();
+        assert!(!Arc::ptr_eq(&out, &attrs));
+        assert_eq!(out.med, 9);
+        // Rejection maps to None.
+        assert!(Policy::reject_all()
+            .apply_shared(&Prefix::DEFAULT, attrs)
+            .is_none());
     }
 
     #[test]

@@ -4,35 +4,41 @@ use crate::attrs::PathAttributes;
 use crate::types::{PeerId, Prefix};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A route as stored in the Adj-RIB-In: post-import-policy attributes plus
 /// which session it was learned from. Locally-originated routes use
 /// `learned_from = None`.
+///
+/// Attributes are `Arc`-shared: cloning a route — candidate gathering,
+/// Loc-RIB installation, re-advertisement — is a pointer bump, never a deep
+/// attribute copy. Mutating attributes on a shared route goes through
+/// `Arc::make_mut`, which copies only when the allocation is actually shared.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Route {
     /// Destination.
     pub prefix: Prefix,
-    /// Post-import-policy attributes.
-    pub attrs: PathAttributes,
+    /// Post-import-policy attributes (shared).
+    pub attrs: Arc<PathAttributes>,
     /// Session the route arrived on; `None` for locally-originated routes.
     pub learned_from: Option<PeerId>,
 }
 
 impl Route {
     /// A route learned from a peer.
-    pub fn learned(prefix: Prefix, attrs: PathAttributes, peer: PeerId) -> Self {
+    pub fn learned(prefix: Prefix, attrs: impl Into<Arc<PathAttributes>>, peer: PeerId) -> Self {
         Route {
             prefix,
-            attrs,
+            attrs: attrs.into(),
             learned_from: Some(peer),
         }
     }
 
     /// A locally-originated route.
-    pub fn local(prefix: Prefix, attrs: PathAttributes) -> Self {
+    pub fn local(prefix: Prefix, attrs: impl Into<Arc<PathAttributes>>) -> Self {
         Route {
             prefix,
-            attrs,
+            attrs: attrs.into(),
             learned_from: None,
         }
     }
@@ -45,116 +51,140 @@ impl Route {
 
 /// Per-peer received routes (after import policy, before path selection).
 ///
-/// Keyed `(peer, prefix)` with a secondary `prefix → peers` index so the
+/// Stored as one slab of routes per prefix, each sorted by session id — the
 /// decision process's candidate gathering ([`routes_for`](Self::routes_for))
-/// costs O(peers-per-prefix), not a full-table scan per UPDATE.
+/// is a single map lookup returning a contiguous slice, and insertion is a
+/// binary search within the handful of peers advertising a prefix (instead
+/// of the former `(peer, prefix)` double-index BTreeMap, which paid a
+/// full-height tree walk plus a secondary-index update per UPDATE).
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct AdjRibIn {
-    routes: BTreeMap<(PeerId, Prefix), Route>,
-    #[serde(skip)]
-    by_prefix: BTreeMap<Prefix, std::collections::BTreeSet<PeerId>>,
+    routes: BTreeMap<Prefix, Vec<Route>>,
+    total: usize,
+}
+
+fn slab_peer(route: &Route) -> PeerId {
+    route.learned_from.expect("AdjRibIn stores learned routes")
 }
 
 impl AdjRibIn {
-    /// Rebuild the skipped secondary index after deserialization.
+    /// Re-sort the per-prefix slabs and recount. The slab invariants are
+    /// maintained on every mutation, so this is defensive post-deserialize
+    /// hygiene (kept for API compatibility with the old double-index layout,
+    /// whose secondary index genuinely needed rebuilding).
     pub fn rebuild_indices(&mut self) {
-        self.by_prefix.clear();
-        for (peer, prefix) in self.routes.keys() {
-            self.by_prefix.entry(*prefix).or_default().insert(*peer);
+        let mut total = 0;
+        for slab in self.routes.values_mut() {
+            slab.sort_by_key(|r| r.learned_from);
+            total += slab.len();
         }
+        self.total = total;
     }
 
-    /// Insert or replace the route for `(peer, prefix)`.
-    pub fn insert(&mut self, route: Route) {
-        let peer = route.learned_from.expect("AdjRibIn stores learned routes");
-        self.by_prefix.entry(route.prefix).or_default().insert(peer);
-        self.routes.insert((peer, route.prefix), route);
-    }
-
-    fn unindex(&mut self, peer: PeerId, prefix: Prefix) {
-        if let Some(set) = self.by_prefix.get_mut(&prefix) {
-            set.remove(&peer);
-            if set.is_empty() {
-                self.by_prefix.remove(&prefix);
+    /// Insert or replace the route for `(peer, prefix)`. Returns whether the
+    /// stored state changed — an identical re-announcement (cheap to detect:
+    /// interned attribute ids plus scalars) is a no-op the caller can skip
+    /// re-running decisions for.
+    pub fn insert(&mut self, route: Route) -> bool {
+        let peer = slab_peer(&route);
+        let slab = self.routes.entry(route.prefix).or_default();
+        match slab.binary_search_by_key(&peer, slab_peer) {
+            Ok(i) => {
+                if slab[i] == route {
+                    false
+                } else {
+                    slab[i] = route;
+                    true
+                }
+            }
+            Err(i) => {
+                slab.insert(i, route);
+                self.total += 1;
+                true
             }
         }
     }
 
     /// Remove the route for `(peer, prefix)`; returns whether one existed.
     pub fn remove(&mut self, peer: PeerId, prefix: Prefix) -> bool {
-        let removed = self.routes.remove(&(peer, prefix)).is_some();
-        if removed {
-            self.unindex(peer, prefix);
+        let Some(slab) = self.routes.get_mut(&prefix) else {
+            return false;
+        };
+        match slab.binary_search_by_key(&peer, slab_peer) {
+            Ok(i) => {
+                slab.remove(i);
+                self.total -= 1;
+                if slab.is_empty() {
+                    self.routes.remove(&prefix);
+                }
+                true
+            }
+            Err(_) => false,
         }
-        removed
     }
 
     /// Remove every route learned from `peer`, returning the affected
     /// prefixes (used when a session drops).
     pub fn flush_peer(&mut self, peer: PeerId) -> Vec<Prefix> {
-        let keys: Vec<(PeerId, Prefix)> = self
-            .routes
-            .range((peer, Prefix::new(0, 0))..=(peer, Prefix::new(u32::MAX, 32)))
-            .map(|(k, _)| *k)
-            .collect();
-        let mut prefixes = Vec::with_capacity(keys.len());
-        for k in keys {
-            self.routes.remove(&k);
-            self.unindex(k.0, k.1);
-            prefixes.push(k.1);
-        }
+        let mut prefixes = Vec::new();
+        let mut removed = 0;
+        self.routes.retain(|prefix, slab| {
+            if let Ok(i) = slab.binary_search_by_key(&peer, slab_peer) {
+                slab.remove(i);
+                removed += 1;
+                prefixes.push(*prefix);
+            }
+            !slab.is_empty()
+        });
+        self.total -= removed;
         prefixes
     }
 
-    /// Remove every route failing `keep`, returning the affected prefixes.
-    /// Used when a Route Filter RPA is installed: the new filter must be
-    /// re-applied to routes already admitted to the RIB.
+    /// Remove every route failing `keep`, returning the affected prefixes
+    /// (sorted, deduped). Used when a Route Filter RPA is installed: the new
+    /// filter must be re-applied to routes already admitted to the RIB.
     pub fn purge(&mut self, mut keep: impl FnMut(&Route) -> bool) -> Vec<Prefix> {
-        let doomed: Vec<(PeerId, Prefix)> = self
-            .routes
-            .iter()
-            .filter(|(_, r)| !keep(r))
-            .map(|(k, _)| *k)
-            .collect();
-        let mut prefixes: Vec<Prefix> = doomed.iter().map(|(_, p)| *p).collect();
-        for k in doomed {
-            self.routes.remove(&k);
-            self.unindex(k.0, k.1);
-        }
-        prefixes.sort_unstable();
-        prefixes.dedup();
+        let mut prefixes = Vec::new();
+        let mut removed = 0;
+        self.routes.retain(|prefix, slab| {
+            let before = slab.len();
+            slab.retain(|r| keep(r));
+            if slab.len() != before {
+                removed += before - slab.len();
+                prefixes.push(*prefix);
+            }
+            !slab.is_empty()
+        });
+        self.total -= removed;
         prefixes
     }
 
-    /// All routes toward `prefix`, across peers.
-    pub fn routes_for(&self, prefix: Prefix) -> Vec<&Route> {
-        match self.by_prefix.get(&prefix) {
-            Some(peers) => peers
-                .iter()
-                .filter_map(|peer| self.routes.get(&(*peer, prefix)))
-                .collect(),
-            None => Vec::new(),
-        }
+    /// All routes toward `prefix`, across peers (sorted by session id).
+    pub fn routes_for(&self, prefix: Prefix) -> &[Route] {
+        self.routes.get(&prefix).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// The route learned from `peer` for `prefix`, if any.
     pub fn route(&self, peer: PeerId, prefix: Prefix) -> Option<&Route> {
-        self.routes.get(&(peer, prefix))
+        let slab = self.routes.get(&prefix)?;
+        slab.binary_search_by_key(&peer, slab_peer)
+            .ok()
+            .map(|i| &slab[i])
     }
 
     /// All distinct prefixes present.
     pub fn prefixes(&self) -> Vec<Prefix> {
-        self.by_prefix.keys().copied().collect()
+        self.routes.keys().copied().collect()
     }
 
     /// Total stored routes.
     pub fn len(&self) -> usize {
-        self.routes.len()
+        self.total
     }
 
     /// Whether empty.
     pub fn is_empty(&self) -> bool {
-        self.routes.is_empty()
+        self.total == 0
     }
 }
 
@@ -227,10 +257,14 @@ mod tests {
     #[test]
     fn insert_replace_and_lookup() {
         let mut rib = AdjRibIn::default();
-        rib.insert(route(1, "10.0.0.0/8"));
+        assert!(rib.insert(route(1, "10.0.0.0/8")));
+        assert!(
+            !rib.insert(route(1, "10.0.0.0/8")),
+            "identical re-insert reports no change"
+        );
         let mut newer = route(1, "10.0.0.0/8");
-        newer.attrs.local_pref = 500;
-        rib.insert(newer);
+        std::sync::Arc::make_mut(&mut newer.attrs).local_pref = 500;
+        assert!(rib.insert(newer));
         assert_eq!(rib.len(), 1, "same (peer, prefix) replaces");
         assert_eq!(
             rib.route(PeerId(1), p("10.0.0.0/8"))
@@ -278,7 +312,7 @@ mod tests {
         let r1 = route(1, "0.0.0.0/0");
         let r2 = route(2, "0.0.0.0/0");
         let local = Route::local(p("0.0.0.0/0"), PathAttributes::default());
-        let entry = LocRibEntry::ecmp(vec![r1.clone(), r2.clone(), local], Some(r1));
+        let entry = LocRibEntry::ecmp(vec![r1.clone(), r2, local], Some(r1));
         assert_eq!(entry.weights, vec![1, 1, 1]);
         assert_eq!(entry.nexthop_sessions(), vec![PeerId(1), PeerId(2)]);
         assert!(!entry.fib_warm_only);

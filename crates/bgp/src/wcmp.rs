@@ -7,6 +7,7 @@
 //! set's bandwidth values into small integer weights (hardware hashes over
 //! integer replication counts, so values are reduced by their GCD and capped).
 
+use crate::inline::InlineVec;
 use crate::rib::Route;
 
 /// Maximum per-path integer weight after reduction, mirroring ASIC limits on
@@ -20,11 +21,14 @@ pub const MAX_WEIGHT: u32 = 64;
 ///   the minimum advertised bandwidth (conservative).
 /// * Weights are scaled to integers, reduced by their GCD, and capped at
 ///   [`MAX_WEIGHT`].
+///
+/// Scratch buffers stay inline for multipath sets of ≤ 8 next-hops; only the
+/// returned weight vector (which the Loc-RIB stores) touches the heap.
 pub fn derive_weights(selected: &[Route]) -> Vec<u32> {
     if selected.is_empty() {
         return Vec::new();
     }
-    let bandwidths: Vec<Option<f64>> = selected
+    let bandwidths: InlineVec<Option<f64>, 8> = selected
         .iter()
         .map(|r| r.attrs.link_bandwidth_gbps)
         .collect();
@@ -36,7 +40,7 @@ pub fn derive_weights(selected: &[Route]) -> Vec<u32> {
         .filter_map(|b| *b)
         .fold(f64::INFINITY, f64::min)
         .max(f64::MIN_POSITIVE);
-    let raw: Vec<f64> = bandwidths
+    let raw: InlineVec<f64, 8> = bandwidths
         .iter()
         .map(|b| b.unwrap_or(min_bw).max(0.0))
         .collect();

@@ -148,7 +148,7 @@ pub fn plan_category(topo: &Topology, category: MigrationCategory) -> MigrationP
                     RoutingIntent::EqualizePaths {
                         destination: bb,
                         origin_layer: Layer::Backbone,
-                        targets: fabric_layers.clone(),
+                        targets: fabric_layers,
                     },
                     RoutingIntent::PrimaryBackup {
                         destination: well_known::ANYCAST_VIP,
@@ -199,7 +199,7 @@ pub fn plan_category(topo: &Topology, category: MigrationCategory) -> MigrationP
                     RoutingIntent::EqualizePaths {
                         destination: bb,
                         origin_layer: Layer::Backbone,
-                        targets: fabric_layers.clone(),
+                        targets: fabric_layers,
                     },
                     // The cutover also pins traffic distribution on the
                     // devices facing the swapped layer (§3.4 protection)...

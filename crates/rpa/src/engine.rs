@@ -924,7 +924,7 @@ mod tests {
         e.select_paths(Prefix::DEFAULT, &[route(1, &[101, 60000], &[c])]);
         let warm = e.stats();
         let mut twin = route(2, &[101, 60000], &[c]);
-        twin.attrs.local_pref += 50;
+        std::sync::Arc::make_mut(&mut twin.attrs).local_pref += 50;
         e.select_paths(Prefix::DEFAULT, &[twin]);
         let after = e.stats();
         assert_eq!(after.cache_misses, warm.cache_misses, "no new misses");

@@ -7,9 +7,17 @@
 //! the table and delaying forwarding updates. This module tracks exactly
 //! that: the set of distinct groups currently referenced, its high-water
 //! mark, cumulative group creations (churn), and overflow events.
+//!
+//! Storage is a binary prefix trie rather than a flat ordered map: delta
+//! applies touch O(changed × 32) nodes, longest-prefix match is a single
+//! root-to-leaf walk, and preorder traversal yields entries in exactly the
+//! `(addr, len)` order the old `BTreeMap` produced — so snapshots, iteration
+//! and the `verify_full_equivalence` oracle are byte-identical across the
+//! representation change.
 
 use centralium_bgp::{FibEntry, PeerId, Prefix};
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 
 /// A next-hop group: the weighted next-hop set a prefix hashes over. Ordering
 /// is canonical (sorted by session id) so identical groups compare equal.
@@ -31,14 +39,235 @@ pub struct NhgStats {
     pub overflow_events: u64,
 }
 
+// ---------------------------------------------------------------------------
+// Prefix trie
+// ---------------------------------------------------------------------------
+
+/// One trie node: depth encodes prefix length, the root-to-node bit path
+/// encodes the address. A node may hold an installed entry and up to two
+/// children (next address bit 0 / 1).
+#[derive(Debug, Clone, Default)]
+struct Node {
+    entry: Option<FibEntry>,
+    children: [Option<Box<Node>>; 2],
+}
+
+impl Node {
+    fn is_empty(&self) -> bool {
+        self.entry.is_none() && self.children.iter().all(Option::is_none)
+    }
+}
+
+/// Bit `depth` of `addr`, counted from the most-significant end — the branch
+/// index at `depth` for a prefix containing `addr`.
+fn bit(addr: u32, depth: u8) -> usize {
+    ((addr >> (31 - depth)) & 1) as usize
+}
+
+/// An uncompressed binary prefix trie of [`FibEntry`]s.
+///
+/// Preorder traversal (entry before children, bit-0 child before bit-1)
+/// visits prefixes in ascending `(addr, len)` order: a parent's masked
+/// address lower-bounds its subtree and its length is strictly shorter,
+/// while the bit-0 subtree's addresses all precede the bit-1 subtree's.
+/// That is precisely `Prefix`'s derived `Ord`, so iteration order matches
+/// the flat ordered map this replaced.
+#[derive(Debug, Clone, Default)]
+struct Trie {
+    root: Node,
+    len: usize,
+}
+
+impl Trie {
+    /// Install `entry` at `prefix`, returning the displaced entry if any.
+    fn insert(&mut self, prefix: Prefix, entry: FibEntry) -> Option<FibEntry> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            node = node.children[bit(prefix.addr(), depth)].get_or_insert_with(Default::default);
+        }
+        let old = node.entry.replace(entry);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove the entry at `prefix`, pruning now-empty interior nodes so the
+    /// trie never accumulates dead branches across churn.
+    fn remove(&mut self, prefix: Prefix) -> Option<FibEntry> {
+        fn rec(node: &mut Node, prefix: Prefix, depth: u8) -> Option<FibEntry> {
+            if depth == prefix.len() {
+                return node.entry.take();
+            }
+            let idx = bit(prefix.addr(), depth);
+            let child = node.children[idx].as_mut()?;
+            let removed = rec(child, prefix, depth + 1);
+            if removed.is_some() && child.is_empty() {
+                node.children[idx] = None;
+            }
+            removed
+        }
+        let removed = rec(&mut self.root, prefix, 0);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Exact-match entry.
+    fn get(&self, prefix: Prefix) -> Option<&FibEntry> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            node = node.children[bit(prefix.addr(), depth)].as_deref()?;
+        }
+        node.entry.as_ref()
+    }
+
+    /// Longest installed prefix containing `dest`: one root-to-leaf walk
+    /// along `dest`'s bits, remembering the deepest entry passed.
+    fn lookup(&self, dest: &Prefix) -> Option<&FibEntry> {
+        let mut node = &self.root;
+        let mut best = node.entry.as_ref();
+        for depth in 0..dest.len() {
+            match node.children[bit(dest.addr(), depth)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    best = node.entry.as_ref().or(best);
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Preorder iterator — ascending `(addr, len)`.
+    fn iter(&self) -> TrieIter<'_> {
+        TrieIter {
+            stack: vec![&self.root],
+        }
+    }
+}
+
+/// Explicit-stack preorder walk. Children are pushed bit-1 first so bit-0
+/// pops (and yields) first.
+struct TrieIter<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for TrieIter<'a> {
+    type Item = &'a FibEntry;
+
+    fn next(&mut self) -> Option<&'a FibEntry> {
+        while let Some(node) = self.stack.pop() {
+            if let Some(child) = node.children[1].as_deref() {
+                self.stack.push(child);
+            }
+            if let Some(child) = node.children[0].as_deref() {
+                self.stack.push(child);
+            }
+            if let Some(entry) = node.entry.as_ref() {
+                return Some(entry);
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group table
+// ---------------------------------------------------------------------------
+
+/// Reference-counted next-hop-group objects with **creation-order ids**.
+///
+/// Every group alive in the table owns a monotonically-assigned id; lookups
+/// that must pick among equivalent groups (the §3.4 dedup heuristic) choose
+/// the lowest id, so the choice is deterministic by construction instead of
+/// leaning on value ordering over hash-map iteration. A fully-released group
+/// forgets its id — re-creating it later mints a fresh id and counts as a
+/// new ASIC programming operation, exactly like the hardware it models.
+#[derive(Debug, Clone, Default)]
+struct GroupTable {
+    /// Live group → its id.
+    ids: HashMap<NextHopGroup, u64>,
+    /// Live id → (group, refcount). Ordered so iteration (and `Debug`
+    /// output) follows creation order deterministically.
+    live: BTreeMap<u64, (NextHopGroup, usize)>,
+    next_id: u64,
+}
+
+impl GroupTable {
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn contains(&self, group: &NextHopGroup) -> bool {
+        self.ids.contains_key(group)
+    }
+
+    /// Take a reference on `group`, creating it (fresh id) when absent.
+    /// Returns `true` when the call created the group.
+    fn acquire(&mut self, group: NextHopGroup) -> bool {
+        match self.ids.get(&group) {
+            Some(&id) => {
+                self.live.get_mut(&id).expect("live id").1 += 1;
+                false
+            }
+            None => {
+                let id = self.next_id;
+                self.next_id += 1;
+                self.ids.insert(group.clone(), id);
+                self.live.insert(id, (group, 1));
+                true
+            }
+        }
+    }
+
+    /// Drop a reference on `group`, keeping zero-refcount groups in the
+    /// table until [`GroupTable::gc`] — batch semantics: a group released
+    /// and re-acquired within one batch is not a new creation.
+    fn release(&mut self, group: &NextHopGroup) {
+        if let Some(&id) = self.ids.get(group) {
+            let slot = self.live.get_mut(&id).expect("live id");
+            slot.1 = slot.1.saturating_sub(1);
+        }
+    }
+
+    /// Forget fully-released groups (and their ids).
+    fn gc(&mut self) {
+        let dead: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, (_, count))| *count == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in dead {
+            let (group, _) = self.live.remove(&id).expect("dead id");
+            self.ids.remove(&group);
+        }
+    }
+
+    /// The lowest-id live group with the given member sessions (ignoring
+    /// weights), for the dedup heuristic.
+    fn same_members(&self, members: &[PeerId]) -> Option<&NextHopGroup> {
+        self.live
+            .values()
+            .map(|(group, _)| group)
+            .find(|g| g.len() == members.len() && g.iter().map(|(p, _)| p).eq(members.iter()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fib
+// ---------------------------------------------------------------------------
+
 /// A device's forwarding table.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Fib {
-    entries: BTreeMap<Prefix, FibEntry>,
+    entries: Trie,
     /// Hardware limit on distinct next-hop group objects.
     capacity: usize,
-    /// Groups currently referenced, with reference counts.
-    groups: HashMap<NextHopGroup, usize>,
+    /// Groups currently referenced, with reference counts and stable ids.
+    groups: GroupTable,
     stats: NhgStats,
     /// Best-effort dedup heuristic (the "native approach" of §3.4, e.g.
     /// in-place adjacency replace): when a prefix's group changes but has the
@@ -47,13 +276,46 @@ pub struct Fib {
     pub dedup_heuristic: bool,
 }
 
+/// Deterministic `Debug`: entries in `(addr, len)` order and groups in
+/// creation-id order. Parallel-determinism checks and the perf-bench shadow
+/// oracle compare `{:?}` snapshots of whole FIBs, so this output must be
+/// stable across runs and engines — never route it through hash-map
+/// iteration.
+impl fmt::Debug for Fib {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Entries<'a>(&'a Trie);
+        impl fmt::Debug for Entries<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_map()
+                    .entries(self.0.iter().map(|e| (e.prefix, e)))
+                    .finish()
+            }
+        }
+        struct Groups<'a>(&'a GroupTable);
+        impl fmt::Debug for Groups<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_map()
+                    .entries(self.0.live.values().map(|(group, count)| (group, count)))
+                    .finish()
+            }
+        }
+        f.debug_struct("Fib")
+            .field("entries", &Entries(&self.entries))
+            .field("capacity", &self.capacity)
+            .field("groups", &Groups(&self.groups))
+            .field("stats", &self.stats)
+            .field("dedup_heuristic", &self.dedup_heuristic)
+            .finish()
+    }
+}
+
 impl Fib {
     /// Empty FIB with the given group-table capacity.
     pub fn new(capacity: usize) -> Self {
         Fib {
-            entries: BTreeMap::new(),
+            entries: Trie::default(),
             capacity,
-            groups: HashMap::new(),
+            groups: GroupTable::default(),
             stats: NhgStats::default(),
             dedup_heuristic: false,
         }
@@ -61,28 +323,48 @@ impl Fib {
 
     /// Synchronize with the daemon's desired forwarding state.
     pub fn sync(&mut self, desired: Vec<FibEntry>) {
-        let mut new_entries: BTreeMap<Prefix, FibEntry> = BTreeMap::new();
-        for e in desired {
-            new_entries.insert(e.prefix, e);
+        // Canonicalize against the pre-batch table (the dedup heuristic and
+        // creation counting both compare to "present before the batch"),
+        // then rebuild. Releases are deferred so a group that survives the
+        // sync keeps its id.
+        let canonical: Vec<FibEntry> = desired
+            .into_iter()
+            .map(|mut e| {
+                e.nexthops = self.canonical_group(&e.nexthops);
+                e
+            })
+            .collect();
+        let old: Vec<NextHopGroup> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut g = e.nexthops.clone();
+                g.sort_unstable_by_key(|(p, _)| *p);
+                g
+            })
+            .collect();
+        for g in &old {
+            self.groups.release(g);
         }
-        // Build the new group refcount map, counting creations.
-        let mut new_groups: HashMap<NextHopGroup, usize> = HashMap::new();
-        for e in new_entries.values() {
-            let group = self.canonical_group(&e.nexthops);
-            *new_groups.entry(group).or_insert(0) += 1;
+        let mut trie = Trie::default();
+        for e in canonical {
+            if let Some(prev) = trie.insert(e.prefix, e) {
+                // Duplicate prefix in the desired list: last write wins,
+                // matching the map-insert semantics this replaced.
+                let mut g = prev.nexthops.clone();
+                g.sort_unstable_by_key(|(p, _)| *p);
+                self.groups.release(&g);
+            }
         }
-        for g in new_groups.keys() {
-            if !self.groups.contains_key(g) {
+        for e in trie.iter() {
+            // Canonicalized above: nexthops are already sorted.
+            if self.groups.acquire(e.nexthops.clone()) {
                 self.stats.group_creations += 1;
             }
         }
-        self.groups = new_groups;
-        self.entries = new_entries;
-        self.stats.current_groups = self.groups.len();
-        self.stats.max_groups = self.stats.max_groups.max(self.stats.current_groups);
-        if self.stats.current_groups > self.capacity {
-            self.stats.overflow_events += 1;
-        }
+        self.groups.gc();
+        self.entries = trie;
+        self.note_group_pressure();
     }
 
     /// Apply a per-prefix delta instead of a full rebuild — the incremental
@@ -93,7 +375,8 @@ impl Fib {
     /// once per batch. No-op changes (new entry equal to the installed one)
     /// are skipped entirely, and an all-no-op batch performs no accounting —
     /// callers must not rely on `apply` bumping stats the way a redundant
-    /// `sync` would.
+    /// `sync` would. Cost is O(changed) trie walks, independent of table
+    /// size.
     ///
     /// Not valid with [`Fib::dedup_heuristic`] (its reuse choice depends on
     /// the whole-table rebuild order); callers fall back to `sync` there.
@@ -104,21 +387,19 @@ impl Fib {
         );
         let real: Vec<(Prefix, Option<FibEntry>)> = changes
             .into_iter()
-            .filter(|(prefix, new)| self.entries.get(prefix) != new.as_ref())
+            .filter(|(prefix, new)| self.entries.get(*prefix) != new.as_ref())
             .collect();
         if real.is_empty() {
             return;
         }
         // Phase 1: release the old groups, keeping zero-refcount groups in
-        // the map so phase 2's creation counting still sees "present before
-        // the batch" (mirroring sync's old-map membership test).
+        // the table so phase 2's creation counting still sees "present
+        // before the batch".
         for (prefix, _) in &real {
-            if let Some(old) = self.entries.get(prefix) {
+            if let Some(old) = self.entries.get(*prefix) {
                 let mut group: NextHopGroup = old.nexthops.clone();
                 group.sort_unstable_by_key(|(p, _)| *p);
-                if let Some(count) = self.groups.get_mut(&group) {
-                    *count = count.saturating_sub(1);
-                }
+                self.groups.release(&group);
             }
         }
         // Phase 2: install the new entries and acquire their groups.
@@ -127,22 +408,23 @@ impl Fib {
                 Some(entry) => {
                     let mut group: NextHopGroup = entry.nexthops.clone();
                     group.sort_unstable_by_key(|(p, _)| *p);
-                    match self.groups.get_mut(&group) {
-                        Some(count) => *count += 1,
-                        None => {
-                            self.stats.group_creations += 1;
-                            self.groups.insert(group, 1);
-                        }
+                    if self.groups.acquire(group) {
+                        self.stats.group_creations += 1;
                     }
                     self.entries.insert(prefix, entry);
                 }
                 None => {
-                    self.entries.remove(&prefix);
+                    self.entries.remove(prefix);
                 }
             }
         }
         // Phase 3: drop groups the batch fully released.
-        self.groups.retain(|_, count| *count > 0);
+        self.groups.gc();
+        self.note_group_pressure();
+    }
+
+    /// Refresh the current / high-water / overflow accounting after a batch.
+    fn note_group_pressure(&mut self) {
         self.stats.current_groups = self.groups.len();
         self.stats.max_groups = self.stats.max_groups.max(self.stats.current_groups);
         if self.stats.current_groups > self.capacity {
@@ -152,19 +434,14 @@ impl Fib {
 
     /// Canonicalize a group, optionally applying the dedup heuristic: if an
     /// existing group has the same member sessions (any weights), reuse it.
+    /// The reuse choice is the *oldest* (lowest-id) live candidate, so it is
+    /// deterministic by construction.
     fn canonical_group(&self, nexthops: &[(PeerId, u32)]) -> NextHopGroup {
         let mut group: NextHopGroup = nexthops.to_vec();
         group.sort_unstable_by_key(|(p, _)| *p);
-        if self.dedup_heuristic && !self.groups.contains_key(&group) {
+        if self.dedup_heuristic && !self.groups.contains(&group) {
             let members: Vec<PeerId> = group.iter().map(|(p, _)| *p).collect();
-            // Deterministic choice among same-member groups (HashMap
-            // iteration order must not leak into simulation state).
-            if let Some(existing) = self
-                .groups
-                .keys()
-                .filter(|g| g.iter().map(|(p, _)| *p).collect::<Vec<_>>() == members)
-                .min()
-            {
+            if let Some(existing) = self.groups.same_members(&members) {
                 return existing.clone();
             }
         }
@@ -173,30 +450,27 @@ impl Fib {
 
     /// Longest-prefix-match lookup.
     pub fn lookup(&self, dest: &Prefix) -> Option<&FibEntry> {
-        self.entries
-            .values()
-            .filter(|e| e.prefix.contains(dest))
-            .max_by_key(|e| e.prefix.len())
+        self.entries.lookup(dest)
     }
 
     /// Exact-prefix entry.
     pub fn entry(&self, prefix: Prefix) -> Option<&FibEntry> {
-        self.entries.get(&prefix)
+        self.entries.get(prefix)
     }
 
-    /// All entries.
+    /// All entries, in ascending `(addr, len)` order.
     pub fn entries(&self) -> impl Iterator<Item = &FibEntry> {
-        self.entries.values()
+        self.entries.iter()
     }
 
     /// Number of installed prefixes.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.len
     }
 
     /// Whether the FIB is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.len == 0
     }
 
     /// Group-table counters.
@@ -344,5 +618,69 @@ mod tests {
         assert_eq!(stats.current_groups, 2);
         assert_eq!(stats.max_groups, 2);
         assert_eq!(stats.group_creations, 0);
+    }
+
+    #[test]
+    fn trie_iteration_matches_ordered_map_order() {
+        let mut fib = Fib::new(16);
+        let prefixes = [
+            "10.1.0.0/16",
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "10.128.0.0/9",
+            "192.168.1.0/24",
+            "10.1.0.0/24",
+            "128.0.0.0/1",
+        ];
+        fib.sync(prefixes.iter().map(|s| entry(s, &[(1, 1)])).collect());
+        let got: Vec<Prefix> = fib.entries().map(|e| e.prefix).collect();
+        let mut want: Vec<Prefix> = prefixes.iter().map(|s| p(s)).collect();
+        want.sort();
+        assert_eq!(got, want, "preorder must equal (addr, len) order");
+    }
+
+    #[test]
+    fn delta_apply_matches_sync_and_prunes() {
+        let mut fib = Fib::new(16);
+        fib.sync(vec![
+            entry("0.0.0.0/0", &[(1, 1)]),
+            entry("10.1.0.0/16", &[(2, 1)]),
+        ]);
+        fib.apply(vec![
+            (p("10.1.0.0/16"), None),
+            (p("10.2.0.0/16"), Some(entry("10.2.0.0/16", &[(3, 1)]))),
+        ]);
+        assert_eq!(fib.len(), 2);
+        assert!(fib.entry(p("10.1.0.0/16")).is_none());
+        assert_eq!(
+            fib.lookup(&p("10.1.5.0/24")).unwrap().prefix,
+            p("0.0.0.0/0")
+        );
+        assert_eq!(
+            fib.lookup(&p("10.2.5.0/24")).unwrap().prefix,
+            p("10.2.0.0/16")
+        );
+        // Removing the last deep entry must not leave dead interior nodes
+        // that would surface in iteration.
+        fib.apply(vec![(p("10.2.0.0/16"), None)]);
+        assert_eq!(fib.entries().count(), 1);
+    }
+
+    #[test]
+    fn group_ids_are_creation_ordered_and_forgotten_on_release() {
+        let mut fib = Fib::new(16);
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(1, 1)]),
+            entry("11.0.0.0/8", &[(2, 1)]),
+        ]);
+        // Replace both groups; the old ones are fully released.
+        fib.sync(vec![
+            entry("10.0.0.0/8", &[(3, 1)]),
+            entry("11.0.0.0/8", &[(3, 1)]),
+        ]);
+        assert_eq!(fib.nhg_stats().group_creations, 3);
+        // Re-creating a forgotten group is a fresh ASIC program.
+        fib.sync(vec![entry("10.0.0.0/8", &[(1, 1)])]);
+        assert_eq!(fib.nhg_stats().group_creations, 4);
     }
 }

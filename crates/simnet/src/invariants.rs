@@ -61,12 +61,12 @@ pub fn verify_rib_consistency(net: &SimNet) -> Vec<String> {
                 let held = tdev
                     .daemon
                     .rib_in_routes(prefix)
-                    .into_iter()
+                    .iter()
                     .find(|r| r.learned_from == Some(on))
                     .map(|r| r.attrs.clone());
                 match (expected, held) {
                     (None, None) => {}
-                    (Some(e), Some(h)) if e == h => {}
+                    (Some(e), Some(h)) if e == *h => {}
                     (Some(e), Some(h)) => failures.push(format!(
                         "{from}->{to} {prefix}: receiver holds stale path [{}], sender advertises [{}]",
                         h.as_path_string(),

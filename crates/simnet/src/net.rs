@@ -55,6 +55,17 @@ pub struct SimConfig {
     /// TX queues drain in effectively independent orders, which is what
     /// makes the §3.4 per-prefix state space combinatorial.
     pub shuffle_split_order: bool,
+    /// Coalesce outgoing UPDATEs per directed session into batched delivery
+    /// events. While a batch is still at least one base latency away, further
+    /// output toward the same session merges into it with last-writer-wins
+    /// squashing (a re-announcement replaces the queued announcement for the
+    /// same prefix; a withdraw cancels it) — so a convergence wave costs
+    /// O(links) delivery events instead of O(peers × prefixes). Takes
+    /// precedence over `split_announcements`. Converged FIBs are
+    /// byte-identical with coalescing on or off (batching only reschedules
+    /// in-flight information, it never reorders within a session); disable it
+    /// for scenario rigs that study per-prefix message interleaving itself.
+    pub coalesce_updates: bool,
     /// Delay between a device dying and neighbors noticing, in µs.
     pub failure_detection_us: SimTime,
     /// Attach link-bandwidth communities on export (distributed WCMP).
@@ -98,6 +109,7 @@ impl Default for SimConfig {
             sessions_per_link: 1,
             split_announcements: true,
             shuffle_split_order: true,
+            coalesce_updates: true,
             failure_detection_us: 1_000,
             wcmp_advertise: false,
             valley_free_policies: true,
@@ -167,6 +179,13 @@ impl SimConfigBuilder {
     /// Randomize the per-session queueing order of split messages.
     pub fn shuffle_split_order(mut self, on: bool) -> Self {
         self.cfg.shuffle_split_order = on;
+        self
+    }
+
+    /// Coalesce outgoing UPDATEs per directed session into batched delivery
+    /// events (see [`SimConfig::coalesce_updates`]).
+    pub fn coalesce_updates(mut self, on: bool) -> Self {
+        self.cfg.coalesce_updates = on;
         self
     }
 
@@ -241,6 +260,18 @@ pub enum NetEvent {
         on: PeerId,
         /// The message.
         msg: UpdateMessage,
+    },
+    /// Deliver a coalesced UPDATE batch to `to` on its session `on`. The
+    /// payload lives in the net's batch side-table (keyed by `batch`) so
+    /// that output emitted while the event is still in flight can merge
+    /// into it; queued event payloads themselves are immutable.
+    DeliverBatch {
+        /// Receiving device.
+        to: DeviceId,
+        /// Receiver-side session id.
+        on: PeerId,
+        /// Key into the pending-batch side table.
+        batch: u64,
     },
     /// Deliver a session-level control message (OPEN / KEEPALIVE /
     /// NOTIFICATION) to `to` on its session `on` (handshake mode).
@@ -681,6 +712,11 @@ struct NetCounters {
     /// RPA installs/removes that fell back to full re-evaluation
     /// (incremental mode off, or a structural Route Filter change).
     rpa_full_reevals: Counter,
+    /// Coalesced batch deliveries (each one [`NetEvent::DeliverBatch`]).
+    batches_delivered: Counter,
+    /// Output UPDATEs that merged into an in-flight batch instead of
+    /// scheduling a delivery event of their own.
+    updates_coalesced: Counter,
     session_events: Counter,
     rpc_dropped: Counter,
     rpc_duplicated: Counter,
@@ -707,6 +743,8 @@ impl NetCounters {
             rpa_failures: m.counter("simnet.rpa_failures"),
             rpa_scoped_reevals: m.counter("simnet.rpa_scoped_reevals"),
             rpa_full_reevals: m.counter("simnet.rpa_full_reevals"),
+            batches_delivered: m.counter("simnet.batches_delivered"),
+            updates_coalesced: m.counter("simnet.updates_coalesced"),
             session_events: m.counter("simnet.session_events"),
             rpc_dropped: m.counter("simnet.rpc_dropped"),
             rpc_duplicated: m.counter("simnet.rpc_duplicated"),
@@ -743,6 +781,19 @@ pub struct SimNet {
     originators: HashMap<Prefix, BTreeSet<DeviceId>>,
     /// Per directed (from, to, session) last delivery time, for TCP FIFO.
     fifo: HashMap<(DeviceId, DeviceId, u8), SimTime>,
+    /// Payloads of in-flight coalesced batches, keyed by batch id. Lives
+    /// outside the event queue because queued payloads are immutable while
+    /// batches keep absorbing output until one base latency before delivery.
+    batches: HashMap<u64, UpdateMessage>,
+    /// The open (still-mergeable) batch per directed session: its id and
+    /// scheduled delivery time.
+    open_batch: HashMap<(DeviceId, DeviceId, u8), (u64, SimTime)>,
+    /// Monotonic batch-id allocator. Only bumped during emission replay
+    /// (serial in both engines), so ids are engine-independent.
+    next_batch_id: u64,
+    /// Largest routing-information count (announcements + withdrawals)
+    /// observed in a single delivered batch.
+    max_batch_size: u64,
     /// Deterministic chaos schedule for management RPCs, if any. Decisions
     /// hash `(seed, device, rpc_nonce)` and never touch `rng`, so enabling
     /// chaos leaves BGP message timing bit-identical.
@@ -789,6 +840,10 @@ impl SimNet {
             last_update: HashMap::new(),
             originators: HashMap::new(),
             fifo: HashMap::new(),
+            batches: HashMap::new(),
+            open_batch: HashMap::new(),
+            next_batch_id: 0,
+            max_batch_size: 0,
             chaos: None,
             rpc_nonce: 0,
             touched: BTreeSet::new(),
@@ -1068,9 +1123,30 @@ impl SimNet {
     pub fn establish_all(&mut self) {
         let devs: Vec<DeviceId> = self.devices.keys().copied().collect();
         if !self.cfg.handshake_sessions {
+            // Administrative bring-up is a management-plane action, not
+            // network traffic: run each SessionUp synchronously through the
+            // same prepare / work / replay pipeline the queue uses (so
+            // counters, journal records and any resulting advertisements
+            // behave identically) instead of flooding the event queue with
+            // O(sessions) bring-up events.
             for dev in devs {
                 for peer in self.devices[&dev].daemon.peer_ids() {
-                    self.schedule_in(0, NetEvent::SessionUp { dev, peer });
+                    let t = self.now;
+                    if let Some((dev_id, work)) = self.prepare(t, NetEvent::SessionUp { dev, peer })
+                    {
+                        let Self {
+                            devices,
+                            counters,
+                            topo,
+                            cfg,
+                            ..
+                        } = self;
+                        let d = devices
+                            .get_mut(&dev_id)
+                            .expect("prepared event targets a live device");
+                        let emissions = run_work(d, t, work, counters, topo, cfg);
+                        self.replay(dev_id, emissions);
+                    }
                 }
             }
             return;
@@ -1694,6 +1770,42 @@ impl SimNet {
                 self.counters.session_events.inc();
                 Some((to, Work::Ctl { on, msg }))
             }
+            NetEvent::DeliverBatch { to, on, batch } => {
+                // Always retire the side-table state — even when the target
+                // device is gone, leaving the payload behind would leak and
+                // leaving the open-batch entry behind would merge future
+                // output into a batch that will never be delivered again.
+                let msg = self.batches.remove(&batch)?;
+                let key = (DeviceId(on.device()), to, on.session_index());
+                if let Some(&(id, _)) = self.open_batch.get(&key) {
+                    if id == batch {
+                        self.open_batch.remove(&key);
+                    }
+                }
+                if !self.devices.contains_key(&to) {
+                    return None;
+                }
+                self.counters.messages_delivered.inc();
+                self.counters.batches_delivered.inc();
+                let size = (msg.announced.len() + msg.withdrawn.len()) as u64;
+                self.max_batch_size = self.max_batch_size.max(size);
+                self.counters.announcements.add(msg.announced.len() as u64);
+                self.counters.withdrawals.add(msg.withdrawn.len() as u64);
+                self.note_churn(to);
+                if !self.origin_time.is_empty() {
+                    for (p, _) in &msg.announced {
+                        if self.origin_time.contains_key(p) {
+                            self.last_update.insert(*p, t);
+                        }
+                    }
+                    for p in &msg.withdrawn {
+                        if self.origin_time.contains_key(p) {
+                            self.last_update.insert(*p, t);
+                        }
+                    }
+                }
+                Some((to, Work::Deliver { on, msg }))
+            }
             NetEvent::Deliver { to, on, msg } => {
                 if !self.devices.contains_key(&to) {
                     return None;
@@ -1829,6 +1941,8 @@ impl SimNet {
         m.gauge("bgp.adj_rib_in_total").set(adj_rib_in);
         m.gauge("bgp.loc_rib_total").set(loc_rib);
         m.gauge("fib.nexthop_groups_total").set(nhgs);
+        m.gauge("simnet.max_batch_size")
+            .set(self.max_batch_size as i64);
     }
 
     /// Run events with time ≤ `deadline` (for snapshotting transitory
@@ -1917,9 +2031,13 @@ impl SimNet {
             .schedule(at, NetEvent::DeliverCtl { to, on, msg });
     }
 
-    /// Schedule daemon output messages for delivery, applying splitting,
-    /// fault injection, latency, jitter and per-session FIFO.
+    /// Schedule daemon output messages for delivery, applying coalescing or
+    /// splitting, fault injection, latency, jitter and per-session FIFO.
     fn emit(&mut self, from: DeviceId, outputs: Vec<(PeerId, UpdateMessage)>) {
+        if self.cfg.coalesce_updates {
+            self.emit_coalesced(from, outputs);
+            return;
+        }
         for (peer, msg) in outputs {
             let to = DeviceId(peer.device());
             let session_idx = peer.session_index();
@@ -1963,6 +2081,65 @@ impl SimNet {
                 self.queue
                     .schedule(at, NetEvent::Deliver { to, on, msg: piece });
             }
+        }
+    }
+
+    /// The coalescing emission path: one in-flight batch per directed
+    /// session. Output merges (last-writer-wins per prefix) into the open
+    /// batch while its delivery is still at least one base latency away —
+    /// i.e. while the new information could not legally have arrived before
+    /// the batch does — and opens a fresh batch otherwise. FIFO order within
+    /// a session is preserved by construction: a batch never overtakes an
+    /// earlier delivery (the FIFO clamp) and merged content arrives exactly
+    /// when the batch does.
+    fn emit_coalesced(&mut self, from: DeviceId, outputs: Vec<(PeerId, UpdateMessage)>) {
+        let min_latency = self.cfg.base_latency_us.max(1);
+        for (peer, msg) in outputs {
+            let to = DeviceId(peer.device());
+            let session_idx = peer.session_index();
+            let on = PeerId::compose(from.0, session_idx);
+            // Faults apply per output message: a dropped fate loses the whole
+            // UPDATE (as a dropped TCP segment would stall its content), a
+            // delay fate pushes out a freshly-opened batch but cannot move
+            // one already in flight.
+            let Some(extra) = self.cfg.fault.apply(&mut self.rng) else {
+                self.note_fault_drop(from, to);
+                continue;
+            };
+            let key = (from, to, session_idx);
+            if let Some(&(id, at)) = self.open_batch.get(&key) {
+                if at >= self.now + min_latency {
+                    self.counters.updates_coalesced.inc();
+                    self.batches
+                        .get_mut(&id)
+                        .expect("open batch has a payload")
+                        .merge(msg);
+                    continue;
+                }
+            }
+            let jitter = if self.cfg.jitter_us > 0 {
+                self.rng.gen_range(0..=self.cfg.jitter_us)
+            } else {
+                0
+            };
+            // A fresh batch is held one extra base latency beyond the
+            // message's own flight time — the role BGP's MRAI timer plays.
+            // Output a convergence wave generates in the next latency window
+            // (reactions to events one hop upstream) merges into the batch
+            // instead of scheduling deliveries of its own, which also damps
+            // path hunting: the receiver never processes the squashed-away
+            // intermediate states, so it never re-advertises them.
+            let mut at = self.now + 3 * self.cfg.base_latency_us + jitter + extra;
+            if let Some(&last) = self.fifo.get(&key) {
+                at = at.max(last + 1);
+            }
+            self.fifo.insert(key, at);
+            let id = self.next_batch_id;
+            self.next_batch_id += 1;
+            self.batches.insert(id, msg);
+            self.open_batch.insert(key, (id, at));
+            self.queue
+                .schedule(at, NetEvent::DeliverBatch { to, on, batch: id });
         }
     }
 }

@@ -59,8 +59,7 @@ pub fn optimize_weights(graph: &UpGraph, demands: &Demands, iterations: usize) -
     }
     // The multiplicative update is a heuristic and can overshoot; track the
     // best iterate seen and never return anything worse than plain ECMP.
-    let ecmp = ecmp_weights(graph);
-    let mut best = ecmp.clone();
+    let mut best = ecmp_weights(graph);
     let mut best_util = metrics::max_utilization(graph, demands, &best);
     let start_util = metrics::max_utilization(graph, demands, &weights);
     if start_util < best_util {

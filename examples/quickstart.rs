@@ -83,12 +83,7 @@ fn main() {
     //    default route (the §7.2 debugging surface).
     let dev = net.device(ssw).unwrap();
     println!("ssw-plane0-0 active RPAs: {:?}", dev.engine.installed());
-    let candidates: Vec<_> = dev
-        .daemon
-        .rib_in_routes(Prefix::DEFAULT)
-        .into_iter()
-        .cloned()
-        .collect();
+    let candidates: Vec<_> = dev.daemon.rib_in_routes(Prefix::DEFAULT).to_vec();
     if let Some((doc, stmt)) = dev.engine.governing_statement(Prefix::DEFAULT, &candidates) {
         println!("default route is governed by RPA '{doc}', statement {stmt}");
     }

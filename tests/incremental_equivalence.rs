@@ -35,7 +35,7 @@ fn converged(seed: u64, workers: usize, incremental: bool) -> (SimNet, Vec<Vec<D
         net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
     }
     net.run_until_quiescent().expect_converged();
-    (net, idx.ssw.clone())
+    (net, idx.ssw)
 }
 
 fn te_doc(net: &SimNet, ssw: DeviceId) -> RpaDocument {

@@ -150,12 +150,7 @@ fn replacement_and_orthogonality() {
     assert_eq!(dev.engine.installed(), vec!["guard", "anycast"]);
     // The default route is still governed by the guard statement, not the
     // anycast one (§7.2: highlight the active RPA for a route).
-    let candidates: Vec<_> = dev
-        .daemon
-        .rib_in_routes(Prefix::DEFAULT)
-        .into_iter()
-        .cloned()
-        .collect();
+    let candidates: Vec<_> = dev.daemon.rib_in_routes(Prefix::DEFAULT).to_vec();
     let governing = dev.engine.governing_statement(Prefix::DEFAULT, &candidates);
     assert_eq!(governing, Some(("guard".to_string(), 0)));
     // Default-route behaviour is unaffected by the anycast RPA.
