@@ -54,6 +54,11 @@ struct Episode {
     batches_delivered: u64,
     updates_coalesced: u64,
     max_batch_size: u64,
+    phase_pre_us: u64,
+    phase_work_us: u64,
+    phase_merge_us: u64,
+    windows: u64,
+    inline_windows: u64,
 }
 
 fn equalize_doc() -> RpaDocument {
@@ -122,6 +127,11 @@ fn episode(spec: &FabricSpec, workers: usize) -> Episode {
         batches_delivered: snap.counter("simnet.batches_delivered"),
         updates_coalesced: snap.counter("simnet.updates_coalesced"),
         max_batch_size: snap.gauge("simnet.max_batch_size").max(0) as u64,
+        phase_pre_us: snap.counter("simnet.phase.pre_us"),
+        phase_work_us: snap.counter("simnet.phase.work_us"),
+        phase_merge_us: snap.counter("simnet.phase.merge_us"),
+        windows: snap.counter("simnet.phase.windows"),
+        inline_windows: snap.counter("simnet.phase.inline_windows"),
     }
 }
 
@@ -195,22 +205,41 @@ fn main() -> ExitCode {
                 Some(serial) => *serial == ep.fib_snapshot,
             };
             fib_mismatch |= !matches;
-            let speedup = serial_median / median;
-            let hit_rate = ep.cache_hits as f64 / (ep.cache_hits + ep.cache_misses).max(1) as f64;
+            // Sub-millisecond medians can round to zero on coarse clocks and
+            // a fresh cache has zero lookups; neither may poison the report
+            // with NaN/inf, so both ratios degrade to 0.0 and the JSON
+            // carries the sample counts for the reader to judge.
+            let speedup = if median > 0.0 {
+                serial_median / median
+            } else {
+                0.0
+            };
+            let cache_samples = ep.cache_hits + ep.cache_misses;
+            let hit_rate = ep.cache_hits as f64 / cache_samples.max(1) as f64;
             table.row(&[
                 workers.to_string(),
                 format!("{median:.2}"),
-                format!("{speedup:.2}x"),
+                if median > 0.0 {
+                    format!("{speedup:.2}x")
+                } else {
+                    "n/a".into()
+                },
                 ep.events.to_string(),
                 format!("{:.1}", ep.attr_clone_bytes as f64 / 1024.0),
-                format!("{:.1}%", hit_rate * 100.0),
+                if cache_samples > 0 {
+                    format!("{:.1}%", hit_rate * 100.0)
+                } else {
+                    "n/a".into()
+                },
                 if matches { "yes".into() } else { "NO".into() },
             ]);
             rows.push(json!({
                 "workers": workers,
                 "median_wall_ms": median,
+                "wall_samples": walls.len(),
                 "speedup": speedup,
                 "cache_hit_rate": hit_rate,
+                "cache_samples": cache_samples,
                 "cache_hits": ep.cache_hits,
                 "cache_misses": ep.cache_misses,
                 "events_processed": ep.events,
@@ -218,6 +247,11 @@ fn main() -> ExitCode {
                 "batches_delivered": ep.batches_delivered,
                 "updates_coalesced": ep.updates_coalesced,
                 "max_batch_size": ep.max_batch_size,
+                "phase_pre_us": ep.phase_pre_us,
+                "phase_work_us": ep.phase_work_us,
+                "phase_merge_us": ep.phase_merge_us,
+                "windows": ep.windows,
+                "inline_windows": ep.inline_windows,
                 "fib_matches_serial": matches,
             }));
         }
@@ -325,6 +359,40 @@ fn check_baseline(path: &str, report: &[serde_json::Value]) -> Result<Vec<String
             "baseline '{label}': serial wall {base:.2}ms -> {now:.2}ms ({:+.0}%), within gate",
             (ratio - 1.0) * 100.0,
         ));
+        if let Some(ctx) = phase_context(report, label) {
+            lines.push(ctx);
+        }
     }
     Ok(lines)
+}
+
+/// Context printed alongside the gate verdict: where the windowed engine's
+/// wall time went in this run. Serial rows never enter the windowed path, so
+/// the split comes from the highest worker count measured.
+fn phase_context(report: &[serde_json::Value], label: &str) -> Option<String> {
+    let row = report
+        .iter()
+        .find(|f| f.get("fabric").and_then(|v| v.as_str()) == Some(label))?
+        .get("results")?
+        .as_array()?
+        .iter()
+        .filter(|r| r.get("workers").and_then(|v| v.as_u64()).unwrap_or(0) > 1)
+        .max_by_key(|r| r.get("workers").and_then(|v| v.as_u64()).unwrap_or(0))?;
+    let get = |k: &str| row.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    let (pre, work, merge) = (
+        get("phase_pre_us"),
+        get("phase_work_us"),
+        get("phase_merge_us"),
+    );
+    let total = (pre + work + merge).max(1) as f64;
+    Some(format!(
+        "  phase split @{} workers: pre {:.0}% / work {:.0}% / merge {:.0}% \
+         ({} windows, {} inline)",
+        get("workers"),
+        100.0 * pre as f64 / total,
+        100.0 * work as f64 / total,
+        100.0 * merge as f64 / total,
+        get("windows"),
+        get("inline_windows"),
+    ))
 }

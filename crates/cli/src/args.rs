@@ -11,7 +11,7 @@ pub struct Args {
 
 impl Args {
     /// Flags that take no value.
-    const BARE_FLAGS: &'static [&'static str] = &["handshake", "metrics-summary"];
+    const BARE_FLAGS: &'static [&'static str] = &["handshake", "metrics-summary", "profile"];
 
     /// Parse the remaining command-line words.
     pub fn parse(words: impl Iterator<Item = String>) -> Result<Self, String> {

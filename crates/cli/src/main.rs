@@ -23,8 +23,9 @@ use centralium::RoutingIntent;
 use centralium_bgp::attrs::well_known;
 use centralium_bgp::Prefix;
 use centralium_simnet::{SimConfig, SimNet};
-use centralium_telemetry::Telemetry;
+use centralium_telemetry::{span, Telemetry};
 use centralium_topology::{build_fabric, FabricSpec, Layer};
+use std::io::Write;
 use std::process::ExitCode;
 
 mod args;
@@ -109,7 +110,17 @@ convergence opts:
 
 telemetry opts:
   --telemetry FILE   write the structured event journal as JSON lines
-  --metrics-summary  print registry counters/gauges/histograms and phase timings";
+  --metrics-summary  print registry counters/gauges/histograms and phase timings
+
+profiling opts:
+  --profile             enable span tracing and print a profile summary
+                        (event latency, window sizes, worker utilization)
+  --trace-out FILE      write a Chrome Trace Event JSON (open in Perfetto or
+                        chrome://tracing); implies --profile
+  --provenance PREFIX   trace the causal history of one prefix (e.g.
+                        0.0.0.0/0) and print it after the run; forces the
+                        serial engine
+  --provenance-out FILE write the provenance trace as JSON lines";
 
 fn spec_from(args: &Args) -> Result<FabricSpec, String> {
     let mut spec = FabricSpec::tiny();
@@ -188,6 +199,15 @@ fn report_telemetry(net: &SimNet, args: &Args) -> Result<(), String> {
                 None => println!("  {name:<40} count=0"),
             }
         }
+        for (name, h) in &snap.log_histograms {
+            match (h.mean(), h.percentile(0.5), h.percentile(0.99)) {
+                (Some(mean), Some(p50), Some(p99)) => println!(
+                    "  {name:<40} count={} mean={mean:.1} p50<={p50} p99<={p99}",
+                    h.count()
+                ),
+                _ => println!("  {name:<40} count=0"),
+            }
+        }
         let phases = tel.phases().records();
         if !phases.is_empty() {
             println!("phases:");
@@ -201,7 +221,112 @@ fn report_telemetry(net: &SimNet, args: &Args) -> Result<(), String> {
             }
         }
     }
+    if let Some(path) = args.get_str("trace-out")? {
+        span::set_tracing(false);
+        let records = span::drain();
+        let file = std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        span::export_chrome_trace(&records, &mut w).map_err(|e| format!("writing {path}: {e}"))?;
+        w.flush().map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "trace: {} spans written to {path} ({} dropped at capacity); \
+             open in chrome://tracing or ui.perfetto.dev",
+            records.len(),
+            span::dropped()
+        );
+    }
+    if args.has_flag("profile") {
+        print_profile_summary(&tel.metrics().snapshot());
+    }
+    if let Some(log) = net.provenance() {
+        let records = log.records();
+        println!(
+            "provenance for {}: {} records, device path {:?}",
+            log.prefix(),
+            records.len(),
+            log.device_hops()
+        );
+        for r in &records {
+            let from = r
+                .from_peer
+                .map(|d| format!(" from=d{d}"))
+                .unwrap_or_default();
+            println!(
+                "  #{:<4} t={:>9.3}ms d{:<5} {:<18}{from} {}",
+                r.seq,
+                r.time_us as f64 / 1000.0,
+                r.device,
+                r.kind.as_str(),
+                r.detail
+            );
+        }
+        if let Some(path) = args.get_str("provenance-out")? {
+            let file = std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            log.export_jsonl(&mut w)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("provenance: {} records written to {path}", records.len());
+        }
+    }
     Ok(())
+}
+
+/// The `--profile` epilogue: a compact "where did the time go" readout from
+/// the always-on window/batch histograms plus the tracing-gated per-event
+/// latency and worker busy/idle accounting.
+fn print_profile_summary(snap: &centralium_telemetry::MetricsSnapshot) {
+    println!("profile:");
+    if let Some(lat) = snap.log_histogram("simnet.event.latency_ns") {
+        if let (Some(mean), Some(p50), Some(p99)) =
+            (lat.mean(), lat.percentile(0.5), lat.percentile(0.99))
+        {
+            println!(
+                "  event latency: {} events, mean={mean:.0}ns p50<={p50}ns p99<={p99}ns",
+                lat.count()
+            );
+        }
+    }
+    if let Some(jobs) = snap.log_histogram("simnet.window.jobs") {
+        if let (Some(p50), Some(max)) = (jobs.percentile(0.5), jobs.percentile(1.0)) {
+            println!(
+                "  parallel windows: {} threaded + {} inline, jobs/window p50<={p50} max<={max}",
+                jobs.count() - snap.counter("simnet.phase.inline_windows"),
+                snap.counter("simnet.phase.inline_windows"),
+            );
+        }
+    }
+    if let (Some(busy), Some(idle)) = (
+        snap.log_histogram("simnet.worker.busy_ns"),
+        snap.log_histogram("simnet.worker.idle_ns"),
+    ) {
+        let (b, i) = (busy.sum as f64, idle.sum as f64);
+        if b + i > 0.0 {
+            println!(
+                "  worker utilization: {:.1}% (busy {:.2}ms, idle {:.2}ms across {} worker-windows)",
+                100.0 * b / (b + i),
+                b / 1e6,
+                i / 1e6,
+                busy.count()
+            );
+        }
+    }
+    let mut hot: Vec<(&str, u64)> = snap
+        .counters
+        .iter()
+        .filter(|(k, v)| k.starts_with("simnet.device.") && k.ends_with(".busy_ns") && **v > 0)
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    hot.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+    if !hot.is_empty() {
+        println!("  hottest devices:");
+        for (name, ns) in hot.iter().take(10) {
+            let dev = name
+                .trim_start_matches("simnet.device.")
+                .trim_end_matches(".busy_ns");
+            println!("    {dev:<8} {:.3}ms", *ns as f64 / 1e6);
+        }
+    }
 }
 
 /// Build a [`centralium_simnet::ChaosPlan`] from `--chaos-seed` /
@@ -239,6 +364,15 @@ fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::Fabri
     }
     if let Some(plan) = chaos_from(args)? {
         net.set_chaos(plan);
+    }
+    if args.has_flag("profile") || args.get_str("trace-out")?.is_some() {
+        span::set_tracing(true);
+    }
+    if let Some(text) = args.get_str("provenance")? {
+        let prefix: Prefix = text
+            .parse()
+            .map_err(|e| format!("--provenance: {e} (expected e.g. 0.0.0.0/0)"))?;
+        net.trace_provenance(prefix);
     }
     net.establish_all();
     for &eb in &idx.backbone {

@@ -16,7 +16,7 @@ use crate::route_attribute::RouteAttributeRpa;
 use crate::route_filter::RouteFilterRpa;
 use crate::signature::{CompiledSignature, Destination};
 use centralium_bgp::{PeerId, Prefix, RibPolicy, Route, Selection};
-use centralium_telemetry::{Counter, EventKind, Histogram, Severity, Telemetry};
+use centralium_telemetry::{span, Counter, EventKind, Histogram, Severity, Telemetry};
 use centralium_topology::Asn;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -518,7 +518,10 @@ impl RibPolicy for RpaEngine {
             return None;
         }
         let timed = self.telemetry.0.as_deref().map(|tel| (tel, Instant::now()));
+        let mut sp = span::span("rpa", "evaluate");
+        sp.arg("candidates", candidates.len() as u64);
         let outcome = self.evaluate_path_selection(prefix, candidates);
+        drop(sp);
         if let Some((tel, started)) = timed {
             tel.eval_us
                 .observe(started.elapsed().as_secs_f64() * 1_000_000.0);

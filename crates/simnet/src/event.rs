@@ -22,6 +22,8 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Reverse<(SimTime, u64)>>,
     payloads: std::collections::HashMap<u64, T>,
     next_seq: u64,
+    /// Largest pending-event count ever observed (memory accounting).
+    high_water: usize,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -37,6 +39,7 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             payloads: std::collections::HashMap::new(),
             next_seq: 0,
+            high_water: 0,
         }
     }
 
@@ -46,6 +49,7 @@ impl<T> EventQueue<T> {
         self.next_seq += 1;
         self.heap.push(Reverse((at, seq)));
         self.payloads.insert(seq, event);
+        self.high_water = self.high_water.max(self.heap.len());
     }
 
     /// Pop the earliest event, returning `(time, event)`.
@@ -68,6 +72,12 @@ impl<T> EventQueue<T> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Largest pending-event count the queue has ever held — the depth a
+    /// capacity plan must provision for.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -108,6 +118,18 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water_mark(), 0);
+        q.schedule(1, "a");
+        q.schedule(2, "b");
+        q.pop();
+        q.schedule(3, "c");
+        // Peak was 2 pending events; the later pop/schedule never exceeded it.
+        assert_eq!(q.high_water_mark(), 2);
     }
 
     #[test]

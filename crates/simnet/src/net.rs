@@ -23,11 +23,14 @@ use centralium_bgp::{
     Prefix, UpdateMessage,
 };
 use centralium_rpa::RpaDocument;
-use centralium_telemetry::{Counter, EventKind, Severity, Telemetry};
+use centralium_telemetry::{
+    span, Counter, EventKind, LogHistogram, ProvenanceKind, ProvenanceLog, Severity, Telemetry,
+};
 use centralium_topology::{Asn, DeviceId, DeviceState, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Emulator configuration.
 ///
@@ -429,20 +432,69 @@ enum Emission {
     RefreshRequests(Vec<(DeviceId, PeerId)>),
 }
 
-/// One device's worker-phase slot: the device, its window job list and,
-/// once the phase ran, one emission list per job.
+/// One device's worker-phase slot: the device, its window job list, one
+/// emission list per job once the phase ran, and the wall-clock ns the
+/// device's jobs took (measured only while span tracing is enabled).
 type WorkerSlot<'a> = (
     DeviceId,
     &'a mut SimDevice,
     Vec<(SimTime, Work)>,
     Vec<Vec<Emission>>,
+    u64,
 );
+
+/// Static span/report name of one [`Work`] kind.
+fn work_name(work: &Work) -> &'static str {
+    match work {
+        Work::Deliver { .. } => "deliver",
+        Work::Ctl { .. } => "ctl",
+        Work::SessionUp { .. } => "session_up",
+        Work::SessionDown { .. } => "session_down",
+        Work::RouteRefresh { .. } => "route_refresh",
+        Work::RemovePeer { .. } => "remove_peer",
+        Work::InstallRpa { .. } => "install_rpa",
+        Work::RemoveRpa { .. } => "remove_rpa",
+        Work::Originate { .. } => "originate",
+        Work::WithdrawOrigin { .. } => "withdraw_origin",
+        Work::SetExportPolicy { .. } => "set_export_policy",
+        Work::AgentRestart => "agent_restart",
+        Work::Reevaluate => "reevaluate",
+    }
+}
 
 /// Execute the device-local part of one event on a worker thread. Touches
 /// only `dev` (exclusive), shared read-only context, and atomic counters —
 /// never the RNG, the event queue, or cross-device state, which is what
 /// keeps parallel runs bit-identical to serial ones.
+///
+/// With span tracing enabled, each event gets a span named after its
+/// [`Work`] kind and its processing latency lands in the
+/// `simnet.event.latency_ns` histogram; disabled, this adds one relaxed
+/// atomic load over the bare dispatch.
 fn run_work(
+    dev: &mut SimDevice,
+    t: SimTime,
+    work: Work,
+    counters: &NetCounters,
+    topo: &Topology,
+    cfg: &SimConfig,
+) -> Vec<Emission> {
+    if !span::tracing_enabled() {
+        return run_work_inner(dev, t, work, counters, topo, cfg);
+    }
+    let started = std::time::Instant::now();
+    let mut sp = span::span("simnet.work", work_name(&work));
+    sp.arg("device", dev.id.0 as u64);
+    sp.arg("t_us", t);
+    let out = run_work_inner(dev, t, work, counters, topo, cfg);
+    drop(sp);
+    counters
+        .event_latency_ns
+        .observe(started.elapsed().as_nanos() as u64);
+    out
+}
+
+fn run_work_inner(
     dev: &mut SimDevice,
     t: SimTime,
     work: Work,
@@ -695,6 +747,90 @@ fn reevaluate_scoped(
     }
 }
 
+/// A traced prefix's observable state on one device, captured before and
+/// after an event to detect the causal effects provenance records: the
+/// Adj-RIB-In size, the decision outcome, and the FIB entry, each rendered
+/// once so comparisons are plain string equality.
+#[derive(Debug, PartialEq, Eq)]
+struct ProvState {
+    rib_in: usize,
+    decision: String,
+    fib: String,
+}
+
+fn prov_state(dev: &SimDevice, prefix: Prefix) -> ProvState {
+    let decision = match dev.daemon.loc_rib_entry(prefix) {
+        Some(entry) => {
+            let hops: Vec<String> = entry
+                .nexthop_sessions()
+                .iter()
+                .map(|p| format!("d{}s{}", p.device(), p.session_index()))
+                .collect();
+            if hops.is_empty() {
+                "local".to_string()
+            } else {
+                hops.join(",")
+            }
+        }
+        None => "none".to_string(),
+    };
+    let fib = match dev.fib.entry(prefix) {
+        Some(entry) => {
+            let hops: Vec<String> = entry
+                .nexthops
+                .iter()
+                .map(|(p, w)| format!("d{}s{}*{}", p.device(), p.session_index(), w))
+                .collect();
+            let warm = if entry.warm { " (warm)" } else { "" };
+            format!("{}{}", hops.join(","), warm)
+        }
+        None => "none".to_string(),
+    };
+    ProvState {
+        rib_in: dev.daemon.rib_in_routes(prefix).len(),
+        decision,
+        fib,
+    }
+}
+
+/// Append one provenance record per observable change an event produced on
+/// `dev` for the traced prefix.
+fn record_prov_deltas(
+    log: &ProvenanceLog,
+    t: SimTime,
+    dev: DeviceId,
+    before: &ProvState,
+    after: &ProvState,
+) {
+    if before.rib_in != after.rib_in {
+        log.append(
+            t,
+            dev.0,
+            ProvenanceKind::AdjRibInChanged,
+            None,
+            format!("{} -> {} routes", before.rib_in, after.rib_in),
+        );
+    }
+    if before.decision != after.decision {
+        log.append(
+            t,
+            dev.0,
+            ProvenanceKind::DecisionFlip,
+            None,
+            format!("{} -> {}", before.decision, after.decision),
+        );
+    }
+    if before.fib != after.fib {
+        log.append(
+            t,
+            dev.0,
+            ProvenanceKind::FibDelta,
+            None,
+            format!("{} -> {}", before.fib, after.fib),
+        );
+    }
+}
+
 /// Cached handles for the registry counters the run loop bumps on every
 /// event — binding by name happens once, updates are single atomic adds
 /// (the same cost class as the `u64` fields of the old ad-hoc `TraceStats`).
@@ -729,6 +865,24 @@ struct NetCounters {
     phase_merge_us: Counter,
     /// Number of event windows the parallel engine processed.
     windows: Counter,
+    /// Windows whose job count was too small to pay for thread spawn and
+    /// ran inline on the coordinating thread instead.
+    inline_windows: Counter,
+    /// Jobs per parallel window — the distribution behind the "are windows
+    /// big enough to parallelize?" diagnosis.
+    window_jobs: LogHistogram,
+    /// Routing-information count (announcements + withdrawals) per
+    /// delivered coalesced batch.
+    batch_routes: LogHistogram,
+    /// Per-event device-processing latency in nanoseconds. Recorded only
+    /// while span tracing is enabled (two clock reads per event otherwise).
+    event_latency_ns: LogHistogram,
+    /// Per-worker busy wall-clock ns, one observation per worker per
+    /// threaded window.
+    worker_busy_ns: LogHistogram,
+    /// Per-worker idle ns per threaded window (worker-phase wall − busy;
+    /// includes the thread-spawn delay, which is the point).
+    worker_idle_ns: LogHistogram,
 }
 
 impl NetCounters {
@@ -753,6 +907,12 @@ impl NetCounters {
             phase_work_us: m.counter("simnet.phase.work_us"),
             phase_merge_us: m.counter("simnet.phase.merge_us"),
             windows: m.counter("simnet.phase.windows"),
+            inline_windows: m.counter("simnet.phase.inline_windows"),
+            window_jobs: m.log_histogram("simnet.window.jobs"),
+            batch_routes: m.log_histogram("simnet.batch.routes"),
+            event_latency_ns: m.log_histogram("simnet.event.latency_ns"),
+            worker_busy_ns: m.log_histogram("simnet.worker.busy_ns"),
+            worker_idle_ns: m.log_histogram("simnet.worker.idle_ns"),
         }
     }
 }
@@ -774,6 +934,14 @@ pub struct SimNet {
     /// Per-device UPDATE-churn counters (`simnet.device.d<N>.updates`),
     /// bound lazily on first delivery to each device.
     churn: HashMap<DeviceId, Counter>,
+    /// Per-device busy-time counters (`simnet.device.d<N>.busy_ns`), bound
+    /// lazily; only written while span tracing is enabled.
+    busy: HashMap<DeviceId, Counter>,
+    /// Armed route-provenance trace: the prefix under observation and the
+    /// log causal steps append to. Like journaling, forces the serial
+    /// engine (records are appended during device processing, which would
+    /// interleave nondeterministically across workers).
+    provenance: Option<(Prefix, Arc<ProvenanceLog>)>,
     /// When each prefix was first originated (for convergence latency).
     origin_time: HashMap<Prefix, SimTime>,
     /// Last time an UPDATE carrying each originated prefix was delivered.
@@ -836,6 +1004,8 @@ impl SimNet {
             telemetry,
             counters,
             churn: HashMap::new(),
+            busy: HashMap::new(),
+            provenance: None,
             origin_time: HashMap::new(),
             last_update: HashMap::new(),
             originators: HashMap::new(),
@@ -865,8 +1035,29 @@ impl SimNet {
         telemetry.set_now(self.now);
         self.counters = NetCounters::bind(&telemetry);
         self.churn.clear();
+        self.busy.clear();
         self.telemetry = telemetry;
         self.bind_all_device_telemetry();
+    }
+
+    /// Arm route-provenance tracing for `prefix` and return the log causal
+    /// steps will append to. Every UPDATE/withdraw arrival carrying the
+    /// prefix, every RPA install/remove, and every Adj-RIB-In change,
+    /// decision flip, and FIB delta it produces is recorded with its
+    /// simulated time and device. Opt-in and **serial**: like journaling,
+    /// an armed trace forces the serial convergence engine, so arm it for
+    /// diagnosis runs, not benchmarks.
+    pub fn trace_provenance(&mut self, prefix: Prefix) -> Arc<ProvenanceLog> {
+        let log = Arc::new(ProvenanceLog::new(prefix.to_string()));
+        self.provenance = Some((prefix, Arc::clone(&log)));
+        log
+    }
+
+    /// The armed provenance log, when [`trace_provenance`] was called.
+    ///
+    /// [`trace_provenance`]: Self::trace_provenance
+    pub fn provenance(&self) -> Option<&Arc<ProvenanceLog>> {
+        self.provenance.as_ref().map(|(_, log)| log)
     }
 
     /// The network's telemetry handle — shared (via cheap clones) with every
@@ -1543,6 +1734,8 @@ impl SimNet {
         self.now = t;
         self.telemetry.set_now(t);
         if let Some((dev_id, work)) = self.prepare(t, ev) {
+            let prov = self.provenance.clone();
+            let traced = span::tracing_enabled();
             let Self {
                 devices,
                 counters,
@@ -1553,7 +1746,16 @@ impl SimNet {
             let dev = devices
                 .get_mut(&dev_id)
                 .expect("prepared event targets a live device");
+            let before = prov.as_ref().map(|(p, _)| prov_state(dev, *p));
+            let started = traced.then(std::time::Instant::now);
             let emissions = run_work(dev, t, work, counters, topo, cfg);
+            if let (Some((p, log)), Some(before)) = (&prov, &before) {
+                let after = prov_state(dev, *p);
+                record_prov_deltas(log, t, dev_id, before, &after);
+            }
+            if let Some(started) = started {
+                self.note_busy(dev_id, started.elapsed().as_nanos() as u64);
+            }
             self.replay(dev_id, emissions);
         }
         true
@@ -1604,14 +1806,18 @@ impl SimNet {
     /// nondeterministically across workers.
     pub fn run_until_quiescent(&mut self) -> ConvergenceReport {
         let workers = self.effective_workers();
-        let parallel = workers > 1 && !self.telemetry.journal_enabled();
+        let parallel =
+            workers > 1 && !self.telemetry.journal_enabled() && self.provenance.is_none();
         self.telemetry
             .metrics()
             .gauge("core.parallel_workers")
             .set(if parallel { workers as i64 } else { 1 });
+        let mut sp = span::span("simnet", "converge");
+        sp.arg("workers", if parallel { workers as u64 } else { 1 });
         let mut n = 0u64;
         while !self.queue.is_empty() {
             if n >= self.cfg.max_events {
+                sp.arg("events", n);
                 return ConvergenceReport {
                     converged: false,
                     events_processed: n,
@@ -1626,6 +1832,7 @@ impl SimNet {
             }
         }
         self.observe_quiescence();
+        sp.arg("events", n);
         ConvergenceReport {
             converged: true,
             events_processed: n,
@@ -1658,6 +1865,7 @@ impl SimNet {
         // side of each event (counters, churn, origination bookkeeping,
         // device-existence checks) and build per-device job lists.
         let pre_start = std::time::Instant::now();
+        let sp_pre = span::span("simnet", "window.pre");
         let mut popped: Vec<(SimTime, Option<(DeviceId, usize)>)> = Vec::new();
         let mut jobs: BTreeMap<DeviceId, Vec<(SimTime, Work)>> = BTreeMap::new();
         while (popped.len() as u64) < budget {
@@ -1674,6 +1882,7 @@ impl SimNet {
             });
             popped.push((t, slot));
         }
+        drop(sp_pre);
         self.counters
             .phase_pre_us
             .add(pre_start.elapsed().as_micros() as u64);
@@ -1682,54 +1891,101 @@ impl SimNet {
         // Falls back to inline execution for small windows (identical
         // output either way; only wall-clock differs).
         let work_start = std::time::Instant::now();
+        let mut sp_work = span::span("simnet", "window.work");
+        let traced = span::tracing_enabled();
         let counters = &self.counters;
         let topo = &self.topo;
         let cfg = &self.cfg;
         let mut slots: Vec<WorkerSlot> = Vec::with_capacity(jobs.len());
         for (id, dev) in self.devices.iter_mut() {
             if let Some(list) = jobs.remove(id) {
-                slots.push((*id, dev, list, Vec::new()));
+                slots.push((*id, dev, list, Vec::new(), 0));
             }
         }
         debug_assert!(jobs.is_empty(), "every job targets a live device");
-        let total_jobs: usize = slots.iter().map(|(_, _, l, _)| l.len()).sum();
+        let total_jobs: usize = slots.iter().map(|(_, _, l, _, _)| l.len()).sum();
+        counters.window_jobs.observe(total_jobs as u64);
         // Spawning a scoped thread costs tens of microseconds, so a worker
         // only pays off once it has a batch of jobs to amortize it over.
         // Size the pool to the work available and run small windows inline.
         let threads = workers
             .min(slots.len())
             .min((total_jobs / MIN_JOBS_PER_WORKER).max(1));
+        sp_work.arg("jobs", total_jobs as u64);
+        sp_work.arg("devices", slots.len() as u64);
+        sp_work.arg("threads", threads as u64);
         if threads < 2 {
-            for (_, dev, list, outs) in &mut slots {
+            counters.inline_windows.inc();
+            for (_, dev, list, outs, busy_ns) in &mut slots {
+                let dev_start = traced.then(std::time::Instant::now);
                 for (t, work) in std::mem::take(list) {
                     outs.push(run_work(dev, t, work, counters, topo, cfg));
                 }
+                if let Some(started) = dev_start {
+                    *busy_ns = started.elapsed().as_nanos() as u64;
+                }
             }
         } else {
+            // Per-slot busy is measured unconditionally here: a threaded
+            // window already pays thread-spawn costs, so two clock reads
+            // per device are in the noise — and they are what worker
+            // utilization (busy vs idle) is computed from.
             let chunk = slots.len().div_ceil(threads);
             std::thread::scope(|s| {
                 for batch in slots.chunks_mut(chunk) {
                     s.spawn(move || {
-                        for (_, dev, list, outs) in batch.iter_mut() {
+                        let worker_start = std::time::Instant::now();
+                        let mut sp = span::span("simnet", "worker");
+                        let mut worker_jobs = 0u64;
+                        for (_, dev, list, outs, busy_ns) in batch.iter_mut() {
+                            let dev_start = std::time::Instant::now();
+                            worker_jobs += list.len() as u64;
                             for (t, work) in std::mem::take(list) {
                                 outs.push(run_work(dev, t, work, counters, topo, cfg));
                             }
+                            *busy_ns = dev_start.elapsed().as_nanos() as u64;
                         }
+                        sp.arg("jobs", worker_jobs);
+                        drop(sp);
+                        counters
+                            .worker_busy_ns
+                            .observe(worker_start.elapsed().as_nanos() as u64);
                     });
                 }
             });
+            // Idle per worker = worker-phase wall − that worker's busy time
+            // (its slots' busy sum). The wall includes spawn and join
+            // delay, which is the point: a worker that spent the window
+            // waiting to start shows up as idle.
+            let wall_ns = work_start.elapsed().as_nanos() as u64;
+            for chunk_slots in slots.chunks(chunk) {
+                let busy: u64 = chunk_slots.iter().map(|(_, _, _, _, b)| *b).sum();
+                counters
+                    .worker_idle_ns
+                    .observe(wall_ns.saturating_sub(busy));
+            }
         }
+        let device_busy: Vec<(DeviceId, u64)> = if traced {
+            slots.iter().map(|(id, _, _, _, b)| (*id, *b)).collect()
+        } else {
+            Vec::new()
+        };
         let mut outputs: BTreeMap<DeviceId, Vec<Vec<Emission>>> = slots
             .into_iter()
-            .map(|(id, _, _, outs)| (id, outs))
+            .map(|(id, _, _, outs, _)| (id, outs))
             .collect();
+        drop(sp_work);
         self.counters
             .phase_work_us
             .add(work_start.elapsed().as_micros() as u64);
+        for (id, busy_ns) in device_busy {
+            self.note_busy(id, busy_ns);
+        }
 
         // Phase 3 — serial merge: replay emissions in the original global
         // pop order, advancing the clock exactly as the serial engine does.
         let merge_start = std::time::Instant::now();
+        let sp_merge = span::span("simnet", "window.merge");
         for (t, slot) in &popped {
             self.now = *t;
             self.telemetry.set_now(*t);
@@ -1740,6 +1996,7 @@ impl SimNet {
                 std::mem::take(&mut outputs.get_mut(dev_id).expect("device has outputs")[*idx]);
             self.replay(*dev_id, emissions);
         }
+        drop(sp_merge);
         self.counters
             .phase_merge_us
             .add(merge_start.elapsed().as_micros() as u64);
@@ -1789,9 +2046,11 @@ impl SimNet {
                 self.counters.batches_delivered.inc();
                 let size = (msg.announced.len() + msg.withdrawn.len()) as u64;
                 self.max_batch_size = self.max_batch_size.max(size);
+                self.counters.batch_routes.observe(size);
                 self.counters.announcements.add(msg.announced.len() as u64);
                 self.counters.withdrawals.add(msg.withdrawn.len() as u64);
                 self.note_churn(to);
+                self.note_provenance_arrival(t, to, on, &msg);
                 if !self.origin_time.is_empty() {
                     for (p, _) in &msg.announced {
                         if self.origin_time.contains_key(p) {
@@ -1814,6 +2073,7 @@ impl SimNet {
                 self.counters.announcements.add(msg.announced.len() as u64);
                 self.counters.withdrawals.add(msg.withdrawn.len() as u64);
                 self.note_churn(to);
+                self.note_provenance_arrival(t, to, on, &msg);
                 if !self.origin_time.is_empty() {
                     for (p, _) in &msg.announced {
                         if self.origin_time.contains_key(p) {
@@ -1863,6 +2123,15 @@ impl SimNet {
                     return None;
                 }
                 self.counters.rpa_operations.inc();
+                if let Some((_, log)) = &self.provenance {
+                    log.append(
+                        t,
+                        dev.0,
+                        ProvenanceKind::RpaApplied,
+                        None,
+                        format!("install {}", doc.name()),
+                    );
+                }
                 Some((dev, Work::InstallRpa { doc }))
             }
             NetEvent::RemoveRpa { dev, name } => {
@@ -1870,6 +2139,15 @@ impl SimNet {
                     return None;
                 }
                 self.counters.rpa_operations.inc();
+                if let Some((_, log)) = &self.provenance {
+                    log.append(
+                        t,
+                        dev.0,
+                        ProvenanceKind::RpaApplied,
+                        None,
+                        format!("remove {name}"),
+                    );
+                }
                 Some((dev, Work::RemoveRpa { name }))
             }
             NetEvent::Originate { dev, prefix, attrs } => {
@@ -1943,6 +2221,19 @@ impl SimNet {
         m.gauge("fib.nexthop_groups_total").set(nhgs);
         m.gauge("simnet.max_batch_size")
             .set(self.max_batch_size as i64);
+        // Memory accounting, sampled at the same phase boundary: RIB slab
+        // bytes (route-struct footprint; attribute payloads are interned
+        // and counted separately), interner table sizes, and the event
+        // queue's depth high-water mark.
+        m.gauge("mem.adj_rib_in_bytes")
+            .set(adj_rib_in * std::mem::size_of::<centralium_bgp::Route>() as i64);
+        let interns = centralium_bgp::attrs::intern_stats();
+        m.gauge("mem.interner.as_paths")
+            .set(interns.as_paths as i64);
+        m.gauge("mem.interner.community_sets")
+            .set(interns.community_sets as i64);
+        m.gauge("mem.event_queue_hwm")
+            .set(self.queue.high_water_mark() as i64);
     }
 
     /// Run events with time ≤ `deadline` (for snapshotting transitory
@@ -1974,6 +2265,56 @@ impl SimNet {
                 .counter(&format!("simnet.device.d{}.updates", dev.0));
             c.inc();
             self.churn.insert(dev, c);
+        }
+    }
+
+    /// Accumulate device-processing wall time for `dev` (only called while
+    /// span tracing is enabled — two clock reads per event otherwise).
+    fn note_busy(&mut self, dev: DeviceId, ns: u64) {
+        if let Some(c) = self.busy.get(&dev) {
+            c.add(ns);
+        } else {
+            let c = self
+                .telemetry
+                .metrics()
+                .counter(&format!("simnet.device.d{}.busy_ns", dev.0));
+            c.add(ns);
+            self.busy.insert(dev, c);
+        }
+    }
+
+    /// Record UPDATE/withdraw arrivals carrying the traced prefix in the
+    /// provenance log. A no-op (one `Option` check) when no trace is armed.
+    fn note_provenance_arrival(&self, t: SimTime, to: DeviceId, on: PeerId, msg: &UpdateMessage) {
+        let Some((prefix, log)) = &self.provenance else {
+            return;
+        };
+        let from = Some(on.device());
+        if msg.announced.iter().any(|(p, _)| p == prefix) {
+            log.append(
+                t,
+                to.0,
+                ProvenanceKind::UpdateReceived,
+                from,
+                format!(
+                    "announcement from d{} session {}",
+                    on.device(),
+                    on.session_index()
+                ),
+            );
+        }
+        if msg.withdrawn.contains(prefix) {
+            log.append(
+                t,
+                to.0,
+                ProvenanceKind::WithdrawReceived,
+                from,
+                format!(
+                    "withdraw from d{} session {}",
+                    on.device(),
+                    on.session_index()
+                ),
+            );
         }
     }
 

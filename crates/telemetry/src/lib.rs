@@ -13,6 +13,20 @@
 //! - a **phase timer** ([`PhaseTimer`]) — span-like wall/sim timing of the
 //!   deployment pipeline (plan → preverify → wave N → health).
 //!
+//! The profiling layer adds three deeper instruments:
+//!
+//! - **span tracing** ([`span`]) — hierarchical wall-clock spans with
+//!   thread-local buffering and Chrome Trace Event export
+//!   ([`span::export_chrome_trace`]), runtime-gated so the disabled path is
+//!   one atomic load;
+//! - **log-bucket histograms** ([`LogHistogram`], via
+//!   [`MetricsRegistry::log_histogram`]) — scale-free lock-free
+//!   distributions for hot-path integers (event latencies, window job
+//!   counts, batch sizes);
+//! - **route provenance** ([`ProvenanceLog`]) — an opt-in per-prefix causal
+//!   trace of UPDATE arrivals, RPA installs, RIB changes, decision flips
+//!   and FIB deltas, exportable as JSON lines.
+//!
 //! # Cost model
 //!
 //! Metrics are always live: a cached [`Counter`] update is one relaxed
@@ -20,17 +34,25 @@
 //! replaced. The journal is **opt-in**: [`Telemetry::new`] leaves it
 //! disabled and every emission site guards on
 //! [`Telemetry::journal_enabled`], so the disabled path costs one
-//! `Option` check and builds no event.
+//! `Option` check and builds no event. Span tracing is **runtime-gated**
+//! ([`span::set_tracing`]): instrumented sites pay one relaxed atomic load
+//! plus a branch while it is off. Provenance is opt-in per prefix and, like
+//! the journal, forces the serial convergence engine.
 
 mod event;
+mod histogram;
 mod journal;
 mod metrics;
 mod phase;
+mod provenance;
+pub mod span;
 
 pub use event::{Event, EventKind, FieldValue, Severity};
+pub use histogram::{LogHistogram, LogHistogramSnapshot, LOG_BUCKETS};
 pub use journal::Journal;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use phase::{PhaseRecord, PhaseSpan, PhaseTimer};
+pub use provenance::{ProvenanceKind, ProvenanceLog, ProvenanceRecord};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

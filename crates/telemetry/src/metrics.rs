@@ -7,6 +7,7 @@
 //! instrument by name; `diff()` between two snapshots isolates one
 //! experiment window.
 
+use crate::histogram::{LogHistogram, LogHistogramSnapshot};
 use parking_lot::Mutex;
 use serde::Value;
 use std::collections::BTreeMap;
@@ -182,6 +183,7 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
+    log_histograms: Mutex<BTreeMap<String, LogHistogram>>,
 }
 
 impl MetricsRegistry {
@@ -231,6 +233,24 @@ impl MetricsRegistry {
         }
     }
 
+    /// The log-bucket histogram named `name`, registering it on first use.
+    /// Scale-free (no bounds to pick) and cheaper than [`histogram`]
+    /// (no CAS loop) — the right instrument for hot-path integer
+    /// distributions like per-event latencies and window job counts.
+    ///
+    /// [`histogram`]: MetricsRegistry::histogram
+    pub fn log_histogram(&self, name: &str) -> LogHistogram {
+        let mut map = self.log_histograms.lock();
+        match map.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = LogHistogram::new();
+                map.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
     /// Freeze every instrument by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -252,6 +272,12 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            log_histograms: self
+                .log_histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
         }
     }
 }
@@ -265,6 +291,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Log-bucket histogram states by name.
+    pub log_histograms: BTreeMap<String, LogHistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -281,6 +309,11 @@ impl MetricsSnapshot {
     /// A histogram's state, when present.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
+    }
+
+    /// A log-bucket histogram's state, when present.
+    pub fn log_histogram(&self, name: &str) -> Option<&LogHistogramSnapshot> {
+        self.log_histograms.get(name)
     }
 
     /// `self - earlier`, per instrument: counter and histogram deltas
@@ -302,6 +335,14 @@ impl MetricsSnapshot {
                 .histograms
                 .iter()
                 .map(|(k, v)| match earlier.histograms.get(k) {
+                    Some(prev) => (k.clone(), v.diff(prev)),
+                    None => (k.clone(), v.clone()),
+                })
+                .collect(),
+            log_histograms: self
+                .log_histograms
+                .iter()
+                .map(|(k, v)| match earlier.log_histograms.get(k) {
                     Some(prev) => (k.clone(), v.diff(prev)),
                     None => (k.clone(), v.clone()),
                 })
@@ -340,9 +381,37 @@ impl serde::Serialize for MetricsSnapshot {
                 (k.clone(), Value::Object(h))
             })
             .collect();
+        // Log-bucket histograms serialize sparsely — 65 mostly-zero buckets
+        // would bloat every snapshot, so only non-empty buckets are written,
+        // as [inclusive upper bound, count] pairs.
+        let log_histograms: serde::Map = self
+            .log_histograms
+            .iter()
+            .map(|(k, v)| {
+                let mut h = serde::Map::new();
+                h.insert(
+                    "buckets".to_string(),
+                    Value::Array(
+                        v.nonzero_buckets()
+                            .iter()
+                            .map(|(upper, count)| {
+                                Value::Array(vec![
+                                    Value::Int(*upper as i128),
+                                    Value::Int(*count as i128),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+                h.insert("count".to_string(), Value::Int(v.count() as i128));
+                h.insert("sum".to_string(), Value::Int(v.sum as i128));
+                (k.clone(), Value::Object(h))
+            })
+            .collect();
         obj.insert("counters".to_string(), Value::Object(counters));
         obj.insert("gauges".to_string(), Value::Object(gauges));
         obj.insert("histograms".to_string(), Value::Object(histograms));
+        obj.insert("log_histograms".to_string(), Value::Object(log_histograms));
         Value::Object(obj)
     }
 }

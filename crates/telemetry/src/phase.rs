@@ -35,10 +35,17 @@ impl PhaseTimer {
 
     /// Open a span; call [`PhaseSpan::finish`] when the stage completes.
     /// `sim_now_us` is the simulated clock at stage entry.
+    ///
+    /// When span tracing ([`crate::span`]) is enabled, the stage also lands
+    /// in the Chrome trace under category `core.phase` — including
+    /// abandoned spans (error paths), whose wall time is real even though
+    /// the [`PhaseTimer`] record is skipped.
     pub fn span(&self, name: impl Into<String>, sim_now_us: u64) -> PhaseSpan<'_> {
+        let name = name.into();
         PhaseSpan {
             timer: self,
-            name: name.into(),
+            trace: crate::span::span_owned("core.phase", name.clone()),
+            name,
             started: Instant::now(),
             sim_start: sim_now_us,
         }
@@ -76,6 +83,8 @@ impl PhaseTimer {
 #[must_use = "call finish() when the stage completes"]
 pub struct PhaseSpan<'a> {
     timer: &'a PhaseTimer,
+    /// Chrome-trace guard for the same stage (inert when tracing is off).
+    trace: crate::span::Span,
     name: String,
     started: Instant,
     sim_start: u64,
@@ -83,11 +92,13 @@ pub struct PhaseSpan<'a> {
 
 impl PhaseSpan<'_> {
     /// Close the span. `sim_now_us` is the simulated clock at stage exit.
-    pub fn finish(self, sim_now_us: u64) {
+    pub fn finish(mut self, sim_now_us: u64) {
+        let sim_us = sim_now_us.saturating_sub(self.sim_start);
+        self.trace.arg("sim_us", sim_us);
         self.timer.record(PhaseRecord {
             name: self.name,
             wall: self.started.elapsed(),
-            sim_us: sim_now_us.saturating_sub(self.sim_start),
+            sim_us,
         });
     }
 }

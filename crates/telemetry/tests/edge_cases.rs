@@ -1,0 +1,181 @@
+//! Edge cases in the telemetry layer: journal ring overflow, empty exports,
+//! signed gauge arithmetic, and log-histogram laws under random inputs.
+
+use centralium_telemetry::{
+    Event, EventKind, Journal, LogHistogram, LogHistogramSnapshot, MetricsRegistry, Severity,
+};
+use proptest::prelude::*;
+
+fn ev(t: u64) -> Event {
+    Event::new(EventKind::SessionTransition, Severity::Info, t).field("n", t)
+}
+
+#[test]
+fn journal_overflow_keeps_the_newest_window_in_order() {
+    let j = Journal::new(4);
+    for t in 0..100 {
+        j.record(ev(t));
+    }
+    assert_eq!(j.recorded(), 100);
+    assert_eq!(j.dropped(), 96);
+    assert_eq!(j.len(), 4);
+    let times: Vec<u64> = j.snapshot().iter().map(|e| e.time_us).collect();
+    assert_eq!(times, vec![96, 97, 98, 99], "oldest evicted first");
+
+    // The export preserves that order, one valid object per line.
+    let mut buf = Vec::new();
+    assert_eq!(j.export_jsonl(&mut buf).unwrap(), 4);
+    let text = String::from_utf8(buf).unwrap();
+    let exported: Vec<u64> = text
+        .lines()
+        .map(|line| {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            v.get("t_us").unwrap().as_u64().unwrap()
+        })
+        .collect();
+    assert_eq!(exported, times);
+}
+
+#[test]
+fn empty_journal_exports_zero_lines_and_zero_bytes() {
+    let j = Journal::new(8);
+    let mut buf = Vec::new();
+    assert_eq!(j.export_jsonl(&mut buf).unwrap(), 0);
+    assert!(buf.is_empty(), "no trailing newline on an empty export");
+}
+
+#[test]
+fn negative_gauges_survive_snapshot_and_diff() {
+    let reg = MetricsRegistry::new();
+    let g = reg.gauge("test.depth");
+    g.set(-5);
+    let a = reg.snapshot();
+    assert_eq!(a.gauge("test.depth"), -5);
+
+    g.add(12); // -5 -> 7
+    let b = reg.snapshot();
+    // Gauge deltas are signed in both directions, unlike counters.
+    assert_eq!(b.diff(&a).gauge("test.depth"), 12);
+    assert_eq!(a.diff(&b).gauge("test.depth"), -12);
+
+    // A gauge absent from the earlier snapshot diffs against zero.
+    reg.gauge("test.late").set(-3);
+    let c = reg.snapshot();
+    assert_eq!(c.diff(&a).gauge("test.late"), -3);
+}
+
+#[test]
+fn log_histogram_merge_with_empty_is_identity() {
+    let h = LogHistogram::new();
+    for v in [0u64, 1, 17, 1 << 40] {
+        h.observe(v);
+    }
+    let snap = h.snapshot();
+    let mut merged = snap.clone();
+    merged.merge(&LogHistogramSnapshot::default());
+    assert_eq!(merged, snap);
+
+    let mut from_empty = LogHistogramSnapshot::default();
+    from_empty.merge(&snap);
+    assert_eq!(from_empty, snap);
+}
+
+#[test]
+fn log_histogram_percentile_extremes() {
+    let h = LogHistogram::new();
+    h.observe(12); // alone in bucket [8, 16): every quantile is its bucket
+    let snap = h.snapshot();
+    for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+        assert_eq!(snap.percentile(q), Some(15));
+    }
+    assert_eq!(snap.percentile(-0.1), None);
+    assert_eq!(snap.percentile(1.1), None);
+    assert_eq!(LogHistogramSnapshot::default().percentile(0.5), None);
+}
+
+/// Bucket upper bound containing `v` — the resolution the histogram offers.
+fn upper_of(v: u64) -> u64 {
+    let bits = u64::BITS - v.leading_zeros();
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_equals_union_and_commutes(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        ys in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let (hx, hy, hboth) = (LogHistogram::new(), LogHistogram::new(), LogHistogram::new());
+        for &v in &xs {
+            hx.observe(v);
+            hboth.observe(v);
+        }
+        for &v in &ys {
+            hy.observe(v);
+            hboth.observe(v);
+        }
+        let mut xy = hx.snapshot();
+        xy.merge(&hy.snapshot());
+        let mut yx = hy.snapshot();
+        yx.merge(&hx.snapshot());
+        prop_assert_eq!(&xy, &hboth.snapshot());
+        prop_assert_eq!(&xy, &yx);
+        prop_assert_eq!(xy.count(), (xs.len() + ys.len()) as u64);
+    }
+
+    #[test]
+    fn percentiles_are_monotonic_and_bracket_the_data(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 1..60),
+    ) {
+        let h = LogHistogram::new();
+        for &v in &xs {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let min = *xs.iter().min().unwrap();
+        let max = *xs.iter().max().unwrap();
+        let mut prev = 0u64;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let p = snap.percentile(q).unwrap();
+            prop_assert!(p >= prev, "percentile must be monotonic in q");
+            // Bucket-upper resolution: never below the true value's bucket
+            // floor, never above the max value's bucket upper bound.
+            prop_assert!(p >= min, "p{q} = {p} below the minimum {min}");
+            prop_assert!(p <= upper_of(max), "p{q} = {p} above the max bucket");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn diff_inverts_merge(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        ys in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let h = LogHistogram::new();
+        for &v in &xs {
+            h.observe(v);
+        }
+        let before = h.snapshot();
+        for &v in &ys {
+            h.observe(v);
+        }
+        let delta = h.snapshot().diff(&before);
+        let only_ys = {
+            let h = LogHistogram::new();
+            for &v in &ys {
+                h.observe(v);
+            }
+            h.snapshot()
+        };
+        prop_assert_eq!(&delta, &only_ys);
+        let mut rebuilt = before.clone();
+        rebuilt.merge(&delta);
+        prop_assert_eq!(&rebuilt, &h.snapshot());
+    }
+}
