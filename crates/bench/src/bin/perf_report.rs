@@ -196,6 +196,23 @@ fn diagnose(label: &str, spec: &FabricSpec, iters: usize, workers: usize) -> Dia
         println!("  window-size distribution: {}", dist.join("  "));
     }
 
+    let dispatches = snap.counter("simnet.shard.dispatches");
+    let shard_count = snap.gauge("simnet.shard.count");
+    let shard_jobs = snap
+        .log_histogram("simnet.shard.jobs")
+        .cloned()
+        .unwrap_or_default();
+    if dispatches > 0 {
+        println!(
+            "  shards:   {shard_count} shards, {dispatches} pool dispatches; \
+             jobs/busy-shard p50<={} p99<={}",
+            shard_jobs.percentile(0.5).unwrap_or(0),
+            shard_jobs.percentile(0.99).unwrap_or(0),
+        );
+    } else {
+        println!("  shards:   {shard_count} shards, 0 pool dispatches (every window inline)");
+    }
+
     let busy = snap
         .log_histogram("simnet.worker.busy_ns")
         .cloned()
@@ -277,14 +294,14 @@ fn diagnose(label: &str, spec: &FabricSpec, iters: usize, workers: usize) -> Dia
         if inline * 2 > windows.max(1) {
             reasons.push(format!(
                 "{:.0}% of windows ran inline — too few jobs per window to cover \
-                 thread spawn cost",
+                 the pool dispatch handoff",
                 100.0 * inline as f64 / windows.max(1) as f64
             ));
         }
         if utilization < 0.5 && busy_ns + idle_ns > 0.0 {
             reasons.push(format!(
-                "workers only {:.0}% busy — spawn/join latency and jagged per-device \
-                 job sizes leave threads waiting",
+                "workers only {:.0}% busy — handoff latency and jagged per-shard \
+                 job sizes leave workers waiting",
                 100.0 * utilization
             ));
         }
@@ -316,6 +333,9 @@ fn diagnose(label: &str, spec: &FabricSpec, iters: usize, workers: usize) -> Dia
         "traced_wall_ms": traced_wall,
         "windows": windows,
         "inline_windows": inline,
+        "shard_count": shard_count,
+        "shard_dispatches": dispatches,
+        "shard_jobs_buckets": shard_jobs.nonzero_buckets(),
         "phase_pre_us": pre,
         "phase_work_us": work,
         "phase_merge_us": merge,
@@ -416,6 +436,7 @@ fn main() -> ExitCode {
         vec![
             ("tiny", FabricSpec::tiny()),
             ("default", FabricSpec::default()),
+            ("large", FabricSpec::large()),
         ]
     };
 

@@ -441,19 +441,42 @@ impl BgpDaemon {
     /// process new viable routes by locally re-applying the pre-installed
     /// RPAs", §4.1).
     pub fn reevaluate_all(&mut self, policy: &dyn RibPolicy) -> Vec<(PeerId, UpdateMessage)> {
-        // Re-apply the ingress Route Filter hook to routes already admitted:
-        // a freshly deployed filter must evict now-disallowed RIB entries.
-        // Eviction is deliberate and permanent — holding filtered routes is
-        // exactly the resource exhaustion Route Filter RPAs exist to prevent
-        // (§4.3). As in real BGP, re-admitting them after the filter is
-        // lifted requires the peer to re-advertise (route refresh) or the
-        // session to bounce.
+        let known = self.known_prefixes();
+        self.reevaluate_filtered(known, policy)
+    }
+
+    /// Re-apply the ingress Route Filter hook to routes already admitted,
+    /// then re-run the decision process over the purged prefixes plus
+    /// `extra` — the ingress-scoped counterpart of
+    /// [`BgpDaemon::reevaluate_all`], which is simply this with `extra` =
+    /// every known prefix.
+    ///
+    /// A freshly deployed filter must evict now-disallowed RIB entries.
+    /// Eviction is deliberate and permanent — holding filtered routes is
+    /// exactly the resource exhaustion Route Filter RPAs exist to prevent
+    /// (§4.3). As in real BGP, re-admitting them after the filter is lifted
+    /// requires the peer to re-advertise (route refresh) or the session to
+    /// bounce.
+    ///
+    /// Soundness of the scoped form: a prefix that is neither purged nor in
+    /// `extra` kept its entire candidate set (the purge touched nothing of
+    /// it and only ingress admission changed), so its decision outcome —
+    /// and therefore its Loc-RIB entry, FIB projection and Adj-RIB-Out
+    /// state — cannot differ from what a full re-evaluation would compute.
+    /// Callers are responsible for putting any prefix whose decision can
+    /// move for *other* reasons (time-dependent RPA documents crossing
+    /// their deadline) into `extra`.
+    pub fn reevaluate_filtered(
+        &mut self,
+        extra: Vec<Prefix>,
+        policy: &dyn RibPolicy,
+    ) -> Vec<(PeerId, UpdateMessage)> {
         let purged = self.adj_rib_in.purge(|r| match r.learned_from {
             Some(peer) => policy.permit_ingress(peer, r.prefix, r),
             None => true,
         });
         let mut prefixes: BTreeSet<Prefix> = purged.into_iter().collect();
-        prefixes.extend(self.known_prefixes());
+        prefixes.extend(extra);
         self.run_decisions(prefixes.into_iter().collect(), policy)
     }
 
@@ -461,8 +484,12 @@ impl BgpDaemon {
     /// counterpart of [`BgpDaemon::reevaluate_all`] used by the incremental
     /// convergence engine when an RPA's destination scope bounds the affected
     /// prefixes. Unlike `reevaluate_all` this never re-applies ingress
-    /// filters to already-admitted routes, so it must not be used for Route
-    /// Filter changes (those are structural and take the full path).
+    /// filters to already-admitted routes, so it must not be used for changes
+    /// that tighten ingress admission — installing or replacing a Route
+    /// Filter goes through [`BgpDaemon::reevaluate_filtered`] (or the full
+    /// path) instead. *Removing* an ingress-only filter is safe here: with
+    /// AND-composed statements a removal only relaxes admission, already-held
+    /// routes keep passing, and evicted ones return via route refresh.
     pub fn reevaluate_prefixes(
         &mut self,
         prefixes: Vec<Prefix>,

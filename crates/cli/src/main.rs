@@ -107,6 +107,10 @@ convergence opts:
   --workers N        worker threads for the convergence engine: 1 runs serial
                      (default), 0 uses one per core; results are bit-identical
                      either way. --telemetry forces the serial engine.
+  --shards N         device shards for the persistent worker pool (default 0 =
+                     one per worker); devices are partitioned by pod/plane and
+                     shard N runs on worker N mod workers. Purely a scheduling
+                     knob: any value produces bit-identical results.
 
 telemetry opts:
   --telemetry FILE   write the structured event journal as JSON lines
@@ -356,6 +360,7 @@ fn converged(args: &Args) -> Result<(SimNet, centralium_topology::builder::Fabri
         .seed(args.get_u64("seed")?.unwrap_or(1))
         .handshake_sessions(args.has_flag("handshake"))
         .workers(args.get_u64("workers")?.unwrap_or(1) as usize)
+        .shards(args.get_u64("shards")?.unwrap_or(0) as usize)
         .build();
     let mut net = SimNet::new(topo, cfg);
     if args.get_str("telemetry")?.is_some() {

@@ -116,6 +116,25 @@ pub struct RouteFilterRpa {
     pub statements: Vec<RouteFilterStatement>,
 }
 
+impl RouteFilterRpa {
+    /// Whether any statement carries an ingress allow list. An ingress-only
+    /// filter affects admission into the Adj-RIB-In (and, via eviction, the
+    /// candidate sets of the prefixes it evicts) but never changes the
+    /// advertisement verdict of routes that stay admitted — the property
+    /// the convergence engine's purge-scoped re-evaluation rests on.
+    pub fn constrains_ingress(&self) -> bool {
+        self.statements.iter().any(|s| s.ingress_filter.is_some())
+    }
+
+    /// Whether any statement carries an egress allow list. An egress list
+    /// can flip the advertisement of *every* known prefix on the covered
+    /// sessions without touching the Adj-RIB-In at all, so installing or
+    /// removing one forces full re-evaluation.
+    pub fn constrains_egress(&self) -> bool {
+        self.statements.iter().any(|s| s.egress_filter.is_some())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,6 +64,16 @@ impl<T> EventQueue<T> {
         self.heap.peek().map(|Reverse((at, _))| *at)
     }
 
+    /// The next event without removing it, as `(time, &event)`. The window
+    /// cutter uses this to inspect an event *before* committing to popping
+    /// it — re-scheduling a popped event would assign a fresh sequence
+    /// number and corrupt the deterministic `(time, seq)` tie-break.
+    pub fn peek(&self) -> Option<(SimTime, &T)> {
+        let Reverse((at, seq)) = self.heap.peek()?;
+        let event = self.payloads.get(seq).expect("payload exists for seq");
+        Some((*at, event))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -118,6 +128,19 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_returns_payload_without_consuming() {
+        let mut q = EventQueue::new();
+        q.schedule(20, "b");
+        q.schedule(10, "a");
+        assert_eq!(q.peek(), Some((10, &"a")));
+        assert_eq!(q.len(), 2, "peek must not consume");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.peek(), Some((20, &"b")));
+        q.pop();
+        assert_eq!(q.peek(), None);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 use crate::device::SimDevice;
 use crate::event::{EventQueue, SimTime};
 use crate::fault::{ChaosPlan, FaultPlan, RpcFate};
+use crate::pool::WorkerPool;
+use crate::shard::ShardMap;
 use crate::trace::{ConvergenceReport, TraceStats};
 use centralium_bgp::policy::{Action, MatchExpr, Policy, PolicyRule};
 use centralium_bgp::session::{Session, SessionAction};
@@ -90,9 +92,25 @@ pub struct SimConfig {
     pub max_events: u64,
     /// Worker threads for the windowed convergence engine: `1` runs the
     /// serial engine, `0` uses one worker per available core, and `N > 1`
-    /// caps the pool at `N`. Parallel runs are bit-identical to serial ones
-    /// (see `run_until_quiescent`); journaling forces the serial engine.
+    /// keeps a persistent pool of `N` parked worker threads. Parallel runs
+    /// are bit-identical to serial ones (see `run_until_quiescent`);
+    /// journaling forces the serial engine.
     pub parallel_workers: usize,
+    /// Device shards for the parallel engine: `0` derives one shard per
+    /// worker. Devices are partitioned by pod/plane/grid (their
+    /// `(layer, group)` name bucket) into this many shards; shard `s` runs
+    /// on worker `s mod workers`, so the shard count may exceed the worker
+    /// count. Purely a scheduling knob — output is identical for any value.
+    pub shards: usize,
+    /// Dispatch threshold for the parallel engine: a window whose job count
+    /// reaches this many goes to the worker pool, smaller windows run
+    /// inline on the coordinator. `None` (the default) picks automatically:
+    /// dispatch only when the window is big enough to amortize the channel
+    /// handoff, spans at least two shards, and the host actually has more
+    /// than one core. `Some(0)` forces every non-empty window onto the pool
+    /// — the lifecycle tests use it to exercise the dispatch path on any
+    /// host. Purely a scheduling knob — output is identical for any value.
+    pub min_dispatch_jobs: Option<usize>,
     /// Incremental delta convergence: scope RPA-driven re-evaluation to the
     /// prefixes the document's destinations can affect, and export FIB
     /// changes per dirty prefix instead of rebuilding each device's table on
@@ -120,6 +138,8 @@ impl Default for SimConfig {
             handshake_sessions: false,
             max_events: 10_000_000,
             parallel_workers: 1,
+            shards: 0,
+            min_dispatch_jobs: None,
             incremental: true,
         }
     }
@@ -238,6 +258,19 @@ impl SimConfigBuilder {
     /// Shorthand for [`SimConfigBuilder::parallel_workers`].
     pub fn workers(self, n: usize) -> Self {
         self.parallel_workers(n)
+    }
+
+    /// Device shards for the parallel engine (see [`SimConfig::shards`]).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shards = n;
+        self
+    }
+
+    /// Dispatch threshold for the parallel engine (see
+    /// [`SimConfig::min_dispatch_jobs`]).
+    pub fn min_dispatch_jobs(mut self, n: usize) -> Self {
+        self.cfg.min_dispatch_jobs = Some(n);
+        self
     }
 
     /// Incremental delta convergence (see [`SimConfig::incremental`]).
@@ -373,10 +406,12 @@ pub enum NetEvent {
     },
 }
 
-/// Minimum jobs per worker thread before a window goes parallel. Spawning a
-/// scoped thread costs tens of microseconds; windows with less work than
-/// this per candidate worker run inline instead (bit-identical output, the
-/// threshold only moves wall-clock time).
+/// Minimum jobs per worker before an auto-gated window dispatches to the
+/// pool. The persistent workers are parked on channels, so the per-window
+/// cost is a handoff (microseconds), not a thread spawn — but a window still
+/// needs enough work per worker to beat running inline on a warm cache.
+/// Bit-identical output either way; the threshold only moves wall-clock
+/// time. Overridden by [`SimConfig::min_dispatch_jobs`].
 const MIN_JOBS_PER_WORKER: usize = 8;
 
 /// The device-local portion of one windowed event, executed by a worker in
@@ -432,16 +467,73 @@ enum Emission {
     RefreshRequests(Vec<(DeviceId, PeerId)>),
 }
 
-/// One device's worker-phase slot: the device, its window job list, one
-/// emission list per job once the phase ran, and the wall-clock ns the
-/// device's jobs took (measured only while span tracing is enabled).
-type WorkerSlot<'a> = (
-    DeviceId,
-    &'a mut SimDevice,
-    Vec<(SimTime, Work)>,
-    Vec<Vec<Emission>>,
-    u64,
-);
+/// One device's batch within a worker dispatch: an exclusive raw pointer to
+/// the device plus its window job list in global pop order.
+struct PoolSlot {
+    id: DeviceId,
+    dev: *mut SimDevice,
+    jobs: Vec<(SimTime, Work)>,
+}
+
+/// One worker's dispatch payload: the device slots of every shard assigned
+/// to it this window, plus pointers to the shared read-only context
+/// [`run_work`] needs. Raw pointers erase the coordinator's `&mut self`
+/// lifetime so the job can cross the pool channel.
+///
+/// # Safety
+///
+/// The `Send` impl is sound because the coordinator (a) derives every `dev`
+/// pointer from a distinct `&mut SimDevice` — each device appears in exactly
+/// one slot per window, so the pointers never alias; (b) holds `&mut self`
+/// for the whole dispatch, so nothing else touches the devices, counters,
+/// topology or config meanwhile (counters are only ever bumped through
+/// atomics); and (c) [`WorkerPool::dispatch`] blocks until every worker has
+/// reported completion, so no pointer outlives the borrow it came from.
+struct PoolJob {
+    slots: Vec<PoolSlot>,
+    counters: *const NetCounters,
+    topo: *const Topology,
+    cfg: *const SimConfig,
+}
+
+unsafe impl Send for PoolJob {}
+
+/// A worker's dispatch result: per device, the ordered emission lists (one
+/// per job) and the device's busy ns, plus the worker's total busy time for
+/// utilization accounting.
+struct PoolDone {
+    slots: Vec<(DeviceId, Vec<Vec<Emission>>, u64)>,
+    busy_ns: u64,
+}
+
+/// The run function every pool worker executes: drain the dispatched device
+/// batches through [`run_work`], collecting emissions and busy timings.
+fn pool_run(job: PoolJob) -> PoolDone {
+    // Safety: see `PoolJob` — exclusive disjoint devices, shared read-only
+    // context, coordinator blocked until this returns.
+    let counters = unsafe { &*job.counters };
+    let topo = unsafe { &*job.topo };
+    let cfg = unsafe { &*job.cfg };
+    let started = std::time::Instant::now();
+    let mut sp = span::span("simnet", "worker");
+    let mut total_jobs = 0u64;
+    let mut slots = Vec::with_capacity(job.slots.len());
+    for slot in job.slots {
+        let dev = unsafe { &mut *slot.dev };
+        let dev_start = std::time::Instant::now();
+        total_jobs += slot.jobs.len() as u64;
+        let mut outs = Vec::with_capacity(slot.jobs.len());
+        for (t, work) in slot.jobs {
+            outs.push(run_work(dev, t, work, counters, topo, cfg));
+        }
+        slots.push((slot.id, outs, dev_start.elapsed().as_nanos() as u64));
+    }
+    sp.arg("jobs", total_jobs);
+    drop(sp);
+    let busy_ns = started.elapsed().as_nanos() as u64;
+    counters.worker_busy_ns.observe(busy_ns);
+    PoolDone { slots, busy_ns }
+}
 
 /// Static span/report name of one [`Work`] kind.
 fn work_name(work: &Work) -> &'static str {
@@ -569,8 +661,7 @@ fn run_work_inner(
             // Dirty-prefix frontier: combine the scopes of the incoming
             // document and (on a replace) the one it displaces — the old
             // document's prefixes must re-decide too, since its effect is
-            // being withdrawn. Either document lacking a destination bound
-            // (Route Filter) forces the full path.
+            // being withdrawn.
             let scope = if cfg.incremental {
                 let replaced = dev.engine.document(doc.name()).cloned();
                 match replaced {
@@ -578,7 +669,7 @@ fn run_work_inner(
                     None => rpa_scope(dev, &[doc.as_ref()]),
                 }
             } else {
-                None
+                RpaScope::Full
             };
             match dev.engine.install_or_replace(*doc) {
                 Ok(()) => {
@@ -595,13 +686,25 @@ fn run_work_inner(
             dev.engine.set_time(t);
             // Scope must come from the document *before* removal — after it,
             // the engine no longer knows which prefixes it governed.
+            // Removing an ingress-only Route Filter only *relaxes* admission:
+            // routes already held keep passing (no purge needed), and routes
+            // the filter had evicted come back via the refresh requests
+            // emitted below. Only time-joined prefixes can flip right now,
+            // which is exactly `rpa_scope` over an empty document set.
             let scope = if cfg.incremental {
-                dev.engine
-                    .document(&name)
-                    .cloned()
-                    .and_then(|old| rpa_scope(dev, &[&old]))
+                match dev.engine.document(&name) {
+                    Some(RpaDocument::RouteFilter(rf)) if !rf.constrains_egress() => {
+                        rpa_scope(dev, &[])
+                    }
+                    Some(RpaDocument::RouteFilter(_)) => RpaScope::Full,
+                    Some(old) => {
+                        let old = old.clone();
+                        rpa_scope(dev, &[&old])
+                    }
+                    None => RpaScope::Full,
+                }
             } else {
-                None
+                RpaScope::Full
             };
             match dev.engine.remove(&name) {
                 Ok(removed) => {
@@ -666,7 +769,18 @@ fn run_work_inner(
                 for (peer, p) in composed {
                     dm.set_export_policy(peer, p);
                 }
-                dm.reevaluate_all(e)
+                if cfg.incremental {
+                    // An export-policy swap changes no RPA state, so the
+                    // eviction invariant holds and `reevaluate_all`'s purge
+                    // would be a no-op — skip the O(RIB) purge scan and
+                    // re-decide every known prefix directly. Byte-identical:
+                    // the decision runs see the same candidate sets either
+                    // way.
+                    let known = dm.known_prefixes();
+                    dm.reevaluate_prefixes(known, e)
+                } else {
+                    dm.reevaluate_all(e)
+                }
             });
             vec![Emission::Updates(out)]
         }
@@ -692,16 +806,54 @@ fn run_work_inner(
     }
 }
 
+/// The re-evaluation an RPA change demands, computed before the change is
+/// applied to the engine.
+enum RpaScope {
+    /// Structural change — egress filtering, or incremental mode off. Every
+    /// known prefix must re-decide from a freshly purged Adj-RIB-In.
+    Full,
+    /// Only these prefixes can change their decision outcome; the
+    /// Adj-RIB-In needs no purge (nothing tightened admission).
+    Prefixes(Vec<Prefix>),
+    /// Ingress admission may have tightened: purge the Adj-RIB-In against
+    /// the now-current filters, then re-decide the purged prefixes plus
+    /// these destination-scoped ones.
+    Filtered(Vec<Prefix>),
+}
+
 /// The prefixes on `dev` whose decision outcome the given RPA documents can
-/// change, or `None` when any document is not destination-bounded (Route
-/// Filters constrain sessions, not destinations) and full re-evaluation is
-/// required. A prefix is in scope when any document destination
+/// change, classified by the kind of re-evaluation they need. A prefix is in
+/// scope when any document destination
 /// [`applies`](centralium_rpa::Destination::applies) to it given the same
 /// candidate set the decision process would see.
-fn rpa_scope(dev: &SimDevice, docs: &[&RpaDocument]) -> Option<Vec<Prefix>> {
+///
+/// Route Filters constrain sessions rather than destinations, so they used
+/// to force the full path wholesale. They now split by direction:
+///
+/// * An **egress** allow list can flip the advertisement of every known
+///   prefix on its sessions without leaving any Adj-RIB-In trace, so any
+///   document carrying one yields [`RpaScope::Full`].
+/// * An **ingress-only** list affects the RIB exactly through admission.
+///   Re-admission checks (the purge) find every prefix whose candidate set
+///   shrinks, and by the eviction invariant — the Adj-RIB-In never holds a
+///   route the current filters reject — no *other* prefix's candidates can
+///   have changed. The result is [`RpaScope::Filtered`]: purge, then decide
+///   purged ∪ time-joined prefixes.
+fn rpa_scope(dev: &SimDevice, docs: &[&RpaDocument]) -> RpaScope {
     let mut dests: Vec<&centralium_rpa::Destination> = Vec::new();
+    let mut ingress = false;
     for doc in docs {
-        dests.extend(doc.destinations()?);
+        if let RpaDocument::RouteFilter(rf) = doc {
+            if rf.constrains_egress() {
+                return RpaScope::Full;
+            }
+            ingress = true;
+            continue;
+        }
+        match doc.destinations() {
+            Some(d) => dests.extend(d),
+            None => return RpaScope::Full,
+        }
     }
     // Installed documents with expiring statements re-evaluate against the
     // clock, so an unrelated install can still flip their outcome (the
@@ -710,7 +862,10 @@ fn rpa_scope(dev: &SimDevice, docs: &[&RpaDocument]) -> Option<Vec<Prefix>> {
     for name in dev.engine.installed() {
         if let Some(doc) = dev.engine.document(name) {
             if doc.time_dependent() {
-                dests.extend(doc.destinations()?);
+                match doc.destinations() {
+                    Some(d) => dests.extend(d),
+                    None => return RpaScope::Full,
+                }
             }
         }
     }
@@ -721,26 +876,33 @@ fn rpa_scope(dev: &SimDevice, docs: &[&RpaDocument]) -> Option<Vec<Prefix>> {
             scope.push(prefix);
         }
     }
-    Some(scope)
+    if ingress {
+        RpaScope::Filtered(scope)
+    } else {
+        RpaScope::Prefixes(scope)
+    }
 }
 
-/// Re-run the decision process over `scope` when bounded, or over every
-/// known prefix when `None` (structural change, or incremental mode off).
-/// Scoped runs are behavior-identical to full ones for Path Selection and
-/// Route Attribute installs/removes: out-of-scope prefixes' decisions cannot
-/// change, and the Adj-RIB-Out diff suppresses re-announcing unchanged
-/// routes either way.
+/// Re-run the decision process over the computed scope. Scoped runs are
+/// behavior-identical to full ones: out-of-scope prefixes' decisions cannot
+/// change (their candidate sets are untouched — for the filtered variant the
+/// purge itself proves it), and the Adj-RIB-Out diff suppresses
+/// re-announcing unchanged routes either way.
 fn reevaluate_scoped(
     dev: &mut SimDevice,
-    scope: Option<Vec<Prefix>>,
+    scope: RpaScope,
     counters: &NetCounters,
 ) -> Vec<(PeerId, UpdateMessage)> {
     match scope {
-        Some(prefixes) => {
+        RpaScope::Prefixes(prefixes) => {
             counters.rpa_scoped_reevals.inc();
             dev.with_daemon(|dm, e| dm.reevaluate_prefixes(prefixes, e))
         }
-        None => {
+        RpaScope::Filtered(prefixes) => {
+            counters.rpa_scoped_reevals.inc();
+            dev.with_daemon(|dm, e| dm.reevaluate_filtered(prefixes, e))
+        }
+        RpaScope::Full => {
             counters.rpa_full_reevals.inc();
             dev.with_daemon(|dm, e| dm.reevaluate_all(e))
         }
@@ -871,6 +1033,13 @@ struct NetCounters {
     /// Jobs per parallel window — the distribution behind the "are windows
     /// big enough to parallelize?" diagnosis.
     window_jobs: LogHistogram,
+    /// Windows dispatched to the persistent worker pool (the complement of
+    /// `inline_windows` among all `windows`).
+    shard_dispatches: Counter,
+    /// Jobs per non-empty shard per dispatched window — how much work one
+    /// pool handoff carries. Compare against `window.jobs` to see how evenly
+    /// the shard map splits a window.
+    shard_jobs: LogHistogram,
     /// Routing-information count (announcements + withdrawals) per
     /// delivered coalesced batch.
     batch_routes: LogHistogram,
@@ -909,12 +1078,25 @@ impl NetCounters {
             windows: m.counter("simnet.phase.windows"),
             inline_windows: m.counter("simnet.phase.inline_windows"),
             window_jobs: m.log_histogram("simnet.window.jobs"),
+            shard_dispatches: m.counter("simnet.shard.dispatches"),
+            shard_jobs: m.log_histogram("simnet.shard.jobs"),
             batch_routes: m.log_histogram("simnet.batch.routes"),
             event_latency_ns: m.log_histogram("simnet.event.latency_ns"),
             worker_busy_ns: m.log_histogram("simnet.worker.busy_ns"),
             worker_idle_ns: m.log_histogram("simnet.worker.idle_ns"),
         }
     }
+}
+
+/// Wall-clock time the serial engine spent in each of the three pipeline
+/// stages, accumulated in nanoseconds across a run and flushed to the
+/// µs-granularity `simnet.phase.*` counters once at the end — per-event
+/// flushing would round every sub-µs event down to zero.
+#[derive(Debug, Default)]
+struct PhaseNanos {
+    pre: u64,
+    work: u64,
+    merge: u64,
 }
 
 /// Bucket bounds (ms) for per-prefix convergence latency.
@@ -972,6 +1154,17 @@ pub struct SimNet {
     /// [`take_touched_devices`](Self::take_touched_devices) — the
     /// convergence-footprint measurement behind `bench_incremental`.
     touched: BTreeSet<DeviceId>,
+    /// The persistent worker pool, spun up lazily on the first window that
+    /// dispatches and reused for every one after (and across repeated
+    /// [`run_until_quiescent`](Self::run_until_quiescent) calls).
+    pool: Option<WorkerPool<PoolJob, PoolDone>>,
+    /// Device → shard assignment, built lazily from the topology and
+    /// invalidated whenever a device is commissioned or decommissioned.
+    shard_map: Option<ShardMap>,
+    /// Cores available to this process, sampled once at construction —
+    /// feeds `workers: 0` auto-sizing and the dispatch gate (on a
+    /// single-core host the pool only adds handoff latency).
+    host_cores: usize,
 }
 
 impl SimNet {
@@ -1017,6 +1210,11 @@ impl SimNet {
             chaos: None,
             rpc_nonce: 0,
             touched: BTreeSet::new(),
+            pool: None,
+            shard_map: None,
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         };
         net.bind_all_device_telemetry();
         // Wire sessions for every Up link between live devices.
@@ -1551,6 +1749,8 @@ impl SimNet {
         links: &[(DeviceId, f64)],
     ) -> DeviceId {
         let id = self.topo.add_device(name, asn);
+        // The shard map is a pure function of the topology; rebuild lazily.
+        self.shard_map = None;
         let mut dcfg = DaemonConfig::fabric(asn);
         dcfg.wcmp_advertise = self.cfg.wcmp_advertise;
         let nhg_cap = self.topo.device(id).expect("just added").max_nexthop_groups;
@@ -1714,6 +1914,7 @@ impl SimNet {
         self.device_down(dev);
         self.devices.remove(&dev);
         self.topo.remove_device(dev);
+        self.shard_map = None;
         for prefix_origins in self.originators.values_mut() {
             prefix_origins.remove(&dev);
         }
@@ -1727,13 +1928,31 @@ impl SimNet {
     /// emission-replay stages as the parallel engine — one code path, so
     /// the two cannot drift apart semantically.
     pub fn step(&mut self) -> bool {
+        self.step_impl(None)
+    }
+
+    /// [`step`](Self::step), optionally accumulating per-phase wall time.
+    ///
+    /// The serial engine's events are sub-microsecond, so flushing to the
+    /// µs-granularity `simnet.phase.*` counters per event would truncate
+    /// everything to zero (which is exactly what `bench_convergence`'s
+    /// `workers: 1` rows used to report). The accumulator stays in
+    /// nanoseconds; [`flush_serial_phases`](Self::flush_serial_phases)
+    /// converts once per run.
+    fn step_impl(&mut self, mut phases: Option<&mut PhaseNanos>) -> bool {
+        let pre_start = phases.as_ref().map(|_| std::time::Instant::now());
         let Some((t, ev)) = self.queue.pop() else {
             return false;
         };
         debug_assert!(t >= self.now, "time must be monotonic");
         self.now = t;
         self.telemetry.set_now(t);
-        if let Some((dev_id, work)) = self.prepare(t, ev) {
+        let slot = self.prepare(t, ev);
+        if let (Some(acc), Some(started)) = (phases.as_deref_mut(), pre_start) {
+            acc.pre += started.elapsed().as_nanos() as u64;
+        }
+        if let Some((dev_id, work)) = slot {
+            let work_start = phases.as_ref().map(|_| std::time::Instant::now());
             let prov = self.provenance.clone();
             let traced = span::tracing_enabled();
             let Self {
@@ -1756,9 +1975,27 @@ impl SimNet {
             if let Some(started) = started {
                 self.note_busy(dev_id, started.elapsed().as_nanos() as u64);
             }
+            let merge_start = phases.as_ref().map(|_| std::time::Instant::now());
             self.replay(dev_id, emissions);
+            if let Some(acc) = phases {
+                if let (Some(ws), Some(ms)) = (work_start, merge_start) {
+                    acc.work += ms.duration_since(ws).as_nanos() as u64;
+                    acc.merge += ms.elapsed().as_nanos() as u64;
+                }
+            }
         }
         true
+    }
+
+    /// Fold a serial run's accumulated phase nanoseconds into the
+    /// µs-granularity phase counters shared with the windowed engine.
+    fn flush_serial_phases(&self, acc: &PhaseNanos) {
+        if acc.pre == 0 && acc.work == 0 && acc.merge == 0 {
+            return;
+        }
+        self.counters.phase_pre_us.add(acc.pre / 1_000);
+        self.counters.phase_work_us.add(acc.work / 1_000);
+        self.counters.phase_merge_us.add(acc.merge / 1_000);
     }
 
     /// Replay worker emissions through the scheduling path (`emit`,
@@ -1790,11 +2027,16 @@ impl SimNet {
     ///    `base_latency_us` after the event that produced it, so all events
     ///    in the window `[t0, t0 + max(base_latency_us, 1))` are already
     ///    queued when the window opens and nothing produced inside the
-    ///    window can land inside it.
+    ///    window can land inside it. (In the coalescing configuration the
+    ///    window stretches to three latencies, with explicit cuts around
+    ///    the few event shapes that could violate this — see the
+    ///    `step_window` internals and `DESIGN.md` §13.)
     /// 2. Events targeting different devices within one window are causally
     ///    independent (all cross-device effects travel as messages, which
-    ///    land beyond the window), so per-device batches may run on worker
-    ///    threads; each device's batch preserves its global pop order.
+    ///    land beyond the window), so per-device batches may run on the
+    ///    persistent sharded worker pool; each device's batch preserves its
+    ///    global pop order, and the device → worker assignment is a pure
+    ///    function of the topology ([`ShardMap`]).
     /// 3. Workers never touch the RNG, the queue, or shared maps — they
     ///    return ordered emission lists which the merge phase replays
     ///    through the normal `emit` path in the original global pop order,
@@ -1815,8 +2057,10 @@ impl SimNet {
         let mut sp = span::span("simnet", "converge");
         sp.arg("workers", if parallel { workers as u64 } else { 1 });
         let mut n = 0u64;
+        let mut serial_phases = PhaseNanos::default();
         while !self.queue.is_empty() {
             if n >= self.cfg.max_events {
+                self.flush_serial_phases(&serial_phases);
                 sp.arg("events", n);
                 return ConvergenceReport {
                     converged: false,
@@ -1827,10 +2071,11 @@ impl SimNet {
             if parallel {
                 n += self.step_window(workers, self.cfg.max_events - n);
             } else {
-                self.step();
+                self.step_impl(Some(&mut serial_phases));
                 n += 1;
             }
         }
+        self.flush_serial_phases(&serial_phases);
         self.observe_quiescence();
         sp.arg("events", n);
         ConvergenceReport {
@@ -1841,13 +2086,40 @@ impl SimNet {
     }
 
     /// Resolved worker count: `parallel_workers`, with `0` meaning one per
-    /// available core.
+    /// available core (sampled once at construction).
     fn effective_workers(&self) -> usize {
         match self.cfg.parallel_workers {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            0 => self.host_cores,
             n => n,
+        }
+    }
+
+    /// Build the device → shard map on first use. Shard count comes from
+    /// [`SimConfig::shards`] (`0` = one per worker); the map is a pure
+    /// function of the topology, so it is rebuilt only after a topology
+    /// mutation invalidates it.
+    fn ensure_shard_map(&mut self, workers: usize) {
+        if self.shard_map.is_none() {
+            let shards = if self.cfg.shards == 0 {
+                workers
+            } else {
+                self.cfg.shards
+            };
+            let map = ShardMap::build(&self.topo, shards);
+            self.telemetry
+                .metrics()
+                .gauge("simnet.shard.count")
+                .set(map.shard_count() as i64);
+            self.shard_map = Some(map);
+        }
+    }
+
+    /// Spin up the persistent worker pool on the first window that
+    /// dispatches; every later window (and every later `converge` call on
+    /// this network) reuses the parked threads.
+    fn ensure_pool(&mut self, workers: usize) {
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(workers, pool_run));
         }
     }
 
@@ -1855,11 +2127,39 @@ impl SimNet {
     /// the three-phase pipeline: serial pre-pass (global bookkeeping, in pop
     /// order), parallel per-device processing, serial merge (emission
     /// replay, in pop order). Returns the number of events consumed.
+    ///
+    /// ## Window width
+    ///
+    /// The base window is one latency: everything in `[t0, t0 + L)` is
+    /// already queued and causally independent across devices. When UPDATE
+    /// coalescing is on and session handshakes are off — the benchmark
+    /// configuration — fresh coalesced batches are scheduled a full `3·L`
+    /// out, so the window stretches to `[t0, t0 + 3L)` and carries roughly
+    /// three times the jobs per dispatch. Three *cuts* keep the wide window
+    /// byte-identical to serial:
+    ///
+    /// * an event whose replay schedules follow-ups one `L` out (refresh
+    ///   requests after a Route Filter removal; control-message replies)
+    ///   ends the window — the follow-up could land inside `3L` and must
+    ///   sort against later events in a fresh window;
+    /// * a batch delivery is cut *out* of the window when any device that
+    ///   already holds an in-window job is its emitter and the delivery is
+    ///   at least `L` after that job — the job's replayed output would have
+    ///   merged into the batch serially (`emit_coalesced` merges into
+    ///   batches at least one `L` away), but the windowed pre-pass has
+    ///   already retired the payload. Deferring the delivery to the next
+    ///   window restores the serial merge.
     fn step_window(&mut self, workers: usize, budget: u64) -> u64 {
         let Some(t0) = self.queue.peek_time() else {
             return 0;
         };
-        let horizon = t0 + self.cfg.base_latency_us.max(1);
+        let min_latency = self.cfg.base_latency_us.max(1);
+        let wide = self.cfg.coalesce_updates && !self.cfg.handshake_sessions;
+        let horizon = if wide {
+            t0 + (3 * self.cfg.base_latency_us).max(1)
+        } else {
+            t0 + min_latency
+        };
 
         // Phase 1 — serial pre-pass: pop the window, run the global-state
         // side of each event (counters, churn, origination bookkeeping,
@@ -1868,16 +2168,35 @@ impl SimNet {
         let sp_pre = span::span("simnet", "window.pre");
         let mut popped: Vec<(SimTime, Option<(DeviceId, usize)>)> = Vec::new();
         let mut jobs: BTreeMap<DeviceId, Vec<(SimTime, Work)>> = BTreeMap::new();
-        while (popped.len() as u64) < budget {
-            match self.queue.peek_time() {
-                Some(t) if t < horizon => {}
+        let mut first_job_t: HashMap<DeviceId, SimTime> = HashMap::new();
+        let mut cut = false;
+        while !cut && (popped.len() as u64) < budget {
+            match self.queue.peek() {
+                Some((t, ev)) if t < horizon => {
+                    if wide {
+                        if let NetEvent::DeliverBatch { on, .. } = ev {
+                            let emitter = DeviceId(on.device());
+                            if let Some(&te) = first_job_t.get(&emitter) {
+                                if t >= te + min_latency {
+                                    // In-window output from the emitter could
+                                    // still merge into this batch: defer it.
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
                 _ => break,
             }
             let (t, ev) = self.queue.pop().expect("peeked event");
             debug_assert!(t >= self.now, "time must be monotonic");
+            if wide {
+                cut = matches!(ev, NetEvent::RemoveRpa { .. } | NetEvent::DeliverCtl { .. });
+            }
             let slot = self.prepare(t, ev).map(|(dev_id, work)| {
                 let list = jobs.entry(dev_id).or_default();
                 list.push((t, work));
+                first_job_t.entry(dev_id).or_insert(t);
                 (dev_id, list.len() - 1)
             });
             popped.push((t, slot));
@@ -1887,93 +2206,143 @@ impl SimNet {
             .phase_pre_us
             .add(pre_start.elapsed().as_micros() as u64);
 
-        // Phase 2 — parallel worker phase over disjoint `&mut SimDevice`.
-        // Falls back to inline execution for small windows (identical
+        // Phase 2 — per-device processing over disjoint `&mut SimDevice`,
+        // dispatched to the persistent sharded pool when the window carries
+        // enough work to pay for the handoff; inline otherwise (identical
         // output either way; only wall-clock differs).
         let work_start = std::time::Instant::now();
         let mut sp_work = span::span("simnet", "window.work");
         let traced = span::tracing_enabled();
-        let counters = &self.counters;
-        let topo = &self.topo;
-        let cfg = &self.cfg;
-        let mut slots: Vec<WorkerSlot> = Vec::with_capacity(jobs.len());
-        for (id, dev) in self.devices.iter_mut() {
-            if let Some(list) = jobs.remove(id) {
-                slots.push((*id, dev, list, Vec::new(), 0));
+        let total_jobs: usize = jobs.values().map(Vec::len).sum();
+        let device_count = jobs.len();
+        self.counters.window_jobs.observe(total_jobs as u64);
+        self.ensure_shard_map(workers);
+        // Shard census: which shards have work this window, and how much.
+        let mut shard_loads: BTreeMap<usize, usize> = BTreeMap::new();
+        {
+            let shard_map = self.shard_map.as_ref().expect("just built");
+            for (id, list) in &jobs {
+                *shard_loads.entry(shard_map.shard_of(*id)).or_default() += list.len();
             }
         }
-        debug_assert!(jobs.is_empty(), "every job targets a live device");
-        let total_jobs: usize = slots.iter().map(|(_, _, l, _, _)| l.len()).sum();
-        counters.window_jobs.observe(total_jobs as u64);
-        // Spawning a scoped thread costs tens of microseconds, so a worker
-        // only pays off once it has a batch of jobs to amortize it over.
-        // Size the pool to the work available and run small windows inline.
-        let threads = workers
-            .min(slots.len())
-            .min((total_jobs / MIN_JOBS_PER_WORKER).max(1));
+        let dispatch = match self.cfg.min_dispatch_jobs {
+            Some(min) => !jobs.is_empty() && total_jobs >= min,
+            // Auto gate: enough jobs to amortize the channel handoff, work
+            // on at least two shards (one busy shard parallelizes nothing),
+            // and a host that can actually run workers side by side.
+            None => {
+                total_jobs >= 2 * MIN_JOBS_PER_WORKER
+                    && shard_loads.len() >= 2
+                    && self.host_cores > 1
+            }
+        };
         sp_work.arg("jobs", total_jobs as u64);
-        sp_work.arg("devices", slots.len() as u64);
-        sp_work.arg("threads", threads as u64);
-        if threads < 2 {
-            counters.inline_windows.inc();
-            for (_, dev, list, outs, busy_ns) in &mut slots {
+        sp_work.arg("devices", device_count as u64);
+        sp_work.arg("shards", shard_loads.len() as u64);
+        sp_work.arg("dispatched", dispatch as u64);
+        let mut device_busy: Vec<(DeviceId, u64)> = Vec::new();
+        let mut outputs: BTreeMap<DeviceId, Vec<Vec<Emission>>> = BTreeMap::new();
+        if !dispatch {
+            self.counters.inline_windows.inc();
+            let Self {
+                devices,
+                counters,
+                topo,
+                cfg,
+                ..
+            } = self;
+            for (id, dev) in devices.iter_mut() {
+                let Some(list) = jobs.remove(id) else {
+                    continue;
+                };
                 let dev_start = traced.then(std::time::Instant::now);
-                for (t, work) in std::mem::take(list) {
+                let mut outs = Vec::with_capacity(list.len());
+                for (t, work) in list {
                     outs.push(run_work(dev, t, work, counters, topo, cfg));
                 }
                 if let Some(started) = dev_start {
-                    *busy_ns = started.elapsed().as_nanos() as u64;
+                    device_busy.push((*id, started.elapsed().as_nanos() as u64));
                 }
+                outputs.insert(*id, outs);
             }
         } else {
-            // Per-slot busy is measured unconditionally here: a threaded
-            // window already pays thread-spawn costs, so two clock reads
-            // per device are in the noise — and they are what worker
-            // utilization (busy vs idle) is computed from.
-            let chunk = slots.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                for batch in slots.chunks_mut(chunk) {
-                    s.spawn(move || {
-                        let worker_start = std::time::Instant::now();
-                        let mut sp = span::span("simnet", "worker");
-                        let mut worker_jobs = 0u64;
-                        for (_, dev, list, outs, busy_ns) in batch.iter_mut() {
-                            let dev_start = std::time::Instant::now();
-                            worker_jobs += list.len() as u64;
-                            for (t, work) in std::mem::take(list) {
-                                outs.push(run_work(dev, t, work, counters, topo, cfg));
-                            }
-                            *busy_ns = dev_start.elapsed().as_nanos() as u64;
-                        }
-                        sp.arg("jobs", worker_jobs);
-                        drop(sp);
-                        counters
-                            .worker_busy_ns
-                            .observe(worker_start.elapsed().as_nanos() as u64);
+            self.counters.shard_dispatches.inc();
+            for &load in shard_loads.values() {
+                self.counters.shard_jobs.observe(load as u64);
+            }
+            self.ensure_pool(workers);
+            let Self {
+                devices,
+                counters,
+                topo,
+                cfg,
+                pool,
+                shard_map,
+                ..
+            } = self;
+            let shard_map = shard_map.as_ref().expect("built above");
+            let pool = pool.as_mut().expect("built above");
+            let pool_workers = pool.workers();
+            // Group each shard's device slots onto its worker (shard s →
+            // worker s mod pool size), devices in id order within a batch.
+            let mut per_worker: BTreeMap<usize, Vec<PoolSlot>> = BTreeMap::new();
+            for (id, dev) in devices.iter_mut() {
+                let Some(list) = jobs.remove(id) else {
+                    continue;
+                };
+                per_worker
+                    .entry(shard_map.shard_of(*id) % pool_workers)
+                    .or_default()
+                    .push(PoolSlot {
+                        id: *id,
+                        dev: dev as *mut SimDevice,
+                        jobs: list,
                     });
-                }
-            });
-            // Idle per worker = worker-phase wall − that worker's busy time
-            // (its slots' busy sum). The wall includes spawn and join
-            // delay, which is the point: a worker that spent the window
-            // waiting to start shows up as idle.
+            }
+            let batch: Vec<(usize, PoolJob)> = per_worker
+                .into_iter()
+                .map(|(worker, slots)| {
+                    (
+                        worker,
+                        PoolJob {
+                            slots,
+                            counters: counters as *const NetCounters,
+                            topo: topo as *const Topology,
+                            cfg: cfg as *const SimConfig,
+                        },
+                    )
+                })
+                .collect();
+            let results = pool.dispatch(batch);
+            // Idle per worker = dispatch wall − that worker's busy time.
+            // The wall includes the handoff and collection delay, which is
+            // the point: a worker that waited on the channel shows as idle.
             let wall_ns = work_start.elapsed().as_nanos() as u64;
-            for chunk_slots in slots.chunks(chunk) {
-                let busy: u64 = chunk_slots.iter().map(|(_, _, _, _, b)| *b).sum();
-                counters
-                    .worker_idle_ns
-                    .observe(wall_ns.saturating_sub(busy));
+            let mut panic_payload = None;
+            for result in results {
+                match result {
+                    Ok(done) => {
+                        counters
+                            .worker_idle_ns
+                            .observe(wall_ns.saturating_sub(done.busy_ns));
+                        for (id, outs, busy_ns) in done.slots {
+                            if traced {
+                                device_busy.push((id, busy_ns));
+                            }
+                            outputs.insert(id, outs);
+                        }
+                    }
+                    Err(payload) => panic_payload = Some(payload),
+                }
+            }
+            if let Some(payload) = panic_payload {
+                // Every worker has reported back (dispatch collected all
+                // results), so no thread still holds a device pointer —
+                // safe to unwind the coordinator.
+                std::panic::resume_unwind(payload);
             }
         }
-        let device_busy: Vec<(DeviceId, u64)> = if traced {
-            slots.iter().map(|(id, _, _, _, b)| (*id, *b)).collect()
-        } else {
-            Vec::new()
-        };
-        let mut outputs: BTreeMap<DeviceId, Vec<Vec<Emission>>> = slots
-            .into_iter()
-            .map(|(id, _, _, outs, _)| (id, outs))
-            .collect();
+        debug_assert!(jobs.is_empty(), "every job targets a live device");
         drop(sp_work);
         self.counters
             .phase_work_us

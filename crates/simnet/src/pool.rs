@@ -1,0 +1,199 @@
+//! A persistent worker pool for the windowed convergence engine.
+//!
+//! The PR-3 engine spawned scoped threads per causality window, paying
+//! thread creation (tens of microseconds) every window — more than most
+//! windows' entire work phase, which is why `BENCH_convergence.json`
+//! recorded speedup < 1.0. This pool keeps workers alive across windows
+//! *and across whole `converge()` calls*: each worker parks on an
+//! [`mpsc`](std::sync::mpsc) channel and wakes only to run a dispatched
+//! job batch, so steady-state dispatch costs two channel transfers per
+//! worker instead of a spawn/join pair.
+//!
+//! The pool is deliberately generic over the job (`J`) and result (`R`)
+//! payloads and knows nothing about devices or emissions: `SimNet` keeps
+//! the unsafe pointer plumbing (disjoint `&mut SimDevice` handed to
+//! workers as raw pointers) in `net.rs`, next to the invariants that make
+//! it sound. What the pool guarantees:
+//!
+//! * **Synchronous dispatch** — [`WorkerPool::dispatch`] returns only after
+//!   every submitted job has completed (or panicked), so borrowed state
+//!   referenced by a job cannot outlive the call.
+//! * **Panic containment** — a panicking job is caught on the worker, its
+//!   payload shipped back as `Err`, and the worker survives to serve later
+//!   dispatches; the caller decides whether to resume the unwind.
+//! * **Clean shutdown** — dropping the pool sends every worker a shutdown
+//!   message and joins it, so no thread outlives the owning `SimNet`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+enum Msg<J> {
+    Run(J),
+    Shutdown,
+}
+
+/// A fixed-size pool of long-lived worker threads executing jobs of type
+/// `J` into results of type `R` via the run function supplied at
+/// construction.
+pub struct WorkerPool<J, R> {
+    senders: Vec<Sender<Msg<J>>>,
+    done_rx: Receiver<std::thread::Result<R>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<J, R> WorkerPool<J, R>
+where
+    J: Send + 'static,
+    R: Send + 'static,
+{
+    /// Spawn `workers` (at least one) threads, each parked on its own
+    /// channel, all funneling results into one shared completion channel.
+    /// `run` executes on worker threads; it must only touch its job and
+    /// whatever shared state the caller's dispatch protocol makes safe.
+    pub fn new(workers: usize, run: impl Fn(J) -> R + Send + Sync + Clone + 'static) -> Self {
+        let workers = workers.max(1);
+        let (done_tx, done_rx) = channel();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<Msg<J>>();
+            let done = done_tx.clone();
+            let run = run.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("simnet-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(Msg::Run(job)) = rx.recv() {
+                        let result = catch_unwind(AssertUnwindSafe(|| run(job)));
+                        if done.send(result).is_err() {
+                            break; // pool dropped mid-dispatch; nothing to report to
+                        }
+                    }
+                })
+                .expect("spawn pool worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            senders,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Run `jobs` — `(worker index, job)` pairs — and block until all of
+    /// them complete, returning one result per job in completion order
+    /// (jobs carry their own identity; callers reorder by it). A job whose
+    /// run function panicked comes back as `Err` with the panic payload;
+    /// the worker itself stays alive. Blocking until every completion
+    /// arrives is what makes it sound for jobs to carry raw pointers into
+    /// caller-borrowed state.
+    pub fn dispatch(&mut self, jobs: Vec<(usize, J)>) -> Vec<std::thread::Result<R>> {
+        let expected = jobs.len();
+        for (worker, job) in jobs {
+            self.senders[worker % self.senders.len()]
+                .send(Msg::Run(job))
+                .expect("pool worker alive while pool exists");
+        }
+        let mut results = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            results.push(self.done_rx.recv().expect("worker completes its job"));
+        }
+        results
+    }
+}
+
+impl<J, R> Drop for WorkerPool<J, R> {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // A worker that already exited (its receiver dropped) is fine.
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<J, R> std::fmt::Debug for WorkerPool<J, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.senders.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn dispatch_runs_every_job_and_returns_results() {
+        let mut pool = WorkerPool::new(3, |n: u64| n * 2);
+        let results = pool.dispatch((0..10).map(|i| (i as usize, i)).collect());
+        let mut values: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_dispatches() {
+        let mut pool = WorkerPool::new(2, |n: u64| n + 1);
+        for round in 0..50u64 {
+            let results = pool.dispatch(vec![(0, round), (1, round)]);
+            assert!(results.into_iter().all(|r| r.unwrap() == round + 1));
+        }
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_worker_survives() {
+        let mut pool = WorkerPool::new(2, |n: u64| {
+            if n == 13 {
+                panic!("unlucky job");
+            }
+            n
+        });
+        let results = pool.dispatch(vec![(0, 13), (1, 7)]);
+        let (ok, err): (Vec<_>, Vec<_>) = results.into_iter().partition(|r| r.is_ok());
+        assert_eq!(ok.len(), 1);
+        assert_eq!(err.len(), 1);
+        let payload = err.into_iter().next().unwrap().unwrap_err();
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("unlucky job"),
+            "panic payload travels back to the dispatcher"
+        );
+        // The worker that panicked still serves jobs.
+        let results = pool.dispatch(vec![(0, 1), (1, 2)]);
+        assert!(results.into_iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&ran);
+        let mut pool = WorkerPool::new(4, move |n: usize| {
+            counter.fetch_add(n, Ordering::SeqCst);
+        });
+        pool.dispatch((0..8).map(|i| (i, 1)).collect());
+        drop(pool); // must not hang: every worker gets Shutdown and joins
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn worker_index_wraps_beyond_pool_size() {
+        let mut pool = WorkerPool::new(2, |n: u64| n);
+        // Indices far beyond the pool size are valid (mapped modulo workers),
+        // which is what lets a shard map outnumber the worker count.
+        let results = pool.dispatch(vec![(0, 1), (5, 2), (102, 3)]);
+        assert_eq!(results.len(), 3);
+        assert!(results.into_iter().all(|r| r.is_ok()));
+    }
+}

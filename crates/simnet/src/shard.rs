@@ -1,0 +1,169 @@
+//! Static device sharding for the persistent worker pool.
+//!
+//! The windowed engine hands each worker a batch of devices whose events it
+//! runs without touching any other device's state. Which devices land on
+//! which worker matters for two reasons:
+//!
+//! * **Locality** — devices of one pod/plane exchange most of their traffic
+//!   with each other, so a window's jobs cluster by topology group. Keeping
+//!   a group on one shard means a window usually touches few shards, and a
+//!   shard's batch is large enough to amortize the dispatch handoff.
+//! * **Determinism** — the assignment must be a pure function of the
+//!   topology so that serial and parallel runs (and repeated runs) agree on
+//!   which worker does what, keeping the byte-identity oracle meaningful.
+//!
+//! [`ShardMap::build`] buckets devices by `(layer, group)` — the pod for
+//! RSW/FSW, the plane for SSW, the grid for FADU/FAUU, the flat backbone
+//! group for EBs — and distributes whole buckets over shards with a greedy
+//! longest-processing-time pass: buckets sorted by (size desc, key asc),
+//! each placed on the currently lightest shard, ties to the lowest shard
+//! index. The map is rebuilt whenever a device is commissioned or
+//! decommissioned, so migrations keep the balance.
+
+use centralium_topology::{DeviceId, Layer, Topology};
+use std::collections::{BTreeMap, HashMap};
+
+/// A deterministic device → shard assignment derived from the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    assignment: HashMap<DeviceId, usize>,
+    sizes: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Partition `topo`'s devices into `shards` (at least one) shards.
+    pub fn build(topo: &Topology, shards: usize) -> Self {
+        let shards = shards.max(1);
+        // Bucket devices by topological group. BTreeMap gives key-ascending
+        // iteration; device ids within a bucket follow topology id order.
+        let mut buckets: BTreeMap<(Layer, u16), Vec<DeviceId>> = BTreeMap::new();
+        for dev in topo.devices() {
+            buckets
+                .entry((dev.name.layer, dev.name.group))
+                .or_default()
+                .push(dev.id);
+        }
+        // Longest-processing-time greedy: biggest buckets first so the small
+        // ones can fill the gaps. The sort is stable, so equal-size buckets
+        // keep their key-ascending order and the result is deterministic.
+        let mut ordered: Vec<((Layer, u16), Vec<DeviceId>)> = buckets.into_iter().collect();
+        ordered.sort_by_key(|(_, devs)| std::cmp::Reverse(devs.len()));
+        let mut sizes = vec![0usize; shards];
+        let mut assignment = HashMap::new();
+        for (_, devs) in ordered {
+            let lightest = sizes
+                .iter()
+                .enumerate()
+                .min_by_key(|&(idx, &size)| (size, idx))
+                .map(|(idx, _)| idx)
+                .expect("at least one shard");
+            sizes[lightest] += devs.len();
+            for id in devs {
+                assignment.insert(id, lightest);
+            }
+        }
+        ShardMap {
+            shards,
+            assignment,
+            sizes,
+        }
+    }
+
+    /// The shard a device belongs to. Devices unknown to the map (possible
+    /// only in the window between a topology mutation and the rebuild that
+    /// follows it) fall back to a stable hash of the id.
+    pub fn shard_of(&self, id: DeviceId) -> usize {
+        self.assignment
+            .get(&id)
+            .copied()
+            .unwrap_or(id.0 as usize % self.shards)
+    }
+
+    /// Number of shards the map distributes over.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// Device count per shard, indexed by shard.
+    pub fn shard_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use centralium_topology::{build_fabric, FabricSpec};
+
+    #[test]
+    fn build_is_deterministic() {
+        let (topo, _, _) = build_fabric(&FabricSpec::default());
+        assert_eq!(ShardMap::build(&topo, 4), ShardMap::build(&topo, 4));
+    }
+
+    #[test]
+    fn every_device_is_assigned_within_range() {
+        let (topo, _, _) = build_fabric(&FabricSpec::default());
+        let map = ShardMap::build(&topo, 4);
+        for dev in topo.devices() {
+            assert!(map.shard_of(dev.id) < 4);
+        }
+        assert_eq!(
+            map.shard_sizes().iter().sum::<usize>(),
+            topo.device_count(),
+            "shard sizes account for every device"
+        );
+    }
+
+    #[test]
+    fn groups_stay_whole() {
+        let (topo, _, _) = build_fabric(&FabricSpec::default());
+        let map = ShardMap::build(&topo, 4);
+        let mut group_shard: HashMap<(Layer, u16), usize> = HashMap::new();
+        for dev in topo.devices() {
+            let shard = map.shard_of(dev.id);
+            let prev = group_shard
+                .entry((dev.name.layer, dev.name.group))
+                .or_insert(shard);
+            assert_eq!(*prev, shard, "a (layer, group) bucket must not split");
+        }
+    }
+
+    #[test]
+    fn shards_are_reasonably_balanced() {
+        let (topo, _, _) = build_fabric(&FabricSpec::large());
+        let map = ShardMap::build(&topo, 4);
+        let max = *map.shard_sizes().iter().max().unwrap();
+        let min = *map.shard_sizes().iter().min().unwrap();
+        // LPT on whole buckets cannot be perfect, but on the large fabric the
+        // heaviest shard should stay within 2x of the lightest.
+        assert!(max <= min * 2, "imbalanced shards: {:?}", map.shard_sizes());
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let (topo, _, _) = build_fabric(&FabricSpec::tiny());
+        let map = ShardMap::build(&topo, 1);
+        assert_eq!(map.shard_count(), 1);
+        assert!(topo.devices().all(|d| map.shard_of(d.id) == 0));
+    }
+
+    #[test]
+    fn more_shards_than_buckets_leaves_some_empty() {
+        let (topo, _, _) = build_fabric(&FabricSpec::tiny());
+        let map = ShardMap::build(&topo, 64);
+        assert_eq!(map.shard_count(), 64);
+        assert_eq!(map.shard_sizes().iter().sum::<usize>(), topo.device_count());
+        // Unknown ids still resolve in range.
+        assert!(map.shard_of(DeviceId(9999)) < 64);
+    }
+
+    #[test]
+    fn rebuild_after_removal_still_covers_all_devices() {
+        let (mut topo, idx, _) = build_fabric(&FabricSpec::tiny());
+        topo.remove_device(idx.fadu[0][0]);
+        let map = ShardMap::build(&topo, 3);
+        assert_eq!(map.shard_sizes().iter().sum::<usize>(), topo.device_count());
+    }
+}

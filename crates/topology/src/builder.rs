@@ -73,6 +73,23 @@ impl FabricSpec {
         }
     }
 
+    /// The large benchmark tier (212 devices): wide enough that a
+    /// convergence wave carries hundreds of per-window jobs, which is the
+    /// regime where the sharded worker pool pays for its dispatch overhead.
+    /// Used by `bench_convergence`'s `large` fabric and the nightly CI tier.
+    pub fn large() -> Self {
+        FabricSpec {
+            pods: 8,
+            planes: 4,
+            ssws_per_plane: 4,
+            racks_per_pod: 16,
+            grids: 4,
+            fauus_per_grid: 4,
+            backbone_devices: 4,
+            link_capacity_gbps: crate::link::Link::DEFAULT_CAPACITY_GBPS,
+        }
+    }
+
     /// Total device count the spec will produce.
     pub fn total_devices(&self) -> usize {
         let rsw = self.pods as usize * self.racks_per_pod as usize;
@@ -267,6 +284,17 @@ mod tests {
         assert_eq!(spec.total_devices(), 22);
         let (topo, _, _) = build_fabric(&spec);
         assert_eq!(topo.device_count(), 22);
+    }
+
+    #[test]
+    fn large_spec_counts() {
+        let spec = FabricSpec::large();
+        // 8*16 rsw + 8*4 fsw + 4*4 ssw + 4*4 fadu + 4*4 fauu + 4 eb = 212
+        assert_eq!(spec.total_devices(), 212);
+        let (topo, idx, _) = build_fabric(&spec);
+        assert_eq!(topo.device_count(), 212);
+        assert_eq!(idx.all().len(), 212);
+        assert!(topo.is_connected());
     }
 
     #[test]

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerate the committed performance baselines with the exact flags CI
+# uses to gate against them, so a baseline refresh and a CI run are always
+# measuring the same thing.
+#
+#   BENCH_convergence.json  — full fabric tier (tiny/default/large), full
+#                             worker ladder (1/2/4/8), seed 7, 5 iters.
+#                             Gated by: perf-smoke (serial wall regression
+#                             >20% fails; tiny only), the perf_report 2%
+#                             instrumentation-overhead gate, and the nightly
+#                             full-tier run (regression + 1.2x speedup gate).
+#   BENCH_incremental.json  — default 84-device fabric, --full-check, seed
+#                             ladder, 3 iters. Gated by: the 5x delta-vs-full
+#                             wall ratio floor and FIB-equality check.
+#
+# Run this on a quiet machine (wall-clock medians go straight into the
+# regression gate) and commit the two JSON files it rewrites. Note that the
+# speedup columns are only meaningful on a multi-core host: on a single
+# core the parallel rows still verify byte-identity but record speedup < 1,
+# and the CI speedup gate self-skips (it checks host_cores in the JSON).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== building release binaries =="
+cargo build --release --locked -p centralium-bench
+
+echo
+echo "== BENCH_convergence.json (full fabric tier, worker ladder) =="
+cargo run --release --locked -p centralium-bench --bin bench_convergence -- \
+  --json BENCH_convergence.json
+
+echo
+echo "== BENCH_incremental.json (default fabric, full-check) =="
+cargo run --release --locked -p centralium-bench --bin bench_incremental -- \
+  --full-check --json BENCH_incremental.json
+
+echo
+echo "== sanity: gates pass against the fresh baselines =="
+cargo run --release --locked -p centralium-bench --bin bench_convergence -- \
+  --tiny --baseline BENCH_convergence.json --json /dev/null
+cargo run --release --locked -p centralium-bench --bin bench_convergence -- \
+  --workers 4 --min-speedup 1.2 --json /dev/null
+
+echo
+echo "done — commit BENCH_convergence.json and BENCH_incremental.json"
