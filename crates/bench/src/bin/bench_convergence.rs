@@ -10,39 +10,49 @@
 //! byte for byte; a mismatch exits nonzero.
 //!
 //! ```text
-//! bench_convergence [--tiny] [--iters N] [--workers N] [--json FILE]
-//!                   [--baseline FILE] [--min-speedup X]
+//! bench_convergence [--tiny] [--fabric T1,T2,...] [--iters N] [--workers N]
+//!                   [--json FILE] [--baseline FILE]
+//!                   [--min-speedup X] [--gate-fabric TIER]
 //! ```
 //!
 //! `--tiny` restricts to the 22-device fabric (the CI smoke setting); the
 //! full tier also measures the 84-device default and the 212-device large
-//! fabric. `--workers N` measures only serial and `N` workers instead of
-//! the whole ladder. `--json FILE` writes the machine-readable report
-//! (BENCH_convergence.json by convention). `--baseline FILE` compares the
-//! run against a committed report and exits nonzero when the serial median
-//! wall time regresses by more than 20% on any fabric. `--min-speedup X`
-//! requires the largest measured fabric to reach at least `X`× parallel
-//! speedup over serial and exits nonzero (printing the failing JSON row)
-//! when it does not; on a host with fewer than two effective cores the
-//! gate reports itself skipped — worker parallelism cannot exist there, so
-//! a failure would measure the machine, not the engine. Both gates back
-//! the CI perf-smoke job.
+//! fabric. `--fabric` names an explicit comma-separated tier list from
+//! `tiny`/`default`/`large`/`2k`/`xl` — the last two are the paper-scale
+//! three-tier fabrics (2,036 and 10,308 devices) that exercise the arena
+//! storage and the calendar-queue scheduler; scale tiers cap the worker
+//! ladder and iteration count (printed, never silent) so a full xl pass
+//! stays tractable. `--workers N` measures only serial and `N` workers
+//! instead of the whole ladder. `--json FILE` writes the machine-readable
+//! report (BENCH_convergence.json by convention). `--baseline FILE`
+//! compares the run against a committed report and exits nonzero when the
+//! serial median wall time regresses by more than 20% on any fabric.
+//! `--min-speedup X` requires one fabric — the last measured by default,
+//! `--gate-fabric TIER` to pin it explicitly — to reach at least `X`×
+//! parallel speedup over serial and exits nonzero (printing the failing
+//! JSON row) when it does not; on a host with fewer than two effective
+//! cores the gate reports itself skipped — worker parallelism cannot exist
+//! there, so a failure would measure the machine, not the engine. Both
+//! gates back the CI perf-smoke job.
 //!
 //! Beyond wall time the report carries the zero-copy hot-path counters:
 //! `events_processed` (UPDATE coalescing collapses per-prefix messages into
 //! per-link batches), `attr_clone_bytes` (attribute bytes physically copied —
 //! Arc-shared routes keep this near-constant in fabric size), and the batch
-//! shape (`batches_delivered`, `updates_coalesced`, `max_batch_size`).
+//! shape (`batches_delivered`, `updates_coalesced`, `max_batch_size`), plus
+//! the scale columns: `events_per_sec` throughput and `peak_rss_bytes`
+//! (process VmHWM — attributable per tier because tiers run in ascending
+//! size order).
 
 use centralium_bench::args::BenchArgs;
 use centralium_bench::report::Table;
+use centralium_bench::tier::{parse_tier_list, peak_rss_bytes, TierSpec};
 use centralium_bgp::attrs::well_known;
 use centralium_bgp::Prefix;
 use centralium_rpa::{
     Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature, RpaDocument,
 };
 use centralium_simnet::{SimConfig, SimNet};
-use centralium_topology::{build_fabric, FabricSpec};
 use serde_json::json;
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -52,6 +62,14 @@ const SEED: u64 = 7;
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const DEFAULT_ITERS: usize = 5;
 const RPC_US: u64 = 300;
+
+/// Tiers at or above this device count are "scale tiers": the worker ladder
+/// shrinks to {serial, max} and iterations cap at [`SCALE_TIER_ITERS`], both
+/// printed so the caps are never silent. A 10k-device episode runs for
+/// seconds, not microseconds — the full ladder × 5 iters buys no extra
+/// signal for minutes of extra wall.
+const SCALE_TIER_DEVICES: usize = 1_000;
+const SCALE_TIER_ITERS: usize = 2;
 
 struct Episode {
     wall: std::time::Duration,
@@ -69,6 +87,7 @@ struct Episode {
     windows: u64,
     inline_windows: u64,
     shard_dispatches: u64,
+    peak_rss_bytes: u64,
 }
 
 fn equalize_doc() -> RpaDocument {
@@ -83,9 +102,11 @@ fn equalize_doc() -> RpaDocument {
 
 /// One full convergence story at a given worker count. The wall clock covers
 /// everything after topology construction: session establishment, cold-start
-/// convergence, the RPA fleet deployment and the FADU bounce.
-fn episode(spec: &FabricSpec, workers: usize) -> Episode {
-    let (topo, idx, _) = build_fabric(spec);
+/// convergence, the RPA fleet deployment and the device bounce — FADU-0/0 on
+/// the five-layer tiers, the first pod's plane-0 aggregation switch on the
+/// three-tier scale tiers (which have no FADU layer).
+fn episode(spec: &TierSpec, workers: usize) -> Episode {
+    let (topo, idx, _) = spec.build();
     let mut net = SimNet::new(
         topo,
         SimConfig::builder().seed(SEED).workers(workers).build(),
@@ -109,12 +130,19 @@ fn episode(spec: &FabricSpec, workers: usize) -> Episode {
         .run_until_quiescent()
         .expect_converged()
         .events_processed;
-    net.device_down(idx.fadu[0][0]);
+    let bounce = idx
+        .fadu
+        .first()
+        .and_then(|g| g.first())
+        .or_else(|| idx.fsw.first().and_then(|p| p.first()))
+        .copied()
+        .expect("fabric has a FADU or aggregation device to bounce");
+    net.device_down(bounce);
     events += net
         .run_until_quiescent()
         .expect_converged()
         .events_processed;
-    net.device_up(idx.fadu[0][0]);
+    net.device_up(bounce);
     events += net
         .run_until_quiescent()
         .expect_converged()
@@ -143,6 +171,7 @@ fn episode(spec: &FabricSpec, workers: usize) -> Episode {
         windows: snap.counter("simnet.phase.windows"),
         inline_windows: snap.counter("simnet.phase.inline_windows"),
         shard_dispatches: snap.counter("simnet.shard.dispatches"),
+        peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
     }
 }
 
@@ -186,17 +215,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let gate_fabric = match args.get_str("gate-fabric") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let fabrics: Vec<(&str, FabricSpec)> = if args.has_flag("tiny") {
-        vec![("tiny", FabricSpec::tiny())]
-    } else {
-        vec![
-            ("tiny", FabricSpec::tiny()),
-            ("default", FabricSpec::default()),
-            ("large", FabricSpec::large()),
-        ]
+    let fabrics: Vec<(String, TierSpec)> = match args.get_str("fabric") {
+        Ok(Some(list)) => match parse_tier_list(&list) {
+            Ok(tiers) => tiers,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) if args.has_flag("tiny") => {
+            vec![(
+                "tiny".into(),
+                TierSpec::by_name("tiny").expect("known tier"),
+            )]
+        }
+        Ok(None) => ["tiny", "default", "large"]
+            .iter()
+            .map(|n| (n.to_string(), TierSpec::by_name(n).expect("known tier")))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
 
     println!(
@@ -208,11 +258,30 @@ fn main() -> ExitCode {
     let mut fib_mismatch = false;
     let mut report = Vec::new();
     for (label, spec) in &fabrics {
+        // Scale tiers (2k/xl) cap the ladder and iteration count, printed
+        // up front so a truncated measurement never reads as a full one.
+        let scale_tier = spec.devices() >= SCALE_TIER_DEVICES;
+        let (tier_iters, tier_workers) = if scale_tier {
+            let mut ladder = vec![1];
+            if let Some(&max) = worker_counts.iter().filter(|&&w| w > 1).max() {
+                ladder.push(max);
+            }
+            let capped_iters = iters.min(SCALE_TIER_ITERS);
+            println!(
+                "fabric '{label}' is a scale tier: capping at {capped_iters} iters, \
+                 workers {ladder:?} (the full ladder adds minutes of wall for no signal)"
+            );
+            (capped_iters, ladder)
+        } else {
+            (iters, worker_counts.clone())
+        };
         let mut table = Table::new(&[
             "workers",
             "median wall (ms)",
             "speedup",
             "events",
+            "events/s",
+            "peak RSS MB",
             "attr KB cloned",
             "cache hit rate",
             "fib == serial",
@@ -221,10 +290,10 @@ fn main() -> ExitCode {
         let mut serial_median = 0.0;
         let mut serial_batch_shape = (0u64, 0u64, 0u64);
         let mut rows = Vec::new();
-        for &workers in &worker_counts {
-            let mut walls = Vec::with_capacity(iters);
+        for &workers in &tier_workers {
+            let mut walls = Vec::with_capacity(tier_iters);
             let mut last = None;
-            for _ in 0..iters {
+            for _ in 0..tier_iters {
                 let ep = episode(spec, workers);
                 walls.push(ep.wall.as_secs_f64() * 1e3);
                 last = Some(ep);
@@ -256,6 +325,11 @@ fn main() -> ExitCode {
             };
             let cache_samples = ep.cache_hits + ep.cache_misses;
             let hit_rate = ep.cache_hits as f64 / cache_samples.max(1) as f64;
+            let events_per_sec = if median > 0.0 {
+                ep.events as f64 / (median / 1e3)
+            } else {
+                0.0
+            };
             table.row(&[
                 workers.to_string(),
                 format!("{median:.2}"),
@@ -265,6 +339,8 @@ fn main() -> ExitCode {
                     "n/a".into()
                 },
                 ep.events.to_string(),
+                format!("{events_per_sec:.0}"),
+                format!("{:.1}", ep.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
                 format!("{:.1}", ep.attr_clone_bytes as f64 / 1024.0),
                 if cache_samples > 0 {
                     format!("{:.1}%", hit_rate * 100.0)
@@ -283,6 +359,8 @@ fn main() -> ExitCode {
                 "cache_hits": ep.cache_hits,
                 "cache_misses": ep.cache_misses,
                 "events_processed": ep.events,
+                "events_per_sec": events_per_sec,
+                "peak_rss_bytes": ep.peak_rss_bytes,
                 "attr_clone_bytes": ep.attr_clone_bytes,
                 "batches_delivered": ep.batches_delivered,
                 "updates_coalesced": ep.updates_coalesced,
@@ -296,7 +374,7 @@ fn main() -> ExitCode {
                 "fib_matches_serial": matches,
             }));
         }
-        let devices = build_fabric(spec).0.device_count();
+        let devices = spec.devices();
         println!("fabric '{label}' ({devices} devices):");
         println!("{}", table.render());
         let (batches, coalesced, largest) = serial_batch_shape;
@@ -307,7 +385,7 @@ fn main() -> ExitCode {
         report.push(json!({
             "fabric": label,
             "devices": devices,
-            "iters": iters,
+            "iters": tier_iters,
             "results": rows,
         }));
     }
@@ -350,7 +428,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(min) = min_speedup {
-        match check_speedup(&report, min, host_cores) {
+        match check_speedup(&report, min, host_cores, gate_fabric.as_deref()) {
             Ok(line) => println!("{line}"),
             Err(e) => {
                 eprintln!("error: speedup gate: {e}");
@@ -361,10 +439,13 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// CI speedup gate: the largest measured fabric must reach at least `min`×
-/// median-wall speedup over serial on some parallel row. On failure the
-/// offending row's JSON is printed so the CI log carries the full context
-/// (phase split, window shape, dispatch counts) without re-running.
+/// CI speedup gate: the gated fabric must reach at least `min`× median-wall
+/// speedup over serial on some parallel row. `--gate-fabric` pins the tier
+/// explicitly; without it the gate falls back to the last measured fabric —
+/// an implicit choice that silently moves when a larger, untuned tier (like
+/// `xl`) joins the list, which is exactly why the flag exists. On failure
+/// the offending row's JSON is printed so the CI log carries the full
+/// context (phase split, window shape, dispatch counts) without re-running.
 ///
 /// Skipped — successfully — when the host has fewer than two effective
 /// cores: the pool's workers would time-slice one core, so the measurement
@@ -373,6 +454,7 @@ fn check_speedup(
     report: &[serde_json::Value],
     min: f64,
     host_cores: usize,
+    gate_fabric: Option<&str>,
 ) -> Result<String, String> {
     if host_cores < 2 {
         return Ok(format!(
@@ -380,7 +462,13 @@ fn check_speedup(
              parallel speedup is unmeasurable here, not failing the build"
         ));
     }
-    let fabric = report.last().ok_or("empty report")?;
+    let fabric = match gate_fabric {
+        Some(name) => report
+            .iter()
+            .find(|f| f.get("fabric").and_then(|v| v.as_str()) == Some(name))
+            .ok_or_else(|| format!("--gate-fabric '{name}' was not measured in this run"))?,
+        None => report.last().ok_or("empty report")?,
+    };
     let label = fabric.get("fabric").and_then(|v| v.as_str()).unwrap_or("?");
     let best = fabric
         .get("results")

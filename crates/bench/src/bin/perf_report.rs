@@ -13,9 +13,13 @@
 //! the win).
 //!
 //! ```text
-//! perf_report [--tiny] [--iters N] [--workers N] [--json FILE]
-//!             [--trace-out FILE] [--baseline FILE]
+//! perf_report [--tiny] [--fabric T1,T2,...] [--iters N] [--workers N]
+//!             [--json FILE] [--trace-out FILE] [--baseline FILE]
 //! ```
+//!
+//! `--fabric` names an explicit tier list (`tiny`/`default`/`large`/`2k`/
+//! `xl`); the scale tiers report the arena and calendar-queue footprint
+//! gauges plus process peak RSS alongside the usual diagnosis.
 //!
 //! `--trace-out` writes the traced runs as one Chrome Trace Event file
 //! (open in `chrome://tracing` or Perfetto). `--baseline FILE` is the CI
@@ -26,6 +30,7 @@
 //! when disabled.
 
 use centralium_bench::args::BenchArgs;
+use centralium_bench::tier::{parse_tier_list, peak_rss_bytes, TierSpec};
 use centralium_bgp::attrs::well_known;
 use centralium_bgp::Prefix;
 use centralium_rpa::{
@@ -33,7 +38,6 @@ use centralium_rpa::{
 };
 use centralium_simnet::{SimConfig, SimNet};
 use centralium_telemetry::{span, MetricsSnapshot};
-use centralium_topology::{build_fabric, FabricSpec};
 use serde_json::json;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -60,9 +64,11 @@ fn equalize_doc() -> RpaDocument {
 
 /// The `bench_convergence` episode story, returning the converged network
 /// for post-hoc inspection. Wall clock covers everything after topology
-/// construction.
-fn episode(spec: &FabricSpec, workers: usize) -> (f64, SimNet) {
-    let (topo, idx, _) = build_fabric(spec);
+/// construction. Three-tier scale tiers have no FADU layer, so the bounce
+/// falls back to the first pod's plane-0 aggregation switch, mirroring
+/// `bench_convergence`.
+fn episode(spec: &TierSpec, workers: usize) -> (f64, SimNet) {
+    let (topo, idx, _) = spec.build();
     let mut net = SimNet::new(
         topo,
         SimConfig::builder().seed(SEED).workers(workers).build(),
@@ -79,9 +85,16 @@ fn episode(spec: &FabricSpec, workers: usize) -> (f64, SimNet) {
         }
     }
     net.run_until_quiescent().expect_converged();
-    net.device_down(idx.fadu[0][0]);
+    let bounce = idx
+        .fadu
+        .first()
+        .and_then(|g| g.first())
+        .or_else(|| idx.fsw.first().and_then(|p| p.first()))
+        .copied()
+        .expect("fabric has a FADU or aggregation device to bounce");
+    net.device_down(bounce);
     net.run_until_quiescent().expect_converged();
-    net.device_up(idx.fadu[0][0]);
+    net.device_up(bounce);
     net.run_until_quiescent().expect_converged();
     (start.elapsed().as_secs_f64() * 1e3, net)
 }
@@ -134,8 +147,8 @@ struct Diagnosis {
     serial_median: f64,
 }
 
-fn diagnose(label: &str, spec: &FabricSpec, iters: usize, workers: usize) -> Diagnosis {
-    let devices = build_fabric(spec).0.device_count();
+fn diagnose(label: &str, spec: &TierSpec, iters: usize, workers: usize) -> Diagnosis {
+    let devices = spec.devices();
     println!("fabric '{label}' ({devices} devices), {workers} workers, {iters} iters:");
 
     // Untraced medians: the honest speedup and the overhead-gate sample.
@@ -266,13 +279,18 @@ fn diagnose(label: &str, spec: &FabricSpec, iters: usize, workers: usize) -> Dia
             .collect();
         println!("  widest prefixes: {}", line.join("  "));
     }
+    let peak_rss = peak_rss_bytes().unwrap_or(0);
     println!(
         "  memory:   adj-rib-in {} KB, interner {} paths / {} community sets, \
-         event-queue HWM {}",
+         event-queue HWM {} ({} KB buckets), device arenas {} KB, \
+         process peak RSS {:.1} MB",
         snap.gauge("mem.adj_rib_in_bytes") / 1024,
         snap.gauge("mem.interner.as_paths"),
         snap.gauge("mem.interner.community_sets"),
         snap.gauge("mem.event_queue_hwm"),
+        snap.gauge("mem.event_queue_bytes") / 1024,
+        snap.gauge("mem.device_arena_bytes") / 1024,
+        peak_rss as f64 / (1024.0 * 1024.0),
     );
 
     // The point of the exercise: say *why*.
@@ -361,6 +379,9 @@ fn diagnose(label: &str, spec: &FabricSpec, iters: usize, workers: usize) -> Dia
             "interner_as_paths": snap.gauge("mem.interner.as_paths"),
             "interner_community_sets": snap.gauge("mem.interner.community_sets"),
             "event_queue_hwm": snap.gauge("mem.event_queue_hwm"),
+            "event_queue_bytes": snap.gauge("mem.event_queue_bytes"),
+            "device_arena_bytes": snap.gauge("mem.device_arena_bytes"),
+            "peak_rss_bytes": peak_rss,
         },
         "verdict": verdict,
     });
@@ -430,14 +451,28 @@ fn main() -> ExitCode {
         .unwrap_or(None)
         .map(|n| n.max(2) as usize)
         .unwrap_or(DEFAULT_WORKERS);
-    let fabrics: Vec<(&str, FabricSpec)> = if args.has_flag("tiny") {
-        vec![("tiny", FabricSpec::tiny())]
-    } else {
-        vec![
-            ("tiny", FabricSpec::tiny()),
-            ("default", FabricSpec::default()),
-            ("large", FabricSpec::large()),
-        ]
+    let fabrics: Vec<(String, TierSpec)> = match args.get_str("fabric") {
+        Ok(Some(list)) => match parse_tier_list(&list) {
+            Ok(tiers) => tiers,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Ok(None) if args.has_flag("tiny") => {
+            vec![(
+                "tiny".into(),
+                TierSpec::by_name("tiny").expect("known tier"),
+            )]
+        }
+        Ok(None) => ["tiny", "default", "large"]
+            .iter()
+            .map(|n| (n.to_string(), TierSpec::by_name(n).expect("known tier")))
+            .collect(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
 
     println!("Convergence profiler report: seed {SEED}");

@@ -31,12 +31,12 @@ fn fav2_share(net: &SimNet, sources: &[DeviceId], fav2: DeviceId, group: &[Devic
     let report = route_flows(net, &tm, DEFAULT_MAX_HOPS);
     let total: f64 = group
         .iter()
-        .map(|d| report.device_transit.get(d).copied().unwrap_or(0.0))
+        .map(|&d| report.device_transit.get(d).copied().unwrap_or(0.0))
         .sum();
     if total <= 0.0 {
         return 0.0;
     }
-    report.device_transit.get(&fav2).copied().unwrap_or(0.0) / total
+    report.device_transit.get(fav2).copied().unwrap_or(0.0) / total
 }
 
 fn run(with_rpa: bool) -> Outcome {
@@ -74,12 +74,12 @@ fn run(with_rpa: bool) -> Outcome {
         }
         let total: f64 = group
             .iter()
-            .map(|d| report.device_transit.get(d).copied().unwrap_or(0.0))
+            .map(|&d| report.device_transit.get(d).copied().unwrap_or(0.0))
             .sum();
         if total <= 0.0 {
             0.0
         } else {
-            report.device_transit.get(&fav2).copied().unwrap_or(0.0) / total
+            report.device_transit.get(fav2).copied().unwrap_or(0.0) / total
         }
     });
     let steady_share = fav2_share(&fab.net, &sources, fav2, &group);

@@ -13,9 +13,12 @@
 //! * [`report`] — plain-text table/series printers shared by the `bin/`
 //!   regenerators, one binary per paper artifact (see DESIGN.md's index);
 //! * [`args`] — the tiny flag parser behind the regenerators' chaos/smoke
-//!   options (`--chaos-seed`, `--rpc-loss`, `--tiny`, `--json FILE`).
+//!   options (`--chaos-seed`, `--rpc-loss`, `--tiny`, `--json FILE`);
+//! * [`tier`] — the named fabric tiers (`tiny` … `xl`) shared by
+//!   `bench_convergence` and `perf_report`, plus the peak-RSS probe.
 
 pub mod args;
 pub mod report;
 pub mod scenarios;
 pub mod stats;
+pub mod tier;

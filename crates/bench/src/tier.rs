@@ -1,0 +1,127 @@
+//! Named fabric tiers shared by the perf binaries.
+//!
+//! `bench_convergence` and `perf_report` measure the same episode story at
+//! the same named sizes; this module is the single place those names map to
+//! topology specs, so adding a tier (or retuning one) cannot desynchronize
+//! the two binaries or the committed `BENCH_convergence.json` trajectory.
+//!
+//! Tiers come in two shapes: the five-layer Meta-style fabric
+//! ([`FabricSpec`]) at unit-test sizes, and the paper-scale three-tier Clos
+//! ([`ThreeTierSpec`]) whose link count stays linear in devices — the `2k`
+//! and `xl` tiers that exercise the arena storage and the calendar-queue
+//! scheduler at 2k/10k+ devices.
+
+use centralium_topology::{
+    build_fabric, build_three_tier, AsnAllocator, FabricIndex, FabricSpec, ThreeTierSpec, Topology,
+};
+
+/// A named fabric tier: either the five-layer fabric or the paper-scale
+/// three-tier Clos.
+#[derive(Debug, Clone)]
+pub enum TierSpec {
+    /// Five-layer RSW/FSW/SSW/FADU/FAUU fabric (tiny/default/large).
+    FiveTier(FabricSpec),
+    /// Three-tier ToR/agg/spine fabric (2k/xl).
+    ThreeTier(ThreeTierSpec),
+}
+
+/// Every tier name [`TierSpec::by_name`] accepts, in ascending size order —
+/// the order benches measure them in, which is what makes the process-wide
+/// peak-RSS reading after each tier attributable to that tier.
+pub const TIER_NAMES: &[&str] = &["tiny", "default", "large", "2k", "xl"];
+
+impl TierSpec {
+    /// Resolve a tier name. `None` for unknown names; see [`TIER_NAMES`].
+    pub fn by_name(name: &str) -> Option<TierSpec> {
+        Some(match name {
+            "tiny" => TierSpec::FiveTier(FabricSpec::tiny()),
+            "default" => TierSpec::FiveTier(FabricSpec::default()),
+            "large" => TierSpec::FiveTier(FabricSpec::large()),
+            "2k" => TierSpec::ThreeTier(ThreeTierSpec::ci_2k()),
+            "xl" => TierSpec::ThreeTier(ThreeTierSpec::xl()),
+            _ => return None,
+        })
+    }
+
+    /// Build the tier's topology.
+    pub fn build(&self) -> (Topology, FabricIndex, AsnAllocator) {
+        match self {
+            TierSpec::FiveTier(spec) => build_fabric(spec),
+            TierSpec::ThreeTier(spec) => build_three_tier(spec),
+        }
+    }
+
+    /// Device count without building the topology.
+    pub fn devices(&self) -> usize {
+        match self {
+            TierSpec::FiveTier(spec) => spec.total_devices(),
+            TierSpec::ThreeTier(spec) => spec.total_devices(),
+        }
+    }
+}
+
+/// Parse a `--fabric` value: a comma-separated list of tier names, returned
+/// in the order given.
+pub fn parse_tier_list(arg: &str) -> Result<Vec<(String, TierSpec)>, String> {
+    let mut out = Vec::new();
+    for name in arg.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let spec = TierSpec::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown fabric tier '{name}' (known: {})",
+                TIER_NAMES.join(", ")
+            )
+        })?;
+        out.push((name.to_string(), spec));
+    }
+    if out.is_empty() {
+        return Err("--fabric needs at least one tier name".into());
+    }
+    Ok(out)
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), `None` where the proc interface is unavailable.
+///
+/// The high-water mark is process-wide and monotonic, so per-tier readings
+/// are only attributable when tiers run in ascending size order (which the
+/// default tier list does): the largest tier's reading is its own peak.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves_in_ascending_size() {
+        let mut prev = 0;
+        for name in TIER_NAMES {
+            let tier = TierSpec::by_name(name).expect("listed tier resolves");
+            assert!(tier.devices() > prev, "{name} out of size order");
+            prev = tier.devices();
+        }
+        assert!(TierSpec::by_name("galactic").is_none());
+    }
+
+    #[test]
+    fn tier_list_parses_and_rejects() {
+        let tiers = parse_tier_list("tiny, xl").unwrap();
+        assert_eq!(tiers.len(), 2);
+        assert_eq!(tiers[0].0, "tiny");
+        assert_eq!(tiers[1].0, "xl");
+        assert!(parse_tier_list("tiny,warp9").is_err());
+        assert!(parse_tier_list(" , ").is_err());
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("proc status readable");
+            assert!(rss > 1024 * 1024, "a test process peaks above 1 MiB");
+        }
+    }
+}

@@ -30,6 +30,7 @@
 //! * [`shard`] — deterministic device → shard partitioning by pod/plane;
 //! * [`trace`] — event counters and convergence reporting.
 
+pub mod arena;
 pub mod device;
 pub mod event;
 pub mod fault;
@@ -42,6 +43,7 @@ pub mod shard;
 pub mod trace;
 pub mod traffic;
 
+pub use arena::DenseMap;
 pub use device::SimDevice;
 pub use event::{EventQueue, SimTime};
 pub use fault::{chaos_unit, ChaosPlan, FaultPlan, RpcFate};

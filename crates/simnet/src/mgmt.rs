@@ -6,16 +6,19 @@
 //! to the controller: SPF hop distances from the controller's attachment
 //! point, giving per-device reachability and RPC latency.
 
+use crate::arena::DenseMap;
 use crate::event::SimTime;
 use centralium_topology::{DeviceId, Topology};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// SPF view of the management network from the controller's rack.
 #[derive(Debug, Clone)]
 pub struct ManagementPlane {
     root: DeviceId,
-    /// Hop distance from the root to each reachable device.
-    distance: HashMap<DeviceId, usize>,
+    /// Hop distance from the root to each reachable device, stored in a
+    /// dense id-indexed vector (device ids are dense, so the BFS frontier
+    /// reads and writes one flat array instead of hashing every probe).
+    distance: DenseMap<usize>,
     /// Per-hop latency in µs used for RPC cost estimates.
     pub per_hop_latency_us: SimTime,
     /// Fixed processing overhead per RPC in µs.
@@ -30,15 +33,15 @@ impl ManagementPlane {
 
     /// Compute SPF from `root` over the topology's live devices and links.
     pub fn compute(topo: &Topology, root: DeviceId) -> Self {
-        let mut distance = HashMap::new();
+        let mut distance = DenseMap::with_capacity(topo.device_count());
         if topo.device(root).is_some() {
             distance.insert(root, 0usize);
             let mut queue = VecDeque::from([root]);
             while let Some(cur) = queue.pop_front() {
-                let d = distance[&cur];
+                let d = distance[cur];
                 for (next, _) in topo.neighbors(cur) {
-                    if let std::collections::hash_map::Entry::Vacant(e) = distance.entry(next) {
-                        e.insert(d + 1);
+                    if !distance.contains_key(next) {
+                        distance.insert(next, d + 1);
                         queue.push_back(next);
                     }
                 }
@@ -59,12 +62,12 @@ impl ManagementPlane {
 
     /// Whether the controller can reach `dev` over the management plane.
     pub fn reachable(&self, dev: DeviceId) -> bool {
-        self.distance.contains_key(&dev)
+        self.distance.contains_key(dev)
     }
 
     /// Hop distance to `dev`, if reachable.
     pub fn hops_to(&self, dev: DeviceId) -> Option<usize> {
-        self.distance.get(&dev).copied()
+        self.distance.get(dev).copied()
     }
 
     /// One-way RPC latency estimate to `dev`, if reachable.
@@ -78,7 +81,7 @@ impl ManagementPlane {
     /// distance so the caller can restore it, or `None` if the device was
     /// already unreachable.
     pub fn partition_device(&mut self, dev: DeviceId) -> Option<usize> {
-        self.distance.remove(&dev)
+        self.distance.remove(dev)
     }
 
     /// Undo [`partition_device`](Self::partition_device): restore `dev` at

@@ -11,6 +11,7 @@
 //!   per-prefix messages with independent jitter, modeling the per-prefix
 //!   convergence interleaving behind the §3.4 next-hop-group explosion.
 
+use crate::arena::DenseMap;
 use crate::device::SimDevice;
 use crate::event::{EventQueue, SimTime};
 use crate::fault::{ChaosPlan, FaultPlan, RpcFate};
@@ -1107,7 +1108,10 @@ const CONVERGENCE_MS_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 10
 pub struct SimNet {
     topo: Topology,
     cfg: SimConfig,
-    devices: BTreeMap<DeviceId, SimDevice>,
+    /// Per-device simulation state, arena-style: a dense id-indexed slot
+    /// vector (ids are allocated densely and never reused), iterated in the
+    /// same ascending-id order as the `BTreeMap` it replaced.
+    devices: DenseMap<SimDevice>,
     queue: EventQueue<NetEvent>,
     now: SimTime,
     rng: StdRng,
@@ -1115,10 +1119,10 @@ pub struct SimNet {
     counters: NetCounters,
     /// Per-device UPDATE-churn counters (`simnet.device.d<N>.updates`),
     /// bound lazily on first delivery to each device.
-    churn: HashMap<DeviceId, Counter>,
+    churn: DenseMap<Counter>,
     /// Per-device busy-time counters (`simnet.device.d<N>.busy_ns`), bound
     /// lazily; only written while span tracing is enabled.
-    busy: HashMap<DeviceId, Counter>,
+    busy: DenseMap<Counter>,
     /// Armed route-provenance trace: the prefix under observation and the
     /// log causal steps append to. Like journaling, forces the serial
     /// engine (records are appended during device processing, which would
@@ -1173,7 +1177,7 @@ impl SimNet {
     /// [`establish_all`](Self::establish_all) (or schedule SessionUp events)
     /// to bring them up.
     pub fn new(topo: Topology, cfg: SimConfig) -> Self {
-        let mut devices = BTreeMap::new();
+        let mut devices = DenseMap::with_capacity(topo.device_count());
         for dev in topo.devices() {
             if dev.state == DeviceState::Down {
                 continue;
@@ -1196,8 +1200,8 @@ impl SimNet {
             now: 0,
             telemetry,
             counters,
-            churn: HashMap::new(),
-            busy: HashMap::new(),
+            churn: DenseMap::new(),
+            busy: DenseMap::new(),
             provenance: None,
             origin_time: HashMap::new(),
             last_update: HashMap::new(),
@@ -1267,7 +1271,7 @@ impl SimNet {
 
     fn bind_all_device_telemetry(&mut self) {
         let t = self.telemetry.clone();
-        for (&id, dev) in self.devices.iter_mut() {
+        for (id, dev) in self.devices.iter_mut() {
             let scope = format!("d{}", id.0);
             dev.daemon.set_telemetry(&t, scope.clone());
             dev.engine.set_telemetry(&t, scope);
@@ -1278,7 +1282,7 @@ impl SimNet {
     /// links between the same pair stack their sessions).
     fn next_session_index(&self, dev: DeviceId, other: DeviceId) -> u8 {
         self.devices
-            .get(&dev)
+            .get(dev)
             .map(|d| {
                 d.daemon
                     .peer_ids()
@@ -1290,11 +1294,11 @@ impl SimNet {
     }
 
     fn wire_link(&mut self, a: DeviceId, b: DeviceId, capacity: f64) {
-        if !self.devices.contains_key(&a) || !self.devices.contains_key(&b) {
+        if !self.devices.contains_key(a) || !self.devices.contains_key(b) {
             return;
         }
-        let asn_a = self.devices[&a].daemon.asn();
-        let asn_b = self.devices[&b].daemon.asn();
+        let asn_a = self.devices[a].daemon.asn();
+        let asn_b = self.devices[b].daemon.asn();
         let layer_a = self.topo.device(a).expect("device a in topo").layer();
         let layer_b = self.topo.device(b).expect("device b in topo").layer();
         // A second parallel link between the same pair must not collide with
@@ -1317,13 +1321,13 @@ impl SimNet {
                 // Upper side: routes from below are fresh information.
                 upper_cfg.import = Self::import_from_down();
             }
-            let dev_a = self.devices.get_mut(&a).expect("device a");
+            let dev_a = self.devices.get_mut(a).expect("device a");
             dev_a.daemon.add_peer(cfg_a);
             dev_a.engine.set_peer_asn(peer_on_a, asn_b);
             if self.cfg.handshake_sessions {
                 dev_a.sessions.insert(peer_on_a, Session::new(asn_a, asn_b));
             }
-            let dev_b = self.devices.get_mut(&b).expect("device b");
+            let dev_b = self.devices.get_mut(b).expect("device b");
             dev_b.daemon.add_peer(cfg_b);
             dev_b.engine.set_peer_asn(peer_on_b, asn_a);
             if self.cfg.handshake_sessions {
@@ -1411,17 +1415,17 @@ impl SimNet {
 
     /// A device, if present (not decommissioned).
     pub fn device(&self, id: DeviceId) -> Option<&SimDevice> {
-        self.devices.get(&id)
+        self.devices.get(id)
     }
 
     /// Mutable device access (tests / experiment setup).
     pub fn device_mut(&mut self, id: DeviceId) -> Option<&mut SimDevice> {
-        self.devices.get_mut(&id)
+        self.devices.get_mut(id)
     }
 
     /// Ids of all live simulated devices.
     pub fn device_ids(&self) -> Vec<DeviceId> {
-        self.devices.keys().copied().collect()
+        self.devices.keys().collect()
     }
 
     /// Drain and return the set of devices any event has touched since the
@@ -1436,7 +1440,7 @@ impl SimNet {
     /// incremental engine is measured against, and the mechanism behind
     /// [`verify_full_equivalence`](Self::verify_full_equivalence).
     pub fn force_full_reconvergence(&mut self) -> ConvergenceReport {
-        let devs: Vec<DeviceId> = self.devices.keys().copied().collect();
+        let devs: Vec<DeviceId> = self.devices.keys().collect();
         for dev in devs {
             self.schedule_in(1, NetEvent::Reevaluate { dev });
         }
@@ -1450,7 +1454,7 @@ impl SimNet {
     pub fn fib_snapshot(&self) -> BTreeMap<DeviceId, Vec<FibEntry>> {
         self.devices
             .iter()
-            .map(|(&id, dev)| (id, dev.fib.entries().cloned().collect()))
+            .map(|(id, dev)| (id, dev.fib.entries().cloned().collect()))
             .collect()
     }
 
@@ -1510,7 +1514,7 @@ impl SimNet {
     /// [`SimConfig::handshake_sessions`] is set (the lower-id device plays
     /// the active opener).
     pub fn establish_all(&mut self) {
-        let devs: Vec<DeviceId> = self.devices.keys().copied().collect();
+        let devs: Vec<DeviceId> = self.devices.keys().collect();
         if !self.cfg.handshake_sessions {
             // Administrative bring-up is a management-plane action, not
             // network traffic: run each SessionUp synchronously through the
@@ -1519,7 +1523,7 @@ impl SimNet {
             // behave identically) instead of flooding the event queue with
             // O(sessions) bring-up events.
             for dev in devs {
-                for peer in self.devices[&dev].daemon.peer_ids() {
+                for peer in self.devices[dev].daemon.peer_ids() {
                     let t = self.now;
                     if let Some((dev_id, work)) = self.prepare(t, NetEvent::SessionUp { dev, peer })
                     {
@@ -1531,7 +1535,7 @@ impl SimNet {
                             ..
                         } = self;
                         let d = devices
-                            .get_mut(&dev_id)
+                            .get_mut(dev_id)
                             .expect("prepared event targets a live device");
                         let emissions = run_work(d, t, work, counters, topo, cfg);
                         self.replay(dev_id, emissions);
@@ -1541,12 +1545,12 @@ impl SimNet {
             return;
         }
         for dev in devs {
-            let peers = self.devices[&dev].daemon.peer_ids();
+            let peers = self.devices[dev].daemon.peer_ids();
             for peer in peers {
                 if dev.0 >= peer.device() {
                     continue; // passive side waits for the OPEN
                 }
-                let d = self.devices.get_mut(&dev).expect("device");
+                let d = self.devices.get_mut(dev).expect("device");
                 let action = d
                     .sessions
                     .get_mut(&peer)
@@ -1672,7 +1676,7 @@ impl SimNet {
 
     /// Drain a device (transition LIVE → MAINTENANCE) now.
     pub fn drain_device(&mut self, dev: DeviceId) {
-        let Some(d) = self.devices.get(&dev) else {
+        let Some(d) = self.devices.get(dev) else {
             return;
         };
         let policy = Self::drain_export_policy(d.daemon.asn());
@@ -1696,7 +1700,7 @@ impl SimNet {
     /// failure-detection delay.
     pub fn device_down(&mut self, dev: DeviceId) {
         self.topo.set_device_state(dev, DeviceState::Down);
-        let Some(d) = self.devices.get(&dev) else {
+        let Some(d) = self.devices.get(dev) else {
             return;
         };
         let sessions = d.daemon.peer_ids();
@@ -1719,7 +1723,7 @@ impl SimNet {
     /// Power a device back on: sessions re-establish after detection delay.
     pub fn device_up(&mut self, dev: DeviceId) {
         self.topo.set_device_state(dev, DeviceState::Live);
-        let Some(d) = self.devices.get(&dev) else {
+        let Some(d) = self.devices.get(dev) else {
             return;
         };
         for peer in d.daemon.peer_ids() {
@@ -1788,7 +1792,7 @@ impl SimNet {
                 };
                 let action = self
                     .devices
-                    .get_mut(&opener)
+                    .get_mut(opener)
                     .expect("device")
                     .sessions
                     .get_mut(&peer)
@@ -1912,7 +1916,7 @@ impl SimNet {
     /// detection) and remove it from the simulation and topology.
     pub fn decommission_device(&mut self, dev: DeviceId) {
         self.device_down(dev);
-        self.devices.remove(&dev);
+        self.devices.remove(dev);
         self.topo.remove_device(dev);
         self.shard_map = None;
         for prefix_origins in self.originators.values_mut() {
@@ -1963,7 +1967,7 @@ impl SimNet {
                 ..
             } = self;
             let dev = devices
-                .get_mut(&dev_id)
+                .get_mut(dev_id)
                 .expect("prepared event targets a live device");
             let before = prov.as_ref().map(|(p, _)| prov_state(dev, *p));
             let started = traced.then(std::time::Instant::now);
@@ -2252,7 +2256,7 @@ impl SimNet {
                 ..
             } = self;
             for (id, dev) in devices.iter_mut() {
-                let Some(list) = jobs.remove(id) else {
+                let Some(list) = jobs.remove(&id) else {
                     continue;
                 };
                 let dev_start = traced.then(std::time::Instant::now);
@@ -2261,9 +2265,9 @@ impl SimNet {
                     outs.push(run_work(dev, t, work, counters, topo, cfg));
                 }
                 if let Some(started) = dev_start {
-                    device_busy.push((*id, started.elapsed().as_nanos() as u64));
+                    device_busy.push((id, started.elapsed().as_nanos() as u64));
                 }
-                outputs.insert(*id, outs);
+                outputs.insert(id, outs);
             }
         } else {
             self.counters.shard_dispatches.inc();
@@ -2287,14 +2291,14 @@ impl SimNet {
             // worker s mod pool size), devices in id order within a batch.
             let mut per_worker: BTreeMap<usize, Vec<PoolSlot>> = BTreeMap::new();
             for (id, dev) in devices.iter_mut() {
-                let Some(list) = jobs.remove(id) else {
+                let Some(list) = jobs.remove(&id) else {
                     continue;
                 };
                 per_worker
-                    .entry(shard_map.shard_of(*id) % pool_workers)
+                    .entry(shard_map.shard_of(id) % pool_workers)
                     .or_default()
                     .push(PoolSlot {
-                        id: *id,
+                        id,
                         dev: dev as *mut SimDevice,
                         jobs: list,
                     });
@@ -2390,7 +2394,7 @@ impl SimNet {
     fn prepare_inner(&mut self, t: SimTime, ev: NetEvent) -> Option<(DeviceId, Work)> {
         match ev {
             NetEvent::DeliverCtl { to, on, msg } => {
-                if !self.devices.contains_key(&to) {
+                if !self.devices.contains_key(to) {
                     return None;
                 }
                 self.counters.session_events.inc();
@@ -2408,7 +2412,7 @@ impl SimNet {
                         self.open_batch.remove(&key);
                     }
                 }
-                if !self.devices.contains_key(&to) {
+                if !self.devices.contains_key(to) {
                     return None;
                 }
                 self.counters.messages_delivered.inc();
@@ -2435,7 +2439,7 @@ impl SimNet {
                 Some((to, Work::Deliver { on, msg }))
             }
             NetEvent::Deliver { to, on, msg } => {
-                if !self.devices.contains_key(&to) {
+                if !self.devices.contains_key(to) {
                     return None;
                 }
                 self.counters.messages_delivered.inc();
@@ -2458,7 +2462,7 @@ impl SimNet {
                 Some((to, Work::Deliver { on, msg }))
             }
             NetEvent::SessionUp { dev, peer } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 self.counters.session_events.inc();
@@ -2466,7 +2470,7 @@ impl SimNet {
                 Some((dev, Work::SessionUp { peer }))
             }
             NetEvent::SessionDown { dev, peer } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 self.counters.session_events.inc();
@@ -2474,13 +2478,13 @@ impl SimNet {
                 Some((dev, Work::SessionDown { peer }))
             }
             NetEvent::RouteRefreshRequest { to, on } => {
-                if !self.devices.contains_key(&to) {
+                if !self.devices.contains_key(to) {
                     return None;
                 }
                 Some((to, Work::RouteRefresh { on }))
             }
             NetEvent::RemovePeer { dev, peer } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 self.counters.session_events.inc();
@@ -2488,7 +2492,7 @@ impl SimNet {
                 Some((dev, Work::RemovePeer { peer }))
             }
             NetEvent::InstallRpa { dev, doc } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 self.counters.rpa_operations.inc();
@@ -2504,7 +2508,7 @@ impl SimNet {
                 Some((dev, Work::InstallRpa { doc }))
             }
             NetEvent::RemoveRpa { dev, name } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 self.counters.rpa_operations.inc();
@@ -2520,7 +2524,7 @@ impl SimNet {
                 Some((dev, Work::RemoveRpa { name }))
             }
             NetEvent::Originate { dev, prefix, attrs } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 self.originators.entry(prefix).or_default().insert(dev);
@@ -2528,7 +2532,7 @@ impl SimNet {
                 Some((dev, Work::Originate { prefix, attrs }))
             }
             NetEvent::WithdrawOrigin { dev, prefix } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 if let Some(set) = self.originators.get_mut(&prefix) {
@@ -2537,20 +2541,20 @@ impl SimNet {
                 Some((dev, Work::WithdrawOrigin { prefix }))
             }
             NetEvent::SetExportPolicy { dev, policy } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 Some((dev, Work::SetExportPolicy { policy }))
             }
             NetEvent::AgentRestart { dev } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 self.counters.agent_restarts.inc();
                 Some((dev, Work::AgentRestart))
             }
             NetEvent::Reevaluate { dev } => {
-                if !self.devices.contains_key(&dev) {
+                if !self.devices.contains_key(dev) {
                     return None;
                 }
                 Some((dev, Work::Reevaluate))
@@ -2592,8 +2596,12 @@ impl SimNet {
             .set(self.max_batch_size as i64);
         // Memory accounting, sampled at the same phase boundary: RIB slab
         // bytes (route-struct footprint; attribute payloads are interned
-        // and counted separately), interner table sizes, and the event
-        // queue's depth high-water mark.
+        // and counted separately), interner table sizes, and what the
+        // scheduler and per-device arenas actually hold. The byte gauges
+        // are *capacity*-based — calendar bucket arrays and arena slot
+        // vectors keep their allocations across windows, and that retained
+        // capacity (not the momentary occupancy) is what a memory budget
+        // must provision for.
         m.gauge("mem.adj_rib_in_bytes")
             .set(adj_rib_in * std::mem::size_of::<centralium_bgp::Route>() as i64);
         let interns = centralium_bgp::attrs::intern_stats();
@@ -2603,6 +2611,13 @@ impl SimNet {
             .set(interns.community_sets as i64);
         m.gauge("mem.event_queue_hwm")
             .set(self.queue.high_water_mark() as i64);
+        m.gauge("mem.event_queue_bytes")
+            .set(self.queue.footprint_bytes() as i64);
+        m.gauge("mem.device_arena_bytes").set(
+            (self.devices.footprint_bytes()
+                + self.churn.footprint_bytes()
+                + self.busy.footprint_bytes()) as i64,
+        );
     }
 
     /// Run events with time ≤ `deadline` (for snapshotting transitory
@@ -2625,7 +2640,7 @@ impl SimNet {
     /// bind closure would need `&self.telemetry` while `self.churn` is
     /// mutably borrowed.
     fn note_churn(&mut self, dev: DeviceId) {
-        if let Some(c) = self.churn.get(&dev) {
+        if let Some(c) = self.churn.get(dev) {
             c.inc();
         } else {
             let c = self
@@ -2640,7 +2655,7 @@ impl SimNet {
     /// Accumulate device-processing wall time for `dev` (only called while
     /// span tracing is enabled — two clock reads per event otherwise).
     fn note_busy(&mut self, dev: DeviceId, ns: u64) {
-        if let Some(c) = self.busy.get(&dev) {
+        if let Some(c) = self.busy.get(dev) {
             c.add(ns);
         } else {
             let c = self

@@ -6,6 +6,7 @@
 //! (funneling), black-holed traffic (no route), and looped traffic (hop
 //! budget exhausted — a forwarding loop in steady state).
 
+use crate::arena::DenseMap;
 use crate::net::SimNet;
 use centralium_bgp::Prefix;
 use centralium_topology::DeviceId;
@@ -62,8 +63,10 @@ pub struct DeliveryReport {
     pub looped_gbps: f64,
     /// Directed per-device-pair load (Gbps).
     pub link_load: HashMap<(DeviceId, DeviceId), f64>,
-    /// Per-device transit ingress (Gbps), excluding the flow's source.
-    pub device_transit: HashMap<DeviceId, f64>,
+    /// Per-device transit ingress (Gbps), excluding the flow's source —
+    /// dense id-indexed storage, so paper-scale matrices don't hash every
+    /// per-hop accumulation.
+    pub device_transit: DenseMap<f64>,
 }
 
 impl DeliveryReport {
@@ -80,7 +83,7 @@ impl DeliveryReport {
     pub fn funneling_ratio(&self, group: &[DeviceId]) -> f64 {
         let loads: Vec<f64> = group
             .iter()
-            .map(|d| self.device_transit.get(d).copied().unwrap_or(0.0))
+            .map(|&d| self.device_transit.get(d).copied().unwrap_or(0.0))
             .collect();
         let total: f64 = loads.iter().sum();
         if total <= 0.0 {
@@ -199,7 +202,7 @@ fn route_one(
                 let share = amount * (*weight as f64) / (total_weight as f64);
                 let to = DeviceId(peer.device());
                 *report.link_load.entry((dev, to)).or_insert(0.0) += share;
-                *report.device_transit.entry(to).or_insert(0.0) += share;
+                *report.device_transit.get_or_insert_with(to, || 0.0) += share;
                 *next.entry(to).or_insert(0.0) += share;
             }
         }
@@ -226,8 +229,7 @@ fn route_one(
 /// decays geometrically at each ECMP split, so a real loop can carry an
 /// arbitrarily small steady-state volume yet still burn bandwidth and TTLs.
 pub fn forwarding_cycle(net: &SimNet, dest: &Prefix) -> Option<Vec<DeviceId>> {
-    use std::collections::HashMap as Map;
-    let mut next: Map<DeviceId, Vec<DeviceId>> = Map::new();
+    let mut next: DenseMap<Vec<DeviceId>> = DenseMap::new();
     let mut nodes: Vec<DeviceId> = net.device_ids();
     nodes.sort_unstable();
     for &dev in &nodes {
@@ -252,9 +254,9 @@ pub fn forwarding_cycle(net: &SimNet, dest: &Prefix) -> Option<Vec<DeviceId>> {
         Gray,
         Black,
     }
-    let mut color: Map<DeviceId, Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
+    let mut color: DenseMap<Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
     for &start in &nodes {
-        if color[&start] != Color::White {
+        if color[start] != Color::White {
             continue;
         }
         // stack of (node, next-child-index), plus the gray path for cycle
@@ -262,11 +264,11 @@ pub fn forwarding_cycle(net: &SimNet, dest: &Prefix) -> Option<Vec<DeviceId>> {
         let mut stack: Vec<(DeviceId, usize)> = vec![(start, 0)];
         color.insert(start, Color::Gray);
         while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
-            let children = next.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            let children = next.get(node).map(Vec::as_slice).unwrap_or(&[]);
             if *idx < children.len() {
                 let child = children[*idx];
                 *idx += 1;
-                match color.get(&child).copied().unwrap_or(Color::Black) {
+                match color.get(child).copied().unwrap_or(Color::Black) {
                     Color::White => {
                         color.insert(child, Color::Gray);
                         stack.push((child, 0));

@@ -1,0 +1,144 @@
+//! Bit-exact serial-vs-pool equivalence at paper scale.
+//!
+//! `parallel_determinism.rs` pins the engines together on the 22-device
+//! tiny fabric; these tests pin them on the three-tier scale fabrics the
+//! arena storage and the calendar-queue scheduler were built for. The
+//! episode is the `bench_convergence` story — cold start on the backbone
+//! default route, an equalize RPA fleet-deployed to every spine, and an
+//! aggregation-switch bounce (the three-tier fabrics have no FADU layer) —
+//! reduced to the same end-state snapshot: every FIB, the trace stats, and
+//! the deterministic telemetry counters.
+//!
+//! The 2k-device variant runs in CI; the 10k-device xl run is
+//! `#[ignore]`-gated (minutes of debug-build wall) and covered by the
+//! nightly release-build job:
+//!
+//! ```text
+//! cargo test --release --test scale_determinism -- --include-ignored
+//! ```
+
+use centralium_bgp::attrs::well_known;
+use centralium_bgp::Prefix;
+use centralium_rpa::{
+    Destination, PathSelectionRpa, PathSelectionStatement, PathSet, PathSignature, RpaDocument,
+};
+use centralium_simnet::{SimConfig, SimNet};
+use centralium_topology::{build_three_tier, ThreeTierSpec};
+use std::fmt::Write;
+
+const DETERMINISTIC_COUNTERS: &[&str] = &[
+    "rpa.cache_hits",
+    "rpa.cache_misses",
+    "simnet.messages_delivered",
+    "simnet.messages_dropped",
+    "simnet.session_events",
+    "simnet.rpa_operations",
+];
+
+fn equalize_doc() -> RpaDocument {
+    RpaDocument::PathSelection(PathSelectionRpa::single(
+        "equalize",
+        PathSelectionStatement::select(
+            Destination::Community(well_known::BACKBONE_DEFAULT_ROUTE),
+            vec![PathSet::new("all", PathSignature::any())],
+        ),
+    ))
+}
+
+/// The bench episode on a three-tier fabric, reduced to a snapshot.
+fn scenario(spec: &ThreeTierSpec, seed: u64, workers: usize) -> String {
+    let (topo, idx, _) = build_three_tier(spec);
+    let mut net = SimNet::new(
+        topo,
+        SimConfig::builder().seed(seed).workers(workers).build(),
+    );
+    net.establish_all();
+    for &eb in &idx.backbone {
+        net.originate(eb, Prefix::DEFAULT, [well_known::BACKBONE_DEFAULT_ROUTE]);
+    }
+    let mut events = 0;
+    let mut finished = 0;
+    let mut run = |net: &mut SimNet| {
+        let r = net.run_until_quiescent().expect_converged();
+        events += r.events_processed;
+        finished = r.finished_at;
+    };
+    run(&mut net);
+    for plane in &idx.ssw {
+        for &spine in plane {
+            net.deploy_rpa(spine, equalize_doc(), 300);
+        }
+    }
+    run(&mut net);
+    let agg = idx.fsw[0][0];
+    net.device_down(agg);
+    run(&mut net);
+    net.device_up(agg);
+    run(&mut net);
+
+    let mut s = String::new();
+    writeln!(s, "events={events} finished_at={finished}").unwrap();
+    writeln!(s, "stats={:?}", net.stats()).unwrap();
+    let snap = net.telemetry().metrics().snapshot();
+    for name in DETERMINISTIC_COUNTERS {
+        writeln!(s, "{name}={}", snap.counter(name)).unwrap();
+    }
+    for id in net.device_ids() {
+        let dev = net.device(id).unwrap();
+        writeln!(s, "{id} fib={:?}", dev.fib).unwrap();
+    }
+    s
+}
+
+/// A sub-second three-tier fabric (284 devices) for the per-seed ladder:
+/// big enough that every pod, plane and EB stripe carries traffic, small
+/// enough to sweep three seeds in a debug build.
+fn small_three_tier() -> ThreeTierSpec {
+    ThreeTierSpec {
+        pods: 16,
+        tors_per_pod: 16,
+        planes: 2,
+        spines_per_plane: 4,
+        backbone_devices: 2,
+        link_capacity_gbps: 100.0,
+    }
+}
+
+#[test]
+fn three_tier_parallel_matches_serial_across_seeds() {
+    let spec = small_three_tier();
+    for seed in [7u64, 21, 1337] {
+        let serial = scenario(&spec, seed, 1);
+        let pool = scenario(&spec, seed, 4);
+        assert_eq!(
+            serial, pool,
+            "seed {seed}: 4-worker three-tier run diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn ci_2k_parallel_matches_serial() {
+    // The CI-sized scale tier: one seed, serial vs 4 workers, 2,036
+    // devices through the dense arenas and the calendar queue.
+    let spec = ThreeTierSpec::ci_2k();
+    assert_eq!(
+        scenario(&spec, 7, 1),
+        scenario(&spec, 7, 4),
+        "2k-device pool run diverged from serial"
+    );
+}
+
+#[test]
+#[ignore = "10k devices x 3 seeds: minutes of wall; run with --release --include-ignored"]
+fn xl_parallel_matches_serial_across_seeds() {
+    let spec = ThreeTierSpec::xl();
+    for seed in [7u64, 21, 1337] {
+        let serial = scenario(&spec, seed, 1);
+        let pool = scenario(&spec, seed, 4);
+        assert_eq!(
+            serial, pool,
+            "seed {seed}: 4-worker xl run diverged from serial"
+        );
+    }
+}

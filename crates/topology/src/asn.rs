@@ -22,26 +22,44 @@ impl fmt::Display for Asn {
 
 /// Allocates unique ASNs from per-layer bases.
 ///
-/// Layout (all in the 4-byte private range 4200000000+ would be realistic,
-/// but small bases keep traces readable):
+/// The first [`LEGACY_BAND_WIDTH`] allocations per layer come from small
+/// readable bases (10000·(height+1)), which keeps traces and every committed
+/// fixture stable. When a layer outgrows its legacy band — paper-scale
+/// fabrics put 10k+ switches in one layer — allocation continues in a
+/// per-layer **extension band** inside the 4-byte private range
+/// (RFC 6996: 4200000000–4294967294), [`EXT_BAND_WIDTH`] wide, instead of
+/// panicking or bleeding into the next layer's band:
 ///
-/// | layer     | base  |
-/// |-----------|-------|
-/// | RSW       | 10000 |
-/// | FSW       | 20000 |
-/// | SSW       | 30000 |
-/// | FADU      | 40000 |
-/// | FAUU      | 50000 |
-/// | Backbone  | 60000 |
+/// | layer     | legacy base | extension base |
+/// |-----------|-------------|----------------|
+/// | RSW       | 10000       | 4200000000     |
+/// | FSW       | 20000       | 4210000000     |
+/// | SSW       | 30000       | 4220000000     |
+/// | FADU      | 40000       | 4230000000     |
+/// | FAUU      | 50000       | 4240000000     |
+/// | Backbone  | 60000       | 4250000000     |
 #[derive(Debug, Default, Clone, Serialize, Deserialize)]
 pub struct AsnAllocator {
     next_offset: [u32; 6],
 }
 
+/// Allocations per layer served from the small legacy base.
+pub const LEGACY_BAND_WIDTH: u32 = 10_000;
+/// First ASN of the 4-byte private extension region (RFC 6996).
+pub const EXT_BASE: u32 = 4_200_000_000;
+/// Extension-band capacity per layer (10M switches — far past the 100k
+/// devices the scale roadmap targets).
+pub const EXT_BAND_WIDTH: u32 = 10_000_000;
+
 impl AsnAllocator {
-    /// Base ASN for a layer.
+    /// Base ASN for a layer's legacy band.
     pub fn layer_base(layer: Layer) -> u32 {
-        (layer.height() as u32 + 1) * 10_000
+        (layer.height() as u32 + 1) * LEGACY_BAND_WIDTH
+    }
+
+    /// Base ASN for a layer's 4-byte extension band.
+    pub fn layer_ext_base(layer: Layer) -> u32 {
+        EXT_BASE + layer.height() as u32 * EXT_BAND_WIDTH
     }
 
     /// Create an allocator with nothing allocated.
@@ -49,26 +67,38 @@ impl AsnAllocator {
         Self::default()
     }
 
-    /// Allocate the next free ASN in the layer's range.
+    /// Allocate the next free ASN in the layer's range: the legacy band
+    /// first, then the 4-byte extension band.
     ///
     /// # Panics
-    /// Panics when a layer's 10,000-wide band is exhausted — silently
-    /// bleeding into the next layer's band would corrupt every band-based
-    /// RPA signature.
+    /// Panics when a layer's extension band is also exhausted (10,010,000
+    /// devices in one layer) — silently bleeding into the next layer's band
+    /// would corrupt every band-based RPA signature.
     pub fn allocate(&mut self, layer: Layer) -> Asn {
         let idx = layer.height();
-        assert!(
-            self.next_offset[idx] < 10_000,
-            "ASN band for layer {layer} exhausted"
-        );
-        let asn = Asn(Self::layer_base(layer) + self.next_offset[idx]);
+        let offset = self.next_offset[idx];
+        let asn = if offset < LEGACY_BAND_WIDTH {
+            Asn(Self::layer_base(layer) + offset)
+        } else {
+            let ext = offset - LEGACY_BAND_WIDTH;
+            assert!(
+                ext < EXT_BAND_WIDTH,
+                "ASN bands for layer {layer} exhausted"
+            );
+            Asn(Self::layer_ext_base(layer) + ext)
+        };
         self.next_offset[idx] += 1;
         asn
     }
 
-    /// Which layer an ASN was allocated for, if it falls in a known range.
+    /// Which layer an ASN was allocated for, if it falls in a known range —
+    /// legacy or extension band.
     pub fn layer_of(asn: Asn) -> Option<Layer> {
-        let band = asn.0 / 10_000;
+        if asn.0 >= EXT_BASE {
+            let band = (asn.0 - EXT_BASE) / EXT_BAND_WIDTH;
+            return Layer::ALL.get(band as usize).copied();
+        }
+        let band = asn.0 / LEGACY_BAND_WIDTH;
         match band {
             1..=6 => Some(Layer::ALL[(band - 1) as usize]),
             _ => None,
@@ -110,5 +140,43 @@ mod tests {
     #[test]
     fn display_is_prefixed() {
         assert_eq!(Asn(65001).to_string(), "AS65001");
+    }
+
+    #[test]
+    fn exhausting_the_legacy_band_overflows_into_the_4byte_range() {
+        // 100k devices in one layer — the scale the roadmap targets. The
+        // first 10,000 keep the legacy readable base; the rest must come
+        // from the layer's private 4-byte band, all unique, all mapping
+        // back to the right layer.
+        let mut alloc = AsnAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u32 {
+            let asn = alloc.allocate(Layer::Rsw);
+            assert!(seen.insert(asn), "duplicate ASN {asn} at allocation {i}");
+            assert_eq!(AsnAllocator::layer_of(asn), Some(Layer::Rsw));
+            if i < LEGACY_BAND_WIDTH {
+                assert_eq!(asn.0, AsnAllocator::layer_base(Layer::Rsw) + i);
+            } else {
+                assert_eq!(
+                    asn.0,
+                    AsnAllocator::layer_ext_base(Layer::Rsw) + (i - LEGACY_BAND_WIDTH)
+                );
+            }
+        }
+        // Extension bands of different layers stay disjoint.
+        assert_eq!(
+            AsnAllocator::layer_of(Asn(AsnAllocator::layer_ext_base(Layer::Backbone))),
+            Some(Layer::Backbone)
+        );
+    }
+
+    #[test]
+    fn layer_of_extension_band_edges() {
+        assert_eq!(AsnAllocator::layer_of(Asn(EXT_BASE)), Some(Layer::Rsw));
+        assert_eq!(
+            AsnAllocator::layer_of(Asn(EXT_BASE + 6 * EXT_BAND_WIDTH)),
+            None,
+            "past the last layer's extension band"
+        );
     }
 }

@@ -11,6 +11,12 @@
 //!   decommission scenario (drain all SSW-1/FADU-1) well-defined;
 //! * every FADU connects to every FAUU in its grid;
 //! * every FAUU connects to every backbone (EB) device.
+//!
+//! [`build_three_tier`] wires the flatter ToR → aggregation → spine fabric
+//! used for the paper-scale (10k+ device) experiments: link membership is
+//! striped by pod and plane so the builder, the link table and every
+//! adjacency index stay O(devices + links) — no layer-pair full mesh and no
+//! O(devices²) intermediates ever materialize.
 
 use crate::asn::AsnAllocator;
 use crate::device::DeviceId;
@@ -263,6 +269,166 @@ pub fn build_fabric(spec: &FabricSpec) -> (Topology, FabricIndex, AsnAllocator) 
     (topo, idx, asn)
 }
 
+/// Parameters of a paper-scale three-tier Clos fabric: ToRs (modelled as the
+/// RSW layer), pod aggregation switches (FSW layer, one per plane per pod)
+/// and spines (SSW layer, grouped by plane), with backbone (EB) originators
+/// attached plane-striped above the spines.
+///
+/// The three-tier shape is what lets the device count reach 10k+ without the
+/// link table exploding: every wiring rule below is a stripe, not a mesh, so
+/// links grow linearly in devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreeTierSpec {
+    /// Number of pods. Each pod holds `tors_per_pod` ToRs and one
+    /// aggregation switch per plane.
+    pub pods: u16,
+    /// ToRs (rack switches) per pod.
+    pub tors_per_pod: u16,
+    /// Spine planes; also aggregation switches per pod.
+    pub planes: u16,
+    /// Spines per plane.
+    pub spines_per_plane: u16,
+    /// Backbone (EB) devices, striped over the planes (`EB j` uplinks the
+    /// spines of plane `j % planes`).
+    pub backbone_devices: u16,
+    /// Capacity of every link, in Gbps.
+    pub link_capacity_gbps: f64,
+}
+
+impl ThreeTierSpec {
+    /// The `xl` benchmark tier: 10,308 devices (256 pods × 36 ToRs,
+    /// 4 aggs/pod, 4 planes × 16 spines, 4 EBs), ≈53k links — the first
+    /// tier at the scale where the paper's migration phenomena appear.
+    pub fn xl() -> Self {
+        ThreeTierSpec {
+            pods: 256,
+            tors_per_pod: 36,
+            planes: 4,
+            spines_per_plane: 16,
+            backbone_devices: 4,
+            link_capacity_gbps: crate::link::Link::DEFAULT_CAPACITY_GBPS,
+        }
+    }
+
+    /// The CI-sized scale tier: 2,036 devices (50 pods × 36 ToRs, 4
+    /// aggs/pod, 4 planes × 8 spines, 4 EBs). Big enough to exercise the
+    /// arena/calendar machinery, small enough for a debug-build test run
+    /// and the perf-smoke memory-budget gate.
+    pub fn ci_2k() -> Self {
+        ThreeTierSpec {
+            pods: 50,
+            tors_per_pod: 36,
+            planes: 4,
+            spines_per_plane: 8,
+            backbone_devices: 4,
+            link_capacity_gbps: crate::link::Link::DEFAULT_CAPACITY_GBPS,
+        }
+    }
+
+    /// Total device count the spec will produce.
+    pub fn total_devices(&self) -> usize {
+        let tor = self.pods as usize * self.tors_per_pod as usize;
+        let agg = self.pods as usize * self.planes as usize;
+        let spine = self.planes as usize * self.spines_per_plane as usize;
+        tor + agg + spine + self.backbone_devices as usize
+    }
+
+    /// Total link count the spec will produce — linear in devices by
+    /// construction (each ToR: `planes` uplinks; each agg:
+    /// `spines_per_plane` uplinks; each spine: its plane's share of EBs).
+    pub fn total_links(&self) -> usize {
+        let tor_agg = self.pods as usize * self.tors_per_pod as usize * self.planes as usize;
+        let agg_spine = self.pods as usize * self.planes as usize * self.spines_per_plane as usize;
+        let spine_eb = self.backbone_devices as usize * self.spines_per_plane as usize;
+        tor_agg + agg_spine + spine_eb
+    }
+}
+
+/// Build a three-tier fabric per the spec, reusing the five-layer vocabulary
+/// (ToR = RSW, aggregation = FSW, spine = SSW) so sharding, RPA layer
+/// signatures and the scenario rigs apply unchanged. The returned
+/// [`FabricIndex`] fills `rsw`/`fsw`/`ssw`/`backbone` and leaves the
+/// `fadu`/`fauu` tiers empty.
+pub fn build_three_tier(spec: &ThreeTierSpec) -> (Topology, FabricIndex, AsnAllocator) {
+    let mut topo = Topology::new();
+    let mut asn = AsnAllocator::new();
+    let mut idx = FabricIndex::default();
+    let cap = spec.link_capacity_gbps;
+
+    // Devices bottom-up, pod-major, so DeviceIds stay dense in layer order
+    // and the (layer, group) shard buckets are contiguous id runs.
+    for pod in 0..spec.pods {
+        let tors = (0..spec.tors_per_pod)
+            .map(|r| {
+                topo.add_device(
+                    DeviceName::new(Layer::Rsw, pod, r),
+                    asn.allocate(Layer::Rsw),
+                )
+            })
+            .collect();
+        idx.rsw.push(tors);
+    }
+    for pod in 0..spec.pods {
+        let aggs = (0..spec.planes)
+            .map(|p| {
+                topo.add_device(
+                    DeviceName::new(Layer::Fsw, pod, p),
+                    asn.allocate(Layer::Fsw),
+                )
+            })
+            .collect();
+        idx.fsw.push(aggs);
+    }
+    for plane in 0..spec.planes {
+        let spines = (0..spec.spines_per_plane)
+            .map(|n| {
+                topo.add_device(
+                    DeviceName::new(Layer::Ssw, plane, n),
+                    asn.allocate(Layer::Ssw),
+                )
+            })
+            .collect();
+        idx.ssw.push(spines);
+    }
+    idx.backbone = (0..spec.backbone_devices)
+        .map(|n| {
+            topo.add_device(
+                DeviceName::new(Layer::Backbone, 0, n),
+                asn.allocate(Layer::Backbone),
+            )
+        })
+        .collect();
+
+    // ToR <-> agg: every ToR uplinks each of its pod's `planes` aggs.
+    for pod in 0..spec.pods as usize {
+        for &tor in &idx.rsw[pod] {
+            for &agg in &idx.fsw[pod] {
+                topo.add_link(tor, agg, cap);
+            }
+        }
+    }
+    // Agg <-> spine, plane-striped: the plane-i agg of each pod connects to
+    // the spines of plane i only.
+    for pod in 0..spec.pods as usize {
+        for plane in 0..spec.planes as usize {
+            let agg = idx.fsw[pod][plane];
+            for &spine in &idx.ssw[plane] {
+                topo.add_link(agg, spine, cap);
+            }
+        }
+    }
+    // Spine <-> EB, plane-striped: EB j uplinks the spines of plane
+    // j % planes, so backbone fan-in stays O(spines), not O(spines × EBs).
+    for (j, &eb) in idx.backbone.iter().enumerate() {
+        let plane = j % spec.planes.max(1) as usize;
+        for &spine in &idx.ssw[plane] {
+            topo.add_link(spine, eb, cap);
+        }
+    }
+
+    (topo, idx, asn)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +517,110 @@ mod tests {
         let (_, _, mut asn) = build_fabric(&FabricSpec::tiny());
         let fresh = asn.allocate(Layer::Fadu);
         assert_eq!(AsnAllocator::layer_of(fresh), Some(Layer::Fadu));
+    }
+
+    fn three_tier_toy() -> ThreeTierSpec {
+        ThreeTierSpec {
+            pods: 3,
+            tors_per_pod: 4,
+            planes: 2,
+            spines_per_plane: 2,
+            backbone_devices: 2,
+            link_capacity_gbps: 100.0,
+        }
+    }
+
+    #[test]
+    fn three_tier_counts_and_connectivity() {
+        let spec = three_tier_toy();
+        // 3*4 tor + 3*2 agg + 2*2 spine + 2 eb = 24
+        assert_eq!(spec.total_devices(), 24);
+        let (topo, idx, _) = build_three_tier(&spec);
+        assert_eq!(topo.device_count(), 24);
+        assert_eq!(topo.link_count(), spec.total_links());
+        assert_eq!(idx.all().len(), 24);
+        assert!(idx.fadu.is_empty() && idx.fauu.is_empty());
+        assert!(topo.is_connected());
+        // ToR -> agg -> spine -> EB: 3 hops.
+        assert_eq!(topo.hop_distance(idx.rsw[0][0], idx.backbone[0]), Some(3));
+    }
+
+    #[test]
+    fn three_tier_plane_striping_invariant() {
+        let spec = three_tier_toy();
+        let (topo, idx, _) = build_three_tier(&spec);
+        // The plane-i agg of every pod uplinks exactly the plane-i spines.
+        for pod in 0..spec.pods as usize {
+            for plane in 0..spec.planes as usize {
+                let ups: std::collections::HashSet<DeviceId> = topo
+                    .uplinks(idx.fsw[pod][plane])
+                    .into_iter()
+                    .map(|(d, _)| d)
+                    .collect();
+                let expected: std::collections::HashSet<DeviceId> =
+                    idx.ssw[plane].iter().copied().collect();
+                assert_eq!(ups, expected, "pod {pod} plane {plane}");
+            }
+        }
+        // EB j uplinks the spines of plane j % planes only.
+        for (j, &eb) in idx.backbone.iter().enumerate() {
+            let downs: std::collections::HashSet<DeviceId> =
+                topo.downlinks(eb).into_iter().map(|(d, _)| d).collect();
+            let expected: std::collections::HashSet<DeviceId> =
+                idx.ssw[j % spec.planes as usize].iter().copied().collect();
+            assert_eq!(downs, expected, "eb {j}");
+        }
+    }
+
+    #[test]
+    fn xl_tier_is_paper_scale_with_linear_links() {
+        let spec = ThreeTierSpec::xl();
+        assert!(spec.total_devices() >= 10_000, "xl must be a 10k+ fabric");
+        assert_eq!(spec.total_devices(), 10_308);
+        // Links stay linear in devices — ~5.2 links per device, nowhere
+        // near any O(n²) mesh.
+        assert_eq!(spec.total_links(), 53_312);
+        assert!(spec.total_links() < spec.total_devices() * 6);
+    }
+
+    #[test]
+    fn ci_2k_tier_counts() {
+        let spec = ThreeTierSpec::ci_2k();
+        assert_eq!(spec.total_devices(), 2_036);
+        let (topo, idx, _) = build_three_tier(&spec);
+        assert_eq!(topo.device_count(), 2_036);
+        assert_eq!(topo.link_count(), spec.total_links());
+        assert!(topo.is_connected());
+        assert_eq!(idx.rsw.len(), 50);
+    }
+
+    #[test]
+    fn three_tier_overflowing_legacy_asn_band_uses_extension_range() {
+        // 300 pods × 36 ToRs = 10,800 rack switches — past the 10,000-wide
+        // legacy RSW band, so the tail must come from the 4-byte extension
+        // band with unique ASNs throughout.
+        let spec = ThreeTierSpec {
+            pods: 300,
+            tors_per_pod: 36,
+            planes: 2,
+            spines_per_plane: 4,
+            backbone_devices: 2,
+            link_capacity_gbps: 100.0,
+        };
+        let (topo, _, _) = build_three_tier(&spec);
+        let mut asns: Vec<_> = topo.devices().map(|d| d.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert_eq!(asns.len(), spec.total_devices(), "ASNs unique fabric-wide");
+        let ext = asns.iter().filter(|a| a.0 >= crate::asn::EXT_BASE).count();
+        assert_eq!(ext, 10_800 - 10_000, "tail ToRs in the extension band");
+        for d in topo.devices() {
+            assert_eq!(
+                AsnAllocator::layer_of(d.asn),
+                Some(d.name.layer),
+                "band still identifies the layer for {}",
+                d.name
+            );
+        }
     }
 }

@@ -37,7 +37,7 @@ pub mod migration;
 pub mod naming;
 
 pub use asn::{Asn, AsnAllocator};
-pub use builder::{build_fabric, FabricIndex, FabricSpec};
+pub use builder::{build_fabric, build_three_tier, FabricIndex, FabricSpec, ThreeTierSpec};
 pub use device::{Device, DeviceId, DeviceState};
 pub use graph::Topology;
 pub use layer::Layer;

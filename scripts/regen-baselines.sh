@@ -3,12 +3,17 @@
 # uses to gate against them, so a baseline refresh and a CI run are always
 # measuring the same thing.
 #
-#   BENCH_convergence.json  — full fabric tier (tiny/default/large), full
-#                             worker ladder (1/2/4/8), seed 7, 5 iters.
-#                             Gated by: perf-smoke (serial wall regression
-#                             >20% fails; tiny only), the perf_report 2%
-#                             instrumentation-overhead gate, and the nightly
-#                             full-tier run (regression + 1.2x speedup gate).
+#   BENCH_convergence.json  — every fabric tier (tiny/default/large/2k/xl),
+#                             full worker ladder (1/2/4/8) on the small
+#                             tiers, capped ladder on the 2k/10k scale
+#                             tiers (the bin prints the caps), seed 7,
+#                             5 iters. Records peak-RSS and events/sec per
+#                             row. Gated by: perf-smoke (serial wall
+#                             regression >20% fails; tiny only), the 2k
+#                             memory-budget step, the perf_report 2%
+#                             instrumentation-overhead gate, and the
+#                             nightly full-ladder run (regression + 1.2x
+#                             speedup gate pinned to the large tier).
 #   BENCH_incremental.json  — default 84-device fabric, --full-check, seed
 #                             ladder, 3 iters. Gated by: the 5x delta-vs-full
 #                             wall ratio floor and FIB-equality check.
@@ -26,9 +31,9 @@ echo "== building release binaries =="
 cargo build --release --locked -p centralium-bench
 
 echo
-echo "== BENCH_convergence.json (full fabric tier, worker ladder) =="
+echo "== BENCH_convergence.json (full tier ladder incl. 2k/xl, worker ladder) =="
 cargo run --release --locked -p centralium-bench --bin bench_convergence -- \
-  --json BENCH_convergence.json
+  --fabric tiny,default,large,2k,xl --json BENCH_convergence.json
 
 echo
 echo "== BENCH_incremental.json (default fabric, full-check) =="
@@ -40,7 +45,10 @@ echo "== sanity: gates pass against the fresh baselines =="
 cargo run --release --locked -p centralium-bench --bin bench_convergence -- \
   --tiny --baseline BENCH_convergence.json --json /dev/null
 cargo run --release --locked -p centralium-bench --bin bench_convergence -- \
-  --workers 4 --min-speedup 1.2 --json /dev/null
+  --workers 4 --min-speedup 1.2 --gate-fabric large --json /dev/null
+( ulimit -v 1048576
+  ./target/release/bench_convergence --fabric 2k --iters 1 --workers 4 \
+    --json /dev/null )
 
 echo
 echo "done — commit BENCH_convergence.json and BENCH_incremental.json"

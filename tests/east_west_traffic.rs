@@ -99,7 +99,7 @@ fn intra_pod_traffic_stays_local() {
     for grid in &fab.idx.ssw {
         for &ssw in grid {
             assert!(
-                report.device_transit.get(&ssw).copied().unwrap_or(0.0) < 1e-9,
+                report.device_transit.get(ssw).copied().unwrap_or(0.0) < 1e-9,
                 "intra-pod traffic must not transit the spine"
             );
         }

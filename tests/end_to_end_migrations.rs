@@ -172,7 +172,7 @@ fn drain_maintenance_cycle_preserves_capacity_and_consistency() {
         centralium_simnet::traffic::DEFAULT_MAX_HOPS,
     );
     for &ssw in &plane0 {
-        assert!(report.device_transit.get(&ssw).copied().unwrap_or(0.0) < 1e-9);
+        assert!(report.device_transit.get(ssw).copied().unwrap_or(0.0) < 1e-9);
     }
     assert!((report.delivery_ratio(tm.total_gbps()) - 1.0).abs() < 1e-9);
     centralium::apps::maintenance_drain::undrain_after_maintenance(&mut fab.net, &plane0);

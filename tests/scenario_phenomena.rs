@@ -42,9 +42,9 @@ fn first_router_collapse_and_rpa_fix() {
         group.push(fav2);
         let total: f64 = group
             .iter()
-            .map(|d| report.device_transit.get(d).copied().unwrap_or(0.0))
+            .map(|&d| report.device_transit.get(d).copied().unwrap_or(0.0))
             .sum();
-        report.device_transit.get(&fav2).copied().unwrap_or(0.0) / total
+        report.device_transit.get(fav2).copied().unwrap_or(0.0) / total
     };
     let native = run(false);
     let rpa = run(true);
