@@ -65,6 +65,11 @@ pub mod telemetry {
     pub use centralium_telemetry::*;
 }
 
+/// The RFC 4271 wire codec and `CRP1` framing of the TCP service plane.
+pub mod wire {
+    pub use centralium_wire::*;
+}
+
 /// The blessed one-import surface: controller, emulator, builders, and
 /// telemetry handles.
 pub mod prelude {
@@ -74,9 +79,10 @@ pub mod prelude {
     pub use centralium_core::health::{HealthCheck, HealthReport, TrafficProbe};
     pub use centralium_core::sequencer::{DeploymentStrategy, WaveFailurePolicy};
     pub use centralium_core::switch_agent::SwitchAgent;
+    pub use centralium_core::transport::{ControlTransport, TcpTransport, TransportKind};
     pub use centralium_core::{
-        compile_intent, DeployError, DeployOptions, DeploymentReport, Error, RoutingIntent,
-        TargetSet,
+        compile_intent, AgentServer, DeployError, DeployOptions, DeploymentReport, Error,
+        RoutingIntent, TargetSet,
     };
     pub use centralium_rpa::{RpaDocument, RpaEngine};
     pub use centralium_simnet::{

@@ -5,6 +5,8 @@
 //! centralium-cli converge [--seed N] [--handshake]           build + converge
 //! centralium-cli compile  --intent FILE                      intent → per-switch RPAs
 //! centralium-cli deploy   --intent FILE [--strategy S]       preverify + deploy + inspect
+//! centralium-cli deploy   --intent FILE --connect ADDR       ... over the TCP service plane
+//! centralium-cli serve    --listen ADDR [--seed N]           agent-side service plane
 //! centralium-cli plan                                        Table 3 migration plans
 //! ```
 //!
@@ -13,16 +15,22 @@
 //! before touching the (emulated) fabric and finishes with the §7.2 debug
 //! view: active RPAs per switch and the governing statement for the
 //! default route.
+//!
+//! `serve` converges a fabric and exposes its Switch Agent over the RFC 4271
+//! service plane (framed RPCs after an OPEN/KEEPALIVE preamble); a second
+//! shell can then drive it with `deploy --connect ADDR` and land FIBs
+//! byte-identical to an in-process run.
 
 use centralium::apps::app_names;
-use centralium::controller::Controller;
+use centralium::controller::{Controller, DeployOptions};
 use centralium::health::{HealthCheck, TrafficProbe};
 use centralium::preverify::{emulate_and_verify, VerifyOutcome};
 use centralium::sequencer::DeploymentStrategy;
-use centralium::RoutingIntent;
+use centralium::transport::TransportKind;
+use centralium::{AgentServer, RoutingIntent, SwitchAgent};
 use centralium_bgp::attrs::well_known;
 use centralium_bgp::Prefix;
-use centralium_simnet::{SimConfig, SimNet};
+use centralium_simnet::{ManagementPlane, SimConfig, SimNet};
 use centralium_telemetry::{span, Telemetry};
 use centralium_topology::{build_fabric, FabricSpec, Layer};
 use std::io::Write;
@@ -64,6 +72,7 @@ fn main() -> ExitCode {
         "converge" => cmd_converge(&args),
         "compile" => cmd_compile(&args),
         "deploy" => cmd_deploy(&args),
+        "serve" => cmd_serve(&args),
         "plan" => cmd_plan(&args),
         "apps" => {
             println!("onboarded applications ({}):", app_names().len());
@@ -93,9 +102,18 @@ commands:
   topo      print a fabric summary          [--pods N --planes N --ssws N --racks N --grids N --fauus N --ebs N]
   converge  build a fabric and converge it  [fabric opts] [--seed N] [--handshake] [--workers N] [chaos opts] [telemetry opts]
   compile   compile an intent to RPAs       --intent FILE [fabric opts]
-  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [fabric opts] [--seed N] [--workers N] [chaos opts] [--max-retries N] [telemetry opts]
+  deploy    preverify + deploy an intent    --intent FILE [--strategy safe|inverse|unordered] [--connect ADDR] [fabric opts] [--seed N] [--workers N] [chaos opts] [--max-retries N] [telemetry opts]
+  serve     expose an agent over TCP        --listen ADDR [--serve-for-ms N] [fabric opts] [--seed N] [--workers N] [--max-retries N]
   plan      print the Table 3 migration plans
   apps      list the onboarded applications
+
+service plane (RFC 4271 framing over real sockets):
+  serve --listen ADDR     converge a fabric, then accept framed RPC sessions
+                          (OPEN/KEEPALIVE preamble, 4-octet ASNs) on ADDR;
+                          runs until killed, or for --serve-for-ms N if given
+  deploy --connect ADDR   drive the deployment through a remote agent instead
+                          of the in-process transport; final FIBs are
+                          byte-identical to the local path
 
 chaos opts (deterministic fault injection; the deploy path absorbs faults
 with deadline-driven RPC retries and per-device circuit breakers):
@@ -483,6 +501,7 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
             println!("SKIPPED ({why}); the post-deployment health check still gates")
         }
     }
+    let connect = args.get_str("connect")?;
     let (mut net, idx) = converged(args)?;
     let mut controller = Controller::new(&net, idx.rsw[0][0]);
     if let Some(max_retries) = args.get_u32("max-retries")? {
@@ -500,8 +519,13 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
         max_link_utilization: Some(1.0),
         ..Default::default()
     };
+    let mut opts = DeployOptions::builder(Layer::Backbone, strategy);
+    if let Some(addr) = &connect {
+        println!("connecting to remote agent at {addr}...");
+        opts = opts.transport(TransportKind::Tcp { addr: addr.clone() });
+    }
     let report = controller
-        .deploy_intent(&mut net, &intent, Layer::Backbone, strategy, &check, &check)
+        .deploy_intent_with(&mut net, &intent, &opts.build(), &check, &check)
         .map_err(|e| e.to_string())?;
     println!(
         "deployed '{}' in {} phase(s), {} RPCs; generation {:?}; sim duration {:.1}ms",
@@ -528,7 +552,7 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
             format!("{:?}", report.post_health.failures)
         }
     );
-    if net.chaos().is_some() {
+    if connect.is_none() && net.chaos().is_some() {
         let snap = net.telemetry().metrics().snapshot();
         println!(
             "chaos: {} RPCs dropped, {} retried, {} circuits opened, {} waves rolled back",
@@ -537,6 +561,14 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
             snap.counter("core.circuit_open"),
             snap.counter("core.wave_rollbacks"),
         );
+    }
+    if let Some(addr) = &connect {
+        // The fabric that actually changed lives behind the socket; the
+        // local one was only used for pre-verification and stays pristine.
+        println!(
+            "deployed over the service plane to {addr}; the remote agent holds the §7.2 state"
+        );
+        return report_telemetry(&net, args);
     }
     // §7.2 debug view on one target switch.
     if let Some(dev) = report.phases.first().and_then(|p| p.devices.first()) {
@@ -551,6 +583,60 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
         }
     }
     report_telemetry(&net, args)?;
+    Ok(())
+}
+
+/// `serve --listen ADDR`: converge a fabric locally, then hand it (plus a
+/// Switch Agent rooted at the first rack switch) to an [`AgentServer`] that
+/// accepts framed RPC sessions over real TCP sockets. Each session starts
+/// with the RFC 4271 OPEN/KEEPALIVE preamble in the 4-octet-ASN extension
+/// band; requests execute on a single executor thread, so concurrent
+/// controllers serialize exactly like in-process callers would.
+///
+/// Runs until the process is killed; `--serve-for-ms N` bounds the lifetime
+/// for scripted smoke tests.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let listen = args
+        .get_str("listen")?
+        .ok_or("--listen ADDR is required (e.g. --listen 127.0.0.1:4271)")?;
+    let (net, idx) = converged(args)?;
+    println!(
+        "fabric converged at t={:.1}ms ({} devices)",
+        net.now() as f64 / 1000.0,
+        net.topology().device_count()
+    );
+    let mgmt = ManagementPlane::compute(net.topology(), idx.rsw[0][0]);
+    let mut agent = SwitchAgent::new(mgmt);
+    if let Some(max_retries) = args.get_u32("max-retries")? {
+        let mut policy = *agent.retry_policy();
+        policy.max_retries = max_retries;
+        policy.jitter_seed = args.get_u64("chaos-seed")?.unwrap_or(0);
+        agent.set_retry_policy(policy);
+    }
+    let server =
+        AgentServer::bind(&listen, net, agent).map_err(|e| format!("binding {listen}: {e}"))?;
+    println!(
+        "serving the switch agent on {} (deploy with: centralium-cli deploy --intent FILE --connect {})",
+        server.local_addr(),
+        server.local_addr()
+    );
+    match args.get_u64("serve-for-ms")? {
+        Some(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            let accepted = server.connections_accepted();
+            let (net, agent) = server.shutdown();
+            println!(
+                "served {accepted} connection(s) in {ms}ms; {} paths out of sync at shutdown",
+                agent.service.store.out_of_sync().len()
+            );
+            report_telemetry(&net, args)?;
+        }
+        None => loop {
+            // Serve until killed. `park` has no spurious-wakeup guarantees,
+            // hence the loop.
+            std::thread::park();
+        },
+    }
     Ok(())
 }
 

@@ -1,14 +1,20 @@
 //! The Centralium controller facade: health-checked, safely-sequenced intent
 //! deployment over the emulated fabric.
+//!
+//! The deployment pipeline itself is transport-agnostic: the generic
+//! [`deploy_intent_over`] / [`resume_deployment_over`] / [`remove_intent_over`]
+//! functions drive any [`ControlTransport`] — the in-process simulator, or a
+//! remote agent over TCP. [`Controller`]'s methods are thin wrappers that
+//! select the transport from [`DeployOptions::transport`].
 
 use crate::compile::{compile_intent, CompileError};
-use crate::health::{run_health_check, HealthCheck, HealthReport};
+use crate::health::{HealthCheck, HealthReport};
 use crate::intent::RoutingIntent;
 use crate::sequencer::{
     deployment_phases, removal_phases, DeploymentPhase, DeploymentStrategy, WaveFailurePolicy,
 };
 use crate::switch_agent::{IssuedOp, SwitchAgent};
-use centralium_nsdb::store::View;
+use crate::transport::{ControlTransport, InProcessTransport, TcpTransport, TransportKind};
 use centralium_nsdb::{Path, ReplicatedNsdb};
 use centralium_simnet::{ManagementPlane, SimNet, SimTime};
 use centralium_telemetry::{EventKind, Severity};
@@ -54,8 +60,8 @@ pub enum DeployError {
         completed_waves: usize,
     },
     /// An internal failure outside the deployment state machine — NSDB
-    /// (de)serialization, agent I/O — surfaced through the crate's unified
-    /// [`Error`](crate::Error) type.
+    /// (de)serialization, agent I/O, the service plane — surfaced through
+    /// the crate's unified [`Error`](crate::Error) type.
     Internal(crate::Error),
 }
 
@@ -109,11 +115,14 @@ pub struct DeployOptions {
     /// whole fleet. The benchmark's full arm disables this, which also
     /// forces a whole-fabric re-convergence after every round.
     pub delta_convergence: bool,
+    /// How the controller reaches the switch-agent service plane:
+    /// in-process (default) or RPCs to a TCP `AgentServer`.
+    pub transport: TransportKind,
 }
 
 impl DeployOptions {
     /// Defaults: hold-and-retry with a 10-round wave budget, delta
-    /// convergence on.
+    /// convergence on, in-process transport.
     pub fn new(origination_layer: Layer, strategy: DeploymentStrategy) -> Self {
         DeployOptions {
             origination_layer,
@@ -122,6 +131,7 @@ impl DeployOptions {
             max_wave_rounds: 10,
             halt_after_waves: None,
             delta_convergence: true,
+            transport: TransportKind::InProcess,
         }
     }
 
@@ -162,6 +172,12 @@ impl DeployOptionsBuilder {
     /// [`DeployOptions::delta_convergence`]).
     pub fn delta_convergence(mut self, on: bool) -> Self {
         self.opts.delta_convergence = on;
+        self
+    }
+
+    /// Select the service-plane transport (see [`TransportKind`]).
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.opts.transport = kind;
         self
     }
 
@@ -275,8 +291,13 @@ impl Controller {
     }
 
     /// [`Controller::deploy_intent`] with explicit failure-handling knobs:
-    /// wave policy (hold vs rollback), retry budget, and the crash-simulation
-    /// halt used by the resume tests.
+    /// wave policy (hold vs rollback), retry budget, the crash-simulation
+    /// halt used by the resume tests, and the service-plane transport.
+    ///
+    /// With [`TransportKind::Tcp`] the local `net`/`agent` pair is unused:
+    /// the fabric lives behind the remote
+    /// [`AgentServer`](crate::serve::AgentServer) and every operation becomes
+    /// an RPC.
     pub fn deploy_intent_with(
         &mut self,
         net: &mut SimNet,
@@ -285,51 +306,17 @@ impl Controller {
         pre: &HealthCheck,
         post: &HealthCheck,
     ) -> Result<DeploymentReport, DeployError> {
-        // Clone the handle: spans must not hold a borrow of `net` across the
-        // pipeline's `&mut SimNet` calls.
-        let tel = net.telemetry().clone();
-        let pre_span = tel.phases().span("preverify", net.now());
-        let pre_report = run_health_check(net, pre);
-        pre_span.finish(net.now());
-        if !pre_report.passed() {
-            return Err(DeployError::PreCheckFailed(pre_report));
+        match &opts.transport {
+            TransportKind::InProcess => {
+                let Controller { nsdb, agent } = self;
+                let mut transport = InProcessTransport::new(net, agent);
+                deploy_intent_over(nsdb, &mut transport, intent, opts, pre, post)
+            }
+            TransportKind::Tcp { addr } => {
+                let mut transport = TcpTransport::connect(addr).map_err(DeployError::Internal)?;
+                deploy_intent_over(&mut self.nsdb, &mut transport, intent, opts, pre, post)
+            }
         }
-        let plan_span = tel.phases().span("plan", net.now());
-        let started = std::time::Instant::now();
-        let docs = compile_intent(net.topology(), intent).map_err(DeployError::Compile)?;
-        let generation_time = started.elapsed();
-        plan_span.finish(net.now());
-        let intent_path = format!("/intents/{}", intent.kind());
-        let intent_value = serde_json::to_value(intent).map_err(|e| {
-            DeployError::Internal(crate::Error::NsdbEncode {
-                record: intent_path.clone(),
-                source: e,
-            })
-        })?;
-        self.nsdb.publish(Path::parse(&intent_path), intent_value);
-        let phases = deployment_phases(net.topology(), docs, opts.origination_layer, opts.strategy);
-        let state = DeployState {
-            intent: intent.clone(),
-            origination_layer: opts.origination_layer,
-            strategy: opts.strategy,
-            wave_policy: opts.wave_policy,
-            max_wave_rounds: opts.max_wave_rounds,
-            install: true,
-            total_waves: phases.len(),
-            next_wave: 0,
-        };
-        self.publish_deploy_state(&state)
-            .map_err(DeployError::Internal)?;
-        let (phase_reports, issued_ops) = self.run_phases(net, phases, true, opts, post, state)?;
-        let health_span = tel.phases().span("health", net.now());
-        let post_health = run_health_check(net, post);
-        health_span.finish(net.now());
-        Ok(DeploymentReport {
-            generation_time,
-            phases: phase_reports,
-            issued_ops,
-            post_health,
-        })
     }
 
     /// Continue a deployment whose controller died mid-wave.
@@ -344,66 +331,9 @@ impl Controller {
         net: &mut SimNet,
         post: &HealthCheck,
     ) -> Result<Option<DeploymentReport>, DeployError> {
-        let Some(value) = self.nsdb.get(&Path::parse(DEPLOY_STATE_PATH)) else {
-            return Ok(None);
-        };
-        let state: DeployState = serde_json::from_value(value).map_err(|e| {
-            DeployError::Internal(crate::Error::NsdbDecode {
-                record: DEPLOY_STATE_PATH.to_string(),
-                source: e,
-            })
-        })?;
-        let tel = net.telemetry().clone();
-        // Ground truth first; then intended state from the durable records
-        // (exactly the waves published before the crash), so continuous
-        // reconciliation also repairs any straggler from the interrupted
-        // wave.
-        self.agent
-            .poll_current(net)
-            .map_err(DeployError::Internal)?;
-        for (path, value) in self.nsdb.get_matching(&Path::parse("/devices/*/rpa/*")) {
-            self.agent.service.store.set(View::Intended, path, value);
-        }
-        let plan_span = tel.phases().span("plan", net.now());
-        let started = std::time::Instant::now();
-        let docs = compile_intent(net.topology(), &state.intent).map_err(DeployError::Compile)?;
-        let generation_time = started.elapsed();
-        plan_span.finish(net.now());
-        let phases = if state.install {
-            deployment_phases(
-                net.topology(),
-                docs,
-                state.origination_layer,
-                state.strategy,
-            )
-        } else {
-            removal_phases(
-                net.topology(),
-                docs,
-                state.origination_layer,
-                state.strategy,
-            )
-        };
-        let opts = DeployOptions {
-            origination_layer: state.origination_layer,
-            strategy: state.strategy,
-            wave_policy: state.wave_policy,
-            max_wave_rounds: state.max_wave_rounds,
-            halt_after_waves: None,
-            delta_convergence: true,
-        };
-        let install = state.install;
-        let (phase_reports, issued_ops) =
-            self.run_phases(net, phases, install, &opts, post, state)?;
-        let health_span = tel.phases().span("health", net.now());
-        let post_health = run_health_check(net, post);
-        health_span.finish(net.now());
-        Ok(Some(DeploymentReport {
-            generation_time,
-            phases: phase_reports,
-            issued_ops,
-            post_health,
-        }))
+        let Controller { nsdb, agent } = self;
+        let mut transport = InProcessTransport::new(net, agent);
+        resume_deployment_over(nsdb, &mut transport, post)
     }
 
     /// Remove a previously deployed intent, in the mirror-safe order.
@@ -415,280 +345,454 @@ impl Controller {
         strategy: DeploymentStrategy,
         post: &HealthCheck,
     ) -> Result<DeploymentReport, DeployError> {
-        let tel = net.telemetry().clone();
-        let plan_span = tel.phases().span("plan", net.now());
-        let started = std::time::Instant::now();
-        let docs = compile_intent(net.topology(), intent).map_err(DeployError::Compile)?;
-        let generation_time = started.elapsed();
-        plan_span.finish(net.now());
-        let phases = removal_phases(net.topology(), docs, origination_layer, strategy);
-        let opts = DeployOptions::new(origination_layer, strategy);
-        let state = DeployState {
-            intent: intent.clone(),
-            origination_layer,
-            strategy,
-            wave_policy: opts.wave_policy,
-            max_wave_rounds: opts.max_wave_rounds,
-            install: false,
-            total_waves: phases.len(),
-            next_wave: 0,
-        };
-        self.publish_deploy_state(&state)
-            .map_err(DeployError::Internal)?;
-        let (phase_reports, issued_ops) =
-            self.run_phases(net, phases, false, &opts, post, state)?;
-        // Only drop the durable record once the fleet no longer runs the
-        // RPAs — a stuck removal must leave the intent recorded.
-        self.nsdb
-            .delete(&Path::parse(&format!("/intents/{}", intent.kind())));
-        let health_span = tel.phases().span("health", net.now());
-        let post_health = run_health_check(net, post);
-        health_span.finish(net.now());
-        Ok(DeploymentReport {
-            generation_time,
-            phases: phase_reports,
-            issued_ops,
-            post_health,
-        })
+        let Controller { nsdb, agent } = self;
+        let mut transport = InProcessTransport::new(net, agent);
+        remove_intent_over(
+            nsdb,
+            &mut transport,
+            intent,
+            &DeployOptions::new(origination_layer, strategy),
+            post,
+        )
     }
+}
 
-    fn publish_deploy_state(&mut self, state: &DeployState) -> Result<(), crate::Error> {
-        let value = serde_json::to_value(state).map_err(|e| crate::Error::NsdbEncode {
+/// Deploy an intent over any [`ControlTransport`]: pre-check → compile →
+/// record in NSDB → phased deployment with convergence barriers →
+/// post-check. [`Controller::deploy_intent_with`] delegates here.
+pub fn deploy_intent_over<T: ControlTransport>(
+    nsdb: &mut ReplicatedNsdb,
+    transport: &mut T,
+    intent: &RoutingIntent,
+    opts: &DeployOptions,
+    pre: &HealthCheck,
+    post: &HealthCheck,
+) -> Result<DeploymentReport, DeployError> {
+    let tel = transport.telemetry();
+    let pre_span = tel.phases().span("preverify", now_of(transport)?);
+    let pre_report = transport.health_check(pre).map_err(DeployError::Internal)?;
+    pre_span.finish(now_of(transport)?);
+    if !pre_report.passed() {
+        return Err(DeployError::PreCheckFailed(pre_report));
+    }
+    let plan_span = tel.phases().span("plan", now_of(transport)?);
+    let started = std::time::Instant::now();
+    let phases = {
+        let topo = transport.topology().map_err(DeployError::Internal)?;
+        let docs = compile_intent(&topo, intent).map_err(DeployError::Compile)?;
+        deployment_phases(&topo, docs, opts.origination_layer, opts.strategy)
+    };
+    let generation_time = started.elapsed();
+    plan_span.finish(now_of(transport)?);
+    let intent_path = format!("/intents/{}", intent.kind());
+    let intent_value = serde_json::to_value(intent).map_err(|e| {
+        DeployError::Internal(crate::Error::NsdbEncode {
+            record: intent_path.clone(),
+            source: e,
+        })
+    })?;
+    nsdb.publish(Path::parse(&intent_path), intent_value);
+    let state = DeployState {
+        intent: intent.clone(),
+        origination_layer: opts.origination_layer,
+        strategy: opts.strategy,
+        wave_policy: opts.wave_policy,
+        max_wave_rounds: opts.max_wave_rounds,
+        install: true,
+        total_waves: phases.len(),
+        next_wave: 0,
+    };
+    publish_deploy_state(nsdb, &state).map_err(DeployError::Internal)?;
+    let (phase_reports, issued_ops) =
+        run_phases_over(nsdb, transport, phases, true, opts, post, state)?;
+    let health_span = tel.phases().span("health", now_of(transport)?);
+    let post_health = transport
+        .health_check(post)
+        .map_err(DeployError::Internal)?;
+    health_span.finish(now_of(transport)?);
+    Ok(DeploymentReport {
+        generation_time,
+        phases: phase_reports,
+        issued_ops,
+        post_health,
+    })
+}
+
+/// Continue a deployment whose controller died mid-wave, over any
+/// [`ControlTransport`]. See [`Controller::resume_deployment`].
+pub fn resume_deployment_over<T: ControlTransport>(
+    nsdb: &mut ReplicatedNsdb,
+    transport: &mut T,
+    post: &HealthCheck,
+) -> Result<Option<DeploymentReport>, DeployError> {
+    let Some(value) = nsdb.get(&Path::parse(DEPLOY_STATE_PATH)) else {
+        return Ok(None);
+    };
+    let state: DeployState = serde_json::from_value(value).map_err(|e| {
+        DeployError::Internal(crate::Error::NsdbDecode {
             record: DEPLOY_STATE_PATH.to_string(),
             source: e,
-        })?;
-        self.nsdb.publish(Path::parse(DEPLOY_STATE_PATH), value);
-        Ok(())
+        })
+    })?;
+    let tel = transport.telemetry();
+    // Ground truth first; then intended state from the durable records
+    // (exactly the waves published before the crash), so continuous
+    // reconciliation also repairs any straggler from the interrupted wave.
+    transport.poll_current().map_err(DeployError::Internal)?;
+    for (path, value) in nsdb.get_matching(&Path::parse("/devices/*/rpa/*")) {
+        transport
+            .seed_intended(&path.to_string(), value)
+            .map_err(DeployError::Internal)?;
     }
+    let plan_span = tel.phases().span("plan", now_of(transport)?);
+    let started = std::time::Instant::now();
+    let phases = {
+        let topo = transport.topology().map_err(DeployError::Internal)?;
+        let docs = compile_intent(&topo, &state.intent).map_err(DeployError::Compile)?;
+        if state.install {
+            deployment_phases(&topo, docs, state.origination_layer, state.strategy)
+        } else {
+            removal_phases(&topo, docs, state.origination_layer, state.strategy)
+        }
+    };
+    let generation_time = started.elapsed();
+    plan_span.finish(now_of(transport)?);
+    let opts = DeployOptions {
+        origination_layer: state.origination_layer,
+        strategy: state.strategy,
+        wave_policy: state.wave_policy,
+        max_wave_rounds: state.max_wave_rounds,
+        halt_after_waves: None,
+        delta_convergence: true,
+        transport: TransportKind::InProcess,
+    };
+    let install = state.install;
+    let (phase_reports, issued_ops) =
+        run_phases_over(nsdb, transport, phases, install, &opts, post, state)?;
+    let health_span = tel.phases().span("health", now_of(transport)?);
+    let post_health = transport
+        .health_check(post)
+        .map_err(DeployError::Internal)?;
+    health_span.finish(now_of(transport)?);
+    Ok(Some(DeploymentReport {
+        generation_time,
+        phases: phase_reports,
+        issued_ops,
+        post_health,
+    }))
+}
 
-    fn run_phases(
-        &mut self,
-        net: &mut SimNet,
-        phases: Vec<DeploymentPhase>,
-        install: bool,
-        opts: &DeployOptions,
-        post: &HealthCheck,
-        mut state: DeployState,
-    ) -> Result<(Vec<PhaseReport>, Vec<IssuedOp>), DeployError> {
-        let tel = net.telemetry().clone();
-        let mut reports = Vec::with_capacity(phases.len());
-        let mut all_ops = Vec::new();
-        let start_wave = state.next_wave.min(phases.len());
-        // Delta convergence polls ground truth only from devices the
-        // deployment has touched so far (cumulative across waves, so a
-        // straggler from an earlier wave is still observed); the full mode
-        // polls the fleet and forces a whole-fabric re-convergence per
-        // round — the baseline `bench_incremental` measures against.
-        let mut polled_devices: Vec<DeviceId> = phases[..start_wave]
-            .iter()
-            .flat_map(|p| p.installs.iter().map(|(d, _)| *d))
-            .collect();
-        for i in start_wave..phases.len() {
-            if opts.halt_after_waves.is_some_and(|n| i >= n) {
-                // Simulated controller crash: the durable record still says
-                // `next_wave = i`, so resume_deployment picks up here.
-                return Err(DeployError::Halted { completed_waves: i });
+/// Remove a previously deployed intent over any [`ControlTransport`], in
+/// the mirror-safe order. See [`Controller::remove_intent`].
+pub fn remove_intent_over<T: ControlTransport>(
+    nsdb: &mut ReplicatedNsdb,
+    transport: &mut T,
+    intent: &RoutingIntent,
+    opts: &DeployOptions,
+    post: &HealthCheck,
+) -> Result<DeploymentReport, DeployError> {
+    let tel = transport.telemetry();
+    let plan_span = tel.phases().span("plan", now_of(transport)?);
+    let started = std::time::Instant::now();
+    let phases = {
+        let topo = transport.topology().map_err(DeployError::Internal)?;
+        let docs = compile_intent(&topo, intent).map_err(DeployError::Compile)?;
+        removal_phases(&topo, docs, opts.origination_layer, opts.strategy)
+    };
+    let generation_time = started.elapsed();
+    plan_span.finish(now_of(transport)?);
+    let state = DeployState {
+        intent: intent.clone(),
+        origination_layer: opts.origination_layer,
+        strategy: opts.strategy,
+        wave_policy: opts.wave_policy,
+        max_wave_rounds: opts.max_wave_rounds,
+        install: false,
+        total_waves: phases.len(),
+        next_wave: 0,
+    };
+    publish_deploy_state(nsdb, &state).map_err(DeployError::Internal)?;
+    let (phase_reports, issued_ops) =
+        run_phases_over(nsdb, transport, phases, false, opts, post, state)?;
+    // Only drop the durable record once the fleet no longer runs the RPAs —
+    // a stuck removal must leave the intent recorded.
+    nsdb.delete(&Path::parse(&format!("/intents/{}", intent.kind())));
+    let health_span = tel.phases().span("health", now_of(transport)?);
+    let post_health = transport
+        .health_check(post)
+        .map_err(DeployError::Internal)?;
+    health_span.finish(now_of(transport)?);
+    Ok(DeploymentReport {
+        generation_time,
+        phases: phase_reports,
+        issued_ops,
+        post_health,
+    })
+}
+
+fn now_of<T: ControlTransport>(transport: &mut T) -> Result<SimTime, DeployError> {
+    transport.now().map_err(DeployError::Internal)
+}
+
+fn publish_deploy_state(
+    nsdb: &mut ReplicatedNsdb,
+    state: &DeployState,
+) -> Result<(), crate::Error> {
+    let value = serde_json::to_value(state).map_err(|e| crate::Error::NsdbEncode {
+        record: DEPLOY_STATE_PATH.to_string(),
+        source: e,
+    })?;
+    nsdb.publish(Path::parse(DEPLOY_STATE_PATH), value);
+    Ok(())
+}
+
+fn run_phases_over<T: ControlTransport>(
+    nsdb: &mut ReplicatedNsdb,
+    transport: &mut T,
+    phases: Vec<DeploymentPhase>,
+    install: bool,
+    opts: &DeployOptions,
+    post: &HealthCheck,
+    mut state: DeployState,
+) -> Result<(Vec<PhaseReport>, Vec<IssuedOp>), DeployError> {
+    let tel = transport.telemetry();
+    let mut reports = Vec::with_capacity(phases.len());
+    let mut all_ops = Vec::new();
+    let start_wave = state.next_wave.min(phases.len());
+    // Delta convergence polls ground truth only from devices the deployment
+    // has touched so far (cumulative across waves, so a straggler from an
+    // earlier wave is still observed); the full mode polls the fleet and
+    // forces a whole-fabric re-convergence per round — the baseline
+    // `bench_incremental` measures against.
+    let mut polled_devices: Vec<DeviceId> = phases[..start_wave]
+        .iter()
+        .flat_map(|p| p.installs.iter().map(|(d, _)| *d))
+        .collect();
+    for i in start_wave..phases.len() {
+        if opts.halt_after_waves.is_some_and(|n| i >= n) {
+            // Simulated controller crash: the durable record still says
+            // `next_wave = i`, so resume_deployment picks up here.
+            return Err(DeployError::Halted { completed_waves: i });
+        }
+        let phase = &phases[i];
+        let issued_at = now_of(transport)?;
+        let wave_label = match phase.layer {
+            Some(layer) => format!("wave {} ({layer:?})", i + 1),
+            None => format!("wave {}", i + 1),
+        };
+        let wave_span = tel.phases().span(wave_label, issued_at);
+        let devices: Vec<DeviceId> = phase.installs.iter().map(|(d, _)| *d).collect();
+        polled_devices.extend(devices.iter().copied());
+        for (dev, doc) in &phase.installs {
+            let path_str = format!("/devices/d{}/rpa/{}", dev.0, doc.name());
+            let nsdb_path = Path::parse(&path_str);
+            if install {
+                transport
+                    .set_intended(*dev, doc)
+                    .map_err(DeployError::Internal)?;
+                // Durability: per-device desired state fans out to every
+                // NSDB replica (§5.2's write path).
+                let value = serde_json::to_value(doc).map_err(|e| {
+                    DeployError::Internal(crate::Error::NsdbEncode {
+                        record: path_str,
+                        source: e,
+                    })
+                })?;
+                nsdb.publish(nsdb_path, value);
+            } else {
+                transport
+                    .clear_intended(*dev, doc.name())
+                    .map_err(DeployError::Internal)?;
+                nsdb.delete(&nsdb_path);
             }
-            let phase = &phases[i];
-            let issued_at = net.now();
-            let wave_label = match phase.layer {
-                Some(layer) => format!("wave {} ({layer:?})", i + 1),
-                None => format!("wave {}", i + 1),
-            };
-            let wave_span = tel.phases().span(wave_label, issued_at);
-            let devices: Vec<DeviceId> = phase.installs.iter().map(|(d, _)| *d).collect();
-            polled_devices.extend(devices.iter().copied());
-            for (dev, doc) in &phase.installs {
-                let path_str = format!("/devices/d{}/rpa/{}", dev.0, doc.name());
-                let nsdb_path = Path::parse(&path_str);
-                if install {
-                    self.agent
-                        .set_intended(*dev, doc)
-                        .map_err(DeployError::Internal)?;
-                    // Durability: per-device desired state fans out to every
-                    // NSDB replica (§5.2's write path).
-                    let value = serde_json::to_value(doc).map_err(|e| {
-                        DeployError::Internal(crate::Error::NsdbEncode {
-                            record: path_str,
-                            source: e,
-                        })
-                    })?;
-                    self.nsdb.publish(nsdb_path, value);
-                } else {
-                    self.agent.clear_intended(*dev, doc.name());
-                    self.nsdb.delete(&nsdb_path);
-                }
+        }
+        // Convergence barrier with a retry budget: "every layer must receive
+        // the new RPA after all their downstream peers have picked up"
+        // (§5.3.2). Each round issues deadline-carrying RPCs; between rounds
+        // simulated time advances to the earliest retry deadline (or
+        // circuit-breaker reopen) so lost RPCs get re-issued with backoff.
+        let mut wave_ok = false;
+        let mut idle_rounds = 0u32;
+        for _round in 0..opts.max_wave_rounds.max(1) {
+            let ops = transport.reconcile().map_err(DeployError::Internal)?;
+            let issued_any = !ops.is_empty();
+            all_ops.extend(ops.iter().copied());
+            if !transport
+                .run_until_quiescent()
+                .map_err(DeployError::Internal)?
+                .converged
+            {
+                return Err(DeployError::PhaseStuck { phase: i });
             }
-            // Convergence barrier with a retry budget: "every layer must
-            // receive the new RPA after all their downstream peers have
-            // picked up" (§5.3.2). Each round issues deadline-carrying RPCs;
-            // between rounds simulated time advances to the earliest retry
-            // deadline (or circuit-breaker reopen) so lost RPCs get
-            // re-issued with backoff.
-            let mut wave_ok = false;
-            let mut idle_rounds = 0u32;
-            for _round in 0..opts.max_wave_rounds.max(1) {
-                let ops = self.agent.reconcile(net).map_err(DeployError::Internal)?;
-                let issued_any = !ops.is_empty();
-                all_ops.extend(ops.iter().copied());
-                if !net.run_until_quiescent().converged {
-                    return Err(DeployError::PhaseStuck { phase: i });
-                }
-                if opts.delta_convergence {
-                    self.agent
-                        .poll_devices(net, &polled_devices)
-                        .map_err(DeployError::Internal)?;
-                } else {
-                    net.force_full_reconvergence();
-                    self.agent
-                        .poll_current(net)
-                        .map_err(DeployError::Internal)?;
-                }
-                let wave_diverged = self.agent.service.store.out_of_sync().iter().any(|p| {
-                    devices
-                        .iter()
-                        .any(|d| p.to_string().starts_with(&format!("/devices/d{}/", d.0)))
-                });
-                if !wave_diverged {
-                    wave_ok = true;
-                    break;
-                }
-                match self.agent.next_retry_due(net.now()) {
-                    Some(due) => {
-                        net.run_until(due);
-                        idle_rounds = 0;
-                    }
-                    // No deadline pending right after a budget-exhaustion
-                    // round is normal (the next round starts a fresh
-                    // burst); two consecutive idle rounds means nothing can
-                    // issue at all (e.g. an unreachable device).
-                    None if !issued_any => {
-                        idle_rounds += 1;
-                        if idle_rounds >= 2 {
-                            break;
-                        }
-                    }
-                    None => idle_rounds = 0,
-                }
+            if opts.delta_convergence {
+                transport
+                    .poll_devices(&polled_devices)
+                    .map_err(DeployError::Internal)?;
+            } else {
+                transport
+                    .force_full_reconvergence()
+                    .map_err(DeployError::Internal)?;
+                transport.poll_current().map_err(DeployError::Internal)?;
             }
-            if !wave_ok {
-                return Err(self.fail_wave(net, &phases, i, install, opts, post));
-            }
-            let converged_at = net.now();
-            wave_span.finish(converged_at);
-            if tel.journal_enabled() {
-                let mut ev = tel
-                    .event(EventKind::SequencerWave, Severity::Info)
-                    .field("wave", i + 1)
-                    .field("devices", devices.len())
-                    .field("install", install)
-                    .field("issued_at_us", issued_at)
-                    .field("converged_at_us", converged_at);
-                if let Some(layer) = phase.layer {
-                    ev = ev.field("layer", format!("{layer:?}"));
-                }
-                tel.record(ev);
-            }
-            reports.push(PhaseReport {
-                layer: phase.layer,
-                devices,
-                issued_at,
-                converged_at,
-            });
-            state.next_wave = i + 1;
-            self.publish_deploy_state(&state)
+            let out_of_sync = transport
+                .out_of_sync_paths()
                 .map_err(DeployError::Internal)?;
-        }
-        self.nsdb.delete(&Path::parse(DEPLOY_STATE_PATH));
-        Ok((reports, all_ops))
-    }
-
-    /// A wave exhausted its retry budget: apply the wave policy. Always
-    /// produces the error `run_phases` surfaces.
-    fn fail_wave(
-        &mut self,
-        net: &mut SimNet,
-        phases: &[DeploymentPhase],
-        failed: usize,
-        install: bool,
-        opts: &DeployOptions,
-        post: &HealthCheck,
-    ) -> DeployError {
-        // Rolling back a removal would mean re-installing already-removed
-        // RPAs; hold instead (the mirror order makes partial removals safe).
-        if !install || opts.wave_policy == WaveFailurePolicy::HoldAndRetry {
-            return DeployError::PhaseStuck { phase: failed };
-        }
-        self.rollback_through(net, phases, failed, opts);
-        self.nsdb.delete(&Path::parse(DEPLOY_STATE_PATH));
-        let post_health = run_health_check(net, post);
-        DeployError::WaveRolledBack {
-            wave: failed,
-            post_health,
-        }
-    }
-
-    /// Uninstall the RPAs of waves `0..=failed` in reverse topology order —
-    /// the §5.3.2 mirror of the deployment order — with the same
-    /// deadline-driven retry loop per wave (best effort: a still-wedged
-    /// device is left to continuous reconciliation).
-    fn rollback_through(
-        &mut self,
-        net: &mut SimNet,
-        phases: &[DeploymentPhase],
-        failed: usize,
-        opts: &DeployOptions,
-    ) {
-        let tel = net.telemetry().clone();
-        let started_at = net.now();
-        for phase in phases[..=failed].iter().rev() {
-            for (dev, doc) in &phase.installs {
-                self.agent.clear_intended(*dev, doc.name());
-                self.nsdb.delete(&Path::parse(&format!(
-                    "/devices/d{}/rpa/{}",
-                    dev.0,
-                    doc.name()
-                )));
+            let wave_diverged = out_of_sync.iter().any(|p| {
+                devices
+                    .iter()
+                    .any(|d| p.starts_with(&format!("/devices/d{}/", d.0)))
+            });
+            if !wave_diverged {
+                wave_ok = true;
+                break;
             }
-            let mut idle_rounds = 0u32;
-            for _round in 0..opts.max_wave_rounds.max(1) {
-                // Best effort: a typed agent failure mid-rollback leaves the
-                // rest to continuous reconciliation.
-                let Ok(ops) = self.agent.reconcile(net) else {
-                    break;
-                };
-                let issued_any = !ops.is_empty();
-                let _ = net.run_until_quiescent();
-                if self.agent.poll_current(net).is_err() {
-                    break;
+            let now = now_of(transport)?;
+            match transport
+                .next_retry_due(now)
+                .map_err(DeployError::Internal)?
+            {
+                Some(due) => {
+                    transport.run_until(due).map_err(DeployError::Internal)?;
+                    idle_rounds = 0;
                 }
-                if self.agent.service.store.out_of_sync().is_empty() {
-                    break;
-                }
-                match self.agent.next_retry_due(net.now()) {
-                    Some(due) => {
-                        net.run_until(due);
-                        idle_rounds = 0;
+                // No deadline pending right after a budget-exhaustion round
+                // is normal (the next round starts a fresh burst); two
+                // consecutive idle rounds means nothing can issue at all
+                // (e.g. an unreachable device).
+                None if !issued_any => {
+                    idle_rounds += 1;
+                    if idle_rounds >= 2 {
+                        break;
                     }
-                    None if !issued_any => {
-                        idle_rounds += 1;
-                        if idle_rounds >= 2 {
-                            break;
-                        }
-                    }
-                    None => idle_rounds = 0,
                 }
+                None => idle_rounds = 0,
             }
         }
-        tel.metrics().counter("core.wave_rollbacks").inc();
+        if !wave_ok {
+            return Err(fail_wave_over(
+                nsdb, transport, &phases, i, install, opts, post,
+            ));
+        }
+        let converged_at = now_of(transport)?;
+        wave_span.finish(converged_at);
         if tel.journal_enabled() {
-            tel.record(
-                tel.event(EventKind::WaveRollback, Severity::Error)
-                    .field("wave", failed + 1)
-                    .field("waves_rolled_back", failed + 1)
-                    .field("started_at_us", started_at),
-            );
+            let mut ev = tel
+                .event(EventKind::SequencerWave, Severity::Info)
+                .field("wave", i + 1)
+                .field("devices", devices.len())
+                .field("install", install)
+                .field("issued_at_us", issued_at)
+                .field("converged_at_us", converged_at);
+            if let Some(layer) = phase.layer {
+                ev = ev.field("layer", format!("{layer:?}"));
+            }
+            tel.record(ev);
         }
+        reports.push(PhaseReport {
+            layer: phase.layer,
+            devices,
+            issued_at,
+            converged_at,
+        });
+        state.next_wave = i + 1;
+        publish_deploy_state(nsdb, &state).map_err(DeployError::Internal)?;
+    }
+    nsdb.delete(&Path::parse(DEPLOY_STATE_PATH));
+    Ok((reports, all_ops))
+}
+
+/// A wave exhausted its retry budget: apply the wave policy. Always produces
+/// the error `run_phases_over` surfaces.
+fn fail_wave_over<T: ControlTransport>(
+    nsdb: &mut ReplicatedNsdb,
+    transport: &mut T,
+    phases: &[DeploymentPhase],
+    failed: usize,
+    install: bool,
+    opts: &DeployOptions,
+    post: &HealthCheck,
+) -> DeployError {
+    // Rolling back a removal would mean re-installing already-removed RPAs;
+    // hold instead (the mirror order makes partial removals safe).
+    if !install || opts.wave_policy == WaveFailurePolicy::HoldAndRetry {
+        return DeployError::PhaseStuck { phase: failed };
+    }
+    rollback_through_over(nsdb, transport, phases, failed, opts);
+    nsdb.delete(&Path::parse(DEPLOY_STATE_PATH));
+    let post_health = match transport.health_check(post) {
+        Ok(report) => report,
+        Err(e) => return DeployError::Internal(e),
+    };
+    DeployError::WaveRolledBack {
+        wave: failed,
+        post_health,
+    }
+}
+
+/// Uninstall the RPAs of waves `0..=failed` in reverse topology order — the
+/// §5.3.2 mirror of the deployment order — with the same deadline-driven
+/// retry loop per wave (best effort: a still-wedged device is left to
+/// continuous reconciliation).
+fn rollback_through_over<T: ControlTransport>(
+    nsdb: &mut ReplicatedNsdb,
+    transport: &mut T,
+    phases: &[DeploymentPhase],
+    failed: usize,
+    opts: &DeployOptions,
+) {
+    let tel = transport.telemetry();
+    let started_at = now_of(transport).map_or(0, |t| t);
+    for phase in phases[..=failed].iter().rev() {
+        for (dev, doc) in &phase.installs {
+            // Best effort throughout: a typed failure mid-rollback leaves
+            // the rest to continuous reconciliation.
+            let _ = transport.clear_intended(*dev, doc.name());
+            nsdb.delete(&Path::parse(&format!(
+                "/devices/d{}/rpa/{}",
+                dev.0,
+                doc.name()
+            )));
+        }
+        let mut idle_rounds = 0u32;
+        for _round in 0..opts.max_wave_rounds.max(1) {
+            let Ok(ops) = transport.reconcile() else {
+                break;
+            };
+            let issued_any = !ops.is_empty();
+            let _ = transport.run_until_quiescent();
+            if transport.poll_current().is_err() {
+                break;
+            }
+            match transport.out_of_sync_paths() {
+                Ok(paths) if paths.is_empty() => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+            let Ok(now) = transport.now() else { break };
+            match transport.next_retry_due(now) {
+                Ok(Some(due)) => {
+                    let _ = transport.run_until(due);
+                    idle_rounds = 0;
+                }
+                Ok(None) if !issued_any => {
+                    idle_rounds += 1;
+                    if idle_rounds >= 2 {
+                        break;
+                    }
+                }
+                Ok(None) => idle_rounds = 0,
+                Err(_) => break,
+            }
+        }
+    }
+    tel.metrics().counter("core.wave_rollbacks").inc();
+    if tel.journal_enabled() {
+        tel.record(
+            tel.event(EventKind::WaveRollback, Severity::Error)
+                .field("wave", failed + 1)
+                .field("waves_rolled_back", failed + 1)
+                .field("started_at_us", started_at),
+        );
     }
 }
 
@@ -1033,5 +1137,17 @@ mod tests {
             .nsdb
             .get(&Path::parse("/intents/equalize-paths"))
             .is_none());
+    }
+
+    #[test]
+    fn builder_defaults_to_in_process_transport() {
+        let opts = DeployOptions::builder(Layer::Backbone, DeploymentStrategy::SafeOrder).build();
+        assert_eq!(opts.transport, TransportKind::InProcess);
+        let opts = DeployOptions::builder(Layer::Backbone, DeploymentStrategy::SafeOrder)
+            .transport(TransportKind::Tcp {
+                addr: "127.0.0.1:4271".into(),
+            })
+            .build();
+        assert!(matches!(opts.transport, TransportKind::Tcp { .. }));
     }
 }

@@ -9,6 +9,7 @@
 
 use centralium_rpa::RpaError;
 use centralium_topology::DeviceId;
+use centralium_wire::WireError;
 use std::fmt;
 
 /// Unified error for NSDB persistence, the RPA layer and the switch agent.
@@ -44,6 +45,16 @@ pub enum Error {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// Socket-level I/O failed on the service plane (connect, read, write).
+    Io {
+        /// What was being attempted, e.g. `"connect to 127.0.0.1:4271"`.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A service-plane peer violated the wire protocol — bad framing, a
+    /// malformed BGP preamble, or an RPC payload that failed to decode.
+    Protocol(WireError),
 }
 
 impl fmt::Display for Error {
@@ -70,6 +81,13 @@ impl fmt::Display for Error {
                     device.0
                 )
             }
+            Error::Io { context, source } => {
+                write!(
+                    f,
+                    "service-plane I/O failed while trying to {context}: {source}"
+                )
+            }
+            Error::Protocol(e) => write!(f, "wire protocol violation: {e}"),
         }
     }
 }
@@ -79,6 +97,8 @@ impl std::error::Error for Error {
         match self {
             Error::NsdbEncode { source, .. } | Error::NsdbDecode { source, .. } => Some(source),
             Error::Rpa(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+            Error::Protocol(e) => Some(e),
             Error::Unreachable { .. } | Error::RetryExhausted { .. } => None,
         }
     }
@@ -87,6 +107,12 @@ impl std::error::Error for Error {
 impl From<RpaError> for Error {
     fn from(e: RpaError) -> Self {
         Error::Rpa(e)
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Protocol(e)
     }
 }
 

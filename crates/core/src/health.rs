@@ -9,10 +9,10 @@ use centralium_simnet::traffic::{forwarding_cycle, route_flows, TrafficMatrix, D
 use centralium_simnet::SimNet;
 use centralium_telemetry::{EventKind, Severity};
 use centralium_topology::DeviceId;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A traffic probe: offered demand used to judge loss/loops/congestion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrafficProbe {
     /// Sources of the probe flows.
     pub sources: Vec<DeviceId>,
@@ -23,7 +23,7 @@ pub struct TrafficProbe {
 }
 
 /// What to check.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HealthCheck {
     /// Route the probe and require full delivery (no black-holes, no loops).
     pub probe: Option<TrafficProbe>,
@@ -38,7 +38,7 @@ pub struct HealthCheck {
 }
 
 /// Outcome of a health check.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct HealthReport {
     /// Human-readable failures; empty = healthy.
     pub failures: Vec<String>,

@@ -21,6 +21,10 @@
 //! [`apps`] hosts the 10+ production use cases; [`planner`] reproduces the
 //! Table 3 step/day accounting; [`preverify`] is the §7.1 emulation-based
 //! pre-deployment verification.
+//!
+//! The deployment pipeline is transport-agnostic: [`transport`] defines the
+//! [`ControlTransport`] RPC surface with in-process and TCP implementations,
+//! and [`serve`] hosts the agent side of the TCP service plane.
 
 pub mod apps;
 pub mod compile;
@@ -33,11 +37,14 @@ pub mod preverify;
 pub mod reconcile;
 pub mod retry;
 pub mod sequencer;
+pub mod serve;
 pub mod switch_agent;
+pub mod transport;
 
 pub use compile::{compile_intent, CompileError};
 pub use controller::{
-    Controller, DeployError, DeployOptions, DeployOptionsBuilder, DeploymentReport,
+    deploy_intent_over, remove_intent_over, resume_deployment_over, Controller, DeployError,
+    DeployOptions, DeployOptionsBuilder, DeploymentReport,
 };
 pub use error::Error;
 pub use health::{HealthCheck, HealthReport};
@@ -45,4 +52,6 @@ pub use intent::{RoutingIntent, TargetSet};
 pub use planner::{plan_all_categories, MigrationPlanComparison};
 pub use retry::{CircuitBreaker, RetryPolicy};
 pub use sequencer::{DeploymentPhase, DeploymentStrategy, WaveFailurePolicy};
+pub use serve::AgentServer;
 pub use switch_agent::SwitchAgent;
+pub use transport::{ControlTransport, InProcessTransport, TcpTransport, TransportKind};

@@ -18,11 +18,12 @@ use centralium_rpa::RpaDocument;
 use centralium_simnet::{ManagementPlane, SimNet, SimTime};
 use centralium_telemetry::{EventKind, Severity};
 use centralium_topology::DeviceId;
+use serde::{Deserialize, Serialize};
 use serde_json::Value;
 use std::collections::{BTreeMap, HashMap};
 
 /// One issued RPA operation and its RPC latency (the Figure 12 sample).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IssuedOp {
     /// Target device.
     pub device: DeviceId,

@@ -120,6 +120,13 @@ pub struct SimConfig {
     /// Disabling this forces the full path everywhere; converged FIBs are
     /// byte-identical either way (see `verify_full_equivalence`).
     pub incremental: bool,
+    /// Wire audit: round-trip every delivered UPDATE through the RFC 4271
+    /// codec (`centralium-wire`) and count messages, encoded bytes, and
+    /// round-trip mismatches under `simnet.wire.*`. Proves the emulator's
+    /// in-memory messages are exactly representable on the wire — and
+    /// measures what a socket-backed daemon plane would serialize — at the
+    /// cost of encoding every delivery. Off by default.
+    pub wire_audit: bool,
 }
 
 impl Default for SimConfig {
@@ -142,6 +149,7 @@ impl Default for SimConfig {
             shards: 0,
             min_dispatch_jobs: None,
             incremental: true,
+            wire_audit: false,
         }
     }
 }
@@ -277,6 +285,13 @@ impl SimConfigBuilder {
     /// Incremental delta convergence (see [`SimConfig::incremental`]).
     pub fn incremental(mut self, on: bool) -> Self {
         self.cfg.incremental = on;
+        self
+    }
+
+    /// Round-trip every delivered UPDATE through the RFC 4271 wire codec
+    /// (see [`SimConfig::wire_audit`]).
+    pub fn wire_audit(mut self, on: bool) -> Self {
+        self.cfg.wire_audit = on;
         self
     }
 
@@ -1053,6 +1068,13 @@ struct NetCounters {
     /// Per-worker idle ns per threaded window (worker-phase wall − busy;
     /// includes the thread-spawn delay, which is the point).
     worker_idle_ns: LogHistogram,
+    /// Delivered UPDATEs pushed through the wire-audit round-trip.
+    wire_messages: Counter,
+    /// RFC 4271 octets the audited messages encode to (frames included).
+    wire_bytes: Counter,
+    /// Audited messages that failed to encode, decode, or round-trip
+    /// exactly. Always zero unless the in-memory model and the codec drift.
+    wire_mismatches: Counter,
 }
 
 impl NetCounters {
@@ -1085,6 +1107,9 @@ impl NetCounters {
             event_latency_ns: m.log_histogram("simnet.event.latency_ns"),
             worker_busy_ns: m.log_histogram("simnet.worker.busy_ns"),
             worker_idle_ns: m.log_histogram("simnet.worker.idle_ns"),
+            wire_messages: m.counter("simnet.wire.messages"),
+            wire_bytes: m.counter("simnet.wire.bytes"),
+            wire_mismatches: m.counter("simnet.wire.mismatches"),
         }
     }
 }
@@ -2436,6 +2461,7 @@ impl SimNet {
                         }
                     }
                 }
+                self.audit_wire(&msg);
                 Some((to, Work::Deliver { on, msg }))
             }
             NetEvent::Deliver { to, on, msg } => {
@@ -2459,6 +2485,7 @@ impl SimNet {
                         }
                     }
                 }
+                self.audit_wire(&msg);
                 Some((to, Work::Deliver { on, msg }))
             }
             NetEvent::SessionUp { dev, peer } => {
@@ -2733,6 +2760,51 @@ impl SimNet {
     /// Schedule one session-control message, honoring latency/jitter/faults
     /// and the same per-session FIFO as route updates (control and updates
     /// share the TCP stream).
+    /// Wire audit ([`SimConfig::wire_audit`]): prove the delivered UPDATE is
+    /// exactly representable in RFC 4271 octets by round-tripping it through
+    /// `centralium-wire` and comparing canonical forms. Counts messages and
+    /// encoded bytes; any encode/decode failure or content drift bumps
+    /// `simnet.wire.mismatches` (which tests pin to zero).
+    fn audit_wire(&self, msg: &UpdateMessage) {
+        if !self.cfg.wire_audit {
+            return;
+        }
+        self.counters.wire_messages.inc();
+        let frames = match centralium_wire::bgp::encode(&BgpMessage::Update(msg.clone())) {
+            Ok(frames) => frames,
+            Err(_) => {
+                self.counters.wire_mismatches.inc();
+                return;
+            }
+        };
+        let mut merged = UpdateMessage::default();
+        for frame in &frames {
+            self.counters.wire_bytes.add(frame.len() as u64);
+            match centralium_wire::bgp::decode_exact(frame) {
+                Ok(BgpMessage::Update(piece)) => merged.merge(piece),
+                _ => {
+                    self.counters.wire_mismatches.inc();
+                    return;
+                }
+            }
+        }
+        // Canonical comparison: the wire form orders withdrawals first and
+        // groups announcements by attribute block, so compare as sets/maps
+        // (later-wins per prefix, matching `UpdateMessage::merge`).
+        let canon = |u: &UpdateMessage| {
+            let withdrawn: BTreeSet<Prefix> = u.withdrawn.iter().copied().collect();
+            let announced: BTreeMap<Prefix, Arc<PathAttributes>> = u
+                .announced
+                .iter()
+                .map(|(p, a)| (*p, Arc::clone(a)))
+                .collect();
+            (withdrawn, announced)
+        };
+        if canon(msg) != canon(&merged) {
+            self.counters.wire_mismatches.inc();
+        }
+    }
+
     fn emit_ctl(&mut self, from: DeviceId, peer: PeerId, msg: BgpMessage) {
         let to = DeviceId(peer.device());
         let session_idx = peer.session_index();

@@ -1,7 +1,7 @@
 //! Event counters and convergence reporting.
 
 use crate::event::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Aggregate counters over one simulation run.
 ///
@@ -29,7 +29,7 @@ pub struct TraceStats {
 }
 
 /// Result of running the emulator until quiescence (or a safety cap).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConvergenceReport {
     /// Whether the event queue drained (true) or the event cap hit (false).
     pub converged: bool,

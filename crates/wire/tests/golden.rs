@@ -1,0 +1,371 @@
+//! Golden-bytes fixtures: frames assembled octet-by-octet from RFC 4271
+//! (and RFC 6793 / RFC 5492 for the OPEN capability) pin the codec to the
+//! actual wire format, not merely to its own round-trip. Each golden frame
+//! must decode to the expected in-memory message AND re-encode to the
+//! byte-identical buffer. A second battery feeds fuzz-shaped corruptions
+//! and asserts each maps to its specific typed [`WireError`].
+
+use centralium_bgp::attrs::{Community, CommunitySet, Origin, PathAttributes};
+use centralium_bgp::msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
+use centralium_bgp::Prefix;
+use centralium_topology::Asn;
+use centralium_wire::bgp::{decode_exact, encode_one, AS_TRANS};
+use centralium_wire::{bgp, WireError};
+
+/// Hand-assemble a frame: all-ones marker, big-endian length, type, body.
+fn frame(type_code: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = vec![0xFF; 16];
+    out.extend_from_slice(&((19 + body.len()) as u16).to_be_bytes());
+    out.push(type_code);
+    out.extend_from_slice(body);
+    out
+}
+
+fn assert_golden(golden: &[u8], expect: &BgpMessage) {
+    let decoded = decode_exact(golden).expect("golden frame must decode");
+    assert_eq!(&decoded, expect, "decoded message mismatch");
+    let reencoded = encode_one(expect).expect("golden message must encode");
+    assert_eq!(
+        reencoded, golden,
+        "re-encoding must reproduce the golden bytes exactly"
+    );
+}
+
+#[test]
+fn golden_keepalive() {
+    // The 19-octet minimum message: header only.
+    assert_golden(&frame(4, &[]), &BgpMessage::Keepalive);
+}
+
+#[test]
+fn golden_notification_cease() {
+    // Error code 6 (Cease), subcode 0.
+    assert_golden(
+        &frame(3, &[6, 0]),
+        &BgpMessage::Notification(NotificationCode::Cease),
+    );
+}
+
+#[test]
+fn golden_open_with_extension_band_asn() {
+    // ASN 4 200 000 001 (= 0xFA56EA01, the allocator's extension band) does
+    // not fit My-AS, so the 2-octet field carries AS_TRANS and the real ASN
+    // rides the RFC 6793 capability.
+    assert_eq!(AS_TRANS, 23456);
+    #[rustfmt::skip]
+    let body: Vec<u8> = vec![
+        0x04,                   // version 4
+        0x5B, 0xA0,             // My-AS = AS_TRANS (23456)
+        0x00, 0x5A,             // hold time 90 s
+        0xFA, 0x56, 0xEA, 0x01, // BGP identifier (derived from the ASN)
+        0x08,                   // optional parameters: 8 octets
+        0x02, 0x06,             // param: capabilities, 6 octets
+        0x41, 0x04,             // capability 65 (4-octet AS), 4 octets
+        0xFA, 0x56, 0xEA, 0x01, // the real 4-octet ASN
+    ];
+    assert_golden(
+        &frame(1, &body),
+        &BgpMessage::Open(OpenMessage {
+            asn: Asn(4_200_000_001),
+            hold_time_secs: 90,
+        }),
+    );
+}
+
+#[test]
+fn golden_open_with_narrow_asn_still_carries_capability() {
+    // A 2-octet-sized ASN goes in My-AS directly, and the capability
+    // repeats it (a real 4-octet speaker always advertises capability 65).
+    #[rustfmt::skip]
+    let body: Vec<u8> = vec![
+        0x04,
+        0xFD, 0xE9,             // My-AS = 65001
+        0x00, 0xB4,             // hold time 180 s
+        0x00, 0x00, 0xFD, 0xE9, // identifier
+        0x08,
+        0x02, 0x06,
+        0x41, 0x04,
+        0x00, 0x00, 0xFD, 0xE9,
+    ];
+    assert_golden(
+        &frame(1, &body),
+        &BgpMessage::Open(OpenMessage {
+            asn: Asn(65_001),
+            hold_time_secs: 180,
+        }),
+    );
+}
+
+#[test]
+fn golden_update_full_attribute_set() {
+    // Announce 10.0.0.0/8 with every modeled attribute present and
+    // non-default: AS-path [65001, 4200000001], MED 5, LOCAL_PREF 200,
+    // community 65000:1, link bandwidth 25 Gbps.
+    #[rustfmt::skip]
+    let body: Vec<u8> = vec![
+        0x00, 0x00,             // withdrawn routes length: 0
+        0x00, 0x38,             // total path attribute length: 56
+        // ORIGIN (well-known transitive), IGP
+        0x40, 0x01, 0x01, 0x00,
+        // AS_PATH: one AS_SEQUENCE of two 4-octet ASNs
+        0x40, 0x02, 0x0A,
+        0x02, 0x02,             // AS_SEQUENCE, 2 ASNs
+        0x00, 0x00, 0xFD, 0xE9, // 65001
+        0xFA, 0x56, 0xEA, 0x01, // 4200000001
+        // NEXT_HOP: structurally 0.0.0.0 (next hop = delivering session)
+        0x40, 0x03, 0x04, 0x00, 0x00, 0x00, 0x00,
+        // MED (optional non-transitive) = 5
+        0x80, 0x04, 0x04, 0x00, 0x00, 0x00, 0x05,
+        // LOCAL_PREF (well-known transitive) = 200
+        0x40, 0x05, 0x04, 0x00, 0x00, 0x00, 0xC8,
+        // COMMUNITIES (optional transitive): 65000:1
+        0xC0, 0x08, 0x04, 0xFD, 0xE8, 0x00, 0x01,
+        // EXTENDED COMMUNITIES: link bandwidth, value f32(25.0) Gbps
+        0xC0, 0x10, 0x08,
+        0x40, 0x04, 0x00, 0x00, // type 0x40, subtype 0x04, reserved
+        0x41, 0xC8, 0x00, 0x00, // 25.0f32
+        // NLRI: 10.0.0.0/8
+        0x08, 0x0A,
+    ];
+    let attrs = PathAttributes {
+        as_path: vec![Asn(65_001), Asn(4_200_000_001)].into(),
+        origin: Origin::Igp,
+        local_pref: 200,
+        med: 5,
+        communities: CommunitySet::from(vec![Community::from_pair(65_000, 1)]),
+        link_bandwidth_gbps: Some(25.0),
+    };
+    assert_golden(
+        &frame(2, &body),
+        &BgpMessage::Update(UpdateMessage::announce(Prefix::new(0x0A00_0000, 8), attrs)),
+    );
+}
+
+#[test]
+fn golden_update_pure_withdraw() {
+    // Withdraw 192.168.4.0/22 — 22 bits pack into three address octets,
+    // and a withdraw-only UPDATE carries an empty attribute section.
+    #[rustfmt::skip]
+    let body: Vec<u8> = vec![
+        0x00, 0x04,             // withdrawn routes length: 4
+        0x16, 0xC0, 0xA8, 0x04, // /22, 192.168.4
+        0x00, 0x00,             // total path attribute length: 0
+    ];
+    assert_golden(
+        &frame(2, &body),
+        &BgpMessage::Update(UpdateMessage::withdraw(Prefix::new(0xC0A8_0400, 22))),
+    );
+}
+
+#[test]
+fn golden_update_elides_defaults() {
+    // MED 0 and LOCAL_PREF 100 must be absent from the octets, and decode
+    // must restore them.
+    let msg = BgpMessage::Update(UpdateMessage::announce(
+        Prefix::new(0x0A00_0000, 8),
+        PathAttributes {
+            as_path: vec![Asn(65_001)].into(),
+            ..Default::default()
+        },
+    ));
+    let bytes = encode_one(&msg).expect("encode");
+    #[rustfmt::skip]
+    let expect_attrs: Vec<u8> = vec![
+        0x40, 0x01, 0x01, 0x00,                         // ORIGIN IGP
+        0x40, 0x02, 0x06, 0x02, 0x01, 0x00, 0x00, 0xFD, 0xE9, // AS_PATH [65001]
+        0x40, 0x03, 0x04, 0x00, 0x00, 0x00, 0x00,      // NEXT_HOP
+    ];
+    let mut body = vec![0x00, 0x00, 0x00, expect_attrs.len() as u8];
+    body.extend_from_slice(&expect_attrs);
+    body.extend_from_slice(&[0x08, 0x0A]);
+    assert_eq!(bytes, frame(2, &body));
+    match decode_exact(&bytes).expect("decode") {
+        BgpMessage::Update(u) => {
+            let attrs = &u.announced[0].1;
+            assert_eq!(attrs.med, 0);
+            assert_eq!(attrs.local_pref, PathAttributes::DEFAULT_LOCAL_PREF);
+        }
+        other => panic!("expected UPDATE, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fuzz-shaped corruptions → specific typed errors, never panics
+// ---------------------------------------------------------------------------
+
+fn decode_err(bytes: &[u8]) -> WireError {
+    bgp::decode(bytes).expect_err("corrupt input must be rejected")
+}
+
+#[test]
+fn corrupt_marker_is_rejected() {
+    let mut bytes = frame(4, &[]);
+    bytes[3] = 0x00;
+    assert_eq!(decode_err(&bytes), WireError::BadMarker);
+}
+
+#[test]
+fn corrupt_length_fields_are_rejected() {
+    let mut short = frame(4, &[]);
+    short[16..18].copy_from_slice(&18u16.to_be_bytes());
+    assert_eq!(decode_err(&short), WireError::BadLength { len: 18 });
+
+    let mut long = frame(4, &[]);
+    long[16..18].copy_from_slice(&5000u16.to_be_bytes());
+    assert_eq!(decode_err(&long), WireError::BadLength { len: 5000 });
+}
+
+#[test]
+fn unknown_message_type_is_rejected() {
+    assert_eq!(decode_err(&frame(9, &[])), WireError::UnknownMessageType(9));
+}
+
+#[test]
+fn truncated_input_is_rejected_with_counts() {
+    let bytes = frame(4, &[]);
+    assert!(matches!(
+        decode_err(&bytes[..10]),
+        WireError::Truncated {
+            need: 19,
+            have: 10,
+            ..
+        }
+    ));
+    let update = frame(2, &[0x00, 0x04, 0x08, 0x0A, 0x00, 0x00]);
+    assert!(matches!(
+        decode_err(&update[..20]),
+        WireError::Truncated { .. }
+    ));
+}
+
+#[test]
+fn open_with_wrong_version_is_rejected() {
+    let body = [0x03, 0x5B, 0xA0, 0x00, 0x5A, 0, 0, 0, 1, 0x00];
+    assert_eq!(
+        decode_err(&frame(1, &body)),
+        WireError::UnsupportedVersion(3)
+    );
+}
+
+#[test]
+fn keepalive_with_body_is_rejected() {
+    assert!(matches!(
+        decode_err(&frame(4, &[0xAB])),
+        WireError::BadLength { len: 20 }
+    ));
+}
+
+#[test]
+fn prefix_longer_than_32_bits_is_rejected() {
+    // Withdrawn-routes section claiming a /33.
+    let body = [0x00, 0x06, 33, 0xC0, 0xA8, 0x04, 0x00, 0x01, 0x00, 0x00];
+    assert_eq!(
+        decode_err(&frame(2, &body)),
+        WireError::PrefixTooLong { len: 33 }
+    );
+}
+
+#[test]
+fn duplicate_attribute_is_rejected() {
+    #[rustfmt::skip]
+    let body = [
+        0x00, 0x00,
+        0x00, 0x08,
+        0x40, 0x01, 0x01, 0x00, // ORIGIN
+        0x40, 0x01, 0x01, 0x00, // ORIGIN again
+    ];
+    assert_eq!(
+        decode_err(&frame(2, &body)),
+        WireError::DuplicateAttribute { type_code: 1 }
+    );
+}
+
+#[test]
+fn bad_origin_value_is_rejected() {
+    let body = [0x00, 0x00, 0x00, 0x04, 0x40, 0x01, 0x01, 0x07];
+    assert_eq!(
+        decode_err(&frame(2, &body)),
+        WireError::BadAttributeValue { type_code: 1 }
+    );
+}
+
+#[test]
+fn well_known_attribute_flagged_optional_is_rejected() {
+    // ORIGIN with the optional bit set.
+    let body = [0x00, 0x00, 0x00, 0x04, 0xC0, 0x01, 0x01, 0x00];
+    assert_eq!(
+        decode_err(&frame(2, &body)),
+        WireError::BadAttributeFlags {
+            type_code: 1,
+            flags: 0xC0
+        }
+    );
+}
+
+#[test]
+fn nlri_without_mandatory_attributes_is_rejected() {
+    // NLRI present but the attribute section is empty.
+    let body = [0x00, 0x00, 0x00, 0x00, 0x08, 0x0A];
+    assert_eq!(
+        decode_err(&frame(2, &body)),
+        WireError::MissingAttribute { name: "ORIGIN" }
+    );
+}
+
+#[test]
+fn as_set_segment_is_rejected() {
+    // AS_PATH carrying an AS_SET (type 1) segment.
+    #[rustfmt::skip]
+    let body = [
+        0x00, 0x00,
+        0x00, 0x09,
+        0x40, 0x02, 0x06,
+        0x01, 0x01,             // AS_SET, 1 ASN
+        0x00, 0x00, 0xFD, 0xE9,
+    ];
+    assert_eq!(
+        decode_err(&frame(2, &body)),
+        WireError::BadSegmentType { seg: 1 }
+    );
+}
+
+#[test]
+fn attribute_overrunning_its_section_is_rejected() {
+    // ORIGIN claims 9 value octets but the section only holds 1.
+    let body = [0x00, 0x00, 0x00, 0x04, 0x40, 0x01, 0x09, 0x00];
+    assert!(matches!(
+        decode_err(&frame(2, &body)),
+        WireError::Truncated { .. }
+    ));
+}
+
+#[test]
+fn trailing_bytes_after_message_are_rejected_by_decode_exact() {
+    let mut bytes = frame(4, &[]);
+    bytes.push(0x00);
+    assert_eq!(
+        decode_exact(&bytes).expect_err("trailing byte"),
+        WireError::TrailingBytes {
+            what: "message",
+            count: 1
+        }
+    );
+}
+
+#[test]
+fn unknown_optional_attribute_is_skipped_not_rejected() {
+    // Attribute 99, optional transitive, 2 value octets: legal to ignore.
+    let body = [0x00, 0x00, 0x00, 0x05, 0xC0, 0x63, 0x02, 0xDE, 0xAD];
+    let msg = decode_exact(&frame(2, &body)).expect("skippable optional attribute");
+    assert_eq!(msg, BgpMessage::Update(UpdateMessage::default()));
+}
+
+#[test]
+fn unknown_well_known_attribute_is_rejected() {
+    // Attribute 99 with well-known (non-optional) flags must be refused.
+    let body = [0x00, 0x00, 0x00, 0x05, 0x40, 0x63, 0x02, 0xDE, 0xAD];
+    assert_eq!(
+        decode_err(&frame(2, &body)),
+        WireError::UnrecognizedWellKnown { type_code: 99 }
+    );
+}

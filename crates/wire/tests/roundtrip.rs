@@ -1,0 +1,281 @@
+//! Property tests: every in-memory message the fabric can produce must
+//! survive encode → decode exactly — including 4-octet extension-band ASNs,
+//! AS-paths long enough to split across segments, max-length NLRI, and
+//! updates whose heterogeneous attributes force multi-frame encoding.
+
+use centralium_bgp::attrs::{Community, CommunitySet, Origin, PathAttributes};
+use centralium_bgp::msg::{BgpMessage, NotificationCode, OpenMessage, UpdateMessage};
+use centralium_bgp::Prefix;
+use centralium_topology::Asn;
+use centralium_wire::bgp;
+use centralium_wire::WireError;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Prefix::new(addr, len))
+}
+
+/// ASNs across all three interesting bands: classic 2-octet, the crate's
+/// 4.2-billion extension bands, and fully arbitrary 32-bit values.
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    (0u32..3, any::<u32>()).prop_map(|(band, raw)| match band {
+        0 => Asn(raw % 64512),
+        1 => Asn(4_200_000_000u32.wrapping_add(raw % 90_000_000)),
+        _ => Asn(raw),
+    })
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        proptest::collection::vec(arb_asn(), 0..600), // > 255 forces segment splits
+        0u32..3,
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u32>(), 0..8),
+        proptest::option::of(0u32..16_000_000), // integers ≤ 2^24 are f32-exact
+    )
+        .prop_map(|(path, origin, local_pref, med, communities, bw)| {
+            let origin = match origin {
+                0 => Origin::Igp,
+                1 => Origin::Egp,
+                _ => Origin::Incomplete,
+            };
+            // Communities built directly (not via add_community) must be
+            // pre-sorted + deduped to satisfy the in-memory invariant the
+            // decoder restores.
+            let mut cs: Vec<Community> = communities.into_iter().map(Community).collect();
+            cs.sort_unstable();
+            cs.dedup();
+            PathAttributes {
+                as_path: path.into(),
+                origin,
+                local_pref,
+                med,
+                communities: CommunitySet::from(cs),
+                link_bandwidth_gbps: bw.map(f64::from),
+            }
+        })
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateMessage> {
+    (
+        proptest::collection::vec(arb_prefix(), 0..20),
+        proptest::collection::vec((arb_prefix(), 0usize..4), 0..24),
+        proptest::collection::vec(arb_attrs(), 1..4),
+    )
+        .prop_map(|(withdrawn, announced, attr_pool)| {
+            let attr_pool: Vec<Arc<PathAttributes>> = attr_pool.into_iter().map(Arc::new).collect();
+            // Dedup announced prefixes and keep them disjoint from the
+            // withdrawals — the in-memory type allows the overlap but its
+            // meaning is order-dependent, which the wire form cannot carry.
+            let mut seen = BTreeSet::new();
+            let announced: Vec<(Prefix, Arc<PathAttributes>)> = announced
+                .into_iter()
+                .filter(|(p, _)| seen.insert(*p))
+                .map(|(p, i)| (p, Arc::clone(&attr_pool[i % attr_pool.len()])))
+                .collect();
+            let mut wseen = BTreeSet::new();
+            let withdrawn: Vec<Prefix> = withdrawn
+                .into_iter()
+                .filter(|p| !seen.contains(p) && wseen.insert(*p))
+                .collect();
+            UpdateMessage {
+                withdrawn,
+                announced,
+            }
+        })
+}
+
+/// Encode, decode every produced frame, and merge back into one update.
+fn roundtrip_update(update: &UpdateMessage) -> UpdateMessage {
+    let frames = bgp::encode(&BgpMessage::Update(update.clone())).expect("encode");
+    let mut merged = UpdateMessage::default();
+    for frame in &frames {
+        assert!(
+            frame.len() <= bgp::MAX_MESSAGE_LEN,
+            "frame of {} bytes exceeds the RFC cap",
+            frame.len()
+        );
+        match bgp::decode_exact(frame).expect("decode") {
+            BgpMessage::Update(u) => merged.merge(u),
+            other => panic!("UPDATE frame decoded as {other:?}"),
+        }
+    }
+    merged
+}
+
+/// Canonical comparable form: sorted withdrawals + prefix-sorted routes.
+fn canonical(u: &UpdateMessage) -> (Vec<Prefix>, Vec<(Prefix, PathAttributes)>) {
+    let mut w = u.withdrawn.clone();
+    w.sort_unstable();
+    let mut a: Vec<(Prefix, PathAttributes)> = u
+        .announced
+        .iter()
+        .map(|(p, attrs)| (*p, (**attrs).clone()))
+        .collect();
+    a.sort_unstable_by_key(|(p, _)| *p);
+    (w, a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn update_roundtrips_exactly(update in arb_update()) {
+        let merged = roundtrip_update(&update);
+        prop_assert_eq!(canonical(&merged), canonical(&update));
+    }
+
+    #[test]
+    fn open_roundtrips_across_asn_bands(asn in arb_asn(), hold in 0u32..=65_535) {
+        let msg = BgpMessage::Open(OpenMessage { asn, hold_time_secs: hold });
+        let frame = bgp::encode_one(&msg).expect("encode");
+        prop_assert_eq!(bgp::decode_exact(&frame).expect("decode"), msg);
+    }
+
+    #[test]
+    fn max_length_nlri_roundtrips(hosts in proptest::collection::vec(any::<u32>(), 1..64)) {
+        // All /32s: every NLRI entry packs the full four address octets.
+        let attrs = Arc::new(PathAttributes::default());
+        let mut seen = BTreeSet::new();
+        let update = UpdateMessage {
+            withdrawn: Vec::new(),
+            announced: hosts
+                .into_iter()
+                .map(|h| Prefix::new(h, 32))
+                .filter(|p| seen.insert(*p))
+                .map(|p| (p, Arc::clone(&attrs)))
+                .collect(),
+        };
+        let merged = roundtrip_update(&update);
+        prop_assert_eq!(canonical(&merged), canonical(&update));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // The decoder's contract for the fuzzing roadmap item: any input is
+        // either a valid message or a typed error — this call must return.
+        let _ = bgp::decode(&bytes);
+        let _ = centralium_wire::frame::decode(&bytes);
+    }
+
+    #[test]
+    fn corrupted_valid_frames_never_panic(
+        update in arb_update(),
+        flips in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        // Bit-flip fuzzing seeded from real frames reaches far deeper than
+        // purely random bytes (the marker/length gate rejects most noise).
+        let frames = bgp::encode(&BgpMessage::Update(update)).expect("encode");
+        for frame in frames {
+            let mut bytes = frame;
+            for (pos, val) in &flips {
+                let idx = pos % bytes.len();
+                bytes[idx] ^= val | 1; // always changes at least one bit
+            }
+            let _ = bgp::decode(&bytes);
+        }
+    }
+}
+
+#[test]
+fn huge_update_splits_into_capped_frames() {
+    // ~3000 /24s with one attribute set cannot fit 4096 octets; the encoder
+    // must split while the merged decode stays identical.
+    let attrs = Arc::new(PathAttributes {
+        as_path: vec![Asn(4_200_000_007), Asn(65_001)].into(),
+        ..Default::default()
+    });
+    let update = UpdateMessage {
+        withdrawn: (0..500u32).map(|i| Prefix::new(i << 12, 20)).collect(),
+        announced: (0..3000u32)
+            .map(|i| (Prefix::new(0x0A00_0000 | (i << 8), 24), Arc::clone(&attrs)))
+            .collect(),
+    };
+    let frames = bgp::encode(&BgpMessage::Update(update.clone())).expect("encode");
+    assert!(frames.len() > 1, "expected a multi-frame split");
+    let merged = roundtrip_update(&update);
+    assert_eq!(canonical(&merged), canonical(&update));
+}
+
+#[test]
+fn heterogeneous_attrs_get_one_frame_per_group() {
+    let a = Arc::new(PathAttributes::default());
+    let b = Arc::new(PathAttributes {
+        local_pref: 200,
+        ..Default::default()
+    });
+    let update = UpdateMessage {
+        withdrawn: Vec::new(),
+        announced: vec![
+            (Prefix::new(0x0A00_0000, 8), Arc::clone(&a)),
+            (Prefix::new(0x0B00_0000, 8), Arc::clone(&b)),
+            (Prefix::new(0x0C00_0000, 8), Arc::clone(&a)),
+        ],
+    };
+    let frames = bgp::encode(&BgpMessage::Update(update.clone())).expect("encode");
+    assert_eq!(frames.len(), 2, "one frame per distinct attribute block");
+    let merged = roundtrip_update(&update);
+    assert_eq!(canonical(&merged), canonical(&update));
+}
+
+#[test]
+fn keepalive_and_notifications_roundtrip() {
+    for msg in [
+        BgpMessage::Keepalive,
+        BgpMessage::Notification(NotificationCode::FiniteStateMachineError),
+        BgpMessage::Notification(NotificationCode::HoldTimerExpired),
+        BgpMessage::Notification(NotificationCode::Cease),
+    ] {
+        let frame = bgp::encode_one(&msg).expect("encode");
+        assert_eq!(bgp::decode_exact(&frame).expect("decode"), msg);
+    }
+}
+
+#[test]
+fn lossy_values_are_rejected_at_encode_time() {
+    let open = BgpMessage::Open(OpenMessage {
+        asn: Asn(1),
+        hold_time_secs: 70_000,
+    });
+    assert!(matches!(
+        bgp::encode(&open),
+        Err(WireError::Unrepresentable { .. })
+    ));
+
+    // 100 Gbps expressed with a fractional part f32 cannot carry.
+    let attrs = Arc::new(PathAttributes {
+        link_bandwidth_gbps: Some(100.000_000_001),
+        ..Default::default()
+    });
+    let update = BgpMessage::Update(UpdateMessage::announce(Prefix::DEFAULT, attrs));
+    assert!(matches!(
+        bgp::encode(&update),
+        Err(WireError::Unrepresentable { .. })
+    ));
+}
+
+#[test]
+fn back_to_back_messages_decode_by_advancing() {
+    let mut stream = Vec::new();
+    let msgs = [
+        BgpMessage::Open(OpenMessage {
+            asn: Asn(4_200_000_042),
+            hold_time_secs: 90,
+        }),
+        BgpMessage::Keepalive,
+        BgpMessage::Update(UpdateMessage::withdraw(Prefix::new(0x0A00_0000, 8))),
+    ];
+    for m in &msgs {
+        stream.extend(bgp::encode_one(m).expect("encode"));
+    }
+    let mut at = 0;
+    for expect in &msgs {
+        let (got, used) = bgp::decode(&stream[at..]).expect("decode");
+        assert_eq!(&got, expect);
+        at += used;
+    }
+    assert_eq!(at, stream.len());
+}
