@@ -13,16 +13,18 @@
 //! bench_convergence [--tiny] [--fabric T1,T2,...] [--iters N] [--workers N]
 //!                   [--json FILE] [--baseline FILE]
 //!                   [--min-speedup X] [--gate-fabric TIER]
+//!                   [--max-kb-per-device KB]
 //! ```
 //!
 //! `--tiny` restricts to the 22-device fabric (the CI smoke setting); the
 //! full tier also measures the 84-device default and the 212-device large
 //! fabric. `--fabric` names an explicit comma-separated tier list from
-//! `tiny`/`default`/`large`/`2k`/`xl` — the last two are the paper-scale
-//! three-tier fabrics (2,036 and 10,308 devices) that exercise the arena
-//! storage and the calendar-queue scheduler; scale tiers cap the worker
-//! ladder and iteration count (printed, never silent) so a full xl pass
-//! stays tractable. `--workers N` measures only serial and `N` workers
+//! `tiny`/`default`/`large`/`2k`/`xl`/`xxl` — the last three are the
+//! paper-scale three-tier fabrics (2,036 / 10,308 / 100,420 devices) that
+//! exercise the arena storage, the calendar-queue scheduler and the
+//! fan-in-compressed Adj-RIBs; scale tiers cap the worker ladder and
+//! iteration count (printed, never silent; `xxl` runs a single iteration)
+//! so a full pass stays tractable. `--workers N` measures only serial and `N` workers
 //! instead of the whole ladder. `--json FILE` writes the machine-readable
 //! report (BENCH_convergence.json by convention). `--baseline FILE`
 //! compares the run against a committed report and exits nonzero when the
@@ -40,13 +42,24 @@
 //! per-link batches), `attr_clone_bytes` (attribute bytes physically copied —
 //! Arc-shared routes keep this near-constant in fabric size), and the batch
 //! shape (`batches_delivered`, `updates_coalesced`, `max_batch_size`), plus
-//! the scale columns: `events_per_sec` throughput and `peak_rss_bytes`
-//! (process VmHWM — attributable per tier because tiers run in ascending
-//! size order).
+//! the scale columns: `events_per_sec` throughput, `peak_rss_bytes`
+//! (process VmHWM, reset via `/proc/self/clear_refs` before each episode so
+//! multi-tier runs don't inherit earlier peaks; where the kernel ignores the
+//! reset the JSON row carries `peak_rss_inherited: true`), and the
+//! quiescent footprint pair: `quiescent_live_bytes` (bytes live on the heap
+//! after convergence, from the counting allocator — the numerator of the
+//! amortized per-device byte budget that `--max-kb-per-device KB` gates on)
+//! and `quiescent_rss_bytes` (VmRSS at the same instant, post-`malloc_trim`,
+//! reported for context: at the 100k tier it carries hundreds of MB of
+//! allocator fragmentation that no longer corresponds to live state —
+//! `mem_probe` quantifies the gap).
 
+use centralium_bench::alloc::{live_heap_bytes, CountingAlloc};
 use centralium_bench::args::BenchArgs;
 use centralium_bench::report::Table;
-use centralium_bench::tier::{parse_tier_list, peak_rss_bytes, TierSpec};
+use centralium_bench::tier::{
+    current_rss_bytes, parse_tier_list, peak_rss_bytes, reset_peak_rss, trim_allocator, TierSpec,
+};
 use centralium_bgp::attrs::well_known;
 use centralium_bgp::Prefix;
 use centralium_rpa::{
@@ -57,6 +70,9 @@ use serde_json::json;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const SEED: u64 = 7;
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -70,6 +86,12 @@ const RPC_US: u64 = 300;
 /// signal for minutes of extra wall.
 const SCALE_TIER_DEVICES: usize = 1_000;
 const SCALE_TIER_ITERS: usize = 2;
+
+/// Tiers at or above this device count (`xxl`: 100k devices) run one
+/// iteration only — a single serial episode is minutes of wall, and the
+/// byte-budget/determinism signal does not improve with repetition.
+const HUGE_TIER_DEVICES: usize = 50_000;
+const HUGE_TIER_ITERS: usize = 1;
 
 struct Episode {
     wall: std::time::Duration,
@@ -88,6 +110,23 @@ struct Episode {
     inline_windows: u64,
     shard_dispatches: u64,
     peak_rss_bytes: u64,
+    /// True when the pre-episode `clear_refs` reset did not take effect, so
+    /// the peak reading inherits earlier allocations of this process.
+    peak_rss_inherited: bool,
+    /// Live heap bytes after the episode converged, before the FIB snapshot
+    /// string is built — the numerator of the per-device byte budget.
+    /// Counts exactly the allocated state; immune to allocator retention.
+    quiescent_live_bytes: u64,
+    /// VmRSS at the same instant (post-trim), for context: includes
+    /// whatever fragmentation the episode's churn left behind.
+    quiescent_rss_bytes: u64,
+    /// Fan-in-compressed adjacency-RIB footprints at quiescence, straight
+    /// from the `mem.adj_rib_{in,out}_bytes` / `bgp.canonical_routes` /
+    /// `bgp.peer_refs` gauges — the structural slice of the RSS budget.
+    adj_rib_in_bytes: u64,
+    adj_rib_out_bytes: u64,
+    canonical_routes: u64,
+    peer_refs: u64,
 }
 
 fn equalize_doc() -> RpaDocument {
@@ -106,6 +145,9 @@ fn equalize_doc() -> RpaDocument {
 /// the five-layer tiers, the first pod's plane-0 aggregation switch on the
 /// three-tier scale tiers (which have no FADU layer).
 fn episode(spec: &TierSpec, workers: usize) -> Episode {
+    // Collapse the process-lifetime high-water mark to the current RSS so
+    // this episode's peak reading is its own, not an earlier tier's.
+    let peak_rss_inherited = !reset_peak_rss();
     let (topo, idx, _) = spec.build();
     let mut net = SimNet::new(
         topo,
@@ -148,6 +190,14 @@ fn episode(spec: &TierSpec, workers: usize) -> Episode {
         .expect_converged()
         .events_processed;
     let wall = start.elapsed();
+    // Quiescent footprint: read before the FIB snapshot string (itself tens
+    // of MB at scale) is allocated, so the budget measures the fabric, not
+    // the bench's own reporting machinery. Live bytes gate the budget; the
+    // RSS alongside is taken after an allocator trim so it at least excludes
+    // the retention glibc *can* hand back.
+    let quiescent_live_bytes = live_heap_bytes();
+    trim_allocator();
+    let quiescent_rss_bytes = current_rss_bytes().unwrap_or(0);
 
     let mut fib_snapshot = String::new();
     for id in net.device_ids() {
@@ -172,6 +222,13 @@ fn episode(spec: &TierSpec, workers: usize) -> Episode {
         inline_windows: snap.counter("simnet.phase.inline_windows"),
         shard_dispatches: snap.counter("simnet.shard.dispatches"),
         peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+        peak_rss_inherited,
+        quiescent_live_bytes,
+        quiescent_rss_bytes,
+        adj_rib_in_bytes: snap.gauge("mem.adj_rib_in_bytes").max(0) as u64,
+        adj_rib_out_bytes: snap.gauge("mem.adj_rib_out_bytes").max(0) as u64,
+        canonical_routes: snap.gauge("bgp.canonical_routes").max(0) as u64,
+        peer_refs: snap.gauge("bgp.peer_refs").max(0) as u64,
     }
 }
 
@@ -222,6 +279,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let max_kb_per_device = match args.get_f64("max-kb-per-device") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -266,7 +330,12 @@ fn main() -> ExitCode {
             if let Some(&max) = worker_counts.iter().filter(|&&w| w > 1).max() {
                 ladder.push(max);
             }
-            let capped_iters = iters.min(SCALE_TIER_ITERS);
+            let cap = if spec.devices() >= HUGE_TIER_DEVICES {
+                HUGE_TIER_ITERS
+            } else {
+                SCALE_TIER_ITERS
+            };
+            let capped_iters = iters.min(cap);
             println!(
                 "fabric '{label}' is a scale tier: capping at {capped_iters} iters, \
                  workers {ladder:?} (the full ladder adds minutes of wall for no signal)"
@@ -282,6 +351,7 @@ fn main() -> ExitCode {
             "events",
             "events/s",
             "peak RSS MB",
+            "live KB/dev",
             "attr KB cloned",
             "cache hit rate",
             "fib == serial",
@@ -330,6 +400,7 @@ fn main() -> ExitCode {
             } else {
                 0.0
             };
+            let kb_per_device = ep.quiescent_live_bytes as f64 / 1024.0 / spec.devices() as f64;
             table.row(&[
                 workers.to_string(),
                 format!("{median:.2}"),
@@ -340,7 +411,12 @@ fn main() -> ExitCode {
                 },
                 ep.events.to_string(),
                 format!("{events_per_sec:.0}"),
-                format!("{:.1}", ep.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+                format!(
+                    "{:.1}{}",
+                    ep.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                    if ep.peak_rss_inherited { "*" } else { "" }
+                ),
+                format!("{kb_per_device:.1}"),
                 format!("{:.1}", ep.attr_clone_bytes as f64 / 1024.0),
                 if cache_samples > 0 {
                     format!("{:.1}%", hit_rate * 100.0)
@@ -361,6 +437,14 @@ fn main() -> ExitCode {
                 "events_processed": ep.events,
                 "events_per_sec": events_per_sec,
                 "peak_rss_bytes": ep.peak_rss_bytes,
+                "peak_rss_inherited": ep.peak_rss_inherited,
+                "quiescent_live_bytes": ep.quiescent_live_bytes,
+                "quiescent_rss_bytes": ep.quiescent_rss_bytes,
+                "quiescent_kb_per_device": kb_per_device,
+                "adj_rib_in_bytes": ep.adj_rib_in_bytes,
+                "adj_rib_out_bytes": ep.adj_rib_out_bytes,
+                "canonical_routes": ep.canonical_routes,
+                "peer_refs": ep.peer_refs,
                 "attr_clone_bytes": ep.attr_clone_bytes,
                 "batches_delivered": ep.batches_delivered,
                 "updates_coalesced": ep.updates_coalesced,
@@ -436,7 +520,74 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    if let Some(max_kb) = max_kb_per_device {
+        match check_kb_per_device(&report, max_kb) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: per-device byte budget: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// CI memory-budget gate: every *scale* fabric measured (≥
+/// [`SCALE_TIER_DEVICES`] devices) must hold its serial-row quiescent
+/// live-heap footprint under `max_kb` KB per device. Sub-scale fabrics are
+/// skipped — on a 22-device fabric the process baseline dominates and a
+/// per-device quotient measures the harness, not the RIBs.
+fn check_kb_per_device(report: &[serde_json::Value], max_kb: f64) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    let mut gated = 0;
+    for fabric in report {
+        let label = fabric.get("fabric").and_then(|v| v.as_str()).unwrap_or("?");
+        let devices = fabric.get("devices").and_then(|v| v.as_u64()).unwrap_or(0);
+        if (devices as usize) < SCALE_TIER_DEVICES {
+            lines.push(format!(
+                "byte budget '{label}': {devices} devices is below scale, skipped"
+            ));
+            continue;
+        }
+        let serial = fabric
+            .get("results")
+            .and_then(|v| v.as_array())
+            .and_then(|rows| {
+                rows.iter()
+                    .find(|r| r.get("workers").and_then(|v| v.as_u64()) == Some(1))
+            })
+            .ok_or_else(|| format!("fabric '{label}' has no serial row to gate on"))?;
+        let kb = serial
+            .get("quiescent_kb_per_device")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("fabric '{label}' carries no quiescent_kb_per_device"))?;
+        if kb <= 0.0 {
+            return Err(format!(
+                "fabric '{label}' reports a {kb:.1} KB/device quiescent footprint — \
+                 the live-heap reading failed, which must not pass as 'under budget'"
+            ));
+        }
+        if kb > max_kb {
+            return Err(format!(
+                "fabric '{label}' quiescent footprint {kb:.1} KB/device exceeds the \
+                 {max_kb:.1} KB/device budget ({devices} devices)"
+            ));
+        }
+        gated += 1;
+        lines.push(format!(
+            "byte budget '{label}': {kb:.1} KB/device quiescent across {devices} devices \
+             (budget {max_kb:.1})"
+        ));
+    }
+    if gated == 0 {
+        return Err("--max-kb-per-device was given but no scale fabric was measured".into());
+    }
+    Ok(lines)
 }
 
 /// CI speedup gate: the gated fabric must reach at least `min`× median-wall

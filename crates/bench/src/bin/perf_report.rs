@@ -18,7 +18,7 @@
 //! ```
 //!
 //! `--fabric` names an explicit tier list (`tiny`/`default`/`large`/`2k`/
-//! `xl`); the scale tiers report the arena and calendar-queue footprint
+//! `xl`/`xxl`); the scale tiers report the arena and calendar-queue footprint
 //! gauges plus process peak RSS alongside the usual diagnosis.
 //!
 //! `--trace-out` writes the traced runs as one Chrome Trace Event file
@@ -30,7 +30,7 @@
 //! when disabled.
 
 use centralium_bench::args::BenchArgs;
-use centralium_bench::tier::{parse_tier_list, peak_rss_bytes, TierSpec};
+use centralium_bench::tier::{parse_tier_list, peak_rss_bytes, reset_peak_rss, TierSpec};
 use centralium_bgp::attrs::well_known;
 use centralium_bgp::Prefix;
 use centralium_rpa::{
@@ -132,7 +132,7 @@ fn widest_prefixes(net: &SimNet) -> Vec<(String, u64)> {
         let dev = net.device(id).expect("listed device exists");
         for prefix in dev.daemon.known_prefixes() {
             *by_prefix.entry(prefix.to_string()).or_default() +=
-                dev.daemon.rib_in_routes(prefix).len() as u64;
+                dev.daemon.rib_in_count(prefix) as u64;
         }
     }
     let mut top: Vec<(String, u64)> = by_prefix.into_iter().collect();
@@ -150,6 +150,9 @@ struct Diagnosis {
 fn diagnose(label: &str, spec: &TierSpec, iters: usize, workers: usize) -> Diagnosis {
     let devices = spec.devices();
     println!("fabric '{label}' ({devices} devices), {workers} workers, {iters} iters:");
+    // Collapse the process-lifetime RSS high-water mark so this fabric's
+    // peak reading does not inherit an earlier (larger) fabric's.
+    reset_peak_rss();
 
     // Untraced medians: the honest speedup and the overhead-gate sample.
     let mut serial_walls: Vec<f64> = (0..iters).map(|_| episode(spec, 1).0).collect();
@@ -281,10 +284,15 @@ fn diagnose(label: &str, spec: &TierSpec, iters: usize, workers: usize) -> Diagn
     }
     let peak_rss = peak_rss_bytes().unwrap_or(0);
     println!(
-        "  memory:   adj-rib-in {} KB, interner {} paths / {} community sets, \
+        "  memory:   adj-rib-in {} KB / adj-rib-out {} KB \
+         ({} canonical routes fanned to {} peer refs), \
+         interner {} paths / {} community sets, \
          event-queue HWM {} ({} KB buckets), device arenas {} KB, \
          process peak RSS {:.1} MB",
         snap.gauge("mem.adj_rib_in_bytes") / 1024,
+        snap.gauge("mem.adj_rib_out_bytes") / 1024,
+        snap.gauge("bgp.canonical_routes"),
+        snap.gauge("bgp.peer_refs"),
         snap.gauge("mem.interner.as_paths"),
         snap.gauge("mem.interner.community_sets"),
         snap.gauge("mem.event_queue_hwm"),
@@ -376,6 +384,9 @@ fn diagnose(label: &str, spec: &TierSpec, iters: usize, workers: usize) -> Diagn
         "widest_prefixes": wide,
         "mem": {
             "adj_rib_in_bytes": snap.gauge("mem.adj_rib_in_bytes"),
+            "adj_rib_out_bytes": snap.gauge("mem.adj_rib_out_bytes"),
+            "canonical_routes": snap.gauge("bgp.canonical_routes"),
+            "peer_refs": snap.gauge("bgp.peer_refs"),
             "interner_as_paths": snap.gauge("mem.interner.as_paths"),
             "interner_community_sets": snap.gauge("mem.interner.community_sets"),
             "event_queue_hwm": snap.gauge("mem.event_queue_hwm"),

@@ -14,9 +14,12 @@
 //!   regenerators, one binary per paper artifact (see DESIGN.md's index);
 //! * [`args`] — the tiny flag parser behind the regenerators' chaos/smoke
 //!   options (`--chaos-seed`, `--rpc-loss`, `--tiny`, `--json FILE`);
-//! * [`tier`] — the named fabric tiers (`tiny` … `xl`) shared by
-//!   `bench_convergence` and `perf_report`, plus the peak-RSS probe.
+//! * [`tier`] — the named fabric tiers (`tiny` … `xxl`) shared by
+//!   `bench_convergence` and `perf_report`, plus the peak-RSS probe;
+//! * [`alloc`] — the counting global allocator behind the live-heap
+//!   footprint readings (installed per binary, not by this library).
 
+pub mod alloc;
 pub mod args;
 pub mod report;
 pub mod scenarios;

@@ -26,9 +26,10 @@ pub enum TierSpec {
 }
 
 /// Every tier name [`TierSpec::by_name`] accepts, in ascending size order —
-/// the order benches measure them in, which is what makes the process-wide
-/// peak-RSS reading after each tier attributable to that tier.
-pub const TIER_NAMES: &[&str] = &["tiny", "default", "large", "2k", "xl"];
+/// the order benches measure them in. Per-tier peak-RSS attribution relies
+/// on [`reset_peak_rss`] between tiers where the kernel supports it, with
+/// ascending order (and an `inherited` marker) as the fallback.
+pub const TIER_NAMES: &[&str] = &["tiny", "default", "large", "2k", "xl", "xxl"];
 
 impl TierSpec {
     /// Resolve a tier name. `None` for unknown names; see [`TIER_NAMES`].
@@ -39,6 +40,7 @@ impl TierSpec {
             "large" => TierSpec::FiveTier(FabricSpec::large()),
             "2k" => TierSpec::ThreeTier(ThreeTierSpec::ci_2k()),
             "xl" => TierSpec::ThreeTier(ThreeTierSpec::xl()),
+            "xxl" => TierSpec::ThreeTier(ThreeTierSpec::xxl()),
             _ => return None,
         })
     }
@@ -79,17 +81,69 @@ pub fn parse_tier_list(arg: &str) -> Result<Vec<(String, TierSpec)>, String> {
     Ok(out)
 }
 
+fn status_field_bytes(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Peak resident-set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), `None` where the proc interface is unavailable.
 ///
-/// The high-water mark is process-wide and monotonic, so per-tier readings
-/// are only attributable when tiers run in ascending size order (which the
-/// default tier list does): the largest tier's reading is its own peak.
+/// The high-water mark is process-wide and monotonic. For a per-tier
+/// reading, call [`reset_peak_rss`] before the tier runs; when the reset is
+/// unsupported the reading inherits every earlier tier's peak and consumers
+/// must mark it as such.
 pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    status_field_bytes("VmHWM:")
+}
+
+/// Current resident-set size in bytes (`VmRSS`) — the quiescent-footprint
+/// reading taken after a tier converges and transient state is dropped.
+pub fn current_rss_bytes() -> Option<u64> {
+    status_field_bytes("VmRSS:")
+}
+
+/// Hand freed-but-retained heap pages back to the kernel so a following
+/// [`current_rss_bytes`] read reflects live data, not allocator caching.
+///
+/// glibc's malloc keeps freed chunks mapped (fastbins, per-thread arenas,
+/// an untrimmed heap top); after a convergence episode churns through
+/// transient UPDATE queues those retained pages can dominate VmRSS and
+/// drown the signal a per-device byte budget is supposed to gate on.
+/// `malloc_trim(0)` walks every arena and releases what it can. No-op on
+/// non-glibc targets.
+pub fn trim_allocator() {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        extern "C" {
+            fn malloc_trim(pad: usize) -> std::os::raw::c_int;
+        }
+        // SAFETY: malloc_trim is async-signal-unsafe but thread-safe; it
+        // takes the arena locks itself and touches no Rust-visible state.
+        unsafe {
+            malloc_trim(0);
+        }
+    }
+}
+
+/// Reset the kernel's peak-RSS high-water mark to the current RSS by
+/// writing `5` to `/proc/self/clear_refs`. Returns whether the reset took
+/// effect (verified by re-reading `VmHWM`, not just by the write
+/// succeeding — some kernels/containers accept the write and ignore it).
+/// When this returns `false`, multi-tier peak readings inherit earlier
+/// tiers' peaks and must be reported as `inherited`.
+pub fn reset_peak_rss() -> bool {
+    if std::fs::write("/proc/self/clear_refs", "5").is_err() {
+        return false;
+    }
+    match (peak_rss_bytes(), current_rss_bytes()) {
+        // After a genuine reset the high-water mark collapses to ~current
+        // RSS. Allow a small margin for allocation between the two reads.
+        (Some(peak), Some(cur)) => peak <= cur + (cur / 8) + (16 << 20),
+        _ => false,
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +176,26 @@ mod tests {
         if cfg!(target_os = "linux") {
             let rss = peak_rss_bytes().expect("proc status readable");
             assert!(rss > 1024 * 1024, "a test process peaks above 1 MiB");
+            let cur = current_rss_bytes().expect("proc status readable");
+            assert!(cur > 0 && cur <= rss, "current RSS below the peak");
+        }
+    }
+
+    #[test]
+    fn reset_peak_rss_reports_honestly() {
+        if !cfg!(target_os = "linux") {
+            return;
+        }
+        // Spike the RSS well above steady-state, then reset: either the
+        // kernel honors clear_refs(5) and the peak collapses toward current
+        // RSS, or reset_peak_rss must say so by returning false.
+        let spike: Vec<u8> = vec![0xA5; 64 << 20];
+        std::hint::black_box(&spike);
+        drop(spike);
+        let before = peak_rss_bytes().unwrap();
+        if reset_peak_rss() {
+            let after = peak_rss_bytes().unwrap();
+            assert!(after <= before, "reset must never raise the peak");
         }
     }
 }

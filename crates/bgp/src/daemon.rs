@@ -7,10 +7,11 @@
 
 use crate::attrs::PathAttributes;
 use crate::decision::{best_route, compare_routes, multipath_set};
+use crate::flat::FlatMap;
 use crate::hooks::{AdvertiseChoice, RibPolicy};
 use crate::msg::UpdateMessage;
 use crate::policy::Policy;
-use crate::rib::{take_selected, AdjRibIn, LocRibEntry, Route};
+use crate::rib::{take_selected, AdjRibIn, AdjRibOut, LocRibEntry, RibFootprint, Route};
 use crate::types::{PeerId, Prefix};
 use crate::wcmp;
 use centralium_telemetry::{Counter, EventKind, Severity, Telemetry};
@@ -58,10 +59,13 @@ pub struct PeerConfig {
     pub peer: PeerId,
     /// Remote AS (for documentation/validation; loop checks use AS-path).
     pub remote_asn: Asn,
-    /// Import policy applied to routes received on this session.
-    pub import: Policy,
-    /// Export policy applied to routes advertised on this session.
-    pub export: Policy,
+    /// Import policy applied to routes received on this session. Shared —
+    /// a fabric configures a handful of canonical policy shapes across
+    /// ~millions of session endpoints, so sessions hold refs, not copies.
+    pub import: Arc<Policy>,
+    /// Export policy applied to routes advertised on this session. Shared,
+    /// same rationale as `import`.
+    pub export: Arc<Policy>,
     /// Physical capacity of the underlying link, in Gbps.
     pub link_capacity_gbps: f64,
 }
@@ -72,8 +76,8 @@ impl PeerConfig {
         PeerConfig {
             peer,
             remote_asn,
-            import: Policy::accept_all(),
-            export: Policy::accept_all(),
+            import: Policy::shared_accept_all(),
+            export: Policy::shared_accept_all(),
             link_capacity_gbps,
         }
     }
@@ -132,11 +136,11 @@ impl Deserialize for DaemonTelemetry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BgpDaemon {
     cfg: DaemonConfig,
-    peers: BTreeMap<PeerId, PeerState>,
+    peers: FlatMap<PeerId, PeerState>,
     adj_rib_in: AdjRibIn,
     originated: BTreeMap<Prefix, Arc<PathAttributes>>,
-    loc_rib: BTreeMap<Prefix, LocRibEntry>,
-    adj_rib_out: BTreeMap<(PeerId, Prefix), Arc<PathAttributes>>,
+    loc_rib: FlatMap<Prefix, LocRibEntry>,
+    adj_rib_out: AdjRibOut,
     /// Prefixes whose Loc-RIB entry was (re)installed or removed since the
     /// last FIB export — the per-prefix dirty marks behind
     /// [`BgpDaemon::take_fib_changes`]. Skipped on the wire: a restored
@@ -158,11 +162,11 @@ impl BgpDaemon {
     pub fn new(cfg: DaemonConfig) -> Self {
         BgpDaemon {
             cfg,
-            peers: BTreeMap::new(),
+            peers: FlatMap::new(),
             adj_rib_in: AdjRibIn::default(),
             originated: BTreeMap::new(),
-            loc_rib: BTreeMap::new(),
-            adj_rib_out: BTreeMap::new(),
+            loc_rib: FlatMap::new(),
+            adj_rib_out: AdjRibOut::default(),
             fib_dirty: BTreeSet::new(),
             fib_delta_ready: false,
             telemetry: DaemonTelemetry::default(),
@@ -210,25 +214,17 @@ impl BgpDaemon {
     ) -> Vec<(PeerId, UpdateMessage)> {
         let out = self.peer_down(peer, policy);
         self.peers.remove(&peer);
-        let keys: Vec<(PeerId, Prefix)> = self
-            .adj_rib_out
-            .keys()
-            .filter(|(p, _)| *p == peer)
-            .copied()
-            .collect();
-        for k in keys {
-            self.adj_rib_out.remove(&k);
-        }
+        self.adj_rib_out.flush_peer(peer);
         out
     }
 
     /// Replace the export policy of a session (used e.g. to drain a device
     /// by making its advertisements less preferred). Callers should follow
     /// with [`reevaluate_all`](Self::reevaluate_all) to push the change out.
-    pub fn set_export_policy(&mut self, peer: PeerId, policy: Policy) -> bool {
+    pub fn set_export_policy(&mut self, peer: PeerId, policy: impl Into<Arc<Policy>>) -> bool {
         match self.peers.get_mut(&peer) {
             Some(state) => {
-                state.cfg.export = policy;
+                state.cfg.export = policy.into();
                 true
             }
             None => false,
@@ -237,10 +233,10 @@ impl BgpDaemon {
 
     /// Replace the import policy of a session. Takes effect for routes
     /// received after the change (real BGP would need a route refresh).
-    pub fn set_import_policy(&mut self, peer: PeerId, policy: Policy) -> bool {
+    pub fn set_import_policy(&mut self, peer: PeerId, policy: impl Into<Arc<Policy>>) -> bool {
         match self.peers.get_mut(&peer) {
             Some(state) => {
-                state.cfg.import = policy;
+                state.cfg.import = policy.into();
                 true
             }
             None => false,
@@ -249,7 +245,7 @@ impl BgpDaemon {
 
     /// The import policy configured on a session.
     pub fn import_policy(&self, peer: PeerId) -> Option<&Policy> {
-        self.peers.get(&peer).map(|s| &s.cfg.import)
+        self.peers.get(&peer).map(|s| s.cfg.import.as_ref())
     }
 
     /// Prefixes currently originated by this speaker.
@@ -300,8 +296,9 @@ impl BgpDaemon {
         let mut out = UpdateMessage::default();
         for prefix in prefixes {
             if let Some(attrs) = self.desired_advertisement(peer, prefix, policy) {
-                self.adj_rib_out.insert((peer, prefix), attrs.clone());
-                out.merge(UpdateMessage::announce(prefix, attrs));
+                if let Some(canon) = self.adj_rib_out.advertise(peer, prefix, attrs) {
+                    out.merge(UpdateMessage::announce(prefix, canon));
+                }
             }
         }
         if out.is_empty() {
@@ -326,15 +323,7 @@ impl BgpDaemon {
         state.established = false;
         let affected = self.adj_rib_in.flush_peer(peer);
         // Drop pending out-state toward the dead session.
-        let keys: Vec<(PeerId, Prefix)> = self
-            .adj_rib_out
-            .keys()
-            .filter(|(p, _)| *p == peer)
-            .copied()
-            .collect();
-        for k in keys {
-            self.adj_rib_out.remove(&k);
-        }
+        self.adj_rib_out.flush_peer(peer);
         self.run_decisions(affected, policy)
     }
 
@@ -417,8 +406,10 @@ impl BgpDaemon {
                         // An identical re-announcement changes nothing;
                         // skipping the decision re-run keeps duplicate
                         // UPDATE floods (session resets, refresh replies)
-                        // off the hot path entirely.
-                        if self.adj_rib_in.insert(route) {
+                        // off the hot path entirely. The error arm is
+                        // unreachable (the route was just built with
+                        // `Route::learned`) but must not abort the daemon.
+                        if self.adj_rib_in.insert(route).unwrap_or(false) {
                             affected.push(prefix);
                         }
                     } else if self.adj_rib_in.remove(from, prefix) {
@@ -525,14 +516,27 @@ impl BgpDaemon {
         self.adj_rib_in.len()
     }
 
-    /// Routes currently held for `prefix` across sessions.
-    pub fn rib_in_routes(&self, prefix: Prefix) -> &[Route] {
-        self.adj_rib_in.routes_for(prefix)
+    /// Routes currently held for `prefix` across sessions, materialized out
+    /// of the compressed fan in ascending session-id order.
+    pub fn rib_in_routes(&self, prefix: Prefix) -> Vec<Route> {
+        self.adj_rib_in.routes_for(prefix).collect()
+    }
+
+    /// Number of routes held for `prefix`, without materializing them.
+    pub fn rib_in_count(&self, prefix: Prefix) -> usize {
+        self.adj_rib_in.routes_for_len(prefix)
+    }
+
+    /// Occupancy/byte footprints of the adjacency RIBs `(in, out)`, for the
+    /// `mem.adj_rib_{in,out}_bytes` and `bgp.canonical_routes`/
+    /// `bgp.peer_refs` gauges.
+    pub fn rib_footprints(&self) -> (RibFootprint, RibFootprint) {
+        (self.adj_rib_in.footprint(), self.adj_rib_out.footprint())
     }
 
     /// What we last advertised to `peer` for `prefix`.
     pub fn advertised_to(&self, peer: PeerId, prefix: Prefix) -> Option<&PathAttributes> {
-        self.adj_rib_out.get(&(peer, prefix)).map(Arc::as_ref)
+        self.adj_rib_out.attrs(peer, prefix).map(Arc::as_ref)
     }
 
     /// Everything currently advertised to `peer`, as one UPDATE — the reply
@@ -540,10 +544,8 @@ impl BgpDaemon {
     /// filtered state it now wants back.
     pub fn full_advertisement(&self, peer: PeerId) -> UpdateMessage {
         let mut out = UpdateMessage::default();
-        for ((p, prefix), attrs) in &self.adj_rib_out {
-            if *p == peer {
-                out.merge(UpdateMessage::announce(*prefix, Arc::clone(attrs)));
-            }
+        for (prefix, attrs) in self.adj_rib_out.advertisements(peer) {
+            out.merge(UpdateMessage::announce(prefix, Arc::clone(attrs)));
         }
         out
     }
@@ -615,13 +617,11 @@ impl BgpDaemon {
         let mut out: Vec<Route> = self
             .adj_rib_in
             .routes_for(prefix)
-            .iter()
             .filter(|r| {
                 r.learned_from
                     .map(|p| self.is_established(p))
                     .unwrap_or(false)
             })
-            .cloned()
             .collect();
         if let Some(attrs) = self.originated.get(&prefix) {
             out.push(Route::local(prefix, attrs.clone()));
@@ -830,7 +830,14 @@ impl BgpDaemon {
             }
         }
 
-        // Propagate advertisement changes to every established session.
+        // Propagate advertisement changes to every established session. The
+        // post-export attribute body is computed ONCE per decision — it does
+        // not depend on the peer (only split-horizon, the egress filter, and
+        // the per-session export policy do, and those run per peer below).
+        // Recomputing it inside the loop was quadratic clone churn at spine
+        // fan-in: 675 sessions × 675 re-decisions per wave, each a deep
+        // attrs clone + alloc.
+        let export_base = self.export_base(prefix);
         let peers: Vec<PeerId> = self
             .peers
             .iter()
@@ -838,9 +845,9 @@ impl BgpDaemon {
             .map(|(p, _)| *p)
             .collect();
         for peer in peers {
-            match self.desired_advertisement(peer, prefix, policy) {
+            match self.desired_advertisement_from(peer, prefix, policy, export_base.as_ref()) {
                 None => {
-                    if self.adj_rib_out.remove(&(peer, prefix)).is_some() {
+                    if self.adj_rib_out.withdraw(peer, prefix) {
                         per_peer
                             .entry(peer)
                             .or_default()
@@ -848,19 +855,18 @@ impl BgpDaemon {
                     }
                 }
                 Some(want) => {
-                    // Attr equality is cheap here: AS-path and communities
-                    // compare by interned id, so an unchanged advertisement
-                    // costs a few integer compares and no allocation.
-                    let unchanged = self
-                        .adj_rib_out
-                        .get(&(peer, prefix))
-                        .is_some_and(|cur| **cur == *want);
-                    if !unchanged {
-                        self.adj_rib_out.insert((peer, prefix), Arc::clone(&want));
+                    // The table detects unchanged advertisements cheaply
+                    // (interned attr ids + scalars) and returns its canonical
+                    // shared body on change — most peers export the same
+                    // post-policy attrs, so the per-peer allocation built by
+                    // `desired_advertisement` is immediately dropped in favor
+                    // of one body fanned out across the peer set, on the wire
+                    // included.
+                    if let Some(canon) = self.adj_rib_out.advertise(peer, prefix, want) {
                         per_peer
                             .entry(peer)
                             .or_default()
-                            .merge(UpdateMessage::announce(prefix, want));
+                            .merge(UpdateMessage::announce(prefix, canon));
                     }
                 }
             }
@@ -881,18 +887,38 @@ impl BgpDaemon {
         }
     }
 
-    /// The attributes we want advertised to `peer` for `prefix`, after export
-    /// transformation, export policy, split-horizon and the egress Route
-    /// Filter hook — or `None` to withdraw/suppress.
+    /// The peer-independent half of the egress computation: the advertised
+    /// route's attributes after export transformation (own-ASN prepend,
+    /// WCMP bandwidth relay). One deep clone per *decision* — the exported
+    /// attrs genuinely differ from the stored route's — shared across the
+    /// whole peer fan-out as a canonical `Arc`.
     ///
     /// Note: this consults the *installed* Loc-RIB entry, so it must be
     /// called after `loc_rib` is updated.
-    fn desired_advertisement(
+    fn export_base(&self, prefix: Prefix) -> Option<Arc<PathAttributes>> {
+        let entry = self.loc_rib.get(&prefix)?;
+        let route = entry.advertised.as_ref()?;
+        let mut attrs = (*route.attrs).clone();
+        attrs.prepend(self.cfg.asn, 1);
+        if self.cfg.wcmp_advertise {
+            attrs.link_bandwidth_gbps = self.effective_capacity(entry);
+        }
+        Some(Arc::new(attrs))
+    }
+
+    /// The attributes we want advertised to `peer` for `prefix` given a
+    /// precomputed [`BgpDaemon::export_base`] — applies the per-peer half:
+    /// split-horizon, the egress Route Filter hook, and the session's export
+    /// policy — or `None` to withdraw/suppress. Pass-through export policies
+    /// return the shared base `Arc` untouched.
+    fn desired_advertisement_from(
         &self,
         peer: PeerId,
         prefix: Prefix,
         policy: &dyn RibPolicy,
+        base: Option<&Arc<PathAttributes>>,
     ) -> Option<Arc<PathAttributes>> {
+        let base = base?;
         let entry = self.loc_rib.get(&prefix)?;
         let route = entry.advertised.as_ref()?;
         // Split-horizon: never advertise a route back over the session it was
@@ -905,15 +931,20 @@ impl BgpDaemon {
             return None;
         }
         let peer_state = self.peers.get(&peer)?;
-        // Export transformation: prepend own ASN. The one deep clone on the
-        // egress path — unavoidable, since the exported attrs genuinely
-        // differ from the stored route's.
-        let mut attrs = (*route.attrs).clone();
-        attrs.prepend(self.cfg.asn, 1);
-        if self.cfg.wcmp_advertise {
-            attrs.link_bandwidth_gbps = self.effective_capacity(entry);
-        }
-        peer_state.cfg.export.apply_shared(&prefix, Arc::new(attrs))
+        peer_state.cfg.export.apply_shared(&prefix, Arc::clone(base))
+    }
+
+    /// [`BgpDaemon::desired_advertisement_from`] with the base computed in
+    /// place — for single-peer paths (session bring-up replay) where there
+    /// is no fan-out to amortize.
+    fn desired_advertisement(
+        &self,
+        peer: PeerId,
+        prefix: Prefix,
+        policy: &dyn RibPolicy,
+    ) -> Option<Arc<PathAttributes>> {
+        let base = self.export_base(prefix);
+        self.desired_advertisement_from(peer, prefix, policy, base.as_ref())
     }
 }
 
@@ -1124,8 +1155,8 @@ mod tests {
         d.add_peer(PeerConfig {
             peer: PeerId(10),
             remote_asn: Asn(2),
-            import: Policy::reject_all(),
-            export: Policy::accept_all(),
+            import: Arc::new(Policy::reject_all()),
+            export: Policy::shared_accept_all(),
             link_capacity_gbps: 100.0,
         });
         d.peer_up(PeerId(10), &NativePolicy);
@@ -1145,8 +1176,8 @@ mod tests {
         d.add_peer(PeerConfig {
             peer: PeerId(20),
             remote_asn: Asn(3),
-            import: Policy::accept_all(),
-            export: Policy::reject_all(),
+            import: Policy::shared_accept_all(),
+            export: Arc::new(Policy::reject_all()),
             link_capacity_gbps: 100.0,
         });
         d.peer_up(PeerId(20), &NativePolicy);
@@ -1342,7 +1373,8 @@ mod tests {
             UpdateMessage::announce(p("0.0.0.0/0"), attrs.clone()),
             &NativePolicy,
         );
-        let stored = &d.rib_in_routes(p("0.0.0.0/0"))[0];
+        let routes = d.rib_in_routes(p("0.0.0.0/0"));
+        let stored = &routes[0];
         assert_eq!(
             stored.attrs.link_bandwidth_gbps, None,
             "NaN stripped at ingestion"

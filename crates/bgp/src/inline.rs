@@ -68,6 +68,53 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
         }
     }
 
+    /// All elements as one contiguous mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.buf[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// Insert an element at `index`, shifting everything after it right.
+    /// Spills to the heap when the inline buffer is full.
+    pub fn insert(&mut self, index: usize, value: T) {
+        assert!(index <= self.len(), "insert index out of bounds");
+        if self.spill.is_empty() && self.len < N {
+            self.buf.copy_within(index..self.len, index + 1);
+            self.buf[index] = value;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.buf[..self.len]);
+            }
+            self.spill.insert(index, value);
+        }
+    }
+
+    /// Remove and return the element at `index`, shifting everything after
+    /// it left. Spilled storage never moves back inline — but a spill
+    /// drained to empty must zero the inline length too, or the accessors
+    /// (which treat an empty spill as "still inline") would resurrect the
+    /// stale inline buffer.
+    pub fn remove(&mut self, index: usize) -> T {
+        assert!(index < self.len(), "remove index out of bounds");
+        if self.spill.is_empty() {
+            let value = self.buf[index];
+            self.buf.copy_within(index + 1..self.len, index);
+            self.len -= 1;
+            value
+        } else {
+            let value = self.spill.remove(index);
+            if self.spill.is_empty() {
+                self.len = 0;
+            }
+            value
+        }
+    }
+
     /// Copy the elements into a plain `Vec`.
     pub fn to_vec(&self) -> Vec<T> {
         self.as_slice().to_vec()
@@ -197,6 +244,46 @@ mod tests {
         assert_eq!(v.iter().sum::<usize>(), 3);
         assert_eq!(v[1], 1);
         assert_eq!(v.to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn insert_and_remove_inline() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        v.push(1);
+        v.push(3);
+        v.insert(1, 2);
+        v.insert(0, 0);
+        assert!(!v.spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.remove(1), 1);
+        assert_eq!(v.as_slice(), &[0, 2, 3]);
+        v.as_mut_slice()[0] = 9;
+        assert_eq!(v.as_slice(), &[9, 2, 3]);
+    }
+
+    #[test]
+    fn draining_a_spilled_vec_does_not_resurrect_inline_data() {
+        let mut v: InlineVec<u32, 2> = (0..3).collect();
+        assert!(v.spilled());
+        while !v.is_empty() {
+            v.remove(0);
+        }
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.as_slice(), &[] as &[u32]);
+        v.push(9);
+        assert_eq!(v.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn insert_spills_when_full() {
+        let mut v: InlineVec<u32, 2> = (0..2).collect();
+        v.insert(1, 7);
+        assert!(v.spilled());
+        assert_eq!(v.as_slice(), &[0, 7, 1]);
+        assert_eq!(v.remove(0), 0);
+        assert_eq!(v.as_slice(), &[7, 1]);
+        v.as_mut_slice()[1] = 5;
+        assert_eq!(v.as_slice(), &[7, 5]);
     }
 
     #[test]

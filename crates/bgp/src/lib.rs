@@ -34,6 +34,7 @@
 pub mod attrs;
 pub mod daemon;
 pub mod decision;
+pub mod flat;
 pub mod hooks;
 pub mod inline;
 pub mod msg;
@@ -51,5 +52,5 @@ pub use hooks::{AdvertiseChoice, NativePolicy, RibPolicy, Selection};
 pub use inline::InlineVec;
 pub use msg::{BgpMessage, UpdateMessage};
 pub use policy::{Action, MatchExpr, Policy, PolicyRule, PolicyVerdict};
-pub use rib::{LocRibEntry, Route};
+pub use rib::{AdjRibIn, AdjRibOut, LocRibEntry, LocalRouteError, RibFootprint, Route};
 pub use types::{PeerId, Prefix};

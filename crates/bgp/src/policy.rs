@@ -171,6 +171,16 @@ impl Policy {
         }
     }
 
+    /// The process-wide shared accept-all policy. Sessions configured with
+    /// no explicit policy all point at this one allocation — at 100k-device
+    /// scale the fabric holds ~1.5M session endpoints, and a per-endpoint
+    /// `Policy` (even an empty one) is measurable memory for zero
+    /// information.
+    pub fn shared_accept_all() -> std::sync::Arc<Policy> {
+        static SHARED: std::sync::OnceLock<std::sync::Arc<Policy>> = std::sync::OnceLock::new();
+        std::sync::Arc::clone(SHARED.get_or_init(|| std::sync::Arc::new(Policy::accept_all())))
+    }
+
     /// Reject everything.
     pub fn reject_all() -> Self {
         Policy {
@@ -224,18 +234,76 @@ impl Policy {
         prefix: &Prefix,
         attrs: Arc<PathAttributes>,
     ) -> Option<Arc<PathAttributes>> {
+        fn finish(
+            owned: Option<PathAttributes>,
+            attrs: Arc<PathAttributes>,
+        ) -> Arc<PathAttributes> {
+            match owned {
+                Some(o) if o != *attrs => Arc::new(o),
+                _ => attrs,
+            }
+        }
         if self.rules.is_empty() {
             return self.default_accept.then_some(attrs);
         }
-        match self.apply(prefix, &attrs) {
-            PolicyVerdict::Accept(out) => {
-                if out == *attrs {
-                    Some(attrs)
-                } else {
-                    Some(Arc::new(out))
+        // Copy-on-write: `owned` materializes only when an action genuinely
+        // changes something. No-op actions — re-adding a community that is
+        // already present (the steady state of the valley-free import
+        // marking), removing an absent one, setting an unchanged scalar —
+        // never force the copy, so per-delivery policy evaluation costs
+        // zero allocations once the fabric is in steady state.
+        let mut owned: Option<PathAttributes> = None;
+        for rule in &self.rules {
+            if !rule.matches.matches(prefix, owned.as_ref().unwrap_or(&attrs)) {
+                continue;
+            }
+            for action in &rule.actions {
+                match action {
+                    Action::Accept => return Some(finish(owned, attrs)),
+                    Action::Reject => return None,
+                    Action::SetLocalPref(v) => {
+                        if owned.as_ref().unwrap_or(&attrs).local_pref != *v {
+                            owned.get_or_insert_with(|| (*attrs).clone()).local_pref = *v;
+                        }
+                    }
+                    Action::Prepend(asn, n) => {
+                        if *n > 0 {
+                            owned
+                                .get_or_insert_with(|| (*attrs).clone())
+                                .prepend(*asn, *n as usize);
+                        }
+                    }
+                    Action::AddCommunity(c) => {
+                        if !owned.as_ref().unwrap_or(&attrs).has_community(*c) {
+                            owned.get_or_insert_with(|| (*attrs).clone()).add_community(*c);
+                        }
+                    }
+                    Action::RemoveCommunity(c) => {
+                        if owned.as_ref().unwrap_or(&attrs).has_community(*c) {
+                            owned
+                                .get_or_insert_with(|| (*attrs).clone())
+                                .remove_community(*c);
+                        }
+                    }
+                    Action::SetMed(v) => {
+                        if owned.as_ref().unwrap_or(&attrs).med != *v {
+                            owned.get_or_insert_with(|| (*attrs).clone()).med = *v;
+                        }
+                    }
+                    Action::SetLinkBandwidth(bw) => {
+                        if owned.as_ref().unwrap_or(&attrs).link_bandwidth_gbps != Some(*bw) {
+                            owned
+                                .get_or_insert_with(|| (*attrs).clone())
+                                .link_bandwidth_gbps = Some(*bw);
+                        }
+                    }
                 }
             }
-            PolicyVerdict::Reject => None,
+        }
+        if self.default_accept {
+            Some(finish(owned, attrs))
+        } else {
+            None
         }
     }
 }

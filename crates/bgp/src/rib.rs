@@ -1,9 +1,24 @@
 //! Routing Information Bases: Adj-RIB-In, Loc-RIB and Adj-RIB-Out.
+//!
+//! Both adjacency RIBs are **fan-in compressed**: a prefix's state is one
+//! canonical-route table (one shared attribute body per distinct attribute
+//! class) plus a sorted small-vector of `(peer, class-index)` references.
+//! N neighbors announcing the same attributes cost one route body plus N
+//! 16-byte refs instead of N full routes — the difference between O(prefixes
+//! × neighbors) and O(prefixes × attr-classes) route bodies, which is what
+//! lets spine-layer devices with hundreds of sessions fit a per-device byte
+//! budget at 100k-device fabrics. Candidate gathering materializes `Route`
+//! values on the fly (an `Arc` bump per route, never a deep copy) in
+//! ascending session-id order — byte-identical to the per-peer slab layout
+//! this replaces, a property the proptest equivalence suite pins against a
+//! reference implementation of the old slab.
 
 use crate::attrs::PathAttributes;
+use crate::flat::FlatMap;
+use crate::inline::InlineVec;
 use crate::types::{PeerId, Prefix};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 
 /// A route as stored in the Adj-RIB-In: post-import-policy attributes plus
@@ -49,78 +64,236 @@ impl Route {
     }
 }
 
-/// Per-peer received routes (after import policy, before path selection).
+/// Attempt to store a route without a learning session in an adjacency RIB.
 ///
-/// Stored as one slab of routes per prefix, each sorted by session id — the
-/// decision process's candidate gathering ([`routes_for`](Self::routes_for))
-/// is a single map lookup returning a contiguous slice, and insertion is a
-/// binary search within the handful of peers advertising a prefix (instead
-/// of the former `(peer, prefix)` double-index BTreeMap, which paid a
-/// full-height tree walk plus a secondary-index update per UPDATE).
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
-pub struct AdjRibIn {
-    routes: BTreeMap<Prefix, Vec<Route>>,
-    total: usize,
+/// The adjacency RIBs index state by `(peer, prefix)`, so a locally-
+/// originated route (`learned_from = None`) has no slot there — originations
+/// live in the daemon's `originated` table instead. Surfaced as a typed
+/// error (not a panic) so fuzz-shaped or wire-driven input can never abort a
+/// daemon; native call sites construct routes via [`Route::learned`] and
+/// treat the error as unreachable-but-ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalRouteError {
+    /// The prefix of the rejected route.
+    pub prefix: Prefix,
 }
 
-fn slab_peer(route: &Route) -> PeerId {
-    route.learned_from.expect("AdjRibIn stores learned routes")
+impl fmt::Display for LocalRouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "route for {} has no learning session: adjacency RIBs store learned routes only",
+            self.prefix
+        )
+    }
 }
 
-impl AdjRibIn {
-    /// Re-sort the per-prefix slabs and recount. The slab invariants are
-    /// maintained on every mutation, so this is defensive post-deserialize
-    /// hygiene (kept for API compatibility with the old double-index layout,
-    /// whose secondary index genuinely needed rebuilding).
-    pub fn rebuild_indices(&mut self) {
-        let mut total = 0;
-        for slab in self.routes.values_mut() {
-            slab.sort_by_key(|r| r.learned_from);
-            total += slab.len();
+impl std::error::Error for LocalRouteError {}
+
+/// Memory/occupancy summary of one adjacency RIB, for the `mem.*` and
+/// `bgp.canonical_routes`/`bgp.peer_refs` telemetry gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RibFootprint {
+    /// Canonical attribute-class bodies stored (post fan-in dedup).
+    pub canonical_routes: usize,
+    /// `(peer, class)` references stored — what [`AdjRibIn::len`] counts.
+    pub peer_refs: usize,
+    /// Estimated resident bytes: per-prefix fan structures (one flat-map
+    /// slot each), class tables (capacity-based), shared attribute bodies,
+    /// and spilled peer-ref storage.
+    pub bytes: usize,
+}
+
+impl RibFootprint {
+    fn absorb(&mut self, fan: &Fan) {
+        self.canonical_routes += fan.classes.len();
+        self.peer_refs += fan.peers.len();
+        self.bytes += std::mem::size_of::<Prefix>() + std::mem::size_of::<Fan>();
+        self.bytes += fan.classes.capacity() * std::mem::size_of::<CanonClass>();
+        // One shared body per class; the interned sequences inside it are
+        // process-global and accounted by the interner gauges.
+        self.bytes += fan.classes.len() * std::mem::size_of::<PathAttributes>();
+        if fan.peers.spilled() {
+            self.bytes += fan.peers.len() * std::mem::size_of::<PeerRef>();
         }
-        self.total = total;
+    }
+}
+
+/// One canonical attribute class within a prefix's fan: the shared route
+/// body plus how many peer refs currently point at it.
+#[derive(Debug, Clone)]
+struct CanonClass {
+    attrs: Arc<PathAttributes>,
+    refs: u32,
+}
+
+/// A compact peer→class reference: 16 bytes per announcing session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PeerRef {
+    peer: PeerId,
+    class: u32,
+}
+
+impl Default for PeerRef {
+    fn default() -> Self {
+        PeerRef {
+            peer: PeerId(0),
+            class: 0,
+        }
+    }
+}
+
+/// Outcome of pointing a peer's ref at an attribute class.
+enum FanSet {
+    /// The peer already referenced a content-equal class; nothing changed.
+    Unchanged,
+    /// The peer's ref was inserted or retargeted.
+    Changed,
+}
+
+/// The per-prefix compressed fan shared by both adjacency RIBs: canonical
+/// classes in first-seen order, peer refs sorted by session id.
+///
+/// Invariants: `classes[i].refs` equals the number of peer refs with
+/// `class == i`; zero-ref classes are removed eagerly (with refs above the
+/// hole shifted down); `peers` is strictly sorted by `peer`.
+#[derive(Debug, Clone, Default)]
+struct Fan {
+    classes: Vec<CanonClass>,
+    peers: InlineVec<PeerRef, 4>,
+}
+
+impl Fan {
+    fn position(&self, peer: PeerId) -> Result<usize, usize> {
+        self.peers.as_slice().binary_search_by_key(&peer, |r| r.peer)
     }
 
-    /// Insert or replace the route for `(peer, prefix)`. Returns whether the
-    /// stored state changed — an identical re-announcement (cheap to detect:
-    /// interned attribute ids plus scalars) is a no-op the caller can skip
-    /// re-running decisions for.
-    pub fn insert(&mut self, route: Route) -> bool {
-        let peer = slab_peer(&route);
-        let slab = self.routes.entry(route.prefix).or_default();
-        match slab.binary_search_by_key(&peer, slab_peer) {
-            Ok(i) => {
-                if slab[i] == route {
-                    false
-                } else {
-                    slab[i] = route;
-                    true
+    /// Class index whose body is content-equal to `attrs`, interning a new
+    /// class when none matches. Bumps the refcount.
+    fn intern(&mut self, attrs: &Arc<PathAttributes>) -> u32 {
+        // Content equality is cheap: interned sequence ids plus scalars.
+        if let Some(i) = self.classes.iter().position(|c| *c.attrs == **attrs) {
+            self.classes[i].refs += 1;
+            return i as u32;
+        }
+        self.classes.push(CanonClass {
+            attrs: Arc::clone(attrs),
+            refs: 1,
+        });
+        (self.classes.len() - 1) as u32
+    }
+
+    /// Drop one reference to `class`, removing the class (and shifting every
+    /// ref above the hole down) when it was the last.
+    fn release(&mut self, class: u32) {
+        let i = class as usize;
+        self.classes[i].refs -= 1;
+        if self.classes[i].refs == 0 {
+            self.classes.remove(i);
+            for r in self.peers.as_mut_slice() {
+                if r.class > class {
+                    r.class -= 1;
                 }
+            }
+        }
+    }
+
+    /// Point `peer` at the class for `attrs`, interning/retargeting as
+    /// needed. Detects identical re-announcements without touching refcounts.
+    fn set(&mut self, peer: PeerId, attrs: &Arc<PathAttributes>) -> FanSet {
+        match self.position(peer) {
+            Ok(i) => {
+                let old = self.peers.as_slice()[i].class;
+                if *self.classes[old as usize].attrs == **attrs {
+                    return FanSet::Unchanged;
+                }
+                let new = self.intern(attrs);
+                self.peers.as_mut_slice()[i].class = new;
+                self.release(old);
+                FanSet::Changed
             }
             Err(i) => {
-                slab.insert(i, route);
-                self.total += 1;
-                true
+                let class = self.intern(attrs);
+                self.peers.insert(i, PeerRef { peer, class });
+                FanSet::Changed
             }
         }
     }
 
-    /// Remove the route for `(peer, prefix)`; returns whether one existed.
-    pub fn remove(&mut self, peer: PeerId, prefix: Prefix) -> bool {
-        let Some(slab) = self.routes.get_mut(&prefix) else {
-            return false;
-        };
-        match slab.binary_search_by_key(&peer, slab_peer) {
+    /// Remove `peer`'s ref if present; `true` when one existed.
+    fn unset(&mut self, peer: PeerId) -> bool {
+        match self.position(peer) {
             Ok(i) => {
-                slab.remove(i);
-                self.total -= 1;
-                if slab.is_empty() {
-                    self.routes.remove(&prefix);
-                }
+                let r = self.peers.remove(i);
+                self.release(r.class);
                 true
             }
             Err(_) => false,
         }
+    }
+
+    fn get(&self, peer: PeerId) -> Option<&Arc<PathAttributes>> {
+        let i = self.position(peer).ok()?;
+        Some(&self.classes[self.peers.as_slice()[i].class as usize].attrs)
+    }
+
+    fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// `(peer, shared body)` pairs in ascending session-id order.
+    fn iter(&self) -> impl Iterator<Item = (PeerId, &Arc<PathAttributes>)> {
+        self.peers
+            .as_slice()
+            .iter()
+            .map(|r| (r.peer, &self.classes[r.class as usize].attrs))
+    }
+}
+
+/// Per-peer received routes (after import policy, before path selection),
+/// fan-in compressed (see the module docs).
+#[derive(Debug, Default, Clone)]
+pub struct AdjRibIn {
+    prefixes: FlatMap<Prefix, Fan>,
+    total: usize,
+}
+
+impl AdjRibIn {
+    /// Insert or replace the route for `(peer, prefix)`. Returns whether the
+    /// stored state changed — an identical re-announcement (cheap to detect:
+    /// interned attribute ids plus scalars) is a no-op the caller can skip
+    /// re-running decisions for. A route without a learning session has no
+    /// `(peer, prefix)` slot and is rejected as a typed error.
+    pub fn insert(&mut self, route: Route) -> Result<bool, LocalRouteError> {
+        let Some(peer) = route.learned_from else {
+            return Err(LocalRouteError {
+                prefix: route.prefix,
+            });
+        };
+        let fan = self.prefixes.entry_or_default(route.prefix);
+        let had = fan.len();
+        let outcome = fan.set(peer, &route.attrs);
+        self.total += fan.len() - had;
+        Ok(matches!(outcome, FanSet::Changed))
+    }
+
+    /// Remove the route for `(peer, prefix)`; returns whether one existed.
+    pub fn remove(&mut self, peer: PeerId, prefix: Prefix) -> bool {
+        let Some(fan) = self.prefixes.get_mut(&prefix) else {
+            return false;
+        };
+        if !fan.unset(peer) {
+            return false;
+        }
+        self.total -= 1;
+        if fan.is_empty() {
+            self.prefixes.remove(&prefix);
+        }
+        true
     }
 
     /// Remove every route learned from `peer`, returning the affected
@@ -128,13 +301,12 @@ impl AdjRibIn {
     pub fn flush_peer(&mut self, peer: PeerId) -> Vec<Prefix> {
         let mut prefixes = Vec::new();
         let mut removed = 0;
-        self.routes.retain(|prefix, slab| {
-            if let Ok(i) = slab.binary_search_by_key(&peer, slab_peer) {
-                slab.remove(i);
+        self.prefixes.retain(|prefix, fan| {
+            if fan.unset(peer) {
                 removed += 1;
                 prefixes.push(*prefix);
             }
-            !slab.is_empty()
+            !fan.is_empty()
         });
         self.total -= removed;
         prefixes
@@ -146,38 +318,67 @@ impl AdjRibIn {
     pub fn purge(&mut self, mut keep: impl FnMut(&Route) -> bool) -> Vec<Prefix> {
         let mut prefixes = Vec::new();
         let mut removed = 0;
-        self.routes.retain(|prefix, slab| {
-            let before = slab.len();
-            slab.retain(|r| keep(r));
-            if slab.len() != before {
-                removed += before - slab.len();
+        self.prefixes.retain(|prefix, fan| {
+            // Judge every ref first (in peer order, like the old slab's
+            // `retain`), then drop rejects back-to-front so ref positions
+            // stay valid while classes are released.
+            let mut evict: Vec<usize> = Vec::new();
+            for (i, (peer, attrs)) in fan.iter().enumerate() {
+                let route = Route {
+                    prefix: *prefix,
+                    attrs: Arc::clone(attrs),
+                    learned_from: Some(peer),
+                };
+                if !keep(&route) {
+                    evict.push(i);
+                }
+            }
+            if !evict.is_empty() {
+                for &i in evict.iter().rev() {
+                    let r = fan.peers.remove(i);
+                    fan.release(r.class);
+                }
+                removed += evict.len();
                 prefixes.push(*prefix);
             }
-            !slab.is_empty()
+            !fan.is_empty()
         });
         self.total -= removed;
         prefixes
     }
 
-    /// All routes toward `prefix`, across peers (sorted by session id).
-    pub fn routes_for(&self, prefix: Prefix) -> &[Route] {
-        self.routes.get(&prefix).map(Vec::as_slice).unwrap_or(&[])
+    /// All routes toward `prefix`, across peers, in ascending session-id
+    /// order. Routes are materialized on the fly from the canonical table —
+    /// each yielded `Route` costs one `Arc` bump.
+    pub fn routes_for(&self, prefix: Prefix) -> RoutesFor<'_> {
+        RoutesFor {
+            prefix,
+            fan: self.prefixes.get(&prefix),
+            i: 0,
+        }
     }
 
-    /// The route learned from `peer` for `prefix`, if any.
-    pub fn route(&self, peer: PeerId, prefix: Prefix) -> Option<&Route> {
-        let slab = self.routes.get(&prefix)?;
-        slab.binary_search_by_key(&peer, slab_peer)
-            .ok()
-            .map(|i| &slab[i])
+    /// Number of routes held for `prefix` (without materializing them).
+    pub fn routes_for_len(&self, prefix: Prefix) -> usize {
+        self.prefixes.get(&prefix).map(Fan::len).unwrap_or(0)
+    }
+
+    /// The route learned from `peer` for `prefix`, if any (materialized).
+    pub fn route(&self, peer: PeerId, prefix: Prefix) -> Option<Route> {
+        let attrs = self.prefixes.get(&prefix)?.get(peer)?;
+        Some(Route {
+            prefix,
+            attrs: Arc::clone(attrs),
+            learned_from: Some(peer),
+        })
     }
 
     /// All distinct prefixes present.
     pub fn prefixes(&self) -> Vec<Prefix> {
-        self.routes.keys().copied().collect()
+        self.prefixes.keys().copied().collect()
     }
 
-    /// Total stored routes.
+    /// Total stored routes (peer refs).
     pub fn len(&self) -> usize {
         self.total
     }
@@ -186,11 +387,204 @@ impl AdjRibIn {
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }
+
+    /// Occupancy and byte-footprint summary for telemetry.
+    pub fn footprint(&self) -> RibFootprint {
+        let mut f = RibFootprint::default();
+        for fan in self.prefixes.values() {
+            f.absorb(fan);
+        }
+        f
+    }
+}
+
+// Serialized as the flat route list in iteration order (prefix-major, peer
+// ascending); deserialization re-compresses. The wire shape is route-level,
+// so the fan layout can evolve without breaking stored snapshots.
+impl Serialize for AdjRibIn {
+    fn serialize(&self) -> serde::Value {
+        let mut out = Vec::with_capacity(self.total);
+        for (prefix, fan) in self.prefixes.iter() {
+            for (peer, attrs) in fan.iter() {
+                out.push(
+                    Route {
+                        prefix: *prefix,
+                        attrs: Arc::clone(attrs),
+                        learned_from: Some(peer),
+                    }
+                    .serialize(),
+                );
+            }
+        }
+        serde::Value::Array(out)
+    }
+}
+
+impl Deserialize for AdjRibIn {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let routes = Vec::<Route>::deserialize(v)?;
+        let mut rib = AdjRibIn::default();
+        for route in routes {
+            rib.insert(route).map_err(serde::Error::custom)?;
+        }
+        Ok(rib)
+    }
+}
+
+/// Iterator over the materialized routes of one prefix, ascending by session
+/// id (the candidate-gathering order the decision process depends on).
+pub struct RoutesFor<'a> {
+    prefix: Prefix,
+    fan: Option<&'a Fan>,
+    i: usize,
+}
+
+impl Iterator for RoutesFor<'_> {
+    type Item = Route;
+
+    fn next(&mut self) -> Option<Route> {
+        let fan = self.fan?;
+        let r = fan.peers.as_slice().get(self.i)?;
+        self.i += 1;
+        Some(Route {
+            prefix: self.prefix,
+            attrs: Arc::clone(&fan.classes[r.class as usize].attrs),
+            learned_from: Some(r.peer),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.fan.map(Fan::len).unwrap_or(0) - self.i.min(self.fan.map(Fan::len).unwrap_or(0));
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RoutesFor<'_> {}
+
+/// Per-peer advertised state, fan-out compressed: one canonical exported
+/// attribute body per class, fanned out to the set of peers it was sent to.
+/// The daemon's egress path exports the same post-policy attributes to most
+/// sessions, so a prefix advertised to N peers costs one body + N refs.
+#[derive(Debug, Default, Clone)]
+pub struct AdjRibOut {
+    prefixes: FlatMap<Prefix, Fan>,
+    total: usize,
+}
+
+impl AdjRibOut {
+    /// Record that `attrs` is now advertised to `peer` for `prefix`.
+    /// Returns the canonical shared body when the stored state changed (the
+    /// caller puts exactly that `Arc` on the wire, so in-flight UPDATEs
+    /// share the table's allocation), or `None` when the peer already held
+    /// content-equal attributes (nothing to send).
+    pub fn advertise(
+        &mut self,
+        peer: PeerId,
+        prefix: Prefix,
+        attrs: Arc<PathAttributes>,
+    ) -> Option<Arc<PathAttributes>> {
+        let fan = self.prefixes.entry_or_default(prefix);
+        let had = fan.len();
+        let outcome = fan.set(peer, &attrs);
+        self.total += fan.len() - had;
+        match outcome {
+            FanSet::Unchanged => None,
+            FanSet::Changed => fan.get(peer).map(Arc::clone),
+        }
+    }
+
+    /// Drop the advertisement state toward `peer` for `prefix`; returns
+    /// whether one existed (i.e. whether a withdraw must be sent).
+    pub fn withdraw(&mut self, peer: PeerId, prefix: Prefix) -> bool {
+        let Some(fan) = self.prefixes.get_mut(&prefix) else {
+            return false;
+        };
+        if !fan.unset(peer) {
+            return false;
+        }
+        self.total -= 1;
+        if fan.is_empty() {
+            self.prefixes.remove(&prefix);
+        }
+        true
+    }
+
+    /// Drop all state toward `peer` (session removed or reset).
+    pub fn flush_peer(&mut self, peer: PeerId) {
+        let mut removed = 0;
+        self.prefixes.retain(|_, fan| {
+            if fan.unset(peer) {
+                removed += 1;
+            }
+            !fan.is_empty()
+        });
+        self.total -= removed;
+    }
+
+    /// What is currently advertised to `peer` for `prefix`, if anything.
+    pub fn attrs(&self, peer: PeerId, prefix: Prefix) -> Option<&Arc<PathAttributes>> {
+        self.prefixes.get(&prefix)?.get(peer)
+    }
+
+    /// Everything advertised to `peer`, as `(prefix, shared body)` pairs in
+    /// ascending prefix order.
+    pub fn advertisements(
+        &self,
+        peer: PeerId,
+    ) -> impl Iterator<Item = (Prefix, &Arc<PathAttributes>)> {
+        self.prefixes
+            .iter()
+            .filter_map(move |(prefix, fan)| fan.get(peer).map(|attrs| (*prefix, attrs)))
+    }
+
+    /// Total advertised `(peer, prefix)` refs.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Occupancy and byte-footprint summary for telemetry.
+    pub fn footprint(&self) -> RibFootprint {
+        let mut f = RibFootprint::default();
+        for fan in self.prefixes.values() {
+            f.absorb(fan);
+        }
+        f
+    }
+}
+
+// Same route-level wire shape as `AdjRibIn`: `(peer, prefix, attrs)` triples
+// in iteration order, re-compressed on the way in.
+impl Serialize for AdjRibOut {
+    fn serialize(&self) -> serde::Value {
+        let mut out = Vec::with_capacity(self.total);
+        for (prefix, fan) in self.prefixes.iter() {
+            for (peer, attrs) in fan.iter() {
+                out.push((peer, *prefix, Arc::clone(attrs)).serialize());
+            }
+        }
+        serde::Value::Array(out)
+    }
+}
+
+impl Deserialize for AdjRibOut {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let triples = Vec::<(PeerId, Prefix, Arc<PathAttributes>)>::deserialize(v)?;
+        let mut rib = AdjRibOut::default();
+        for (peer, prefix, attrs) in triples {
+            rib.advertise(peer, prefix, attrs);
+        }
+        Ok(rib)
+    }
 }
 
 /// Move the routes at `indices` out of an owned candidate set.
 ///
-/// The decision process gathers candidates once (one clone out of the
+/// The decision process gathers candidates once (materialized out of the
 /// Adj-RIB-In) and then used to clone each selected route a *second* time
 /// when assembling the [`LocRibEntry`]. Since the candidate set is discarded
 /// after selection, the selected routes can simply be moved out. Indices must
@@ -254,17 +648,21 @@ mod tests {
         Route::learned(p(prefix), PathAttributes::default(), PeerId(peer))
     }
 
+    fn routes(rib: &AdjRibIn, prefix: &str) -> Vec<Route> {
+        rib.routes_for(p(prefix)).collect()
+    }
+
     #[test]
     fn insert_replace_and_lookup() {
         let mut rib = AdjRibIn::default();
-        assert!(rib.insert(route(1, "10.0.0.0/8")));
+        assert!(rib.insert(route(1, "10.0.0.0/8")).unwrap());
         assert!(
-            !rib.insert(route(1, "10.0.0.0/8")),
+            !rib.insert(route(1, "10.0.0.0/8")).unwrap(),
             "identical re-insert reports no change"
         );
         let mut newer = route(1, "10.0.0.0/8");
         std::sync::Arc::make_mut(&mut newer.attrs).local_pref = 500;
-        assert!(rib.insert(newer));
+        assert!(rib.insert(newer).unwrap());
         assert_eq!(rib.len(), 1, "same (peer, prefix) replaces");
         assert_eq!(
             rib.route(PeerId(1), p("10.0.0.0/8"))
@@ -278,20 +676,71 @@ mod tests {
     #[test]
     fn routes_for_collects_across_peers() {
         let mut rib = AdjRibIn::default();
-        rib.insert(route(1, "10.0.0.0/8"));
-        rib.insert(route(2, "10.0.0.0/8"));
-        rib.insert(route(1, "11.0.0.0/8"));
-        assert_eq!(rib.routes_for(p("10.0.0.0/8")).len(), 2);
-        assert_eq!(rib.routes_for(p("11.0.0.0/8")).len(), 1);
+        rib.insert(route(1, "10.0.0.0/8")).unwrap();
+        rib.insert(route(2, "10.0.0.0/8")).unwrap();
+        rib.insert(route(1, "11.0.0.0/8")).unwrap();
+        assert_eq!(routes(&rib, "10.0.0.0/8").len(), 2);
+        assert_eq!(rib.routes_for_len(p("10.0.0.0/8")), 2);
+        assert_eq!(routes(&rib, "11.0.0.0/8").len(), 1);
         assert_eq!(rib.prefixes(), vec![p("10.0.0.0/8"), p("11.0.0.0/8")]);
+    }
+
+    #[test]
+    fn fan_in_shares_one_body_across_peers() {
+        let mut rib = AdjRibIn::default();
+        for peer in 1..=64 {
+            rib.insert(route(peer, "10.0.0.0/8")).unwrap();
+        }
+        let f = rib.footprint();
+        assert_eq!(f.peer_refs, 64);
+        assert_eq!(
+            f.canonical_routes, 1,
+            "64 identical announcements share one canonical body"
+        );
+        // The yielded routes all point at the same allocation.
+        let all = routes(&rib, "10.0.0.0/8");
+        assert!(all
+            .windows(2)
+            .all(|w| Arc::ptr_eq(&w[0].attrs, &w[1].attrs)));
+        // Iteration order is ascending by session id.
+        let peers: Vec<u64> = all.iter().map(|r| r.learned_from.unwrap().0).collect();
+        assert_eq!(peers, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn class_release_remaps_refs() {
+        let mut rib = AdjRibIn::default();
+        // Three classes: peers 1-2 share class A, peer 3 holds class B,
+        // peer 4 holds class C.
+        let mut b = route(3, "10.0.0.0/8");
+        Arc::make_mut(&mut b.attrs).local_pref = 200;
+        let mut c = route(4, "10.0.0.0/8");
+        Arc::make_mut(&mut c.attrs).local_pref = 300;
+        rib.insert(route(1, "10.0.0.0/8")).unwrap();
+        rib.insert(route(2, "10.0.0.0/8")).unwrap();
+        rib.insert(b).unwrap();
+        rib.insert(c.clone()).unwrap();
+        assert_eq!(rib.footprint().canonical_routes, 3);
+        // Dropping peer 3's route removes class B; peer 4 must still
+        // resolve to its local_pref=300 body after the index shift.
+        assert!(rib.remove(PeerId(3), p("10.0.0.0/8")));
+        assert_eq!(rib.footprint().canonical_routes, 2);
+        assert_eq!(
+            rib.route(PeerId(4), p("10.0.0.0/8")).unwrap().attrs.local_pref,
+            300
+        );
+        assert_eq!(
+            rib.route(PeerId(1), p("10.0.0.0/8")).unwrap().attrs.local_pref,
+            PathAttributes::DEFAULT_LOCAL_PREF
+        );
     }
 
     #[test]
     fn flush_peer_removes_only_that_peer() {
         let mut rib = AdjRibIn::default();
-        rib.insert(route(1, "10.0.0.0/8"));
-        rib.insert(route(1, "11.0.0.0/8"));
-        rib.insert(route(2, "10.0.0.0/8"));
+        rib.insert(route(1, "10.0.0.0/8")).unwrap();
+        rib.insert(route(1, "11.0.0.0/8")).unwrap();
+        rib.insert(route(2, "10.0.0.0/8")).unwrap();
         let flushed = rib.flush_peer(PeerId(1));
         assert_eq!(flushed.len(), 2);
         assert_eq!(rib.len(), 1);
@@ -301,10 +750,11 @@ mod tests {
     #[test]
     fn remove_single() {
         let mut rib = AdjRibIn::default();
-        rib.insert(route(1, "10.0.0.0/8"));
+        rib.insert(route(1, "10.0.0.0/8")).unwrap();
         assert!(rib.remove(PeerId(1), p("10.0.0.0/8")));
         assert!(!rib.remove(PeerId(1), p("10.0.0.0/8")));
         assert!(rib.is_empty());
+        assert_eq!(rib.footprint(), RibFootprint::default());
     }
 
     #[test]
@@ -319,16 +769,16 @@ mod tests {
     }
 
     #[test]
-    fn secondary_index_tracks_all_mutations() {
+    fn all_mutations_keep_counts_consistent() {
         let mut rib = AdjRibIn::default();
-        rib.insert(route(1, "10.0.0.0/8"));
-        rib.insert(route(2, "10.0.0.0/8"));
-        rib.insert(route(2, "11.0.0.0/8"));
-        assert_eq!(rib.routes_for(p("10.0.0.0/8")).len(), 2);
+        rib.insert(route(1, "10.0.0.0/8")).unwrap();
+        rib.insert(route(2, "10.0.0.0/8")).unwrap();
+        rib.insert(route(2, "11.0.0.0/8")).unwrap();
+        assert_eq!(routes(&rib, "10.0.0.0/8").len(), 2);
         rib.remove(PeerId(1), p("10.0.0.0/8"));
-        assert_eq!(rib.routes_for(p("10.0.0.0/8")).len(), 1);
+        assert_eq!(routes(&rib, "10.0.0.0/8").len(), 1);
         rib.purge(|r| r.prefix != p("11.0.0.0/8"));
-        assert!(rib.routes_for(p("11.0.0.0/8")).is_empty());
+        assert!(routes(&rib, "11.0.0.0/8").is_empty());
         assert_eq!(rib.prefixes(), vec![p("10.0.0.0/8")]);
         rib.flush_peer(PeerId(2));
         assert!(rib.prefixes().is_empty());
@@ -336,10 +786,79 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "AdjRibIn stores learned routes")]
-    fn inserting_local_route_into_adj_rib_in_panics() {
+    fn inserting_local_route_is_a_typed_error() {
         let mut rib = AdjRibIn::default();
-        rib.insert(Route::local(p("0.0.0.0/0"), PathAttributes::default()));
+        let err = rib
+            .insert(Route::local(p("0.0.0.0/0"), PathAttributes::default()))
+            .unwrap_err();
+        assert_eq!(err.prefix, p("0.0.0.0/0"));
+        assert!(err.to_string().contains("no learning session"));
+        assert!(rib.is_empty(), "rejected route leaves the RIB untouched");
+    }
+
+    #[test]
+    fn serde_roundtrip_recompresses() {
+        let mut rib = AdjRibIn::default();
+        for peer in 1..=8 {
+            rib.insert(route(peer, "10.0.0.0/8")).unwrap();
+        }
+        let mut other = route(9, "10.0.0.0/8");
+        Arc::make_mut(&mut other.attrs).med = 7;
+        rib.insert(other).unwrap();
+        let back = AdjRibIn::deserialize(&rib.serialize()).unwrap();
+        assert_eq!(back.len(), rib.len());
+        assert_eq!(
+            routes(&back, "10.0.0.0/8"),
+            routes(&rib, "10.0.0.0/8"),
+            "route-level wire shape preserves iteration order and content"
+        );
+        assert_eq!(back.footprint().canonical_routes, 2);
+    }
+
+    #[test]
+    fn adj_rib_out_fans_out_one_body() {
+        let mut out = AdjRibOut::default();
+        let body = Arc::new(PathAttributes::default());
+        let first = out
+            .advertise(PeerId(1), p("0.0.0.0/0"), Arc::clone(&body))
+            .expect("new advertisement returns the canonical body");
+        for peer in 2..=32 {
+            // Fresh allocation per peer, as the export path produces.
+            let canon = out
+                .advertise(PeerId(peer), p("0.0.0.0/0"), Arc::new(PathAttributes::default()))
+                .expect("state changed");
+            assert!(
+                Arc::ptr_eq(&canon, &first),
+                "fan-out shares the first body seen"
+            );
+        }
+        let f = out.footprint();
+        assert_eq!(f.peer_refs, 32);
+        assert_eq!(f.canonical_routes, 1);
+        // Identical re-advertisement: nothing to send.
+        assert!(out
+            .advertise(PeerId(5), p("0.0.0.0/0"), Arc::new(PathAttributes::default()))
+            .is_none());
+        assert!(out.withdraw(PeerId(5), p("0.0.0.0/0")));
+        assert!(!out.withdraw(PeerId(5), p("0.0.0.0/0")));
+        assert_eq!(out.len(), 31);
+    }
+
+    #[test]
+    fn adj_rib_out_enumeration_and_flush() {
+        let mut out = AdjRibOut::default();
+        out.advertise(PeerId(1), p("10.0.0.0/8"), Arc::new(PathAttributes::default()));
+        out.advertise(PeerId(1), p("11.0.0.0/8"), Arc::new(PathAttributes::default()));
+        out.advertise(PeerId(2), p("10.0.0.0/8"), Arc::new(PathAttributes::default()));
+        let for_one: Vec<Prefix> = out.advertisements(PeerId(1)).map(|(p, _)| p).collect();
+        assert_eq!(for_one, vec![p("10.0.0.0/8"), p("11.0.0.0/8")]);
+        assert!(out.attrs(PeerId(2), p("10.0.0.0/8")).is_some());
+        assert!(out.attrs(PeerId(2), p("11.0.0.0/8")).is_none());
+        out.flush_peer(PeerId(1));
+        assert_eq!(out.len(), 1);
+        let back = AdjRibOut::deserialize(&out.serialize()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.attrs(PeerId(2), p("10.0.0.0/8")).is_some());
     }
 
     #[test]

@@ -574,7 +574,7 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
     if let Some(dev) = report.phases.first().and_then(|p| p.devices.first()) {
         let device = net.device(*dev).ok_or("device vanished")?;
         println!("device {dev} active RPAs: {:?}", device.engine.installed());
-        let candidates: Vec<_> = device.daemon.rib_in_routes(Prefix::DEFAULT).to_vec();
+        let candidates = device.daemon.rib_in_routes(Prefix::DEFAULT);
         if let Some((doc, stmt)) = device
             .engine
             .governing_statement(Prefix::DEFAULT, &candidates)

@@ -33,7 +33,7 @@ use centralium_topology::{Asn, DeviceId, DeviceState, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Emulator configuration.
 ///
@@ -760,7 +760,7 @@ fn run_work_inner(
         }
         Work::SetExportPolicy { policy } => {
             let peers = dev.daemon.peer_ids();
-            let composed: Vec<(PeerId, Policy)> = peers
+            let composed: Vec<(PeerId, Arc<Policy>)> = peers
                 .iter()
                 .map(|&peer| {
                     let base = SimNet::base_export_policy_for(
@@ -770,13 +770,16 @@ fn run_work_inner(
                         peer,
                     );
                     let mut rules = policy.rules.clone();
-                    rules.extend(base.rules);
+                    rules.extend(base.rules.iter().cloned());
                     (
                         peer,
-                        Policy {
+                        // Override policies are per-(device, peer) composites,
+                        // so each gets its own body; only the canonical
+                        // wiring-time shapes are shared.
+                        Arc::new(Policy {
                             rules,
                             default_accept: base.default_accept,
-                        },
+                        }),
                     )
                 })
                 .collect();
@@ -965,7 +968,7 @@ fn prov_state(dev: &SimDevice, prefix: Prefix) -> ProvState {
         None => "none".to_string(),
     };
     ProvState {
-        rib_in: dev.daemon.rib_in_routes(prefix).len(),
+        rib_in: dev.daemon.rib_in_count(prefix),
         decision,
         fib,
     }
@@ -1362,28 +1365,41 @@ impl SimNet {
     }
 
     /// Import policy on a session toward the layer above: tag FROM_UPSTREAM.
-    fn import_from_up() -> Policy {
-        Policy::accept_all().rule(PolicyRule {
-            matches: MatchExpr::any(),
-            actions: vec![Action::AddCommunity(well_known::FROM_UPSTREAM)],
-        })
+    ///
+    /// These three canonical policy shapes are attached to every session
+    /// endpoint in the fabric (~1.5M at the xxl tier), so each returns one
+    /// process-wide shared body instead of a fresh copy.
+    fn import_from_up() -> Arc<Policy> {
+        static SHARED: OnceLock<Arc<Policy>> = OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| {
+            Arc::new(Policy::accept_all().rule(PolicyRule {
+                matches: MatchExpr::any(),
+                actions: vec![Action::AddCommunity(well_known::FROM_UPSTREAM)],
+            }))
+        }))
     }
 
     /// Import policy on a session toward the layer below: clear any stale
     /// FROM_UPSTREAM marking (the route is fresh information from below).
-    fn import_from_down() -> Policy {
-        Policy::accept_all().rule(PolicyRule {
-            matches: MatchExpr::any(),
-            actions: vec![Action::RemoveCommunity(well_known::FROM_UPSTREAM)],
-        })
+    fn import_from_down() -> Arc<Policy> {
+        static SHARED: OnceLock<Arc<Policy>> = OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| {
+            Arc::new(Policy::accept_all().rule(PolicyRule {
+                matches: MatchExpr::any(),
+                actions: vec![Action::RemoveCommunity(well_known::FROM_UPSTREAM)],
+            }))
+        }))
     }
 
     /// Export policy on a session toward the layer above: up-learned routes
     /// must not be re-advertised upward (valley-freedom).
-    fn export_to_up() -> Policy {
-        Policy::accept_all().rule(PolicyRule::reject(MatchExpr::community(
-            well_known::FROM_UPSTREAM,
-        )))
+    fn export_to_up() -> Arc<Policy> {
+        static SHARED: OnceLock<Arc<Policy>> = OnceLock::new();
+        Arc::clone(SHARED.get_or_init(|| {
+            Arc::new(Policy::accept_all().rule(PolicyRule::reject(
+                MatchExpr::community(well_known::FROM_UPSTREAM),
+            )))
+        }))
     }
 
     /// The base export policy of a session, as installed at wiring time —
@@ -1397,18 +1413,18 @@ impl SimNet {
         valley_free: bool,
         dev: DeviceId,
         peer: PeerId,
-    ) -> Policy {
+    ) -> Arc<Policy> {
         if !valley_free {
-            return Policy::accept_all();
+            return Policy::shared_accept_all();
         }
         let other = DeviceId(peer.device());
         let (Some(d), Some(o)) = (topo.device(dev), topo.device(other)) else {
-            return Policy::accept_all();
+            return Policy::shared_accept_all();
         };
         if d.layer().is_below(o.layer()) {
             Self::export_to_up()
         } else {
-            Policy::accept_all()
+            Policy::shared_accept_all()
         }
     }
 
@@ -2610,10 +2626,19 @@ impl SimNet {
         self.origin_time.clear();
         self.last_update.clear();
         let (mut adj_rib_in, mut loc_rib, mut nhgs) = (0i64, 0i64, 0i64);
+        let mut rib_in_fp = centralium_bgp::RibFootprint::default();
+        let mut rib_out_fp = centralium_bgp::RibFootprint::default();
         for dev in self.devices.values() {
             adj_rib_in += dev.daemon.adj_rib_in_len() as i64;
             loc_rib += dev.daemon.loc_rib_prefixes().len() as i64;
             nhgs += dev.fib.nhg_stats().current_groups as i64;
+            let (fin, fout) = dev.daemon.rib_footprints();
+            rib_in_fp.canonical_routes += fin.canonical_routes;
+            rib_in_fp.peer_refs += fin.peer_refs;
+            rib_in_fp.bytes += fin.bytes;
+            rib_out_fp.canonical_routes += fout.canonical_routes;
+            rib_out_fp.peer_refs += fout.peer_refs;
+            rib_out_fp.bytes += fout.bytes;
         }
         let m = self.telemetry.metrics();
         m.gauge("bgp.adj_rib_in_total").set(adj_rib_in);
@@ -2621,16 +2646,21 @@ impl SimNet {
         m.gauge("fib.nexthop_groups_total").set(nhgs);
         m.gauge("simnet.max_batch_size")
             .set(self.max_batch_size as i64);
-        // Memory accounting, sampled at the same phase boundary: RIB slab
-        // bytes (route-struct footprint; attribute payloads are interned
-        // and counted separately), interner table sizes, and what the
+        // Memory accounting, sampled at the same phase boundary: real
+        // adjacency-RIB footprints from the fan-in-compressed tables
+        // (canonical bodies + peer refs; interned attribute payloads are
+        // counted separately), interner table sizes, and what the
         // scheduler and per-device arenas actually hold. The byte gauges
         // are *capacity*-based — calendar bucket arrays and arena slot
         // vectors keep their allocations across windows, and that retained
         // capacity (not the momentary occupancy) is what a memory budget
         // must provision for.
-        m.gauge("mem.adj_rib_in_bytes")
-            .set(adj_rib_in * std::mem::size_of::<centralium_bgp::Route>() as i64);
+        m.gauge("mem.adj_rib_in_bytes").set(rib_in_fp.bytes as i64);
+        m.gauge("mem.adj_rib_out_bytes").set(rib_out_fp.bytes as i64);
+        m.gauge("bgp.canonical_routes")
+            .set((rib_in_fp.canonical_routes + rib_out_fp.canonical_routes) as i64);
+        m.gauge("bgp.peer_refs")
+            .set((rib_in_fp.peer_refs + rib_out_fp.peer_refs) as i64);
         let interns = centralium_bgp::attrs::intern_stats();
         m.gauge("mem.interner.as_paths")
             .set(interns.as_paths as i64);

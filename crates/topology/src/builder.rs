@@ -310,6 +310,23 @@ impl ThreeTierSpec {
         }
     }
 
+    /// The `xxl` benchmark tier: 100,420 devices (675 pods × 144 ToRs,
+    /// 4 aggs/pod, 4 planes × 128 spines, 8 EBs), ≈735k links — the
+    /// paper-scale decade. Each spine aggregates 675 aggregation sessions,
+    /// which is the fan-in regime the compressed Adj-RIBs exist for: per
+    /// spine prefix, 675 announcements collapse to a handful of canonical
+    /// bodies plus 16-byte refs.
+    pub fn xxl() -> Self {
+        ThreeTierSpec {
+            pods: 675,
+            tors_per_pod: 144,
+            planes: 4,
+            spines_per_plane: 128,
+            backbone_devices: 8,
+            link_capacity_gbps: crate::link::Link::DEFAULT_CAPACITY_GBPS,
+        }
+    }
+
     /// The CI-sized scale tier: 2,036 devices (50 pods × 36 ToRs, 4
     /// aggs/pod, 4 planes × 8 spines, 4 EBs). Big enough to exercise the
     /// arena/calendar machinery, small enough for a debug-build test run
@@ -581,6 +598,16 @@ mod tests {
         // near any O(n²) mesh.
         assert_eq!(spec.total_links(), 53_312);
         assert!(spec.total_links() < spec.total_devices() * 6);
+    }
+
+    #[test]
+    fn xxl_tier_is_the_100k_decade_with_linear_links() {
+        let spec = ThreeTierSpec::xxl();
+        assert!(spec.total_devices() >= 100_000, "xxl must be a 100k+ fabric");
+        assert_eq!(spec.total_devices(), 100_420);
+        // ~7.3 links per device: still linear, an order of magnitude past xl.
+        assert_eq!(spec.total_links(), 735_424);
+        assert!(spec.total_links() < spec.total_devices() * 8);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod bgp;
 pub mod decode;
 pub mod error;
 pub mod frame;
+pub mod fuzz;
 
 pub use decode::Decoder;
 pub use error::WireError;

@@ -1,0 +1,13 @@
+//! Coverage-guided fuzzing of the RFC 4271 codec and the CRP1 framer:
+//! arbitrary bytes must decode to a typed error or to a message whose
+//! re-encoding is a byte-stable fixpoint — never a panic or an OOB read.
+//! The actual contract lives in `centralium_wire::fuzz` so the in-tree
+//! smoke test enforces the identical oracle.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    centralium_wire::fuzz::decode_roundtrip_oracle(data);
+});

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Short fuzz pass over the wire codec (the `fuzz/` cargo-fuzz package).
+#
+# With cargo-fuzz and a nightly toolchain installed this runs the
+# coverage-guided libFuzzer target for FUZZ_SECONDS (default 30, the CI
+# smoke budget). Where either is missing — offline dev containers, the
+# stable-only CI lanes — it falls back to the in-tree deterministic smoke
+# test, which drives the exact same oracle
+# (`centralium_wire::fuzz::decode_roundtrip_oracle`) over pseudo-random and
+# corruption-mutated buffers. Either way, a decoder panic fails the script.
+#
+#   FUZZ_SECONDS=300 scripts/fuzz-smoke.sh     # longer local session
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
+
+if cargo fuzz --help >/dev/null 2>&1 && rustup run nightly rustc --version >/dev/null 2>&1; then
+  echo "== cargo-fuzz: wire_decode_roundtrip for ${FUZZ_SECONDS}s =="
+  cargo +nightly fuzz run wire_decode_roundtrip --fuzz-dir fuzz -- \
+    -max_total_time="${FUZZ_SECONDS}"
+else
+  echo "== cargo-fuzz or nightly unavailable; running the deterministic oracle smoke =="
+  cargo test -q -p centralium-wire --test fuzz_smoke
+fi

@@ -3,17 +3,22 @@
 # uses to gate against them, so a baseline refresh and a CI run are always
 # measuring the same thing.
 #
-#   BENCH_convergence.json  — every fabric tier (tiny/default/large/2k/xl),
-#                             full worker ladder (1/2/4/8) on the small
-#                             tiers, capped ladder on the 2k/10k scale
-#                             tiers (the bin prints the caps), seed 7,
-#                             5 iters. Records peak-RSS and events/sec per
-#                             row. Gated by: perf-smoke (serial wall
-#                             regression >20% fails; tiny only), the 2k
-#                             memory-budget step, the perf_report 2%
-#                             instrumentation-overhead gate, and the
-#                             nightly full-ladder run (regression + 1.2x
-#                             speedup gate pinned to the large tier).
+#   BENCH_convergence.json  — every fabric tier (tiny/default/large/2k/xl/
+#                             xxl), full worker ladder (1/2/4/8) on the
+#                             small tiers, capped ladder on the 2k/10k
+#                             scale tiers and a single-iteration run on the
+#                             100k xxl tier (the bin prints the caps), seed
+#                             7, 5 iters. Records peak-RSS (reset per tier
+#                             via /proc/self/clear_refs where supported),
+#                             quiescent live-heap KB/device, and events/sec
+#                             per row.
+#                             Gated by: perf-smoke (serial wall regression
+#                             >20% fails; tiny only), the 2k memory-budget
+#                             step, the perf_report 2% instrumentation-
+#                             overhead gate, the nightly full-ladder run
+#                             (regression + 1.2x speedup gate pinned to the
+#                             large tier), and the nightly xxl job
+#                             (6 GiB ulimit + 8 live-KB/device gate).
 #   BENCH_incremental.json  — default 84-device fabric, --full-check, seed
 #                             ladder, 3 iters. Gated by: the 5x delta-vs-full
 #                             wall ratio floor and FIB-equality check.
@@ -31,9 +36,9 @@ echo "== building release binaries =="
 cargo build --release --locked -p centralium-bench
 
 echo
-echo "== BENCH_convergence.json (full tier ladder incl. 2k/xl, worker ladder) =="
+echo "== BENCH_convergence.json (full tier ladder incl. 2k/xl/xxl, worker ladder) =="
 cargo run --release --locked -p centralium-bench --bin bench_convergence -- \
-  --fabric tiny,default,large,2k,xl --json BENCH_convergence.json
+  --fabric tiny,default,large,2k,xl,xxl --json BENCH_convergence.json
 
 echo
 echo "== BENCH_incremental.json (default fabric, full-check) =="
@@ -49,6 +54,9 @@ cargo run --release --locked -p centralium-bench --bin bench_convergence -- \
 ( ulimit -v 1048576
   ./target/release/bench_convergence --fabric 2k --iters 1 --workers 4 \
     --json /dev/null )
+( ulimit -v 6291456
+  ./target/release/bench_convergence --fabric xxl --workers 4 \
+    --max-kb-per-device 8 --json /dev/null )
 
 echo
 echo "done — commit BENCH_convergence.json and BENCH_incremental.json"
